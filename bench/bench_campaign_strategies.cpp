@@ -1,0 +1,78 @@
+// E7 — injection strategies (paper Sec. 3.4: "standard Monte-Carlo
+// techniques may fail to identify the critical error effects ... a
+// systematic approach is required that stresses the system at its possible
+// weak spots"). On the CAPS crash scenario (hazard = failed deployment),
+// Monte-Carlo, guided weak-spot, coverage-driven and exhaustive-grid
+// strategies get the same run budget; compared on hazards found,
+// faults-to-first-hazard, and coverage closure.
+
+#include <cstdio>
+
+#include "vps/apps/caps.hpp"
+#include "vps/fault/campaign.hpp"
+#include "vps/support/table.hpp"
+
+using namespace vps;
+
+int main(int argc, char** argv) {
+  const std::size_t runs = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 150;
+
+  std::printf("== E7: campaign strategies on CAPS crash (budget %zu runs each) ==\n\n", runs);
+  support::Table table({"strategy", "hazards", "first hazard at", "final coverage",
+                        "runs to 80% cov", "DC"});
+
+  for (const auto strategy :
+       {fault::Strategy::kMonteCarlo, fault::Strategy::kGuided,
+        fault::Strategy::kCoverageDriven, fault::Strategy::kExhaustiveGrid}) {
+    apps::CapsScenario scenario(
+        apps::CapsConfig{.crash = true, .duration = sim::Time::ms(15)});
+    fault::CampaignConfig cfg;
+    cfg.runs = runs;
+    cfg.seed = 77;
+    cfg.strategy = strategy;
+    cfg.location_buckets = 8;
+    fault::Campaign campaign(scenario, cfg);
+    const auto result = campaign.run();
+
+    std::size_t runs_to_cov = result.coverage_curve.size() + 1;
+    for (std::size_t i = 0; i < result.coverage_curve.size(); ++i) {
+      if (result.coverage_curve[i] >= 0.8) {
+        runs_to_cov = i + 1;
+        break;
+      }
+    }
+    char cov[32], dc[32];
+    std::snprintf(cov, sizeof cov, "%.1f%%", 100.0 * result.final_coverage);
+    std::snprintf(dc, sizeof dc, "%.2f", result.diagnostic_coverage());
+    table.add_row({fault::to_string(strategy),
+                   std::to_string(result.count(fault::Outcome::kHazard)),
+                   result.faults_to_first_hazard ? std::to_string(result.faults_to_first_hazard)
+                                                 : "-",
+                   cov,
+                   runs_to_cov <= runs ? std::to_string(runs_to_cov) : ">" + std::to_string(runs),
+                   dc});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Weak-spot identification from the guided campaign (Sec. 3.4).
+  {
+    apps::CapsScenario scenario(
+        apps::CapsConfig{.crash = true, .duration = sim::Time::ms(15)});
+    fault::CampaignConfig cfg;
+    cfg.runs = runs;
+    cfg.seed = 77;
+    cfg.strategy = fault::Strategy::kGuided;
+    cfg.location_buckets = 8;
+    fault::Campaign campaign(scenario, cfg);
+    const auto result = campaign.run();
+    std::printf("weak spots identified by the guided campaign:\n\n%s\n",
+                result.render_weak_spots().c_str());
+  }
+
+  std::printf(
+      "Expected shape (paper): guided finds more hazard-producing faults from\n"
+      "the same budget once it locks onto weak-spot cells; coverage-driven\n"
+      "closes the fault-space coverage in the fewest runs; plain Monte-Carlo\n"
+      "wastes budget on already-masked regions.\n");
+  return 0;
+}

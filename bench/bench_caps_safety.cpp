@@ -1,0 +1,111 @@
+// E10 — the paper's CAPS safety goal ("it must be absolutely guaranteed
+// that the failure of any system component does not trigger the airbag in
+// normal operation", Sec. 1). Campaigns over both safety goals and the
+// protection ablations, with a per-fault-type breakdown showing what each
+// mechanism buys:
+//   link protection (complement + alive counter)  vs  none
+//   SEC-DED RAM ECC                               vs  none
+
+#include <cstdio>
+#include <map>
+
+#include "vps/apps/caps.hpp"
+#include "vps/fault/campaign.hpp"
+#include "vps/support/table.hpp"
+
+using namespace vps;
+
+namespace {
+
+struct TypeCounts {
+  std::uint64_t injected = 0;
+  std::uint64_t bad = 0;       // hazard or SDC
+  std::uint64_t detected = 0;  // either detected outcome
+};
+
+struct VariantResult {
+  fault::CampaignResult campaign;
+  std::map<fault::FaultType, TypeCounts> per_type;
+};
+
+VariantResult evaluate(const apps::CapsConfig& config, std::size_t runs, std::uint64_t seed) {
+  apps::CapsScenario scenario(config);
+  fault::CampaignConfig cfg;
+  cfg.runs = runs;
+  cfg.seed = seed;
+  fault::Campaign campaign(scenario, cfg);
+  VariantResult vr{campaign.run(), {}};
+  for (const auto& rec : vr.campaign.records) {
+    auto& counts = vr.per_type[rec.fault.type];
+    ++counts.injected;
+    counts.bad += rec.outcome == fault::Outcome::kHazard ||
+                  rec.outcome == fault::Outcome::kSilentDataCorruption;
+    counts.detected += rec.outcome == fault::Outcome::kDetectedCorrected ||
+                       rec.outcome == fault::Outcome::kDetectedUncorrected;
+  }
+  return vr;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t runs = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 400;
+  std::printf("== E10: CAPS inadvertent-deployment and failed-deployment campaigns ==\n");
+  std::printf("   (%zu injected faults per variant)\n\n", runs);
+
+  struct Variant {
+    const char* name;
+    apps::CapsConfig config;
+  };
+  const Variant variants[] = {
+      {"SG1 normal, e2e+ecc", {.crash = false, .protected_link = true, .ecc = hw::EccMode::kSecded,
+                               .duration = sim::Time::ms(15)}},
+      {"SG1 normal, e2e only", {.crash = false, .protected_link = true,
+                                .duration = sim::Time::ms(15)}},
+      {"SG1 normal, bare", {.crash = false, .protected_link = false,
+                            .duration = sim::Time::ms(15)}},
+      {"SG2 crash,  e2e+ecc", {.crash = true, .protected_link = true, .ecc = hw::EccMode::kSecded,
+                               .duration = sim::Time::ms(15)}},
+      {"SG2 crash,  bare", {.crash = true, .protected_link = false,
+                            .duration = sim::Time::ms(15)}},
+  };
+
+  support::Table table({"variant", "hazards", "SDC", "detected", "DC", "P(hazard) 95% hi"});
+  std::map<std::string, VariantResult> results;
+  for (const auto& v : variants) {
+    const auto vr = evaluate(v.config, runs, 4242);
+    char dc[32], hi[32];
+    std::snprintf(dc, sizeof dc, "%.2f", vr.campaign.diagnostic_coverage());
+    std::snprintf(hi, sizeof hi, "%.3g", vr.campaign.hazard_probability.hi);
+    table.add_row({v.name, std::to_string(vr.campaign.count(fault::Outcome::kHazard)),
+                   std::to_string(vr.campaign.count(fault::Outcome::kSilentDataCorruption)),
+                   std::to_string(vr.campaign.count(fault::Outcome::kDetectedCorrected) +
+                                  vr.campaign.count(fault::Outcome::kDetectedUncorrected)),
+                   dc, hi});
+    results.emplace(v.name, vr);
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Per-fault-type view of the link-protection ablation (SG1).
+  std::printf("== per-fault-type (SG1): bad / detected / injected ==\n\n");
+  support::Table per_type({"fault type", "e2e: bad/det/inj", "bare: bad/det/inj"});
+  const auto& prot = results.at("SG1 normal, e2e only");
+  const auto& bare = results.at("SG1 normal, bare");
+  const auto fmt = [](const TypeCounts& c) {
+    return std::to_string(c.bad) + "/" + std::to_string(c.detected) + "/" +
+           std::to_string(c.injected);
+  };
+  for (const auto& [type, counts] : prot.per_type) {
+    const auto bare_it = bare.per_type.find(type);
+    per_type.add_row({fault::to_string(type), fmt(counts),
+                      bare_it != bare.per_type.end() ? fmt(bare_it->second) : "-"});
+  }
+  std::printf("%s\n", per_type.render().c_str());
+  std::printf(
+      "Expected shape (paper): without link protection, TX-buffer corruption\n"
+      "can walk the deployment logic into firing (hazards under SG1) where the\n"
+      "protected variant converts the same faults into detections. ECC removes\n"
+      "the memory-fault share of dangerous outcomes. The crash variants show\n"
+      "protection cannot recover a dead sensor: stuck-low faults dominate SG2.\n");
+  return 0;
+}

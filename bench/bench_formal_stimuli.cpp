@@ -1,0 +1,91 @@
+// E13 (extension) — formal stimulus generation vs random search (paper
+// Sec. 3.4: "For errors that are hard to propagate, formal approaches such
+// as symbolic execution might be necessary to generate stimuli to bypass
+// the protection mechanisms"). On the plain and TMR-protected airbag
+// comparators:
+//   * random search samples vectors hoping to expose each stuck-at fault;
+//   * SAT-based ATPG either returns a detecting vector directly or PROVES
+//     the fault masked (something sampling can never conclude).
+
+#include <chrono>
+#include <cstdio>
+
+#include "vps/formal/atpg.hpp"
+#include "vps/gate/builders.hpp"
+#include "vps/support/rng.hpp"
+#include "vps/support/table.hpp"
+
+using namespace vps;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+struct RandomSearch {
+  std::size_t detected = 0;
+  std::size_t unresolved = 0;  ///< budget exhausted: masked OR just unlucky
+  std::uint64_t simulations = 0;
+  double seconds = 0.0;
+};
+
+RandomSearch random_search(const gate::Netlist& nl, std::size_t budget_per_fault) {
+  RandomSearch rs;
+  gate::FaultSimulator fsim(nl);
+  support::Xorshift rng(5);
+  const auto t0 = Clock::now();
+  for (const auto& site : fsim.enumerate_faults()) {
+    gate::Evaluator golden(nl), faulty(nl);
+    faulty.inject_stuck_at(site.net, site.stuck_value);
+    bool found = false;
+    for (std::size_t i = 0; i < budget_per_fault && !found; ++i) {
+      const gate::TestVector tv{rng.next() & 0xFF, 0};
+      found = fsim.response(golden, tv) != fsim.response(faulty, tv);
+      ++rs.simulations;
+    }
+    found ? ++rs.detected : ++rs.unresolved;
+  }
+  rs.seconds = std::chrono::duration<double>(Clock::now() - t0).count();
+  return rs;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E13: formal (SAT/ATPG) vs random stimulus generation ==\n\n");
+  support::Table table({"circuit", "method", "detected", "proven masked", "unresolved",
+                        "effort", "wall [s]"});
+
+  for (const bool tmr : {false, true}) {
+    const auto circuit = gate::build_airbag_comparator(8, 200, tmr);
+    const char* name = tmr ? "TMR comparator" : "plain comparator";
+
+    const auto rs = random_search(circuit.netlist, 64);
+    char rw[32];
+    std::snprintf(rw, sizeof rw, "%.4f", rs.seconds);
+    table.add_row({name, "random (64 vec/fault)", std::to_string(rs.detected), "0 (cannot prove)",
+                   std::to_string(rs.unresolved), std::to_string(rs.simulations) + " sims", rw});
+
+    const auto t0 = Clock::now();
+    const auto atpg = formal::run_atpg(circuit.netlist);
+    const double atpg_s = std::chrono::duration<double>(Clock::now() - t0).count();
+    char aw[32];
+    std::snprintf(aw, sizeof aw, "%.4f", atpg_s);
+    table.add_row({name, "SAT ATPG", std::to_string(atpg.detected),
+                   std::to_string(atpg.proven_untestable), "0",
+                   std::to_string(atpg.total_decisions) + " decisions", aw});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Compact test-set generation: vectors needed for full detectable coverage.
+  const auto plain = gate::build_airbag_comparator(8, 200, false);
+  const auto campaign = formal::run_atpg(plain.netlist);
+  std::printf("compact test set (plain comparator): %zu vectors cover all %zu detectable faults\n",
+              campaign.test_set.size(), campaign.detected);
+  std::printf(
+      "\nExpected shape (paper): on the unprotected circuit both methods detect\n"
+      "nearly everything, but ATPG needs orders of magnitude fewer evaluations\n"
+      "and emits a compact test set. On the TMR circuit the random search\n"
+      "leaves every masked fault 'unresolved' after its full budget, while the\n"
+      "solver *proves* each one untestable — the formal capability Sec. 3.4\n"
+      "says sampling-based stress testing fundamentally lacks.\n");
+  return 0;
+}

@@ -1,0 +1,96 @@
+// E9 — FTA automation (paper Sec. 2.1, refs [3-6, 8]): MOCUS cut-set
+// extraction cost and count as trees grow, exact vs rare-event top
+// probabilities, and fault-tree *synthesis* from campaign data compared
+// against the hand-built reference tree for the same architecture.
+
+#include <chrono>
+#include <cstdio>
+
+#include "vps/safety/ft_synthesis.hpp"
+#include "vps/safety/fta.hpp"
+#include "vps/support/table.hpp"
+
+using namespace vps::safety;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/// Builds a layered tree: `groups` redundant pairs (AND of 2) under an OR,
+/// plus `spofs` direct single points of failure.
+FaultTree build_tree(std::size_t groups, std::size_t spofs, double p) {
+  FaultTree ft;
+  std::vector<FaultTree::NodeId> top_children;
+  for (std::size_t g = 0; g < groups; ++g) {
+    const auto a = ft.add_basic_event("a" + std::to_string(g), p);
+    const auto b = ft.add_basic_event("b" + std::to_string(g), p);
+    top_children.push_back(ft.add_gate("pair" + std::to_string(g), GateType::kAnd, {a, b}));
+  }
+  for (std::size_t s = 0; s < spofs; ++s) {
+    top_children.push_back(ft.add_basic_event("spof" + std::to_string(s), p / 10));
+  }
+  ft.set_top(ft.add_gate("top", GateType::kOr, top_children));
+  return ft;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== E9a: MOCUS scaling ==\n\n");
+  vps::support::Table scaling({"basic events", "minimal cut sets", "MOCUS [ms]",
+                               "P(top) exact", "P(top) rare-event"});
+  for (const std::size_t groups : {2u, 4u, 6u, 8u, 10u}) {
+    FaultTree ft = build_tree(groups, 2, 0.01);
+    const auto t0 = Clock::now();
+    const auto cuts = ft.minimal_cut_sets();
+    const double ms = std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+    char msb[32], pe[32], pr[32];
+    std::snprintf(msb, sizeof msb, "%.3f", ms);
+    std::snprintf(pe, sizeof pe, "%.4g", ft.top_probability_exact());
+    std::snprintf(pr, sizeof pr, "%.4g", ft.top_probability_rare_event());
+    scaling.add_row({std::to_string(2 * groups + 2), std::to_string(cuts.size()), msb, pe, pr});
+  }
+  std::printf("%s\n", scaling.render().c_str());
+
+  std::printf("== E9b: k-of-n vote gates (TMR family) ==\n\n");
+  vps::support::Table vote({"architecture", "cut sets", "P(top) exact"});
+  for (const unsigned n : {3u, 5u, 7u}) {
+    FaultTree ft;
+    std::vector<FaultTree::NodeId> replicas;
+    for (unsigned i = 0; i < n; ++i) {
+      replicas.push_back(ft.add_basic_event("ch" + std::to_string(i), 0.01));
+    }
+    const unsigned k = n / 2 + 1;
+    ft.set_top(ft.add_gate("majority_fails", GateType::kVote, replicas, k));
+    char pe[32];
+    std::snprintf(pe, sizeof pe, "%.4g", ft.top_probability_exact());
+    vote.add_row({std::to_string(k) + "-of-" + std::to_string(n),
+                  std::to_string(ft.minimal_cut_sets().size()), pe});
+  }
+  std::printf("%s\n", vote.render().c_str());
+
+  std::printf("== E9c: synthesis from simulation vs hand-built reference ==\n\n");
+  // Hand-built: hazard = sensor_defect (p 2e-4, 80% hazardous) OR
+  //                      cpu_upset    (p 1e-4, 10% hazardous).
+  FaultTree reference;
+  const auto s = reference.add_basic_event("sensor_defect_hazardous", 2e-4 * 0.8);
+  const auto c = reference.add_basic_event("cpu_upset_hazardous", 1e-4 * 0.1);
+  reference.set_top(reference.add_gate("hazard", GateType::kOr, {s, c}));
+
+  // "Campaign-measured" conditional hazard probabilities for the same two
+  // fault populations (what an error-effect campaign estimates).
+  const std::vector<HazardContribution> measured{
+      {"sensor_defect_hazardous", 2e-4, 0.8, 100, 80},
+      {"cpu_upset_hazardous", 1e-4, 0.1, 100, 10},
+  };
+  const auto synth = synthesize_fault_tree("hazard", measured);
+  std::printf("reference:   P(top) = %.6g\n", reference.top_probability_exact());
+  std::printf("synthesized: P(top) = %.6g\n", synth.tree.top_probability_exact());
+  std::printf("cut sets:    reference %zu, synthesized %zu\n\n",
+              reference.minimal_cut_sets().size(), synth.tree.minimal_cut_sets().size());
+  std::printf(
+      "Expected shape (paper): MOCUS stays millisecond-fast at VP-level tree\n"
+      "sizes; redundant pairs produce size-2 cut sets and no SPOF entries;\n"
+      "the synthesized tree reproduces the hand-built structure and top-event\n"
+      "probability when the campaign estimates the conditional hazards well.\n");
+  return 0;
+}

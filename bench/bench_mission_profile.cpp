@@ -1,0 +1,65 @@
+// E2 — the Fig. 2 pipeline: mission profile -> formalization -> fault/error
+// description -> stressor, at every supply-chain level. Reports the derived
+// fault-rate table, lifetime expectations, stressor schedules per operating
+// state, and the wall-clock cost of the derivation itself.
+
+#include <chrono>
+#include <cstdio>
+
+#include "vps/fault/stressor.hpp"
+#include "vps/mp/derivation.hpp"
+#include "vps/mp/mission_profile.hpp"
+#include "vps/support/table.hpp"
+
+using namespace vps;
+using Clock = std::chrono::steady_clock;
+
+int main() {
+  const auto t0 = Clock::now();
+  const auto profile = mp::reference_car_profile();
+  const auto rates = mp::derive_fault_rates(profile);
+  const double derive_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+
+  std::printf("== E2: mission-profile-compliant stressor derivation (Fig. 2) ==\n\n");
+  std::printf("%s\n", rates.render().c_str());
+
+  support::Table lifetime({"fault class", "mission-average FIT", "expected lifetime faults"});
+  for (const auto c : mp::all_fault_classes()) {
+    char fit[32], exp[32];
+    std::snprintf(fit, sizeof fit, "%.3g", rates.mission_average_fit(c));
+    std::snprintf(exp, sizeof exp, "%.3g",
+                  rates.expected_lifetime_faults(c, profile.lifetime_hours()));
+    lifetime.add_row({mp::to_string(c), fit, exp});
+  }
+  std::printf("%s\n", lifetime.render().c_str());
+
+  // Stressor schedules per state over a 10-second accelerated segment.
+  support::Table sched({"state", "accel", "rate [faults/s]", "sampled faults in 10 s",
+                        "dominant class"});
+  for (const auto& state : profile.states()) {
+    const auto spec = mp::make_stressor_spec(rates, state.name, 1e9);
+    sim::Kernel scratch;
+    fault::InjectorHub hub(scratch);
+    fault::Stressor stressor(hub, spec, 7);
+    const auto schedule = stressor.sample_schedule(sim::Time::zero(), sim::Time::sec(10));
+    std::array<std::size_t, fault::kFaultTypeCount> per_type{};
+    for (const auto& f : schedule) ++per_type[static_cast<std::size_t>(f.type)];
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < per_type.size(); ++i) {
+      if (per_type[i] > per_type[best]) best = i;
+    }
+    char rate[32];
+    std::snprintf(rate, sizeof rate, "%.3g", spec.total_rate());
+    sched.add_row({state.name, "1e9", rate, std::to_string(schedule.size()),
+                   schedule.empty() ? "-" : fault::to_string(static_cast<fault::FaultType>(best))});
+  }
+  std::printf("%s\n", sched.render().c_str());
+  std::printf("derivation cost: %.3f ms (negligible — usable at every supply-chain level)\n",
+              derive_ms);
+  std::printf("\nExpected shape (paper Fig. 2): harsher operating states produce higher\n"
+              "rates; the dominant fault class differs per state (vibration-driven\n"
+              "connector faults on the highway, brownouts while cranking), so each\n"
+              "level of the supply chain derives a *different*, targeted stressor.\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// E11 — "The right value at the wrong time can still be an error"
+// (paper Sec. 3.4). The ACC control law never computes a wrong value; its
+// execution time is inflated stepwise. A value-only verdict (output
+// signature) is compared against a value+timing verdict (deadline monitor,
+// actuator staleness, minimum gap): the value-only view stays green long
+// after the system has become unsafe.
+
+#include <cstdio>
+
+#include "vps/apps/acc.hpp"
+#include "vps/fault/scenario.hpp"
+#include "vps/support/table.hpp"
+
+using namespace vps;
+
+int main() {
+  apps::AccScenario scenario;
+  const auto golden = scenario.run(nullptr, 13);
+  const double golden_gap = scenario.last_min_gap_m();
+
+  std::printf("== E11: timing-only faults on the ACC control task ==\n");
+  std::printf("   golden: min gap %.1f m, 0 deadline misses\n\n", golden_gap);
+
+  support::Table table({"slowdown", "deadline misses", "min gap [m]", "value-only verdict",
+                        "value+timing verdict"});
+  for (const double factor : {1.0, 1.5, 2.0, 3.0, 5.0, 10.0, 20.0, 40.0}) {
+    fault::FaultDescriptor f;
+    f.type = fault::FaultType::kExecutionSlowdown;
+    f.address = 0;  // the control task
+    f.magnitude = factor;
+    f.persistence = fault::Persistence::kIntermittent;
+    f.inject_at = sim::Time::sec(7);
+    f.duration = sim::Time::sec(6);
+    const auto obs = scenario.run(&f, 13);
+
+    const bool value_changed = obs.output_signature != golden.output_signature;
+    const char* value_only = obs.hazard ? "HAZARD" : value_changed ? "value diff" : "pass";
+    const auto outcome = fault::classify(golden, obs);
+    char gap[32];
+    std::snprintf(gap, sizeof gap, "%.1f", scenario.last_min_gap_m());
+    char sf[16];
+    std::snprintf(sf, sizeof sf, "%.1fx", factor);
+    table.add_row({sf, std::to_string(obs.deadline_misses), gap, value_only,
+                   fault::to_string(outcome)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "Expected shape (paper): the value-only column stays 'pass' for moderate\n"
+      "slowdowns although deadline misses accumulate and the braking margin\n"
+      "erodes; only the timing-aware classification exposes the degradation,\n"
+      "and extreme slowdowns end in a hazard despite every value being right.\n");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Quickstart: the five-minute tour of the framework.
+//
+// 1. Build a virtual prototype (an ECU platform executing real firmware).
+// 2. Run it fault-free (the golden run).
+// 3. Inject a fault with an InjectorHub.
+// 4. Compare and classify the outcome, ISO-26262 style.
+//
+// Build & run:  ./build/examples/example_quickstart
+
+#include <cstdio>
+
+#include "vps/apps/caps.hpp"
+#include "vps/fault/campaign.hpp"
+#include "vps/fault/scenario.hpp"
+
+using namespace vps;
+
+int main() {
+  std::printf("== VPS quickstart: error-effect simulation on a virtual prototype ==\n\n");
+
+  // The CAPS airbag scenario bundles a complete system VP: a sensor node on
+  // a CAN bus and an airbag ECU (AR32 core + RAM + watchdog + GPIO) running
+  // assembled firmware. "normal" means: no crash happens — so the airbag
+  // must never fire.
+  apps::CapsScenario scenario(apps::CapsConfig{.crash = false});
+
+  // Golden run: fixed seed, no fault.
+  const fault::Observation golden = scenario.run(nullptr, /*seed=*/2026);
+  std::printf("golden run:   signature=%08x  hazard=%d  detections=%llu\n",
+              golden.output_signature, golden.hazard,
+              static_cast<unsigned long long>(golden.detected));
+
+  // A single fault: flip bit 5 of a RAM byte at 5 ms into the drive.
+  fault::FaultDescriptor fault;
+  fault.id = 1;
+  fault.type = fault::FaultType::kMemoryBitFlip;
+  fault.address = 0x80;  // inside the firmware image
+  fault.bit = 5;
+  fault.inject_at = sim::Time::ms(5);
+  std::printf("\ninjecting:    %s\n", fault.to_string().c_str());
+
+  const fault::Observation faulty = scenario.run(&fault, /*seed=*/2026);
+  std::printf("faulty run:   signature=%08x  hazard=%d  detections=%llu  resets=%llu\n",
+              faulty.output_signature, faulty.hazard,
+              static_cast<unsigned long long>(faulty.detected),
+              static_cast<unsigned long long>(faulty.resets));
+
+  const fault::Outcome outcome = fault::classify(golden, faulty);
+  std::printf("\nclassification: %s\n", fault::to_string(outcome));
+
+  // Scale it up: a small Monte-Carlo campaign over the whole fault space.
+  std::printf("\n== 100-run Monte-Carlo campaign over the fault space ==\n\n");
+  fault::CampaignConfig cfg;
+  cfg.runs = 100;
+  cfg.seed = 2026;
+  fault::Campaign campaign(scenario, cfg);
+  const auto result = campaign.run();
+  std::printf("%s\n", result.render().c_str());
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "vps/ams/tdf.hpp"
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::ams {
+
+TdfCluster::TdfCluster(sim::Kernel& kernel, std::string name, sim::Time sample_period)
+    : Module(kernel, std::move(name)),
+      period_(sample_period),
+      sample_event_(kernel, this->name() + ".sample") {
+  support::ensure(sample_period > sim::Time::zero(), "TdfCluster: sample period must be positive");
+  spawn("schedule", run());
+}
+
+sim::Coro TdfCluster::run() {
+  const double dt = period_.to_seconds();
+  for (;;) {
+    co_await sim::delay(period_);
+    for (const auto& block : blocks_) {
+      scratch_.clear();
+      for (const TdfBlock* in : block->inputs_) scratch_.push_back(in->output_);
+      block->output_ = block->process(scratch_, dt);
+    }
+    ++samples_;
+    sample_event_.notify();
+  }
+}
+
+}  // namespace vps::ams

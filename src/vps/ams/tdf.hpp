@@ -1,0 +1,220 @@
+#pragma once
+
+/// AMS-lite: a timed-dataflow (TDF) modeling layer in the style of
+/// SystemC-AMS (paper Sec. 3.3: "Digital based methodologies have to be
+/// extended towards AMS designs", ref [37]). Blocks process samples at a
+/// fixed cluster rate; the cluster executes as a process on the
+/// discrete-event kernel, so analog signal paths (sensor frontends,
+/// filters, drivers) co-simulate with the digital VP and are reachable by
+/// the same fault injectors.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vps/sim/kernel.hpp"
+#include "vps/sim/module.hpp"
+#include "vps/sim/signal.hpp"
+
+namespace vps::ams {
+
+class TdfCluster;
+
+/// One sample-rate dataflow block with up to N inputs and one output.
+class TdfBlock {
+ public:
+  explicit TdfBlock(std::string name) : name_(std::move(name)) {}
+  virtual ~TdfBlock() = default;
+  TdfBlock(const TdfBlock&) = delete;
+  TdfBlock& operator=(const TdfBlock&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] double output() const noexcept { return output_; }
+
+  /// Connects an upstream block to the next input slot.
+  void connect(TdfBlock& upstream) { inputs_.push_back(&upstream); }
+
+ protected:
+  friend class TdfCluster;
+  /// Computes the next output sample from the current input samples.
+  /// `dt` is the cluster sample period in seconds.
+  virtual double process(const std::vector<double>& in, double dt) = 0;
+
+  [[nodiscard]] std::size_t input_count() const noexcept { return inputs_.size(); }
+
+ private:
+  std::string name_;
+  std::vector<TdfBlock*> inputs_;
+  double output_ = 0.0;
+};
+
+/// Static-schedule TDF cluster: blocks execute in registration order once
+/// per sample period (registration order must be topological, as in a
+/// SystemC-AMS cluster after scheduling).
+class TdfCluster : public sim::Module {
+ public:
+  TdfCluster(sim::Kernel& kernel, std::string name, sim::Time sample_period);
+
+  /// Registers a block (cluster takes ownership); returns it for wiring.
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto block = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *block;
+    blocks_.push_back(std::move(block));
+    return ref;
+  }
+
+  [[nodiscard]] sim::Time sample_period() const noexcept { return period_; }
+  [[nodiscard]] std::uint64_t samples_processed() const noexcept { return samples_; }
+  /// Fired after each cluster evaluation (DE side can wait on it).
+  [[nodiscard]] sim::Event& sample_event() noexcept { return sample_event_; }
+
+ private:
+  [[nodiscard]] sim::Coro run();
+
+  sim::Time period_;
+  std::vector<std::unique_ptr<TdfBlock>> blocks_;
+  std::uint64_t samples_ = 0;
+  sim::Event sample_event_;
+  std::vector<double> scratch_;
+};
+
+// --------------------------------------------------------------------------
+// Standard block library
+// --------------------------------------------------------------------------
+
+/// Signal source: arbitrary function of time (seconds).
+class Source final : public TdfBlock {
+ public:
+  Source(std::string name, std::function<double(double)> fn)
+      : TdfBlock(std::move(name)), fn_(std::move(fn)) {}
+
+ protected:
+  double process(const std::vector<double>&, double dt) override {
+    const double y = fn_(t_);
+    t_ += dt;
+    return y;
+  }
+
+ private:
+  std::function<double(double)> fn_;
+  double t_ = 0.0;
+};
+
+/// Gain + offset: y = gain * x + offset. The offset doubles as the
+/// injection point for sensor drift faults.
+class Gain final : public TdfBlock {
+ public:
+  Gain(std::string name, double gain, double offset = 0.0)
+      : TdfBlock(std::move(name)), gain_(gain), offset_(offset) {}
+  void set_offset(double o) noexcept { offset_ = o; }
+  void set_gain(double g) noexcept { gain_ = g; }
+
+ protected:
+  double process(const std::vector<double>& in, double) override {
+    return gain_ * in.at(0) + offset_;
+  }
+
+ private:
+  double gain_;
+  double offset_;
+};
+
+/// First-order RC low-pass: dy/dt = (x - y) / tau (backward Euler).
+class LowPass final : public TdfBlock {
+ public:
+  LowPass(std::string name, double tau_seconds)
+      : TdfBlock(std::move(name)), tau_(tau_seconds) {}
+
+ protected:
+  double process(const std::vector<double>& in, double dt) override {
+    const double alpha = dt / (tau_ + dt);
+    state_ += alpha * (in.at(0) - state_);
+    return state_;
+  }
+
+ private:
+  double tau_;
+  double state_ = 0.0;
+};
+
+/// Hard saturation to [lo, hi] (rail limits of an analog driver).
+class Saturate final : public TdfBlock {
+ public:
+  Saturate(std::string name, double lo, double hi)
+      : TdfBlock(std::move(name)), lo_(lo), hi_(hi) {}
+
+ protected:
+  double process(const std::vector<double>& in, double) override {
+    const double x = in.at(0);
+    return x < lo_ ? lo_ : x > hi_ ? hi_ : x;
+  }
+
+ private:
+  double lo_;
+  double hi_;
+};
+
+/// Comparator with hysteresis (threshold detector / Schmitt trigger).
+class Comparator final : public TdfBlock {
+ public:
+  Comparator(std::string name, double threshold, double hysteresis = 0.0)
+      : TdfBlock(std::move(name)), threshold_(threshold), hysteresis_(hysteresis) {}
+
+ protected:
+  double process(const std::vector<double>& in, double) override {
+    const double x = in.at(0);
+    if (high_) {
+      if (x < threshold_ - hysteresis_) high_ = false;
+    } else {
+      if (x > threshold_ + hysteresis_) high_ = true;
+    }
+    return high_ ? 1.0 : 0.0;
+  }
+
+ private:
+  double threshold_;
+  double hysteresis_;
+  bool high_ = false;
+};
+
+/// Discrete PI controller: u = kp*e + ki * integral(e).
+class PiController final : public TdfBlock {
+ public:
+  PiController(std::string name, double kp, double ki)
+      : TdfBlock(std::move(name)), kp_(kp), ki_(ki) {}
+  /// inputs: [0] setpoint, [1] measurement.
+
+ protected:
+  double process(const std::vector<double>& in, double dt) override {
+    const double error = in.at(0) - in.at(1);
+    integral_ += error * dt;
+    return kp_ * error + ki_ * integral_;
+  }
+
+ private:
+  double kp_;
+  double ki_;
+  double integral_ = 0.0;
+};
+
+/// Bridge TDF -> DE: commits each sample onto a kernel signal so digital
+/// monitors/CPU-visible ADCs observe the analog path.
+class ToSignal final : public TdfBlock {
+ public:
+  ToSignal(std::string name, sim::Signal<double>& signal)
+      : TdfBlock(std::move(name)), signal_(signal) {}
+
+ protected:
+  double process(const std::vector<double>& in, double) override {
+    signal_.write(in.at(0));
+    return in.at(0);
+  }
+
+ private:
+  sim::Signal<double>& signal_;
+};
+
+}  // namespace vps::ams

@@ -1,0 +1,136 @@
+#include "vps/apps/acc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vps/ecu/os.hpp"
+#include "vps/fault/injector.hpp"
+#include "vps/support/crc.hpp"
+#include "vps/support/rng.hpp"
+
+namespace vps::apps {
+
+using fault::FaultDescriptor;
+using fault::FaultType;
+using fault::Observation;
+using sim::Time;
+
+namespace {
+
+/// Longitudinal two-vehicle plant, integrated at a fixed 5 ms step.
+struct Plant {
+  double gap_m;
+  double ego_speed;
+  double ego_accel = 0.0;
+  double leader_speed;
+  double leader_accel = 0.0;
+  double min_gap;
+
+  void step(double dt) {
+    leader_speed = std::max(0.0, leader_speed + leader_accel * dt);
+    ego_speed = std::max(0.0, ego_speed + ego_accel * dt);
+    gap_m += (leader_speed - ego_speed) * dt;
+    min_gap = std::min(min_gap, gap_m);
+  }
+};
+
+}  // namespace
+
+std::vector<FaultType> AccScenario::fault_types() const {
+  return {FaultType::kExecutionSlowdown, FaultType::kTaskKill, FaultType::kSensorOffset,
+          FaultType::kSensorStuck};
+}
+
+Observation AccScenario::run(const FaultDescriptor* fault_in, std::uint64_t seed) {
+  sim::Kernel kernel;
+  ecu::OsScheduler os(kernel, "acc_os");
+
+  Plant plant{config_.initial_gap_m, config_.ego_speed_mps, 0.0,
+              config_.ego_speed_mps, 0.0, config_.initial_gap_m};
+
+  // Radar distance sensor with seed-dependent measurement noise.
+  support::Xorshift noise(seed);
+  fault::AnalogChannel radar([&plant, &noise] { return plant.gap_m + noise.normal(0.0, 0.05); });
+
+  // Plant integration process (the physical world does not miss deadlines).
+  kernel.spawn("plant", [](Plant& plant) -> sim::Coro {
+    for (;;) {
+      co_await sim::delay(Time::ms(5));
+      plant.step(0.005);
+    }
+  }(plant));
+
+  // Leader braking event.
+  kernel.spawn("leader", [](Plant& plant, const AccConfig cfg) -> sim::Coro {
+    co_await sim::delay(cfg.leader_brake_at);
+    plant.leader_accel = -cfg.leader_brake_mps2;
+    co_await sim::delay(cfg.leader_brake_duration);
+    plant.leader_accel = 0.0;
+  }(plant, config_));
+
+  // Control task: constant-time-gap ACC law, outputs written at completion.
+  const double desired_gap = 0.9 * config_.ego_speed_mps;  // ~0.9s time gap
+  double commanded_accel = 0.0;
+  Time last_command = Time::zero();
+  const auto control_task = os.add_task(
+      {.name = "acc_control",
+       .period = config_.control_period,
+       .wcet = config_.control_wcet,
+       .priority = 5,
+       .body = [&] {
+         const double measured_gap = radar.read();
+         const double gap_error = measured_gap - desired_gap;
+         const double closing = plant.leader_speed - plant.ego_speed;  // via tracker
+         commanded_accel = std::clamp(0.25 * gap_error + 0.8 * closing, -8.0, 2.0);
+         plant.ego_accel = commanded_accel;
+         last_command = kernel.now();
+       }});
+
+  // Actuator freshness monitor: commands older than 3 control periods are
+  // considered stale and the actuator falls back to coasting — the standard
+  // defensive measure that turns a *late* (but correct) command into a
+  // detected timing failure ("the right value at the wrong time").
+  std::uint64_t stale_command_events = 0;
+  const Time staleness_limit = config_.control_period * 3;
+  kernel.spawn("actuator_monitor", [](sim::Kernel& kernel, Plant& plant, Time& last_command,
+                                      Time limit, std::uint64_t& stale_events) -> sim::Coro {
+    for (;;) {
+      co_await sim::delay(Time::ms(5));
+      if (kernel.now() - last_command > limit && plant.ego_accel != 0.0) {
+        plant.ego_accel = 0.0;  // coast
+        ++stale_events;
+      }
+    }
+  }(kernel, plant, last_command, staleness_limit, stale_command_events));
+  // Background diagnostics load.
+  os.add_task({.name = "diagnostics",
+               .period = Time::ms(100),
+               .wcet = Time::ms(12),
+               .priority = 1,
+               .body = [] {}});
+  (void)control_task;
+
+  fault::InjectorHub hub(kernel);
+  hub.bind_os(os);
+  hub.bind_sensor(radar);
+  if (fault_in != nullptr) hub.schedule(*fault_in);
+
+  kernel.run(config_.duration);
+
+  last_min_gap_ = plant.min_gap;
+  last_misses_ = os.total_deadline_misses();
+  Observation obs;
+  obs.completed = true;
+  obs.hazard = plant.min_gap <= 0.0;
+  obs.deadline_misses = os.total_deadline_misses();
+  // Detections: the scheduler's deadline monitor plus the actuator's
+  // stale-command fallback events.
+  obs.detected = os.total_deadline_misses() + stale_command_events;
+  support::Crc32 sig;
+  sig.update_u64(static_cast<std::uint64_t>(std::llround(plant.min_gap * 10.0)));
+  sig.update_u64(static_cast<std::uint64_t>(std::llround(plant.ego_speed * 10.0)));
+  obs.output_signature = sig.value();
+  return obs;
+}
+
+}  // namespace vps::apps

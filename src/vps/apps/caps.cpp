@@ -1,0 +1,266 @@
+#include "vps/apps/caps.hpp"
+
+#include <algorithm>
+
+#include "vps/can/bus.hpp"
+#include "vps/ecu/platform.hpp"
+#include "vps/fault/injector.hpp"
+#include "vps/support/crc.hpp"
+#include "vps/support/rng.hpp"
+
+namespace vps::apps {
+
+using fault::FaultDescriptor;
+using fault::FaultType;
+using fault::Observation;
+using sim::Time;
+
+namespace {
+
+constexpr std::uint16_t kAccelFrameId = 0x050;
+constexpr double kCountsPerG = 6.5;   // sensor scaling: 35g crash -> ~227 counts
+constexpr int kFireThreshold = 200;   // firmware compare threshold
+
+/// Firmware with link protection: validates complement and alive counter.
+constexpr const char* kProtectedFirmware = R"(
+      j main
+    main:
+      li   r1, 0x40005000    ; CAN controller
+      li   r2, 0x40002000    ; watchdog
+      addi r3, r0, 2000
+      sw   r3, 4(r2)         ; period 2000us
+      addi r3, r0, 1
+      sw   r3, 0(r2)         ; enable
+      li   r4, 0x40003000    ; GPIO (squib driver)
+      addi r9, r0, 0         ; consecutive-high counter
+      addi r12, r0, 255      ; last alive counter (invalid)
+    loop:
+      sw   r0, 8(r2)         ; kick watchdog
+      lw   r5, 20(r1)        ; RX_COUNT
+      beq  r5, r0, loop
+      lw   r6, 32(r1)        ; RX_DATA_LO = value | ~value<<8 | counter<<16
+      sw   r0, 40(r1)        ; RX_POP
+      andi r7, r6, 0xFF      ; value
+      shri r8, r6, 8
+      andi r8, r8, 0xFF
+      xori r8, r8, 0xFF      ; un-complement -> must equal value
+      bne  r7, r8, bad
+      shri r10, r6, 16
+      andi r10, r10, 0xFF    ; alive counter
+      beq  r10, r12, stale
+      mov  r12, r10
+      slti r11, r7, 201      ; value <= 200 ?
+      bne  r11, r0, below
+      addi r9, r9, 1
+      slti r11, r9, 3
+      bne  r11, r0, loop
+      addi r11, r0, 1
+      sw   r11, 0(r4)        ; FIRE
+      j    loop
+    below:
+      addi r9, r0, 0
+      j    loop
+    bad:
+      li   r13, 0x2000       ; integrity-error counter
+      lw   r11, 0(r13)
+      addi r11, r11, 1
+      sw   r11, 0(r13)
+      j    loop
+    stale:
+      li   r13, 0x2004       ; stale-counter counter
+      lw   r11, 0(r13)
+      addi r11, r11, 1
+      sw   r11, 0(r13)
+      j    loop
+)";
+
+/// Firmware without link protection: trusts the raw value byte.
+constexpr const char* kUnprotectedFirmware = R"(
+      j main
+    main:
+      li   r1, 0x40005000
+      li   r2, 0x40002000
+      addi r3, r0, 2000
+      sw   r3, 4(r2)
+      addi r3, r0, 1
+      sw   r3, 0(r2)
+      li   r4, 0x40003000
+      addi r9, r0, 0
+    loop:
+      sw   r0, 8(r2)
+      lw   r5, 20(r1)
+      beq  r5, r0, loop
+      lw   r6, 32(r1)
+      sw   r0, 40(r1)
+      andi r7, r6, 0xFF
+      slti r11, r7, 201
+      bne  r11, r0, below
+      addi r9, r9, 1
+      slti r11, r9, 3
+      bne  r11, r0, loop
+      addi r11, r0, 1
+      sw   r11, 0(r4)
+      j    loop
+    below:
+      addi r9, r0, 0
+      j    loop
+)";
+
+/// Accelerometer node: C++-level CAN node sampling the analog channel every
+/// millisecond and publishing protected frames.
+class SensorNode final : public can::CanNode {
+ public:
+  SensorNode(sim::Kernel& kernel, can::CanBus& bus, fault::AnalogChannel& channel,
+             support::Xorshift rng)
+      : bus_(bus), channel_(channel), rng_(rng) {
+    bus.attach(*this);
+    kernel.spawn("caps.sensor", sample_loop());
+  }
+
+  void on_frame(const can::CanFrame&) override {}
+
+  /// Fault hook: while active, one TX-buffer byte is stuck at a garbage
+  /// value chosen at activation (an address-decoder-class fault) — applied
+  /// after protection is computed, i.e. the corruption CAN's wire CRC
+  /// cannot see and only end-to-end protection can catch.
+  void set_corrupting(bool active) noexcept {
+    corrupting_ = active;
+    if (active) {
+      corrupt_byte_ = rng_.index(3);
+      corrupt_value_ = static_cast<std::uint8_t>(rng_.next());
+    }
+  }
+
+ private:
+  [[nodiscard]] sim::Coro sample_loop() {
+    for (;;) {
+      co_await sim::delay(Time::ms(1));
+      const double g = channel_.read();
+      const auto value = static_cast<std::uint8_t>(std::clamp(g * kCountsPerG, 0.0, 255.0));
+      counter_ = static_cast<std::uint8_t>((counter_ + 1) & 0xFF);
+      std::uint8_t payload[3] = {value, static_cast<std::uint8_t>(~value), counter_};
+      if (corrupting_) payload[corrupt_byte_] = corrupt_value_;
+      bus_.submit(*this, can::CanFrame::make(kAccelFrameId, payload));
+    }
+  }
+
+  can::CanBus& bus_;
+  fault::AnalogChannel& channel_;
+  support::Xorshift rng_;
+  std::uint8_t counter_ = 0;
+  bool corrupting_ = false;
+  std::size_t corrupt_byte_ = 0;
+  std::uint8_t corrupt_value_ = 0;
+};
+
+}  // namespace
+
+std::string CapsScenario::name() const {
+  std::string n = "caps_";
+  n += config_.crash ? "crash" : "normal";
+  n += config_.protected_link ? "_protected" : "_unprotected";
+  if (config_.ecc == hw::EccMode::kSecded) n += "_ecc";
+  return n;
+}
+
+std::vector<FaultType> CapsScenario::fault_types() const {
+  return {FaultType::kMemoryBitFlip,   FaultType::kRegisterBitFlip, FaultType::kPcCorruption,
+          FaultType::kCanFrameCorruption, FaultType::kSensorOffset, FaultType::kSensorStuck,
+          FaultType::kSupplyBrownout};
+}
+
+Observation CapsScenario::run(const FaultDescriptor* fault_in, std::uint64_t seed) {
+  sim::Kernel kernel;
+  can::CanBus bus(kernel, "can0", 500000);
+
+  ecu::EcuPlatform::Config pc;
+  pc.ecc = config_.ecc;
+  pc.cpu.quantum = Time::us(10);
+  ecu::EcuPlatform airbag(kernel, "airbag", pc);
+  airbag.attach_can(bus);
+  airbag.load_program(config_.protected_link ? kProtectedFirmware : kUnprotectedFirmware);
+
+  // Physical crash pulse: low-g driving noise, then a 35g pulse.
+  support::Xorshift noise_rng(seed);
+  const CapsConfig cfg = config_;
+  fault::AnalogChannel accel([&kernel, &noise_rng, cfg]() {
+    const Time t = kernel.now();
+    double g = 1.0 + noise_rng.uniform(0.0, 1.0);  // road noise
+    if (cfg.crash && t >= cfg.crash_time && t < cfg.crash_time + Time::ms(4)) g = 35.0;
+    return g;
+  });
+
+  // The sensor-node stream only feeds fault-choice randomness (which buffer
+  // byte sticks, at which value), so mixing the fault id in keeps golden
+  // runs untouched while giving every injection its own corruption pattern.
+  const std::uint64_t fault_salt =
+      fault_in != nullptr ? fault_in->id * 0x9E3779B97F4A7C15ULL : 0;
+  support::Xorshift sensor_rng(seed ^ 0xABCDEF ^ fault_salt);
+  SensorNode sensor(kernel, bus, accel, sensor_rng.fork());
+
+  // Deployment monitor.
+  Time deploy_time = Time::max();
+  airbag.gpio().out().set_commit_hook([&](const std::uint32_t& v) {
+    if (v != 0 && deploy_time == Time::max()) deploy_time = kernel.now();
+  });
+
+  // Fault injection.
+  fault::InjectorHub hub(airbag);
+  hub.bind_can(bus);
+  hub.bind_sensor(accel);
+  if (fault_in != nullptr) {
+    FaultDescriptor fault = *fault_in;
+    // Memory faults are drawn over the *occupied* image (firmware + data),
+    // not the whole address space: flipping bits in never-read RAM tells a
+    // campaign nothing (standard occupancy weighting).
+    if (fault.type == FaultType::kMemoryBitFlip || fault.type == FaultType::kMemoryCodewordFlip ||
+        fault.type == FaultType::kBusErrorInjection) {
+      fault.address %= 0x200;  // the firmware image region
+    }
+    if (fault.type == FaultType::kCanFrameCorruption &&
+        fault.persistence == fault::Persistence::kIntermittent) {
+      // Source-side corruption: a TX-buffer byte sticks at garbage from the
+      // injection instant onwards — exactly what link protection must catch
+      // (the wire CRC is computed over the already-corrupted buffer).
+      kernel.spawn("caps.sensor_fault", [](SensorNode& s, Time at) -> sim::Coro {
+        co_await sim::delay(at);
+        s.set_corrupting(true);
+      }(sensor, fault.inject_at));
+    } else {
+      hub.schedule(fault);
+    }
+  }
+
+  kernel.run(config_.duration);
+
+  // --- observation ---------------------------------------------------------
+  Observation obs;
+  obs.completed = true;
+  const bool deployed = deploy_time != Time::max();
+
+  if (config_.crash) {
+    const Time deadline = config_.crash_time + config_.deploy_deadline;
+    obs.hazard = !deployed || deploy_time > deadline;  // failed/late deployment
+  } else {
+    obs.hazard = deployed;  // inadvertent deployment
+  }
+
+  // Functional output signature: deployment decision + time bucket (1 ms).
+  support::Crc32 sig;
+  sig.update_u64(deployed ? 1 : 0);
+  sig.update_u64(deployed ? deploy_time.picoseconds() / Time::ms(1).picoseconds() : 0);
+  obs.output_signature = sig.value();
+
+  // Detections: firmware integrity/stale counters, watchdog resets,
+  // uncorrectable ECC, CPU hardware faults.
+  const std::uint32_t integrity_errors = airbag.ram().peek32(0x2000);
+  const std::uint32_t stale_errors = airbag.ram().peek32(0x2004);
+  obs.detected = integrity_errors + stale_errors + airbag.reset_count() +
+                 airbag.ram().uncorrectable_errors() +
+                 (airbag.cpu().state() == hw::Cpu::State::kFaulted ? 1 : 0);
+  obs.corrected = airbag.ram().corrected_errors() + bus.stats().retransmissions;
+  obs.resets = airbag.reset_count();
+  return obs;
+}
+
+}  // namespace vps::apps

@@ -1,0 +1,134 @@
+#include "vps/can/bus.hpp"
+
+#include <algorithm>
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::can {
+
+using support::ensure;
+using sim::Time;
+
+CanBus::CanBus(sim::Kernel& kernel, std::string name, std::uint64_t bitrate_bps)
+    : Module(kernel, std::move(name)),
+      bitrate_(bitrate_bps),
+      bit_time_(Time::ps(1000000000000ULL / (bitrate_bps ? bitrate_bps : 1))),
+      submitted_(kernel, this->name() + ".submitted"),
+      frame_done_(kernel, this->name() + ".frame_done"),
+      rng_(1) {
+  ensure(bitrate_bps > 0, "CanBus: bitrate must be positive");
+  spawn("arbiter", run());
+}
+
+void CanBus::attach(CanNode& node) {
+  node.index_ = nodes_.size();
+  node.bus_ = this;
+  nodes_.push_back(&node);
+}
+
+void CanBus::submit(CanNode& node, const CanFrame& frame) {
+  ensure(node.bus_ == this, "CanBus::submit: node not attached to this bus");
+  ensure(frame.id <= kMaxStandardId && frame.dlc <= 8, "CanBus::submit: malformed frame");
+  if (node.state_ == NodeState::kBusOff) {
+    ++stats_.dropped_bus_off;
+    return;
+  }
+  node.tx_queue_.push_back(frame);
+  submitted_.notify();
+}
+
+std::size_t CanBus::pending_frames() const noexcept {
+  std::size_t n = 0;
+  for (const CanNode* node : nodes_) n += node->tx_queue_.size();
+  return n;
+}
+
+void CanBus::set_error_rate(double probability, std::uint64_t seed) {
+  error_rate_ = std::clamp(probability, 0.0, 1.0);
+  rng_ = support::Xorshift(seed);
+}
+
+CanNode* CanBus::arbitrate() {
+  CanNode* winner = nullptr;
+  std::size_t competitors = 0;
+  for (CanNode* node : nodes_) {
+    if (node->state_ == NodeState::kBusOff || node->tx_queue_.empty()) continue;
+    ++competitors;
+    if (winner == nullptr || node->tx_queue_.front().id < winner->tx_queue_.front().id ||
+        (node->tx_queue_.front().id == winner->tx_queue_.front().id &&
+         node->index_ < winner->index_)) {
+      winner = node;
+    }
+  }
+  if (competitors > 1) ++stats_.arbitration_contests;
+  return winner;
+}
+
+void CanBus::bump_tx_error(CanNode& node) {
+  node.tec_ += 8;  // transmitter penalty per ISO 11898 fault confinement
+  if (node.tec_ > 255) {
+    node.state_ = NodeState::kBusOff;
+    ++stats_.bus_off_events;
+    node.tx_queue_.clear();
+  } else if (node.tec_ > 127) {
+    node.state_ = NodeState::kErrorPassive;
+  }
+}
+
+void CanBus::request_recovery(CanNode& node) {
+  ensure(node.bus_ == this, "CanBus::request_recovery: node not attached to this bus");
+  if (node.state_ != NodeState::kBusOff) return;
+  spawn("recovery" + std::to_string(node.index_), recover(node));
+}
+
+sim::Coro CanBus::recover(CanNode& node) {
+  // Bus-off recovery: 128 occurrences of 11 consecutive recessive bits.
+  co_await sim::delay(bit_time_ * (128 * 11));
+  node.tec_ = 0;
+  node.rec_ = 0;
+  node.state_ = NodeState::kErrorActive;
+}
+
+sim::Coro CanBus::run() {
+  for (;;) {
+    CanNode* winner = arbitrate();
+    if (winner == nullptr) {
+      co_await submitted_;
+      continue;
+    }
+    const CanFrame frame = winner->tx_queue_.front();
+    co_await sim::delay(frame_time(frame));
+
+    const bool corrupted = force_error_ || (error_rate_ > 0.0 && rng_.chance(error_rate_));
+    force_error_ = false;
+
+    if (corrupted) {
+      ++stats_.corrupted_frames;
+      // CRC error: receivers signal an error frame, the transmitter backs
+      // off and retransmits. Error frame + suspend ≈ 17..31 bit times.
+      for (CanNode* node : nodes_) {
+        if (node == winner || node->state_ == NodeState::kBusOff) continue;
+        node->rec_ += 1;
+        if (node->rec_ > 127) node->state_ = NodeState::kErrorPassive;
+      }
+      bump_tx_error(*winner);
+      if (winner->state_ != NodeState::kBusOff) ++stats_.retransmissions;
+      co_await sim::delay(bit_time_ * 23);
+    } else {
+      winner->tx_queue_.pop_front();
+      if (winner->tec_ > 0) --winner->tec_;  // successful transmission decrements
+      if (winner->tec_ <= 127 && winner->state_ == NodeState::kErrorPassive) {
+        winner->state_ = NodeState::kErrorActive;
+      }
+      for (CanNode* node : nodes_) {
+        if (node == winner || node->state_ == NodeState::kBusOff) continue;
+        if (node->rec_ > 0) --node->rec_;
+        node->on_frame(frame);
+      }
+      ++stats_.frames_delivered;
+    }
+    frame_done_.notify();
+  }
+}
+
+}  // namespace vps::can

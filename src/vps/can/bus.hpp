@@ -1,0 +1,103 @@
+#pragma once
+
+/// Transaction-level CAN bus: exact frame timing (bit count / bitrate),
+/// priority arbitration at frame boundaries, CRC-detected corruption with
+/// automatic retransmission, and the standard fault-confinement state
+/// machine (TEC/REC counters, error-passive, bus-off with recovery).
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "vps/can/frame.hpp"
+#include "vps/sim/kernel.hpp"
+#include "vps/sim/module.hpp"
+#include "vps/support/rng.hpp"
+
+namespace vps::can {
+
+/// Fault-confinement state per node (ISO 11898 fault confinement).
+enum class NodeState : std::uint8_t { kErrorActive, kErrorPassive, kBusOff };
+
+class CanBus;
+
+/// Attachment point for controllers/software models.
+class CanNode {
+ public:
+  virtual ~CanNode() = default;
+  /// Delivered, CRC-clean frame (not called for the transmitter itself).
+  virtual void on_frame(const CanFrame& frame) = 0;
+
+  [[nodiscard]] NodeState state() const noexcept { return state_; }
+  [[nodiscard]] unsigned tec() const noexcept { return tec_; }
+  [[nodiscard]] unsigned rec() const noexcept { return rec_; }
+  [[nodiscard]] std::size_t node_index() const noexcept { return index_; }
+
+ private:
+  friend class CanBus;
+  NodeState state_ = NodeState::kErrorActive;
+  unsigned tec_ = 0;  ///< transmit error counter
+  unsigned rec_ = 0;  ///< receive error counter
+  std::size_t index_ = 0;
+  std::deque<CanFrame> tx_queue_;
+  CanBus* bus_ = nullptr;
+};
+
+class CanBus final : public sim::Module {
+ public:
+  struct Stats {
+    std::uint64_t frames_delivered = 0;
+    std::uint64_t arbitration_contests = 0;  ///< rounds with >1 competing node
+    std::uint64_t corrupted_frames = 0;
+    std::uint64_t retransmissions = 0;
+    std::uint64_t dropped_bus_off = 0;
+    std::uint64_t bus_off_events = 0;
+  };
+
+  CanBus(sim::Kernel& kernel, std::string name, std::uint64_t bitrate_bps = 500000);
+
+  void attach(CanNode& node);
+  /// Queues a frame for transmission by `node`; arbitration happens at the
+  /// next bus-idle point. Frames from bus-off nodes are dropped.
+  void submit(CanNode& node, const CanFrame& frame);
+
+  [[nodiscard]] sim::Time bit_time() const noexcept { return bit_time_; }
+  [[nodiscard]] sim::Time frame_time(const CanFrame& frame) const {
+    return bit_time_ * frame_bit_count(frame);
+  }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t pending_frames() const noexcept;
+  /// Fired after every completed (delivered or failed) frame slot.
+  [[nodiscard]] sim::Event& frame_done_event() noexcept { return frame_done_; }
+
+  // --- fault-injection interface -----------------------------------------
+  /// Each transmitted frame is independently corrupted with this probability
+  /// (models EMI bursts on the harness; a corrupted frame fails CRC at every
+  /// receiver and is retransmitted by the sender).
+  void set_error_rate(double probability, std::uint64_t seed = 1);
+  /// Corrupts exactly the next transmitted frame.
+  void force_error_on_next_frame() noexcept { force_error_ = true; }
+
+  /// Starts bus-off recovery for a node (ISO 11898 requires a software
+  /// request; the node rejoins after 128 x 11 recessive bit times).
+  void request_recovery(CanNode& node);
+
+ private:
+  [[nodiscard]] sim::Coro run();
+  [[nodiscard]] sim::Coro recover(CanNode& node);
+  [[nodiscard]] CanNode* arbitrate();
+  void bump_tx_error(CanNode& node);
+
+  std::uint64_t bitrate_;
+  sim::Time bit_time_;
+  std::vector<CanNode*> nodes_;
+  sim::Event submitted_;
+  sim::Event frame_done_;
+  Stats stats_;
+  double error_rate_ = 0.0;
+  bool force_error_ = false;
+  support::Xorshift rng_;
+};
+
+}  // namespace vps::can

@@ -1,0 +1,52 @@
+#pragma once
+
+/// CAN 2.0A data frames: wire-level serialization with bit stuffing and the
+/// standard CRC-15, used both for exact frame timing and for modeling
+/// corruption that receivers detect via CRC mismatch.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vps::can {
+
+inline constexpr std::uint16_t kMaxStandardId = 0x7FF;
+
+struct CanFrame {
+  std::uint16_t id = 0;  ///< 11-bit standard identifier (lower value wins arbitration)
+  std::uint8_t dlc = 0;  ///< data length code, 0..8
+  std::array<std::uint8_t, 8> data{};
+  bool remote = false;
+
+  [[nodiscard]] static CanFrame make(std::uint16_t id, std::span<const std::uint8_t> payload);
+
+  [[nodiscard]] std::span<const std::uint8_t> payload() const noexcept {
+    return {data.data(), dlc};
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  friend bool operator==(const CanFrame&, const CanFrame&) = default;
+};
+
+/// Unstuffed header+data bits (SOF..data field) — the CRC-15 input.
+[[nodiscard]] std::vector<bool> frame_bits_unstuffed(const CanFrame& frame);
+
+/// Full wire bit stream: stuffed SOF..CRC, then CRC delimiter, ACK slot,
+/// ACK delimiter, EOF (7 recessive) and IFS (3 recessive).
+[[nodiscard]] std::vector<bool> serialize_frame(const CanFrame& frame);
+
+/// CRC-15 of the frame as a transmitter would compute it.
+[[nodiscard]] std::uint16_t frame_crc(const CanFrame& frame);
+
+/// Number of wire bits (defines transmission time at a given bitrate).
+[[nodiscard]] std::size_t frame_bit_count(const CanFrame& frame);
+
+/// Wire-level receiver: destuffs the bit stream, parses the frame fields,
+/// and verifies the CRC. Returns the frame, or nullopt on any form error
+/// (stuffing violation, bad delimiters, CRC mismatch, truncation).
+[[nodiscard]] std::optional<CanFrame> deserialize_frame(const std::vector<bool>& wire);
+
+}  // namespace vps::can

@@ -1,0 +1,193 @@
+#include "vps/coverage/coverage.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::coverage {
+
+using support::ensure;
+
+void Coverpoint::add_bin(std::string bin_name, std::int64_t lo, std::int64_t hi) {
+  ensure(lo <= hi, "Coverpoint::add_bin: empty range");
+  bins_.push_back(Bin{std::move(bin_name), lo, hi, 0});
+}
+
+void Coverpoint::add_uniform_bins(std::int64_t lo, std::int64_t hi, std::size_t count) {
+  ensure(count > 0 && hi >= lo, "Coverpoint::add_uniform_bins: bad arguments");
+  const double width = static_cast<double>(hi - lo + 1) / static_cast<double>(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto b_lo = lo + static_cast<std::int64_t>(width * static_cast<double>(i));
+    const auto b_hi = i + 1 == count
+                          ? hi
+                          : lo + static_cast<std::int64_t>(width * static_cast<double>(i + 1)) - 1;
+    add_bin(name_ + "[" + std::to_string(i) + "]", b_lo, std::max(b_lo, b_hi));
+  }
+}
+
+void Coverpoint::sample(std::int64_t value) {
+  const std::size_t bin = bin_of(value);
+  if (bin != npos) ++bins_[bin].hits;
+}
+
+std::size_t Coverpoint::bin_of(std::int64_t value) const noexcept {
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (value >= bins_[i].lo && value <= bins_[i].hi) return i;
+  }
+  return npos;
+}
+
+std::size_t Coverpoint::bins_hit() const noexcept {
+  std::size_t hit = 0;
+  for (const auto& b : bins_) hit += b.hits > 0;
+  return hit;
+}
+
+double Coverpoint::coverage() const noexcept {
+  return bins_.empty() ? 1.0 : static_cast<double>(bins_hit()) / static_cast<double>(bins_.size());
+}
+
+std::uint64_t Coverpoint::hits(std::size_t bin) const {
+  ensure(bin < bins_.size(), "Coverpoint::hits: bin out of range");
+  return bins_[bin].hits;
+}
+
+const std::string& Coverpoint::bin_name(std::size_t bin) const {
+  ensure(bin < bins_.size(), "Coverpoint::bin_name: bin out of range");
+  return bins_[bin].name;
+}
+
+std::vector<std::string> Coverpoint::holes() const {
+  std::vector<std::string> out;
+  for (const auto& b : bins_) {
+    if (b.hits == 0) out.push_back(b.name);
+  }
+  return out;
+}
+
+void Cross::ensure_storage() const {
+  if (matrix_.size() != bin_count()) matrix_.assign(bin_count(), 0);
+}
+
+void Cross::sample(std::int64_t va, std::int64_t vb) {
+  ensure_storage();
+  const std::size_t ba = a_.bin_of(va);
+  const std::size_t bb = b_.bin_of(vb);
+  if (ba == Coverpoint::npos || bb == Coverpoint::npos) return;
+  ++matrix_[ba * b_.bin_count() + bb];
+}
+
+std::size_t Cross::bins_hit() const noexcept {
+  ensure_storage();
+  std::size_t hit = 0;
+  for (auto h : matrix_) hit += h > 0;
+  return hit;
+}
+
+double Cross::coverage() const noexcept {
+  return bin_count() == 0 ? 1.0
+                          : static_cast<double>(bins_hit()) / static_cast<double>(bin_count());
+}
+
+std::uint64_t Cross::hits(std::size_t bin_a, std::size_t bin_b) const {
+  ensure_storage();
+  ensure(bin_a < a_.bin_count() && bin_b < b_.bin_count(), "Cross::hits: bin out of range");
+  return matrix_[bin_a * b_.bin_count() + bin_b];
+}
+
+std::vector<std::pair<std::size_t, std::size_t>> Cross::holes() const {
+  ensure_storage();
+  std::vector<std::pair<std::size_t, std::size_t>> out;
+  for (std::size_t i = 0; i < a_.bin_count(); ++i) {
+    for (std::size_t j = 0; j < b_.bin_count(); ++j) {
+      if (matrix_[i * b_.bin_count() + j] == 0) out.emplace_back(i, j);
+    }
+  }
+  return out;
+}
+
+Coverpoint& Covergroup::add_coverpoint(std::string point_name) {
+  points_.push_back(std::make_unique<Coverpoint>(std::move(point_name)));
+  return *points_.back();
+}
+
+Cross& Covergroup::add_cross(std::string cross_name, const Coverpoint& a, const Coverpoint& b) {
+  crosses_.push_back(std::make_unique<Cross>(std::move(cross_name), a, b));
+  return *crosses_.back();
+}
+
+Coverpoint& Covergroup::point(const std::string& point_name) {
+  for (auto& p : points_) {
+    if (p->name() == point_name) return *p;
+  }
+  throw support::InvariantError("Covergroup: unknown coverpoint " + point_name);
+}
+
+double Covergroup::coverage() const noexcept {
+  const std::size_t n = points_.size() + crosses_.size();
+  if (n == 0) return 1.0;
+  double acc = 0.0;
+  for (const auto& p : points_) acc += p->coverage();
+  for (const auto& c : crosses_) acc += c->coverage();
+  return acc / static_cast<double>(n);
+}
+
+std::string Covergroup::report() const {
+  char buf[128];
+  std::string out = "covergroup " + name_ + "\n";
+  for (const auto& p : points_) {
+    std::snprintf(buf, sizeof buf, "  point %-16s %5.1f%% (%zu/%zu bins)\n", p->name().c_str(),
+                  100.0 * p->coverage(), p->bins_hit(), p->bin_count());
+    out += buf;
+  }
+  for (const auto& c : crosses_) {
+    std::snprintf(buf, sizeof buf, "  cross %-16s %5.1f%% (%zu/%zu bins)\n", c->name().c_str(),
+                  100.0 * c->coverage(), c->bins_hit(), c->bin_count());
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "  TOTAL %.1f%%\n", 100.0 * coverage());
+  out += buf;
+  return out;
+}
+
+FaultSpaceCoverage::FaultSpaceCoverage(std::size_t fault_classes, std::size_t location_buckets,
+                                       std::size_t time_windows)
+    : group_("fault_space"), time_windows_(time_windows) {
+  ensure(fault_classes > 0 && location_buckets > 0 && time_windows > 0,
+         "FaultSpaceCoverage: dimensions must be positive");
+  class_point_ = &group_.add_coverpoint("fault_class");
+  for (std::size_t i = 0; i < fault_classes; ++i) {
+    class_point_->add_bin("class" + std::to_string(i), static_cast<std::int64_t>(i),
+                          static_cast<std::int64_t>(i));
+  }
+  location_point_ = &group_.add_coverpoint("location");
+  for (std::size_t i = 0; i < location_buckets; ++i) {
+    location_point_->add_bin("loc" + std::to_string(i), static_cast<std::int64_t>(i),
+                             static_cast<std::int64_t>(i));
+  }
+  time_point_ = &group_.add_coverpoint("time_window");
+  for (std::size_t i = 0; i < time_windows; ++i) {
+    time_point_->add_bin("t" + std::to_string(i), static_cast<std::int64_t>(i),
+                         static_cast<std::int64_t>(i));
+  }
+  cross_ = &group_.add_cross("class_x_location", *class_point_, *location_point_);
+}
+
+void FaultSpaceCoverage::sample(std::size_t fault_class, std::size_t location_bucket,
+                                double time_fraction) {
+  ++samples_;
+  const auto fc = static_cast<std::int64_t>(fault_class);
+  const auto loc = static_cast<std::int64_t>(location_bucket);
+  double tf = time_fraction;
+  if (tf < 0.0) tf = 0.0;
+  if (tf >= 1.0) tf = 0.999999;
+  const auto tw = static_cast<std::int64_t>(tf * static_cast<double>(time_windows_));
+  class_point_->sample(fc);
+  location_point_->sample(loc);
+  time_point_->sample(tw);
+  cross_->sample(fc, loc);
+}
+
+}  // namespace vps::coverage

@@ -1,0 +1,126 @@
+#pragma once
+
+/// Functional-coverage machinery (covergroup / coverpoint / bins / cross)
+/// plus the fault-space coverage model the error-effect simulation uses to
+/// measure campaign completeness and steer coverage-driven injection
+/// (paper Sec. 3.4: "intelligent coverage models are required to measure
+/// the completeness of the error effect simulation").
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace vps::coverage {
+
+/// Value bins over a signed integer domain.
+class Coverpoint {
+ public:
+  explicit Coverpoint(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a bin covering [lo, hi].
+  void add_bin(std::string bin_name, std::int64_t lo, std::int64_t hi);
+  /// Adds `count` equal-width bins across [lo, hi].
+  void add_uniform_bins(std::int64_t lo, std::int64_t hi, std::size_t count);
+
+  void sample(std::int64_t value);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t bin_count() const noexcept { return bins_.size(); }
+  [[nodiscard]] std::size_t bins_hit() const noexcept;
+  [[nodiscard]] double coverage() const noexcept;
+  [[nodiscard]] std::uint64_t hits(std::size_t bin) const;
+  [[nodiscard]] const std::string& bin_name(std::size_t bin) const;
+  /// Index of the bin containing `value`, or npos.
+  [[nodiscard]] std::size_t bin_of(std::int64_t value) const noexcept;
+  [[nodiscard]] std::vector<std::string> holes() const;
+
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+ private:
+  struct Bin {
+    std::string name;
+    std::int64_t lo;
+    std::int64_t hi;
+    std::uint64_t hits = 0;
+  };
+  std::string name_;
+  std::vector<Bin> bins_;
+};
+
+/// Cross coverage between two coverpoints of the same covergroup: the bin
+/// matrix is hit when both points land in the respective bins on the same
+/// sample() call.
+class Cross {
+ public:
+  Cross(std::string name, const Coverpoint& a, const Coverpoint& b)
+      : name_(std::move(name)), a_(a), b_(b) {}
+
+  void sample(std::int64_t va, std::int64_t vb);
+
+  [[nodiscard]] std::size_t bin_count() const noexcept { return a_.bin_count() * b_.bin_count(); }
+  [[nodiscard]] std::size_t bins_hit() const noexcept;
+  [[nodiscard]] double coverage() const noexcept;
+  [[nodiscard]] std::uint64_t hits(std::size_t bin_a, std::size_t bin_b) const;
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> holes() const;
+
+ private:
+  void ensure_storage() const;
+  std::string name_;
+  const Coverpoint& a_;
+  const Coverpoint& b_;
+  mutable std::vector<std::uint64_t> matrix_;
+};
+
+/// A group of coverpoints and crosses with an aggregate metric.
+class Covergroup {
+ public:
+  explicit Covergroup(std::string name) : name_(std::move(name)) {}
+
+  Coverpoint& add_coverpoint(std::string point_name);
+  Cross& add_cross(std::string cross_name, const Coverpoint& a, const Coverpoint& b);
+
+  [[nodiscard]] Coverpoint& point(const std::string& point_name);
+  [[nodiscard]] double coverage() const noexcept;  ///< mean over points and crosses
+  [[nodiscard]] std::string report() const;
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Coverpoint>> points_;
+  std::vector<std::unique_ptr<Cross>> crosses_;
+};
+
+/// Fault-space coverage for error-effect campaigns: (fault class x location
+/// bucket x injection-time window), with a class-by-location cross. The
+/// campaign engine samples every injected fault and can query holes to
+/// direct the next injection (coverage-driven closure).
+class FaultSpaceCoverage {
+ public:
+  FaultSpaceCoverage(std::size_t fault_classes, std::size_t location_buckets,
+                     std::size_t time_windows);
+
+  /// time_fraction in [0,1): injection time / scenario duration.
+  void sample(std::size_t fault_class, std::size_t location_bucket, double time_fraction);
+
+  [[nodiscard]] double coverage() const noexcept { return group_.coverage(); }
+  [[nodiscard]] std::string report() const { return group_.report(); }
+  /// First uncovered (class, location) pair, or nullopt when crossed out.
+  [[nodiscard]] std::vector<std::pair<std::size_t, std::size_t>> class_location_holes() const {
+    return cross_->holes();
+  }
+  [[nodiscard]] std::uint64_t samples() const noexcept { return samples_; }
+
+ private:
+  Covergroup group_;
+  Coverpoint* class_point_ = nullptr;
+  Coverpoint* location_point_ = nullptr;
+  Coverpoint* time_point_ = nullptr;
+  Cross* cross_ = nullptr;
+  std::size_t time_windows_;
+  std::uint64_t samples_ = 0;
+};
+
+}  // namespace vps::coverage

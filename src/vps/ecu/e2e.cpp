@@ -1,0 +1,80 @@
+#include "vps/ecu/e2e.hpp"
+
+#include "vps/support/crc.hpp"
+#include "vps/support/ensure.hpp"
+
+namespace vps::ecu {
+
+const char* to_string(E2eStatus s) noexcept {
+  switch (s) {
+    case E2eStatus::kOk: return "OK";
+    case E2eStatus::kOkSomeLost: return "OK_SOME_LOST";
+    case E2eStatus::kRepeated: return "REPEATED";
+    case E2eStatus::kWrongSequence: return "WRONG_SEQUENCE";
+    case E2eStatus::kWrongCrc: return "WRONG_CRC";
+    case E2eStatus::kNoNewData: return "NO_NEW_DATA";
+  }
+  return "?";
+}
+
+std::uint8_t e2e_crc(std::uint16_t data_id, std::uint8_t counter,
+                     std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> buf;
+  buf.reserve(3 + payload.size());
+  buf.push_back(static_cast<std::uint8_t>(data_id & 0xFF));
+  buf.push_back(static_cast<std::uint8_t>(data_id >> 8));
+  buf.push_back(counter & 0x0F);
+  buf.insert(buf.end(), payload.begin(), payload.end());
+  return support::crc8_sae_j1850(buf);
+}
+
+std::vector<std::uint8_t> E2eProtector::protect(std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> message(kE2eHeaderSize + payload.size());
+  message[1] = counter_ & 0x0F;
+  for (std::size_t i = 0; i < payload.size(); ++i) message[kE2eHeaderSize + i] = payload[i];
+  message[0] = e2e_crc(config_.data_id, counter_, payload);
+  counter_ = counter_ >= kAliveCounterMax ? 0 : static_cast<std::uint8_t>(counter_ + 1);
+  return message;
+}
+
+E2eStatus E2eChecker::check(std::span<const std::uint8_t> message) {
+  if (message.size() < kE2eHeaderSize) {
+    ++stats_.wrong_crc;
+    return E2eStatus::kWrongCrc;
+  }
+  const std::uint8_t crc = message[0];
+  const std::uint8_t counter = message[1] & 0x0F;
+  const auto payload = message.subspan(kE2eHeaderSize);
+  if (e2e_crc(config_.data_id, counter, payload) != crc) {
+    ++stats_.wrong_crc;
+    return E2eStatus::kWrongCrc;
+  }
+  E2eStatus status = E2eStatus::kOk;
+  if (last_counter_.has_value()) {
+    const std::uint8_t delta =
+        static_cast<std::uint8_t>((counter + (kAliveCounterMax + 1) - *last_counter_) %
+                                  (kAliveCounterMax + 1));
+    if (delta == 0) {
+      ++stats_.repeated;
+      return E2eStatus::kRepeated;
+    }
+    if (delta > config_.max_delta_counter) {
+      ++stats_.wrong_sequence;
+      // Accept the new counter as the reference so communication can
+      // resynchronize after a burst loss, as Profile 1 does.
+      last_counter_ = counter;
+      return E2eStatus::kWrongSequence;
+    }
+    if (delta > 1) status = E2eStatus::kOkSomeLost;
+  }
+  last_counter_ = counter;
+  last_payload_.assign(payload.begin(), payload.end());
+  if (status == E2eStatus::kOk) {
+    ++stats_.ok;
+  } else {
+    ++stats_.ok_some_lost;
+  }
+  return status;
+}
+
+}  // namespace vps::ecu

@@ -1,0 +1,145 @@
+#include "vps/ecu/os.hpp"
+
+#include <algorithm>
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::ecu {
+
+using sim::Time;
+using support::ensure;
+
+OsScheduler::OsScheduler(sim::Kernel& kernel, std::string name)
+    : Module(kernel, std::move(name)),
+      reschedule_(kernel, this->name() + ".reschedule"),
+      deadline_miss_(kernel, this->name() + ".deadline_miss") {
+  spawn("dispatcher", run());
+}
+
+TaskId OsScheduler::add_task(TaskConfig config) {
+  ensure(config.period > Time::zero(), "OsScheduler: task period must be positive");
+  ensure(config.wcet > Time::zero(), "OsScheduler: task wcet must be positive");
+  if (config.deadline == Time::zero()) config.deadline = config.period;
+  Task t;
+  t.config = std::move(config);
+  t.next_release = now() + t.config.offset;
+  tasks_.push_back(std::move(t));
+  reschedule_.notify();
+  return tasks_.size() - 1;
+}
+
+void OsScheduler::set_execution_factor(TaskId id, double factor) {
+  ensure(factor > 0.0, "OsScheduler: execution factor must be positive");
+  tasks_.at(id).exec_factor = factor;
+  reschedule_.notify();
+}
+
+void OsScheduler::kill_task(TaskId id) {
+  Task& t = tasks_.at(id);
+  t.killed = true;
+  t.job.active = false;  // abandon any in-flight job
+  reschedule_.notify();
+}
+
+void OsScheduler::revive_task(TaskId id) {
+  Task& t = tasks_.at(id);
+  if (!t.killed) return;
+  t.killed = false;
+  t.next_release = now();
+  reschedule_.notify();
+}
+
+double OsScheduler::utilization() const noexcept {
+  const double elapsed = now().to_seconds();
+  return elapsed <= 0.0 ? 0.0 : busy_time_.to_seconds() / elapsed;
+}
+
+int OsScheduler::pick_ready() const {
+  int best = -1;
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    const Task& t = tasks_[i];
+    if (t.killed || !t.job.active) continue;
+    if (best < 0 || t.config.priority > tasks_[static_cast<std::size_t>(best)].config.priority) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+void OsScheduler::release_jobs() {
+  for (Task& t : tasks_) {
+    if (t.killed) continue;
+    while (t.next_release <= now()) {
+      if (t.job.active) {
+        // Previous job still running at its next period: the release is
+        // skipped (non-queued activation, OSEK "activation limit 1").
+        ++t.stats.overruns_dropped;
+      } else {
+        t.job.active = true;
+        t.job.release = t.next_release;
+        t.job.absolute_deadline = t.next_release + t.config.deadline;
+        t.job.remaining = Time::from_seconds(t.config.wcet.to_seconds() * t.exec_factor);
+        if (t.job.remaining == Time::zero()) t.job.remaining = Time::ps(1);
+        ++t.stats.activations;
+      }
+      t.next_release += t.config.period;
+    }
+  }
+}
+
+sim::Coro OsScheduler::run() {
+  for (;;) {
+    release_jobs();
+    const int idx = pick_ready();
+
+    // Earliest future release (for idle wait / preemption horizon).
+    Time next_release = Time::max();
+    for (const Task& t : tasks_) {
+      if (!t.killed) next_release = std::min(next_release, t.next_release);
+    }
+
+    if (idx < 0) {
+      running_ = -1;
+      if (next_release == Time::max()) {
+        co_await reschedule_;
+      } else {
+        (void)co_await sim::wait_with_timeout(reschedule_, next_release - now());
+      }
+      continue;
+    }
+
+    Task& t = tasks_[static_cast<std::size_t>(idx)];
+    if (running_ >= 0 && running_ != idx &&
+        tasks_[static_cast<std::size_t>(running_)].job.active) {
+      ++tasks_[static_cast<std::size_t>(running_)].stats.preemptions;
+    }
+    running_ = idx;
+
+    Time slice = t.job.remaining;
+    if (next_release != Time::max()) slice = std::min(slice, next_release - now());
+    const Time start = now();
+    if (slice > Time::zero()) {
+      (void)co_await sim::wait_with_timeout(reschedule_, slice);
+    }
+    const Time ran = now() - start;
+    busy_time_ += ran;
+    t.job.remaining = t.job.remaining > ran ? t.job.remaining - ran : Time::zero();
+
+    if (t.job.active && t.job.remaining == Time::zero()) {
+      // Job completion: functional effect + timing verdict.
+      t.job.active = false;
+      ++t.stats.completions;
+      const Time response = now() - t.job.release;
+      t.stats.total_response += response;
+      t.stats.max_response = std::max(t.stats.max_response, response);
+      if (now() > t.job.absolute_deadline) {
+        ++t.stats.deadline_misses;
+        ++total_misses_;
+        deadline_miss_.notify();
+      }
+      if (t.config.body) t.config.body();
+    }
+  }
+}
+
+}  // namespace vps::ecu

@@ -1,0 +1,251 @@
+#include "vps/fault/campaign.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "vps/support/ensure.hpp"
+#include "vps/support/table.hpp"
+
+namespace vps::fault {
+
+using support::ensure;
+
+const char* to_string(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::kMonteCarlo: return "monte_carlo";
+    case Strategy::kGuided: return "guided";
+    case Strategy::kCoverageDriven: return "coverage_driven";
+    case Strategy::kExhaustiveGrid: return "exhaustive_grid";
+  }
+  return "?";
+}
+
+double CampaignResult::diagnostic_coverage() const noexcept {
+  const double detected = static_cast<double>(count(Outcome::kDetectedCorrected) +
+                                              count(Outcome::kDetectedUncorrected));
+  const double dangerous = detected + static_cast<double>(count(Outcome::kSilentDataCorruption) +
+                                                          count(Outcome::kHazard));
+  return dangerous == 0.0 ? 1.0 : detected / dangerous;
+}
+
+std::string CampaignResult::render() const {
+  support::Table t({"outcome", "count", "fraction"});
+  for (std::size_t i = 0; i < kOutcomeCount; ++i) {
+    char frac[32];
+    std::snprintf(frac, sizeof frac, "%.3f", fraction(static_cast<Outcome>(i)));
+    t.add_row({to_string(static_cast<Outcome>(i)), std::to_string(outcome_counts[i]), frac});
+  }
+  char buf[256];
+  std::snprintf(buf, sizeof buf,
+                "runs=%zu  coverage=%.1f%%  DC=%.3f  first_hazard_at=%zu\n"
+                "P(hazard) = %.3g  [%.3g, %.3g] (Wilson 95%%)\n",
+                runs_executed, 100.0 * final_coverage, diagnostic_coverage(),
+                faults_to_first_hazard, hazard_probability.estimate, hazard_probability.lo,
+                hazard_probability.hi);
+  return t.render() + buf;
+}
+
+std::vector<CampaignResult::WeakSpot> CampaignResult::weak_spots() const {
+  std::vector<WeakSpot> spots;
+  const auto find = [&spots](FaultType t) -> WeakSpot& {
+    for (auto& s : spots) {
+      if (s.type == t) return s;
+    }
+    spots.push_back(WeakSpot{t, 0, 0});
+    return spots.back();
+  };
+  for (const auto& rec : records) {
+    WeakSpot& s = find(rec.fault.type);
+    ++s.injected;
+    s.dangerous += rec.outcome == Outcome::kHazard ||
+                   rec.outcome == Outcome::kSilentDataCorruption ||
+                   rec.outcome == Outcome::kTimeout;
+  }
+  std::sort(spots.begin(), spots.end(), [](const WeakSpot& a, const WeakSpot& b) {
+    return a.danger_rate() > b.danger_rate();
+  });
+  return spots;
+}
+
+std::string CampaignResult::render_weak_spots() const {
+  support::Table t({"fault population", "injected", "dangerous", "danger rate"});
+  for (const auto& s : weak_spots()) {
+    char rate[32];
+    std::snprintf(rate, sizeof rate, "%.3f", s.danger_rate());
+    t.add_row({to_string(s.type), std::to_string(s.injected), std::to_string(s.dangerous), rate});
+  }
+  return t.render();
+}
+
+Campaign::Campaign(Scenario& scenario, CampaignConfig config)
+    : scenario_(scenario),
+      config_(config),
+      rng_(config.seed),
+      types_(scenario.fault_types()),
+      coverage_(std::max<std::size_t>(1, scenario.fault_types().size()), config.location_buckets,
+                config.time_windows) {
+  ensure(!types_.empty(), "Campaign: scenario offers no fault types");
+  ensure(config_.runs > 0, "Campaign: zero runs");
+  weights_.assign(types_.size() * config_.location_buckets, 1.0);
+}
+
+std::uint64_t Campaign::address_for_bucket(std::size_t bucket) {
+  return bucket + config_.location_buckets * rng_.uniform_u64(0, 1 << 20);
+}
+
+FaultDescriptor Campaign::generate(std::size_t run_index) {
+  std::size_t type_idx = 0;
+  std::size_t bucket = 0;
+
+  switch (config_.strategy) {
+    case Strategy::kMonteCarlo: {
+      type_idx = rng_.index(types_.size());
+      bucket = rng_.index(config_.location_buckets);
+      break;
+    }
+    case Strategy::kGuided: {
+      const std::size_t cell = rng_.weighted(weights_);
+      type_idx = cell / config_.location_buckets;
+      bucket = cell % config_.location_buckets;
+      break;
+    }
+    case Strategy::kCoverageDriven: {
+      const auto holes = coverage_.class_location_holes();
+      if (!holes.empty()) {
+        const auto& hole = holes[rng_.index(holes.size())];
+        type_idx = std::min(hole.first, types_.size() - 1);
+        bucket = hole.second;
+      } else {
+        // Space covered: continue with guided weights (closure reached).
+        const std::size_t cell = rng_.weighted(weights_);
+        type_idx = cell / config_.location_buckets;
+        bucket = cell % config_.location_buckets;
+      }
+      break;
+    }
+    case Strategy::kExhaustiveGrid: {
+      const std::size_t cells = types_.size() * config_.location_buckets;
+      const std::size_t cell = run_index % cells;
+      type_idx = cell / config_.location_buckets;
+      bucket = cell % config_.location_buckets;
+      break;
+    }
+  }
+
+  FaultDescriptor fault;
+  fault.id = next_fault_id_++;
+  fault.type = types_[type_idx];
+  fault.address = address_for_bucket(bucket);
+  fault.bit = static_cast<int>(rng_.index(39));
+  fault.location = std::string(to_string(fault.type)) + "/bucket" + std::to_string(bucket);
+
+  // Injection time: uniform window (grid strategy walks the windows).
+  const double window_count = static_cast<double>(config_.time_windows);
+  double tf;
+  if (config_.strategy == Strategy::kExhaustiveGrid) {
+    const std::size_t cells = types_.size() * config_.location_buckets;
+    const std::size_t window = (run_index / cells) % config_.time_windows;
+    tf = (static_cast<double>(window) + rng_.uniform()) / window_count;
+  } else {
+    tf = rng_.uniform();
+  }
+  fault.inject_at = sim::Time::from_seconds(scenario_.duration().to_seconds() * tf);
+
+  // Type-specific parameters.
+  switch (fault.type) {
+    case FaultType::kSensorOffset:
+      fault.magnitude = rng_.uniform(-2.0, 2.0);
+      break;
+    case FaultType::kSensorStuck:
+      fault.magnitude = rng_.uniform(0.0, 5.0);
+      fault.persistence = Persistence::kPermanent;
+      break;
+    case FaultType::kExecutionSlowdown:
+      fault.magnitude = rng_.uniform(1.5, 4.0);
+      fault.persistence = Persistence::kIntermittent;
+      fault.duration = sim::Time::from_seconds(scenario_.duration().to_seconds() * 0.2);
+      break;
+    case FaultType::kTaskKill:
+      fault.persistence = rng_.chance(0.5) ? Persistence::kPermanent : Persistence::kIntermittent;
+      fault.duration = sim::Time::from_seconds(scenario_.duration().to_seconds() * 0.3);
+      break;
+    case FaultType::kCanFrameCorruption:
+      // Half wire upsets (CRC-detectable transients), half buffer/gateway
+      // corruption that only end-to-end protection can catch.
+      fault.persistence = rng_.chance(0.5) ? Persistence::kTransient : Persistence::kIntermittent;
+      fault.magnitude = rng_.uniform(0.2, 1.0);
+      fault.duration = sim::Time::from_seconds(scenario_.duration().to_seconds() * 0.2);
+      break;
+    case FaultType::kSignalStuck:
+      fault.magnitude = rng_.chance(0.5) ? 1.0 : -1.0;
+      fault.persistence = Persistence::kIntermittent;
+      fault.duration = sim::Time::from_seconds(scenario_.duration().to_seconds() * 0.25);
+      break;
+    default:
+      break;
+  }
+  return fault;
+}
+
+void Campaign::learn(const FaultDescriptor& fault, Outcome outcome) {
+  // Guided strategy: boost cells that produced dangerous outcomes.
+  std::size_t type_idx = 0;
+  for (std::size_t i = 0; i < types_.size(); ++i) {
+    if (types_[i] == fault.type) type_idx = i;
+  }
+  const std::size_t bucket = fault.address % config_.location_buckets;
+  double& w = weights_[cell_index(type_idx, bucket)];
+  switch (outcome) {
+    case Outcome::kHazard:
+    case Outcome::kSilentDataCorruption:
+      w = std::min(w * 2.0, 64.0);
+      break;
+    case Outcome::kDetectedUncorrected:
+    case Outcome::kTimeout:
+      w = std::min(w * 1.3, 64.0);
+      break;
+    case Outcome::kNoEffect:
+      w = std::max(w * 0.9, 1.0 / 64.0);
+      break;
+    case Outcome::kDetectedCorrected:
+      break;
+  }
+  const std::size_t fc = std::min(type_idx, types_.size() - 1);
+  const double tf = scenario_.duration() == sim::Time::zero()
+                        ? 0.0
+                        : fault.inject_at.to_seconds() / scenario_.duration().to_seconds();
+  coverage_.sample(fc, bucket, tf);
+}
+
+CampaignResult Campaign::run() {
+  CampaignResult result;
+  if (!golden_valid_) {
+    golden_ = scenario_.run(nullptr, config_.seed);
+    golden_valid_ = true;
+    ensure(golden_.completed, "Campaign: golden run did not complete for " + scenario_.name());
+  }
+
+  for (std::size_t i = 0; i < config_.runs; ++i) {
+    const FaultDescriptor fault = generate(i);
+    const Observation obs = scenario_.run(&fault, config_.seed);
+    const Outcome outcome = classify(golden_, obs);
+    ++result.outcome_counts[static_cast<std::size_t>(outcome)];
+    learn(fault, outcome);
+    result.records.push_back({fault, outcome});
+    result.coverage_curve.push_back(coverage_.coverage());
+    ++result.runs_executed;
+    if (outcome == Outcome::kHazard && result.faults_to_first_hazard == 0) {
+      result.faults_to_first_hazard = i + 1;
+    }
+    if (config_.stop_after_hazards != 0 &&
+        result.count(Outcome::kHazard) >= config_.stop_after_hazards) {
+      break;
+    }
+  }
+  result.final_coverage = coverage_.coverage();
+  result.hazard_probability =
+      support::wilson_interval(result.count(Outcome::kHazard), result.runs_executed);
+  return result;
+}
+
+}  // namespace vps::fault

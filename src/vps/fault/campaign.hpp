@@ -1,0 +1,117 @@
+#pragma once
+
+/// Fault-injection campaign engine (the outer loop of Fig. 3): generates
+/// fault descriptors under a chosen strategy, replays the scenario per
+/// fault, classifies every outcome against the golden run, tracks
+/// fault-space coverage, and aggregates into a report with a Wilson
+/// interval on the hazard probability.
+///
+/// Strategies (paper Sec. 3.4: "standard Monte-Carlo techniques may fail to
+/// identify the critical error effects"):
+///   kMonteCarlo      uniform over the fault space
+///   kGuided          online weak-spot weighting: cells whose injections
+///                    produced dangerous outcomes are sampled more often
+///   kCoverageDriven  targets unhit class x location bins first
+///   kExhaustiveGrid  deterministic sweep over class x location x window
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vps/coverage/coverage.hpp"
+#include "vps/fault/scenario.hpp"
+#include "vps/support/rng.hpp"
+#include "vps/support/stats.hpp"
+
+namespace vps::fault {
+
+enum class Strategy : std::uint8_t { kMonteCarlo, kGuided, kCoverageDriven, kExhaustiveGrid };
+[[nodiscard]] const char* to_string(Strategy s) noexcept;
+
+struct CampaignConfig {
+  std::size_t runs = 200;
+  std::uint64_t seed = 1;
+  Strategy strategy = Strategy::kMonteCarlo;
+  std::size_t location_buckets = 16;
+  std::size_t time_windows = 8;
+  /// Stop early once this many hazards were found (0 = never stop early).
+  std::size_t stop_after_hazards = 0;
+};
+
+struct RunRecord {
+  FaultDescriptor fault;
+  Outcome outcome = Outcome::kNoEffect;
+};
+
+struct CampaignResult {
+  std::array<std::uint64_t, kOutcomeCount> outcome_counts{};
+  std::vector<RunRecord> records;
+  std::size_t runs_executed = 0;
+  /// 1-based index of the first hazard-producing run (0 = none found).
+  std::size_t faults_to_first_hazard = 0;
+  double final_coverage = 0.0;
+  /// Coverage after each run (closure curve).
+  std::vector<double> coverage_curve;
+  support::Proportion hazard_probability;  ///< Wilson interval
+
+  [[nodiscard]] std::uint64_t count(Outcome o) const noexcept {
+    return outcome_counts[static_cast<std::size_t>(o)];
+  }
+  [[nodiscard]] double fraction(Outcome o) const noexcept {
+    return runs_executed == 0
+               ? 0.0
+               : static_cast<double>(count(o)) / static_cast<double>(runs_executed);
+  }
+  /// Diagnostic coverage in the FMEDA sense: detected / (detected + silent).
+  [[nodiscard]] double diagnostic_coverage() const noexcept;
+  [[nodiscard]] std::string render() const;
+
+  /// Weak-spot identification (paper Sec. 3.4: "identifying the weak spots
+  /// has to be conducted by analysis of error propagation, error masking,
+  /// and error recovery"): fault populations ranked by their dangerous-
+  /// outcome rate (hazard + SDC + timeout per injection).
+  struct WeakSpot {
+    FaultType type;
+    std::uint64_t injected = 0;
+    std::uint64_t dangerous = 0;
+    [[nodiscard]] double danger_rate() const noexcept {
+      return injected == 0 ? 0.0
+                           : static_cast<double>(dangerous) / static_cast<double>(injected);
+    }
+  };
+  [[nodiscard]] std::vector<WeakSpot> weak_spots() const;
+  [[nodiscard]] std::string render_weak_spots() const;
+};
+
+class Campaign {
+ public:
+  Campaign(Scenario& scenario, CampaignConfig config);
+
+  [[nodiscard]] CampaignResult run();
+
+  /// The golden observation the classification compares against.
+  [[nodiscard]] const Observation& golden() const noexcept { return golden_; }
+
+ private:
+  [[nodiscard]] FaultDescriptor generate(std::size_t run_index);
+  void learn(const FaultDescriptor& fault, Outcome outcome);
+  [[nodiscard]] std::size_t cell_index(std::size_t type_idx, std::size_t bucket) const noexcept {
+    return type_idx * config_.location_buckets + bucket;
+  }
+  /// An address whose location bucket is `bucket` (campaign convention:
+  /// bucket == address % location_buckets).
+  [[nodiscard]] std::uint64_t address_for_bucket(std::size_t bucket);
+
+  Scenario& scenario_;
+  CampaignConfig config_;
+  support::Xorshift rng_;
+  Observation golden_;
+  bool golden_valid_ = false;
+  std::vector<FaultType> types_;
+  std::vector<double> weights_;  // guided strategy state, one per cell
+  coverage::FaultSpaceCoverage coverage_;
+  std::uint64_t next_fault_id_ = 1;
+};
+
+}  // namespace vps::fault

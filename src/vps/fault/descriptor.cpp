@@ -1,0 +1,57 @@
+#include "vps/fault/descriptor.hpp"
+
+#include <cstdio>
+
+namespace vps::fault {
+
+const char* to_string(FaultType t) noexcept {
+  switch (t) {
+    case FaultType::kMemoryBitFlip: return "memory_bit_flip";
+    case FaultType::kMemoryCodewordFlip: return "memory_codeword_flip";
+    case FaultType::kRegisterBitFlip: return "register_bit_flip";
+    case FaultType::kPcCorruption: return "pc_corruption";
+    case FaultType::kSignalStuck: return "signal_stuck";
+    case FaultType::kBusErrorInjection: return "bus_error";
+    case FaultType::kCanFrameCorruption: return "can_frame_corruption";
+    case FaultType::kSensorOffset: return "sensor_offset";
+    case FaultType::kSensorStuck: return "sensor_stuck";
+    case FaultType::kSupplyBrownout: return "supply_brownout";
+    case FaultType::kTaskKill: return "task_kill";
+    case FaultType::kExecutionSlowdown: return "execution_slowdown";
+  }
+  return "?";
+}
+
+const char* to_string(Persistence p) noexcept {
+  switch (p) {
+    case Persistence::kTransient: return "transient";
+    case Persistence::kIntermittent: return "intermittent";
+    case Persistence::kPermanent: return "permanent";
+  }
+  return "?";
+}
+
+FaultType default_type_for(mp::FaultClass c) noexcept {
+  switch (c) {
+    case mp::FaultClass::kMemoryBitFlip: return FaultType::kMemoryBitFlip;
+    case mp::FaultClass::kRegisterUpset: return FaultType::kRegisterBitFlip;
+    case mp::FaultClass::kConnectorOpen: return FaultType::kSensorStuck;
+    case mp::FaultClass::kShortToGround: return FaultType::kSignalStuck;
+    case mp::FaultClass::kSupplyBrownout: return FaultType::kSupplyBrownout;
+    case mp::FaultClass::kCanCorruption: return FaultType::kCanFrameCorruption;
+    case mp::FaultClass::kSensorDrift: return FaultType::kSensorOffset;
+    case mp::FaultClass::kTimingDegradation: return FaultType::kExecutionSlowdown;
+  }
+  return FaultType::kMemoryBitFlip;
+}
+
+std::string FaultDescriptor::to_string() const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "fault#%llu %s/%s @%s loc=%s addr=0x%llx bit=%d mag=%.3g",
+                static_cast<unsigned long long>(id), vps::fault::to_string(type),
+                vps::fault::to_string(persistence), inject_at.to_string().c_str(),
+                location.c_str(), static_cast<unsigned long long>(address), bit, magnitude);
+  return buf;
+}
+
+}  // namespace vps::fault

@@ -1,0 +1,56 @@
+#pragma once
+
+/// Fault taxonomy and descriptors — the formalized "functional fault/error
+/// description" of paper Sec. 3.2/3.3: what to inject, where, when, and for
+/// how long. Descriptors are plain data so campaigns can generate, store,
+/// and replay them deterministically.
+
+#include <cstdint>
+#include <string>
+
+#include "vps/mp/derivation.hpp"
+#include "vps/sim/time.hpp"
+
+namespace vps::fault {
+
+/// Temporal behaviour of a fault (classic dependability taxonomy).
+enum class Persistence : std::uint8_t { kTransient, kIntermittent, kPermanent };
+
+/// Concrete injectable fault types at VP level.
+enum class FaultType : std::uint8_t {
+  kMemoryBitFlip,        ///< SEU in RAM (data bit)
+  kMemoryCodewordFlip,   ///< raw flip incl. ECC check bits
+  kRegisterBitFlip,      ///< SEU in the CPU register file
+  kPcCorruption,         ///< control-flow upset
+  kSignalStuck,          ///< stuck-at on a model signal (open/short analogue)
+  kBusErrorInjection,    ///< bus transaction corrupted
+  kCanFrameCorruption,   ///< EMI burst on the CAN bus
+  kSensorOffset,         ///< analog drift
+  kSensorStuck,          ///< sensor line frozen (connector open)
+  kSupplyBrownout,       ///< undervoltage -> spurious core reset
+  kTaskKill,             ///< software task stops being scheduled
+  kExecutionSlowdown,    ///< timing-only degradation
+};
+inline constexpr std::size_t kFaultTypeCount = 12;
+
+[[nodiscard]] const char* to_string(FaultType t) noexcept;
+[[nodiscard]] const char* to_string(Persistence p) noexcept;
+
+/// Maps the mission-profile fault classes to default concrete types.
+[[nodiscard]] FaultType default_type_for(mp::FaultClass c) noexcept;
+
+struct FaultDescriptor {
+  std::uint64_t id = 0;
+  FaultType type = FaultType::kMemoryBitFlip;
+  Persistence persistence = Persistence::kTransient;
+  sim::Time inject_at = sim::Time::zero();
+  sim::Time duration = sim::Time::zero();  ///< intermittent/slowdown active window
+  std::string location;                    ///< target name (diagnostic)
+  std::uint64_t address = 0;               ///< memory address / task id / signal index
+  int bit = 0;                             ///< bit position where applicable
+  double magnitude = 0.0;                  ///< sensor offset volts / slowdown factor / ...
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace vps::fault

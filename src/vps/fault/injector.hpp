@@ -1,0 +1,92 @@
+#pragma once
+
+/// Injectors: the "interfaces to change the stimuli or modify state at
+/// different positions in the DUT" of paper Sec. 3.3. InjectorHub binds the
+/// abstract FaultDescriptor vocabulary to one concrete EcuPlatform (and its
+/// optional CAN bus / OS scheduler / analog sources) without modifying the
+/// design itself.
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "vps/ecu/os.hpp"
+#include "vps/ecu/platform.hpp"
+#include "vps/fault/descriptor.hpp"
+
+namespace vps::fault {
+
+/// A mutable analog source wrapper so sensor faults can be injected between
+/// the physical model and the ADC.
+class AnalogChannel {
+ public:
+  explicit AnalogChannel(std::function<double()> physical)
+      : physical_(std::move(physical)) {}
+
+  /// The function to hand to Adc::set_source.
+  [[nodiscard]] std::function<double()> source() {
+    return [this] { return read(); };
+  }
+
+  [[nodiscard]] double read() const {
+    if (stuck_.has_value()) return *stuck_;
+    return physical_() + offset_;
+  }
+
+  void set_offset(double volts) { offset_ = volts; }
+  void set_stuck(double volts) { stuck_ = volts; }
+  void clear_faults() {
+    offset_ = 0.0;
+    stuck_.reset();
+  }
+
+ private:
+  std::function<double()> physical_;
+  double offset_ = 0.0;
+  std::optional<double> stuck_;
+};
+
+/// Applies FaultDescriptors to a system. Duration-limited faults schedule
+/// their own reversion processes on the kernel. Every binding is optional;
+/// fault types without a binding are counted as skipped.
+class InjectorHub {
+ public:
+  explicit InjectorHub(sim::Kernel& kernel) : kernel_(kernel) {}
+  explicit InjectorHub(ecu::EcuPlatform& platform)
+      : kernel_(platform.kernel()), platform_(&platform) {}
+
+  /// Optional bindings (required only for the respective fault types).
+  void bind_platform(ecu::EcuPlatform& platform) noexcept { platform_ = &platform; }
+  void bind_can(can::CanBus& bus) noexcept { can_bus_ = &bus; }
+  void bind_os(ecu::OsScheduler& os) noexcept { os_ = &os; }
+  void bind_sensor(AnalogChannel& channel) noexcept { sensors_.push_back(&channel); }
+
+  /// Immediately applies the fault's effect. For kIntermittent faults with a
+  /// duration, a reversion process restores nominal behaviour afterwards.
+  /// Returns false when the descriptor's type has no binding on this hub.
+  bool apply(const FaultDescriptor& fault);
+
+  /// Schedules apply() at fault.inject_at (absolute simulation time must be
+  /// in the future); used by the Stressor.
+  void schedule(const FaultDescriptor& fault);
+
+  [[nodiscard]] sim::Kernel& kernel() noexcept { return kernel_; }
+  [[nodiscard]] std::uint64_t applied_count() const noexcept { return applied_; }
+  [[nodiscard]] std::uint64_t skipped_count() const noexcept { return skipped_; }
+
+  /// Sites available on this hub (used by campaigns to build fault spaces).
+  [[nodiscard]] std::vector<FaultType> supported_types() const;
+
+ private:
+  void revert_later(std::function<void()> revert, sim::Time delay);
+
+  sim::Kernel& kernel_;
+  ecu::EcuPlatform* platform_ = nullptr;
+  can::CanBus* can_bus_ = nullptr;
+  ecu::OsScheduler* os_ = nullptr;
+  std::vector<AnalogChannel*> sensors_;
+  std::uint64_t applied_ = 0;
+  std::uint64_t skipped_ = 0;
+};
+
+}  // namespace vps::fault

@@ -1,0 +1,36 @@
+#include "vps/fault/scenario.hpp"
+
+namespace vps::fault {
+
+const char* to_string(Outcome o) noexcept {
+  switch (o) {
+    case Outcome::kNoEffect: return "no_effect";
+    case Outcome::kDetectedCorrected: return "detected_corrected";
+    case Outcome::kDetectedUncorrected: return "detected_uncorrected";
+    case Outcome::kSilentDataCorruption: return "silent_data_corruption";
+    case Outcome::kHazard: return "hazard";
+    case Outcome::kTimeout: return "timeout";
+  }
+  return "?";
+}
+
+Outcome classify(const Observation& golden, const Observation& faulty) noexcept {
+  // Severity-ordered: a hazard dominates everything, a hang dominates
+  // value/detection distinctions.
+  if (faulty.hazard && !golden.hazard) return Outcome::kHazard;
+  if (!faulty.completed) return Outcome::kTimeout;
+
+  const bool values_equal = faulty.output_signature == golden.output_signature;
+  const bool newly_detected = faulty.detected > golden.detected || faulty.resets > golden.resets ||
+                              faulty.deadline_misses > golden.deadline_misses;
+  const bool newly_corrected = faulty.corrected > golden.corrected;
+
+  if (values_equal) {
+    if (newly_detected || newly_corrected) return Outcome::kDetectedCorrected;
+    return Outcome::kNoEffect;
+  }
+  if (newly_detected) return Outcome::kDetectedUncorrected;
+  return Outcome::kSilentDataCorruption;
+}
+
+}  // namespace vps::fault

@@ -1,0 +1,59 @@
+#pragma once
+
+/// Scenario abstraction + ISO-26262-flavoured outcome classification for
+/// error-effect simulation: a scenario runs the system VP (golden or with
+/// one injected fault) and reports an Observation; classify() compares the
+/// faulty observation against the golden one.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vps/fault/descriptor.hpp"
+#include "vps/sim/time.hpp"
+
+namespace vps::fault {
+
+/// Externally visible result of one scenario execution.
+struct Observation {
+  std::uint32_t output_signature = 0;  ///< CRC-32 of the functional outputs
+  bool completed = false;              ///< scenario reached its end condition
+  bool hazard = false;                 ///< safety goal violated
+  std::uint64_t detected = 0;          ///< error detections (ECC-UE, E2E, watchdog, bus error)
+  std::uint64_t corrected = 0;         ///< corrected events (ECC-CE, CAN retransmit)
+  std::uint64_t resets = 0;            ///< recovery resets taken
+  std::uint64_t deadline_misses = 0;   ///< timing violations observed
+};
+
+/// A self-contained, re-runnable experiment on a system VP.
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+  /// Nominal scenario length in simulated time (injection window).
+  [[nodiscard]] virtual sim::Time duration() const = 0;
+  /// Fault types meaningful for this scenario's fault space.
+  [[nodiscard]] virtual std::vector<FaultType> fault_types() const = 0;
+
+  /// Builds a fresh system, optionally injects `fault`, runs to completion
+  /// or timeout, and reports. `seed` fixes the workload randomness: the
+  /// same seed without a fault must give a reproducible golden run.
+  [[nodiscard]] virtual Observation run(const FaultDescriptor* fault, std::uint64_t seed) = 0;
+};
+
+/// Error-effect classification relative to the golden run.
+enum class Outcome : std::uint8_t {
+  kNoEffect,              ///< outputs equal, nothing detected (incl. masked)
+  kDetectedCorrected,     ///< outputs equal, protection visibly acted
+  kDetectedUncorrected,   ///< outputs wrong/degraded but the system noticed
+  kSilentDataCorruption,  ///< outputs wrong, nothing noticed — the SDC case
+  kHazard,                ///< safety goal violated
+  kTimeout,               ///< system hung (no completion)
+};
+inline constexpr std::size_t kOutcomeCount = 6;
+
+[[nodiscard]] const char* to_string(Outcome o) noexcept;
+[[nodiscard]] Outcome classify(const Observation& golden, const Observation& faulty) noexcept;
+
+}  // namespace vps::fault

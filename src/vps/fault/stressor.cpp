@@ -1,0 +1,78 @@
+#include "vps/fault/stressor.hpp"
+
+#include <algorithm>
+
+namespace vps::fault {
+
+using sim::Time;
+
+Stressor::Stressor(InjectorHub& hub, mp::StressorSpec spec, std::uint64_t seed)
+    : hub_(hub), spec_(spec), rng_(seed) {}
+
+FaultDescriptor Stressor::make_descriptor(mp::FaultClass fault_class, Time at) {
+  FaultDescriptor f;
+  f.id = next_id_++;
+  f.type = default_type_for(fault_class);
+  f.inject_at = at;
+  f.address = rng_.next();
+  f.bit = static_cast<int>(rng_.index(39));
+  f.location = std::string(mp::to_string(fault_class)) + "@" + spec_.state;
+  switch (fault_class) {
+    case mp::FaultClass::kSensorDrift:
+      f.magnitude = rng_.normal(0.0, 0.5);
+      f.persistence = Persistence::kIntermittent;
+      f.duration = Time::ms(50);
+      break;
+    case mp::FaultClass::kConnectorOpen:
+      f.magnitude = 0.0;  // open line reads ground
+      f.persistence = Persistence::kPermanent;
+      break;
+    case mp::FaultClass::kShortToGround:
+      f.magnitude = -1.0;
+      f.persistence = Persistence::kIntermittent;
+      f.duration = Time::ms(20);
+      break;
+    case mp::FaultClass::kCanCorruption:
+      f.persistence = Persistence::kTransient;
+      break;
+    case mp::FaultClass::kTimingDegradation:
+      f.magnitude = rng_.uniform(1.5, 3.0);
+      f.persistence = Persistence::kIntermittent;
+      f.duration = Time::ms(100);
+      break;
+    default:
+      f.persistence = Persistence::kTransient;
+      break;
+  }
+  return f;
+}
+
+std::vector<FaultDescriptor> Stressor::sample_schedule(Time t0, Time segment) {
+  std::vector<FaultDescriptor> schedule;
+  const double seg_seconds = segment.to_seconds();
+  for (std::size_t i = 0; i < mp::kFaultClassCount; ++i) {
+    const double rate = spec_.rate_per_second[i];
+    if (rate <= 0.0) continue;
+    // Poisson process: exponential inter-arrival times.
+    double t = rng_.exponential(rate);
+    while (t < seg_seconds) {
+      schedule.push_back(make_descriptor(static_cast<mp::FaultClass>(i),
+                                         t0 + Time::from_seconds(t)));
+      t += rng_.exponential(rate);
+    }
+  }
+  std::sort(schedule.begin(), schedule.end(),
+            [](const FaultDescriptor& a, const FaultDescriptor& b) {
+              return a.inject_at < b.inject_at || (a.inject_at == b.inject_at && a.id < b.id);
+            });
+  return schedule;
+}
+
+std::size_t Stressor::arm(Time segment) {
+  const auto schedule = sample_schedule(hub_.kernel().now(), segment);
+  for (const auto& fault : schedule) hub_.schedule(fault);
+  total_scheduled_ += schedule.size();
+  return schedule.size();
+}
+
+}  // namespace vps::fault

@@ -1,0 +1,42 @@
+#pragma once
+
+/// Stressor (Fig. 2/Fig. 3): converts a mission-profile-derived StressorSpec
+/// into a concrete, reproducible fault schedule over a simulated scenario
+/// segment — Poisson arrivals per fault class — and drives the injectors.
+
+#include <vector>
+
+#include "vps/fault/descriptor.hpp"
+#include "vps/fault/injector.hpp"
+#include "vps/mp/derivation.hpp"
+#include "vps/support/rng.hpp"
+
+namespace vps::fault {
+
+class Stressor {
+ public:
+  Stressor(InjectorHub& hub, mp::StressorSpec spec, std::uint64_t seed);
+
+  /// Samples Poisson arrivals for every fault class over [t0, t0+segment)
+  /// and returns the descriptors sorted by injection time. Magnitudes and
+  /// addresses are drawn from class-appropriate distributions.
+  [[nodiscard]] std::vector<FaultDescriptor> sample_schedule(sim::Time t0, sim::Time segment);
+
+  /// Samples a schedule starting at the kernel's current time and arms the
+  /// injector hub with it. Returns the number of faults scheduled.
+  std::size_t arm(sim::Time segment);
+
+  [[nodiscard]] const mp::StressorSpec& spec() const noexcept { return spec_; }
+  [[nodiscard]] std::uint64_t total_scheduled() const noexcept { return total_scheduled_; }
+
+ private:
+  [[nodiscard]] FaultDescriptor make_descriptor(mp::FaultClass fault_class, sim::Time at);
+
+  InjectorHub& hub_;
+  mp::StressorSpec spec_;
+  support::Xorshift rng_;
+  std::uint64_t next_id_ = 1;
+  std::uint64_t total_scheduled_ = 0;
+};
+
+}  // namespace vps::fault

@@ -1,0 +1,183 @@
+#include "vps/formal/atpg.hpp"
+
+#include <algorithm>
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::formal {
+
+using gate::Gate;
+using gate::GateKind;
+using gate::Netlist;
+using gate::NetId;
+using support::ensure;
+
+NetlistEncoding encode_netlist(SatSolver& solver, const Netlist& netlist,
+                               NetId skip_definition_of) {
+  NetlistEncoding enc;
+  enc.net_var.resize(netlist.gate_count());
+  for (NetId id = 0; id < netlist.gate_count(); ++id) enc.net_var[id] = solver.new_variable();
+
+  for (NetId id = 0; id < netlist.gate_count(); ++id) {
+    if (id == skip_definition_of) continue;
+    const Gate& g = netlist.gate(id);
+    const Lit y = enc.lit(id);
+    const auto in = [&](int k) { return enc.lit(g.in[static_cast<std::size_t>(k)]); };
+    switch (g.kind) {
+      case GateKind::kInput:
+        break;  // free variable
+      case GateKind::kDff:
+        break;  // pseudo-input: current state is unconstrained
+      case GateKind::kConst0:
+        solver.add_unit(-y);
+        break;
+      case GateKind::kConst1:
+        solver.add_unit(y);
+        break;
+      case GateKind::kBuf:
+        solver.add_binary(-y, in(0));
+        solver.add_binary(y, -in(0));
+        break;
+      case GateKind::kNot:
+        solver.add_binary(-y, -in(0));
+        solver.add_binary(y, in(0));
+        break;
+      case GateKind::kAnd:
+        solver.add_binary(-y, in(0));
+        solver.add_binary(-y, in(1));
+        solver.add_ternary(y, -in(0), -in(1));
+        break;
+      case GateKind::kNand:
+        solver.add_binary(y, in(0));
+        solver.add_binary(y, in(1));
+        solver.add_ternary(-y, -in(0), -in(1));
+        break;
+      case GateKind::kOr:
+        solver.add_binary(y, -in(0));
+        solver.add_binary(y, -in(1));
+        solver.add_ternary(-y, in(0), in(1));
+        break;
+      case GateKind::kNor:
+        solver.add_binary(-y, -in(0));
+        solver.add_binary(-y, -in(1));
+        solver.add_ternary(y, in(0), in(1));
+        break;
+      case GateKind::kXor:
+        solver.add_ternary(-y, in(0), in(1));
+        solver.add_ternary(-y, -in(0), -in(1));
+        solver.add_ternary(y, in(0), -in(1));
+        solver.add_ternary(y, -in(0), in(1));
+        break;
+      case GateKind::kXnor:
+        solver.add_ternary(y, in(0), in(1));
+        solver.add_ternary(y, -in(0), -in(1));
+        solver.add_ternary(-y, in(0), -in(1));
+        solver.add_ternary(-y, -in(0), in(1));
+        break;
+      case GateKind::kMux: {
+        // y = sel ? in2 : in1.
+        const Lit sel = in(0), a = in(1), b = in(2);
+        solver.add_ternary(-sel, -b, y);
+        solver.add_ternary(-sel, b, -y);
+        solver.add_ternary(sel, -a, y);
+        solver.add_ternary(sel, a, -y);
+        break;
+      }
+    }
+  }
+  return enc;
+}
+
+namespace {
+
+std::uint64_t extract_inputs(const Netlist& netlist, const NetlistEncoding& enc,
+                             const SatSolver::Model& model) {
+  std::uint64_t value = 0;
+  const auto& inputs = netlist.inputs();
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    if (model.value(enc.net_var[inputs[i]])) value |= 1ULL << i;
+  }
+  return value;
+}
+
+}  // namespace
+
+std::optional<Stimulus> justify(const Netlist& netlist, NetId net, bool value) {
+  ensure(net < netlist.gate_count(), "justify: unknown net");
+  SatSolver solver;
+  const NetlistEncoding enc = encode_netlist(solver, netlist);
+  solver.add_unit(enc.lit(net, value));
+  const auto model = solver.solve();
+  if (!model.has_value()) return std::nullopt;
+  return Stimulus{extract_inputs(netlist, enc, *model), solver.decisions()};
+}
+
+AtpgResult generate_test(const Netlist& netlist, const gate::FaultSite& site) {
+  ensure(!netlist.outputs().empty(), "generate_test: netlist has no marked outputs");
+  SatSolver solver;
+  // Golden copy and faulty copy (fault site's definition dropped, value forced).
+  const NetlistEncoding golden = encode_netlist(solver, netlist);
+  const NetlistEncoding faulty = encode_netlist(solver, netlist, site.net);
+  solver.add_unit(faulty.lit(site.net, site.stuck_value));
+
+  // Shared inputs (and shared DFF pseudo-state) — except the fault site
+  // itself: a stuck-at on an input/DFF decouples the faulty copy's view of
+  // that net from the applied stimulus.
+  for (const NetId in : netlist.inputs()) {
+    if (in == site.net) continue;
+    solver.add_binary(-golden.lit(in), faulty.lit(in));
+    solver.add_binary(golden.lit(in), -faulty.lit(in));
+  }
+  for (const NetId dff : netlist.dffs()) {
+    if (dff == site.net) continue;
+    solver.add_binary(-golden.lit(dff), faulty.lit(dff));
+    solver.add_binary(golden.lit(dff), -faulty.lit(dff));
+  }
+
+  // Miter: at least one output differs. diff_o <-> (g_o XOR f_o).
+  Clause any_diff;
+  for (const auto& [name, net] : netlist.outputs()) {
+    const std::uint32_t d = solver.new_variable();
+    const Lit diff = Lit::pos(d);
+    const Lit g = golden.lit(net), f = faulty.lit(net);
+    solver.add_ternary(-diff, g, f);
+    solver.add_ternary(-diff, -g, -f);
+    solver.add_ternary(diff, g, -f);
+    solver.add_ternary(diff, -g, f);
+    any_diff.push_back(diff);
+  }
+  solver.add_clause(std::move(any_diff));
+
+  AtpgResult result;
+  const auto model = solver.solve();
+  result.decisions = solver.decisions();
+  if (!model.has_value()) {
+    result.status = AtpgResult::Status::kUntestable;
+    return result;
+  }
+  result.status = AtpgResult::Status::kDetected;
+  result.test_vector = extract_inputs(netlist, golden, *model);
+  return result;
+}
+
+AtpgCampaign run_atpg(const Netlist& netlist) {
+  AtpgCampaign campaign;
+  gate::FaultSimulator fsim(netlist);
+  for (const auto& site : fsim.enumerate_faults()) {
+    ++campaign.total_faults;
+    const AtpgResult r = generate_test(netlist, site);
+    campaign.total_decisions += r.decisions;
+    if (r.status == AtpgResult::Status::kDetected) {
+      ++campaign.detected;
+      if (std::find(campaign.test_set.begin(), campaign.test_set.end(), r.test_vector) ==
+          campaign.test_set.end()) {
+        campaign.test_set.push_back(r.test_vector);
+      }
+    } else {
+      ++campaign.proven_untestable;
+    }
+  }
+  return campaign;
+}
+
+}  // namespace vps::formal

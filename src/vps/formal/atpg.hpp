@@ -1,0 +1,75 @@
+#pragma once
+
+/// SAT-based stimulus generation on gate-level netlists (paper Sec. 3.4:
+/// formal techniques "to generate stimuli to bypass the protection
+/// mechanisms", and ref [20]: constraint-based automatic test generation).
+///
+/// Two capabilities:
+///   * justification — find an input vector driving a chosen net to a
+///     chosen value;
+///   * stuck-at ATPG  — build the golden/faulty miter and either return a
+///     detecting vector or *prove* the fault untestable (UNSAT), i.e. prove
+///     the protection masks it. Random/Monte-Carlo search can do neither.
+///
+/// Sequential elements are treated as free pseudo-inputs (single-cycle
+/// combinational analysis), which is exact for the protection circuits the
+/// framework builds (comparators, voters, parity).
+
+#include <cstdint>
+#include <optional>
+
+#include "vps/formal/sat.hpp"
+#include "vps/gate/fault_sim.hpp"
+#include "vps/gate/netlist.hpp"
+
+namespace vps::formal {
+
+/// CNF image of a netlist: one solver variable per net.
+struct NetlistEncoding {
+  std::vector<std::uint32_t> net_var;  ///< indexed by NetId
+
+  [[nodiscard]] Lit lit(gate::NetId net, bool value = true) const {
+    return value ? Lit::pos(net_var.at(net)) : Lit::neg(net_var.at(net));
+  }
+};
+
+/// Tseitin-encodes all gates into `solver`. When `skip_definition_of` is a
+/// valid net, that net's defining clause is omitted (its variable becomes
+/// free, so a unit clause can force a stuck-at value).
+NetlistEncoding encode_netlist(SatSolver& solver, const gate::Netlist& netlist,
+                               gate::NetId skip_definition_of = gate::kNoNet);
+
+/// Result of a stimulus query.
+struct Stimulus {
+  std::uint64_t input_value = 0;  ///< over Netlist::inputs(), LSB first
+  std::uint64_t decisions = 0;    ///< solver effort
+};
+
+/// Finds inputs driving `net` to `value`; nullopt when impossible.
+[[nodiscard]] std::optional<Stimulus> justify(const gate::Netlist& netlist, gate::NetId net,
+                                              bool value);
+
+/// ATPG verdict for one stuck-at fault.
+struct AtpgResult {
+  enum class Status : std::uint8_t { kDetected, kUntestable } status = Status::kUntestable;
+  std::uint64_t test_vector = 0;  ///< valid when kDetected
+  std::uint64_t decisions = 0;
+};
+
+/// Miter-based test generation for a single stuck-at fault on any marked
+/// output. kUntestable is a *proof* that no input vector distinguishes the
+/// faulty circuit (the fault is structurally masked).
+[[nodiscard]] AtpgResult generate_test(const gate::Netlist& netlist, const gate::FaultSite& site);
+
+/// Summary of a full ATPG pass over every stuck-at site.
+struct AtpgCampaign {
+  std::size_t total_faults = 0;
+  std::size_t detected = 0;
+  std::size_t proven_untestable = 0;
+  std::vector<std::uint64_t> test_set;  ///< deduplicated detecting vectors
+  std::uint64_t total_decisions = 0;
+};
+
+[[nodiscard]] AtpgCampaign run_atpg(const gate::Netlist& netlist);
+
+}  // namespace vps::formal

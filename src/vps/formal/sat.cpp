@@ -1,0 +1,116 @@
+#include "vps/formal/sat.hpp"
+
+#include <algorithm>
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::formal {
+
+using support::ensure;
+
+void SatSolver::add_clause(Clause clause) {
+  ensure(!clause.empty(), "SatSolver: empty clause (trivially UNSAT formula)");
+  for (const Lit l : clause) {
+    ensure(l.var() >= 1 && l.var() <= variables_, "SatSolver: literal uses unallocated variable");
+  }
+  clauses_.push_back(std::move(clause));
+}
+
+SatSolver::Value SatSolver::value_of(Lit l) const noexcept {
+  const Value v = assignment_[l.var()];
+  if (v == Value::kUnassigned) return Value::kUnassigned;
+  const bool truth = (v == Value::kTrue) == l.positive();
+  return truth ? Value::kTrue : Value::kFalse;
+}
+
+void SatSolver::assign(Lit l) {
+  assignment_[l.var()] = l.positive() ? Value::kTrue : Value::kFalse;
+  trail_.push_back(l.var());
+}
+
+bool SatSolver::propagate() {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Clause& clause : clauses_) {
+      std::size_t unassigned = 0;
+      Lit last_unassigned{};
+      bool satisfied = false;
+      for (const Lit l : clause) {
+        const Value v = value_of(l);
+        if (v == Value::kTrue) {
+          satisfied = true;
+          break;
+        }
+        if (v == Value::kUnassigned) {
+          ++unassigned;
+          last_unassigned = l;
+        }
+      }
+      if (satisfied) continue;
+      if (unassigned == 0) return false;  // conflict
+      if (unassigned == 1) {
+        assign(last_unassigned);
+        ++propagations_;
+        changed = true;
+      }
+    }
+  }
+  return true;
+}
+
+std::uint32_t SatSolver::pick_unassigned() const noexcept {
+  for (std::uint32_t v = 1; v <= variables_; ++v) {
+    if (assignment_[v] == Value::kUnassigned) return v;
+  }
+  return 0;
+}
+
+std::optional<SatSolver::Model> SatSolver::solve() {
+  assignment_.assign(variables_ + 1, Value::kUnassigned);
+  trail_.clear();
+  decisions_ = 0;
+  propagations_ = 0;
+
+  struct Decision {
+    std::uint32_t var;
+    bool flipped;
+    std::size_t trail_mark;
+  };
+  std::vector<Decision> stack;
+
+  for (;;) {
+    if (propagate()) {
+      const std::uint32_t var = pick_unassigned();
+      if (var == 0) {
+        Model model;
+        model.values.assign(variables_ + 1, false);
+        for (std::uint32_t v = 1; v <= variables_; ++v) {
+          model.values[v] = assignment_[v] == Value::kTrue;
+        }
+        return model;
+      }
+      stack.push_back({var, false, trail_.size()});
+      ++decisions_;
+      assign(Lit::pos(var));
+    } else {
+      // Chronological backtracking: flip the deepest unflipped decision.
+      for (;;) {
+        if (stack.empty()) return std::nullopt;  // UNSAT
+        Decision& d = stack.back();
+        while (trail_.size() > d.trail_mark) {
+          assignment_[trail_.back()] = Value::kUnassigned;
+          trail_.pop_back();
+        }
+        if (!d.flipped) {
+          d.flipped = true;
+          assign(Lit::neg(d.var));
+          break;
+        }
+        stack.pop_back();
+      }
+    }
+  }
+}
+
+}  // namespace vps::formal

@@ -1,0 +1,80 @@
+#pragma once
+
+/// Minimal CDCL-free DPLL SAT solver (unit propagation + conflict-driven
+/// backtracking over a decision stack) — the formal substrate for the
+/// paper's Sec. 3.4 challenge: "for errors that are hard to propagate,
+/// formal approaches such as symbolic execution might be necessary to
+/// generate stimuli to bypass the protection mechanisms" (refs [41,42]).
+/// VP-level protection circuits are small, so a lean solver suffices.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace vps::formal {
+
+/// Literal: positive or negated variable. Variables are 1-based.
+struct Lit {
+  std::int32_t value = 0;  // +v or -v
+
+  [[nodiscard]] static Lit pos(std::uint32_t var) noexcept {
+    return Lit{static_cast<std::int32_t>(var)};
+  }
+  [[nodiscard]] static Lit neg(std::uint32_t var) noexcept {
+    return Lit{-static_cast<std::int32_t>(var)};
+  }
+  [[nodiscard]] std::uint32_t var() const noexcept {
+    return static_cast<std::uint32_t>(value < 0 ? -value : value);
+  }
+  [[nodiscard]] bool positive() const noexcept { return value > 0; }
+  [[nodiscard]] Lit operator-() const noexcept { return Lit{-value}; }
+};
+
+using Clause = std::vector<Lit>;
+
+/// CNF formula builder + DPLL solver.
+class SatSolver {
+ public:
+  /// Allocates a fresh variable; returns its 1-based index.
+  std::uint32_t new_variable() { return ++variables_; }
+
+  void add_clause(Clause clause);
+  /// Convenience clause builders.
+  void add_unit(Lit a) { add_clause({a}); }
+  void add_binary(Lit a, Lit b) { add_clause({a, b}); }
+  void add_ternary(Lit a, Lit b, Lit c) { add_clause({a, b, c}); }
+
+  [[nodiscard]] std::size_t variable_count() const noexcept { return variables_; }
+  [[nodiscard]] std::size_t clause_count() const noexcept { return clauses_.size(); }
+
+  /// Model: value per variable (index 1..n), valid when solve() returned true.
+  struct Model {
+    std::vector<bool> values;  // index 0 unused
+    [[nodiscard]] bool value(std::uint32_t var) const { return values.at(var); }
+  };
+
+  /// Returns a satisfying model, or nullopt when UNSAT.
+  [[nodiscard]] std::optional<Model> solve();
+
+  /// Statistics of the last solve() call.
+  [[nodiscard]] std::uint64_t decisions() const noexcept { return decisions_; }
+  [[nodiscard]] std::uint64_t propagations() const noexcept { return propagations_; }
+
+ private:
+  enum class Value : std::uint8_t { kUnassigned, kTrue, kFalse };
+
+  [[nodiscard]] Value value_of(Lit l) const noexcept;
+  void assign(Lit l);
+  bool propagate();  ///< unit propagation; false on conflict
+  [[nodiscard]] std::uint32_t pick_unassigned() const noexcept;
+
+  std::uint32_t variables_ = 0;
+  std::vector<Clause> clauses_;
+  std::vector<Value> assignment_;
+  std::vector<std::uint32_t> trail_;        // assigned vars in order
+  std::vector<std::size_t> decision_marks_;  // trail size at each decision
+  std::uint64_t decisions_ = 0;
+  std::uint64_t propagations_ = 0;
+};
+
+}  // namespace vps::formal

@@ -1,0 +1,121 @@
+#include "vps/gate/builders.hpp"
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::gate {
+
+using support::ensure;
+
+Word input_word(Netlist& nl, const std::string& name, std::size_t bits) {
+  Word w;
+  w.reserve(bits);
+  for (std::size_t i = 0; i < bits; ++i) w.push_back(nl.add_input(name + std::to_string(i)));
+  return w;
+}
+
+Word constant_word(Netlist& nl, std::uint64_t value, std::size_t bits) {
+  Word w;
+  w.reserve(bits);
+  for (std::size_t i = 0; i < bits; ++i) w.push_back(nl.constant(((value >> i) & 1u) != 0));
+  return w;
+}
+
+Word ripple_adder(Netlist& nl, const Word& a, const Word& b, bool with_carry_out) {
+  ensure(a.size() == b.size() && !a.empty(), "ripple_adder: width mismatch");
+  Word sum;
+  sum.reserve(a.size() + 1);
+  NetId carry = nl.constant(false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const NetId axb = nl.add(GateKind::kXor, a[i], b[i]);
+    sum.push_back(nl.add(GateKind::kXor, axb, carry));
+    const NetId and1 = nl.add(GateKind::kAnd, a[i], b[i]);
+    const NetId and2 = nl.add(GateKind::kAnd, axb, carry);
+    carry = nl.add(GateKind::kOr, and1, and2);
+  }
+  if (with_carry_out) sum.push_back(carry);
+  return sum;
+}
+
+NetId equals(Netlist& nl, const Word& a, const Word& b) {
+  ensure(a.size() == b.size() && !a.empty(), "equals: width mismatch");
+  NetId acc = nl.add(GateKind::kXnor, a[0], b[0]);
+  for (std::size_t i = 1; i < a.size(); ++i) {
+    const NetId bit_eq = nl.add(GateKind::kXnor, a[i], b[i]);
+    acc = nl.add(GateKind::kAnd, acc, bit_eq);
+  }
+  return acc;
+}
+
+NetId greater_than(Netlist& nl, const Word& a, const Word& b) {
+  ensure(a.size() == b.size() && !a.empty(), "greater_than: width mismatch");
+  // Iteratively from LSB: gt_i = a_i & ~b_i | (a_i == b_i) & gt_{i-1}.
+  NetId gt = nl.constant(false);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const NetId nb = nl.add(GateKind::kNot, b[i]);
+    const NetId a_gt_b = nl.add(GateKind::kAnd, a[i], nb);
+    const NetId eq = nl.add(GateKind::kXnor, a[i], b[i]);
+    const NetId keep = nl.add(GateKind::kAnd, eq, gt);
+    gt = nl.add(GateKind::kOr, a_gt_b, keep);
+  }
+  return gt;
+}
+
+Word majority_voter(Netlist& nl, const Word& a, const Word& b, const Word& c) {
+  ensure(a.size() == b.size() && b.size() == c.size(), "majority_voter: width mismatch");
+  Word out;
+  out.reserve(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const NetId ab = nl.add(GateKind::kAnd, a[i], b[i]);
+    const NetId ac = nl.add(GateKind::kAnd, a[i], c[i]);
+    const NetId bc = nl.add(GateKind::kAnd, b[i], c[i]);
+    const NetId t = nl.add(GateKind::kOr, ab, ac);
+    out.push_back(nl.add(GateKind::kOr, t, bc));
+  }
+  return out;
+}
+
+NetId parity(Netlist& nl, const Word& a) {
+  ensure(!a.empty(), "parity: empty word");
+  NetId acc = a[0];
+  for (std::size_t i = 1; i < a.size(); ++i) acc = nl.add(GateKind::kXor, acc, a[i]);
+  if (a.size() == 1) acc = nl.add(GateKind::kBuf, acc);  // ensure a distinct net
+  return acc;
+}
+
+Word register_word(Netlist& nl, std::size_t bits) {
+  Word q;
+  q.reserve(bits);
+  for (std::size_t i = 0; i < bits; ++i) q.push_back(nl.add_dff());
+  return q;
+}
+
+void connect_register(Netlist& nl, const Word& q, const Word& d) {
+  ensure(q.size() == d.size(), "connect_register: width mismatch");
+  for (std::size_t i = 0; i < q.size(); ++i) nl.set_dff_input(q[i], d[i]);
+}
+
+AirbagCircuit build_airbag_comparator(std::size_t bits, std::uint64_t threshold, bool tmr) {
+  AirbagCircuit c;
+  c.accel_inputs = input_word(c.netlist, "accel", bits);
+  c.replicas = tmr ? 3 : 1;
+  if (!tmr) {
+    const Word thr = constant_word(c.netlist, threshold, bits);
+    c.fire = greater_than(c.netlist, c.accel_inputs, thr);
+  } else {
+    // Three fully independent comparator replicas — each with its own copy
+    // of the threshold constants, as physical replication would duplicate
+    // them — feeding a 1-bit majority voter.
+    NetId replica[3];
+    for (auto& r : replica) {
+      const Word thr = constant_word(c.netlist, threshold, bits);
+      r = greater_than(c.netlist, c.accel_inputs, thr);
+    }
+    c.voter_start = static_cast<NetId>(c.netlist.gate_count());
+    const Word voted = majority_voter(c.netlist, {replica[0]}, {replica[1]}, {replica[2]});
+    c.fire = voted[0];
+  }
+  c.netlist.mark_output("fire", c.fire);
+  return c;
+}
+
+}  // namespace vps::gate

@@ -1,0 +1,62 @@
+#pragma once
+
+/// Synthesized circuit builders for the gate-level substrate. These generate
+/// the structural netlists used by the cross-layer fault-injection
+/// experiments (EXPERIMENTS.md E5/E6): the same function exists as a TLM /
+/// behavioural model, and as gates, so injection results can be compared
+/// across abstraction levels (paper ref [40]).
+
+#include <cstdint>
+#include <vector>
+
+#include "vps/gate/netlist.hpp"
+
+namespace vps::gate {
+
+/// A word of nets, LSB first.
+using Word = std::vector<NetId>;
+
+/// Creates an n-bit named input word "<name>0".."<name>{n-1}".
+[[nodiscard]] Word input_word(Netlist& nl, const std::string& name, std::size_t bits);
+
+/// Constant word.
+[[nodiscard]] Word constant_word(Netlist& nl, std::uint64_t value, std::size_t bits);
+
+/// Ripple-carry adder; returns sum word (same width, carry-out appended when
+/// with_carry_out is true).
+[[nodiscard]] Word ripple_adder(Netlist& nl, const Word& a, const Word& b,
+                                bool with_carry_out = false);
+
+/// Equality comparator (single net: a == b).
+[[nodiscard]] NetId equals(Netlist& nl, const Word& a, const Word& b);
+
+/// Unsigned greater-than comparator (single net: a > b).
+[[nodiscard]] NetId greater_than(Netlist& nl, const Word& a, const Word& b);
+
+/// Bitwise 2-of-3 majority voter over three words (TMR voter).
+[[nodiscard]] Word majority_voter(Netlist& nl, const Word& a, const Word& b, const Word& c);
+
+/// XOR-reduce parity of a word.
+[[nodiscard]] NetId parity(Netlist& nl, const Word& a);
+
+/// N-bit register bank: DFFs clocked externally via Evaluator::clock().
+/// Returns the Q word; connect D inputs with connect_register().
+[[nodiscard]] Word register_word(Netlist& nl, std::size_t bits);
+void connect_register(Netlist& nl, const Word& q, const Word& d);
+
+/// Builds the gate-level airbag deployment comparator used by the E6
+/// experiment: fire = (accel > threshold) for `bits`-wide sensor data,
+/// optionally triplicated with a majority voter (TMR).
+struct AirbagCircuit {
+  Netlist netlist;
+  Word accel_inputs;        // shared sensor input word
+  NetId fire = kNoNet;      // deployment decision net
+  std::size_t replicas = 1;
+  /// First net of the majority voter (TMR only): nets at or above this id
+  /// are the voter itself, which is a single point of failure by design.
+  NetId voter_start = kNoNet;
+};
+[[nodiscard]] AirbagCircuit build_airbag_comparator(std::size_t bits, std::uint64_t threshold,
+                                                    bool tmr);
+
+}  // namespace vps::gate

@@ -1,0 +1,65 @@
+#include "vps/gate/fault_sim.hpp"
+
+#include <algorithm>
+
+namespace vps::gate {
+
+std::vector<FaultSite> FaultSimulator::enumerate_faults() const {
+  std::vector<FaultSite> sites;
+  sites.reserve(netlist_.fault_site_count());
+  for (NetId id = 0; id < netlist_.gate_count(); ++id) {
+    sites.push_back({id, false});
+    sites.push_back({id, true});
+  }
+  return sites;
+}
+
+std::uint64_t FaultSimulator::response(Evaluator& eval, const TestVector& vector) const {
+  eval.set_input_word(netlist_.inputs(), vector.input_value);
+  eval.evaluate();
+  for (std::size_t c = 0; c < vector.clock_cycles; ++c) eval.clock();
+  // Concatenate outputs in deterministic (sorted-name) order.
+  std::vector<std::pair<std::string, NetId>> outs(netlist_.outputs().begin(),
+                                                  netlist_.outputs().end());
+  std::sort(outs.begin(), outs.end());
+  std::uint64_t r = 0;
+  for (const auto& [name, net] : outs) r = (r << 1) | (eval.value(net) ? 1u : 0u);
+  return r;
+}
+
+FaultSimResult FaultSimulator::run(const std::vector<TestVector>& vectors) const {
+  FaultSimResult result;
+  const auto sites = enumerate_faults();
+  result.total_faults = sites.size();
+
+  // Golden responses.
+  std::vector<std::uint64_t> golden;
+  golden.reserve(vectors.size());
+  {
+    Evaluator eval(netlist_);
+    for (const auto& v : vectors) {
+      eval.reset();
+      golden.push_back(response(eval, v));
+      ++result.simulations;
+    }
+  }
+
+  for (const auto& site : sites) {
+    Evaluator eval(netlist_);
+    eval.inject_stuck_at(site.net, site.stuck_value);
+    bool detected = false;
+    for (std::size_t i = 0; i < vectors.size() && !detected; ++i) {
+      eval.reset();
+      detected = response(eval, vectors[i]) != golden[i];
+      ++result.simulations;
+    }
+    if (detected) {
+      ++result.detected;
+    } else {
+      result.undetected.push_back(site);
+    }
+  }
+  return result;
+}
+
+}  // namespace vps::gate

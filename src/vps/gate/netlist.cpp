@@ -1,0 +1,177 @@
+#include "vps/gate/netlist.hpp"
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::gate {
+
+using support::ensure;
+
+const char* to_string(GateKind k) noexcept {
+  switch (k) {
+    case GateKind::kInput: return "INPUT";
+    case GateKind::kConst0: return "CONST0";
+    case GateKind::kConst1: return "CONST1";
+    case GateKind::kBuf: return "BUF";
+    case GateKind::kNot: return "NOT";
+    case GateKind::kAnd: return "AND";
+    case GateKind::kOr: return "OR";
+    case GateKind::kXor: return "XOR";
+    case GateKind::kNand: return "NAND";
+    case GateKind::kNor: return "NOR";
+    case GateKind::kXnor: return "XNOR";
+    case GateKind::kMux: return "MUX";
+    case GateKind::kDff: return "DFF";
+  }
+  return "?";
+}
+
+NetId Netlist::add_input(const std::string& name) {
+  ensure(!inputs_by_name_.contains(name), "Netlist: duplicate input " + name);
+  const NetId id = static_cast<NetId>(gates_.size());
+  gates_.push_back(Gate{GateKind::kInput, {kNoNet, kNoNet, kNoNet}});
+  input_nets_.push_back(id);
+  inputs_by_name_.emplace(name, id);
+  return id;
+}
+
+NetId Netlist::constant(bool value) {
+  const NetId id = static_cast<NetId>(gates_.size());
+  gates_.push_back(Gate{value ? GateKind::kConst1 : GateKind::kConst0, {kNoNet, kNoNet, kNoNet}});
+  return id;
+}
+
+NetId Netlist::add(GateKind kind, NetId a, NetId b, NetId c) {
+  ensure(kind != GateKind::kInput && kind != GateKind::kDff, "Netlist::add: wrong kind");
+  const NetId id = static_cast<NetId>(gates_.size());
+  ensure(a < id, "Netlist::add: input net not yet defined (topological order violated)");
+  const bool unary = kind == GateKind::kNot || kind == GateKind::kBuf;
+  if (!unary) ensure(b < id, "Netlist::add: second input net not yet defined");
+  if (kind == GateKind::kMux) ensure(c < id, "Netlist::add: mux data input not yet defined");
+  gates_.push_back(Gate{kind, {a, b, c}});
+  return id;
+}
+
+NetId Netlist::add_dff() {
+  const NetId id = static_cast<NetId>(gates_.size());
+  gates_.push_back(Gate{GateKind::kDff, {kNoNet, kNoNet, kNoNet}});
+  dff_nets_.push_back(id);
+  return id;
+}
+
+void Netlist::set_dff_input(NetId dff, NetId d) {
+  ensure(dff < gates_.size() && gates_[dff].kind == GateKind::kDff,
+         "set_dff_input: net is not a DFF");
+  ensure(d < gates_.size(), "set_dff_input: data net not defined");
+  gates_[dff].in[0] = d;
+}
+
+void Netlist::mark_output(const std::string& name, NetId net) {
+  ensure(net < gates_.size(), "mark_output: undefined net");
+  outputs_[name] = net;
+}
+
+NetId Netlist::input(const std::string& name) const {
+  const auto it = inputs_by_name_.find(name);
+  ensure(it != inputs_by_name_.end(), "Netlist: unknown input " + name);
+  return it->second;
+}
+
+NetId Netlist::output(const std::string& name) const {
+  const auto it = outputs_.find(name);
+  ensure(it != outputs_.end(), "Netlist: unknown output " + name);
+  return it->second;
+}
+
+Evaluator::Evaluator(const Netlist& netlist)
+    : netlist_(netlist), values_(netlist.gate_count(), 0), dff_state_(netlist.gate_count(), 0) {}
+
+void Evaluator::set_input(NetId net, bool value) {
+  support::ensure(net < values_.size() && netlist_.gate(net).kind == GateKind::kInput,
+                  "Evaluator::set_input: net is not an input");
+  values_[net] = value ? 1 : 0;
+  apply_fault(net);
+}
+
+void Evaluator::set_input(const std::string& name, bool value) {
+  set_input(netlist_.input(name), value);
+}
+
+void Evaluator::set_input_word(const std::vector<NetId>& nets, std::uint64_t value) {
+  for (std::size_t i = 0; i < nets.size(); ++i) set_input(nets[i], ((value >> i) & 1u) != 0);
+}
+
+bool Evaluator::compute(const Gate& g) const {
+  const auto v = [&](NetId n) { return values_[n] != 0; };
+  switch (g.kind) {
+    case GateKind::kConst0: return false;
+    case GateKind::kConst1: return true;
+    case GateKind::kBuf: return v(g.in[0]);
+    case GateKind::kNot: return !v(g.in[0]);
+    case GateKind::kAnd: return v(g.in[0]) && v(g.in[1]);
+    case GateKind::kOr: return v(g.in[0]) || v(g.in[1]);
+    case GateKind::kXor: return v(g.in[0]) != v(g.in[1]);
+    case GateKind::kNand: return !(v(g.in[0]) && v(g.in[1]));
+    case GateKind::kNor: return !(v(g.in[0]) || v(g.in[1]));
+    case GateKind::kXnor: return v(g.in[0]) == v(g.in[1]);
+    case GateKind::kMux: return v(g.in[0]) ? v(g.in[2]) : v(g.in[1]);
+    case GateKind::kInput:
+    case GateKind::kDff: return false;  // handled outside compute()
+  }
+  return false;
+}
+
+void Evaluator::apply_fault(NetId net) {
+  const auto it = faults_.find(net);
+  if (it != faults_.end()) values_[net] = it->second ? 1 : 0;
+}
+
+void Evaluator::evaluate() {
+  const std::size_t n = netlist_.gate_count();
+  for (NetId id = 0; id < n; ++id) {
+    const Gate& g = netlist_.gate(id);
+    if (g.kind == GateKind::kInput) {
+      // keep externally set value
+    } else if (g.kind == GateKind::kDff) {
+      values_[id] = dff_state_[id];
+    } else {
+      values_[id] = compute(g) ? 1 : 0;
+      ++gate_evals_;
+    }
+    apply_fault(id);
+  }
+}
+
+void Evaluator::clock() {
+  for (NetId dff : netlist_.dffs()) {
+    const NetId d = netlist_.gate(dff).in[0];
+    support::ensure(d != kNoNet, "Evaluator::clock: DFF with unconnected D input");
+    dff_state_[dff] = values_[d];
+  }
+  evaluate();
+}
+
+void Evaluator::reset() {
+  for (NetId dff : netlist_.dffs()) dff_state_[dff] = 0;
+}
+
+bool Evaluator::value(NetId net) const {
+  support::ensure(net < values_.size(), "Evaluator::value: undefined net");
+  return values_[net] != 0;
+}
+
+bool Evaluator::output(const std::string& name) const { return value(netlist_.output(name)); }
+
+std::uint64_t Evaluator::word(const std::vector<NetId>& nets) const {
+  std::uint64_t v = 0;
+  for (std::size_t i = nets.size(); i-- > 0;) v = (v << 1) | (value(nets[i]) ? 1u : 0u);
+  return v;
+}
+
+void Evaluator::inject_stuck_at(NetId net, bool value) {
+  support::ensure(net < values_.size(), "inject_stuck_at: undefined net");
+  faults_[net] = value;
+}
+
+void Evaluator::clear_faults() { faults_.clear(); }
+
+}  // namespace vps::gate

@@ -1,0 +1,115 @@
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vps::gate {
+
+/// Net identifier; each gate drives exactly one net, so gate id == net id.
+using NetId = std::uint32_t;
+inline constexpr NetId kNoNet = 0xFFFFFFFFu;
+
+enum class GateKind : std::uint8_t {
+  kInput,
+  kConst0,
+  kConst1,
+  kBuf,
+  kNot,
+  kAnd,
+  kOr,
+  kXor,
+  kNand,
+  kNor,
+  kXnor,
+  kMux,  // in0 = select, in1 = when-0, in2 = when-1
+  kDff,  // in0 = D; output is the registered value
+};
+
+[[nodiscard]] const char* to_string(GateKind k) noexcept;
+
+struct Gate {
+  GateKind kind = GateKind::kConst0;
+  std::array<NetId, 3> in{kNoNet, kNoNet, kNoNet};
+};
+
+/// Structural gate-level netlist. Combinational gates must be added in
+/// topological order (inputs created before the gates that read them); DFF
+/// data inputs are exempt, enabling feedback through registers — the same
+/// restriction a synthesized netlist satisfies naturally.
+class Netlist {
+ public:
+  /// Creates a named primary input; returns its net.
+  NetId add_input(const std::string& name);
+  /// Creates a constant net.
+  NetId constant(bool value);
+  /// Adds a combinational gate. Unary gates use only `a`.
+  NetId add(GateKind kind, NetId a, NetId b = kNoNet, NetId c = kNoNet);
+  /// Adds a D flip-flop; `set_dff_input` may be deferred for feedback paths.
+  NetId add_dff();
+  void set_dff_input(NetId dff, NetId d);
+  /// Names a net as a primary output.
+  void mark_output(const std::string& name, NetId net);
+
+  [[nodiscard]] std::size_t gate_count() const noexcept { return gates_.size(); }
+  [[nodiscard]] const Gate& gate(NetId id) const { return gates_.at(id); }
+  [[nodiscard]] const std::vector<NetId>& inputs() const noexcept { return input_nets_; }
+  [[nodiscard]] NetId input(const std::string& name) const;
+  [[nodiscard]] NetId output(const std::string& name) const;
+  [[nodiscard]] const std::unordered_map<std::string, NetId>& outputs() const noexcept {
+    return outputs_;
+  }
+  [[nodiscard]] const std::vector<NetId>& dffs() const noexcept { return dff_nets_; }
+  /// Number of injectable fault sites (every net, stuck-at-0 and stuck-at-1).
+  [[nodiscard]] std::size_t fault_site_count() const noexcept { return gates_.size() * 2; }
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<NetId> input_nets_;
+  std::vector<NetId> dff_nets_;
+  std::unordered_map<std::string, NetId> inputs_by_name_;
+  std::unordered_map<std::string, NetId> outputs_;
+};
+
+/// Cycle-based two-valued evaluator with stuck-at fault overlay.
+class Evaluator {
+ public:
+  explicit Evaluator(const Netlist& netlist);
+
+  void set_input(NetId net, bool value);
+  void set_input(const std::string& name, bool value);
+  /// Sets an integer onto consecutive input nets, LSB first.
+  void set_input_word(const std::vector<NetId>& nets, std::uint64_t value);
+
+  /// Evaluates all combinational logic with current inputs and DFF state.
+  void evaluate();
+  /// Clocks all DFFs (capture D, present Q), then re-evaluates.
+  void clock();
+  /// Resets DFF state to zero.
+  void reset();
+
+  [[nodiscard]] bool value(NetId net) const;
+  [[nodiscard]] bool output(const std::string& name) const;
+  [[nodiscard]] std::uint64_t word(const std::vector<NetId>& nets) const;
+
+  /// Stuck-at fault overlay: the net's evaluated value is replaced.
+  void inject_stuck_at(NetId net, bool value);
+  void clear_faults();
+  [[nodiscard]] std::size_t active_fault_count() const noexcept { return faults_.size(); }
+
+  [[nodiscard]] std::uint64_t gate_evaluations() const noexcept { return gate_evals_; }
+
+ private:
+  [[nodiscard]] bool compute(const Gate& g) const;
+  void apply_fault(NetId net);
+
+  const Netlist& netlist_;
+  std::vector<std::uint8_t> values_;
+  std::vector<std::uint8_t> dff_state_;
+  std::unordered_map<NetId, bool> faults_;
+  std::uint64_t gate_evals_ = 0;
+};
+
+}  // namespace vps::gate

@@ -1,0 +1,386 @@
+#include "vps/hw/cpu.hpp"
+
+#include "vps/tlm/payload.hpp"
+
+namespace vps::hw {
+
+const char* mnemonic(Opcode op) noexcept {
+  switch (op) {
+    case Opcode::kNop: return "nop";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kWfi: return "wfi";
+    case Opcode::kEi: return "ei";
+    case Opcode::kDi: return "di";
+    case Opcode::kReti: return "reti";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kShr: return "shr";
+    case Opcode::kSra: return "sra";
+    case Opcode::kMul: return "mul";
+    case Opcode::kSlt: return "slt";
+    case Opcode::kSltu: return "sltu";
+    case Opcode::kAddi: return "addi";
+    case Opcode::kAndi: return "andi";
+    case Opcode::kOri: return "ori";
+    case Opcode::kXori: return "xori";
+    case Opcode::kShli: return "shli";
+    case Opcode::kShri: return "shri";
+    case Opcode::kLui: return "lui";
+    case Opcode::kSlti: return "slti";
+    case Opcode::kLw: return "lw";
+    case Opcode::kLb: return "lb";
+    case Opcode::kLbu: return "lbu";
+    case Opcode::kLh: return "lh";
+    case Opcode::kLhu: return "lhu";
+    case Opcode::kSw: return "sw";
+    case Opcode::kSh: return "sh";
+    case Opcode::kSb: return "sb";
+    case Opcode::kBeq: return "beq";
+    case Opcode::kBne: return "bne";
+    case Opcode::kBlt: return "blt";
+    case Opcode::kBge: return "bge";
+    case Opcode::kBltu: return "bltu";
+    case Opcode::kBgeu: return "bgeu";
+    case Opcode::kJal: return "jal";
+    case Opcode::kJalr: return "jalr";
+  }
+  return "?";
+}
+
+bool is_valid_opcode(std::uint8_t raw) noexcept {
+  const auto op = static_cast<Opcode>(raw);
+  switch (op) {
+    case Opcode::kNop:
+    case Opcode::kHalt:
+    case Opcode::kWfi:
+    case Opcode::kEi:
+    case Opcode::kDi:
+    case Opcode::kReti:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kSra:
+    case Opcode::kMul:
+    case Opcode::kSlt:
+    case Opcode::kSltu:
+    case Opcode::kAddi:
+    case Opcode::kAndi:
+    case Opcode::kOri:
+    case Opcode::kXori:
+    case Opcode::kShli:
+    case Opcode::kShri:
+    case Opcode::kLui:
+    case Opcode::kSlti:
+    case Opcode::kLw:
+    case Opcode::kLb:
+    case Opcode::kLbu:
+    case Opcode::kLh:
+    case Opcode::kLhu:
+    case Opcode::kSw:
+    case Opcode::kSh:
+    case Opcode::kSb:
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+    case Opcode::kJal:
+    case Opcode::kJalr: return true;
+  }
+  return false;
+}
+
+const char* to_string(Cpu::State s) noexcept {
+  switch (s) {
+    case Cpu::State::kRunning: return "RUNNING";
+    case Cpu::State::kSleeping: return "SLEEPING";
+    case Cpu::State::kHalted: return "HALTED";
+    case Cpu::State::kFaulted: return "FAULTED";
+  }
+  return "?";
+}
+
+const char* to_string(Cpu::FaultCause c) noexcept {
+  switch (c) {
+    case Cpu::FaultCause::kNone: return "NONE";
+    case Cpu::FaultCause::kIllegalInstruction: return "ILLEGAL_INSTRUCTION";
+    case Cpu::FaultCause::kBusError: return "BUS_ERROR";
+    case Cpu::FaultCause::kMisaligned: return "MISALIGNED";
+  }
+  return "?";
+}
+
+Cpu::Cpu(sim::Kernel& kernel, std::string name, Config config)
+    : Module(kernel, std::move(name)),
+      config_(config),
+      socket_(this->name() + ".isock"),
+      qk_(kernel, config.quantum),
+      reset_event_(kernel, this->name() + ".reset"),
+      stopped_event_(kernel, this->name() + ".stopped"),
+      pc_(config.reset_pc) {
+  spawn("core", main_loop());
+}
+
+void Cpu::reset() {
+  regs_.fill(0);
+  pc_ = config_.reset_pc;
+  irq_enabled_ = false;
+  in_irq_ = false;
+  saved_pc_ = 0;
+  fault_cause_ = FaultCause::kNone;
+  fault_address_ = 0;
+  state_ = State::kRunning;
+  reset_event_.notify();
+}
+
+void Cpu::corrupt_register(int i, std::uint32_t xor_mask) {
+  if (i > 0 && i < kRegisterCount) regs_[static_cast<std::size_t>(i)] ^= xor_mask;
+}
+
+void Cpu::fault(FaultCause cause, std::uint32_t address) {
+  state_ = State::kFaulted;
+  fault_cause_ = cause;
+  fault_address_ = address;
+  stopped_event_.notify();
+}
+
+bool Cpu::bus_read(std::uint32_t address, std::size_t size, std::uint32_t& value) {
+  if (config_.use_dmi && dmi_.allows_read && dmi_.covers(address, size)) {
+    ++stats_.dmi_accesses;
+    value = 0;
+    const std::uint8_t* p = dmi_.base + (address - dmi_.start);
+    for (std::size_t i = size; i-- > 0;) value = (value << 8) | p[i];
+    qk_.inc(dmi_.read_latency);
+    return true;
+  }
+  ++stats_.bus_accesses;
+  tlm::GenericPayload payload(tlm::Command::kRead, address, size);
+  sim::Time delay = sim::Time::zero();
+  socket_.b_transport(payload, delay);
+  qk_.inc(delay);
+  if (!payload.ok()) return false;
+  value = static_cast<std::uint32_t>(payload.value_le());
+  if (config_.use_dmi && payload.dmi_allowed() && !dmi_.covers(address, size)) {
+    (void)socket_.get_direct_mem_ptr(address, dmi_);
+  }
+  return true;
+}
+
+bool Cpu::bus_write(std::uint32_t address, std::size_t size, std::uint32_t value) {
+  if (config_.use_dmi && dmi_.allows_write && dmi_.covers(address, size)) {
+    ++stats_.dmi_accesses;
+    std::uint8_t* p = dmi_.base + (address - dmi_.start);
+    for (std::size_t i = 0; i < size; ++i) p[i] = static_cast<std::uint8_t>(value >> (8 * i));
+    qk_.inc(dmi_.write_latency);
+    return true;
+  }
+  ++stats_.bus_accesses;
+  tlm::GenericPayload payload(tlm::Command::kWrite, address, size);
+  payload.set_value_le(value);
+  sim::Time delay = sim::Time::zero();
+  socket_.b_transport(payload, delay);
+  qk_.inc(delay);
+  return payload.ok();
+}
+
+void Cpu::enter_irq() {
+  ++stats_.irqs_taken;
+  saved_pc_ = pc_;
+  pc_ = config_.irq_vector;
+  irq_enabled_ = false;
+  in_irq_ = true;
+  qk_.inc(config_.cycle_time * 4);  // pipeline flush + vector fetch cost
+}
+
+bool Cpu::step() {
+  // Interrupt check between instructions (level-sensitive).
+  if (irq_enabled_ && irq_line_ != nullptr && irq_line_->read()) enter_irq();
+
+  std::uint32_t word = 0;
+  if ((pc_ & 3u) != 0) {
+    fault(FaultCause::kMisaligned, pc_);
+    return false;
+  }
+  if (!bus_read(pc_, 4, word)) {
+    fault(FaultCause::kBusError, pc_);
+    return false;
+  }
+  if (!is_valid_opcode(static_cast<std::uint8_t>(word >> 24))) {
+    fault(FaultCause::kIllegalInstruction, pc_);
+    return false;
+  }
+  const Decoded d = decode(word);
+  if (trace_hook_) trace_hook_(pc_, d);
+  ++stats_.instructions;
+
+  std::uint32_t next_pc = pc_ + 4;
+  std::uint64_t cycles = 1;
+  const std::uint32_t a = regs_[d.rs1];
+  const std::uint32_t b = regs_[d.rs2];
+  const std::uint32_t rdv = regs_[d.rd];
+  auto wr = [&](std::uint32_t v) {
+    if (d.rd != 0) regs_[d.rd] = v;
+  };
+
+  switch (d.opcode) {
+    case Opcode::kNop: break;
+    case Opcode::kHalt:
+      state_ = State::kHalted;
+      stopped_event_.notify();
+      return false;
+    case Opcode::kWfi:
+      pc_ += 4;  // resume after the WFI once an interrupt arrives
+      qk_.inc(config_.cycle_time);
+      state_ = State::kSleeping;
+      return false;
+    case Opcode::kEi: irq_enabled_ = true; break;
+    case Opcode::kDi: irq_enabled_ = false; break;
+    case Opcode::kReti:
+      next_pc = saved_pc_;
+      irq_enabled_ = true;
+      in_irq_ = false;
+      cycles = 2;
+      break;
+
+    case Opcode::kAdd: wr(a + b); break;
+    case Opcode::kSub: wr(a - b); break;
+    case Opcode::kAnd: wr(a & b); break;
+    case Opcode::kOr: wr(a | b); break;
+    case Opcode::kXor: wr(a ^ b); break;
+    case Opcode::kShl: wr(a << (b & 31u)); break;
+    case Opcode::kShr: wr(a >> (b & 31u)); break;
+    case Opcode::kSra: wr(static_cast<std::uint32_t>(static_cast<std::int32_t>(a) >> (b & 31u))); break;
+    case Opcode::kMul:
+      wr(a * b);
+      cycles = 3;
+      break;
+    case Opcode::kSlt: wr(static_cast<std::int32_t>(a) < static_cast<std::int32_t>(b) ? 1 : 0); break;
+    case Opcode::kSltu: wr(a < b ? 1 : 0); break;
+
+    case Opcode::kAddi: wr(a + static_cast<std::uint32_t>(d.simm())); break;
+    case Opcode::kAndi: wr(a & d.uimm()); break;
+    case Opcode::kOri: wr(a | d.uimm()); break;
+    case Opcode::kXori: wr(a ^ d.uimm()); break;
+    case Opcode::kShli: wr(a << (d.uimm() & 31u)); break;
+    case Opcode::kShri: wr(a >> (d.uimm() & 31u)); break;
+    case Opcode::kLui: wr(d.uimm() << 16); break;
+    case Opcode::kSlti: wr(static_cast<std::int32_t>(a) < d.simm() ? 1 : 0); break;
+
+    case Opcode::kLw:
+    case Opcode::kLh:
+    case Opcode::kLhu:
+    case Opcode::kLb:
+    case Opcode::kLbu: {
+      ++stats_.loads;
+      const std::uint32_t addr = a + static_cast<std::uint32_t>(d.simm());
+      const std::size_t size = d.opcode == Opcode::kLw ? 4
+                               : (d.opcode == Opcode::kLh || d.opcode == Opcode::kLhu) ? 2
+                                                                                       : 1;
+      std::uint32_t v = 0;
+      if (!bus_read(addr, size, v)) {
+        fault(FaultCause::kBusError, addr);
+        return false;
+      }
+      if (d.opcode == Opcode::kLb) v = static_cast<std::uint32_t>(static_cast<std::int8_t>(v));
+      if (d.opcode == Opcode::kLh) v = static_cast<std::uint32_t>(static_cast<std::int16_t>(v));
+      wr(v);
+      cycles = 2;
+      break;
+    }
+    case Opcode::kSw:
+    case Opcode::kSh:
+    case Opcode::kSb: {
+      ++stats_.stores;
+      const std::uint32_t addr = a + static_cast<std::uint32_t>(d.simm());
+      const std::size_t size = d.opcode == Opcode::kSw ? 4 : d.opcode == Opcode::kSh ? 2 : 1;
+      if (!bus_write(addr, size, rdv)) {
+        fault(FaultCause::kBusError, addr);
+        return false;
+      }
+      cycles = 2;
+      break;
+    }
+
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu: {
+      bool taken = false;
+      switch (d.opcode) {
+        case Opcode::kBeq: taken = rdv == a; break;
+        case Opcode::kBne: taken = rdv != a; break;
+        case Opcode::kBlt: taken = static_cast<std::int32_t>(rdv) < static_cast<std::int32_t>(a); break;
+        case Opcode::kBge: taken = static_cast<std::int32_t>(rdv) >= static_cast<std::int32_t>(a); break;
+        case Opcode::kBltu: taken = rdv < a; break;
+        case Opcode::kBgeu: taken = rdv >= a; break;
+        default: break;
+      }
+      if (taken) {
+        next_pc = pc_ + static_cast<std::uint32_t>(d.simm());
+        ++stats_.branches_taken;
+        cycles = 2;
+      }
+      break;
+    }
+
+    case Opcode::kJal:
+      wr(pc_ + 4);
+      next_pc = pc_ + static_cast<std::uint32_t>(d.simm());
+      cycles = 2;
+      break;
+    case Opcode::kJalr:
+      wr(pc_ + 4);
+      next_pc = a + static_cast<std::uint32_t>(d.simm());
+      cycles = 2;
+      break;
+  }
+
+  pc_ = next_pc;
+  qk_.inc(config_.cycle_time * cycles);
+  return state_ == State::kRunning;
+}
+
+sim::Coro Cpu::main_loop() {
+  for (;;) {
+    switch (state_) {
+      case State::kRunning: {
+        // Execute a decoupled batch, then hand time back to the kernel.
+        while (state_ == State::kRunning) {
+          if (!step()) break;
+          if (config_.quantum == sim::Time::zero() || qk_.need_sync()) break;
+        }
+        co_await qk_.sync();
+        break;
+      }
+      case State::kSleeping: {
+        if (irq_line_ == nullptr) {
+          // No interrupt source: WFI behaves like HALT.
+          state_ = State::kHalted;
+          stopped_event_.notify();
+          break;
+        }
+        while (!irq_line_->read()) co_await irq_line_->changed();
+        if (irq_enabled_) enter_irq();
+        state_ = State::kRunning;
+        break;
+      }
+      case State::kHalted:
+      case State::kFaulted:
+        co_await reset_event_;
+        break;
+    }
+  }
+}
+
+}  // namespace vps::hw

@@ -1,0 +1,118 @@
+#pragma once
+
+/// AR32 instruction-set simulator as a loosely-timed TLM initiator with
+/// temporal decoupling. The core executes batches of instructions against a
+/// local time offset and synchronizes with the kernel once per quantum —
+/// the VP acceleration pattern whose cost/accuracy trade-off E4 measures.
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "vps/hw/isa.hpp"
+#include "vps/sim/kernel.hpp"
+#include "vps/sim/module.hpp"
+#include "vps/sim/signal.hpp"
+#include "vps/tlm/quantum.hpp"
+#include "vps/tlm/sockets.hpp"
+
+namespace vps::hw {
+
+class Cpu final : public sim::Module {
+ public:
+  enum class State : std::uint8_t { kRunning, kSleeping, kHalted, kFaulted };
+  enum class FaultCause : std::uint8_t { kNone, kIllegalInstruction, kBusError, kMisaligned };
+
+  struct Config {
+    sim::Time cycle_time = sim::Time::ns(10);  ///< 100 MHz core clock
+    sim::Time quantum = sim::Time::us(10);     ///< temporal-decoupling quantum
+    std::uint32_t reset_pc = 0;
+    std::uint32_t irq_vector = 0x10;
+    bool use_dmi = true;  ///< fast path into unprotected memories
+  };
+
+  struct Stats {
+    std::uint64_t instructions = 0;
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t branches_taken = 0;
+    std::uint64_t irqs_taken = 0;
+    std::uint64_t dmi_accesses = 0;
+    std::uint64_t bus_accesses = 0;
+  };
+
+  Cpu(sim::Kernel& kernel, std::string name, Config config);
+
+  [[nodiscard]] tlm::InitiatorSocket& socket() noexcept { return socket_; }
+  /// Level-sensitive interrupt request input.
+  void connect_irq(sim::Signal<bool>& line) noexcept { irq_line_ = &line; }
+
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] FaultCause fault_cause() const noexcept { return fault_cause_; }
+  [[nodiscard]] std::uint32_t fault_address() const noexcept { return fault_address_; }
+  [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
+  [[nodiscard]] tlm::QuantumKeeper& quantum_keeper() noexcept { return qk_; }
+
+  [[nodiscard]] std::uint32_t pc() const noexcept { return pc_; }
+  void set_pc(std::uint32_t pc) noexcept { pc_ = pc; }
+  [[nodiscard]] std::uint32_t reg(int i) const { return regs_.at(static_cast<std::size_t>(i)); }
+  void set_reg(int i, std::uint32_t v) {
+    if (i != 0) regs_.at(static_cast<std::size_t>(i)) = v;
+  }
+
+  /// Returns the core to reset state and resumes execution if halted.
+  void reset();
+
+  /// Fired whenever the core stops executing (halt or fault) — monitors use
+  /// this to detect hangs and HW-detected faults.
+  [[nodiscard]] sim::Event& stopped_event() noexcept { return stopped_event_; }
+
+  // --- fault-injection interface -----------------------------------------
+  /// XORs a mask into a register file entry (SEU in the register file).
+  void corrupt_register(int i, std::uint32_t xor_mask);
+  /// XORs a mask into the program counter (control-flow upset).
+  void corrupt_pc(std::uint32_t xor_mask) noexcept { pc_ ^= xor_mask; }
+
+  /// Optional per-instruction hook (pc, decoded instruction). Used by
+  /// coverage collectors; adds one branch to the hot loop when unset.
+  void set_trace_hook(std::function<void(std::uint32_t, const Decoded&)> hook) {
+    trace_hook_ = std::move(hook);
+  }
+
+ private:
+  [[nodiscard]] sim::Coro main_loop();
+  /// Executes one instruction; returns false when execution must pause
+  /// (halt/fault/sleep). Accumulates local time into the quantum keeper.
+  bool step();
+  void enter_irq();
+  void fault(FaultCause cause, std::uint32_t address);
+
+  bool bus_read(std::uint32_t address, std::size_t size, std::uint32_t& value);
+  bool bus_write(std::uint32_t address, std::size_t size, std::uint32_t value);
+
+  Config config_;
+  tlm::InitiatorSocket socket_;
+  tlm::QuantumKeeper qk_;
+  sim::Signal<bool>* irq_line_ = nullptr;
+  sim::Event reset_event_;
+  sim::Event stopped_event_;
+
+  State state_ = State::kRunning;
+  FaultCause fault_cause_ = FaultCause::kNone;
+  std::uint32_t fault_address_ = 0;
+  std::uint32_t pc_;
+  std::array<std::uint32_t, kRegisterCount> regs_{};
+  bool irq_enabled_ = false;
+  bool in_irq_ = false;
+  std::uint32_t saved_pc_ = 0;
+
+  tlm::DmiRegion dmi_;
+  Stats stats_;
+  std::function<void(std::uint32_t, const Decoded&)> trace_hook_;
+};
+
+[[nodiscard]] const char* to_string(Cpu::State s) noexcept;
+[[nodiscard]] const char* to_string(Cpu::FaultCause c) noexcept;
+
+}  // namespace vps::hw

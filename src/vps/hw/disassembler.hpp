@@ -1,0 +1,20 @@
+#pragma once
+
+/// AR32 disassembler — used by the binary mutation engine to describe
+/// mutants, and generally for debugging firmware images.
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace vps::hw {
+
+/// One instruction word -> "addi r1, r0, 5". Unknown opcodes render as
+/// ".word 0x????????".
+[[nodiscard]] std::string disassemble(std::uint32_t word);
+
+/// Full image listing with addresses.
+[[nodiscard]] std::string disassemble_program(std::span<const std::uint8_t> image,
+                                              std::uint32_t origin = 0);
+
+}  // namespace vps::hw

@@ -1,0 +1,92 @@
+#include "vps/hw/ecc.hpp"
+
+#include <bit>
+
+namespace vps::hw {
+namespace {
+
+// Codeword layout follows the classic Hamming construction on positions
+// 1..38 (position 0 holds the overall parity): positions that are powers of
+// two carry check bits; the remaining 32 positions carry data bits in
+// ascending order.
+
+constexpr bool is_power_of_two(unsigned v) { return v != 0 && (v & (v - 1)) == 0; }
+
+struct Layout {
+  int data_pos[32] = {};
+  int check_pos[6] = {};
+};
+
+constexpr Layout make_layout() {
+  Layout l{};
+  int d = 0, c = 0;
+  for (unsigned pos = 1; pos <= 38u; ++pos) {
+    if (is_power_of_two(pos)) {
+      l.check_pos[c++] = static_cast<int>(pos);
+    } else {
+      l.data_pos[d++] = static_cast<int>(pos);
+    }
+  }
+  return l;
+}
+
+constexpr Layout kLayout = make_layout();
+
+}  // namespace
+
+std::uint64_t ecc_encode(std::uint32_t data) noexcept {
+  std::uint64_t cw = 0;
+  for (int i = 0; i < 32; ++i) {
+    if ((data >> i) & 1u) cw |= 1ULL << kLayout.data_pos[i];
+  }
+  // Hamming check bits: parity over all positions whose index has that bit.
+  for (int c = 0; c < 6; ++c) {
+    const unsigned mask = 1u << c;
+    unsigned parity = 0;
+    for (unsigned pos = 1; pos <= 38u; ++pos) {
+      if ((pos & mask) != 0 && !is_power_of_two(pos)) parity ^= (cw >> pos) & 1u;
+    }
+    if (parity) cw |= 1ULL << kLayout.check_pos[c];
+  }
+  // Overall parity over bits 1..38 stored in bit 0 (even parity).
+  const auto ones = std::popcount(cw >> 1);
+  if (ones & 1) cw |= 1ULL;
+  return cw;
+}
+
+EccDecodeResult ecc_decode(std::uint64_t codeword) noexcept {
+  EccDecodeResult result;
+  unsigned syndrome = 0;
+  for (int c = 0; c < 6; ++c) {
+    const unsigned mask = 1u << c;
+    unsigned parity = 0;
+    for (unsigned pos = 1; pos <= 38u; ++pos) {
+      if ((pos & mask) != 0) parity ^= (codeword >> pos) & 1u;
+    }
+    if (parity) syndrome |= mask;
+  }
+  const bool overall_ok = (std::popcount(codeword) & 1) == 0;
+
+  if (syndrome == 0 && overall_ok) {
+    result.status = EccStatus::kOk;
+  } else if (!overall_ok) {
+    // Odd total parity: single-bit error at `syndrome` (0 means bit 0).
+    const unsigned pos = syndrome;
+    codeword ^= 1ULL << pos;
+    result.status = EccStatus::kCorrected;
+    result.corrected_bit = static_cast<int>(pos);
+  } else {
+    // Non-zero syndrome with even parity: two bits flipped.
+    result.status = EccStatus::kUncorrectable;
+    return result;
+  }
+
+  std::uint32_t data = 0;
+  for (int i = 0; i < 32; ++i) {
+    if ((codeword >> kLayout.data_pos[i]) & 1u) data |= 1u << i;
+  }
+  result.data = data;
+  return result;
+}
+
+}  // namespace vps::hw

@@ -1,0 +1,28 @@
+#pragma once
+
+/// Hamming SEC-DED (39,32) codec used by the protected memory model:
+/// 32 data bits + 6 Hamming check bits + 1 overall parity bit.
+/// Single-bit errors (anywhere in the codeword, including check bits) are
+/// corrected; double-bit errors are detected as uncorrectable.
+
+#include <cstdint>
+
+namespace vps::hw {
+
+inline constexpr int kCodewordBits = 39;
+
+enum class EccStatus : std::uint8_t { kOk, kCorrected, kUncorrectable };
+
+struct EccDecodeResult {
+  std::uint32_t data = 0;
+  EccStatus status = EccStatus::kOk;
+  int corrected_bit = -1;  ///< codeword bit position that was repaired
+};
+
+/// Encodes 32 data bits into a 39-bit codeword (bit 38..0).
+[[nodiscard]] std::uint64_t ecc_encode(std::uint32_t data) noexcept;
+
+/// Decodes a codeword, correcting single-bit errors.
+[[nodiscard]] EccDecodeResult ecc_decode(std::uint64_t codeword) noexcept;
+
+}  // namespace vps::hw

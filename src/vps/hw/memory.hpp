@@ -1,0 +1,76 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "vps/hw/ecc.hpp"
+#include "vps/sim/time.hpp"
+#include "vps/tlm/payload.hpp"
+#include "vps/tlm/sockets.hpp"
+
+namespace vps::hw {
+
+/// Error-protection mode of a memory instance.
+enum class EccMode : std::uint8_t {
+  kNone,    ///< raw SRAM; bit flips silently corrupt data
+  kSecded,  ///< Hamming(39,32): corrects 1-bit, detects 2-bit errors
+};
+
+/// Byte-addressable memory as a loosely-timed TLM target. Supports DMI for
+/// unprotected instances (an ECC memory cannot legally bypass the decoder),
+/// and exposes the raw storage to fault injectors in both modes.
+class Memory final : public tlm::BlockingTransport, public tlm::DmiProvider {
+ public:
+  Memory(std::string name, std::size_t size, sim::Time latency, EccMode ecc = EccMode::kNone);
+
+  [[nodiscard]] tlm::TargetSocket& socket() noexcept { return socket_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] EccMode ecc_mode() const noexcept { return ecc_; }
+
+  /// Loads an image at the given offset (e.g. an assembled program).
+  void load(std::uint64_t offset, std::span<const std::uint8_t> bytes);
+
+  /// Debug access without latency, ECC decode or statistics.
+  [[nodiscard]] std::uint8_t peek(std::uint64_t address) const;
+  void poke(std::uint64_t address, std::uint8_t value);
+  [[nodiscard]] std::uint32_t peek32(std::uint64_t address) const;
+  void poke32(std::uint64_t address, std::uint32_t value);
+
+  // --- fault-injection interface -----------------------------------------
+  /// Flips one data bit (byte view). In SEC-DED mode this flips the
+  /// corresponding data bit inside the stored codeword.
+  void flip_bit(std::uint64_t byte_address, int bit);
+  /// SEC-DED mode only: flips a raw codeword bit (0..38) of a 32-bit word,
+  /// allowing injection into the check bits as well.
+  void flip_codeword_bit(std::uint64_t word_index, int raw_bit);
+
+  // --- statistics ---------------------------------------------------------
+  [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
+  [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }
+  [[nodiscard]] std::uint64_t corrected_errors() const noexcept { return corrected_; }
+  [[nodiscard]] std::uint64_t uncorrectable_errors() const noexcept { return uncorrectable_; }
+
+  void b_transport(tlm::GenericPayload& payload, sim::Time& delay) override;
+  bool get_direct_mem_ptr(std::uint64_t address, tlm::DmiRegion& region) override;
+
+ private:
+  [[nodiscard]] std::uint32_t read_word(std::uint64_t word_index, bool& uncorrectable);
+  void write_word(std::uint64_t word_index, std::uint32_t value);
+
+  std::string name_;
+  std::size_t size_;
+  sim::Time latency_;
+  EccMode ecc_;
+  tlm::TargetSocket socket_;
+  std::vector<std::uint8_t> plain_;       // kNone backing store
+  std::vector<std::uint64_t> codewords_;  // kSecded backing store (one per word)
+  std::uint64_t reads_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t corrected_ = 0;
+  std::uint64_t uncorrectable_ = 0;
+};
+
+}  // namespace vps::hw

@@ -1,0 +1,243 @@
+#include "vps/hw/peripherals.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+namespace vps::hw {
+
+using sim::Time;
+
+// ---------------------------------------------------------------------------
+// RegisterDevice
+// ---------------------------------------------------------------------------
+
+RegisterDevice::RegisterDevice(sim::Kernel& kernel, std::string name, Time access_latency)
+    : Module(kernel, std::move(name)),
+      access_latency_(access_latency),
+      socket_(this->name() + ".tsock") {
+  socket_.set_blocking(*this);
+}
+
+void RegisterDevice::b_transport(tlm::GenericPayload& payload, Time& delay) {
+  delay += access_latency_;
+  const std::uint64_t addr = payload.address();
+  if (payload.size() != 4 || addr % 4 != 0 || addr + 4 > register_space()) {
+    payload.set_response(tlm::Response::kAddressError);
+    return;
+  }
+  const auto offset = static_cast<std::uint32_t>(addr);
+  if (payload.command() == tlm::Command::kRead) {
+    payload.set_value_le(read_register(offset, delay));
+  } else if (payload.command() == tlm::Command::kWrite) {
+    write_register(offset, static_cast<std::uint32_t>(payload.value_le()), delay);
+  }
+  payload.set_response(tlm::Response::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// InterruptController
+// ---------------------------------------------------------------------------
+
+InterruptController::InterruptController(sim::Kernel& kernel, std::string name)
+    : RegisterDevice(kernel, std::move(name), Time::ns(20)),
+      irq_out_(kernel, this->name() + ".irq", false) {}
+
+void InterruptController::raise(unsigned line) {
+  pending_ |= 1u << (line & 31u);
+  update_output();
+}
+
+void InterruptController::clear(unsigned line) {
+  pending_ &= ~(1u << (line & 31u));
+  update_output();
+}
+
+void InterruptController::update_output() {
+  // force() rather than write(): the IRQ level must be visible to the CPU
+  // in the same evaluation slice, like a wired interrupt line.
+  irq_out_.force((pending_ & enable_) != 0);
+}
+
+std::uint32_t InterruptController::read_register(std::uint32_t offset, Time& /*delay*/) {
+  switch (offset) {
+    case kPending: return pending_;
+    case kEnable: return enable_;
+    case kClaim: {
+      const std::uint32_t active = pending_ & enable_;
+      if (active == 0) return 0;
+      return static_cast<std::uint32_t>(std::countr_zero(active)) + 1;
+    }
+    default: return 0;
+  }
+}
+
+void InterruptController::write_register(std::uint32_t offset, std::uint32_t value,
+                                         Time& /*delay*/) {
+  switch (offset) {
+    case kEnable:
+      enable_ = value;
+      update_output();
+      break;
+    case kComplete:
+      clear(value);
+      break;
+    default: break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Timer
+// ---------------------------------------------------------------------------
+
+Timer::Timer(sim::Kernel& kernel, std::string name)
+    : RegisterDevice(kernel, std::move(name), Time::ns(20)),
+      reconfigured_(kernel, this->name() + ".reconfig") {
+  spawn("tick", run());
+}
+
+sim::Coro Timer::run() {
+  for (;;) {
+    while ((ctrl_ & 1u) == 0) co_await reconfigured_;
+    const std::uint64_t gen = config_generation_;
+    const bool fired = !co_await sim::wait_with_timeout(reconfigured_, Time::us(period_us_));
+    if (!fired || gen != config_generation_) continue;  // reconfigured mid-wait
+    ++expiries_;
+    status_ |= 1u;
+    if (on_expire_) on_expire_();
+    if ((ctrl_ & 2u) == 0) ctrl_ &= ~1u;  // one-shot: disable
+  }
+}
+
+std::uint32_t Timer::read_register(std::uint32_t offset, Time& /*delay*/) {
+  switch (offset) {
+    case kCtrl: return ctrl_;
+    case kPeriodUs: return period_us_;
+    case kStatus: return status_;
+    case kExpiryCount: return expiries_;
+    default: return 0;
+  }
+}
+
+void Timer::write_register(std::uint32_t offset, std::uint32_t value, Time& /*delay*/) {
+  switch (offset) {
+    case kCtrl:
+      ctrl_ = value;
+      ++config_generation_;
+      reconfigured_.notify();
+      break;
+    case kPeriodUs:
+      period_us_ = std::max(1u, value);
+      ++config_generation_;
+      reconfigured_.notify();
+      break;
+    case kStatus:
+      status_ &= ~value;  // write-1-to-clear
+      break;
+    default: break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog
+// ---------------------------------------------------------------------------
+
+Watchdog::Watchdog(sim::Kernel& kernel, std::string name)
+    : RegisterDevice(kernel, std::move(name), Time::ns(20)),
+      kick_event_(kernel, this->name() + ".kick"),
+      reconfigured_(kernel, this->name() + ".reconfig") {
+  spawn("guard", run());
+}
+
+sim::Coro Watchdog::run() {
+  for (;;) {
+    while (!enabled()) co_await reconfigured_;
+    const bool kicked = co_await sim::wait_with_timeout(kick_event_, Time::us(period_us_));
+    if (kicked || !enabled()) continue;
+    ++timeouts_;
+    // A watchdog reset returns the chip to its power-on state, where the
+    // watchdog is disarmed until boot software re-enables it.
+    ctrl_ &= ~1u;
+    if (on_timeout_) on_timeout_();
+  }
+}
+
+std::uint32_t Watchdog::read_register(std::uint32_t offset, Time& /*delay*/) {
+  switch (offset) {
+    case kCtrl: return ctrl_;
+    case kPeriodUs: return period_us_;
+    case kTimeoutCount: return timeouts_;
+    default: return 0;
+  }
+}
+
+void Watchdog::write_register(std::uint32_t offset, std::uint32_t value, Time& /*delay*/) {
+  switch (offset) {
+    case kCtrl:
+      ctrl_ = value;
+      reconfigured_.notify();
+      break;
+    case kPeriodUs:
+      period_us_ = std::max(1u, value);
+      reconfigured_.notify();
+      break;
+    case kKick:
+      kick_event_.notify();
+      break;
+    default: break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Gpio
+// ---------------------------------------------------------------------------
+
+Gpio::Gpio(sim::Kernel& kernel, std::string name)
+    : RegisterDevice(kernel, std::move(name), Time::ns(20)),
+      out_(kernel, this->name() + ".out", 0),
+      in_(kernel, this->name() + ".in", 0) {}
+
+std::uint32_t Gpio::read_register(std::uint32_t offset, Time& /*delay*/) {
+  switch (offset) {
+    case kOut: return out_.read();
+    case kIn: return in_.read();
+    default: return 0;
+  }
+}
+
+void Gpio::write_register(std::uint32_t offset, std::uint32_t value, Time& /*delay*/) {
+  if (offset == kOut) out_.force(value);
+}
+
+// ---------------------------------------------------------------------------
+// Adc
+// ---------------------------------------------------------------------------
+
+Adc::Adc(sim::Kernel& kernel, std::string name, double vref_volts, Time conversion_time)
+    : RegisterDevice(kernel, std::move(name), Time::ns(20)),
+      vref_(vref_volts),
+      conversion_time_(conversion_time) {}
+
+double Adc::sample() {
+  ++conversions_;
+  return source_ ? source_() : 0.0;
+}
+
+std::uint32_t Adc::read_register(std::uint32_t offset, Time& delay) {
+  switch (offset) {
+    case kData: {
+      delay += conversion_time_;
+      const double v = std::clamp(sample(), 0.0, vref_);
+      return static_cast<std::uint32_t>(std::lround(v / vref_ * 4095.0));
+    }
+    case kRawMillivolts: {
+      delay += conversion_time_;
+      return static_cast<std::uint32_t>(std::lround(std::max(0.0, sample()) * 1000.0));
+    }
+    default: return 0;
+  }
+}
+
+void Adc::write_register(std::uint32_t /*offset*/, std::uint32_t /*value*/, Time& /*delay*/) {}
+
+}  // namespace vps::hw

@@ -1,0 +1,205 @@
+#pragma once
+
+/// Memory-mapped ECU peripherals: interrupt controller, periodic timer,
+/// window-less watchdog, GPIO, and an ADC sampling an analog source.
+/// All are loosely-timed TLM targets with 32-bit register access.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "vps/sim/kernel.hpp"
+#include "vps/sim/module.hpp"
+#include "vps/sim/signal.hpp"
+#include "vps/tlm/payload.hpp"
+#include "vps/tlm/sockets.hpp"
+
+namespace vps::hw {
+
+/// Base class for register-file peripherals: handles the TLM plumbing and
+/// alignment checks, concrete devices implement word read/write.
+class RegisterDevice : public sim::Module, public tlm::BlockingTransport {
+ public:
+  RegisterDevice(sim::Kernel& kernel, std::string name, sim::Time access_latency);
+
+  [[nodiscard]] tlm::TargetSocket& socket() noexcept { return socket_; }
+
+  void b_transport(tlm::GenericPayload& payload, sim::Time& delay) final;
+
+ protected:
+  /// Word-aligned register access; offset is a multiple of 4.
+  virtual std::uint32_t read_register(std::uint32_t offset, sim::Time& delay) = 0;
+  virtual void write_register(std::uint32_t offset, std::uint32_t value, sim::Time& delay) = 0;
+  /// Highest valid register offset + 4.
+  [[nodiscard]] virtual std::uint32_t register_space() const = 0;
+
+ private:
+  sim::Time access_latency_;
+  tlm::TargetSocket socket_;
+};
+
+/// 32-line level-triggered interrupt controller. Drives a single CPU IRQ
+/// signal with (pending & enable) != 0.
+///
+/// Registers: 0x00 PENDING (RO), 0x04 ENABLE (RW),
+///            0x08 CLAIM (RO: lowest pending enabled line + 1; 0 = none),
+///            0x0C COMPLETE (WO: line number to clear).
+class InterruptController final : public RegisterDevice {
+ public:
+  static constexpr std::uint32_t kPending = 0x00;
+  static constexpr std::uint32_t kEnable = 0x04;
+  static constexpr std::uint32_t kClaim = 0x08;
+  static constexpr std::uint32_t kComplete = 0x0C;
+
+  InterruptController(sim::Kernel& kernel, std::string name);
+
+  /// Peripheral-side: asserts a pending line.
+  void raise(unsigned line);
+  /// Peripheral-side: deasserts a pending line (level sources).
+  void clear(unsigned line);
+
+  [[nodiscard]] sim::Signal<bool>& irq_out() noexcept { return irq_out_; }
+  [[nodiscard]] std::uint32_t pending() const noexcept { return pending_; }
+  [[nodiscard]] std::uint32_t enabled() const noexcept { return enable_; }
+
+ protected:
+  std::uint32_t read_register(std::uint32_t offset, sim::Time& delay) override;
+  void write_register(std::uint32_t offset, std::uint32_t value, sim::Time& delay) override;
+  [[nodiscard]] std::uint32_t register_space() const override { return 0x10; }
+
+ private:
+  void update_output();
+
+  std::uint32_t pending_ = 0;
+  std::uint32_t enable_ = 0;
+  sim::Signal<bool> irq_out_;
+};
+
+/// Periodic / one-shot down-counting timer.
+///
+/// Registers: 0x00 CTRL (bit0 enable, bit1 periodic), 0x04 PERIOD_US,
+///            0x08 STATUS (bit0 expired; write-1-to-clear), 0x0C EXPIRY_COUNT.
+class Timer final : public RegisterDevice {
+ public:
+  static constexpr std::uint32_t kCtrl = 0x00;
+  static constexpr std::uint32_t kPeriodUs = 0x04;
+  static constexpr std::uint32_t kStatus = 0x08;
+  static constexpr std::uint32_t kExpiryCount = 0x0C;
+
+  Timer(sim::Kernel& kernel, std::string name);
+
+  /// Called on each expiry — typically InterruptController::raise.
+  void set_on_expire(std::function<void()> fn) { on_expire_ = std::move(fn); }
+
+  [[nodiscard]] std::uint32_t expiry_count() const noexcept { return expiries_; }
+
+ protected:
+  std::uint32_t read_register(std::uint32_t offset, sim::Time& delay) override;
+  void write_register(std::uint32_t offset, std::uint32_t value, sim::Time& delay) override;
+  [[nodiscard]] std::uint32_t register_space() const override { return 0x10; }
+
+ private:
+  [[nodiscard]] sim::Coro run();
+
+  std::uint32_t ctrl_ = 0;
+  std::uint32_t period_us_ = 1000;
+  std::uint32_t status_ = 0;
+  std::uint32_t expiries_ = 0;
+  std::uint64_t config_generation_ = 0;  // restart the wait when reconfigured
+  sim::Event reconfigured_;
+  std::function<void()> on_expire_;
+};
+
+/// Watchdog: fires unless kicked within the period. The paper's safety
+/// architectures lean on exactly this recovery path for hung software.
+///
+/// Registers: 0x00 CTRL (bit0 enable), 0x04 PERIOD_US, 0x08 KICK (WO),
+///            0x0C TIMEOUT_COUNT (RO).
+class Watchdog final : public RegisterDevice {
+ public:
+  static constexpr std::uint32_t kCtrl = 0x00;
+  static constexpr std::uint32_t kPeriodUs = 0x04;
+  static constexpr std::uint32_t kKick = 0x08;
+  static constexpr std::uint32_t kTimeoutCount = 0x0C;
+
+  Watchdog(sim::Kernel& kernel, std::string name);
+
+  /// Invoked on timeout — typically a platform reset handler.
+  void set_on_timeout(std::function<void()> fn) { on_timeout_ = std::move(fn); }
+
+  [[nodiscard]] std::uint32_t timeout_count() const noexcept { return timeouts_; }
+  [[nodiscard]] bool enabled() const noexcept { return (ctrl_ & 1u) != 0; }
+  /// Direct kick for C++-level software models.
+  void kick() { kick_event_.notify(); }
+
+ protected:
+  std::uint32_t read_register(std::uint32_t offset, sim::Time& delay) override;
+  void write_register(std::uint32_t offset, std::uint32_t value, sim::Time& delay) override;
+  [[nodiscard]] std::uint32_t register_space() const override { return 0x10; }
+
+ private:
+  [[nodiscard]] sim::Coro run();
+
+  std::uint32_t ctrl_ = 0;
+  std::uint32_t period_us_ = 10000;
+  std::uint32_t timeouts_ = 0;
+  sim::Event kick_event_;
+  sim::Event reconfigured_;
+  std::function<void()> on_timeout_;
+};
+
+/// 32-bit GPIO port: OUT drives a signal, IN samples one.
+///
+/// Registers: 0x00 OUT (RW), 0x04 IN (RO).
+class Gpio final : public RegisterDevice {
+ public:
+  static constexpr std::uint32_t kOut = 0x00;
+  static constexpr std::uint32_t kIn = 0x04;
+
+  Gpio(sim::Kernel& kernel, std::string name);
+
+  [[nodiscard]] sim::Signal<std::uint32_t>& out() noexcept { return out_; }
+  [[nodiscard]] sim::Signal<std::uint32_t>& in() noexcept { return in_; }
+
+ protected:
+  std::uint32_t read_register(std::uint32_t offset, sim::Time& delay) override;
+  void write_register(std::uint32_t offset, std::uint32_t value, sim::Time& delay) override;
+  [[nodiscard]] std::uint32_t register_space() const override { return 0x08; }
+
+ private:
+  sim::Signal<std::uint32_t> out_;
+  sim::Signal<std::uint32_t> in_;
+};
+
+/// 12-bit ADC with a blocking conversion: reading DATA samples the attached
+/// analog source and charges the conversion time to the access.
+///
+/// Registers: 0x00 DATA (RO, 0..4095), 0x04 RAW_MILLIVOLTS (RO).
+class Adc final : public RegisterDevice {
+ public:
+  static constexpr std::uint32_t kData = 0x00;
+  static constexpr std::uint32_t kRawMillivolts = 0x04;
+
+  Adc(sim::Kernel& kernel, std::string name, double vref_volts = 5.0,
+      sim::Time conversion_time = sim::Time::us(2));
+
+  /// Analog input; sampled at conversion time. Volts.
+  void set_source(std::function<double()> source) { source_ = std::move(source); }
+
+  [[nodiscard]] std::uint32_t conversions() const noexcept { return conversions_; }
+
+ protected:
+  std::uint32_t read_register(std::uint32_t offset, sim::Time& delay) override;
+  void write_register(std::uint32_t offset, std::uint32_t value, sim::Time& delay) override;
+  [[nodiscard]] std::uint32_t register_space() const override { return 0x08; }
+
+ private:
+  [[nodiscard]] double sample();
+
+  double vref_;
+  sim::Time conversion_time_;
+  std::function<double()> source_;
+  std::uint32_t conversions_ = 0;
+};
+
+}  // namespace vps::hw

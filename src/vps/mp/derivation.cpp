@@ -1,0 +1,150 @@
+#include "vps/mp/derivation.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "vps/support/ensure.hpp"
+#include "vps/support/table.hpp"
+
+namespace vps::mp {
+
+const char* to_string(FaultClass c) noexcept {
+  switch (c) {
+    case FaultClass::kMemoryBitFlip: return "memory_bit_flip";
+    case FaultClass::kRegisterUpset: return "register_upset";
+    case FaultClass::kConnectorOpen: return "connector_open";
+    case FaultClass::kShortToGround: return "short_to_ground";
+    case FaultClass::kSupplyBrownout: return "supply_brownout";
+    case FaultClass::kCanCorruption: return "can_corruption";
+    case FaultClass::kSensorDrift: return "sensor_drift";
+    case FaultClass::kTimingDegradation: return "timing_degradation";
+  }
+  return "?";
+}
+
+std::vector<FaultClass> all_fault_classes() {
+  std::vector<FaultClass> v;
+  for (std::size_t i = 0; i < kFaultClassCount; ++i) v.push_back(static_cast<FaultClass>(i));
+  return v;
+}
+
+double arrhenius_factor(double use_temp_c, double ref_temp_c, double activation_energy_ev) {
+  constexpr double kBoltzmannEv = 8.617333262e-5;  // eV/K
+  const double t_use = use_temp_c + 273.15;
+  const double t_ref = ref_temp_c + 273.15;
+  return std::exp(activation_energy_ev / kBoltzmannEv * (1.0 / t_ref - 1.0 / t_use));
+}
+
+double vibration_factor(double grms, double ref_grms, double exponent) {
+  if (grms <= 0.0) return 0.0;
+  return std::pow(grms / ref_grms, exponent);
+}
+
+double voltage_factor(double volts, const DerivationModel& model) {
+  if (volts < model.brownout_threshold) {
+    // Deep undervoltage: brownout events scale sharply with the deficit.
+    const double deficit = (model.brownout_threshold - volts) / model.brownout_threshold;
+    return 1.0 + 50.0 * deficit;
+  }
+  // Mild over-/undervoltage around nominal: quadratic sensitivity.
+  const double rel = (volts - model.nominal_voltage) / model.nominal_voltage;
+  return 1.0 + 4.0 * rel * rel;
+}
+
+namespace {
+
+/// Which stress dimension accelerates which fault class.
+double class_acceleration(FaultClass c, const OperatingState& s, const DerivationModel& m) {
+  const double af_temp = arrhenius_factor(s.temp_max_c, m.reference_temp_c, m.activation_energy_ev);
+  const double af_vib = vibration_factor(s.vibration_grms, m.reference_vibration_grms,
+                                         m.basquin_exponent);
+  const double af_volt = voltage_factor(s.voltage_v, m);
+  switch (c) {
+    case FaultClass::kMemoryBitFlip:
+    case FaultClass::kRegisterUpset:
+      // SEUs are radiation-driven; temperature dependence is very mild
+      // (a few percent across the automotive range).
+      return 1.0 + 0.02 * (af_temp - 1.0);
+    case FaultClass::kConnectorOpen:
+    case FaultClass::kShortToGround:
+      return af_vib;
+    case FaultClass::kSupplyBrownout:
+      return af_volt;
+    case FaultClass::kCanCorruption:
+      // EMI correlates with electrical activity: voltage + vibration mix.
+      return 0.5 * af_volt + 0.5 * std::max(1.0, af_vib);
+    case FaultClass::kSensorDrift:
+    case FaultClass::kTimingDegradation:
+      return af_temp;
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+double FaultRateTable::mission_average_fit(FaultClass c) const {
+  double acc = 0.0;
+  for (const auto& row : rows) acc += row.fraction * row.fit[static_cast<std::size_t>(c)];
+  return acc;
+}
+
+double FaultRateTable::expected_lifetime_faults(FaultClass c, double lifetime_hours) const {
+  return mission_average_fit(c) * 1e-9 * lifetime_hours;
+}
+
+std::string FaultRateTable::render() const {
+  std::vector<std::string> headers{"state", "fraction"};
+  for (auto c : all_fault_classes()) headers.emplace_back(to_string(c));
+  support::Table t(headers);
+  for (const auto& row : rows) {
+    std::vector<std::string> cells{row.state, std::to_string(row.fraction)};
+    for (std::size_t i = 0; i < kFaultClassCount; ++i) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%.3g", row.fit[i]);
+      cells.emplace_back(buf);
+    }
+    t.add_row(std::move(cells));
+  }
+  return t.render();
+}
+
+FaultRateTable derive_fault_rates(const MissionProfile& profile, const DerivationModel& model) {
+  profile.validate();
+  FaultRateTable table;
+  for (const auto& state : profile.states()) {
+    FaultRateTable::Row row;
+    row.state = state.name;
+    row.fraction = state.fraction;
+    for (auto c : all_fault_classes()) {
+      const auto i = static_cast<std::size_t>(c);
+      row.fit[i] = model.base_fit[i] * class_acceleration(c, state, model);
+    }
+    table.rows.push_back(std::move(row));
+  }
+  return table;
+}
+
+double StressorSpec::total_rate() const noexcept {
+  double acc = 0.0;
+  for (double r : rate_per_second) acc += r;
+  return acc;
+}
+
+StressorSpec make_stressor_spec(const FaultRateTable& table, const std::string& state_name,
+                                double acceleration) {
+  support::ensure(acceleration > 0.0, "make_stressor_spec: acceleration must be positive");
+  for (const auto& row : table.rows) {
+    if (row.state != state_name) continue;
+    StressorSpec spec;
+    spec.state = state_name;
+    spec.acceleration = acceleration;
+    for (std::size_t i = 0; i < kFaultClassCount; ++i) {
+      // FIT = faults per 1e9 hours -> per-second rate, then accelerated.
+      spec.rate_per_second[i] = row.fit[i] * 1e-9 / 3600.0 * acceleration;
+    }
+    return spec;
+  }
+  throw std::invalid_argument("make_stressor_spec: unknown state '" + state_name + "'");
+}
+
+}  // namespace vps::mp

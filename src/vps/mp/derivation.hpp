@@ -1,0 +1,98 @@
+#pragma once
+
+/// Derivation of functional fault/error descriptions from Mission Profiles
+/// (the "very challenging task" of paper Sec. 3.2): environmental stresses
+/// are mapped to per-fault-class rates via standard acceleration models —
+/// Arrhenius for temperature, a Basquin-style power law for vibration, and
+/// threshold models for supply voltage — then turned into a StressorSpec
+/// that the error-effect simulation consumes.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vps/mp/mission_profile.hpp"
+
+namespace vps::mp {
+
+/// Abstract fault classes at VP level. The fault module maps each class to
+/// concrete injectors (memory bit flip, CAN corruption, sensor drift, ...).
+enum class FaultClass : std::uint8_t {
+  kMemoryBitFlip,    ///< SEU in SRAM/registers
+  kRegisterUpset,    ///< SEU in CPU register file
+  kConnectorOpen,    ///< vibration-induced open (sensor/actuator line)
+  kShortToGround,    ///< chafed harness short
+  kSupplyBrownout,   ///< undervoltage transient
+  kCanCorruption,    ///< EMI burst on the bus
+  kSensorDrift,      ///< thermal drift / offset of analog sensors
+  kTimingDegradation,///< slowed execution (aging, thermal throttling)
+};
+inline constexpr std::size_t kFaultClassCount = 8;
+
+[[nodiscard]] const char* to_string(FaultClass c) noexcept;
+[[nodiscard]] std::vector<FaultClass> all_fault_classes();
+
+/// Physics-model constants; defaults follow common reliability handbooks.
+struct DerivationModel {
+  double activation_energy_ev = 0.7;   ///< Arrhenius Ea for silicon defects
+  double reference_temp_c = 55.0;      ///< temperature at which base rates hold
+  double basquin_exponent = 4.0;       ///< vibration fatigue power law
+  double reference_vibration_grms = 1.0;
+  double nominal_voltage = 12.0;
+  double brownout_threshold = 9.0;     ///< below this, brownout events dominate
+  /// Base rates in FIT (failures per 1e9 device hours) at reference stress.
+  double base_fit[kFaultClassCount] = {50, 10, 20, 8, 5, 30, 15, 10};
+};
+
+/// Arrhenius acceleration factor between use and reference temperature.
+[[nodiscard]] double arrhenius_factor(double use_temp_c, double ref_temp_c,
+                                      double activation_energy_ev);
+
+/// Basquin-style vibration acceleration factor.
+[[nodiscard]] double vibration_factor(double grms, double ref_grms, double exponent);
+
+/// Voltage stress factor (brownout-dominated below threshold).
+[[nodiscard]] double voltage_factor(double volts, const DerivationModel& model);
+
+/// Fault rates per operating state and fault class, in FIT.
+struct FaultRateTable {
+  struct Row {
+    std::string state;
+    double fraction = 0.0;
+    double fit[kFaultClassCount] = {};
+  };
+  std::vector<Row> rows;
+
+  /// Lifetime-weighted average rate of one class across states (FIT).
+  [[nodiscard]] double mission_average_fit(FaultClass c) const;
+  /// Expected fault count of one class over the whole mission.
+  [[nodiscard]] double expected_lifetime_faults(FaultClass c, double lifetime_hours) const;
+  [[nodiscard]] std::string render() const;
+};
+
+/// Applies the acceleration models to every state of the profile.
+[[nodiscard]] FaultRateTable derive_fault_rates(const MissionProfile& profile,
+                                                const DerivationModel& model = {});
+
+/// Stressor specification: the executable fault/error description for one
+/// simulated scenario segment — per-class injection rates scaled from the
+/// FIT table by an acceleration factor so that a seconds-long simulation
+/// exercises a statistically meaningful number of faults.
+struct StressorSpec {
+  std::string state;                       ///< operating state being simulated
+  double acceleration = 1e9;               ///< stress-test time compression
+  double rate_per_second[kFaultClassCount] = {};  ///< accelerated rates
+
+  [[nodiscard]] double total_rate() const noexcept;
+  /// Expected faults in a segment of the given simulated duration.
+  [[nodiscard]] double expected_faults(double seconds) const noexcept {
+    return total_rate() * seconds;
+  }
+};
+
+/// Builds a stressor spec for one operating state of the profile.
+[[nodiscard]] StressorSpec make_stressor_spec(const FaultRateTable& table,
+                                              const std::string& state_name,
+                                              double acceleration = 1e9);
+
+}  // namespace vps::mp

@@ -1,0 +1,184 @@
+#include "vps/mp/mission_profile.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vps/support/strings.hpp"
+
+namespace vps::mp {
+
+using support::parse_double;
+using support::tokenize;
+using support::trim;
+
+const OperatingState& MissionProfile::state(const std::string& name) const {
+  for (const auto& s : states_) {
+    if (s.name == name) return s;
+  }
+  throw std::invalid_argument("MissionProfile: unknown state '" + name + "'");
+}
+
+bool MissionProfile::has_state(const std::string& name) const noexcept {
+  for (const auto& s : states_) {
+    if (s.name == name) return true;
+  }
+  return false;
+}
+
+void MissionProfile::add_state(OperatingState s) {
+  if (has_state(s.name)) {
+    throw std::invalid_argument("MissionProfile: duplicate state '" + s.name + "'");
+  }
+  states_.push_back(std::move(s));
+}
+
+void MissionProfile::add_load(FunctionalLoad l) { loads_.push_back(std::move(l)); }
+
+void MissionProfile::validate() const {
+  if (states_.empty()) throw std::invalid_argument("MissionProfile: no operating states");
+  double total = 0.0;
+  for (const auto& s : states_) {
+    if (s.fraction <= 0.0 || s.fraction > 1.0) {
+      throw std::invalid_argument("MissionProfile: state '" + s.name + "' fraction out of (0,1]");
+    }
+    if (s.temp_max_c < s.temp_min_c) {
+      throw std::invalid_argument("MissionProfile: state '" + s.name + "' inverted temperature range");
+    }
+    if (s.vibration_grms < 0.0) {
+      throw std::invalid_argument("MissionProfile: state '" + s.name + "' negative vibration");
+    }
+    if (s.voltage_v <= 0.0) {
+      throw std::invalid_argument("MissionProfile: state '" + s.name + "' non-positive voltage");
+    }
+    total += s.fraction;
+  }
+  if (std::fabs(total - 1.0) > 0.01) {
+    throw std::invalid_argument("MissionProfile: state fractions sum to " + std::to_string(total) +
+                                ", expected 1.0");
+  }
+  if (lifetime_hours_ <= 0.0) throw std::invalid_argument("MissionProfile: lifetime must be positive");
+  for (const auto& l : loads_) {
+    if (!has_state(l.state)) {
+      throw std::invalid_argument("MissionProfile: load '" + l.name + "' references unknown state '" +
+                                  l.state + "'");
+    }
+    if (l.events_per_hour < 0.0) {
+      throw std::invalid_argument("MissionProfile: load '" + l.name + "' negative rate");
+    }
+  }
+}
+
+MissionProfile parse_mission_profile(const std::string& text) {
+  MissionProfile profile;
+  std::size_t line_no = 0;
+  const auto fail = [&](const std::string& msg) {
+    throw std::invalid_argument("mission profile line " + std::to_string(line_no) + ": " + msg);
+  };
+
+  for (const auto& raw : support::split(text, '\n')) {
+    ++line_no;
+    std::string line = raw;
+    const auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const auto toks = tokenize(line);
+    if (toks.empty()) continue;
+
+    try {
+      if (toks[0] == "profile") {
+        if (toks.size() != 2) fail("profile needs a name");
+        std::string name = toks[1];
+        if (name.size() >= 2 && name.front() == '"' && name.back() == '"') {
+          name = name.substr(1, name.size() - 2);
+        }
+        profile.set_name(name);
+      } else if (toks[0] == "lifetime_hours") {
+        if (toks.size() != 2) fail("lifetime_hours needs a value");
+        profile.set_lifetime_hours(parse_double(toks[1]));
+      } else if (toks[0] == "state") {
+        // state <name> fraction <f> temp <min> <max> vibration <g> voltage <v>
+        if (toks.size() != 11 || toks[2] != "fraction" || toks[4] != "temp" ||
+            toks[7] != "vibration" || toks[9] != "voltage") {
+          fail("state syntax: state <name> fraction <f> temp <min> <max> vibration <g> voltage <v>");
+        }
+        OperatingState s;
+        s.name = toks[1];
+        s.fraction = parse_double(toks[3]);
+        s.temp_min_c = parse_double(toks[5]);
+        s.temp_max_c = parse_double(toks[6]);
+        s.vibration_grms = parse_double(toks[8]);
+        s.voltage_v = parse_double(toks[10]);
+        profile.add_state(std::move(s));
+      } else if (toks[0] == "load") {
+        // load <name> per_hour <rate> state <state>
+        if (toks.size() != 6 || toks[2] != "per_hour" || toks[4] != "state") {
+          fail("load syntax: load <name> per_hour <rate> state <state>");
+        }
+        FunctionalLoad l;
+        l.name = toks[1];
+        l.events_per_hour = parse_double(toks[3]);
+        l.state = toks[5];
+        profile.add_load(std::move(l));
+      } else {
+        fail("unknown statement '" + toks[0] + "'");
+      }
+    } catch (const std::invalid_argument& e) {
+      if (std::string(e.what()).find("mission profile line") == 0) throw;
+      fail(e.what());
+    }
+  }
+  profile.validate();
+  return profile;
+}
+
+ComponentContext engine_bay_context(std::string component_name) {
+  // Hot, vibration-rich location close to the alternator.
+  return ComponentContext{std::move(component_name), 25.0, 2.5, 0.2};
+}
+
+ComponentContext cabin_context(std::string component_name) {
+  // Climate-controlled, structurally damped.
+  return ComponentContext{std::move(component_name), 5.0, 0.5, 0.4};
+}
+
+ComponentContext wheel_mounted_context(std::string component_name) {
+  // Unsprung mass: extreme vibration, moderate thermal, long harness.
+  return ComponentContext{std::move(component_name), 10.0, 8.0, 0.6};
+}
+
+MissionProfile refine_for_component(const MissionProfile& vehicle_profile,
+                                    const ComponentContext& context) {
+  vehicle_profile.validate();
+  if (context.vibration_factor < 0.0) {
+    throw std::invalid_argument("refine_for_component: negative vibration factor");
+  }
+  MissionProfile refined;
+  refined.set_name(vehicle_profile.name() + "/" + context.component_name);
+  refined.set_lifetime_hours(vehicle_profile.lifetime_hours());
+  for (OperatingState s : vehicle_profile.states()) {
+    s.temp_min_c += context.temperature_offset_c;
+    s.temp_max_c += context.temperature_offset_c;
+    s.vibration_grms *= context.vibration_factor;
+    s.voltage_v = std::max(0.1, s.voltage_v - context.voltage_drop_v);
+    refined.add_state(std::move(s));
+  }
+  for (const FunctionalLoad& l : vehicle_profile.loads()) refined.add_load(l);
+  refined.validate();
+  return refined;
+}
+
+MissionProfile reference_car_profile() {
+  return parse_mission_profile(R"(
+    profile "reference_car"
+    lifetime_hours 8000
+    # Envelope after ZVEI robustness-validation climate/vibration classes.
+    state parked    fraction 0.915 temp -30 50  vibration 0.1 voltage 12.2
+    state city      fraction 0.050 temp -30 85  vibration 2.0 voltage 13.8
+    state highway   fraction 0.030 temp -30 95  vibration 3.5 voltage 13.8
+    state cranking  fraction 0.005 temp -30 85  vibration 5.0 voltage 6.5
+    load steering_against_curb per_hour 0.20 state city
+    load pothole_impact        per_hour 0.50 state city
+    load overtake_burst_load   per_hour 2.00 state highway
+  )");
+}
+
+}  // namespace vps::mp

@@ -1,0 +1,93 @@
+#pragma once
+
+/// Mission Profiles (paper Sec. 3.2, refs [31,32]): the application-specific
+/// context of a component — operating states with environmental stresses
+/// (temperature, vibration, supply voltage) and functional loads — written
+/// in a small declarative text format so profiles can be "formalized and
+/// passed down the supply chain" (Fig. 2).
+///
+/// Format (one statement per line, '#' comments):
+///   profile "engine_ecu"
+///   lifetime_hours 8000
+///   state parked   fraction 0.90  temp -20 60   vibration 0.5  voltage 12.0
+///   state driving  fraction 0.095 temp -40 105  vibration 3.0  voltage 13.8
+///   state cranking fraction 0.005 temp -40 105  vibration 6.0  voltage 6.5
+///   load steering_against_curb per_hour 0.2 state driving
+///   load cold_start            per_hour 0.05 state cranking
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vps::mp {
+
+/// One operating state with its environmental envelope.
+struct OperatingState {
+  std::string name;
+  double fraction = 0.0;      ///< share of mission time, sums to ~1
+  double temp_min_c = 20.0;   ///< ambient envelope
+  double temp_max_c = 20.0;
+  double vibration_grms = 0.0;  ///< RMS acceleration at mounting point
+  double voltage_v = 12.0;      ///< nominal supply in this state
+};
+
+/// A discrete functional load (special use case) bound to a state.
+struct FunctionalLoad {
+  std::string name;
+  double events_per_hour = 0.0;
+  std::string state;  ///< operating state during which it occurs
+};
+
+class MissionProfile {
+ public:
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] double lifetime_hours() const noexcept { return lifetime_hours_; }
+  [[nodiscard]] const std::vector<OperatingState>& states() const noexcept { return states_; }
+  [[nodiscard]] const std::vector<FunctionalLoad>& loads() const noexcept { return loads_; }
+  [[nodiscard]] const OperatingState& state(const std::string& name) const;
+  [[nodiscard]] bool has_state(const std::string& name) const noexcept;
+
+  void set_name(std::string n) { name_ = std::move(n); }
+  void set_lifetime_hours(double h) { lifetime_hours_ = h; }
+  void add_state(OperatingState s);
+  void add_load(FunctionalLoad l);
+
+  /// Validates invariants: fractions in (0,1] summing to ~1, envelopes sane,
+  /// loads referring to known states. Throws std::invalid_argument.
+  void validate() const;
+
+ private:
+  std::string name_ = "unnamed";
+  double lifetime_hours_ = 8000.0;
+  std::vector<OperatingState> states_;
+  std::vector<FunctionalLoad> loads_;
+};
+
+/// Parses the text format above; throws std::invalid_argument with a line
+/// number on malformed input. The returned profile is validated.
+[[nodiscard]] MissionProfile parse_mission_profile(const std::string& text);
+
+/// Supply-chain refinement (Fig. 2: the OEM profile is "refined for a
+/// system or a component" as it is passed down): scales each state's
+/// environmental stresses for a concrete mounting location / component.
+struct ComponentContext {
+  std::string component_name = "component";
+  double temperature_offset_c = 0.0;   ///< self-heating + location delta
+  double vibration_factor = 1.0;       ///< transfer function of the mounting point
+  double voltage_drop_v = 0.0;         ///< harness/connector drop
+};
+
+/// Pre-defined mounting locations for passenger-car components.
+[[nodiscard]] ComponentContext engine_bay_context(std::string component_name);
+[[nodiscard]] ComponentContext cabin_context(std::string component_name);
+[[nodiscard]] ComponentContext wheel_mounted_context(std::string component_name);
+
+/// Returns the component-level profile: same states/loads, stresses scaled.
+[[nodiscard]] MissionProfile refine_for_component(const MissionProfile& vehicle_profile,
+                                                  const ComponentContext& context);
+
+/// A representative OEM passenger-car profile used by examples and benches.
+[[nodiscard]] MissionProfile reference_car_profile();
+
+}  // namespace vps::mp

@@ -1,0 +1,120 @@
+#include "vps/mutation/binary_mutation.hpp"
+
+#include <cstdio>
+
+#include "vps/hw/disassembler.hpp"
+#include "vps/hw/isa.hpp"
+#include "vps/support/ensure.hpp"
+
+namespace vps::mutation {
+
+using hw::Decoded;
+using hw::Opcode;
+
+namespace {
+
+std::uint32_t read_word(const std::vector<std::uint8_t>& image, std::size_t off) {
+  return static_cast<std::uint32_t>(image[off]) | (static_cast<std::uint32_t>(image[off + 1]) << 8) |
+         (static_cast<std::uint32_t>(image[off + 2]) << 16) |
+         (static_cast<std::uint32_t>(image[off + 3]) << 24);
+}
+
+void write_word(std::vector<std::uint8_t>& image, std::size_t off, std::uint32_t word) {
+  image[off] = static_cast<std::uint8_t>(word);
+  image[off + 1] = static_cast<std::uint8_t>(word >> 8);
+  image[off + 2] = static_cast<std::uint8_t>(word >> 16);
+  image[off + 3] = static_cast<std::uint8_t>(word >> 24);
+}
+
+std::uint32_t with_opcode(std::uint32_t word, Opcode op) {
+  return (word & 0x00FFFFFFu) | (static_cast<std::uint32_t>(op) << 24);
+}
+
+/// Opcode substitutions (machine-level AOR/LCR/ROR analogues).
+std::vector<std::uint32_t> opcode_mutations(std::uint32_t word) {
+  const auto op = static_cast<Opcode>(word >> 24);
+  std::vector<std::uint32_t> out;
+  const auto swap = [&](Opcode to) { out.push_back(with_opcode(word, to)); };
+  switch (op) {
+    case Opcode::kAdd: swap(Opcode::kSub); break;
+    case Opcode::kSub: swap(Opcode::kAdd); break;
+    case Opcode::kMul: swap(Opcode::kAdd); break;
+    case Opcode::kAnd: swap(Opcode::kOr); break;
+    case Opcode::kOr: swap(Opcode::kAnd); break;
+    case Opcode::kXor: swap(Opcode::kOr); break;
+    case Opcode::kShl: swap(Opcode::kShr); break;
+    case Opcode::kShr: swap(Opcode::kShl); break;
+    case Opcode::kBeq: swap(Opcode::kBne); break;
+    case Opcode::kBne: swap(Opcode::kBeq); break;
+    case Opcode::kBlt: swap(Opcode::kBge); break;
+    case Opcode::kBge: swap(Opcode::kBlt); break;
+    case Opcode::kBltu: swap(Opcode::kBgeu); break;
+    case Opcode::kBgeu: swap(Opcode::kBltu); break;
+    case Opcode::kShli: swap(Opcode::kShri); break;
+    case Opcode::kShri: swap(Opcode::kShli); break;
+    case Opcode::kAddi:
+    case Opcode::kSlti: {
+      // Immediate off-by-one (skip nop-encoded addi r0).
+      const Decoded d = hw::decode(word);
+      if (!(op == Opcode::kAddi && d.rd == 0)) {
+        const auto imm = static_cast<std::uint16_t>(d.imm16 + 1);
+        out.push_back((word & 0xFFFF0000u) | imm);
+      }
+      break;
+    }
+    default: break;  // loads/stores/jumps/system: no defined mutation
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<BinaryMutant> enumerate_binary_mutants(const hw::Program& program) {
+  std::vector<BinaryMutant> mutants;
+  for (std::size_t off = 0; off + 4 <= program.image.size(); off += 4) {
+    const std::uint32_t word = read_word(program.image, off);
+    if (!hw::is_valid_opcode(static_cast<std::uint8_t>(word >> 24))) continue;
+    for (const std::uint32_t mutated : opcode_mutations(word)) {
+      BinaryMutant m;
+      m.address = static_cast<std::uint32_t>(off);
+      m.original = word;
+      m.mutated = mutated;
+      char buf[96];
+      std::snprintf(buf, sizeof buf, "%08X: %s -> %s",
+                    program.origin + static_cast<std::uint32_t>(off),
+                    hw::disassemble(word).c_str(), hw::disassemble(mutated).c_str());
+      m.description = buf;
+      mutants.push_back(std::move(m));
+    }
+  }
+  return mutants;
+}
+
+BinaryMutationReport run_binary_mutation(
+    const hw::Program& program,
+    const std::function<bool(const std::vector<std::uint8_t>& image)>& test) {
+  support::ensure(test(program.image), "binary mutation: test fails on the unmutated firmware");
+  BinaryMutationReport report;
+  for (const BinaryMutant& mutant : enumerate_binary_mutants(program)) {
+    std::vector<std::uint8_t> patched = program.image;
+    write_word(patched, mutant.address, mutant.mutated);
+    ++report.total_mutants;
+    if (!test(patched)) {
+      ++report.killed;
+    } else {
+      report.live.push_back(mutant);
+    }
+  }
+  return report;
+}
+
+std::string BinaryMutationReport::render() const {
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "binary mutation score %.1f%% (%zu/%zu killed)\n",
+                100.0 * score(), killed, total_mutants);
+  std::string out = buf;
+  for (const auto& m : live) out += "  LIVE: " + m.description + "\n";
+  return out;
+}
+
+}  // namespace vps::mutation

@@ -1,0 +1,54 @@
+#include "vps/mutation/instrumented_models.hpp"
+
+namespace vps::mutation {
+
+InstrumentedDeployLogic::InstrumentedDeployLogic(MutationRegistry& registry,
+                                                 std::int64_t threshold, std::int64_t required)
+    : reg_(registry), threshold_(threshold), required_(required) {
+  site_cmp_ = reg_.add_site("deploy.sample_gt_threshold", {Operator::kGtToGe});
+  site_thresh_ = reg_.add_site("deploy.threshold_const",
+                               {Operator::kConstPlus1, Operator::kConstMinus1,
+                                Operator::kConstZero});
+  site_inc_ = reg_.add_site("deploy.consecutive_inc", {Operator::kAddToSub});
+  site_reset_ = reg_.add_site("deploy.consecutive_reset", {Operator::kStmtDelete});
+  site_required_ = reg_.add_site("deploy.required_const",
+                                 {Operator::kConstPlus1, Operator::kConstMinus1});
+  site_done_ = reg_.add_site("deploy.fire_compare", {Operator::kGeToGt});
+}
+
+bool InstrumentedDeployLogic::step(std::int64_t sample) {
+  const std::int64_t threshold = reg_.constant(site_thresh_, threshold_);
+  if (reg_.gt(site_cmp_, sample, threshold)) {
+    consecutive_ = reg_.add(site_inc_, consecutive_, 1);
+  } else if (reg_.alive(site_reset_)) {
+    consecutive_ = 0;
+  }
+  const std::int64_t required = reg_.constant(site_required_, required_);
+  if (reg_.ge(site_done_, consecutive_, required)) deployed_ = true;
+  return deployed_;
+}
+
+InstrumentedPlausibility::InstrumentedPlausibility(MutationRegistry& registry, std::int64_t low,
+                                                   std::int64_t high, std::int64_t debounce)
+    : reg_(registry), low_(low), high_(high), debounce_(debounce) {
+  site_low_ = reg_.add_site("plaus.below_low", {Operator::kLtToLe});
+  site_high_ = reg_.add_site("plaus.above_high", {Operator::kGtToGe});
+  site_or_ = reg_.add_site("plaus.violation_or", {Operator::kOrToAnd});
+  site_inc_ = reg_.add_site("plaus.violations_inc", {Operator::kAddToSub});
+  site_deb_ = reg_.add_site("plaus.debounce_cmp", {Operator::kGeToGt});
+  site_clr_ = reg_.add_site("plaus.violations_clear", {Operator::kStmtDelete});
+}
+
+bool InstrumentedPlausibility::step(std::int64_t value) {
+  const bool below = reg_.lt(site_low_, value, low_);
+  const bool above = reg_.gt(site_high_, value, high_);
+  if (reg_.logical_or(site_or_, below, above)) {
+    violations_ = reg_.add(site_inc_, violations_, 1);
+  } else if (reg_.alive(site_clr_)) {
+    violations_ = 0;
+  }
+  if (reg_.ge(site_deb_, violations_, debounce_)) failed_ = true;
+  return failed_;
+}
+
+}  // namespace vps::mutation

@@ -1,0 +1,65 @@
+#pragma once
+
+/// Instrumented reference DUTs for mutation-based testbench qualification.
+/// Both mirror logic used elsewhere in the framework, re-expressed through
+/// MutationRegistry operations so every decision is a mutation point.
+
+#include <cstdint>
+#include <span>
+
+#include "vps/mutation/mutation.hpp"
+
+namespace vps::mutation {
+
+/// Airbag deployment decision (the CAPS firmware decision kernel):
+/// deploy after `required` consecutive samples strictly above `threshold`.
+class InstrumentedDeployLogic {
+ public:
+  InstrumentedDeployLogic(MutationRegistry& registry, std::int64_t threshold = 200,
+                          std::int64_t required = 3);
+
+  /// Feeds one sample; returns the current deploy decision.
+  bool step(std::int64_t sample);
+  void reset() noexcept { consecutive_ = 0; deployed_ = false; }
+  [[nodiscard]] bool deployed() const noexcept { return deployed_; }
+
+ private:
+  MutationRegistry& reg_;
+  std::int64_t threshold_;
+  std::int64_t required_;
+  std::int64_t consecutive_ = 0;
+  bool deployed_ = false;
+  std::size_t site_cmp_;
+  std::size_t site_thresh_;
+  std::size_t site_inc_;
+  std::size_t site_reset_;
+  std::size_t site_required_;
+  std::size_t site_done_;
+};
+
+/// Range plausibility check with hysteresis: value must lie in
+/// [low, high]; `debounce` consecutive violations latch a failure flag.
+class InstrumentedPlausibility {
+ public:
+  InstrumentedPlausibility(MutationRegistry& registry, std::int64_t low, std::int64_t high,
+                           std::int64_t debounce = 2);
+
+  bool step(std::int64_t value);  ///< returns the latched failure flag
+  void reset() noexcept { violations_ = 0; failed_ = false; }
+
+ private:
+  MutationRegistry& reg_;
+  std::int64_t low_;
+  std::int64_t high_;
+  std::int64_t debounce_;
+  std::int64_t violations_ = 0;
+  bool failed_ = false;
+  std::size_t site_low_;
+  std::size_t site_high_;
+  std::size_t site_or_;
+  std::size_t site_inc_;
+  std::size_t site_deb_;
+  std::size_t site_clr_;
+};
+
+}  // namespace vps::mutation

@@ -1,0 +1,175 @@
+#include "vps/mutation/mutation.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::mutation {
+
+using support::ensure;
+
+const char* to_string(Operator op) noexcept {
+  switch (op) {
+    case Operator::kAddToSub: return "AOR(+->-)";
+    case Operator::kSubToAdd: return "AOR(-->+)";
+    case Operator::kMulToAdd: return "AOR(*->+)";
+    case Operator::kLtToLe: return "ROR(<-><=)";
+    case Operator::kLeToLt: return "ROR(<=-><)";
+    case Operator::kGtToGe: return "ROR(>->>=)";
+    case Operator::kGeToGt: return "ROR(>=->>)";
+    case Operator::kEqToNe: return "ROR(==->!=)";
+    case Operator::kNeToEq: return "ROR(!=->==)";
+    case Operator::kAndToOr: return "LCR(&&->||)";
+    case Operator::kOrToAnd: return "LCR(||->&&)";
+    case Operator::kConstPlus1: return "CR(c->c+1)";
+    case Operator::kConstMinus1: return "CR(c->c-1)";
+    case Operator::kConstZero: return "CR(c->0)";
+    case Operator::kStmtDelete: return "SDL";
+    case Operator::kNegate: return "UOI(neg)";
+  }
+  return "?";
+}
+
+std::size_t MutationRegistry::add_site(std::string name, std::vector<Operator> applicable) {
+  ensure(!applicable.empty(), "MutationRegistry: site without applicable operators");
+  for (std::size_t i = 0; i < sites_.size(); ++i) {
+    if (sites_[i].name == name) {
+      ensure(sites_[i].applicable == applicable,
+             "MutationRegistry: site re-registered with different operators: " + name);
+      return i;
+    }
+  }
+  sites_.push_back(Site{std::move(name), std::move(applicable), 0});
+  return sites_.size() - 1;
+}
+
+const std::string& MutationRegistry::site_name(std::size_t site) const {
+  ensure(site < sites_.size(), "MutationRegistry: unknown site");
+  return sites_[site].name;
+}
+
+std::vector<Mutant> MutationRegistry::enumerate_mutants() const {
+  std::vector<Mutant> mutants;
+  for (std::size_t s = 0; s < sites_.size(); ++s) {
+    for (Operator op : sites_[s].applicable) mutants.push_back({s, op});
+  }
+  return mutants;
+}
+
+void MutationRegistry::activate(Mutant mutant) {
+  ensure(mutant.site < sites_.size(), "MutationRegistry: unknown site");
+  const auto& ops = sites_[mutant.site].applicable;
+  ensure(std::find(ops.begin(), ops.end(), mutant.op) != ops.end(),
+         "MutationRegistry: operator not applicable at site " + sites_[mutant.site].name);
+  mutant_ = mutant;
+  active_ = true;
+}
+
+void MutationRegistry::reset_coverage() noexcept {
+  for (auto& s : sites_) s.executions = 0;
+}
+
+double MutationRegistry::site_coverage() const noexcept {
+  if (sites_.empty()) return 1.0;
+  std::size_t hit = 0;
+  for (const auto& s : sites_) hit += s.executions > 0;
+  return static_cast<double>(hit) / static_cast<double>(sites_.size());
+}
+
+std::uint64_t MutationRegistry::executions(std::size_t site) const {
+  ensure(site < sites_.size(), "MutationRegistry: unknown site");
+  return sites_[site].executions;
+}
+
+bool MutationRegistry::active_here(std::size_t site, Operator op) noexcept {
+  ++sites_[site].executions;
+  return active_ && mutant_.site == site && mutant_.op == op;
+}
+
+std::int64_t MutationRegistry::add(std::size_t site, std::int64_t a, std::int64_t b) {
+  return active_here(site, Operator::kAddToSub) ? a - b : a + b;
+}
+std::int64_t MutationRegistry::sub(std::size_t site, std::int64_t a, std::int64_t b) {
+  return active_here(site, Operator::kSubToAdd) ? a + b : a - b;
+}
+std::int64_t MutationRegistry::mul(std::size_t site, std::int64_t a, std::int64_t b) {
+  return active_here(site, Operator::kMulToAdd) ? a + b : a * b;
+}
+bool MutationRegistry::lt(std::size_t site, std::int64_t a, std::int64_t b) {
+  return active_here(site, Operator::kLtToLe) ? a <= b : a < b;
+}
+bool MutationRegistry::le(std::size_t site, std::int64_t a, std::int64_t b) {
+  return active_here(site, Operator::kLeToLt) ? a < b : a <= b;
+}
+bool MutationRegistry::gt(std::size_t site, std::int64_t a, std::int64_t b) {
+  return active_here(site, Operator::kGtToGe) ? a >= b : a > b;
+}
+bool MutationRegistry::ge(std::size_t site, std::int64_t a, std::int64_t b) {
+  return active_here(site, Operator::kGeToGt) ? a > b : a >= b;
+}
+bool MutationRegistry::eq(std::size_t site, std::int64_t a, std::int64_t b) {
+  return active_here(site, Operator::kEqToNe) ? a != b : a == b;
+}
+bool MutationRegistry::ne(std::size_t site, std::int64_t a, std::int64_t b) {
+  return active_here(site, Operator::kNeToEq) ? a == b : a != b;
+}
+bool MutationRegistry::logical_and(std::size_t site, bool a, bool b) {
+  return active_here(site, Operator::kAndToOr) ? (a || b) : (a && b);
+}
+bool MutationRegistry::logical_or(std::size_t site, bool a, bool b) {
+  return active_here(site, Operator::kOrToAnd) ? (a && b) : (a || b);
+}
+std::int64_t MutationRegistry::constant(std::size_t site, std::int64_t value) {
+  if (active_here(site, Operator::kConstPlus1)) return value + 1;
+  if (active_ && mutant_.site == site && mutant_.op == Operator::kConstMinus1) return value - 1;
+  if (active_ && mutant_.site == site && mutant_.op == Operator::kConstZero) return 0;
+  return value;
+}
+bool MutationRegistry::alive(std::size_t site) {
+  return !active_here(site, Operator::kStmtDelete);
+}
+std::int64_t MutationRegistry::value(std::size_t site, std::int64_t v) {
+  return active_here(site, Operator::kNegate) ? -v : v;
+}
+
+MutationReport MutationEngine::run(const std::function<bool()>& test_suite) {
+  MutationReport report;
+
+  // Coverage baseline: run the suite once unmutated.
+  registry_.deactivate();
+  registry_.reset_coverage();
+  const bool baseline_passes = test_suite();
+  ++report.test_executions;
+  report.site_coverage = registry_.site_coverage();
+  ensure(baseline_passes, "MutationEngine: test suite fails on the unmutated model");
+
+  for (const Mutant& mutant : registry_.enumerate_mutants()) {
+    registry_.activate(mutant);
+    const bool passes = test_suite();
+    ++report.test_executions;
+    ++report.total_mutants;
+    if (!passes) {
+      ++report.killed;
+    } else {
+      report.live.push_back(mutant);
+    }
+  }
+  registry_.deactivate();
+  return report;
+}
+
+std::string MutationReport::render(const MutationRegistry& registry) const {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "mutation score %.1f%% (%zu/%zu killed), site coverage %.1f%%, %llu test runs\n",
+                100.0 * score(), killed, total_mutants, 100.0 * site_coverage,
+                static_cast<unsigned long long>(test_executions));
+  std::string out = buf;
+  for (const Mutant& m : live) {
+    out += "  LIVE: " + registry.site_name(m.site) + " " + to_string(m.op) + "\n";
+  }
+  return out;
+}
+
+}  // namespace vps::mutation

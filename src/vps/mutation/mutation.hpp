@@ -1,0 +1,125 @@
+#pragma once
+
+/// Mutation analysis for testbench qualification (paper Sec. 2.4). Models
+/// register *mutation points*; every arithmetic/relational/logical
+/// operation routed through the registry can be switched to a mutated
+/// semantics at runtime — the "mutant schema" technique (refs [21,30]) that
+/// avoids one rebuild per mutant. The engine activates each mutant in turn,
+/// reruns the testbench, and reports the mutation score.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace vps::mutation {
+
+/// Classic mutation operators (DeMillo-style programmer-fault models).
+enum class Operator : std::uint8_t {
+  kAddToSub,    ///< a + b -> a - b
+  kSubToAdd,    ///< a - b -> a + b
+  kMulToAdd,    ///< a * b -> a + b
+  kLtToLe,      ///< a <  b -> a <= b
+  kLeToLt,      ///< a <= b -> a <  b
+  kGtToGe,      ///< a >  b -> a >= b
+  kGeToGt,      ///< a >= b -> a >  b
+  kEqToNe,      ///< a == b -> a != b
+  kNeToEq,      ///< a != b -> a == b
+  kAndToOr,     ///< a && b -> a || b
+  kOrToAnd,     ///< a || b -> a && b
+  kConstPlus1,  ///< c -> c + 1
+  kConstMinus1, ///< c -> c - 1
+  kConstZero,   ///< c -> 0
+  kStmtDelete,  ///< guarded statement removed
+  kNegate,      ///< v -> -v
+};
+
+[[nodiscard]] const char* to_string(Operator op) noexcept;
+
+struct Mutant {
+  std::size_t site = 0;
+  Operator op = Operator::kAddToSub;
+};
+
+/// Holds the mutation points of one model and the currently active mutant.
+/// The instrumented operation helpers are the model's only obligation.
+class MutationRegistry {
+ public:
+  /// Declares a mutation point; `applicable` lists the operators that make
+  /// sense at this site (e.g. a '+' site takes kAddToSub). Idempotent by
+  /// name: re-registering (a test suite constructing a fresh DUT per run)
+  /// returns the existing site.
+  std::size_t add_site(std::string name, std::vector<Operator> applicable);
+
+  [[nodiscard]] std::size_t site_count() const noexcept { return sites_.size(); }
+  [[nodiscard]] const std::string& site_name(std::size_t site) const;
+  [[nodiscard]] std::vector<Mutant> enumerate_mutants() const;
+
+  void activate(Mutant mutant);
+  void deactivate() noexcept { active_ = false; }
+  [[nodiscard]] bool has_active() const noexcept { return active_; }
+  [[nodiscard]] Mutant active_mutant() const noexcept { return mutant_; }
+
+  /// Execution-coverage bookkeeping: which sites the test suite reached.
+  void reset_coverage() noexcept;
+  [[nodiscard]] double site_coverage() const noexcept;
+  [[nodiscard]] std::uint64_t executions(std::size_t site) const;
+
+  // --- instrumented operations (hot path) --------------------------------
+  [[nodiscard]] std::int64_t add(std::size_t site, std::int64_t a, std::int64_t b);
+  [[nodiscard]] std::int64_t sub(std::size_t site, std::int64_t a, std::int64_t b);
+  [[nodiscard]] std::int64_t mul(std::size_t site, std::int64_t a, std::int64_t b);
+  [[nodiscard]] bool lt(std::size_t site, std::int64_t a, std::int64_t b);
+  [[nodiscard]] bool le(std::size_t site, std::int64_t a, std::int64_t b);
+  [[nodiscard]] bool gt(std::size_t site, std::int64_t a, std::int64_t b);
+  [[nodiscard]] bool ge(std::size_t site, std::int64_t a, std::int64_t b);
+  [[nodiscard]] bool eq(std::size_t site, std::int64_t a, std::int64_t b);
+  [[nodiscard]] bool ne(std::size_t site, std::int64_t a, std::int64_t b);
+  [[nodiscard]] bool logical_and(std::size_t site, bool a, bool b);
+  [[nodiscard]] bool logical_or(std::size_t site, bool a, bool b);
+  [[nodiscard]] std::int64_t constant(std::size_t site, std::int64_t value);
+  /// Statement-deletion guard: wrap side effects in `if (reg.alive(site))`.
+  [[nodiscard]] bool alive(std::size_t site);
+  [[nodiscard]] std::int64_t value(std::size_t site, std::int64_t v);  ///< kNegate target
+
+ private:
+  struct Site {
+    std::string name;
+    std::vector<Operator> applicable;
+    std::uint64_t executions = 0;
+  };
+  [[nodiscard]] bool active_here(std::size_t site, Operator op) noexcept;
+
+  std::vector<Site> sites_;
+  bool active_ = false;
+  Mutant mutant_{};
+};
+
+/// Testbench-quality report.
+struct MutationReport {
+  std::size_t total_mutants = 0;
+  std::size_t killed = 0;
+  std::vector<Mutant> live;
+  double site_coverage = 0.0;  ///< structural metric for comparison
+  std::uint64_t test_executions = 0;
+
+  [[nodiscard]] double score() const noexcept {
+    return total_mutants == 0 ? 1.0
+                              : static_cast<double>(killed) / static_cast<double>(total_mutants);
+  }
+  [[nodiscard]] std::string render(const MutationRegistry& registry) const;
+};
+
+/// Runs every mutant against the given test suite. The suite returns true
+/// when all its checks pass; a mutant is *killed* when the suite fails.
+class MutationEngine {
+ public:
+  explicit MutationEngine(MutationRegistry& registry) : registry_(registry) {}
+
+  [[nodiscard]] MutationReport run(const std::function<bool()>& test_suite);
+
+ private:
+  MutationRegistry& registry_;
+};
+
+}  // namespace vps::mutation

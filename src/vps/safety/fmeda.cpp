@@ -1,0 +1,100 @@
+#include "vps/safety/fmeda.hpp"
+
+#include <cstdio>
+
+#include "vps/support/ensure.hpp"
+#include "vps/support/table.hpp"
+
+namespace vps::safety {
+
+const char* to_string(Asil a) noexcept {
+  switch (a) {
+    case Asil::kQM: return "QM";
+    case Asil::kA: return "ASIL-A";
+    case Asil::kB: return "ASIL-B";
+    case Asil::kC: return "ASIL-C";
+    case Asil::kD: return "ASIL-D";
+  }
+  return "?";
+}
+
+Asil determine_asil(Severity s, Exposure e, Controllability c) noexcept {
+  // ISO 26262-3 risk graph: index = S + E + C steps above the minimum that
+  // still carries risk. S0, E0 or C0 always yield QM.
+  if (s == Severity::kS0 || e == Exposure::kE0 || c == Controllability::kC0) return Asil::kQM;
+  const int si = static_cast<int>(s);   // 1..3
+  const int ei = static_cast<int>(e);   // 1..4
+  const int ci = static_cast<int>(c);   // 1..3
+  // The standard's table is equivalent to this sum rule:
+  //   sum = S + E + C; ASIL D at 10, C at 9, B at 8, A at 7, QM below.
+  const int sum = si + ei + ci;
+  if (sum >= 10) return Asil::kD;
+  if (sum == 9) return Asil::kC;
+  if (sum == 8) return Asil::kB;
+  if (sum == 7) return Asil::kA;
+  return Asil::kQM;
+}
+
+bool FmedaMetrics::meets(Asil target) const noexcept {
+  switch (target) {
+    case Asil::kQM:
+    case Asil::kA: return true;  // no architectural-metric targets
+    case Asil::kB: return spfm >= 0.90 && lfm >= 0.60 && pmhf_fit < 100.0;
+    case Asil::kC: return spfm >= 0.97 && lfm >= 0.80 && pmhf_fit < 100.0;
+    case Asil::kD: return spfm >= 0.99 && lfm >= 0.90 && pmhf_fit < 10.0;
+  }
+  return false;
+}
+
+void Fmeda::add_row(FmedaRow row) {
+  support::ensure(row.fit >= 0.0, "Fmeda: negative FIT");
+  support::ensure(row.diagnostic_coverage >= 0.0 && row.diagnostic_coverage <= 1.0,
+                  "Fmeda: DC out of [0,1]");
+  support::ensure(row.latent_coverage >= 0.0 && row.latent_coverage <= 1.0,
+                  "Fmeda: latent coverage out of [0,1]");
+  rows_.push_back(std::move(row));
+}
+
+FmedaMetrics Fmeda::metrics() const {
+  FmedaMetrics m;
+  for (const auto& row : rows_) {
+    m.total_fit += row.fit;
+    if (!row.safety_related) continue;
+    m.safety_related_fit += row.fit;
+    // Residual faults: the safety mechanisms miss (1 - DC) of them; those
+    // can violate the safety goal directly (single-point/residual).
+    const double residual = row.fit * (1.0 - row.diagnostic_coverage);
+    m.residual_fit += residual;
+    // Latent multi-point faults: detected-but-dormant share never revealed.
+    const double covered = row.fit * row.diagnostic_coverage;
+    m.latent_fit += covered * (1.0 - row.latent_coverage);
+  }
+  if (m.safety_related_fit > 0.0) {
+    m.spfm = 1.0 - m.residual_fit / m.safety_related_fit;
+    const double non_spf = m.safety_related_fit - m.residual_fit;
+    m.lfm = non_spf > 0.0 ? 1.0 - m.latent_fit / non_spf : 1.0;
+  }
+  m.pmhf_fit = m.residual_fit;  // first-order PMHF: residual rate
+  return m;
+}
+
+std::string Fmeda::render() const {
+  support::Table t({"component", "failure mode", "FIT", "SR", "DC", "residual FIT"});
+  for (const auto& row : rows_) {
+    char fit[32], dc[32], res[32];
+    std::snprintf(fit, sizeof fit, "%.3g", row.fit);
+    std::snprintf(dc, sizeof dc, "%.2f", row.diagnostic_coverage);
+    std::snprintf(res, sizeof res, "%.3g",
+                  row.safety_related ? row.fit * (1.0 - row.diagnostic_coverage) : 0.0);
+    t.add_row({row.component, row.failure_mode, fit, row.safety_related ? "yes" : "no", dc, res});
+  }
+  const auto m = metrics();
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "SPFM=%.4f  LFM=%.4f  PMHF=%.3g FIT  (ASIL-B:%s  ASIL-C:%s  ASIL-D:%s)\n",
+                m.spfm, m.lfm, m.pmhf_fit, m.meets(Asil::kB) ? "pass" : "FAIL",
+                m.meets(Asil::kC) ? "pass" : "FAIL", m.meets(Asil::kD) ? "pass" : "FAIL");
+  return t.render() + buf;
+}
+
+}  // namespace vps::safety

@@ -1,0 +1,61 @@
+#pragma once
+
+/// FMEDA with the ISO 26262-5 hardware architectural metrics: single-point
+/// fault metric (SPFM), latent fault metric (LFM), and PMHF, evaluated
+/// against the ASIL B/C/D targets. Also the ISO 26262-3 hazard
+/// classification (S/E/C -> ASIL).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vps::safety {
+
+/// ISO 26262-3 hazard analysis inputs.
+enum class Severity : std::uint8_t { kS0, kS1, kS2, kS3 };
+enum class Exposure : std::uint8_t { kE0, kE1, kE2, kE3, kE4 };
+enum class Controllability : std::uint8_t { kC0, kC1, kC2, kC3 };
+enum class Asil : std::uint8_t { kQM, kA, kB, kC, kD };
+
+[[nodiscard]] const char* to_string(Asil a) noexcept;
+
+/// ASIL determination per the ISO 26262-3 risk graph.
+[[nodiscard]] Asil determine_asil(Severity s, Exposure e, Controllability c) noexcept;
+
+/// One failure mode of one component.
+struct FmedaRow {
+  std::string component;
+  std::string failure_mode;
+  double fit = 0.0;              ///< failure rate (1e-9/h)
+  bool safety_related = true;    ///< can it violate the safety goal at all?
+  double diagnostic_coverage = 0.0;  ///< fraction caught by safety mechanisms
+  double latent_coverage = 1.0;  ///< fraction of multi-point faults revealed
+};
+
+struct FmedaMetrics {
+  double total_fit = 0.0;
+  double safety_related_fit = 0.0;
+  double residual_fit = 0.0;  ///< undetected, safety-goal-violating (SPF+RF)
+  double latent_fit = 0.0;    ///< undetected multi-point
+  double spfm = 1.0;
+  double lfm = 1.0;
+  double pmhf_fit = 0.0;  ///< per-hour probability metric in FIT
+
+  /// Checks the architectural-metric targets of ISO 26262-5 tables.
+  [[nodiscard]] bool meets(Asil target) const noexcept;
+};
+
+class Fmeda {
+ public:
+  void add_row(FmedaRow row);
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+  [[nodiscard]] const std::vector<FmedaRow>& rows() const noexcept { return rows_; }
+
+  [[nodiscard]] FmedaMetrics metrics() const;
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::vector<FmedaRow> rows_;
+};
+
+}  // namespace vps::safety

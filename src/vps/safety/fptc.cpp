@@ -1,0 +1,86 @@
+#include "vps/safety/fptc.hpp"
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::safety {
+
+using support::ensure;
+
+const char* to_string(FailureClass c) noexcept {
+  switch (c) {
+    case FailureClass::kValue: return "value";
+    case FailureClass::kEarly: return "early";
+    case FailureClass::kLate: return "late";
+    case FailureClass::kOmission: return "omission";
+    case FailureClass::kCommission: return "commission";
+  }
+  return "?";
+}
+
+TransformRule& TransformRule::map(FailureClass in, std::set<FailureClass> out) {
+  transforms_[in] = std::move(out);
+  return *this;
+}
+
+TransformRule& TransformRule::generate(FailureClass out) {
+  spontaneous_.insert(out);
+  return *this;
+}
+
+std::set<FailureClass> TransformRule::apply(const std::set<FailureClass>& incoming) const {
+  std::set<FailureClass> out = spontaneous_;
+  for (FailureClass in : incoming) {
+    const auto it = transforms_.find(in);
+    if (it == transforms_.end()) {
+      out.insert(in);  // default: propagate unchanged
+    } else {
+      out.insert(it->second.begin(), it->second.end());
+    }
+  }
+  return out;
+}
+
+FptcGraph::ComponentId FptcGraph::add_component(std::string name, TransformRule rule) {
+  components_.push_back(Component{std::move(name), std::move(rule), {}});
+  return components_.size() - 1;
+}
+
+void FptcGraph::connect(ComponentId from, ComponentId to) {
+  ensure(from < components_.size() && to < components_.size(), "FptcGraph: unknown component");
+  components_[to].inputs.push_back(from);
+}
+
+const std::string& FptcGraph::name(ComponentId id) const {
+  ensure(id < components_.size(), "FptcGraph: unknown component");
+  return components_[id].name;
+}
+
+std::vector<std::set<FailureClass>> FptcGraph::propagate() const {
+  std::vector<std::set<FailureClass>> out(components_.size());
+  // Monotone set-valued fixpoint; the lattice height bounds the iterations.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+      std::set<FailureClass> incoming;
+      for (ComponentId in : components_[i].inputs) {
+        incoming.insert(out[in].begin(), out[in].end());
+      }
+      auto next = components_[i].rule.apply(incoming);
+      if (next != out[i]) {
+        out[i] = std::move(next);
+        changed = true;
+      }
+    }
+  }
+  return out;
+}
+
+bool FptcGraph::failure_reaches(ComponentId sink) const { return !failures_at(sink).empty(); }
+
+std::set<FailureClass> FptcGraph::failures_at(ComponentId sink) const {
+  ensure(sink < components_.size(), "FptcGraph: unknown component");
+  return propagate()[sink];
+}
+
+}  // namespace vps::safety

@@ -1,0 +1,72 @@
+#pragma once
+
+/// Failure Propagation and Transformation Calculus (paper ref [4]): each
+/// component declares how it transforms incoming failure classes; the
+/// analysis computes the set-valued fixpoint over the (possibly cyclic)
+/// component graph, answering "which failures can reach which component".
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace vps::safety {
+
+/// Classic FPTC failure classes.
+enum class FailureClass : std::uint8_t {
+  kValue,       ///< wrong value, right time
+  kEarly,       ///< right value, too early
+  kLate,        ///< right value, too late
+  kOmission,    ///< expected output missing
+  kCommission,  ///< unexpected output produced
+};
+
+[[nodiscard]] const char* to_string(FailureClass c) noexcept;
+
+/// Transformation behaviour of one component. Unmapped incoming classes
+/// propagate unchanged; mapped classes transform (or are masked when the
+/// target set is empty).
+class TransformRule {
+ public:
+  /// in -> {out...}; an empty set masks the failure.
+  TransformRule& map(FailureClass in, std::set<FailureClass> out);
+  /// Convenience: masks the class entirely (e.g. a voter masking kValue).
+  TransformRule& mask(FailureClass in) { return map(in, {}); }
+  /// Failures this component generates spontaneously (failure source).
+  TransformRule& generate(FailureClass out);
+
+  [[nodiscard]] std::set<FailureClass> apply(const std::set<FailureClass>& incoming) const;
+
+ private:
+  std::map<FailureClass, std::set<FailureClass>> transforms_;
+  std::set<FailureClass> spontaneous_;
+};
+
+class FptcGraph {
+ public:
+  using ComponentId = std::size_t;
+
+  ComponentId add_component(std::string name, TransformRule rule = {});
+  void connect(ComponentId from, ComponentId to);
+
+  [[nodiscard]] std::size_t component_count() const noexcept { return components_.size(); }
+  [[nodiscard]] const std::string& name(ComponentId id) const;
+
+  /// Set-valued fixpoint: output failure classes per component.
+  [[nodiscard]] std::vector<std::set<FailureClass>> propagate() const;
+
+  /// True when any failure class reaches `sink`.
+  [[nodiscard]] bool failure_reaches(ComponentId sink) const;
+  [[nodiscard]] std::set<FailureClass> failures_at(ComponentId sink) const;
+
+ private:
+  struct Component {
+    std::string name;
+    TransformRule rule;
+    std::vector<ComponentId> inputs;
+  };
+  std::vector<Component> components_;
+};
+
+}  // namespace vps::safety

@@ -1,0 +1,37 @@
+#include "vps/safety/ft_synthesis.hpp"
+
+#include <algorithm>
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::safety {
+
+SynthesizedTree synthesize_fault_tree(const std::string& hazard_name,
+                                      const std::vector<HazardContribution>& contributions) {
+  SynthesizedTree result;
+  std::vector<FaultTree::NodeId> children;
+  for (const auto& c : contributions) {
+    support::ensure(c.occurrence_probability >= 0.0 && c.occurrence_probability <= 1.0,
+                    "synthesize_fault_tree: occurrence probability out of [0,1]");
+    support::ensure(c.conditional_hazard >= 0.0 && c.conditional_hazard <= 1.0,
+                    "synthesize_fault_tree: conditional hazard out of [0,1]");
+    if (c.conditional_hazard <= 0.0) {
+      result.basic_events.push_back(static_cast<FaultTree::NodeId>(-1));
+      continue;
+    }
+    const double p = std::min(1.0, c.occurrence_probability * c.conditional_hazard);
+    const auto id = result.tree.add_basic_event(c.fault_name, p);
+    result.basic_events.push_back(id);
+    children.push_back(id);
+  }
+  if (children.empty()) {
+    // Degenerate but valid: a hazard with no observed contributors.
+    const auto never = result.tree.add_basic_event("no_observed_contributor", 0.0);
+    children.push_back(never);
+  }
+  const auto top = result.tree.add_gate(hazard_name, GateType::kOr, children);
+  result.tree.set_top(top);
+  return result;
+}
+
+}  // namespace vps::safety

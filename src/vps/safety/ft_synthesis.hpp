@@ -1,0 +1,37 @@
+#pragma once
+
+/// Fault-tree synthesis from error-effect simulation results (paper ref [8]
+/// and Sec. 2.1): hazard-producing fault populations observed in a campaign
+/// become basic events whose probabilities combine the mission fault rate
+/// with the simulated conditional hazard probability; the synthesized tree
+/// reproduces what an expert would draw by hand.
+
+#include <string>
+#include <vector>
+
+#include "vps/safety/fta.hpp"
+
+namespace vps::safety {
+
+/// One fault population's contribution to the hazard, as measured by an
+/// error-effect campaign.
+struct HazardContribution {
+  std::string fault_name;
+  double occurrence_probability = 0.0;  ///< P(fault occurs in the mission)
+  double conditional_hazard = 0.0;      ///< P(hazard | fault), from simulation
+  std::uint64_t observed_injections = 0;
+  std::uint64_t observed_hazards = 0;
+};
+
+struct SynthesizedTree {
+  FaultTree tree;
+  std::vector<FaultTree::NodeId> basic_events;  ///< same order as contributions
+};
+
+/// Builds "hazard = OR over (fault_i AND unprotected_i)" collapsed to basic
+/// events with p_i = occurrence * conditional hazard probability.
+/// Contributions with zero conditional hazard are skipped.
+[[nodiscard]] SynthesizedTree synthesize_fault_tree(
+    const std::string& hazard_name, const std::vector<HazardContribution>& contributions);
+
+}  // namespace vps::safety

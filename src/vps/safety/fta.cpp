@@ -1,0 +1,243 @@
+#include "vps/safety/fta.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::safety {
+
+using support::ensure;
+
+FaultTree::NodeId FaultTree::add_basic_event(std::string name, double probability) {
+  ensure(probability >= 0.0 && probability <= 1.0, "FaultTree: probability out of [0,1]");
+  Node n;
+  n.name = std::move(name);
+  n.basic = true;
+  n.probability = probability;
+  nodes_.push_back(std::move(n));
+  ++basic_count_;
+  return nodes_.size() - 1;
+}
+
+FaultTree::NodeId FaultTree::add_gate(std::string name, GateType type,
+                                      std::vector<NodeId> children, unsigned k) {
+  ensure(!children.empty(), "FaultTree: gate needs children");
+  for (NodeId c : children) ensure(c < nodes_.size(), "FaultTree: unknown child node");
+  if (type == GateType::kVote) {
+    ensure(k >= 1 && k <= children.size(), "FaultTree: vote gate k out of range");
+  }
+  Node n;
+  n.name = std::move(name);
+  n.basic = false;
+  n.type = type;
+  n.k = type == GateType::kVote ? k : 0;
+  n.children = std::move(children);
+  nodes_.push_back(std::move(n));
+  return nodes_.size() - 1;
+}
+
+void FaultTree::set_top(NodeId node) {
+  ensure(node < nodes_.size(), "FaultTree: unknown top node");
+  top_ = node;
+  top_set_ = true;
+}
+
+FaultTree::NodeId FaultTree::top() const {
+  ensure(top_set_, "FaultTree: top event not set");
+  return top_;
+}
+
+const std::string& FaultTree::name(NodeId id) const {
+  ensure(id < nodes_.size(), "FaultTree: unknown node");
+  return nodes_[id].name;
+}
+
+bool FaultTree::is_basic(NodeId id) const {
+  ensure(id < nodes_.size(), "FaultTree: unknown node");
+  return nodes_[id].basic;
+}
+
+double FaultTree::probability(NodeId basic) const {
+  ensure(basic < nodes_.size() && nodes_[basic].basic, "FaultTree: not a basic event");
+  return nodes_[basic].probability;
+}
+
+void FaultTree::set_probability(NodeId basic, double p) {
+  ensure(basic < nodes_.size() && nodes_[basic].basic, "FaultTree: not a basic event");
+  ensure(p >= 0.0 && p <= 1.0, "FaultTree: probability out of [0,1]");
+  nodes_[basic].probability = p;
+}
+
+bool FaultTree::evaluate(NodeId id, const std::vector<bool>& failed) const {
+  const Node& n = nodes_[id];
+  if (n.basic) return failed[id];
+  unsigned fail_count = 0;
+  for (NodeId c : n.children) fail_count += evaluate(c, failed) ? 1 : 0;
+  switch (n.type) {
+    case GateType::kAnd: return fail_count == n.children.size();
+    case GateType::kOr: return fail_count >= 1;
+    case GateType::kVote: return fail_count >= n.k;
+  }
+  return false;
+}
+
+std::vector<FaultTree::CutSet> FaultTree::minimal_cut_sets() const {
+  ensure(top_set_, "FaultTree: top event not set");
+  // MOCUS: each row is a conjunction of node ids; gates are expanded until
+  // only basic events remain. OR gates split a row, AND gates extend it.
+  std::vector<std::vector<NodeId>> rows{{top_}};
+  bool expanded = true;
+  while (expanded) {
+    expanded = false;
+    std::vector<std::vector<NodeId>> next;
+    for (auto& row : rows) {
+      std::size_t gate_pos = row.size();
+      for (std::size_t i = 0; i < row.size(); ++i) {
+        if (!nodes_[row[i]].basic) {
+          gate_pos = i;
+          break;
+        }
+      }
+      if (gate_pos == row.size()) {
+        next.push_back(std::move(row));
+        continue;
+      }
+      expanded = true;
+      const Node& gate = nodes_[row[gate_pos]];
+      auto base = row;
+      base.erase(base.begin() + static_cast<std::ptrdiff_t>(gate_pos));
+      if (gate.type == GateType::kAnd) {
+        auto merged = base;
+        merged.insert(merged.end(), gate.children.begin(), gate.children.end());
+        next.push_back(std::move(merged));
+      } else if (gate.type == GateType::kOr) {
+        for (NodeId c : gate.children) {
+          auto split = base;
+          split.push_back(c);
+          next.push_back(std::move(split));
+        }
+      } else {  // kVote: OR over all k-subsets ANDed together
+        const std::size_t n = gate.children.size();
+        std::vector<bool> mask(n, false);
+        std::fill(mask.end() - static_cast<std::ptrdiff_t>(gate.k), mask.end(), true);
+        do {
+          auto subset = base;
+          for (std::size_t i = 0; i < n; ++i) {
+            if (mask[i]) subset.push_back(gate.children[i]);
+          }
+          next.push_back(std::move(subset));
+        } while (std::next_permutation(mask.begin(), mask.end()));
+      }
+    }
+    rows = std::move(next);
+  }
+
+  // Deduplicate events within rows, then minimize by absorption.
+  std::vector<CutSet> cuts;
+  for (auto& row : rows) {
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    cuts.push_back(std::move(row));
+  }
+  std::sort(cuts.begin(), cuts.end(), [](const CutSet& a, const CutSet& b) {
+    return a.size() != b.size() ? a.size() < b.size() : a < b;
+  });
+  std::vector<CutSet> minimal;
+  for (const auto& cut : cuts) {
+    bool absorbed = false;
+    for (const auto& kept : minimal) {
+      if (std::includes(cut.begin(), cut.end(), kept.begin(), kept.end())) {
+        absorbed = true;
+        break;
+      }
+    }
+    if (!absorbed) minimal.push_back(cut);
+  }
+  return minimal;
+}
+
+double FaultTree::top_probability_exact() const {
+  ensure(top_set_, "FaultTree: top event not set");
+  std::vector<NodeId> basics;
+  for (NodeId i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].basic) basics.push_back(i);
+  }
+  ensure(basics.size() <= 24, "FaultTree: exact evaluation limited to 24 basic events");
+  const std::size_t combos = std::size_t{1} << basics.size();
+  std::vector<bool> failed(nodes_.size(), false);
+  double total = 0.0;
+  for (std::size_t m = 0; m < combos; ++m) {
+    double p = 1.0;
+    for (std::size_t b = 0; b < basics.size(); ++b) {
+      const bool f = ((m >> b) & 1u) != 0;
+      failed[basics[b]] = f;
+      p *= f ? nodes_[basics[b]].probability : 1.0 - nodes_[basics[b]].probability;
+    }
+    if (p > 0.0 && evaluate(top_, failed)) total += p;
+  }
+  return total;
+}
+
+double FaultTree::top_probability_rare_event() const {
+  double total = 0.0;
+  for (const auto& cut : minimal_cut_sets()) {
+    double p = 1.0;
+    for (NodeId e : cut) p *= nodes_[e].probability;
+    total += p;
+  }
+  return std::min(total, 1.0);
+}
+
+double FaultTree::exact_probability_with(NodeId fixed_event, bool fixed_value) const {
+  FaultTree copy = *this;
+  copy.nodes_[fixed_event].probability = fixed_value ? 1.0 : 0.0;
+  return copy.top_probability_exact();
+}
+
+double FaultTree::birnbaum_importance(NodeId basic) const {
+  ensure(basic < nodes_.size() && nodes_[basic].basic, "FaultTree: not a basic event");
+  return exact_probability_with(basic, true) - exact_probability_with(basic, false);
+}
+
+double FaultTree::fussell_vesely_importance(NodeId basic) const {
+  ensure(basic < nodes_.size() && nodes_[basic].basic, "FaultTree: not a basic event");
+  const double top = top_probability_rare_event();
+  if (top <= 0.0) return 0.0;
+  double with_event = 0.0;
+  for (const auto& cut : minimal_cut_sets()) {
+    if (std::find(cut.begin(), cut.end(), basic) == cut.end()) continue;
+    double p = 1.0;
+    for (NodeId e : cut) p *= nodes_[e].probability;
+    with_event += p;
+  }
+  return with_event / top;
+}
+
+std::vector<FaultTree::NodeId> FaultTree::single_points_of_failure() const {
+  std::vector<NodeId> out;
+  for (const auto& cut : minimal_cut_sets()) {
+    if (cut.size() == 1) out.push_back(cut[0]);
+  }
+  return out;
+}
+
+std::string FaultTree::render() const {
+  std::string out = "fault tree (top: " + nodes_[top_].name + ")\n";
+  char buf[160];
+  for (const auto& cut : minimal_cut_sets()) {
+    double p = 1.0;
+    out += "  cut {";
+    for (std::size_t i = 0; i < cut.size(); ++i) {
+      out += (i ? ", " : "") + nodes_[cut[i]].name;
+      p *= nodes_[cut[i]].probability;
+    }
+    std::snprintf(buf, sizeof buf, "}  p=%.3g\n", p);
+    out += buf;
+  }
+  std::snprintf(buf, sizeof buf, "  P(top) rare-event <= %.3g\n", top_probability_rare_event());
+  out += buf;
+  return out;
+}
+
+}  // namespace vps::safety

@@ -1,0 +1,81 @@
+#pragma once
+
+/// Fault Tree Analysis (paper Sec. 2.1): basic events with probabilities,
+/// AND/OR/k-of-n gates, MOCUS minimal-cut-set extraction, exact top-event
+/// probability (exhaustive over basic events, feasible for the tree sizes
+/// VP-level analyses produce), rare-event approximation for larger trees,
+/// and Birnbaum / Fussell-Vesely importance measures.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace vps::safety {
+
+enum class GateType : std::uint8_t { kAnd, kOr, kVote };
+
+class FaultTree {
+ public:
+  using NodeId = std::size_t;
+
+  /// Adds a leaf with the given failure probability (per mission/demand).
+  NodeId add_basic_event(std::string name, double probability);
+  /// Adds a gate over existing nodes. For kVote, `k` of the children must
+  /// fail for the gate to fail.
+  NodeId add_gate(std::string name, GateType type, std::vector<NodeId> children,
+                  unsigned k = 0);
+  void set_top(NodeId node);
+
+  [[nodiscard]] std::size_t node_count() const noexcept { return nodes_.size(); }
+  [[nodiscard]] std::size_t basic_event_count() const noexcept { return basic_count_; }
+  [[nodiscard]] const std::string& name(NodeId id) const;
+  [[nodiscard]] double probability(NodeId basic) const;
+  void set_probability(NodeId basic, double p);
+  [[nodiscard]] bool is_basic(NodeId id) const;
+  [[nodiscard]] NodeId top() const;
+
+  /// A cut set is a set of basic events whose joint failure fails the top.
+  using CutSet = std::vector<NodeId>;  // sorted, unique
+
+  /// Minimal cut sets via MOCUS with absorption minimization.
+  [[nodiscard]] std::vector<CutSet> minimal_cut_sets() const;
+
+  /// Exact top probability by Shannon enumeration over the basic events
+  /// (handles repeated events correctly). Requires <= 24 basic events.
+  [[nodiscard]] double top_probability_exact() const;
+
+  /// Rare-event upper bound: sum over minimal cut set probabilities.
+  [[nodiscard]] double top_probability_rare_event() const;
+
+  /// Birnbaum importance: P(top | e fails) - P(top | e works).
+  [[nodiscard]] double birnbaum_importance(NodeId basic) const;
+
+  /// Fussell-Vesely importance: probability-weighted share of cut sets
+  /// containing the event (rare-event form).
+  [[nodiscard]] double fussell_vesely_importance(NodeId basic) const;
+
+  /// Single points of failure: minimal cut sets of size one.
+  [[nodiscard]] std::vector<NodeId> single_points_of_failure() const;
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  struct Node {
+    std::string name;
+    bool basic = true;
+    double probability = 0.0;
+    GateType type = GateType::kOr;
+    unsigned k = 0;
+    std::vector<NodeId> children;
+  };
+
+  [[nodiscard]] bool evaluate(NodeId id, const std::vector<bool>& failed) const;
+  [[nodiscard]] double exact_probability_with(NodeId fixed_event, bool fixed_value) const;
+
+  std::vector<Node> nodes_;
+  std::size_t basic_count_ = 0;
+  NodeId top_ = 0;
+  bool top_set_ = false;
+};
+
+}  // namespace vps::safety

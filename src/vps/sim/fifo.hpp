@@ -1,0 +1,85 @@
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "vps/sim/kernel.hpp"
+#include "vps/support/ensure.hpp"
+
+namespace vps::sim {
+
+/// Bounded FIFO channel (sc_fifo analogue). Blocking access is provided as
+/// awaitable sub-coroutines so thread processes can `co_await fifo.push(x)`.
+template <typename T>
+class Fifo {
+ public:
+  Fifo(Kernel& kernel, std::string name, std::size_t capacity = 16)
+      : kernel_(kernel),
+        name_(std::move(name)),
+        capacity_(capacity),
+        written_(kernel, name_ + ".written"),
+        read_(kernel, name_ + ".read") {
+    support::ensure(capacity_ > 0, "Fifo capacity must be positive");
+  }
+
+  Fifo(const Fifo&) = delete;
+  Fifo& operator=(const Fifo&) = delete;
+
+  [[nodiscard]] std::size_t size() const noexcept { return items_.size(); }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  [[nodiscard]] bool empty() const noexcept { return items_.empty(); }
+  [[nodiscard]] bool full() const noexcept { return items_.size() >= capacity_; }
+  [[nodiscard]] Event& written_event() noexcept { return written_; }
+  [[nodiscard]] Event& read_event() noexcept { return read_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Non-blocking push; false when full.
+  bool nb_push(T value) {
+    if (full()) return false;
+    items_.push_back(std::move(value));
+    written_.notify();
+    return true;
+  }
+
+  /// Non-blocking pop; nullopt when empty.
+  std::optional<T> nb_pop() {
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    read_.notify();
+    return value;
+  }
+
+  [[nodiscard]] const T& front() const {
+    support::ensure(!items_.empty(), "Fifo::front on empty fifo");
+    return items_.front();
+  }
+
+  /// Blocking push: suspends the calling process while the FIFO is full.
+  [[nodiscard]] Coro push(T value) {
+    while (full()) co_await read_;
+    items_.push_back(std::move(value));
+    written_.notify();
+  }
+
+  /// Blocking pop into `out`: suspends while empty. (Coro carries no value,
+  /// so the result is returned through the reference.)
+  [[nodiscard]] Coro pop(T& out) {
+    while (items_.empty()) co_await written_;
+    out = std::move(items_.front());
+    items_.pop_front();
+    read_.notify();
+  }
+
+ private:
+  Kernel& kernel_;
+  std::string name_;
+  std::size_t capacity_;
+  std::deque<T> items_;
+  Event written_;
+  Event read_;
+};
+
+}  // namespace vps::sim

@@ -1,0 +1,359 @@
+#include "vps/sim/kernel.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::sim {
+
+using support::ensure;
+
+// ---------------------------------------------------------------------------
+// Time
+// ---------------------------------------------------------------------------
+
+Time Time::from_seconds(double s) noexcept {
+  if (s <= 0.0) return Time::zero();
+  const double ps = s * 1e12;
+  if (ps >= static_cast<double>(std::numeric_limits<std::uint64_t>::max())) return Time::max();
+  return Time::ps(static_cast<std::uint64_t>(std::llround(ps)));
+}
+
+std::string Time::to_string() const {
+  char buf[48];
+  if (ps_ == 0) return "0s";
+  if (ps_ % 1000000000000ULL == 0) {
+    std::snprintf(buf, sizeof buf, "%llus", static_cast<unsigned long long>(ps_ / 1000000000000ULL));
+  } else if (ps_ % 1000000000ULL == 0) {
+    std::snprintf(buf, sizeof buf, "%llums", static_cast<unsigned long long>(ps_ / 1000000000ULL));
+  } else if (ps_ % 1000000ULL == 0) {
+    std::snprintf(buf, sizeof buf, "%lluus", static_cast<unsigned long long>(ps_ / 1000000ULL));
+  } else if (ps_ % 1000ULL == 0) {
+    std::snprintf(buf, sizeof buf, "%lluns", static_cast<unsigned long long>(ps_ / 1000ULL));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llups", static_cast<unsigned long long>(ps_));
+  }
+  return buf;
+}
+
+// ---------------------------------------------------------------------------
+// Coro
+// ---------------------------------------------------------------------------
+
+Coro& Coro::operator=(Coro&& other) noexcept {
+  if (this != &other) {
+    if (handle_) handle_.destroy();
+    handle_ = other.handle_;
+    other.handle_ = nullptr;
+  }
+  return *this;
+}
+
+Coro::~Coro() {
+  if (handle_) handle_.destroy();
+}
+
+// ---------------------------------------------------------------------------
+// Event
+// ---------------------------------------------------------------------------
+
+Event::Event(Kernel& kernel, std::string name) : kernel_(kernel), name_(std::move(name)) {
+  kernel_.register_event(*this);
+}
+
+Event::~Event() { kernel_.unregister_event(*this); }
+
+void Event::notify_immediate() {
+  ++kernel_.stats_.notifications;
+  fire();
+}
+
+void Event::notify() {
+  ++kernel_.stats_.notifications;
+  if (delta_pending_) return;
+  delta_pending_ = true;
+  kernel_.queue_delta_notification(*this);
+}
+
+void Event::notify(Time delay) {
+  ++kernel_.stats_.notifications;
+  // Note: unlike IEEE-1666 (where a later notification at an earlier time
+  // overrides a pending one), every timed notification matures unless the
+  // event is cancelled. All models in this repository are written against
+  // these semantics.
+  kernel_.queue_timed_notification(*this, delay);
+}
+
+void Event::cancel() noexcept {
+  ++notify_generation_;
+  delta_pending_ = false;
+}
+
+void Event::fire() {
+  ++fire_count_;
+  delta_pending_ = false;
+  for (Process* p : static_waiters_) {
+    if (p->state_ != Process::State::kTerminated) kernel_.make_runnable(*p);
+  }
+  if (dynamic_waiters_.empty()) return;
+  auto waiters = std::move(dynamic_waiters_);
+  dynamic_waiters_.clear();
+  for (const DynamicWaiter& w : waiters) {
+    if (w.process->state_ == Process::State::kWaiting &&
+        w.process->wait_generation_ == w.generation) {
+      w.process->last_wait_timed_out_ = false;
+      kernel_.make_runnable(*w.process);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Process
+// ---------------------------------------------------------------------------
+
+Process::Process(Kernel& kernel, std::string name, Kind kind)
+    : kernel_(kernel), name_(std::move(name)), kind_(kind),
+      terminated_(std::make_unique<Event>(kernel, name_ + ".terminated")) {}
+
+void Process::kill() {
+  if (state_ == State::kTerminated) return;
+  state_ = State::kTerminated;
+  ++wait_generation_;  // invalidate pending wakeups
+  resume_point_ = nullptr;
+  terminated_->notify();
+}
+
+// ---------------------------------------------------------------------------
+// Awaiters
+// ---------------------------------------------------------------------------
+
+void DelayAwaiter::await_suspend(Coro::Handle h) {
+  Process* p = h.promise().process;
+  ensure(p != nullptr, "co_await delay() outside of a simulation process");
+  p->resume_point_ = h;
+  p->kernel_.schedule_process_resume(*p, delay, /*timeout_flag=*/false);
+}
+
+void EventAwaiter::await_suspend(Coro::Handle h) {
+  Process* p = h.promise().process;
+  ensure(p != nullptr, "co_await event outside of a simulation process");
+  p->resume_point_ = h;
+  event.add_dynamic(p, p->bump_generation());
+}
+
+void TimedEventAwaiter::await_suspend(Coro::Handle h) {
+  Process* p = h.promise().process;
+  ensure(p != nullptr, "co_await wait_with_timeout outside of a simulation process");
+  process = p;
+  p->resume_point_ = h;
+  const std::uint64_t gen = p->bump_generation();
+  event.add_dynamic(p, gen);
+  p->kernel_.schedule_timeout(*p, timeout, gen);
+}
+
+bool TimedEventAwaiter::await_resume() const noexcept {
+  return process != nullptr && !process->last_wait_timed_out();
+}
+
+// ---------------------------------------------------------------------------
+// Kernel
+// ---------------------------------------------------------------------------
+
+Kernel::Kernel() = default;
+Kernel::~Kernel() = default;
+
+Process& Kernel::spawn(std::string name, Coro coro) {
+  ensure(coro.valid(), "spawn: coroutine is empty");
+  auto process = std::unique_ptr<Process>(new Process(*this, std::move(name), Process::Kind::kThread));
+  Process& p = *process;
+  p.coro_ = std::move(coro);
+  auto& promise = p.coro_.handle().promise();
+  promise.kernel = this;
+  promise.process = &p;
+  p.resume_point_ = p.coro_.handle();
+  processes_.push_back(std::move(process));
+  make_runnable(p);
+  return p;
+}
+
+Process& Kernel::method(std::string name, std::function<void()> body,
+                        std::vector<Event*> sensitivity, bool initialize) {
+  ensure(static_cast<bool>(body), "method: body is empty");
+  auto process = std::unique_ptr<Process>(new Process(*this, std::move(name), Process::Kind::kMethod));
+  Process& p = *process;
+  p.body_ = std::move(body);
+  for (Event* e : sensitivity) {
+    ensure(e != nullptr, "method: null sensitivity event");
+    e->add_static(&p);
+  }
+  processes_.push_back(std::move(process));
+  if (initialize) make_runnable(p);
+  return p;
+}
+
+bool Kernel::has_pending_activity() const noexcept {
+  return !runnable_.empty() || !update_requests_.empty() || !delta_notifications_.empty() ||
+         !timed_.empty();
+}
+
+Time Kernel::next_activity_time() const noexcept {
+  if (!runnable_.empty() || !update_requests_.empty() || !delta_notifications_.empty()) return now_;
+  if (!timed_.empty()) return timed_.top().when;
+  return Time::max();
+}
+
+void Kernel::request_update(UpdateHook& hook) { update_requests_.push_back(&hook); }
+
+void Kernel::queue_delta_notification(Event& event) { delta_notifications_.push_back(&event); }
+
+void Kernel::queue_timed_notification(Event& event, Time delay) {
+  TimedEntry entry;
+  entry.when = now_ + delay;
+  entry.seq = next_seq_++;
+  entry.event = &event;
+  entry.event_generation = event.notify_generation_;
+  timed_.push(entry);
+}
+
+void Kernel::schedule_process_resume(Process& process, Time delay, bool timeout_flag) {
+  TimedEntry entry;
+  entry.when = now_ + delay;
+  entry.seq = next_seq_++;
+  entry.process = &process;
+  entry.process_generation = timeout_flag ? process.wait_generation_ : process.bump_generation();
+  entry.timeout_flag = timeout_flag;
+  timed_.push(entry);
+}
+
+void Kernel::schedule_timeout(Process& process, Time delay, std::uint64_t gen) {
+  TimedEntry entry;
+  entry.when = now_ + delay;
+  entry.seq = next_seq_++;
+  entry.process = &process;
+  entry.process_generation = gen;  // shares the generation of the event wait
+  entry.timeout_flag = true;
+  timed_.push(entry);
+}
+
+void Kernel::make_runnable(Process& process) {
+  if (process.queued_ || process.state_ == Process::State::kTerminated) return;
+  process.queued_ = true;
+  process.state_ = Process::State::kRunnable;
+  runnable_.push_back(&process);
+}
+
+void Kernel::run_process(Process& p) {
+  p.queued_ = false;
+  if (p.state_ == Process::State::kTerminated) return;
+  ++stats_.activations;
+  ++p.activations_;
+  current_ = &p;
+  if (p.kind_ == Process::Kind::kMethod) {
+    try {
+      p.body_();
+    } catch (...) {
+      pending_error_ = std::current_exception();
+    }
+  } else {
+    auto h = p.resume_point_;
+    p.resume_point_ = nullptr;
+    if (h && !h.done()) {
+      h.resume();
+    }
+    if (p.coro_.done()) {
+      p.state_ = Process::State::kTerminated;
+      p.terminated_->notify();
+      if (auto ex = p.coro_.handle().promise().exception) pending_error_ = ex;
+    }
+  }
+  current_ = nullptr;
+  if (p.state_ != Process::State::kTerminated) p.state_ = Process::State::kWaiting;
+}
+
+void Kernel::evaluate_phase() {
+  while (!runnable_.empty()) {
+    Process* p = runnable_.front();
+    runnable_.pop_front();
+    run_process(*p);
+  }
+}
+
+void Kernel::update_phase() {
+  if (update_requests_.empty()) return;
+  auto requests = std::move(update_requests_);
+  update_requests_.clear();
+  for (UpdateHook* hook : requests) {
+    hook->perform_update();
+    ++stats_.updates;
+  }
+}
+
+void Kernel::delta_notification_phase() {
+  if (delta_notifications_.empty()) return;
+  auto notifications = std::move(delta_notifications_);
+  delta_notifications_.clear();
+  for (Event* e : notifications) {
+    if (event_is_live(e) && e->delta_pending_) e->fire();
+  }
+}
+
+void Kernel::rethrow_pending_error() {
+  if (pending_error_) {
+    auto ex = pending_error_;
+    pending_error_ = nullptr;
+    std::rethrow_exception(ex);
+  }
+}
+
+bool Kernel::advance_time(Time until) {
+  auto entry_valid = [this](const TimedEntry& e) {
+    if (e.event != nullptr) {
+      return event_is_live(e.event) && e.event->notify_generation_ == e.event_generation;
+    }
+    return e.process->state_ == Process::State::kWaiting &&
+           e.process->wait_generation_ == e.process_generation;
+  };
+  while (!timed_.empty()) {
+    const TimedEntry& top = timed_.top();
+    if (!entry_valid(top)) {
+      timed_.pop();
+      continue;
+    }
+    if (top.when > until) {
+      now_ = until;
+      return false;
+    }
+    now_ = top.when;
+    ++stats_.timed_steps;
+    while (!timed_.empty() && timed_.top().when == now_) {
+      TimedEntry e = timed_.top();
+      timed_.pop();
+      if (!entry_valid(e)) continue;
+      if (e.event != nullptr) {
+        e.event->fire();
+      } else {
+        e.process->last_wait_timed_out_ = e.timeout_flag;
+        make_runnable(*e.process);
+      }
+    }
+    return true;
+  }
+  return false;
+}
+
+Time Kernel::run(Time until) {
+  stop_requested_ = false;
+  while (true) {
+    evaluate_phase();
+    update_phase();
+    delta_notification_phase();
+    ++stats_.delta_cycles;
+    rethrow_pending_error();
+    if (stop_requested_) return now_;
+    if (!runnable_.empty()) continue;  // another delta cycle at the same time
+    if (!advance_time(until)) return now_;
+  }
+}
+
+}  // namespace vps::sim

@@ -1,0 +1,377 @@
+#pragma once
+
+/// Discrete-event simulation kernel with SystemC-equivalent semantics:
+/// evaluate / update / delta-notify cycles, timed event queue, method
+/// processes (callback + static sensitivity) and thread processes
+/// (C++20 coroutines with co_await on delays and events).
+///
+/// The kernel is the substrate that stands in for an IEEE-1666 SystemC
+/// implementation in this reproduction; see DESIGN.md section 2.
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "vps/sim/time.hpp"
+
+namespace vps::sim {
+
+class Kernel;
+class Process;
+class Event;
+
+// ---------------------------------------------------------------------------
+// Coroutine task type for thread processes.
+// ---------------------------------------------------------------------------
+
+/// A lazily-started coroutine owned either by a Process (top level) or by the
+/// co_await expression of its caller (nested call). All framework coroutines
+/// use this single type so that the kernel/process context propagates through
+/// nested co_awaits.
+class [[nodiscard]] Coro {
+ public:
+  class promise_type;
+  using Handle = std::coroutine_handle<promise_type>;
+
+  class promise_type {
+   public:
+    Coro get_return_object() noexcept;
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    auto final_suspend() noexcept;
+    void return_void() noexcept {}
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+
+    Kernel* kernel = nullptr;
+    Process* process = nullptr;
+    std::coroutine_handle<> continuation;  // caller frame; null for top level
+    std::exception_ptr exception;
+  };
+
+  Coro() noexcept = default;
+  explicit Coro(Handle h) noexcept : handle_(h) {}
+  Coro(Coro&& other) noexcept : handle_(other.handle_) { other.handle_ = nullptr; }
+  Coro& operator=(Coro&& other) noexcept;
+  Coro(const Coro&) = delete;
+  Coro& operator=(const Coro&) = delete;
+  ~Coro();
+
+  [[nodiscard]] bool valid() const noexcept { return handle_ != nullptr; }
+  [[nodiscard]] Handle handle() const noexcept { return handle_; }
+  [[nodiscard]] bool done() const noexcept { return !handle_ || handle_.done(); }
+
+  /// Awaiting a Coro runs it to completion within the awaiting process
+  /// (symmetric transfer), then resumes the caller; exceptions propagate.
+  auto operator co_await() && noexcept;
+
+ private:
+  Handle handle_;
+};
+
+// ---------------------------------------------------------------------------
+// Event
+// ---------------------------------------------------------------------------
+
+/// Synchronization primitive equivalent to sc_event. Supports immediate,
+/// delta and timed notification; method processes subscribe statically,
+/// thread processes wait dynamically via co_await.
+class Event {
+ public:
+  explicit Event(Kernel& kernel, std::string name = {});
+  ~Event();
+  Event(const Event&) = delete;
+  Event& operator=(const Event&) = delete;
+
+  /// Triggers waiting processes within the current evaluation phase.
+  void notify_immediate();
+  /// Triggers at the end of the current delta cycle (after update phase).
+  void notify();
+  /// Triggers after the given simulated delay.
+  void notify(Time delay);
+  /// Cancels pending delta/timed notifications.
+  void cancel() noexcept;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] std::uint64_t fire_count() const noexcept { return fire_count_; }
+  [[nodiscard]] Kernel& kernel() const noexcept { return kernel_; }
+
+  /// co_await support for thread processes.
+  auto operator co_await() noexcept;
+
+ private:
+  friend class Kernel;
+  friend class Process;
+  friend struct EventAwaiter;
+  friend struct TimedEventAwaiter;
+
+  struct DynamicWaiter {
+    Process* process;
+    std::uint64_t generation;
+  };
+
+  void fire();  // called by the kernel when the notification matures
+  void add_static(Process* p) { static_waiters_.push_back(p); }
+  void add_dynamic(Process* p, std::uint64_t gen) { dynamic_waiters_.push_back({p, gen}); }
+
+  Kernel& kernel_;
+  std::string name_;
+  std::vector<Process*> static_waiters_;
+  std::vector<DynamicWaiter> dynamic_waiters_;
+  std::uint64_t notify_generation_ = 0;  // bump to invalidate queued notifications
+  bool delta_pending_ = false;
+  std::uint64_t fire_count_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Process
+// ---------------------------------------------------------------------------
+
+/// A schedulable unit: either a method (callback re-run on sensitivity) or a
+/// thread (coroutine resumed at its last suspension point).
+class Process {
+ public:
+  enum class Kind : std::uint8_t { kMethod, kThread };
+  enum class State : std::uint8_t { kWaiting, kRunnable, kTerminated };
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Kind kind() const noexcept { return kind_; }
+  [[nodiscard]] State state() const noexcept { return state_; }
+  [[nodiscard]] bool done() const noexcept { return state_ == State::kTerminated; }
+  /// Number of times this process has been activated by the scheduler.
+  [[nodiscard]] std::uint64_t activation_count() const noexcept { return activations_; }
+  /// Fired (delta) once when the process terminates; lets parents join forks.
+  [[nodiscard]] Event& terminated_event() noexcept { return *terminated_; }
+  /// True when the last co_await with a timeout expired before the event.
+  [[nodiscard]] bool last_wait_timed_out() const noexcept { return last_wait_timed_out_; }
+
+  /// Invalidates any pending wait so the process never resumes again
+  /// (thread) or never re-triggers (method). Used by fault injectors to
+  /// model a hung component.
+  void kill();
+
+ private:
+  friend class Kernel;
+  friend class Event;
+  friend struct DelayAwaiter;
+  friend struct EventAwaiter;
+  friend struct TimedEventAwaiter;
+
+  Process(Kernel& kernel, std::string name, Kind kind);
+
+  std::uint64_t bump_generation() noexcept { return ++wait_generation_; }
+
+  Kernel& kernel_;
+  std::string name_;
+  Kind kind_;
+  State state_ = State::kWaiting;
+  std::uint64_t activations_ = 0;
+
+  // Method processes.
+  std::function<void()> body_;
+
+  // Thread processes.
+  Coro coro_;                             // owns the top-level frame
+  std::coroutine_handle<> resume_point_;  // innermost suspended frame
+  std::uint64_t wait_generation_ = 0;     // invalidates stale wakeups
+  bool last_wait_timed_out_ = false;
+
+  std::unique_ptr<Event> terminated_;
+  bool queued_ = false;  // already in the runnable queue
+};
+
+// ---------------------------------------------------------------------------
+// Update hook (primitive-channel update phase)
+// ---------------------------------------------------------------------------
+
+/// Channels (e.g. Signal<T>) implement this to take part in the update phase.
+class UpdateHook {
+ public:
+  virtual ~UpdateHook() = default;
+  virtual void perform_update() = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Kernel
+// ---------------------------------------------------------------------------
+
+/// Scheduler statistics exposed for the paper's kernel-overhead experiments
+/// (EXPERIMENTS.md E3).
+struct KernelStats {
+  std::uint64_t activations = 0;       ///< process activations (context switches)
+  std::uint64_t delta_cycles = 0;      ///< completed delta cycles
+  std::uint64_t timed_steps = 0;       ///< time advances
+  std::uint64_t notifications = 0;     ///< event notify() calls
+  std::uint64_t updates = 0;           ///< channel updates performed
+};
+
+class Kernel {
+ public:
+  Kernel();
+  ~Kernel();
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Registers a thread process; it becomes runnable at the current time.
+  Process& spawn(std::string name, Coro coro);
+
+  /// Registers a method process with static sensitivity. When initialize is
+  /// true the method also runs once at the start of simulation.
+  Process& method(std::string name, std::function<void()> body,
+                  std::vector<Event*> sensitivity = {}, bool initialize = true);
+
+  [[nodiscard]] Time now() const noexcept { return now_; }
+  [[nodiscard]] const KernelStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] Process* current_process() const noexcept { return current_; }
+  [[nodiscard]] bool has_pending_activity() const noexcept;
+  [[nodiscard]] Time next_activity_time() const noexcept;
+
+  /// Runs until no activity remains or simulated time would exceed `until`.
+  /// Returns the time at which simulation stopped.
+  Time run(Time until = Time::max());
+  /// Runs for a further duration from now().
+  Time run_for(Time duration) { return run(now_ + duration); }
+  /// Requests an orderly stop at the end of the current delta cycle.
+  void stop() noexcept { stop_requested_ = true; }
+  [[nodiscard]] bool stop_requested() const noexcept { return stop_requested_; }
+
+  // --- internal scheduling interface (used by Event / awaiters / channels) --
+  void request_update(UpdateHook& hook);
+  void queue_delta_notification(Event& event);
+  void queue_timed_notification(Event& event, Time delay);
+  void schedule_process_resume(Process& process, Time delay, bool timeout_flag);
+  /// Queues a timeout entry that reuses the generation of an event wait the
+  /// caller already registered (wait_with_timeout support).
+  void schedule_timeout(Process& process, Time delay, std::uint64_t gen);
+  void make_runnable(Process& process);
+  [[nodiscard]] bool event_is_live(const Event* e) const {
+    return live_events_.contains(e);
+  }
+
+ private:
+  friend class Event;
+
+  struct TimedEntry {
+    Time when;
+    std::uint64_t seq;  // insertion order for deterministic FIFO at same time
+    Event* event = nullptr;
+    std::uint64_t event_generation = 0;
+    Process* process = nullptr;
+    std::uint64_t process_generation = 0;
+    bool timeout_flag = false;
+
+    bool operator>(const TimedEntry& other) const noexcept {
+      if (when != other.when) return when > other.when;
+      return seq > other.seq;
+    }
+  };
+
+  void register_event(Event& e) { live_events_.insert(&e); }
+  void unregister_event(Event& e) { live_events_.erase(&e); }
+
+  void run_process(Process& p);
+  void evaluate_phase();
+  void update_phase();
+  void delta_notification_phase();
+  bool advance_time(Time until);
+  void rethrow_pending_error();
+
+  Time now_ = Time::zero();
+  bool stop_requested_ = false;
+  Process* current_ = nullptr;
+  std::uint64_t next_seq_ = 0;
+  KernelStats stats_;
+  std::exception_ptr pending_error_;
+
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::deque<Process*> runnable_;
+  std::vector<UpdateHook*> update_requests_;
+  std::vector<Event*> delta_notifications_;
+  std::priority_queue<TimedEntry, std::vector<TimedEntry>, std::greater<>> timed_;
+  std::unordered_set<const Event*> live_events_;
+};
+
+// ---------------------------------------------------------------------------
+// Awaiters
+// ---------------------------------------------------------------------------
+
+/// co_await delay(t): suspends the current thread process for t.
+struct DelayAwaiter {
+  Time delay;
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(Coro::Handle h);
+  void await_resume() const noexcept {}
+};
+
+[[nodiscard]] inline DelayAwaiter delay(Time t) noexcept { return DelayAwaiter{t}; }
+
+/// co_await event: suspends until the event fires.
+struct EventAwaiter {
+  Event& event;
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(Coro::Handle h);
+  void await_resume() const noexcept {}
+};
+
+inline auto Event::operator co_await() noexcept { return EventAwaiter{*this}; }
+
+/// co_await wait_with_timeout(event, t): resumes on whichever comes first;
+/// await_resume returns true when the event fired, false on timeout.
+struct TimedEventAwaiter {
+  Event& event;
+  Time timeout;
+  Process* process = nullptr;
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(Coro::Handle h);
+  [[nodiscard]] bool await_resume() const noexcept;
+};
+
+[[nodiscard]] inline TimedEventAwaiter wait_with_timeout(Event& e, Time t) noexcept {
+  return TimedEventAwaiter{e, t};
+}
+
+// --- inline implementations needing complete types -------------------------
+
+inline Coro Coro::promise_type::get_return_object() noexcept {
+  return Coro(Handle::from_promise(*this));
+}
+
+inline auto Coro::promise_type::final_suspend() noexcept {
+  struct FinalAwaiter {
+    [[nodiscard]] bool await_ready() const noexcept { return false; }
+    std::coroutine_handle<> await_suspend(Coro::Handle h) noexcept {
+      auto& p = h.promise();
+      if (p.continuation) return p.continuation;
+      return std::noop_coroutine();
+    }
+    void await_resume() const noexcept {}
+  };
+  return FinalAwaiter{};
+}
+
+inline auto Coro::operator co_await() && noexcept {
+  struct CoroAwaiter {
+    Coro::Handle callee;
+    [[nodiscard]] bool await_ready() const noexcept { return !callee || callee.done(); }
+    std::coroutine_handle<> await_suspend(Coro::Handle caller) noexcept {
+      auto& cp = callee.promise();
+      cp.continuation = caller;
+      cp.kernel = caller.promise().kernel;
+      cp.process = caller.promise().process;
+      return callee;  // symmetric transfer into the child coroutine
+    }
+    void await_resume() const {
+      if (callee && callee.promise().exception) {
+        std::rethrow_exception(callee.promise().exception);
+      }
+    }
+  };
+  return CoroAwaiter{handle_};
+}
+
+}  // namespace vps::sim

@@ -1,0 +1,47 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "vps/sim/kernel.hpp"
+
+namespace vps::sim {
+
+/// Base class for hierarchical model components (sc_module analogue).
+/// Carries the kernel reference and a hierarchical name; offers helpers to
+/// register processes with names scoped to the module.
+class Module {
+ public:
+  Module(Kernel& kernel, std::string name) : kernel_(kernel), name_(std::move(name)) {}
+  Module(Module& parent, std::string name)
+      : kernel_(parent.kernel_), name_(parent.name_ + "." + std::move(name)) {}
+  virtual ~Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  [[nodiscard]] Kernel& kernel() noexcept { return kernel_; }
+  [[nodiscard]] const Kernel& kernel() const noexcept { return kernel_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Time now() const noexcept { return kernel_.now(); }
+
+ protected:
+  /// Registers a thread process named "<module>.<name>".
+  Process& spawn(const std::string& process_name, Coro coro) {
+    return kernel_.spawn(name_ + "." + process_name, std::move(coro));
+  }
+
+  /// Registers a method process named "<module>.<name>".
+  Process& method(const std::string& process_name, std::function<void()> body,
+                  std::vector<Event*> sensitivity = {}, bool initialize = true) {
+    return kernel_.method(name_ + "." + process_name, std::move(body), std::move(sensitivity),
+                          initialize);
+  }
+
+ private:
+  Kernel& kernel_;
+  std::string name_;
+};
+
+}  // namespace vps::sim

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+
+#include "vps/sim/kernel.hpp"
+
+namespace vps::sim {
+
+/// Primitive channel with sc_signal semantics: writes during the evaluation
+/// phase become visible in the next delta cycle; the value-changed event
+/// fires only when the committed value actually differs.
+template <typename T>
+class Signal final : public UpdateHook {
+ public:
+  Signal(Kernel& kernel, std::string name, T initial = T{})
+      : kernel_(kernel),
+        name_(std::move(name)),
+        current_(initial),
+        next_(initial),
+        changed_(kernel, name_ + ".changed") {}
+
+  Signal(const Signal&) = delete;
+  Signal& operator=(const Signal&) = delete;
+
+  [[nodiscard]] const T& read() const noexcept { return current_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] Event& changed() noexcept { return changed_; }
+  [[nodiscard]] Kernel& kernel() noexcept { return kernel_; }
+  [[nodiscard]] std::uint64_t change_count() const noexcept { return change_count_; }
+
+  /// Schedules the value for commit at the next update phase. The last write
+  /// within one evaluation phase wins.
+  void write(const T& value) {
+    next_ = value;
+    if (!update_pending_) {
+      update_pending_ = true;
+      kernel_.request_update(*this);
+    }
+  }
+
+  /// Bypasses the delta protocol: sets the value immediately and fires the
+  /// changed event as an immediate notification. Used by fault injectors to
+  /// model asynchronous upsets that do not respect the design's clocking.
+  void force(const T& value) {
+    if (value == current_) return;
+    current_ = value;
+    next_ = value;
+    ++change_count_;
+    if (on_commit_) on_commit_(current_);
+    changed_.notify_immediate();
+  }
+
+  /// Observation hook used by tracers and monitors; called after each commit.
+  void set_commit_hook(std::function<void(const T&)> hook) { on_commit_ = std::move(hook); }
+
+  void perform_update() override {
+    update_pending_ = false;
+    if (next_ == current_) return;
+    current_ = next_;
+    ++change_count_;
+    if (on_commit_) on_commit_(current_);
+    changed_.notify();
+  }
+
+ private:
+  Kernel& kernel_;
+  std::string name_;
+  T current_;
+  T next_;
+  Event changed_;
+  bool update_pending_ = false;
+  std::uint64_t change_count_ = 0;
+  std::function<void(const T&)> on_commit_;
+};
+
+}  // namespace vps::sim

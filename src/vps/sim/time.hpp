@@ -1,0 +1,74 @@
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace vps::sim {
+
+/// Simulation time as an absolute/relative picosecond count.
+///
+/// Picosecond resolution with a 64-bit count covers ~213 days of simulated
+/// time, far beyond any mission-profile segment the framework simulates,
+/// while keeping arithmetic exact (no floating-point timebase drift).
+class Time {
+ public:
+  constexpr Time() noexcept = default;
+
+  [[nodiscard]] static constexpr Time zero() noexcept { return Time(0); }
+  [[nodiscard]] static constexpr Time ps(std::uint64_t v) noexcept { return Time(v); }
+  [[nodiscard]] static constexpr Time ns(std::uint64_t v) noexcept { return Time(v * 1000ULL); }
+  [[nodiscard]] static constexpr Time us(std::uint64_t v) noexcept { return Time(v * 1000000ULL); }
+  [[nodiscard]] static constexpr Time ms(std::uint64_t v) noexcept { return Time(v * 1000000000ULL); }
+  [[nodiscard]] static constexpr Time sec(std::uint64_t v) noexcept { return Time(v * 1000000000000ULL); }
+  [[nodiscard]] static constexpr Time max() noexcept {
+    return Time(std::numeric_limits<std::uint64_t>::max());
+  }
+  /// Closest picosecond count to the given seconds value (for derived rates).
+  [[nodiscard]] static Time from_seconds(double s) noexcept;
+
+  [[nodiscard]] constexpr std::uint64_t picoseconds() const noexcept { return ps_; }
+  [[nodiscard]] constexpr double to_seconds() const noexcept {
+    return static_cast<double>(ps_) * 1e-12;
+  }
+  [[nodiscard]] std::string to_string() const;
+
+  constexpr auto operator<=>(const Time&) const noexcept = default;
+
+  constexpr Time& operator+=(Time rhs) noexcept {
+    ps_ += rhs.ps_;
+    return *this;
+  }
+  constexpr Time& operator-=(Time rhs) noexcept {
+    ps_ -= rhs.ps_;
+    return *this;
+  }
+  friend constexpr Time operator+(Time a, Time b) noexcept { return Time(a.ps_ + b.ps_); }
+  friend constexpr Time operator-(Time a, Time b) noexcept { return Time(a.ps_ - b.ps_); }
+  friend constexpr Time operator*(Time a, std::uint64_t k) noexcept { return Time(a.ps_ * k); }
+  friend constexpr Time operator*(std::uint64_t k, Time a) noexcept { return Time(a.ps_ * k); }
+  friend constexpr std::uint64_t operator/(Time a, Time b) noexcept {
+    return b.ps_ ? a.ps_ / b.ps_ : 0;
+  }
+  friend constexpr Time operator/(Time a, std::uint64_t k) noexcept {
+    return Time(k ? a.ps_ / k : 0);
+  }
+  friend constexpr Time operator%(Time a, Time b) noexcept {
+    return Time(b.ps_ ? a.ps_ % b.ps_ : 0);
+  }
+
+ private:
+  explicit constexpr Time(std::uint64_t ps) noexcept : ps_(ps) {}
+  std::uint64_t ps_ = 0;
+};
+
+inline namespace time_literals {
+constexpr Time operator""_ps(unsigned long long v) noexcept { return Time::ps(v); }
+constexpr Time operator""_ns(unsigned long long v) noexcept { return Time::ns(v); }
+constexpr Time operator""_us(unsigned long long v) noexcept { return Time::us(v); }
+constexpr Time operator""_ms(unsigned long long v) noexcept { return Time::ms(v); }
+constexpr Time operator""_sec(unsigned long long v) noexcept { return Time::sec(v); }
+}  // namespace time_literals
+
+}  // namespace vps::sim

@@ -1,0 +1,100 @@
+#include "vps/sim/trace.hpp"
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::sim {
+
+VcdTracer::VcdTracer(Kernel& kernel, const std::string& path) : kernel_(kernel), out_(path) {
+  support::ensure(out_.is_open(), "VcdTracer: cannot open " + path);
+}
+
+VcdTracer::~VcdTracer() {
+  finalize_header();
+  out_.flush();
+}
+
+std::string VcdTracer::next_id() {
+  // VCD identifier code: printable characters from '!' onwards.
+  std::string id;
+  std::uint32_t n = id_counter_++;
+  do {
+    id += static_cast<char>('!' + n % 94);
+    n /= 94;
+  } while (n != 0);
+  return id;
+}
+
+void VcdTracer::declare(const std::string& name, const std::string& id, std::size_t bits) {
+  support::ensure(!header_written_, "VcdTracer: cannot add signals after tracing started");
+  std::string clean = name;
+  for (char& c : clean) {
+    if (c == ' ') c = '_';
+  }
+  declarations_ += "$var wire " + std::to_string(bits) + " " + id + " " + clean + " $end\n";
+}
+
+void VcdTracer::trace(Signal<bool>& signal) {
+  const std::string id = next_id();
+  declare(signal.name(), id, 1);
+  signal.set_commit_hook([this, id](const bool& v) { record_scalar(id, v); });
+  initial_scalar_.emplace_back(id, signal.read());
+}
+
+void VcdTracer::trace(Signal<double>& signal) {
+  const std::string id = next_id();
+  support::ensure(!header_written_, "VcdTracer: cannot add signals after tracing started");
+  std::string clean = signal.name();
+  for (char& c : clean) {
+    if (c == ' ') c = '_';
+  }
+  declarations_ += "$var real 64 " + id + " " + clean + " $end\n";
+  signal.set_commit_hook([this, id](const double& v) { record_real(id, v); });
+  initial_real_.emplace_back(id, signal.read());
+}
+
+void VcdTracer::finalize_header() {
+  if (header_written_) return;
+  header_written_ = true;
+  out_ << "$timescale 1ps $end\n$scope module vps $end\n"
+       << declarations_ << "$upscope $end\n$enddefinitions $end\n$dumpvars\n";
+  for (const auto& [id, v] : initial_scalar_) out_ << (v ? '1' : '0') << id << '\n';
+  for (const auto& init : initial_vector_) {
+    out_ << 'b';
+    for (std::size_t bit = init.bits; bit-- > 0;) out_ << (((init.value >> bit) & 1u) ? '1' : '0');
+    out_ << ' ' << init.id << '\n';
+  }
+  for (const auto& [id, v] : initial_real_) out_ << 'r' << v << ' ' << id << '\n';
+  out_ << "$end\n";
+}
+
+void VcdTracer::emit_time() {
+  finalize_header();
+  const std::uint64_t t = kernel_.now().picoseconds();
+  if (!time_emitted_ || t != last_time_ps_) {
+    out_ << '#' << t << '\n';
+    last_time_ps_ = t;
+    time_emitted_ = true;
+  }
+}
+
+void VcdTracer::record_scalar(const std::string& id, bool value) {
+  emit_time();
+  out_ << (value ? '1' : '0') << id << '\n';
+  ++records_;
+}
+
+void VcdTracer::record_vector(const std::string& id, std::uint64_t value, std::size_t bits) {
+  emit_time();
+  out_ << 'b';
+  for (std::size_t bit = bits; bit-- > 0;) out_ << (((value >> bit) & 1u) ? '1' : '0');
+  out_ << ' ' << id << '\n';
+  ++records_;
+}
+
+void VcdTracer::record_real(const std::string& id, double value) {
+  emit_time();
+  out_ << 'r' << value << ' ' << id << '\n';
+  ++records_;
+}
+
+}  // namespace vps::sim

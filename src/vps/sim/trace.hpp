@@ -1,0 +1,74 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "vps/sim/signal.hpp"
+
+namespace vps::sim {
+
+/// Value-change-dump writer. Signals are attached before simulation starts;
+/// each committed change is recorded with the kernel timestamp, producing a
+/// standard VCD file viewable in GTKWave — the observability advantage of
+/// VPs the paper emphasizes (easy tracking of error propagation).
+class VcdTracer {
+ public:
+  VcdTracer(Kernel& kernel, const std::string& path);
+  ~VcdTracer();
+  VcdTracer(const VcdTracer&) = delete;
+  VcdTracer& operator=(const VcdTracer&) = delete;
+
+  /// Attaches a boolean signal as a 1-bit wire.
+  void trace(Signal<bool>& signal);
+
+  /// Attaches an integral signal as an n-bit vector.
+  template <typename T>
+    requires std::is_integral_v<T> && (!std::is_same_v<T, bool>)
+  void trace(Signal<T>& signal) {
+    const std::string id = next_id();
+    declare(signal.name(), id, sizeof(T) * 8);
+    signal.set_commit_hook([this, id](const T& v) {
+      record_vector(id, static_cast<std::uint64_t>(v), sizeof(T) * 8);
+    });
+    initial_vector_.push_back({id, static_cast<std::uint64_t>(signal.read()), sizeof(T) * 8});
+  }
+
+  /// Attaches a real-valued signal.
+  void trace(Signal<double>& signal);
+
+  /// Writes the header and the initial value dump; implicit on first record.
+  void finalize_header();
+
+  [[nodiscard]] std::uint64_t change_records() const noexcept { return records_; }
+
+ private:
+  struct VectorInit {
+    std::string id;
+    std::uint64_t value;
+    std::size_t bits;
+  };
+
+  std::string next_id();
+  void declare(const std::string& name, const std::string& id, std::size_t bits);
+  void emit_time();
+  void record_scalar(const std::string& id, bool value);
+  void record_vector(const std::string& id, std::uint64_t value, std::size_t bits);
+  void record_real(const std::string& id, double value);
+
+  Kernel& kernel_;
+  std::ofstream out_;
+  std::string declarations_;
+  bool header_written_ = false;
+  std::uint64_t last_time_ps_ = 0;
+  bool time_emitted_ = false;
+  std::uint32_t id_counter_ = 0;
+  std::uint64_t records_ = 0;
+  std::vector<std::pair<std::string, bool>> initial_scalar_;
+  std::vector<VectorInit> initial_vector_;
+  std::vector<std::pair<std::string, double>> initial_real_;
+};
+
+}  // namespace vps::sim

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace vps::support {
+
+/// Error thrown when a framework invariant is violated. Distinguishing this
+/// from std::logic_error lets tests assert on framework-detected misuse.
+class InvariantError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Checks a precondition/invariant; throws InvariantError with location info.
+/// Used instead of assert() so that violations are testable and survive
+/// release builds (safety tooling must not silently continue on bad state).
+inline void ensure(bool condition, const std::string& message,
+                   std::source_location loc = std::source_location::current()) {
+  if (!condition) {
+    throw InvariantError(std::string(loc.file_name()) + ":" +
+                         std::to_string(loc.line()) + ": " + message);
+  }
+}
+
+}  // namespace vps::support

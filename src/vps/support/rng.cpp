@@ -1,0 +1,88 @@
+#include "vps/support/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace vps::support {
+
+Xorshift::Xorshift(std::uint64_t seed) noexcept
+    : state_(seed ? seed : 0x9e3779b97f4a7c15ULL) {}
+
+std::uint64_t Xorshift::next() noexcept {
+  std::uint64_t x = state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state_ = x;
+  return x * 0x2545f4914f6cdd1dULL;
+}
+
+std::uint64_t Xorshift::uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const std::uint64_t span = hi - lo + 1;
+  if (span == 0) return next();  // full 64-bit range
+  return lo + next() % span;
+}
+
+std::size_t Xorshift::index(std::size_t n) noexcept {
+  if (n <= 1) return 0;
+  return static_cast<std::size_t>(next() % n);
+}
+
+double Xorshift::uniform() noexcept {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xorshift::uniform(double lo, double hi) noexcept {
+  return lo + (hi - lo) * uniform();
+}
+
+bool Xorshift::chance(double p) noexcept {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform() < p;
+}
+
+double Xorshift::exponential(double rate) noexcept {
+  if (rate <= 0.0) return 0.0;
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -std::log(u) / rate;
+}
+
+double Xorshift::normal(double mean, double stddev) noexcept {
+  if (has_spare_normal_) {
+    has_spare_normal_ = false;
+    return mean + stddev * spare_normal_;
+  }
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * std::numbers::pi * u2;
+  spare_normal_ = r * std::sin(theta);
+  has_spare_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+std::size_t Xorshift::weighted(std::span<const double> weights) noexcept {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  if (total <= 0.0 || weights.empty()) return index(weights.size());
+  double pick = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    pick -= weights[i];
+    if (pick <= 0.0) return i;
+  }
+  return weights.size() - 1;
+}
+
+Xorshift Xorshift::fork() noexcept {
+  // Mix the next output so the fork's stream is decorrelated from ours.
+  return Xorshift(next() ^ 0xd1b54a32d192ed03ULL);
+}
+
+}  // namespace vps::support

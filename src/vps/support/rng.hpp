@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace vps::support {
+
+/// Deterministic xorshift64* generator. All stochastic behaviour in the
+/// framework (fault sampling, sensor noise, workload generation) draws from
+/// instances of this class so that a campaign is reproducible from its seed.
+class Xorshift {
+ public:
+  explicit Xorshift(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept;
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  std::uint64_t uniform_u64(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n) noexcept;
+
+  /// Uniform double in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Bernoulli trial with success probability p (clamped to [0,1]).
+  bool chance(double p) noexcept;
+
+  /// Exponentially distributed value with the given rate (mean 1/rate).
+  double exponential(double rate) noexcept;
+
+  /// Standard normal via Box-Muller.
+  double normal(double mean = 0.0, double stddev = 1.0) noexcept;
+
+  /// Samples an index with probability proportional to weights[i].
+  /// Zero-total weights fall back to uniform choice.
+  std::size_t weighted(std::span<const double> weights) noexcept;
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Forks an independent stream (used to give each campaign run its own
+  /// stream so run order does not perturb per-run randomness).
+  Xorshift fork() noexcept;
+
+ private:
+  std::uint64_t state_;
+  bool has_spare_normal_ = false;
+  double spare_normal_ = 0.0;
+};
+
+}  // namespace vps::support

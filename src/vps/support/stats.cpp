@@ -1,0 +1,94 @@
+#include "vps/support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::support {
+
+void Accumulator::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double Accumulator::variance() const noexcept {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double Accumulator::stddev() const noexcept { return std::sqrt(variance()); }
+
+double Accumulator::ci95_half_width() const noexcept {
+  if (n_ < 2) return 0.0;
+  return 1.96 * stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  ensure(bins > 0, "Histogram needs at least one bin");
+  ensure(hi > lo, "Histogram range must be non-empty");
+}
+
+void Histogram::add(double x) noexcept {
+  const double frac = (x - lo_) / (hi_ - lo_);
+  auto idx = static_cast<std::ptrdiff_t>(frac * static_cast<double>(counts_.size()));
+  idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(idx)];
+  ++total_;
+}
+
+std::uint64_t Histogram::count_in_bin(std::size_t i) const {
+  ensure(i < counts_.size(), "Histogram bin out of range");
+  return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  ensure(i < counts_.size(), "Histogram bin out of range");
+  return lo_ + (hi_ - lo_) * static_cast<double>(i) / static_cast<double>(counts_.size());
+}
+
+double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + (hi_ - lo_) / static_cast<double>(counts_.size()); }
+
+std::string Histogram::render(std::size_t width) const {
+  std::uint64_t peak = 1;
+  for (auto c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "[%10.3g, %10.3g) %8llu |", bin_lo(i), bin_hi(i),
+                  static_cast<unsigned long long>(counts_[i]));
+    out += buf;
+    const auto bar = static_cast<std::size_t>(static_cast<double>(counts_[i]) / static_cast<double>(peak) *
+                                              static_cast<double>(width));
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+Proportion wilson_interval(std::uint64_t successes, std::uint64_t trials, double z) {
+  Proportion p;
+  if (trials == 0) return p;
+  const double n = static_cast<double>(trials);
+  const double phat = static_cast<double>(successes) / n;
+  p.estimate = phat;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = phat + z2 / (2.0 * n);
+  const double margin = z * std::sqrt(phat * (1.0 - phat) / n + z2 / (4.0 * n * n));
+  p.lo = std::max(0.0, (center - margin) / denom);
+  p.hi = std::min(1.0, (center + margin) / denom);
+  return p;
+}
+
+}  // namespace vps::support

@@ -1,0 +1,102 @@
+#include "vps/support/strings.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace vps::support {
+
+std::vector<std::string> split(std::string_view text, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t pos = text.find(delim, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) {
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.front()))) text.remove_prefix(1);
+  while (!text.empty() && std::isspace(static_cast<unsigned char>(text.back()))) text.remove_suffix(1);
+  return text;
+}
+
+std::vector<std::string> tokenize(std::string_view text) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    std::size_t start = i;
+    while (i < text.size() && !std::isspace(static_cast<unsigned char>(text[i]))) ++i;
+    if (i > start) out.emplace_back(text.substr(start, i - start));
+  }
+  return out;
+}
+
+long long parse_int(std::string_view text) {
+  text = trim(text);
+  int base = 10;
+  bool negative = false;
+  if (!text.empty() && (text.front() == '-' || text.front() == '+')) {
+    negative = text.front() == '-';
+    text.remove_prefix(1);
+  }
+  if (text.size() > 2 && text[0] == '0' && (text[1] == 'x' || text[1] == 'X')) {
+    base = 16;
+    text.remove_prefix(2);
+  }
+  long long value = 0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value, base);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw std::invalid_argument("parse_int: bad integer '" + std::string(text) + "'");
+  }
+  return negative ? -value : value;
+}
+
+double parse_double(std::string_view text) {
+  text = trim(text);
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(text.data(), text.data() + text.size(), value);
+  if (ec != std::errc() || ptr != text.data() + text.size()) {
+    throw std::invalid_argument("parse_double: bad number '" + std::string(text) + "'");
+  }
+  return value;
+}
+
+std::string format_si(double value, int digits) {
+  static constexpr const char* kSuffix[] = {"a", "f", "p", "n", "u", "m", "", "k", "M", "G", "T", "P"};
+  if (value == 0.0 || !std::isfinite(value)) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.*g", digits, value);
+    return buf;
+  }
+  int exp3 = static_cast<int>(std::floor(std::log10(std::fabs(value)) / 3.0));
+  exp3 = std::max(-6, std::min(5, exp3));
+  const double scaled = value / std::pow(10.0, 3 * exp3);
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*g%s", digits, scaled, kSuffix[exp3 + 6]);
+  return buf;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) {
+  return text.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() && text.substr(text.size() - suffix.size()) == suffix;
+}
+
+std::string to_lower(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace vps::support

@@ -1,0 +1,34 @@
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace vps::support {
+
+/// Splits on a single-character delimiter; keeps empty fields.
+[[nodiscard]] std::vector<std::string> split(std::string_view text, char delim);
+
+/// Strips ASCII whitespace from both ends.
+[[nodiscard]] std::string_view trim(std::string_view text);
+
+/// Splits into whitespace-separated tokens (no empties).
+[[nodiscard]] std::vector<std::string> tokenize(std::string_view text);
+
+/// Parses an integer with optional 0x prefix; throws std::invalid_argument.
+[[nodiscard]] long long parse_int(std::string_view text);
+
+/// Parses a double; throws std::invalid_argument on garbage.
+[[nodiscard]] double parse_double(std::string_view text);
+
+/// Human-friendly engineering notation, e.g. 1.23e6 -> "1.23M".
+[[nodiscard]] std::string format_si(double value, int digits = 3);
+
+/// True if text starts with / ends with the prefix/suffix.
+[[nodiscard]] bool starts_with(std::string_view text, std::string_view prefix);
+[[nodiscard]] bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Lower-cases ASCII.
+[[nodiscard]] std::string to_lower(std::string_view text);
+
+}  // namespace vps::support

@@ -1,0 +1,55 @@
+#include "vps/support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::support {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {
+  ensure(!headers_.empty(), "Table needs at least one column");
+}
+
+Table& Table::add_row(std::vector<std::string> cells) {
+  cells.resize(headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+Table& Table::add_row_numeric(const std::string& label, const std::vector<double>& values) {
+  std::vector<std::string> cells;
+  cells.push_back(label);
+  for (double v : values) {
+    char buf[48];
+    std::snprintf(buf, sizeof buf, "%.4g", v);
+    cells.emplace_back(buf);
+  }
+  return add_row(std::move(cells));
+}
+
+std::string Table::render() const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+  }
+  auto line = [&](const std::vector<std::string>& cells) {
+    std::string out = "|";
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : std::string();
+      out += ' ' + cell + std::string(widths[c] - cell.size(), ' ') + " |";
+    }
+    out += '\n';
+    return out;
+  };
+  std::string sep = "+";
+  for (std::size_t c = 0; c < headers_.size(); ++c) sep += std::string(widths[c] + 2, '-') + '+';
+  sep += '\n';
+  std::string out = sep + line(headers_) + sep;
+  for (const auto& row : rows_) out += line(row);
+  out += sep;
+  return out;
+}
+
+}  // namespace vps::support

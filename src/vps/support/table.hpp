@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace vps::support {
+
+/// Minimal ASCII table builder used by bench harnesses and report printers
+/// to regenerate the paper-style result tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with %g.
+  Table& add_row_numeric(const std::string& label, const std::vector<double>& values);
+
+  [[nodiscard]] std::string render() const;
+  [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace vps::support

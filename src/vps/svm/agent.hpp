@@ -1,0 +1,89 @@
+#pragma once
+
+/// Thin structural conventions on top of Component: Monitor (observes the
+/// DUT, broadcasts transactions), Scoreboard (in-order expected-vs-actual
+/// comparison), Agent / Env / Test (grouping).
+
+#include <deque>
+#include <string>
+
+#include "vps/svm/analysis.hpp"
+#include "vps/svm/component.hpp"
+
+namespace vps::svm {
+
+/// Observes DUT activity and broadcasts transactions of type T.
+template <typename T>
+class Monitor : public Component {
+ public:
+  Monitor(Component& parent, std::string name) : Component(parent, std::move(name)) {}
+  [[nodiscard]] AnalysisPort<T>& analysis_port() noexcept { return ap_; }
+
+ protected:
+  void publish(const T& transaction) {
+    ++observed_;
+    ap_.write(transaction);
+  }
+  [[nodiscard]] std::uint64_t observed() const noexcept { return observed_; }
+
+ private:
+  AnalysisPort<T> ap_;
+  std::uint64_t observed_ = 0;
+};
+
+/// In-order scoreboard: expected transactions are queued, actuals compared
+/// against the queue head; mismatches and leftovers raise errors.
+template <typename T>
+class Scoreboard : public Component, public AnalysisExport<T> {
+ public:
+  Scoreboard(Component& parent, std::string name) : Component(parent, std::move(name)) {}
+
+  void expect(const T& transaction) { expected_.push_back(transaction); }
+
+  void write(const T& actual) override {
+    ++actuals_;
+    if (expected_.empty()) {
+      error("unexpected transaction (nothing expected)");
+      return;
+    }
+    if (!(expected_.front() == actual)) {
+      ++mismatches_;
+      error("transaction mismatch at index " + std::to_string(actuals_ - 1));
+    }
+    expected_.pop_front();
+  }
+
+  void report_phase() override {
+    if (!expected_.empty()) {
+      error(std::to_string(expected_.size()) + " expected transaction(s) never observed");
+    }
+  }
+
+  [[nodiscard]] std::uint64_t matched() const noexcept { return actuals_ - mismatches_; }
+  [[nodiscard]] std::uint64_t mismatches() const noexcept { return mismatches_; }
+  [[nodiscard]] std::size_t outstanding() const noexcept { return expected_.size(); }
+
+ private:
+  std::deque<T> expected_;
+  std::uint64_t actuals_ = 0;
+  std::uint64_t mismatches_ = 0;
+};
+
+/// Grouping components. Agents bundle sequencer+driver+monitor; Envs bundle
+/// agents and scoreboards; Tests configure and start sequences.
+class Agent : public Component {
+ public:
+  using Component::Component;
+};
+
+class Env : public Component {
+ public:
+  using Component::Component;
+};
+
+class Test : public Component {
+ public:
+  using Component::Component;
+};
+
+}  // namespace vps::svm

@@ -1,0 +1,38 @@
+#pragma once
+
+/// Analysis ports: one-to-many, non-blocking broadcast from monitors to
+/// scoreboards/coverage collectors (uvm_analysis_port subset).
+
+#include <functional>
+#include <vector>
+
+namespace vps::svm {
+
+template <typename T>
+class AnalysisExport {
+ public:
+  virtual ~AnalysisExport() = default;
+  virtual void write(const T& transaction) = 0;
+};
+
+template <typename T>
+class AnalysisPort {
+ public:
+  void connect(AnalysisExport<T>& sink) { sinks_.push_back(&sink); }
+  void connect(std::function<void(const T&)> fn) { fns_.push_back(std::move(fn)); }
+
+  void write(const T& transaction) {
+    for (auto* sink : sinks_) sink->write(transaction);
+    for (auto& fn : fns_) fn(transaction);
+  }
+
+  [[nodiscard]] std::size_t subscriber_count() const noexcept {
+    return sinks_.size() + fns_.size();
+  }
+
+ private:
+  std::vector<AnalysisExport<T>*> sinks_;
+  std::vector<std::function<void(const T&)>> fns_;
+};
+
+}  // namespace vps::svm

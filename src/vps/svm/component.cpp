@@ -1,0 +1,93 @@
+#include "vps/svm/component.hpp"
+
+#include <cstdio>
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::svm {
+
+const char* to_string(Severity s) noexcept {
+  switch (s) {
+    case Severity::kInfo: return "INFO";
+    case Severity::kWarning: return "WARNING";
+    case Severity::kError: return "ERROR";
+    case Severity::kFatal: return "FATAL";
+  }
+  return "?";
+}
+
+void ReportServer::report(Severity severity, const std::string& source,
+                          const std::string& message) {
+  ++counts_[static_cast<std::size_t>(severity)];
+  std::string line = std::string(to_string(severity)) + " [" + source + "] " + message;
+  if (verbose_) std::printf("%s\n", line.c_str());
+  messages_.push_back(std::move(line));
+}
+
+Component::Component(Component& parent, std::string name)
+    : parent_(&parent), root_(parent.root_), name_(std::move(name)),
+      full_name_(parent.full_name_ + "." + name_) {
+  parent.children_.push_back(this);
+}
+
+Component::Component(Root& self_as_root, sim::Kernel& /*kernel*/, std::string name)
+    : parent_(nullptr), root_(&self_as_root), name_(std::move(name)), full_name_(name_) {}
+
+sim::Kernel& Component::kernel() noexcept { return root_->kernel_ref(); }
+
+Objection& Component::objection() noexcept { return root_->objection_ref(); }
+
+void Component::info(const std::string& message) {
+  root_->report_server().report(Severity::kInfo, full_name_, message);
+}
+void Component::warning(const std::string& message) {
+  root_->report_server().report(Severity::kWarning, full_name_, message);
+}
+void Component::error(const std::string& message) {
+  root_->report_server().report(Severity::kError, full_name_, message);
+}
+
+Root::Root(sim::Kernel& kernel, std::string name)
+    : Component(*this, kernel, std::move(name)), kernel_(kernel), objection_(kernel) {}
+
+void Root::for_each_top_down(Component& c, const std::function<void(Component&)>& fn) {
+  fn(c);
+  // Children may be added during build; index loop stays valid.
+  for (std::size_t i = 0; i < c.children_.size(); ++i) {
+    for_each_top_down(*c.children_[i], fn);
+  }
+}
+
+void Root::for_each_bottom_up(Component& c, const std::function<void(Component&)>& fn) {
+  for (Component* child : c.children_) for_each_bottom_up(*child, fn);
+  fn(c);
+}
+
+bool Root::run_test(sim::Time timeout) {
+  for_each_top_down(*this, [](Component& c) { c.build_phase(); });
+  for_each_bottom_up(*this, [](Component& c) { c.connect_phase(); });
+  for_each_top_down(*this, [this](Component& c) {
+    kernel_.spawn(c.full_name() + ".run_phase", c.run_phase());
+  });
+
+  // Watcher: stop simulation when every objection is dropped. Give the run
+  // phases one delta to raise their objections first.
+  bool drained = false;
+  kernel_.spawn(full_name() + ".objection_watch", [](Root& root, bool& drained) -> sim::Coro {
+    co_await sim::delay(sim::Time::zero());
+    while (root.objection_.count() != 0) co_await root.objection_.all_dropped_event();
+    drained = true;
+    root.kernel_.stop();
+  }(*this, drained));
+
+  kernel_.run(kernel_.now() + timeout);
+  timed_out_ = !drained;
+  if (timed_out_) {
+    report_server_.report(Severity::kError, full_name(),
+                          "run phase timeout after " + timeout.to_string());
+  }
+  for_each_bottom_up(*this, [](Component& c) { c.report_phase(); });
+  return report_server_.passed();
+}
+
+}  // namespace vps::svm

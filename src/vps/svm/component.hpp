@@ -1,0 +1,135 @@
+#pragma once
+
+/// SVM — a UVM-subset verification library in C++ on the vps::sim kernel,
+/// modeled after the SystemC UVM/SVM efforts the paper cites ([33-36]):
+/// component hierarchy with build/connect/run/report phasing, objections
+/// for run-phase termination, and a report server with severity counting.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vps/sim/kernel.hpp"
+#include "vps/sim/module.hpp"
+
+namespace vps::svm {
+
+class Root;
+
+/// Message severity for the report server.
+enum class Severity : std::uint8_t { kInfo, kWarning, kError, kFatal };
+
+[[nodiscard]] const char* to_string(Severity s) noexcept;
+
+/// Counts testbench messages; errors decide pass/fail at report time.
+class ReportServer {
+ public:
+  void report(Severity severity, const std::string& source, const std::string& message);
+  [[nodiscard]] std::uint64_t count(Severity s) const noexcept {
+    return counts_[static_cast<std::size_t>(s)];
+  }
+  [[nodiscard]] bool passed() const noexcept {
+    return count(Severity::kError) == 0 && count(Severity::kFatal) == 0;
+  }
+  /// When true (default off), messages are echoed to stdout.
+  void set_verbose(bool v) noexcept { verbose_ = v; }
+  [[nodiscard]] const std::vector<std::string>& messages() const noexcept { return messages_; }
+
+ private:
+  std::uint64_t counts_[4] = {0, 0, 0, 0};
+  std::vector<std::string> messages_;
+  bool verbose_ = false;
+};
+
+/// Run-phase termination control (uvm_objection).
+class Objection {
+ public:
+  explicit Objection(sim::Kernel& kernel)
+      : all_dropped_(kernel, "svm.objection.all_dropped") {}
+
+  void raise() { ++count_; }
+  void drop() {
+    if (count_ > 0 && --count_ == 0) all_dropped_.notify();
+  }
+  [[nodiscard]] std::uint64_t count() const noexcept { return count_; }
+  [[nodiscard]] sim::Event& all_dropped_event() noexcept { return all_dropped_; }
+
+ private:
+  std::uint64_t count_ = 0;
+  sim::Event all_dropped_;
+};
+
+/// Base class of all testbench components (uvm_component). Components are
+/// created in constructors (parent-first); the Root then drives phasing:
+/// build (top-down), connect (bottom-up), run (parallel processes), and
+/// report (bottom-up) after the objection count drains or the timeout hits.
+class Component {
+ public:
+  Component(Component& parent, std::string name);
+  virtual ~Component() = default;
+  Component(const Component&) = delete;
+  Component& operator=(const Component&) = delete;
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] const std::string& full_name() const noexcept { return full_name_; }
+  [[nodiscard]] Component* parent() const noexcept { return parent_; }
+  [[nodiscard]] const std::vector<Component*>& children() const noexcept { return children_; }
+  [[nodiscard]] sim::Kernel& kernel() noexcept;
+  [[nodiscard]] Root& root() noexcept { return *root_; }
+  [[nodiscard]] sim::Time now() noexcept { return kernel().now(); }
+
+  // --- phases (override as needed) ----------------------------------------
+  virtual void build_phase() {}
+  virtual void connect_phase() {}
+  /// Concurrent behaviour; completion is governed by objections, not by the
+  /// coroutine finishing.
+  virtual sim::Coro run_phase() { co_return; }
+  virtual void report_phase() {}
+
+  // --- services ------------------------------------------------------------
+  void info(const std::string& message);
+  void warning(const std::string& message);
+  void error(const std::string& message);
+  [[nodiscard]] Objection& objection() noexcept;
+
+ protected:
+  /// Root constructor only.
+  Component(Root& self_as_root, sim::Kernel& kernel, std::string name);
+
+ private:
+  friend class Root;
+  Component* parent_ = nullptr;
+  Root* root_ = nullptr;
+  std::string name_;
+  std::string full_name_;
+  std::vector<Component*> children_;
+};
+
+/// Testbench top: owns the kernel reference, the report server and the
+/// objection, and executes the phase schedule.
+class Root : public Component {
+ public:
+  Root(sim::Kernel& kernel, std::string name = "tb");
+
+  /// Runs all phases; returns at objection drain or `timeout`, whichever is
+  /// first. Returns the report server's verdict.
+  bool run_test(sim::Time timeout = sim::Time::sec(1));
+
+  [[nodiscard]] ReportServer& report_server() noexcept { return report_server_; }
+  [[nodiscard]] Objection& objection_ref() noexcept { return objection_; }
+  [[nodiscard]] sim::Kernel& kernel_ref() noexcept { return kernel_; }
+  [[nodiscard]] bool timed_out() const noexcept { return timed_out_; }
+
+ private:
+  static void for_each_top_down(Component& c, const std::function<void(Component&)>& fn);
+  static void for_each_bottom_up(Component& c, const std::function<void(Component&)>& fn);
+
+  sim::Kernel& kernel_;
+  ReportServer report_server_;
+  Objection objection_;
+  bool timed_out_ = false;
+};
+
+}  // namespace vps::svm

@@ -1,0 +1,50 @@
+#pragma once
+
+/// Hierarchical configuration database (uvm_config_db subset): values are
+/// stored under "<path>:<key>"; lookups try the exact component path first,
+/// then walk up the hierarchy, then the global wildcard "*".
+
+#include <any>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "vps/svm/component.hpp"
+
+namespace vps::svm {
+
+class ConfigDb {
+ public:
+  template <typename T>
+  void set(const std::string& path, const std::string& key, T value) {
+    store_[path + ":" + key] = std::any(std::move(value));
+  }
+
+  /// Lookup for a component: its own path wins over ancestors over "*".
+  template <typename T>
+  std::optional<T> get(const Component& component, const std::string& key) const {
+    std::string path = component.full_name();
+    for (;;) {
+      if (auto v = lookup<T>(path, key)) return v;
+      const auto dot = path.rfind('.');
+      if (dot == std::string::npos) break;
+      path.resize(dot);
+    }
+    return lookup<T>("*", key);
+  }
+
+  template <typename T>
+  std::optional<T> lookup(const std::string& path, const std::string& key) const {
+    const auto it = store_.find(path + ":" + key);
+    if (it == store_.end()) return std::nullopt;
+    const T* value = std::any_cast<T>(&it->second);
+    return value ? std::optional<T>(*value) : std::nullopt;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return store_.size(); }
+
+ private:
+  std::map<std::string, std::any> store_;
+};
+
+}  // namespace vps::svm

@@ -1,0 +1,87 @@
+#pragma once
+
+/// SVM factory: string-keyed component creation with type and instance
+/// overrides — the UVM reconfiguration mechanism that lets a test swap,
+/// e.g., a passive monitor for an error-injecting one without touching the
+/// environment code.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "vps/support/ensure.hpp"
+#include "vps/svm/component.hpp"
+
+namespace vps::svm {
+
+class Factory {
+ public:
+  using Creator = std::function<std::unique_ptr<Component>(Component& parent, std::string name)>;
+
+  /// Registers a component type under a lookup key. Re-registration of the
+  /// same key replaces the creator (convenient for tests).
+  template <typename T>
+  void register_type(const std::string& key) {
+    creators_[key] = [](Component& parent, std::string name) -> std::unique_ptr<Component> {
+      return std::make_unique<T>(parent, std::move(name));
+    };
+  }
+
+  /// All future creations of `original_key` produce `override_key` instead.
+  void set_type_override(const std::string& original_key, const std::string& override_key) {
+    type_overrides_[original_key] = override_key;
+  }
+
+  /// Override only for a specific instance path (exact full-name match of
+  /// the created component, i.e. "<parent-full-name>.<name>").
+  void set_instance_override(const std::string& instance_path, const std::string& original_key,
+                             const std::string& override_key) {
+    instance_overrides_[instance_path + "/" + original_key] = override_key;
+  }
+
+  /// Creates a component, honoring instance overrides first, then type
+  /// overrides (chained), then the original registration.
+  std::unique_ptr<Component> create(const std::string& key, Component& parent, std::string name) {
+    std::string resolved = key;
+    const auto inst = instance_overrides_.find(parent.full_name() + "." + name + "/" + key);
+    if (inst != instance_overrides_.end()) {
+      resolved = inst->second;
+    } else {
+      // Follow type-override chains (A->B, B->C resolves A to C).
+      for (int depth = 0; depth < 32; ++depth) {
+        const auto it = type_overrides_.find(resolved);
+        if (it == type_overrides_.end()) break;
+        resolved = it->second;
+      }
+    }
+    const auto it = creators_.find(resolved);
+    support::ensure(it != creators_.end(), "Factory: no type registered under '" + resolved + "'");
+    return it->second(parent, std::move(name));
+  }
+
+  /// Typed convenience wrapper; the created component must derive from T.
+  template <typename T>
+  T& create_as(const std::string& key, Component& parent, std::string name,
+               std::vector<std::unique_ptr<Component>>& storage) {
+    auto component = create(key, parent, std::move(name));
+    T* typed = dynamic_cast<T*>(component.get());
+    support::ensure(typed != nullptr,
+                    "Factory: '" + key + "' did not produce the expected component type");
+    storage.push_back(std::move(component));
+    return *typed;
+  }
+
+  [[nodiscard]] bool has_type(const std::string& key) const { return creators_.contains(key); }
+  void clear_overrides() {
+    type_overrides_.clear();
+    instance_overrides_.clear();
+  }
+
+ private:
+  std::map<std::string, Creator> creators_;
+  std::map<std::string, std::string> type_overrides_;
+  std::map<std::string, std::string> instance_overrides_;
+};
+
+}  // namespace vps::svm

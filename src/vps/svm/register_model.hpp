@@ -1,0 +1,90 @@
+#pragma once
+
+/// Register abstraction layer (uvm_reg subset): named registers and fields
+/// with front-door access through a TLM initiator socket, a mirror that
+/// tracks the expected hardware state, and access statistics usable as a
+/// register-coverage metric. Lets peripheral testbenches be written against
+/// names instead of magic addresses.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "vps/support/ensure.hpp"
+#include "vps/tlm/payload.hpp"
+#include "vps/tlm/sockets.hpp"
+
+namespace vps::svm {
+
+class RegisterModel {
+ public:
+  struct Field {
+    std::string name;
+    unsigned lsb = 0;
+    unsigned width = 1;
+  };
+
+  explicit RegisterModel(std::string name) : name_(std::move(name)) {}
+
+  /// Declares a register at an absolute bus address.
+  void add_register(const std::string& reg_name, std::uint64_t address,
+                    std::uint32_t reset_value = 0);
+  /// Declares a named bit field of a register.
+  void add_field(const std::string& reg_name, const std::string& field_name, unsigned lsb,
+                 unsigned width);
+
+  /// Binds the bus port used for front-door accesses.
+  void bind(tlm::InitiatorSocket& socket) noexcept { socket_ = &socket; }
+
+  // --- front-door access ----------------------------------------------------
+  /// Reads the register via the bus; updates the mirror. Throws on a bus
+  /// error response.
+  [[nodiscard]] std::uint32_t read(const std::string& reg_name);
+  /// Writes the register via the bus; updates the mirror.
+  void write(const std::string& reg_name, std::uint32_t value);
+  /// Reads a single field (front-door read of the enclosing register).
+  [[nodiscard]] std::uint32_t read_field(const std::string& reg_name,
+                                         const std::string& field_name);
+  /// Read-modify-write of a single field.
+  void write_field(const std::string& reg_name, const std::string& field_name,
+                   std::uint32_t value);
+
+  // --- mirror ---------------------------------------------------------------
+  /// Last known hardware value (updated by read/write).
+  [[nodiscard]] std::uint32_t mirrored(const std::string& reg_name) const;
+  /// Front-door read and compare against the mirror; true when they agree.
+  [[nodiscard]] bool check(const std::string& reg_name);
+  /// Resets every mirror to its declared reset value.
+  void reset_mirrors();
+
+  // --- introspection / coverage ----------------------------------------------
+  [[nodiscard]] std::size_t register_count() const noexcept { return registers_.size(); }
+  [[nodiscard]] std::uint64_t accesses(const std::string& reg_name) const;
+  /// Fraction of declared registers accessed at least once.
+  [[nodiscard]] double access_coverage() const;
+  [[nodiscard]] std::uint64_t address_of(const std::string& reg_name) const;
+
+ private:
+  struct Reg {
+    std::uint64_t address = 0;
+    std::uint32_t reset_value = 0;
+    std::uint32_t mirror = 0;
+    std::uint64_t accesses = 0;
+    std::map<std::string, Field> fields;
+  };
+
+  Reg& reg(const std::string& reg_name);
+  [[nodiscard]] const Reg& reg(const std::string& reg_name) const;
+  [[nodiscard]] static std::uint32_t field_mask(const Field& f) {
+    return (f.width >= 32 ? 0xFFFFFFFFu : ((1u << f.width) - 1u)) << f.lsb;
+  }
+  std::uint32_t bus_read(std::uint64_t address);
+  void bus_write(std::uint64_t address, std::uint32_t value);
+
+  std::string name_;
+  tlm::InitiatorSocket* socket_ = nullptr;
+  std::map<std::string, Reg> registers_;
+};
+
+}  // namespace vps::svm

@@ -1,0 +1,90 @@
+#pragma once
+
+/// Sequence / sequencer / driver triple (UVM pull model): sequences produce
+/// request items into the sequencer; the driver pulls them with
+/// get_next_item / item_done and converts them to DUT activity.
+
+#include <deque>
+#include <memory>
+
+#include "vps/sim/fifo.hpp"
+#include "vps/svm/component.hpp"
+
+namespace vps::svm {
+
+template <typename Req>
+class Sequencer : public Component {
+ public:
+  Sequencer(Component& parent, std::string name)
+      : Component(parent, std::move(name)),
+        queue_(kernel(), full_name() + ".queue", 8),
+        done_(kernel(), full_name() + ".done") {}
+
+  /// Sequence side: submits an item and waits until the driver consumed it.
+  [[nodiscard]] sim::Coro send(Req item) {
+    co_await queue_.push(std::move(item));
+    const std::uint64_t my_seq = submitted_++;  // queue insertion order
+    while (consumed_ <= my_seq) co_await done_;
+  }
+
+  /// Driver side: blocks until an item is available (written into `out`).
+  [[nodiscard]] sim::Coro get_next_item(Req& out) { co_await queue_.pop(out); }
+
+  /// Driver side: completion handshake.
+  void item_done() {
+    ++consumed_;
+    done_.notify();
+  }
+
+  [[nodiscard]] std::uint64_t items_consumed() const noexcept { return consumed_; }
+
+ private:
+  sim::Fifo<Req> queue_;
+  sim::Event done_;
+  std::uint64_t submitted_ = 0;
+  std::uint64_t consumed_ = 0;
+};
+
+/// Base class for stimulus generators. Concrete sequences override body().
+template <typename Req>
+class Sequence {
+ public:
+  virtual ~Sequence() = default;
+  /// Generates items via sequencer.send(); runs inside the starting process.
+  [[nodiscard]] virtual sim::Coro body(Sequencer<Req>& sequencer) = 0;
+
+  /// Convenience: runs the sequence holding the root objection so the run
+  /// phase cannot end mid-sequence.
+  [[nodiscard]] sim::Coro start(Sequencer<Req>& sequencer) {
+    sequencer.objection().raise();
+    co_await body(sequencer);
+    sequencer.objection().drop();
+  }
+};
+
+/// Base driver: pulls items forever and applies them via drive().
+template <typename Req>
+class Driver : public Component {
+ public:
+  Driver(Component& parent, std::string name) : Component(parent, std::move(name)) {}
+
+  void connect(Sequencer<Req>& sequencer) noexcept { sequencer_ = &sequencer; }
+
+  sim::Coro run_phase() override {
+    support::ensure(sequencer_ != nullptr, full_name() + ": driver not connected");
+    for (;;) {
+      Req item{};
+      co_await sequencer_->get_next_item(item);
+      co_await drive(item);
+      sequencer_->item_done();
+    }
+  }
+
+  /// Converts one request into pin/transaction activity.
+  [[nodiscard]] virtual sim::Coro drive(Req& item) = 0;
+
+ private:
+  Sequencer<Req>* sequencer_ = nullptr;
+};
+
+}  // namespace vps::svm

@@ -1,0 +1,123 @@
+#pragma once
+
+/// Approximately-timed protocol helpers: a pipelined AT target base class and
+/// a blocking AT initiator adapter. They implement the four-phase base
+/// protocol on top of the kernel so models can be written against either
+/// coding style and compared (loosely-timed speed vs AT accuracy, E4/E5).
+
+#include <deque>
+
+#include "vps/sim/module.hpp"
+#include "vps/tlm/payload.hpp"
+#include "vps/tlm/sockets.hpp"
+
+namespace vps::tlm {
+
+/// AT target that accepts BEGIN_REQ, applies a functional handler after
+/// `process_latency`, and sends BEGIN_RESP over the backward path. Handles
+/// one outstanding transaction per accept slot (request pipelining allowed).
+class AtTarget : public sim::Module, public NbTransportFw {
+ public:
+  AtTarget(sim::Kernel& kernel, std::string name, sim::Time accept_latency,
+           sim::Time process_latency)
+      : Module(kernel, std::move(name)),
+        accept_latency_(accept_latency),
+        process_latency_(process_latency),
+        socket_(this->name() + ".tsock"),
+        work_(kernel, this->name() + ".work") {
+    socket_.set_nonblocking(*this);
+    spawn("responder", responder());
+  }
+
+  [[nodiscard]] TargetSocket& socket() noexcept { return socket_; }
+  [[nodiscard]] std::uint64_t completed() const noexcept { return completed_; }
+
+  /// Functional behaviour, supplied by the concrete target.
+  virtual void handle(GenericPayload& payload) = 0;
+
+  Sync nb_transport_fw(GenericPayload& payload, Phase& phase, sim::Time& delay) override {
+    if (phase == Phase::kBeginReq) {
+      pending_.push_back(&payload);
+      work_.notify(delay + accept_latency_);
+      phase = Phase::kEndReq;
+      delay += accept_latency_;
+      return Sync::kUpdated;
+    }
+    if (phase == Phase::kEndResp) {
+      return Sync::kCompleted;
+    }
+    payload.set_response(Response::kCommandError);
+    return Sync::kCompleted;
+  }
+
+ private:
+  [[nodiscard]] sim::Coro responder() {
+    for (;;) {
+      while (pending_.empty()) co_await work_;
+      GenericPayload* payload = pending_.front();
+      pending_.pop_front();
+      co_await sim::delay(process_latency_);
+      handle(*payload);
+      if (payload->response() == Response::kIncomplete) payload->set_response(Response::kOk);
+      Phase phase = Phase::kBeginResp;
+      sim::Time delay = sim::Time::zero();
+      if (socket_.backward() != nullptr) {
+        (void)socket_.backward()->nb_transport_bw(*payload, phase, delay);
+      }
+      ++completed_;
+    }
+  }
+
+  sim::Time accept_latency_;
+  sim::Time process_latency_;
+  TargetSocket socket_;
+  sim::Event work_;
+  std::deque<GenericPayload*> pending_;
+  std::uint64_t completed_ = 0;
+};
+
+/// Adapter that gives thread processes a blocking call over the AT protocol:
+/// `co_await at.transport(payload)` completes when BEGIN_RESP arrives.
+class AtInitiator : public sim::Module, public NbTransportBw {
+ public:
+  AtInitiator(sim::Kernel& kernel, std::string name)
+      : Module(kernel, std::move(name)),
+        socket_(this->name() + ".isock"),
+        response_(kernel, this->name() + ".resp") {
+    socket_.set_bw(*this);
+  }
+
+  [[nodiscard]] InitiatorSocket& socket() noexcept { return socket_; }
+
+  [[nodiscard]] sim::Coro transport(GenericPayload& payload) {
+    Phase phase = Phase::kBeginReq;
+    sim::Time delay = sim::Time::zero();
+    const Sync sync = socket_.nb_transport_fw(payload, phase, delay);
+    if (sync == Sync::kCompleted) {
+      if (delay != sim::Time::zero()) co_await sim::delay(delay);
+      co_return;
+    }
+    // Wait for BEGIN_RESP on the backward path.
+    while (!response_arrived_) co_await response_;
+    response_arrived_ = false;
+    Phase end = Phase::kEndResp;
+    sim::Time zero = sim::Time::zero();
+    (void)socket_.nb_transport_fw(payload, end, zero);
+  }
+
+  Sync nb_transport_bw(GenericPayload& /*payload*/, Phase& phase, sim::Time& /*delay*/) override {
+    if (phase == Phase::kBeginResp) {
+      response_arrived_ = true;
+      response_.notify();
+      return Sync::kAccepted;
+    }
+    return Sync::kAccepted;
+  }
+
+ private:
+  InitiatorSocket socket_;
+  sim::Event response_;
+  bool response_arrived_ = false;
+};
+
+}  // namespace vps::tlm

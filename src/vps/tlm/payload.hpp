@@ -1,0 +1,102 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace vps::tlm {
+
+/// Transaction command (TLM-2.0 generic payload subset).
+enum class Command : std::uint8_t { kRead, kWrite, kIgnore };
+
+/// Transaction completion status.
+enum class Response : std::uint8_t {
+  kIncomplete,
+  kOk,
+  kAddressError,
+  kCommandError,
+  kBurstError,
+  kGenericError,
+};
+
+[[nodiscard]] constexpr const char* to_string(Response r) noexcept {
+  switch (r) {
+    case Response::kIncomplete: return "INCOMPLETE";
+    case Response::kOk: return "OK";
+    case Response::kAddressError: return "ADDRESS_ERROR";
+    case Response::kCommandError: return "COMMAND_ERROR";
+    case Response::kBurstError: return "BURST_ERROR";
+    case Response::kGenericError: return "GENERIC_ERROR";
+  }
+  return "?";
+}
+
+/// Memory-mapped transaction payload. Owns its data buffer (unlike TLM-2.0's
+/// raw pointer) so fault injectors can corrupt payloads without lifetime
+/// hazards, and carries injection metadata for fault-effect tracking.
+class GenericPayload {
+ public:
+  GenericPayload() = default;
+  GenericPayload(Command cmd, std::uint64_t address, std::size_t size)
+      : command_(cmd), address_(address), data_(size, 0) {}
+
+  [[nodiscard]] Command command() const noexcept { return command_; }
+  void set_command(Command c) noexcept { command_ = c; }
+
+  [[nodiscard]] std::uint64_t address() const noexcept { return address_; }
+  void set_address(std::uint64_t a) noexcept { address_ = a; }
+
+  [[nodiscard]] std::span<const std::uint8_t> data() const noexcept { return data_; }
+  [[nodiscard]] std::span<std::uint8_t> data() noexcept { return data_; }
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  void set_data(std::span<const std::uint8_t> bytes) { data_.assign(bytes.begin(), bytes.end()); }
+  void resize(std::size_t n) { data_.resize(n, 0); }
+
+  [[nodiscard]] Response response() const noexcept { return response_; }
+  void set_response(Response r) noexcept { response_ = r; }
+  [[nodiscard]] bool ok() const noexcept { return response_ == Response::kOk; }
+
+  [[nodiscard]] bool dmi_allowed() const noexcept { return dmi_allowed_; }
+  void set_dmi_allowed(bool v) noexcept { dmi_allowed_ = v; }
+
+  /// Fault-injection metadata: marks the payload as corrupted by an injector
+  /// with the given campaign fault id; monitors use it for fault-to-failure
+  /// attribution in error-effect analysis.
+  [[nodiscard]] bool poisoned() const noexcept { return poisoned_; }
+  [[nodiscard]] std::uint64_t poison_id() const noexcept { return poison_id_; }
+  void poison(std::uint64_t fault_id) noexcept {
+    poisoned_ = true;
+    poison_id_ = fault_id;
+  }
+  void clear_poison() noexcept {
+    poisoned_ = false;
+    poison_id_ = 0;
+  }
+
+  /// Little-endian scalar access helpers (the AR32 substrate is LE).
+  [[nodiscard]] std::uint64_t value_le() const noexcept {
+    std::uint64_t v = 0;
+    for (std::size_t i = data_.size(); i-- > 0;) v = (v << 8) | data_[i];
+    return v;
+  }
+  void set_value_le(std::uint64_t v) noexcept {
+    for (auto& byte : data_) {
+      byte = static_cast<std::uint8_t>(v);
+      v >>= 8;
+    }
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Command command_ = Command::kIgnore;
+  std::uint64_t address_ = 0;
+  std::vector<std::uint8_t> data_;
+  Response response_ = Response::kIncomplete;
+  bool dmi_allowed_ = false;
+  bool poisoned_ = false;
+  std::uint64_t poison_id_ = 0;
+};
+
+}  // namespace vps::tlm

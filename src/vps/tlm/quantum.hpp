@@ -1,0 +1,53 @@
+#pragma once
+
+#include "vps/sim/kernel.hpp"
+#include "vps/sim/time.hpp"
+
+namespace vps::tlm {
+
+/// Temporal-decoupling helper (tlm_quantumkeeper analogue). An initiator
+/// accumulates local time ahead of the kernel and only synchronizes when the
+/// quantum is exhausted — the acceleration technique the paper names as a
+/// research lever for making VP-based stress tests tractable (Sec. 3.4).
+class QuantumKeeper {
+ public:
+  QuantumKeeper(sim::Kernel& kernel, sim::Time quantum) : kernel_(kernel), quantum_(quantum) {}
+
+  [[nodiscard]] sim::Time quantum() const noexcept { return quantum_; }
+  void set_quantum(sim::Time q) noexcept { quantum_ = q; }
+
+  /// Local offset ahead of kernel time.
+  [[nodiscard]] sim::Time local_time() const noexcept { return local_; }
+  /// Effective simulated time as seen by the decoupled initiator.
+  [[nodiscard]] sim::Time current_time() const noexcept { return kernel_.now() + local_; }
+
+  void inc(sim::Time t) noexcept { local_ += t; }
+  void set(sim::Time t) noexcept { local_ = t; }
+  void reset() noexcept { local_ = sim::Time::zero(); }
+
+  [[nodiscard]] bool need_sync() const noexcept { return quantum_ != sim::Time::zero() && local_ >= quantum_; }
+
+  /// Yields to the kernel for the accumulated local time. A zero quantum
+  /// means "sync on every call" (fully coupled reference behaviour).
+  [[nodiscard]] sim::Coro sync() {
+    const sim::Time t = local_;
+    local_ = sim::Time::zero();
+    ++sync_count_;
+    if (t != sim::Time::zero()) co_await sim::delay(t);
+  }
+
+  /// Syncs only when the quantum is exhausted.
+  [[nodiscard]] sim::Coro sync_if_needed() {
+    if (need_sync()) co_await sync();
+  }
+
+  [[nodiscard]] std::uint64_t sync_count() const noexcept { return sync_count_; }
+
+ private:
+  sim::Kernel& kernel_;
+  sim::Time quantum_;
+  sim::Time local_ = sim::Time::zero();
+  std::uint64_t sync_count_ = 0;
+};
+
+}  // namespace vps::tlm

@@ -1,0 +1,64 @@
+#include "vps/tlm/router.hpp"
+
+#include <memory>
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::tlm {
+
+using support::ensure;
+
+Router::Router(std::string name, sim::Time hop_latency)
+    : name_(std::move(name)), hop_latency_(hop_latency), socket_(name_ + ".tsock") {
+  socket_.set_blocking(*this);
+  socket_.set_dmi(*this);
+}
+
+void Router::map(std::uint64_t base, std::uint64_t size, TargetSocket& target) {
+  ensure(size > 0, "Router::map: empty window");
+  ensure(base + size - 1 >= base, "Router::map: window wraps the address space");
+  for (const auto& w : map_) {
+    const bool disjoint = base + size <= w->base || w->base + w->size <= base;
+    ensure(disjoint, "Router::map: window overlaps existing mapping in " + name_);
+  }
+  auto window = std::make_unique<Window>(base, size, name_ + ".out" + std::to_string(map_.size()));
+  window->out.bind(target);
+  map_.push_back(std::move(window));
+}
+
+Router::Window* Router::decode(std::uint64_t address, std::size_t size) {
+  for (const auto& w : map_) {
+    if (address >= w->base && address + size <= w->base + w->size) return w.get();
+  }
+  return nullptr;
+}
+
+void Router::b_transport(GenericPayload& payload, sim::Time& delay) {
+  Window* w = decode(payload.address(), payload.size());
+  if (w == nullptr) {
+    ++decode_errors_;
+    payload.set_response(Response::kAddressError);
+    return;
+  }
+  ++forwarded_;
+  delay += hop_latency_;
+  const std::uint64_t original = payload.address();
+  payload.set_address(original - w->base);
+  w->out.b_transport(payload, delay);
+  payload.set_address(original);
+}
+
+bool Router::get_direct_mem_ptr(std::uint64_t address, DmiRegion& region) {
+  Window* w = decode(address, 1);
+  if (w == nullptr) return false;
+  if (!w->out.get_direct_mem_ptr(address - w->base, region)) return false;
+  // Translate the granted window back into the initiator's address space.
+  region.start += w->base;
+  region.end += w->base;
+  // Clip to the mapping window so the grant never exceeds the decode range.
+  const std::uint64_t window_end = w->base + w->size - 1;
+  if (region.end > window_end) region.end = window_end;
+  return true;
+}
+
+}  // namespace vps::tlm

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vps/sim/time.hpp"
+#include "vps/tlm/payload.hpp"
+#include "vps/tlm/sockets.hpp"
+
+namespace vps::tlm {
+
+/// Address-decoding interconnect: forwards b_transport to the target whose
+/// window covers the address, subtracting the window base (subtractive
+/// decode). Models a per-hop routing latency so bus contention-free timing
+/// is still visible in LT simulations.
+class Router final : public BlockingTransport, public DmiProvider {
+ public:
+  explicit Router(std::string name, sim::Time hop_latency = sim::Time::zero());
+
+  /// Maps [base, base+size) to the given target socket.
+  /// Overlapping windows are rejected.
+  void map(std::uint64_t base, std::uint64_t size, TargetSocket& target);
+
+  [[nodiscard]] TargetSocket& target_socket() noexcept { return socket_; }
+  [[nodiscard]] std::size_t mapping_count() const noexcept { return map_.size(); }
+  [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
+  [[nodiscard]] std::uint64_t decode_errors() const noexcept { return decode_errors_; }
+
+  void b_transport(GenericPayload& payload, sim::Time& delay) override;
+  bool get_direct_mem_ptr(std::uint64_t address, DmiRegion& region) override;
+
+ private:
+  struct Window {
+    std::uint64_t base;
+    std::uint64_t size;
+    InitiatorSocket out;
+    Window(std::uint64_t b, std::uint64_t s, const std::string& name)
+        : base(b), size(s), out(name) {}
+  };
+
+  Window* decode(std::uint64_t address, std::size_t size);
+
+  std::string name_;
+  sim::Time hop_latency_;
+  TargetSocket socket_;
+  std::vector<std::unique_ptr<Window>> map_;
+  std::uint64_t forwarded_ = 0;
+  std::uint64_t decode_errors_ = 0;
+};
+
+}  // namespace vps::tlm

@@ -1,0 +1,119 @@
+// Coverage machinery tests: bins, uniform partitioning, crosses, group
+// aggregation, and the fault-space coverage model with hole queries.
+
+#include <gtest/gtest.h>
+
+#include "vps/coverage/coverage.hpp"
+#include "vps/support/ensure.hpp"
+#include "vps/support/rng.hpp"
+
+namespace {
+
+using namespace vps::coverage;
+
+TEST(CoverpointTest, BinsHitAndHoles) {
+  Coverpoint cp("speed");
+  cp.add_bin("low", 0, 49);
+  cp.add_bin("mid", 50, 99);
+  cp.add_bin("high", 100, 200);
+  EXPECT_EQ(cp.coverage(), 0.0);
+  cp.sample(10);
+  cp.sample(20);
+  cp.sample(150);
+  EXPECT_EQ(cp.bins_hit(), 2u);
+  EXPECT_NEAR(cp.coverage(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(cp.hits(0), 2u);
+  EXPECT_EQ(cp.hits(2), 1u);
+  const auto holes = cp.holes();
+  ASSERT_EQ(holes.size(), 1u);
+  EXPECT_EQ(holes[0], "mid");
+  cp.sample(999);  // outside all bins: ignored
+  EXPECT_EQ(cp.bins_hit(), 2u);
+}
+
+TEST(CoverpointTest, UniformBinsPartitionExactly) {
+  Coverpoint cp("x");
+  cp.add_uniform_bins(0, 99, 10);
+  ASSERT_EQ(cp.bin_count(), 10u);
+  // Every value in range maps to exactly one bin.
+  for (std::int64_t v = 0; v < 100; ++v) {
+    EXPECT_NE(cp.bin_of(v), Coverpoint::npos) << v;
+  }
+  EXPECT_EQ(cp.bin_of(5), 0u);
+  EXPECT_EQ(cp.bin_of(95), 9u);
+  for (std::int64_t v = 0; v < 100; ++v) cp.sample(v);
+  EXPECT_EQ(cp.coverage(), 1.0);
+}
+
+TEST(CoverpointTest, RejectsEmptyBin) {
+  Coverpoint cp("x");
+  EXPECT_THROW(cp.add_bin("bad", 10, 5), vps::support::InvariantError);
+}
+
+TEST(CrossTest, MatrixCoverage) {
+  Coverpoint a("a"), b("b");
+  a.add_uniform_bins(0, 1, 2);
+  b.add_uniform_bins(0, 2, 3);
+  Cross x("axb", a, b);
+  EXPECT_EQ(x.bin_count(), 6u);
+  x.sample(0, 0);
+  x.sample(0, 0);
+  x.sample(1, 2);
+  EXPECT_EQ(x.bins_hit(), 2u);
+  EXPECT_EQ(x.hits(0, 0), 2u);
+  EXPECT_EQ(x.hits(1, 2), 1u);
+  EXPECT_NEAR(x.coverage(), 2.0 / 6.0, 1e-12);
+  EXPECT_EQ(x.holes().size(), 4u);
+}
+
+TEST(CovergroupTest, AggregateAndReport) {
+  Covergroup g("cg");
+  auto& a = g.add_coverpoint("a");
+  a.add_uniform_bins(0, 9, 2);
+  auto& b = g.add_coverpoint("b");
+  b.add_uniform_bins(0, 9, 2);
+  g.add_cross("ab", a, b);
+  a.sample(0);
+  b.sample(0);
+  // point a: 1/2, point b: 1/2, cross: sampled separately -> 0.
+  EXPECT_NEAR(g.coverage(), (0.5 + 0.5 + 0.0) / 3.0, 1e-12);
+  const auto rep = g.report();
+  EXPECT_NE(rep.find("covergroup cg"), std::string::npos);
+  EXPECT_NE(rep.find("TOTAL"), std::string::npos);
+  EXPECT_EQ(&g.point("a"), &a);
+  EXPECT_THROW((void)g.point("zz"), vps::support::InvariantError);
+}
+
+TEST(FaultSpace, RandomSamplingConvergesToFullCoverage) {
+  FaultSpaceCoverage cov(4, 8, 5);
+  vps::support::Xorshift rng(9);
+  EXPECT_EQ(cov.coverage(), 0.0);
+  for (int i = 0; i < 2000; ++i) {
+    cov.sample(rng.index(4), rng.index(8), rng.uniform());
+  }
+  EXPECT_EQ(cov.coverage(), 1.0);
+  EXPECT_TRUE(cov.class_location_holes().empty());
+  EXPECT_EQ(cov.samples(), 2000u);
+}
+
+TEST(FaultSpace, HolesIdentifyUnexercisedCombinations) {
+  FaultSpaceCoverage cov(2, 2, 2);
+  cov.sample(0, 0, 0.1);
+  cov.sample(1, 1, 0.9);
+  const auto holes = cov.class_location_holes();
+  ASSERT_EQ(holes.size(), 2u);
+  EXPECT_EQ(holes[0], (std::pair<std::size_t, std::size_t>{0, 1}));
+  EXPECT_EQ(holes[1], (std::pair<std::size_t, std::size_t>{1, 0}));
+  EXPECT_LT(cov.coverage(), 1.0);
+}
+
+TEST(FaultSpace, TimeFractionClampsToValidWindow) {
+  FaultSpaceCoverage cov(1, 1, 4);
+  cov.sample(0, 0, -0.5);  // clamps to first window
+  cov.sample(0, 0, 1.5);   // clamps to last window
+  cov.sample(0, 0, 0.3);
+  cov.sample(0, 0, 0.6);
+  EXPECT_EQ(cov.coverage(), 1.0);
+}
+
+}  // namespace

@@ -1,0 +1,200 @@
+// Formal-module tests: the DPLL solver on classic formulas, Tseitin
+// netlist encoding consistency against the concrete evaluator, stimulus
+// justification, and miter-based ATPG — including the UNSAT proof that a
+// TMR voter masks all single internal faults (the "protection bypass"
+// capability of paper Sec. 3.4).
+
+#include <gtest/gtest.h>
+
+#include "vps/formal/atpg.hpp"
+#include "vps/formal/sat.hpp"
+#include "vps/gate/builders.hpp"
+#include "vps/support/rng.hpp"
+
+namespace {
+
+using namespace vps::formal;
+using namespace vps::gate;
+
+TEST(Sat, TrivialSatAndUnsat) {
+  SatSolver s;
+  const auto a = s.new_variable();
+  const auto b = s.new_variable();
+  s.add_binary(Lit::pos(a), Lit::pos(b));
+  s.add_unit(Lit::neg(a));
+  const auto model = s.solve();
+  ASSERT_TRUE(model.has_value());
+  EXPECT_FALSE(model->value(a));
+  EXPECT_TRUE(model->value(b));
+
+  SatSolver u;
+  const auto x = u.new_variable();
+  u.add_unit(Lit::pos(x));
+  u.add_unit(Lit::neg(x));
+  EXPECT_FALSE(u.solve().has_value());
+}
+
+TEST(Sat, PigeonholeThreeIntoTwoIsUnsat) {
+  // 3 pigeons, 2 holes: p[i][h] with per-pigeon at-least-one and per-hole
+  // at-most-one constraints — a classic small UNSAT instance.
+  SatSolver s;
+  std::uint32_t p[3][2];
+  for (auto& pigeon : p) {
+    for (auto& var : pigeon) var = s.new_variable();
+  }
+  for (const auto& pigeon : p) s.add_binary(Lit::pos(pigeon[0]), Lit::pos(pigeon[1]));
+  for (int h = 0; h < 2; ++h) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i + 1; j < 3; ++j) {
+        s.add_binary(Lit::neg(p[i][h]), Lit::neg(p[j][h]));
+      }
+    }
+  }
+  EXPECT_FALSE(s.solve().has_value());
+  EXPECT_GT(s.decisions(), 0u);
+}
+
+TEST(Sat, ModelSatisfiesAllClauses) {
+  // Random 3-SAT below the phase transition should be satisfiable and the
+  // returned model must satisfy every clause.
+  vps::support::Xorshift rng(11);
+  SatSolver s;
+  constexpr std::uint32_t kVars = 20;
+  for (std::uint32_t v = 0; v < kVars; ++v) (void)s.new_variable();
+  std::vector<Clause> clauses;
+  for (int c = 0; c < 40; ++c) {  // ratio 2.0 — comfortably SAT
+    Clause clause;
+    for (int k = 0; k < 3; ++k) {
+      const auto var = static_cast<std::uint32_t>(1 + rng.index(kVars));
+      clause.push_back(rng.chance(0.5) ? Lit::pos(var) : Lit::neg(var));
+    }
+    clauses.push_back(clause);
+    s.add_clause(clause);
+  }
+  const auto model = s.solve();
+  ASSERT_TRUE(model.has_value());
+  for (const auto& clause : clauses) {
+    bool satisfied = false;
+    for (const Lit l : clause) satisfied |= model->value(l.var()) == l.positive();
+    EXPECT_TRUE(satisfied);
+  }
+}
+
+TEST(Encoding, AgreesWithConcreteEvaluatorOnRandomCones) {
+  // Encode the 8-bit comparator; for random input assignments forced via
+  // unit clauses, the SAT model must reproduce the evaluator's outputs.
+  const auto circuit = build_airbag_comparator(8, 200, /*tmr=*/false);
+  Evaluator eval(circuit.netlist);
+  vps::support::Xorshift rng(3);
+  for (int trial = 0; trial < 30; ++trial) {
+    const std::uint64_t v = rng.uniform_u64(0, 255);
+    SatSolver solver;
+    const auto enc = encode_netlist(solver, circuit.netlist);
+    for (std::size_t i = 0; i < circuit.accel_inputs.size(); ++i) {
+      solver.add_unit(enc.lit(circuit.accel_inputs[i], ((v >> i) & 1u) != 0));
+    }
+    const auto model = solver.solve();
+    ASSERT_TRUE(model.has_value());
+    eval.set_input_word(circuit.accel_inputs, v);
+    eval.evaluate();
+    EXPECT_EQ(model->value(enc.net_var[circuit.fire]), eval.value(circuit.fire)) << v;
+  }
+}
+
+TEST(Justify, FindsFiringStimulusAndProvesImpossible) {
+  const auto circuit = build_airbag_comparator(8, 200, false);
+  // Find an input that fires the airbag.
+  const auto stim = justify(circuit.netlist, circuit.fire, true);
+  ASSERT_TRUE(stim.has_value());
+  EXPECT_GT(stim->input_value, 200u);
+  // And one that keeps it quiet.
+  const auto quiet = justify(circuit.netlist, circuit.fire, false);
+  ASSERT_TRUE(quiet.has_value());
+  EXPECT_LE(quiet->input_value, 200u);
+
+  // threshold 255: firing is impossible — the solver proves it.
+  const auto impossible = build_airbag_comparator(8, 255, false);
+  EXPECT_FALSE(justify(impossible.netlist, impossible.fire, true).has_value());
+}
+
+TEST(Atpg, GeneratedVectorActuallyDetectsTheFault) {
+  Netlist nl;
+  const Word a = input_word(nl, "a", 4);
+  const Word b = input_word(nl, "b", 4);
+  const Word sum = ripple_adder(nl, a, b, true);
+  for (std::size_t i = 0; i < sum.size(); ++i) nl.mark_output("s" + std::to_string(i), sum[i]);
+
+  FaultSimulator fsim(nl);
+  vps::support::Xorshift rng(17);
+  int verified = 0;
+  for (const auto& site : fsim.enumerate_faults()) {
+    if (!rng.chance(0.5)) continue;  // sample the site population
+    const auto result = generate_test(nl, site);
+    if (result.status != AtpgResult::Status::kDetected) continue;
+    // Replay the vector on the concrete fault simulator: golden vs faulty
+    // responses must differ.
+    Evaluator golden(nl), faulty(nl);
+    faulty.inject_stuck_at(site.net, site.stuck_value);
+    const TestVector tv{result.test_vector, 0};
+    EXPECT_NE(fsim.response(golden, tv), fsim.response(faulty, tv))
+        << "ATPG vector failed to detect stuck-" << site.stuck_value << " on net " << site.net;
+    ++verified;
+  }
+  EXPECT_GT(verified, 20);
+}
+
+TEST(Atpg, ProvesTmrMasksAllSingleReplicaFaults) {
+  // The paper's protection-bypass question, answered formally: for the TMR
+  // comparator, every stuck-at inside a single replica is UNTESTABLE at the
+  // output (UNSAT miter) — a proof, not a sampling argument.
+  const auto tmr = build_airbag_comparator(4, 9, /*tmr=*/true);
+  std::size_t untestable = 0, testable = 0;
+  for (NetId net = 0; net < tmr.voter_start; ++net) {
+    bool is_input = false;
+    for (const NetId in : tmr.accel_inputs) is_input |= net == in;
+    if (is_input) continue;  // shared inputs are single points of failure
+    for (const bool sv : {false, true}) {
+      const auto result = generate_test(tmr.netlist, {net, sv});
+      if (result.status == AtpgResult::Status::kUntestable) {
+        ++untestable;
+      } else {
+        ++testable;
+      }
+    }
+  }
+  EXPECT_EQ(testable, 0u) << "a single replica fault escaped the voter";
+  EXPECT_GT(untestable, 50u);
+
+  // Control: voter-output faults ARE testable.
+  const auto out_fault = generate_test(tmr.netlist, {tmr.fire, true});
+  EXPECT_EQ(out_fault.status, AtpgResult::Status::kDetected);
+}
+
+TEST(Atpg, CampaignMatchesExhaustiveFaultSimulation) {
+  // On the plain comparator, the ATPG verdicts must agree with exhaustive
+  // fault simulation: detected faults == faults detectable by the full
+  // vector set; untestable faults == residual undetected ones.
+  Netlist nl;
+  const Word a = input_word(nl, "a", 4);
+  const NetId gt = greater_than(nl, a, constant_word(nl, 9, 4));
+  nl.mark_output("gt", gt);
+
+  const auto campaign = run_atpg(nl);
+  FaultSimulator fsim(nl);
+  std::vector<TestVector> all;
+  for (std::uint64_t v = 0; v < 16; ++v) all.push_back({v, 0});
+  const auto exhaustive = fsim.run(all);
+
+  EXPECT_EQ(campaign.total_faults, exhaustive.total_faults);
+  EXPECT_EQ(campaign.detected, exhaustive.detected);
+  EXPECT_EQ(campaign.proven_untestable, exhaustive.undetected.size());
+
+  // The generated test set must itself achieve full detectable coverage.
+  std::vector<TestVector> generated;
+  for (const auto v : campaign.test_set) generated.push_back({v, 0});
+  const auto replay = fsim.run(generated);
+  EXPECT_EQ(replay.detected, campaign.detected);
+  EXPECT_LE(campaign.test_set.size(), 16u);
+}
+
+}  // namespace

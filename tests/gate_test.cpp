@@ -1,0 +1,312 @@
+// Gate-level substrate tests: netlist construction rules, evaluation,
+// sequential elements, circuit builders (exhaustive property sweeps), and
+// stuck-at fault simulation.
+
+#include <gtest/gtest.h>
+
+#include "vps/gate/builders.hpp"
+#include "vps/gate/fault_sim.hpp"
+#include "vps/gate/netlist.hpp"
+#include "vps/support/ensure.hpp"
+#include "vps/support/rng.hpp"
+
+namespace {
+
+using namespace vps::gate;
+
+TEST(Netlist, BasicGateEvaluation) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId and_ = nl.add(GateKind::kAnd, a, b);
+  const NetId or_ = nl.add(GateKind::kOr, a, b);
+  const NetId xor_ = nl.add(GateKind::kXor, a, b);
+  const NetId not_ = nl.add(GateKind::kNot, a);
+  const NetId nand_ = nl.add(GateKind::kNand, a, b);
+  const NetId nor_ = nl.add(GateKind::kNor, a, b);
+  const NetId xnor_ = nl.add(GateKind::kXnor, a, b);
+
+  Evaluator ev(nl);
+  for (int av = 0; av < 2; ++av) {
+    for (int bv = 0; bv < 2; ++bv) {
+      ev.set_input(a, av != 0);
+      ev.set_input(b, bv != 0);
+      ev.evaluate();
+      EXPECT_EQ(ev.value(and_), av && bv);
+      EXPECT_EQ(ev.value(or_), av || bv);
+      EXPECT_EQ(ev.value(xor_), av != bv);
+      EXPECT_EQ(ev.value(not_), !av);
+      EXPECT_EQ(ev.value(nand_), !(av && bv));
+      EXPECT_EQ(ev.value(nor_), !(av || bv));
+      EXPECT_EQ(ev.value(xnor_), av == bv);
+    }
+  }
+}
+
+TEST(Netlist, MuxSelects) {
+  Netlist nl;
+  const NetId s = nl.add_input("s");
+  const NetId d0 = nl.add_input("d0");
+  const NetId d1 = nl.add_input("d1");
+  const NetId y = nl.add(GateKind::kMux, s, d0, d1);
+  Evaluator ev(nl);
+  ev.set_input(d0, false);
+  ev.set_input(d1, true);
+  ev.set_input(s, false);
+  ev.evaluate();
+  EXPECT_FALSE(ev.value(y));
+  ev.set_input(s, true);
+  ev.evaluate();
+  EXPECT_TRUE(ev.value(y));
+}
+
+TEST(Netlist, TopologicalOrderEnforced) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  EXPECT_THROW(nl.add(GateKind::kAnd, a, 99), vps::support::InvariantError);
+  EXPECT_THROW(nl.add_input("a"), vps::support::InvariantError);  // duplicate name
+}
+
+TEST(Netlist, DffHoldsStateAcrossClocks) {
+  // Toggle flip-flop: D = NOT Q.
+  Netlist nl;
+  const NetId q = nl.add_dff();
+  const NetId d = nl.add(GateKind::kNot, q);
+  nl.set_dff_input(q, d);
+  Evaluator ev(nl);
+  ev.reset();
+  ev.evaluate();
+  EXPECT_FALSE(ev.value(q));
+  ev.clock();
+  EXPECT_TRUE(ev.value(q));
+  ev.clock();
+  EXPECT_FALSE(ev.value(q));
+  ev.clock();
+  EXPECT_TRUE(ev.value(q));
+}
+
+TEST(Netlist, UnconnectedDffIsAnError) {
+  Netlist nl;
+  (void)nl.add_dff();
+  Evaluator ev(nl);
+  ev.evaluate();
+  EXPECT_THROW(ev.clock(), vps::support::InvariantError);
+}
+
+TEST(Netlist, StuckAtOverridesValue) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId y = nl.add(GateKind::kBuf, a);
+  Evaluator ev(nl);
+  ev.inject_stuck_at(y, true);
+  ev.set_input(a, false);
+  ev.evaluate();
+  EXPECT_TRUE(ev.value(y));
+  ev.clear_faults();
+  ev.evaluate();
+  EXPECT_FALSE(ev.value(y));
+}
+
+class AdderSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(AdderSweep, MatchesIntegerAdditionExhaustively) {
+  const std::size_t bits = GetParam();
+  Netlist nl;
+  const Word a = input_word(nl, "a", bits);
+  const Word b = input_word(nl, "b", bits);
+  const Word sum = ripple_adder(nl, a, b, /*with_carry_out=*/true);
+  Evaluator ev(nl);
+  const std::uint64_t limit = 1ULL << bits;
+  for (std::uint64_t x = 0; x < limit; ++x) {
+    for (std::uint64_t y = 0; y < limit; ++y) {
+      ev.set_input_word(a, x);
+      ev.set_input_word(b, y);
+      ev.evaluate();
+      EXPECT_EQ(ev.word(sum), x + y) << x << "+" << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, AdderSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+class ComparatorSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(ComparatorSweep, GreaterThanAndEqualsExhaustively) {
+  const std::size_t bits = GetParam();
+  Netlist nl;
+  const Word a = input_word(nl, "a", bits);
+  const Word b = input_word(nl, "b", bits);
+  const NetId gt = greater_than(nl, a, b);
+  const NetId eq = equals(nl, a, b);
+  Evaluator ev(nl);
+  const std::uint64_t limit = 1ULL << bits;
+  for (std::uint64_t x = 0; x < limit; ++x) {
+    for (std::uint64_t y = 0; y < limit; ++y) {
+      ev.set_input_word(a, x);
+      ev.set_input_word(b, y);
+      ev.evaluate();
+      EXPECT_EQ(ev.value(gt), x > y);
+      EXPECT_EQ(ev.value(eq), x == y);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, ComparatorSweep, ::testing::Values(1, 2, 4, 6));
+
+TEST(Builders, MajorityVoterMasksSingleCorruption) {
+  Netlist nl;
+  const Word a = input_word(nl, "a", 4);
+  const Word b = input_word(nl, "b", 4);
+  const Word c = input_word(nl, "c", 4);
+  const Word v = majority_voter(nl, a, b, c);
+  Evaluator ev(nl);
+  vps::support::Xorshift rng(5);
+  for (int trial = 0; trial < 100; ++trial) {
+    const std::uint64_t good = rng.uniform_u64(0, 15);
+    const std::uint64_t bad = rng.uniform_u64(0, 15);
+    // Corrupt exactly one replica; the vote must still produce `good`.
+    const int victim = static_cast<int>(rng.index(3));
+    ev.set_input_word(a, victim == 0 ? bad : good);
+    ev.set_input_word(b, victim == 1 ? bad : good);
+    ev.set_input_word(c, victim == 2 ? bad : good);
+    ev.evaluate();
+    EXPECT_EQ(ev.word(v), good);
+  }
+}
+
+TEST(Builders, ParityMatchesPopcount) {
+  Netlist nl;
+  const Word a = input_word(nl, "a", 8);
+  const NetId p = parity(nl, a);
+  Evaluator ev(nl);
+  for (std::uint64_t x = 0; x < 256; ++x) {
+    ev.set_input_word(a, x);
+    ev.evaluate();
+    EXPECT_EQ(ev.value(p), (__builtin_popcountll(x) & 1) != 0);
+  }
+}
+
+TEST(Builders, RegisterWordPipelines) {
+  Netlist nl;
+  const Word q = register_word(nl, 4);
+  const Word d = input_word(nl, "d", 4);
+  connect_register(nl, q, d);
+  Evaluator ev(nl);
+  ev.reset();
+  ev.set_input_word(d, 0xA);
+  ev.evaluate();
+  EXPECT_EQ(ev.word(q), 0u);  // not clocked yet
+  ev.clock();
+  EXPECT_EQ(ev.word(q), 0xAu);
+  ev.set_input_word(d, 0x5);
+  ev.evaluate();
+  EXPECT_EQ(ev.word(q), 0xAu);  // holds until clocked
+  ev.clock();
+  EXPECT_EQ(ev.word(q), 0x5u);
+}
+
+TEST(AirbagCircuit, FiresExactlyAboveThreshold) {
+  const auto c = build_airbag_comparator(8, 200, /*tmr=*/false);
+  Evaluator ev(c.netlist);
+  for (std::uint64_t accel = 0; accel < 256; ++accel) {
+    ev.set_input_word(c.accel_inputs, accel);
+    ev.evaluate();
+    EXPECT_EQ(ev.value(c.fire), accel > 200) << accel;
+  }
+}
+
+TEST(AirbagCircuit, TmrMasksAnySingleInternalStuckAt) {
+  // Property from the paper's CAPS example: no single component failure may
+  // trigger the airbag in normal operation. With TMR, any single stuck-at on
+  // a *non-shared* net must not change the (non-firing) decision.
+  const auto c = build_airbag_comparator(8, 200, /*tmr=*/true);
+  Evaluator golden(c.netlist);
+  const std::uint64_t accel = 100;  // normal operation: below threshold
+
+  std::size_t masked = 0, unmasked = 0;
+  for (NetId net = 0; net < c.voter_start; ++net) {
+    // Skip the shared sensor input word; faults there — and anywhere in the
+    // voter (nets >= voter_start) — are single points of failure by design.
+    bool is_input = false;
+    for (NetId in : c.accel_inputs) is_input |= net == in;
+    if (is_input) continue;
+    for (bool sv : {false, true}) {
+      Evaluator ev(c.netlist);
+      ev.inject_stuck_at(net, sv);
+      ev.set_input_word(c.accel_inputs, accel);
+      ev.evaluate();
+      if (ev.value(c.fire)) {
+        ++unmasked;
+      } else {
+        ++masked;
+      }
+    }
+  }
+  EXPECT_EQ(unmasked, 0u) << "TMR failed to mask a single stuck-at fault";
+  EXPECT_GT(masked, 100u);
+
+  // Control: the voter output itself IS a single point of failure.
+  Evaluator ev(c.netlist);
+  ev.inject_stuck_at(c.fire, true);
+  ev.set_input_word(c.accel_inputs, accel);
+  ev.evaluate();
+  EXPECT_TRUE(ev.value(c.fire));
+}
+
+TEST(FaultSim, DetectsStuckAtWithExhaustiveVectors) {
+  Netlist nl;
+  const Word a = input_word(nl, "a", 3);
+  const Word b = input_word(nl, "b", 3);
+  const Word sum = ripple_adder(nl, a, b, true);
+  for (std::size_t i = 0; i < sum.size(); ++i) nl.mark_output("s" + std::to_string(i), sum[i]);
+
+  FaultSimulator fsim(nl);
+  std::vector<TestVector> vectors;
+  for (std::uint64_t v = 0; v < 64; ++v) vectors.push_back({v, 0});
+  const auto result = fsim.run(vectors);
+  EXPECT_EQ(result.total_faults, nl.fault_site_count());
+  // Exhaustive vectors detect every non-redundant fault. The ripple adder
+  // does contain redundant sites: the LSB stage is fed by a constant-zero
+  // carry-in, so e.g. stuck-at-0 on `axb & carry_in` is undetectable. All
+  // remaining coverage loss must stem from such constant-driven logic.
+  EXPECT_GT(result.coverage(), 0.9);
+  EXPECT_LT(result.undetected.size(), 10u);
+  // Verify each undetected site is genuinely redundant by checking the
+  // fault never changes the response for any vector (already established
+  // by the simulator) AND sits in the constant-carry cone: its fault-free
+  // value is constant across all vectors.
+  Evaluator probe(nl);
+  for (const auto& site : result.undetected) {
+    bool first = true, constant_value = false, is_constant = true;
+    for (const auto& v : vectors) {
+      probe.reset();
+      probe.set_input_word(nl.inputs(), v.input_value);
+      probe.evaluate();
+      if (first) {
+        constant_value = probe.value(site.net);
+        first = false;
+      } else if (probe.value(site.net) != constant_value) {
+        is_constant = false;
+        break;
+      }
+    }
+    EXPECT_TRUE(is_constant) << "undetected fault on a non-constant net " << site.net;
+  }
+}
+
+TEST(FaultSim, FewVectorsGiveLowerCoverage) {
+  Netlist nl;
+  const Word a = input_word(nl, "a", 4);
+  const Word b = input_word(nl, "b", 4);
+  const NetId gt = greater_than(nl, a, b);
+  nl.mark_output("gt", gt);
+  FaultSimulator fsim(nl);
+  const auto one = fsim.run({{0x00, 0}});
+  std::vector<TestVector> many;
+  for (std::uint64_t v = 0; v < 256; ++v) many.push_back({v, 0});
+  const auto full = fsim.run(many);
+  EXPECT_LT(one.coverage(), full.coverage());
+  EXPECT_GT(full.coverage(), 0.9);
+}
+
+}  // namespace

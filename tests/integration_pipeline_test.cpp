@@ -1,0 +1,153 @@
+// End-to-end integration of the paper's whole vision in one test file:
+//   Fig. 2: vehicle mission profile -> component refinement -> fault rates
+//           -> stressor spec
+//   Fig. 3: stressor-driven error-effect campaign on the CAPS VP
+//   Analyses: weak spots, fault-tree synthesis, FMEDA metrics
+// Each stage's output feeds the next; the assertions pin the cross-stage
+// invariants rather than isolated unit behaviour.
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "vps/apps/caps.hpp"
+#include "vps/fault/campaign.hpp"
+#include "vps/fault/stressor.hpp"
+#include "vps/mp/derivation.hpp"
+#include "vps/mp/mission_profile.hpp"
+#include "vps/safety/fmeda.hpp"
+#include "vps/safety/ft_synthesis.hpp"
+
+namespace {
+
+using namespace vps;
+
+TEST(Refinement, ComponentContextsScaleStresses) {
+  const auto vehicle = mp::reference_car_profile();
+  const auto engine = mp::refine_for_component(vehicle, mp::engine_bay_context("engine_ecu"));
+  const auto cabin = mp::refine_for_component(vehicle, mp::cabin_context("body_ecu"));
+  const auto wheel = mp::refine_for_component(vehicle, mp::wheel_mounted_context("abs_sensor"));
+
+  EXPECT_EQ(engine.name(), "reference_car/engine_ecu");
+  EXPECT_EQ(engine.states().size(), vehicle.states().size());
+  // Engine bay: hotter and shakier than the vehicle envelope.
+  EXPECT_EQ(engine.state("highway").temp_max_c, vehicle.state("highway").temp_max_c + 25.0);
+  EXPECT_GT(engine.state("highway").vibration_grms, vehicle.state("highway").vibration_grms);
+  // Cabin: damped below the vehicle-level vibration.
+  EXPECT_LT(cabin.state("highway").vibration_grms, vehicle.state("highway").vibration_grms);
+  // Wheel-mounted: the harshest vibration environment of the three.
+  EXPECT_GT(wheel.state("highway").vibration_grms, engine.state("highway").vibration_grms);
+  // Functional loads survive the refinement.
+  EXPECT_EQ(wheel.loads().size(), vehicle.loads().size());
+}
+
+TEST(Refinement, RatesFollowTheRefinedStresses) {
+  const auto vehicle = mp::reference_car_profile();
+  const auto engine = mp::refine_for_component(vehicle, mp::engine_bay_context("engine_ecu"));
+  const auto cabin = mp::refine_for_component(vehicle, mp::cabin_context("body_ecu"));
+  const auto vehicle_rates = mp::derive_fault_rates(vehicle);
+  const auto engine_rates = mp::derive_fault_rates(engine);
+  const auto cabin_rates = mp::derive_fault_rates(cabin);
+
+  // Vibration-driven classes: wheel >> engine > vehicle > cabin.
+  const auto conn = mp::FaultClass::kConnectorOpen;
+  EXPECT_GT(engine_rates.mission_average_fit(conn), vehicle_rates.mission_average_fit(conn));
+  EXPECT_LT(cabin_rates.mission_average_fit(conn), vehicle_rates.mission_average_fit(conn));
+  // Thermal classes rise in the engine bay.
+  const auto drift = mp::FaultClass::kSensorDrift;
+  EXPECT_GT(engine_rates.mission_average_fit(drift), vehicle_rates.mission_average_fit(drift));
+}
+
+TEST(Pipeline, MissionProfileToCampaignToAnalyses) {
+  // --- Fig. 2: derive the stressor for the refined component profile -----
+  const auto vehicle = mp::reference_car_profile();
+  const auto component = mp::refine_for_component(vehicle, mp::cabin_context("airbag_ecu"));
+  const auto rates = mp::derive_fault_rates(component);
+  const auto spec = mp::make_stressor_spec(rates, "city", 1e11);
+  EXPECT_GT(spec.total_rate(), 0.0);
+
+  // --- Fig. 3: error-effect campaign on the CAPS crash scenario ----------
+  apps::CapsScenario scenario(
+      apps::CapsConfig{.crash = true, .duration = sim::Time::ms(12)});
+  fault::CampaignConfig cfg;
+  cfg.runs = 60;
+  cfg.seed = 31;
+  cfg.strategy = fault::Strategy::kGuided;
+  fault::Campaign campaign(scenario, cfg);
+  const auto result = campaign.run();
+  EXPECT_EQ(result.runs_executed, 60u);
+  EXPECT_GT(result.final_coverage, 0.2);
+
+  // --- weak spots ----------------------------------------------------------
+  const auto spots = result.weak_spots();
+  ASSERT_FALSE(spots.empty());
+  // Ranked by danger rate, descending.
+  for (std::size_t i = 1; i < spots.size(); ++i) {
+    EXPECT_GE(spots[i - 1].danger_rate(), spots[i].danger_rate());
+  }
+  const auto table = result.render_weak_spots();
+  EXPECT_NE(table.find("danger rate"), std::string::npos);
+
+  // --- fault-tree synthesis -------------------------------------------------
+  std::vector<safety::HazardContribution> contributions;
+  for (const auto& s : spots) {
+    safety::HazardContribution c;
+    c.fault_name = fault::to_string(s.type);
+    c.observed_injections = s.injected;
+    c.observed_hazards = s.dangerous;
+    c.conditional_hazard = s.danger_rate();
+    c.occurrence_probability = 1e-4;
+    contributions.push_back(c);
+  }
+  const auto synth = safety::synthesize_fault_tree("failed_deployment", contributions);
+  const double p_top = synth.tree.top_probability_exact();
+  if (result.count(fault::Outcome::kHazard) > 0) {
+    EXPECT_GT(p_top, 0.0);
+    EXPECT_LT(p_top, 1e-3);
+    // The top probability is bounded by the rare-event sum of contributors.
+    EXPECT_LE(p_top, synth.tree.top_probability_rare_event() + 1e-15);
+  }
+
+  // --- FMEDA from measured DC ------------------------------------------------
+  safety::Fmeda fmeda;
+  for (const auto& s : spots) {
+    // DC per population: share of non-masked outcomes the system detected.
+    std::uint64_t detected = 0, relevant = 0;
+    for (const auto& rec : result.records) {
+      if (rec.fault.type != s.type) continue;
+      const bool det = rec.outcome == fault::Outcome::kDetectedCorrected ||
+                       rec.outcome == fault::Outcome::kDetectedUncorrected;
+      detected += det;
+      relevant += det || rec.outcome == fault::Outcome::kHazard ||
+                  rec.outcome == fault::Outcome::kSilentDataCorruption;
+    }
+    if (relevant == 0) continue;
+    fmeda.add_row({"caps", fault::to_string(s.type), 20.0, true,
+                   static_cast<double>(detected) / static_cast<double>(relevant), 0.9});
+  }
+  ASSERT_GT(fmeda.row_count(), 0u);
+  const auto metrics = fmeda.metrics();
+  EXPECT_GT(metrics.safety_related_fit, 0.0);
+  EXPECT_GE(metrics.spfm, 0.0);
+  EXPECT_LE(metrics.spfm, 1.0);
+}
+
+TEST(Pipeline, StressorScheduleDrivesLiveInjectors) {
+  // Arm a stressor against a live kernel and verify faults actually land.
+  sim::Kernel kernel;
+  fault::InjectorHub hub(kernel);
+  fault::AnalogChannel sensor([] { return 1.0; });
+  hub.bind_sensor(sensor);
+
+  mp::StressorSpec spec;
+  spec.state = "test";
+  spec.rate_per_second[static_cast<std::size_t>(mp::FaultClass::kSensorDrift)] = 200.0;
+  fault::Stressor stressor(hub, spec, 3);
+  const auto scheduled = stressor.arm(sim::Time::sec(1));
+  EXPECT_GT(scheduled, 100u);
+  kernel.run(sim::Time::sec(2));
+  EXPECT_EQ(hub.applied_count() + hub.skipped_count(), scheduled);
+  EXPECT_GT(hub.applied_count(), 100u);
+}
+
+}  // namespace

@@ -1,0 +1,160 @@
+// Mission-profile tests: parser (happy path + every syntax error), model
+// validation invariants, acceleration-model physics properties, fault-rate
+// derivation monotonicity, and stressor-spec scaling.
+
+#include <gtest/gtest.h>
+
+#include "vps/mp/derivation.hpp"
+#include "vps/mp/mission_profile.hpp"
+#include "vps/support/ensure.hpp"
+
+namespace {
+
+using namespace vps::mp;
+
+TEST(Parser, ParsesReferenceProfile) {
+  const MissionProfile p = reference_car_profile();
+  EXPECT_EQ(p.name(), "reference_car");
+  EXPECT_EQ(p.lifetime_hours(), 8000.0);
+  ASSERT_EQ(p.states().size(), 4u);
+  EXPECT_EQ(p.state("city").vibration_grms, 2.0);
+  EXPECT_EQ(p.state("cranking").voltage_v, 6.5);
+  EXPECT_EQ(p.state("parked").fraction, 0.915);
+  ASSERT_EQ(p.loads().size(), 3u);
+  EXPECT_EQ(p.loads()[0].name, "steering_against_curb");
+  EXPECT_EQ(p.loads()[0].state, "city");
+}
+
+TEST(Parser, CommentsAndBlankLines) {
+  const auto p = parse_mission_profile(R"(
+    # a comment
+    profile x
+
+    state only fraction 1.0 temp 0 40 vibration 1.0 voltage 12  # trailing comment
+  )");
+  EXPECT_EQ(p.states().size(), 1u);
+}
+
+TEST(Parser, RejectsMalformedInput) {
+  // unknown statement
+  EXPECT_THROW((void)parse_mission_profile("bogus 1"), std::invalid_argument);
+  // bad state arity
+  EXPECT_THROW((void)parse_mission_profile("state x fraction 1.0"), std::invalid_argument);
+  // non-numeric field
+  EXPECT_THROW((void)parse_mission_profile(
+                   "state x fraction abc temp 0 1 vibration 1 voltage 12"),
+               std::invalid_argument);
+  // no states at all
+  EXPECT_THROW((void)parse_mission_profile("profile y"), std::invalid_argument);
+  // error message carries the line number
+  try {
+    (void)parse_mission_profile("profile y\nwat 3\n");
+    FAIL();
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Validation, FractionsMustSumToOne) {
+  EXPECT_THROW((void)parse_mission_profile(R"(
+    state a fraction 0.5 temp 0 40 vibration 1 voltage 12
+    state b fraction 0.3 temp 0 40 vibration 1 voltage 12
+  )"),
+               std::invalid_argument);
+}
+
+TEST(Validation, RejectsDuplicateStateAndBadRanges) {
+  MissionProfile p;
+  p.add_state({"a", 1.0, 0, 40, 1.0, 12.0});
+  EXPECT_THROW(p.add_state({"a", 0.5, 0, 40, 1.0, 12.0}), std::invalid_argument);
+  MissionProfile q;
+  q.add_state({"a", 1.0, 40, 0, 1.0, 12.0});  // inverted temperature range
+  EXPECT_THROW(q.validate(), std::invalid_argument);
+  MissionProfile r;
+  r.add_state({"a", 1.0, 0, 40, 1.0, 12.0});
+  r.add_load({"l", 1.0, "nonexistent"});
+  EXPECT_THROW(r.validate(), std::invalid_argument);
+}
+
+TEST(Physics, ArrheniusProperties) {
+  // Identity at reference, monotone in temperature, classic rule of thumb:
+  // ~2x per 10K at Ea=0.7eV around room temperature.
+  EXPECT_DOUBLE_EQ(arrhenius_factor(55, 55, 0.7), 1.0);
+  EXPECT_GT(arrhenius_factor(85, 55, 0.7), arrhenius_factor(65, 55, 0.7));
+  EXPECT_LT(arrhenius_factor(25, 55, 0.7), 1.0);
+  const double doubling = arrhenius_factor(35, 25, 0.7);
+  EXPECT_GT(doubling, 1.8);
+  EXPECT_LT(doubling, 3.0);
+}
+
+TEST(Physics, VibrationPowerLaw) {
+  EXPECT_DOUBLE_EQ(vibration_factor(1.0, 1.0, 4.0), 1.0);
+  EXPECT_DOUBLE_EQ(vibration_factor(2.0, 1.0, 4.0), 16.0);
+  EXPECT_EQ(vibration_factor(0.0, 1.0, 4.0), 0.0);
+}
+
+TEST(Physics, VoltageFactorShapes) {
+  DerivationModel m;
+  EXPECT_NEAR(voltage_factor(12.0, m), 1.0, 1e-9);
+  EXPECT_GT(voltage_factor(6.5, m), 5.0);    // deep brownout
+  EXPECT_GT(voltage_factor(16.0, m), 1.0);   // overvoltage
+  EXPECT_LT(voltage_factor(13.8, m), 1.2);   // alternator nominal is benign
+}
+
+TEST(Derivation, HarsherStatesHaveHigherRates) {
+  const auto profile = reference_car_profile();
+  const auto table = derive_fault_rates(profile);
+  ASSERT_EQ(table.rows.size(), 4u);
+
+  const auto fit = [&](const std::string& state, FaultClass c) {
+    for (const auto& row : table.rows) {
+      if (row.state == state) return row.fit[static_cast<std::size_t>(c)];
+    }
+    return -1.0;
+  };
+  // Vibration-driven connector faults: highway > city > parked.
+  EXPECT_GT(fit("highway", FaultClass::kConnectorOpen), fit("city", FaultClass::kConnectorOpen));
+  EXPECT_GT(fit("city", FaultClass::kConnectorOpen), fit("parked", FaultClass::kConnectorOpen));
+  // Brownout risk dominated by cranking.
+  EXPECT_GT(fit("cranking", FaultClass::kSupplyBrownout), fit("city", FaultClass::kSupplyBrownout));
+  // Thermal classes: highway (95C) > parked (50C).
+  EXPECT_GT(fit("highway", FaultClass::kSensorDrift), fit("parked", FaultClass::kSensorDrift));
+  // SEU rates barely move with stress state.
+  EXPECT_NEAR(fit("highway", FaultClass::kMemoryBitFlip) / fit("parked", FaultClass::kMemoryBitFlip),
+              1.0, 0.6);
+}
+
+TEST(Derivation, MissionAverageIsFractionWeighted) {
+  MissionProfile p;
+  p.add_state({"calm", 0.5, 20, 20, 1.0, 12.0});
+  p.add_state({"harsh", 0.5, 20, 20, 2.0, 12.0});
+  const auto table = derive_fault_rates(p);
+  const double calm = table.rows[0].fit[static_cast<std::size_t>(FaultClass::kConnectorOpen)];
+  const double harsh = table.rows[1].fit[static_cast<std::size_t>(FaultClass::kConnectorOpen)];
+  EXPECT_NEAR(table.mission_average_fit(FaultClass::kConnectorOpen), 0.5 * calm + 0.5 * harsh,
+              1e-9);
+  // Lifetime expectation: FIT * 1e-9 * hours.
+  EXPECT_NEAR(table.expected_lifetime_faults(FaultClass::kConnectorOpen, 1e9),
+              table.mission_average_fit(FaultClass::kConnectorOpen), 1e-9);
+}
+
+TEST(Derivation, TableRenders) {
+  const auto table = derive_fault_rates(reference_car_profile());
+  const auto text = table.render();
+  EXPECT_NE(text.find("connector_open"), std::string::npos);
+  EXPECT_NE(text.find("highway"), std::string::npos);
+}
+
+TEST(Stressor, SpecScalesWithAcceleration) {
+  const auto table = derive_fault_rates(reference_car_profile());
+  const auto slow = make_stressor_spec(table, "city", 1.0);
+  const auto fast = make_stressor_spec(table, "city", 1e6);
+  EXPECT_NEAR(fast.total_rate() / slow.total_rate(), 1e6, 1.0);
+  // Un-accelerated rates are tiny: FIT-scale per-second rates.
+  EXPECT_LT(slow.total_rate(), 1e-9);
+  EXPECT_GT(fast.expected_faults(10.0), 0.0);
+  EXPECT_THROW((void)make_stressor_spec(table, "warp", 1.0), std::invalid_argument);
+  EXPECT_THROW((void)make_stressor_spec(table, "city", 0.0), vps::support::InvariantError);
+}
+
+}  // namespace

@@ -1,0 +1,219 @@
+// Mutation-analysis tests: registry semantics of every operator, schema
+// activation/deactivation, coverage bookkeeping, the engine's kill logic,
+// and the paper's qualification claim — a weak testbench (passing all its
+// own checks) scores visibly lower than a strong one, and the mutation
+// score discriminates where structural coverage does not (Coupling Effect /
+// coverage-vs-mutation argument of Sec. 2.4).
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vps/mutation/instrumented_models.hpp"
+#include "vps/mutation/mutation.hpp"
+#include "vps/support/ensure.hpp"
+
+namespace {
+
+using namespace vps::mutation;
+
+TEST(Registry, OperatorsChangeSemanticsOnlyWhenActive) {
+  MutationRegistry reg;
+  const auto s_add = reg.add_site("add", {Operator::kAddToSub});
+  const auto s_lt = reg.add_site("lt", {Operator::kLtToLe});
+  const auto s_const = reg.add_site("c", {Operator::kConstZero, Operator::kConstPlus1});
+  const auto s_stmt = reg.add_site("stmt", {Operator::kStmtDelete});
+  const auto s_and = reg.add_site("and", {Operator::kAndToOr});
+
+  EXPECT_EQ(reg.add(s_add, 4, 3), 7);
+  EXPECT_FALSE(reg.lt(s_lt, 5, 5));
+  EXPECT_EQ(reg.constant(s_const, 42), 42);
+  EXPECT_TRUE(reg.alive(s_stmt));
+  EXPECT_FALSE(reg.logical_and(s_and, true, false));
+
+  reg.activate({s_add, Operator::kAddToSub});
+  EXPECT_EQ(reg.add(s_add, 4, 3), 1);
+  EXPECT_FALSE(reg.lt(s_lt, 5, 5));  // other sites unaffected
+
+  reg.activate({s_lt, Operator::kLtToLe});
+  EXPECT_EQ(reg.add(s_add, 4, 3), 7);  // previous mutant deactivated
+  EXPECT_TRUE(reg.lt(s_lt, 5, 5));
+
+  reg.activate({s_const, Operator::kConstZero});
+  EXPECT_EQ(reg.constant(s_const, 42), 0);
+  reg.activate({s_const, Operator::kConstPlus1});
+  EXPECT_EQ(reg.constant(s_const, 42), 43);
+
+  reg.activate({s_stmt, Operator::kStmtDelete});
+  EXPECT_FALSE(reg.alive(s_stmt));
+
+  reg.activate({s_and, Operator::kAndToOr});
+  EXPECT_TRUE(reg.logical_and(s_and, true, false));
+
+  reg.deactivate();
+  EXPECT_EQ(reg.add(s_add, 4, 3), 7);
+}
+
+TEST(Registry, RejectsInapplicableOperator) {
+  MutationRegistry reg;
+  const auto s = reg.add_site("add", {Operator::kAddToSub});
+  EXPECT_THROW(reg.activate({s, Operator::kMulToAdd}), vps::support::InvariantError);
+  EXPECT_THROW(reg.activate({99, Operator::kAddToSub}), vps::support::InvariantError);
+  EXPECT_THROW((void)reg.add_site("empty", {}), vps::support::InvariantError);
+}
+
+TEST(Registry, EnumerationAndCoverage) {
+  MutationRegistry reg;
+  const auto a = reg.add_site("a", {Operator::kAddToSub, Operator::kNegate});
+  const auto b = reg.add_site("b", {Operator::kLtToLe});
+  EXPECT_EQ(reg.enumerate_mutants().size(), 3u);
+
+  reg.reset_coverage();
+  EXPECT_EQ(reg.site_coverage(), 0.0);
+  (void)reg.add(a, 1, 2);
+  EXPECT_EQ(reg.site_coverage(), 0.5);
+  (void)reg.lt(b, 1, 2);
+  EXPECT_EQ(reg.site_coverage(), 1.0);
+  EXPECT_EQ(reg.executions(a), 1u);
+}
+
+// Test suites of different quality for the deployment logic.
+bool weak_suite(MutationRegistry& reg) {
+  // One trivial scenario: big crash deploys. Never checks the negative
+  // case, the exact threshold, or the debounce count.
+  InstrumentedDeployLogic dut(reg);
+  bool deployed = false;
+  for (int i = 0; i < 5; ++i) deployed = dut.step(250);
+  return deployed;
+}
+
+bool strong_suite(MutationRegistry& reg) {
+  {  // crash deploys after exactly 3 samples
+    InstrumentedDeployLogic dut(reg);
+    if (dut.step(250)) return false;
+    if (dut.step(250)) return false;
+    if (!dut.step(250)) return false;
+  }
+  {  // normal driving never deploys
+    InstrumentedDeployLogic dut(reg);
+    for (int i = 0; i < 20; ++i) {
+      if (dut.step(10)) return false;
+    }
+  }
+  {  // boundary: exactly threshold is NOT above threshold
+    InstrumentedDeployLogic dut(reg);
+    for (int i = 0; i < 5; ++i) {
+      if (dut.step(200)) return false;
+    }
+  }
+  {  // boundary: threshold+1 IS above threshold and deploys after 3 samples
+    InstrumentedDeployLogic dut(reg);
+    (void)dut.step(201);
+    (void)dut.step(201);
+    if (!dut.step(201)) return false;
+  }
+  {  // interruption resets the consecutive counter
+    InstrumentedDeployLogic dut(reg);
+    (void)dut.step(250);
+    (void)dut.step(250);
+    (void)dut.step(10);  // reset
+    (void)dut.step(250);
+    if (dut.step(250) && !dut.deployed()) return false;
+    if (dut.deployed()) return false;  // only 2 consecutive after reset
+    if (!dut.step(250)) return false;  // third consecutive -> deploy
+  }
+  return true;
+}
+
+TEST(Engine, StrongSuiteKillsMoreThanWeak) {
+  MutationRegistry weak_reg;
+  bool weak_built = false;
+  // Suites construct the DUT inside, so sites are registered lazily on
+  // first call; build once before enumerating.
+  auto weak_fn = [&] {
+    weak_built = true;
+    return weak_suite(weak_reg);
+  };
+  // Pre-register sites by constructing a throwaway DUT.
+  { InstrumentedDeployLogic warmup(weak_reg); (void)warmup; }
+  MutationEngine weak_engine(weak_reg);
+  const auto weak_report = weak_engine.run(weak_fn);
+
+  MutationRegistry strong_reg;
+  { InstrumentedDeployLogic warmup(strong_reg); (void)warmup; }
+  MutationEngine strong_engine(strong_reg);
+  const auto strong_report = strong_engine.run([&] { return strong_suite(strong_reg); });
+
+  EXPECT_TRUE(weak_built);
+  EXPECT_EQ(weak_report.total_mutants, strong_report.total_mutants);
+  EXPECT_GT(strong_report.score(), weak_report.score() + 0.2)
+      << "strong suite must kill substantially more mutants\nweak:\n"
+      << weak_report.render(weak_reg) << "strong:\n" << strong_report.render(strong_reg);
+  EXPECT_GT(strong_report.score(), 0.8);
+}
+
+TEST(Engine, CoverageDoesNotDiscriminateButMutationDoes) {
+  // Both suites execute every site (100% structural coverage), yet their
+  // mutation scores differ — the paper's argument for mutation analysis as
+  // the stronger testbench metric.
+  MutationRegistry weak_reg;
+  { InstrumentedDeployLogic warmup(weak_reg); (void)warmup; }
+  MutationEngine weak_engine(weak_reg);
+  // The weak suite must also touch the reset branch to reach full coverage.
+  const auto weak_report = weak_engine.run([&] {
+    InstrumentedDeployLogic dut(weak_reg);
+    (void)dut.step(10);  // touches the reset statement site
+    bool deployed = false;
+    for (int i = 0; i < 5; ++i) deployed = dut.step(250);
+    return deployed;
+  });
+
+  MutationRegistry strong_reg;
+  { InstrumentedDeployLogic warmup(strong_reg); (void)warmup; }
+  MutationEngine strong_engine(strong_reg);
+  const auto strong_report = strong_engine.run([&] { return strong_suite(strong_reg); });
+
+  EXPECT_DOUBLE_EQ(weak_report.site_coverage, 1.0);
+  EXPECT_DOUBLE_EQ(strong_report.site_coverage, 1.0);
+  EXPECT_GT(strong_report.score(), weak_report.score());
+}
+
+TEST(Engine, RejectsSuitesFailingOnCleanModel) {
+  MutationRegistry reg;
+  { InstrumentedDeployLogic warmup(reg); (void)warmup; }
+  MutationEngine engine(reg);
+  EXPECT_THROW((void)engine.run([] { return false; }), vps::support::InvariantError);
+}
+
+TEST(Plausibility, ModelBehavesAndIsQualifiable) {
+  MutationRegistry reg;
+  InstrumentedPlausibility dut(reg, 10, 90, 2);
+  EXPECT_FALSE(dut.step(50));
+  EXPECT_FALSE(dut.step(95));   // first violation
+  EXPECT_TRUE(dut.step(95));    // second consecutive -> latched
+  dut.reset();
+  EXPECT_FALSE(dut.step(5));
+  EXPECT_FALSE(dut.step(50));   // interruption clears
+  EXPECT_FALSE(dut.step(5));
+  EXPECT_TRUE(dut.step(5));
+
+  MutationEngine engine(reg);
+  const auto report = engine.run([&] {
+    InstrumentedPlausibility fresh(reg, 10, 90, 2);
+    // (the fresh DUT adds sites; qualify only the behaviours below)
+    if (fresh.step(50)) return false;
+    if (fresh.step(95)) return false;
+    if (!fresh.step(95)) return false;
+    InstrumentedPlausibility low(reg, 10, 90, 2);
+    if (low.step(9) || !((void)low.step(9), low.step(9))) {
+      // two consecutive below-range violations must latch
+    }
+    InstrumentedPlausibility bounds(reg, 10, 90, 2);
+    if (bounds.step(10) || bounds.step(90) || bounds.step(10)) return false;  // inclusive range
+    return true;
+  });
+  EXPECT_GT(report.score(), 0.4);
+  EXPECT_LT(report.live.size(), report.total_mutants);
+}
+
+}  // namespace

@@ -1,0 +1,250 @@
+// Safety-analysis tests: FTA (MOCUS cut sets, exact vs rare-event
+// probability, importance measures, k-of-n gates, repeated events), FMEDA
+// (metric formulas, ASIL targets), ISO 26262 risk-graph ASIL determination,
+// FPTC propagation fixpoints, and fault-tree synthesis from campaign data.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vps/safety/fmeda.hpp"
+#include "vps/safety/fptc.hpp"
+#include "vps/safety/ft_synthesis.hpp"
+#include "vps/safety/fta.hpp"
+#include "vps/support/ensure.hpp"
+
+namespace {
+
+using namespace vps::safety;
+
+TEST(Fta, AndOrBasics) {
+  FaultTree ft;
+  const auto a = ft.add_basic_event("a", 0.1);
+  const auto b = ft.add_basic_event("b", 0.2);
+  const auto g = ft.add_gate("top", GateType::kAnd, {a, b});
+  ft.set_top(g);
+  EXPECT_NEAR(ft.top_probability_exact(), 0.02, 1e-12);
+  const auto cuts = ft.minimal_cut_sets();
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(cuts[0], (FaultTree::CutSet{a, b}));
+
+  FaultTree ft2;
+  const auto c = ft2.add_basic_event("c", 0.1);
+  const auto d = ft2.add_basic_event("d", 0.2);
+  const auto g2 = ft2.add_gate("top", GateType::kOr, {c, d});
+  ft2.set_top(g2);
+  EXPECT_NEAR(ft2.top_probability_exact(), 1.0 - 0.9 * 0.8, 1e-12);
+  EXPECT_EQ(ft2.minimal_cut_sets().size(), 2u);
+  EXPECT_EQ(ft2.single_points_of_failure().size(), 2u);
+}
+
+TEST(Fta, VoteGateTwoOfThree) {
+  FaultTree ft;
+  const auto a = ft.add_basic_event("a", 0.1);
+  const auto b = ft.add_basic_event("b", 0.1);
+  const auto c = ft.add_basic_event("c", 0.1);
+  const auto g = ft.add_gate("tmr_fails", GateType::kVote, {a, b, c}, 2);
+  ft.set_top(g);
+  // P(>=2 of 3 at p=0.1) = 3*0.01*0.9 + 0.001 = 0.028.
+  EXPECT_NEAR(ft.top_probability_exact(), 0.028, 1e-12);
+  const auto cuts = ft.minimal_cut_sets();
+  EXPECT_EQ(cuts.size(), 3u);  // {a,b}, {a,c}, {b,c}
+  for (const auto& cut : cuts) EXPECT_EQ(cut.size(), 2u);
+  EXPECT_TRUE(ft.single_points_of_failure().empty());
+}
+
+TEST(Fta, RepeatedEventHandledExactly) {
+  // top = (a AND b) OR (a AND c): a appears twice; exact must not double
+  // count. P = p_a * (1 - (1-p_b)(1-p_c)).
+  FaultTree ft;
+  const auto a = ft.add_basic_event("a", 0.5);
+  const auto b = ft.add_basic_event("b", 0.3);
+  const auto c = ft.add_basic_event("c", 0.4);
+  const auto g1 = ft.add_gate("g1", GateType::kAnd, {a, b});
+  const auto g2 = ft.add_gate("g2", GateType::kAnd, {a, c});
+  const auto top = ft.add_gate("top", GateType::kOr, {g1, g2});
+  ft.set_top(top);
+  EXPECT_NEAR(ft.top_probability_exact(), 0.5 * (1.0 - 0.7 * 0.6), 1e-12);
+  // Rare-event bound overestimates here but stays a bound.
+  EXPECT_GE(ft.top_probability_rare_event(), ft.top_probability_exact() - 1e-12);
+}
+
+TEST(Fta, AbsorptionMinimizesCutSets) {
+  // top = a OR (a AND b): {a} absorbs {a,b}.
+  FaultTree ft;
+  const auto a = ft.add_basic_event("a", 0.1);
+  const auto b = ft.add_basic_event("b", 0.1);
+  const auto g1 = ft.add_gate("g1", GateType::kAnd, {a, b});
+  const auto top = ft.add_gate("top", GateType::kOr, {a, g1});
+  ft.set_top(top);
+  const auto cuts = ft.minimal_cut_sets();
+  ASSERT_EQ(cuts.size(), 1u);
+  EXPECT_EQ(cuts[0], (FaultTree::CutSet{a}));
+}
+
+TEST(Fta, ImportanceMeasures) {
+  // Series-parallel: top = a OR (b AND c). a dominates.
+  FaultTree ft;
+  const auto a = ft.add_basic_event("a", 0.01);
+  const auto b = ft.add_basic_event("b", 0.1);
+  const auto c = ft.add_basic_event("c", 0.1);
+  const auto g = ft.add_gate("g", GateType::kAnd, {b, c});
+  const auto top = ft.add_gate("top", GateType::kOr, {a, g});
+  ft.set_top(top);
+  // Birnbaum of a = 1 - P(b AND c) = 0.99.
+  EXPECT_NEAR(ft.birnbaum_importance(a), 1.0 - 0.01, 1e-12);
+  EXPECT_GT(ft.birnbaum_importance(a), ft.birnbaum_importance(b));
+  // Fussell-Vesely: a's cut dominates the top probability.
+  EXPECT_GT(ft.fussell_vesely_importance(a), 0.4);
+  EXPECT_NEAR(ft.fussell_vesely_importance(b), ft.fussell_vesely_importance(c), 1e-12);
+}
+
+TEST(Fta, RenderAndValidation) {
+  FaultTree ft;
+  const auto a = ft.add_basic_event("sensor_fail", 0.001);
+  ft.set_top(ft.add_gate("hazard", GateType::kOr, {a}));
+  const auto text = ft.render();
+  EXPECT_NE(text.find("sensor_fail"), std::string::npos);
+  EXPECT_THROW((void)ft.add_basic_event("bad", 1.5), vps::support::InvariantError);
+  EXPECT_THROW((void)ft.add_gate("g", GateType::kVote, {a}, 5), vps::support::InvariantError);
+  FaultTree empty;
+  EXPECT_THROW((void)empty.minimal_cut_sets(), vps::support::InvariantError);
+}
+
+TEST(AsilDetermination, MatchesIso26262RiskGraph) {
+  using S = Severity;
+  using E = Exposure;
+  using C = Controllability;
+  EXPECT_EQ(determine_asil(S::kS3, E::kE4, C::kC3), Asil::kD);
+  EXPECT_EQ(determine_asil(S::kS3, E::kE4, C::kC2), Asil::kC);
+  EXPECT_EQ(determine_asil(S::kS3, E::kE4, C::kC1), Asil::kB);
+  EXPECT_EQ(determine_asil(S::kS3, E::kE3, C::kC3), Asil::kC);
+  EXPECT_EQ(determine_asil(S::kS3, E::kE2, C::kC3), Asil::kB);
+  EXPECT_EQ(determine_asil(S::kS3, E::kE1, C::kC3), Asil::kA);
+  EXPECT_EQ(determine_asil(S::kS2, E::kE4, C::kC3), Asil::kC);
+  EXPECT_EQ(determine_asil(S::kS1, E::kE4, C::kC3), Asil::kB);
+  EXPECT_EQ(determine_asil(S::kS1, E::kE4, C::kC2), Asil::kA);
+  EXPECT_EQ(determine_asil(S::kS1, E::kE3, C::kC2), Asil::kQM);
+  EXPECT_EQ(determine_asil(S::kS0, E::kE4, C::kC3), Asil::kQM);
+  EXPECT_EQ(determine_asil(S::kS3, E::kE0, C::kC3), Asil::kQM);
+  EXPECT_EQ(determine_asil(S::kS3, E::kE4, C::kC0), Asil::kQM);
+}
+
+TEST(FmedaTest, MetricFormulas) {
+  Fmeda f;
+  // 100 FIT safety-related with 95% DC -> 5 FIT residual.
+  f.add_row({"ram", "bit flip", 100.0, true, 0.95, 1.0});
+  // 50 FIT safety-related, no mechanism -> 50 FIT residual.
+  f.add_row({"cpu", "register upset", 50.0, true, 0.0, 1.0});
+  // Non-safety-related rate is excluded from the metrics.
+  f.add_row({"led", "dim", 1000.0, false, 0.0, 1.0});
+  const auto m = f.metrics();
+  EXPECT_NEAR(m.total_fit, 1150.0, 1e-9);
+  EXPECT_NEAR(m.safety_related_fit, 150.0, 1e-9);
+  EXPECT_NEAR(m.residual_fit, 55.0, 1e-9);
+  EXPECT_NEAR(m.spfm, 1.0 - 55.0 / 150.0, 1e-12);
+  EXPECT_NEAR(m.pmhf_fit, 55.0, 1e-9);
+}
+
+TEST(FmedaTest, LatentFaultMetric) {
+  Fmeda f;
+  // 100 FIT, 90% DC, but only 50% of covered faults are revealed at runtime.
+  f.add_row({"ram", "bit flip", 100.0, true, 0.9, 0.5});
+  const auto m = f.metrics();
+  EXPECT_NEAR(m.residual_fit, 10.0, 1e-9);
+  EXPECT_NEAR(m.latent_fit, 45.0, 1e-9);
+  EXPECT_NEAR(m.lfm, 1.0 - 45.0 / 90.0, 1e-12);
+}
+
+TEST(FmedaTest, AsilTargets) {
+  FmedaMetrics good{};
+  good.spfm = 0.995;
+  good.lfm = 0.95;
+  good.pmhf_fit = 5.0;
+  EXPECT_TRUE(good.meets(Asil::kD));
+  EXPECT_TRUE(good.meets(Asil::kB));
+  FmedaMetrics weak{};
+  weak.spfm = 0.92;
+  weak.lfm = 0.7;
+  weak.pmhf_fit = 50.0;
+  EXPECT_TRUE(weak.meets(Asil::kB));
+  EXPECT_FALSE(weak.meets(Asil::kC));
+  EXPECT_FALSE(weak.meets(Asil::kD));
+  EXPECT_TRUE(weak.meets(Asil::kA));
+}
+
+TEST(FmedaTest, RenderAndValidation) {
+  Fmeda f;
+  f.add_row({"ram", "flip", 10.0, true, 0.5, 1.0});
+  EXPECT_NE(f.render().find("SPFM"), std::string::npos);
+  EXPECT_THROW(f.add_row({"x", "y", -1.0, true, 0.0, 1.0}), vps::support::InvariantError);
+  EXPECT_THROW(f.add_row({"x", "y", 1.0, true, 2.0, 1.0}), vps::support::InvariantError);
+}
+
+TEST(Fptc, PropagationAndTransformation) {
+  FptcGraph g;
+  const auto sensor = g.add_component("sensor", TransformRule{}.generate(FailureClass::kValue));
+  // A filter transforms value errors into late outputs (it re-samples).
+  const auto filter = g.add_component("filter", TransformRule{}.map(FailureClass::kValue,
+                                                                    {FailureClass::kLate}));
+  const auto actuator = g.add_component("actuator");
+  g.connect(sensor, filter);
+  g.connect(filter, actuator);
+  const auto result = g.propagate();
+  EXPECT_EQ(result[sensor], (std::set<FailureClass>{FailureClass::kValue}));
+  EXPECT_EQ(result[filter], (std::set<FailureClass>{FailureClass::kLate}));
+  EXPECT_EQ(result[actuator], (std::set<FailureClass>{FailureClass::kLate}));
+  EXPECT_TRUE(g.failure_reaches(actuator));
+}
+
+TEST(Fptc, VoterMasksSingleSource) {
+  FptcGraph g;
+  const auto s1 = g.add_component("s1", TransformRule{}.generate(FailureClass::kValue));
+  const auto s2 = g.add_component("s2");
+  const auto s3 = g.add_component("s3");
+  const auto voter = g.add_component("voter", TransformRule{}.mask(FailureClass::kValue));
+  g.connect(s1, voter);
+  g.connect(s2, voter);
+  g.connect(s3, voter);
+  EXPECT_FALSE(g.failure_reaches(voter));
+  // But the voter does not mask timing failures it was not designed for.
+  FptcGraph g2;
+  const auto late_src = g2.add_component("src", TransformRule{}.generate(FailureClass::kLate));
+  const auto voter2 = g2.add_component("voter", TransformRule{}.mask(FailureClass::kValue));
+  g2.connect(late_src, voter2);
+  EXPECT_EQ(g2.failures_at(voter2), (std::set<FailureClass>{FailureClass::kLate}));
+}
+
+TEST(Fptc, CyclicGraphReachesFixpoint) {
+  // Feedback loop: controller <-> plant with a failure source.
+  FptcGraph g;
+  const auto ctrl = g.add_component("ctrl", TransformRule{}.generate(FailureClass::kLate));
+  const auto plant = g.add_component("plant");
+  g.connect(ctrl, plant);
+  g.connect(plant, ctrl);  // cycle
+  const auto result = g.propagate();  // must terminate
+  EXPECT_TRUE(result[plant].contains(FailureClass::kLate));
+  EXPECT_TRUE(result[ctrl].contains(FailureClass::kLate));
+}
+
+TEST(FtSynthesis, BuildsOrTreeFromContributions) {
+  std::vector<HazardContribution> contributions{
+      {"memory_bit_flip", 0.01, 0.10, 100, 10},
+      {"can_corruption", 0.02, 0.0, 50, 0},  // never hazardous: skipped
+      {"sensor_stuck", 0.005, 0.8, 40, 32},
+  };
+  const auto synth = synthesize_fault_tree("inadvertent_deployment", contributions);
+  const auto cuts = synth.tree.minimal_cut_sets();
+  EXPECT_EQ(cuts.size(), 2u);  // the zero-hazard contribution was dropped
+  const double expected = 1.0 - (1.0 - 0.01 * 0.10) * (1.0 - 0.005 * 0.8);
+  EXPECT_NEAR(synth.tree.top_probability_exact(), expected, 1e-12);
+  // The synthesized basic events keep their campaign names.
+  EXPECT_EQ(synth.tree.name(synth.basic_events[0]), "memory_bit_flip");
+}
+
+TEST(FtSynthesis, EmptyContributionsYieldZeroTree) {
+  const auto synth = synthesize_fault_tree("hazard", {});
+  EXPECT_EQ(synth.tree.top_probability_exact(), 0.0);
+}
+
+}  // namespace

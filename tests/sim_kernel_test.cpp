@@ -1,0 +1,492 @@
+// Unit tests for the discrete-event kernel: time arithmetic, event
+// notification semantics, coroutine thread processes, method processes,
+// delta cycles, signals, fifos, and the VCD tracer.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "vps/sim/fifo.hpp"
+#include "vps/sim/kernel.hpp"
+#include "vps/sim/module.hpp"
+#include "vps/sim/signal.hpp"
+#include "vps/sim/time.hpp"
+#include "vps/sim/trace.hpp"
+
+namespace {
+
+using namespace vps::sim;
+
+TEST(Time, ArithmeticAndLiterals) {
+  EXPECT_EQ((3_ns).picoseconds(), 3000u);
+  EXPECT_EQ(1_us, 1000_ns);
+  EXPECT_EQ(2_ms + 500_us, 2500_us);
+  EXPECT_EQ(1_sec - 1_ms, 999_ms);
+  EXPECT_EQ((10_ns) * 3, 30_ns);
+  EXPECT_EQ((100_ns) / (10_ns), 10u);
+  EXPECT_EQ((105_ns) % (10_ns), 5_ns);
+  EXPECT_LT(1_ns, 1_us);
+}
+
+TEST(Time, FromSecondsRoundTrip) {
+  EXPECT_EQ(Time::from_seconds(1.0), 1_sec);
+  EXPECT_EQ(Time::from_seconds(0.0), Time::zero());
+  EXPECT_EQ(Time::from_seconds(-2.0), Time::zero());
+  EXPECT_NEAR(Time::from_seconds(0.0035).to_seconds(), 0.0035, 1e-12);
+}
+
+TEST(Time, ToString) {
+  EXPECT_EQ((5_ns).to_string(), "5ns");
+  EXPECT_EQ((2_ms).to_string(), "2ms");
+  EXPECT_EQ(Time::zero().to_string(), "0s");
+  EXPECT_EQ((1500_ns).to_string(), "1500ns");
+}
+
+TEST(Kernel, EmptyRunTerminates) {
+  Kernel k;
+  EXPECT_EQ(k.run(), Time::zero());
+  EXPECT_FALSE(k.has_pending_activity());
+}
+
+TEST(Kernel, ThreadProcessDelays) {
+  Kernel k;
+  std::vector<std::uint64_t> log;
+  k.spawn("p", [](Kernel& k, std::vector<std::uint64_t>& log) -> Coro {
+    log.push_back(k.now().picoseconds());
+    co_await delay(10_ns);
+    log.push_back(k.now().picoseconds());
+    co_await delay(5_ns);
+    log.push_back(k.now().picoseconds());
+  }(k, log));
+  k.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], 0u);
+  EXPECT_EQ(log[1], 10000u);
+  EXPECT_EQ(log[2], 15000u);
+  EXPECT_EQ(k.now(), 15_ns);
+}
+
+TEST(Kernel, RunUntilLimitStopsEarly) {
+  Kernel k;
+  int wakeups = 0;
+  k.spawn("p", [](int& wakeups) -> Coro {
+    for (int i = 0; i < 100; ++i) {
+      co_await delay(10_ns);
+      ++wakeups;
+    }
+  }(wakeups));
+  k.run(35_ns);
+  EXPECT_EQ(wakeups, 3);
+  EXPECT_EQ(k.now(), 35_ns);
+  k.run(1_us);
+  EXPECT_EQ(wakeups, 100);
+}
+
+TEST(Kernel, EventDeltaNotification) {
+  Kernel k;
+  Event e(k, "e");
+  int fired = 0;
+  k.spawn("waiter", [](Event& e, int& fired) -> Coro {
+    co_await e;
+    ++fired;
+  }(e, fired));
+  k.spawn("notifier", [](Event& e) -> Coro {
+    co_await delay(3_ns);
+    e.notify();
+  }(e));
+  k.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(k.now(), 3_ns);
+}
+
+TEST(Kernel, TimedNotificationAndCancel) {
+  Kernel k;
+  Event e(k, "e");
+  int fired = 0;
+  k.method("m", [&] { ++fired; }, {&e}, /*initialize=*/false);
+  e.notify(10_ns);
+  e.notify(20_ns);
+  k.spawn("canceller", [](Event& e) -> Coro {
+    co_await delay(15_ns);
+    e.cancel();  // kills the 20ns notification
+  }(e));
+  k.run();
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(Kernel, ImmediateNotificationRunsSameDelta) {
+  Kernel k;
+  Event e(k, "e");
+  std::vector<std::string> order;
+  k.method("listener", [&] { order.push_back("listener@" + k.now().to_string()); }, {&e},
+           /*initialize=*/false);
+  k.spawn("src", [](Event& e, std::vector<std::string>& order) -> Coro {
+    order.push_back("pre");
+    e.notify_immediate();
+    order.push_back("post");
+    co_return;
+  }(e, order));
+  k.run();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], "pre");
+  EXPECT_EQ(order[1], "post");       // src finishes its slice first
+  EXPECT_EQ(order[2], "listener@0s");  // listener ran in the same evaluation phase
+}
+
+TEST(Kernel, MethodStaticSensitivityReruns) {
+  Kernel k;
+  Event e(k, "tick");
+  int runs = 0;
+  k.method("m", [&] { ++runs; }, {&e}, /*initialize=*/true);
+  k.spawn("ticker", [](Event& e) -> Coro {
+    for (int i = 0; i < 5; ++i) {
+      co_await delay(1_ns);
+      e.notify();
+    }
+  }(e));
+  k.run();
+  EXPECT_EQ(runs, 6);  // 1 initialize + 5 notifications
+}
+
+TEST(Kernel, WaitWithTimeoutEventWins) {
+  Kernel k;
+  Event e(k, "e");
+  bool got_event = false;
+  k.spawn("w", [](Event& e, bool& got) -> Coro { got = co_await wait_with_timeout(e, 100_ns); }(e, got_event));
+  k.spawn("n", [](Event& e) -> Coro {
+    co_await delay(10_ns);
+    e.notify();
+  }(e));
+  k.run();
+  EXPECT_TRUE(got_event);
+  EXPECT_EQ(k.now(), 10_ns);
+}
+
+TEST(Kernel, WaitWithTimeoutTimeoutWins) {
+  Kernel k;
+  Event e(k, "e");
+  bool got_event = true;
+  k.spawn("w", [](Event& e, bool& got) -> Coro { got = co_await wait_with_timeout(e, 100_ns); }(e, got_event));
+  k.run();
+  EXPECT_FALSE(got_event);
+  EXPECT_EQ(k.now(), 100_ns);
+}
+
+TEST(Kernel, WaitWithTimeoutLeavesNoStaleWakeup) {
+  Kernel k;
+  Event e(k, "e");
+  std::vector<std::uint64_t> wake_times;
+  k.spawn("w", [](Kernel& k, Event& e, std::vector<std::uint64_t>& times) -> Coro {
+    (void)co_await wait_with_timeout(e, 100_ns);  // event fires at 10ns
+    times.push_back(k.now().picoseconds());
+    co_await delay(500_ns);  // the stale 100ns timeout must not shorten this
+    times.push_back(k.now().picoseconds());
+  }(k, e, wake_times));
+  k.spawn("n", [](Event& e) -> Coro {
+    co_await delay(10_ns);
+    e.notify();
+  }(e));
+  k.run();
+  ASSERT_EQ(wake_times.size(), 2u);
+  EXPECT_EQ(wake_times[0], (10_ns).picoseconds());
+  EXPECT_EQ(wake_times[1], (510_ns).picoseconds());
+}
+
+TEST(Kernel, NestedCoroutinesPropagateContext) {
+  Kernel k;
+  std::vector<std::uint64_t> log;
+  auto inner = [](Kernel& k, std::vector<std::uint64_t>& log) -> Coro {
+    co_await delay(7_ns);
+    log.push_back(k.now().picoseconds());
+  };
+  k.spawn("outer", [](Kernel& k, std::vector<std::uint64_t>& log, auto inner) -> Coro {
+    co_await inner(k, log);
+    co_await inner(k, log);
+    log.push_back(k.now().picoseconds());
+  }(k, log, inner));
+  k.run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], 7000u);
+  EXPECT_EQ(log[1], 14000u);
+  EXPECT_EQ(log[2], 14000u);
+}
+
+TEST(Kernel, ExceptionInProcessPropagatesToRun) {
+  Kernel k;
+  k.spawn("bad", []() -> Coro {
+    co_await delay(1_ns);
+    throw std::runtime_error("model exploded");
+  }());
+  EXPECT_THROW(k.run(), std::runtime_error);
+}
+
+TEST(Kernel, ExceptionInNestedCoroPropagates) {
+  Kernel k;
+  auto inner = []() -> Coro {
+    co_await delay(1_ns);
+    throw std::runtime_error("inner bad");
+  };
+  bool caught_in_outer = false;
+  k.spawn("outer", [](auto inner, bool& caught) -> Coro {
+    try {
+      co_await inner();
+    } catch (const std::runtime_error&) {
+      caught = true;
+    }
+  }(inner, caught_in_outer));
+  k.run();
+  EXPECT_TRUE(caught_in_outer);
+}
+
+TEST(Kernel, TerminatedEventAllowsJoin) {
+  Kernel k;
+  auto& worker = k.spawn("worker", []() -> Coro { co_await delay(42_ns); }());
+  bool joined = false;
+  k.spawn("parent", [](Kernel& k, Process& w, bool& joined) -> Coro {
+    co_await w.terminated_event();
+    joined = w.done() && k.now() == 42_ns;
+  }(k, worker, joined));
+  k.run();
+  EXPECT_TRUE(joined);
+}
+
+TEST(Kernel, KillPreventsFurtherActivations) {
+  Kernel k;
+  int wakeups = 0;
+  auto& victim = k.spawn("victim", [](int& wakeups) -> Coro {
+    for (;;) {
+      co_await delay(10_ns);
+      ++wakeups;
+    }
+  }(wakeups));
+  k.spawn("killer", [](Process& v) -> Coro {
+    co_await delay(35_ns);
+    v.kill();
+  }(victim));
+  k.run(1_us);
+  EXPECT_EQ(wakeups, 3);
+  EXPECT_TRUE(victim.done());
+}
+
+TEST(Kernel, StopEndsRun) {
+  Kernel k;
+  int wakeups = 0;
+  k.spawn("p", [](Kernel& k, int& wakeups) -> Coro {
+    for (;;) {
+      co_await delay(10_ns);
+      if (++wakeups == 3) k.stop();
+    }
+  }(k, wakeups));
+  k.run();
+  EXPECT_EQ(wakeups, 3);
+  EXPECT_EQ(k.now(), 30_ns);
+}
+
+TEST(Kernel, StatsCountActivity) {
+  Kernel k;
+  Event e(k, "e");
+  k.spawn("p", [](Event& e) -> Coro {
+    for (int i = 0; i < 10; ++i) {
+      co_await delay(1_ns);
+      e.notify();
+    }
+  }(e));
+  k.run();
+  EXPECT_GE(k.stats().activations, 10u);
+  EXPECT_GE(k.stats().notifications, 10u);
+  EXPECT_GE(k.stats().timed_steps, 10u);
+}
+
+TEST(Kernel, DeterministicSameTimeOrdering) {
+  // Two processes scheduled for the same instant run in registration order.
+  for (int rep = 0; rep < 3; ++rep) {
+    Kernel k;
+    std::vector<int> order;
+    k.spawn("a", [](std::vector<int>& order) -> Coro {
+      co_await delay(5_ns);
+      order.push_back(1);
+    }(order));
+    k.spawn("b", [](std::vector<int>& order) -> Coro {
+      co_await delay(5_ns);
+      order.push_back(2);
+    }(order));
+    k.run();
+    ASSERT_EQ(order.size(), 2u);
+    EXPECT_EQ(order[0], 1);
+    EXPECT_EQ(order[1], 2);
+  }
+}
+
+TEST(Kernel, PendingActivityAndNextTime) {
+  Kernel k;
+  Event e(k, "e");
+  EXPECT_FALSE(k.has_pending_activity());
+  EXPECT_EQ(k.next_activity_time(), Time::max());
+  e.notify(25_ns);
+  EXPECT_TRUE(k.has_pending_activity());
+  EXPECT_EQ(k.next_activity_time(), 25_ns);
+  k.run();
+  EXPECT_EQ(e.fire_count(), 1u);
+  // A runnable process makes "now" the next activity time.
+  k.spawn("p", []() -> Coro { co_return; }());
+  EXPECT_EQ(k.next_activity_time(), k.now());
+  k.run();
+  EXPECT_FALSE(k.has_pending_activity());
+}
+
+TEST(Kernel, EventFireCountAccumulates) {
+  Kernel k;
+  Event e(k, "e");
+  k.spawn("n", [](Event& e) -> Coro {
+    for (int i = 0; i < 4; ++i) {
+      e.notify();
+      co_await delay(1_ns);
+    }
+    e.notify_immediate();
+  }(e));
+  k.run();
+  EXPECT_EQ(e.fire_count(), 5u);
+}
+
+TEST(Signal, DeltaCycleSemantics) {
+  Kernel k;
+  Signal<int> s(k, "s", 0);
+  int observed_during_write_delta = -1;
+  k.spawn("writer", [](Signal<int>& s, int& obs) -> Coro {
+    s.write(5);
+    obs = s.read();  // still old value within the same evaluation
+    co_return;
+  }(s, observed_during_write_delta));
+  k.run();
+  EXPECT_EQ(observed_during_write_delta, 0);
+  EXPECT_EQ(s.read(), 5);
+}
+
+TEST(Signal, ChangedEventFiresOnlyOnChange) {
+  Kernel k;
+  Signal<int> s(k, "s", 0);
+  int changes = 0;
+  k.method("watcher", [&] { ++changes; }, {&s.changed()}, /*initialize=*/false);
+  k.spawn("writer", [](Signal<int>& s) -> Coro {
+    s.write(0);  // no change
+    co_await delay(1_ns);
+    s.write(7);  // change
+    co_await delay(1_ns);
+    s.write(7);  // no change
+    co_await delay(1_ns);
+    s.write(8);  // change
+  }(s));
+  k.run();
+  EXPECT_EQ(changes, 2);
+  EXPECT_EQ(s.change_count(), 2u);
+}
+
+TEST(Signal, LastWriteInDeltaWins) {
+  Kernel k;
+  Signal<int> s(k, "s", 0);
+  k.spawn("w", [](Signal<int>& s) -> Coro {
+    s.write(1);
+    s.write(2);
+    s.write(3);
+    co_return;
+  }(s));
+  k.run();
+  EXPECT_EQ(s.read(), 3);
+  EXPECT_EQ(s.change_count(), 1u);
+}
+
+TEST(Signal, ForceBypassesDeltaProtocol) {
+  Kernel k;
+  Signal<int> s(k, "s", 0);
+  int seen = -1;
+  k.spawn("f", [](Signal<int>& s, int& seen) -> Coro {
+    s.force(9);
+    seen = s.read();  // visible immediately
+    co_return;
+  }(s, seen));
+  k.run();
+  EXPECT_EQ(seen, 9);
+}
+
+TEST(Fifo, NonBlockingOps) {
+  Kernel k;
+  Fifo<int> f(k, "f", 2);
+  EXPECT_TRUE(f.nb_push(1));
+  EXPECT_TRUE(f.nb_push(2));
+  EXPECT_FALSE(f.nb_push(3));
+  EXPECT_TRUE(f.full());
+  EXPECT_EQ(f.nb_pop().value(), 1);
+  EXPECT_EQ(f.nb_pop().value(), 2);
+  EXPECT_FALSE(f.nb_pop().has_value());
+}
+
+TEST(Fifo, BlockingProducerConsumer) {
+  Kernel k;
+  Fifo<int> f(k, "f", 2);
+  std::vector<int> received;
+  k.spawn("producer", [](Fifo<int>& f) -> Coro {
+    for (int i = 0; i < 10; ++i) co_await f.push(i);
+  }(f));
+  k.spawn("consumer", [](Fifo<int>& f, std::vector<int>& received) -> Coro {
+    for (int i = 0; i < 10; ++i) {
+      int v = 0;
+      co_await f.pop(v);
+      received.push_back(v);
+      co_await delay(3_ns);  // slow consumer back-pressures producer
+    }
+  }(f, received));
+  k.run();
+  ASSERT_EQ(received.size(), 10u);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(received[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Fifo, RejectsZeroCapacity) {
+  Kernel k;
+  EXPECT_THROW(Fifo<int>(k, "f", 0), vps::support::InvariantError);
+}
+
+TEST(Module, HierarchicalNames) {
+  Kernel k;
+  struct Top : Module {
+    using Module::Module;
+  };
+  Top top(k, "top");
+  struct Sub : Module {
+    Sub(Module& parent) : Module(parent, "sub") {}
+  };
+  Sub sub(top);
+  EXPECT_EQ(sub.name(), "top.sub");
+  EXPECT_EQ(&sub.kernel(), &k);
+}
+
+TEST(Vcd, WritesChangesToFile) {
+  const std::string path = "/tmp/vps_vcd_test.vcd";
+  {
+    Kernel k;
+    Signal<bool> clk(k, "clk", false);
+    Signal<std::uint8_t> bus(k, "bus", 0);
+    VcdTracer vcd(k, path);
+    vcd.trace(clk);
+    vcd.trace(bus);
+    k.spawn("driver", [](Signal<bool>& clk, Signal<std::uint8_t>& bus) -> Coro {
+      for (std::uint8_t i = 0; i < 4; ++i) {
+        clk.write(!clk.read());
+        bus.write(i);
+        co_await delay(10_ns);
+      }
+    }(clk, bus));
+    k.run();
+    EXPECT_GT(vcd.change_records(), 0u);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  std::string content((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  EXPECT_NE(content.find("$timescale 1ps $end"), std::string::npos);
+  EXPECT_NE(content.find("clk"), std::string::npos);
+  EXPECT_NE(content.find("#10000"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -1,0 +1,296 @@
+// SVM testbench-library tests: phase ordering, objection-based run
+// termination, timeout reporting, factory type/instance overrides, config
+// DB hierarchical lookup, analysis ports, sequencer/driver handshake, and a
+// complete micro-testbench with monitor + scoreboard around a signal DUT.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vps/sim/signal.hpp"
+#include "vps/svm/agent.hpp"
+#include "vps/svm/analysis.hpp"
+#include "vps/svm/component.hpp"
+#include "vps/svm/config_db.hpp"
+#include "vps/svm/factory.hpp"
+#include "vps/svm/sequence.hpp"
+
+namespace {
+
+using namespace vps::svm;
+using namespace vps::sim;
+
+TEST(Component, HierarchyAndNames) {
+  Kernel k;
+  Root root(k, "tb");
+  Component env(root, "env");
+  Component agent(env, "agent");
+  EXPECT_EQ(agent.full_name(), "tb.env.agent");
+  EXPECT_EQ(env.children().size(), 1u);
+  EXPECT_EQ(agent.parent(), &env);
+  EXPECT_EQ(&agent.kernel(), &k);
+}
+
+TEST(Component, PhaseOrdering) {
+  Kernel k;
+  std::vector<std::string> log;
+
+  struct Probe : Component {
+    std::vector<std::string>& log;
+    Probe(Component& parent, std::string name, std::vector<std::string>& log)
+        : Component(parent, std::move(name)), log(log) {}
+    void build_phase() override { log.push_back("build:" + name()); }
+    void connect_phase() override { log.push_back("connect:" + name()); }
+    Coro run_phase() override {
+      log.push_back("run:" + name());
+      co_return;
+    }
+    void report_phase() override { log.push_back("report:" + name()); }
+  };
+
+  struct Parent : Probe {
+    std::unique_ptr<Probe> child;
+    Parent(Component& parent, std::string name, std::vector<std::string>& log)
+        : Probe(parent, std::move(name), log) {}
+    void build_phase() override {
+      Probe::build_phase();
+      child = std::make_unique<Probe>(*this, "child", log);  // built during build phase
+    }
+  };
+
+  Root root(k, "tb");
+  Parent p(root, "p", log);
+  root.run_test(Time::ms(1));
+
+  // build is top-down (parent before the child it creates); connect is
+  // bottom-up; report is bottom-up.
+  const auto idx = [&](const std::string& s) {
+    return std::find(log.begin(), log.end(), s) - log.begin();
+  };
+  EXPECT_LT(idx("build:p"), idx("build:child"));
+  EXPECT_LT(idx("connect:child"), idx("connect:p"));
+  EXPECT_LT(idx("report:child"), idx("report:p"));
+  EXPECT_NE(idx("run:p"), static_cast<std::ptrdiff_t>(log.size()));
+}
+
+TEST(Component, ObjectionEndsRunPhase) {
+  Kernel k;
+  struct Worker : Component {
+    using Component::Component;
+    Coro run_phase() override {
+      objection().raise();
+      co_await delay(Time::us(50));
+      objection().drop();
+    }
+  };
+  Root root(k, "tb");
+  Worker w(root, "w");
+  EXPECT_TRUE(root.run_test(Time::sec(1)));
+  EXPECT_FALSE(root.timed_out());
+  EXPECT_EQ(k.now(), Time::us(50));  // ended at drain, not at timeout
+}
+
+TEST(Component, TimeoutProducesError) {
+  Kernel k;
+  struct Stuck : Component {
+    using Component::Component;
+    Coro run_phase() override {
+      objection().raise();
+      co_await delay(Time::sec(10));  // never drops in time
+      objection().drop();
+    }
+  };
+  Root root(k, "tb");
+  Stuck s(root, "s");
+  EXPECT_FALSE(root.run_test(Time::ms(1)));
+  EXPECT_TRUE(root.timed_out());
+  EXPECT_EQ(root.report_server().count(Severity::kError), 1u);
+}
+
+TEST(ReportServer, CountsAndVerdict) {
+  Kernel k;
+  Root root(k, "tb");
+  Component c(root, "c");
+  c.info("hello");
+  c.warning("careful");
+  EXPECT_TRUE(root.report_server().passed());
+  c.error("broken");
+  EXPECT_FALSE(root.report_server().passed());
+  EXPECT_EQ(root.report_server().count(Severity::kInfo), 1u);
+  EXPECT_EQ(root.report_server().count(Severity::kWarning), 1u);
+  EXPECT_EQ(root.report_server().count(Severity::kError), 1u);
+  EXPECT_NE(root.report_server().messages()[0].find("tb.c"), std::string::npos);
+}
+
+// --- factory ----------------------------------------------------------------
+
+struct BaseMonitor : Component {
+  using Component::Component;
+  [[nodiscard]] virtual std::string flavor() const { return "base"; }
+};
+struct FaultyMonitor : BaseMonitor {
+  using BaseMonitor::BaseMonitor;
+  [[nodiscard]] std::string flavor() const override { return "faulty"; }
+};
+
+TEST(FactoryTest, TypeOverrideRedirectsCreation) {
+  Kernel k;
+  Root root(k, "tb");
+  Factory factory;
+  factory.register_type<BaseMonitor>("monitor");
+  factory.register_type<FaultyMonitor>("faulty_monitor");
+  std::vector<std::unique_ptr<Component>> storage;
+
+  auto& plain = factory.create_as<BaseMonitor>("monitor", root, "m0", storage);
+  EXPECT_EQ(plain.flavor(), "base");
+
+  factory.set_type_override("monitor", "faulty_monitor");
+  auto& overridden = factory.create_as<BaseMonitor>("monitor", root, "m1", storage);
+  EXPECT_EQ(overridden.flavor(), "faulty");
+}
+
+TEST(FactoryTest, InstanceOverrideBeatsTypeOverride) {
+  Kernel k;
+  Root root(k, "tb");
+  Factory factory;
+  factory.register_type<BaseMonitor>("monitor");
+  factory.register_type<FaultyMonitor>("faulty_monitor");
+  factory.set_instance_override("tb.special", "monitor", "faulty_monitor");
+  std::vector<std::unique_ptr<Component>> storage;
+
+  auto& normal = factory.create_as<BaseMonitor>("monitor", root, "normal", storage);
+  auto& special = factory.create_as<BaseMonitor>("monitor", root, "special", storage);
+  EXPECT_EQ(normal.flavor(), "base");
+  EXPECT_EQ(special.flavor(), "faulty");
+}
+
+TEST(FactoryTest, UnknownTypeIsAnError) {
+  Kernel k;
+  Root root(k, "tb");
+  Factory factory;
+  EXPECT_THROW((void)factory.create("nope", root, "x"), vps::support::InvariantError);
+}
+
+// --- config db ----------------------------------------------------------------
+
+TEST(ConfigDbTest, HierarchicalLookupPrecedence) {
+  Kernel k;
+  Root root(k, "tb");
+  Component env(root, "env");
+  Component agent(env, "agent");
+
+  ConfigDb db;
+  db.set("*", "iterations", 10);
+  db.set("tb.env", "iterations", 20);
+  EXPECT_EQ(db.get<int>(agent, "iterations").value(), 20);  // ancestor beats wildcard
+  db.set("tb.env.agent", "iterations", 30);
+  EXPECT_EQ(db.get<int>(agent, "iterations").value(), 30);  // own path wins
+  EXPECT_EQ(db.get<int>(root, "iterations").value(), 10);   // falls back to wildcard
+  EXPECT_FALSE(db.get<int>(root, "missing").has_value());
+  EXPECT_FALSE(db.get<double>(agent, "iterations").has_value());  // wrong type
+}
+
+// --- analysis ports -----------------------------------------------------------
+
+TEST(Analysis, BroadcastsToAllSubscribers) {
+  AnalysisPort<int> port;
+  std::vector<int> a, b;
+  port.connect([&](const int& v) { a.push_back(v); });
+  port.connect([&](const int& v) { b.push_back(v); });
+  port.write(7);
+  port.write(9);
+  EXPECT_EQ(a, (std::vector<int>{7, 9}));
+  EXPECT_EQ(b, (std::vector<int>{7, 9}));
+  EXPECT_EQ(port.subscriber_count(), 2u);
+}
+
+// --- full micro-testbench -------------------------------------------------------
+
+// DUT: doubles whatever is written to `in` onto `out` after 1us.
+struct DoublerDut {
+  Kernel& k;
+  Signal<int> in;
+  Signal<int> out;
+  explicit DoublerDut(Kernel& k) : k(k), in(k, "dut.in", 0), out(k, "dut.out", 0) {
+    k.spawn("dut", [](DoublerDut& self) -> Coro {
+      for (;;) {
+        co_await self.in.changed();
+        const int v = self.in.read();
+        co_await delay(Time::us(1));
+        self.out.write(2 * v);
+      }
+    }(*this));
+  }
+};
+
+struct StimulusItem {
+  int value = 0;
+  friend bool operator==(const StimulusItem&, const StimulusItem&) = default;
+};
+
+struct DutDriver : Driver<StimulusItem> {
+  DoublerDut* dut = nullptr;
+  using Driver::Driver;
+  Coro drive(StimulusItem& item) override {
+    dut->in.write(item.value);
+    co_await delay(Time::us(2));  // allow the DUT to respond before the next item
+  }
+};
+
+struct DutMonitor : Monitor<int> {
+  DoublerDut* dut = nullptr;
+  using Monitor::Monitor;
+  Coro run_phase() override {
+    for (;;) {
+      co_await dut->out.changed();
+      publish(dut->out.read());
+    }
+  }
+};
+
+struct CountingSequence : Sequence<StimulusItem> {
+  int n;
+  explicit CountingSequence(int n) : n(n) {}
+  Coro body(Sequencer<StimulusItem>& sequencer) override {
+    for (int i = 1; i <= n; ++i) co_await sequencer.send(StimulusItem{i});
+  }
+};
+
+TEST(MicroTestbench, EndToEndPassAndFail) {
+  for (const bool inject_bug : {false, true}) {
+    Kernel k;
+    DoublerDut dut(k);
+    Root root(k, "tb");
+    auto& sequencer = *new Sequencer<StimulusItem>(root, "sequencer");
+    auto& driver = *new DutDriver(root, "driver");
+    auto& monitor = *new DutMonitor(root, "monitor");
+    auto& scoreboard = *new Scoreboard<int>(root, "scoreboard");
+    std::unique_ptr<Component> owns[4] = {std::unique_ptr<Component>(&sequencer),
+                                          std::unique_ptr<Component>(&driver),
+                                          std::unique_ptr<Component>(&monitor),
+                                          std::unique_ptr<Component>(&scoreboard)};
+    driver.connect(sequencer);
+    driver.dut = &dut;
+    monitor.dut = &dut;
+    monitor.analysis_port().connect(scoreboard);
+
+    CountingSequence seq(5);
+    for (int i = 1; i <= 5; ++i) scoreboard.expect(inject_bug ? 2 * i + (i == 3) : 2 * i);
+    k.spawn("seq_starter", seq.start(sequencer));
+
+    const bool passed = root.run_test(Time::ms(10));
+    if (inject_bug) {
+      EXPECT_FALSE(passed);
+      EXPECT_EQ(scoreboard.mismatches(), 1u);
+    } else {
+      EXPECT_TRUE(passed);
+      EXPECT_EQ(scoreboard.matched(), 5u);
+      EXPECT_EQ(scoreboard.outstanding(), 0u);
+    }
+    EXPECT_EQ(sequencer.items_consumed(), 5u);
+  }
+}
+
+}  // namespace
