@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_abstraction_speed.dir/bench_abstraction_speed.cpp.o"
+  "CMakeFiles/bench_abstraction_speed.dir/bench_abstraction_speed.cpp.o.d"
+  "bench_abstraction_speed"
+  "bench_abstraction_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_abstraction_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_campaign_strategies.dir/bench_campaign_strategies.cpp.o"
+  "CMakeFiles/bench_campaign_strategies.dir/bench_campaign_strategies.cpp.o.d"
+  "bench_campaign_strategies"
+  "bench_campaign_strategies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_campaign_strategies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

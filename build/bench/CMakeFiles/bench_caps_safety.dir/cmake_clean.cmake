@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_caps_safety.dir/bench_caps_safety.cpp.o"
+  "CMakeFiles/bench_caps_safety.dir/bench_caps_safety.cpp.o.d"
+  "bench_caps_safety"
+  "bench_caps_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_caps_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crosslayer_accuracy.dir/bench_crosslayer_accuracy.cpp.o"
+  "CMakeFiles/bench_crosslayer_accuracy.dir/bench_crosslayer_accuracy.cpp.o.d"
+  "bench_crosslayer_accuracy"
+  "bench_crosslayer_accuracy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crosslayer_accuracy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_error_effect_loop.dir/bench_error_effect_loop.cpp.o"
+  "CMakeFiles/bench_error_effect_loop.dir/bench_error_effect_loop.cpp.o.d"
+  "bench_error_effect_loop"
+  "bench_error_effect_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_error_effect_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

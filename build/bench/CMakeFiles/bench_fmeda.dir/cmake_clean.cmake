@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fmeda.dir/bench_fmeda.cpp.o"
+  "CMakeFiles/bench_fmeda.dir/bench_fmeda.cpp.o.d"
+  "bench_fmeda"
+  "bench_fmeda.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fmeda.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_formal_stimuli.dir/bench_formal_stimuli.cpp.o"
+  "CMakeFiles/bench_formal_stimuli.dir/bench_formal_stimuli.cpp.o.d"
+  "bench_formal_stimuli"
+  "bench_formal_stimuli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_formal_stimuli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fta.dir/bench_fta.cpp.o"
+  "CMakeFiles/bench_fta.dir/bench_fta.cpp.o.d"
+  "bench_fta"
+  "bench_fta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_mission_profile.dir/bench_mission_profile.cpp.o"
+  "CMakeFiles/bench_mission_profile.dir/bench_mission_profile.cpp.o.d"
+  "bench_mission_profile"
+  "bench_mission_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_mission_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

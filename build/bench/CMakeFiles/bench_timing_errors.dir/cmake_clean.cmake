@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_timing_errors.dir/bench_timing_errors.cpp.o"
+  "CMakeFiles/bench_timing_errors.dir/bench_timing_errors.cpp.o.d"
+  "bench_timing_errors"
+  "bench_timing_errors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_timing_errors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

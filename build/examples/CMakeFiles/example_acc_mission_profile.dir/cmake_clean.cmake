@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_acc_mission_profile.dir/acc_mission_profile.cpp.o"
+  "CMakeFiles/example_acc_mission_profile.dir/acc_mission_profile.cpp.o.d"
+  "example_acc_mission_profile"
+  "example_acc_mission_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_acc_mission_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

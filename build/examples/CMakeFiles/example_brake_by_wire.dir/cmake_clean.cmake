@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_brake_by_wire.dir/brake_by_wire.cpp.o"
+  "CMakeFiles/example_brake_by_wire.dir/brake_by_wire.cpp.o.d"
+  "example_brake_by_wire"
+  "example_brake_by_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_brake_by_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

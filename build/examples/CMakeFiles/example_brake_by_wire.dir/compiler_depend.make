@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for example_brake_by_wire.
+# This may be replaced when dependencies are built.

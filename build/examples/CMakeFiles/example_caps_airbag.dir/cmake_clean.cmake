@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_caps_airbag.dir/caps_airbag.cpp.o"
+  "CMakeFiles/example_caps_airbag.dir/caps_airbag.cpp.o.d"
+  "example_caps_airbag"
+  "example_caps_airbag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_caps_airbag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

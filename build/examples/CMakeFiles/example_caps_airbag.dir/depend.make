@@ -1,0 +1,2 @@
+# Empty dependencies file for example_caps_airbag.
+# This may be replaced when dependencies are built.

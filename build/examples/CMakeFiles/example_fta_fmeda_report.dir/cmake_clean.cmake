@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_fta_fmeda_report.dir/fta_fmeda_report.cpp.o"
+  "CMakeFiles/example_fta_fmeda_report.dir/fta_fmeda_report.cpp.o.d"
+  "example_fta_fmeda_report"
+  "example_fta_fmeda_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_fta_fmeda_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_testbench_qualification.dir/testbench_qualification.cpp.o"
+  "CMakeFiles/example_testbench_qualification.dir/testbench_qualification.cpp.o.d"
+  "example_testbench_qualification"
+  "example_testbench_qualification.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_testbench_qualification.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

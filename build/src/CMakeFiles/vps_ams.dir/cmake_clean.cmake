@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vps_ams.dir/vps/ams/tdf.cpp.o"
+  "CMakeFiles/vps_ams.dir/vps/ams/tdf.cpp.o.d"
+  "libvps_ams.a"
+  "libvps_ams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vps_ams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

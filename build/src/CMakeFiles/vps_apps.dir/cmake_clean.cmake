@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vps_apps.dir/vps/apps/acc.cpp.o"
+  "CMakeFiles/vps_apps.dir/vps/apps/acc.cpp.o.d"
+  "CMakeFiles/vps_apps.dir/vps/apps/caps.cpp.o"
+  "CMakeFiles/vps_apps.dir/vps/apps/caps.cpp.o.d"
+  "libvps_apps.a"
+  "libvps_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vps_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vps_can.dir/vps/can/bus.cpp.o"
+  "CMakeFiles/vps_can.dir/vps/can/bus.cpp.o.d"
+  "CMakeFiles/vps_can.dir/vps/can/frame.cpp.o"
+  "CMakeFiles/vps_can.dir/vps/can/frame.cpp.o.d"
+  "CMakeFiles/vps_can.dir/vps/can/lin.cpp.o"
+  "CMakeFiles/vps_can.dir/vps/can/lin.cpp.o.d"
+  "libvps_can.a"
+  "libvps_can.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vps_can.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vps_coverage.dir/vps/coverage/coverage.cpp.o"
+  "CMakeFiles/vps_coverage.dir/vps/coverage/coverage.cpp.o.d"
+  "libvps_coverage.a"
+  "libvps_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vps_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

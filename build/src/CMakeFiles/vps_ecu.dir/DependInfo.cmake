@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vps/ecu/alive_supervision.cpp" "src/CMakeFiles/vps_ecu.dir/vps/ecu/alive_supervision.cpp.o" "gcc" "src/CMakeFiles/vps_ecu.dir/vps/ecu/alive_supervision.cpp.o.d"
+  "/root/repo/src/vps/ecu/can_controller.cpp" "src/CMakeFiles/vps_ecu.dir/vps/ecu/can_controller.cpp.o" "gcc" "src/CMakeFiles/vps_ecu.dir/vps/ecu/can_controller.cpp.o.d"
+  "/root/repo/src/vps/ecu/e2e.cpp" "src/CMakeFiles/vps_ecu.dir/vps/ecu/e2e.cpp.o" "gcc" "src/CMakeFiles/vps_ecu.dir/vps/ecu/e2e.cpp.o.d"
+  "/root/repo/src/vps/ecu/os.cpp" "src/CMakeFiles/vps_ecu.dir/vps/ecu/os.cpp.o" "gcc" "src/CMakeFiles/vps_ecu.dir/vps/ecu/os.cpp.o.d"
+  "/root/repo/src/vps/ecu/platform.cpp" "src/CMakeFiles/vps_ecu.dir/vps/ecu/platform.cpp.o" "gcc" "src/CMakeFiles/vps_ecu.dir/vps/ecu/platform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vps_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_tlm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vps_ecu.dir/vps/ecu/alive_supervision.cpp.o"
+  "CMakeFiles/vps_ecu.dir/vps/ecu/alive_supervision.cpp.o.d"
+  "CMakeFiles/vps_ecu.dir/vps/ecu/can_controller.cpp.o"
+  "CMakeFiles/vps_ecu.dir/vps/ecu/can_controller.cpp.o.d"
+  "CMakeFiles/vps_ecu.dir/vps/ecu/e2e.cpp.o"
+  "CMakeFiles/vps_ecu.dir/vps/ecu/e2e.cpp.o.d"
+  "CMakeFiles/vps_ecu.dir/vps/ecu/os.cpp.o"
+  "CMakeFiles/vps_ecu.dir/vps/ecu/os.cpp.o.d"
+  "CMakeFiles/vps_ecu.dir/vps/ecu/platform.cpp.o"
+  "CMakeFiles/vps_ecu.dir/vps/ecu/platform.cpp.o.d"
+  "libvps_ecu.a"
+  "libvps_ecu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vps_ecu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

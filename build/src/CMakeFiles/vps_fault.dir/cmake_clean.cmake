@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vps_fault.dir/vps/fault/campaign.cpp.o"
+  "CMakeFiles/vps_fault.dir/vps/fault/campaign.cpp.o.d"
+  "CMakeFiles/vps_fault.dir/vps/fault/descriptor.cpp.o"
+  "CMakeFiles/vps_fault.dir/vps/fault/descriptor.cpp.o.d"
+  "CMakeFiles/vps_fault.dir/vps/fault/injector.cpp.o"
+  "CMakeFiles/vps_fault.dir/vps/fault/injector.cpp.o.d"
+  "CMakeFiles/vps_fault.dir/vps/fault/scenario.cpp.o"
+  "CMakeFiles/vps_fault.dir/vps/fault/scenario.cpp.o.d"
+  "CMakeFiles/vps_fault.dir/vps/fault/stressor.cpp.o"
+  "CMakeFiles/vps_fault.dir/vps/fault/stressor.cpp.o.d"
+  "libvps_fault.a"
+  "libvps_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vps_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vps_formal.dir/vps/formal/atpg.cpp.o"
+  "CMakeFiles/vps_formal.dir/vps/formal/atpg.cpp.o.d"
+  "CMakeFiles/vps_formal.dir/vps/formal/sat.cpp.o"
+  "CMakeFiles/vps_formal.dir/vps/formal/sat.cpp.o.d"
+  "libvps_formal.a"
+  "libvps_formal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vps_formal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vps/gate/builders.cpp" "src/CMakeFiles/vps_gate.dir/vps/gate/builders.cpp.o" "gcc" "src/CMakeFiles/vps_gate.dir/vps/gate/builders.cpp.o.d"
+  "/root/repo/src/vps/gate/fault_sim.cpp" "src/CMakeFiles/vps_gate.dir/vps/gate/fault_sim.cpp.o" "gcc" "src/CMakeFiles/vps_gate.dir/vps/gate/fault_sim.cpp.o.d"
+  "/root/repo/src/vps/gate/netlist.cpp" "src/CMakeFiles/vps_gate.dir/vps/gate/netlist.cpp.o" "gcc" "src/CMakeFiles/vps_gate.dir/vps/gate/netlist.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vps_gate.dir/vps/gate/builders.cpp.o"
+  "CMakeFiles/vps_gate.dir/vps/gate/builders.cpp.o.d"
+  "CMakeFiles/vps_gate.dir/vps/gate/fault_sim.cpp.o"
+  "CMakeFiles/vps_gate.dir/vps/gate/fault_sim.cpp.o.d"
+  "CMakeFiles/vps_gate.dir/vps/gate/netlist.cpp.o"
+  "CMakeFiles/vps_gate.dir/vps/gate/netlist.cpp.o.d"
+  "libvps_gate.a"
+  "libvps_gate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vps_gate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

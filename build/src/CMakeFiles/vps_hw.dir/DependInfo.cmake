@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vps/hw/assembler.cpp" "src/CMakeFiles/vps_hw.dir/vps/hw/assembler.cpp.o" "gcc" "src/CMakeFiles/vps_hw.dir/vps/hw/assembler.cpp.o.d"
+  "/root/repo/src/vps/hw/cpu.cpp" "src/CMakeFiles/vps_hw.dir/vps/hw/cpu.cpp.o" "gcc" "src/CMakeFiles/vps_hw.dir/vps/hw/cpu.cpp.o.d"
+  "/root/repo/src/vps/hw/disassembler.cpp" "src/CMakeFiles/vps_hw.dir/vps/hw/disassembler.cpp.o" "gcc" "src/CMakeFiles/vps_hw.dir/vps/hw/disassembler.cpp.o.d"
+  "/root/repo/src/vps/hw/ecc.cpp" "src/CMakeFiles/vps_hw.dir/vps/hw/ecc.cpp.o" "gcc" "src/CMakeFiles/vps_hw.dir/vps/hw/ecc.cpp.o.d"
+  "/root/repo/src/vps/hw/memory.cpp" "src/CMakeFiles/vps_hw.dir/vps/hw/memory.cpp.o" "gcc" "src/CMakeFiles/vps_hw.dir/vps/hw/memory.cpp.o.d"
+  "/root/repo/src/vps/hw/peripherals.cpp" "src/CMakeFiles/vps_hw.dir/vps/hw/peripherals.cpp.o" "gcc" "src/CMakeFiles/vps_hw.dir/vps/hw/peripherals.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vps_tlm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

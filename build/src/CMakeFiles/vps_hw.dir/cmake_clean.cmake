@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vps_hw.dir/vps/hw/assembler.cpp.o"
+  "CMakeFiles/vps_hw.dir/vps/hw/assembler.cpp.o.d"
+  "CMakeFiles/vps_hw.dir/vps/hw/cpu.cpp.o"
+  "CMakeFiles/vps_hw.dir/vps/hw/cpu.cpp.o.d"
+  "CMakeFiles/vps_hw.dir/vps/hw/disassembler.cpp.o"
+  "CMakeFiles/vps_hw.dir/vps/hw/disassembler.cpp.o.d"
+  "CMakeFiles/vps_hw.dir/vps/hw/ecc.cpp.o"
+  "CMakeFiles/vps_hw.dir/vps/hw/ecc.cpp.o.d"
+  "CMakeFiles/vps_hw.dir/vps/hw/memory.cpp.o"
+  "CMakeFiles/vps_hw.dir/vps/hw/memory.cpp.o.d"
+  "CMakeFiles/vps_hw.dir/vps/hw/peripherals.cpp.o"
+  "CMakeFiles/vps_hw.dir/vps/hw/peripherals.cpp.o.d"
+  "libvps_hw.a"
+  "libvps_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vps_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvps_hw.a"
+)

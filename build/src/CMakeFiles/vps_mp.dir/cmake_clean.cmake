@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vps_mp.dir/vps/mp/derivation.cpp.o"
+  "CMakeFiles/vps_mp.dir/vps/mp/derivation.cpp.o.d"
+  "CMakeFiles/vps_mp.dir/vps/mp/mission_profile.cpp.o"
+  "CMakeFiles/vps_mp.dir/vps/mp/mission_profile.cpp.o.d"
+  "libvps_mp.a"
+  "libvps_mp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vps_mp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

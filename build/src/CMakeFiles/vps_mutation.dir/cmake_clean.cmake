@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vps_mutation.dir/vps/mutation/binary_mutation.cpp.o"
+  "CMakeFiles/vps_mutation.dir/vps/mutation/binary_mutation.cpp.o.d"
+  "CMakeFiles/vps_mutation.dir/vps/mutation/instrumented_models.cpp.o"
+  "CMakeFiles/vps_mutation.dir/vps/mutation/instrumented_models.cpp.o.d"
+  "CMakeFiles/vps_mutation.dir/vps/mutation/mutation.cpp.o"
+  "CMakeFiles/vps_mutation.dir/vps/mutation/mutation.cpp.o.d"
+  "libvps_mutation.a"
+  "libvps_mutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vps_mutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

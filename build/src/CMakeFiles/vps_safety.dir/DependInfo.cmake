@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vps/safety/fmeda.cpp" "src/CMakeFiles/vps_safety.dir/vps/safety/fmeda.cpp.o" "gcc" "src/CMakeFiles/vps_safety.dir/vps/safety/fmeda.cpp.o.d"
+  "/root/repo/src/vps/safety/fptc.cpp" "src/CMakeFiles/vps_safety.dir/vps/safety/fptc.cpp.o" "gcc" "src/CMakeFiles/vps_safety.dir/vps/safety/fptc.cpp.o.d"
+  "/root/repo/src/vps/safety/ft_synthesis.cpp" "src/CMakeFiles/vps_safety.dir/vps/safety/ft_synthesis.cpp.o" "gcc" "src/CMakeFiles/vps_safety.dir/vps/safety/ft_synthesis.cpp.o.d"
+  "/root/repo/src/vps/safety/fta.cpp" "src/CMakeFiles/vps_safety.dir/vps/safety/fta.cpp.o" "gcc" "src/CMakeFiles/vps_safety.dir/vps/safety/fta.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vps_safety.dir/vps/safety/fmeda.cpp.o"
+  "CMakeFiles/vps_safety.dir/vps/safety/fmeda.cpp.o.d"
+  "CMakeFiles/vps_safety.dir/vps/safety/fptc.cpp.o"
+  "CMakeFiles/vps_safety.dir/vps/safety/fptc.cpp.o.d"
+  "CMakeFiles/vps_safety.dir/vps/safety/ft_synthesis.cpp.o"
+  "CMakeFiles/vps_safety.dir/vps/safety/ft_synthesis.cpp.o.d"
+  "CMakeFiles/vps_safety.dir/vps/safety/fta.cpp.o"
+  "CMakeFiles/vps_safety.dir/vps/safety/fta.cpp.o.d"
+  "libvps_safety.a"
+  "libvps_safety.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vps_safety.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

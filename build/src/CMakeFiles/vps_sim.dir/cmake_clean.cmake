@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vps_sim.dir/vps/sim/kernel.cpp.o"
+  "CMakeFiles/vps_sim.dir/vps/sim/kernel.cpp.o.d"
+  "CMakeFiles/vps_sim.dir/vps/sim/trace.cpp.o"
+  "CMakeFiles/vps_sim.dir/vps/sim/trace.cpp.o.d"
+  "libvps_sim.a"
+  "libvps_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vps_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vps/support/crc.cpp" "src/CMakeFiles/vps_support.dir/vps/support/crc.cpp.o" "gcc" "src/CMakeFiles/vps_support.dir/vps/support/crc.cpp.o.d"
+  "/root/repo/src/vps/support/rng.cpp" "src/CMakeFiles/vps_support.dir/vps/support/rng.cpp.o" "gcc" "src/CMakeFiles/vps_support.dir/vps/support/rng.cpp.o.d"
+  "/root/repo/src/vps/support/stats.cpp" "src/CMakeFiles/vps_support.dir/vps/support/stats.cpp.o" "gcc" "src/CMakeFiles/vps_support.dir/vps/support/stats.cpp.o.d"
+  "/root/repo/src/vps/support/strings.cpp" "src/CMakeFiles/vps_support.dir/vps/support/strings.cpp.o" "gcc" "src/CMakeFiles/vps_support.dir/vps/support/strings.cpp.o.d"
+  "/root/repo/src/vps/support/table.cpp" "src/CMakeFiles/vps_support.dir/vps/support/table.cpp.o" "gcc" "src/CMakeFiles/vps_support.dir/vps/support/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

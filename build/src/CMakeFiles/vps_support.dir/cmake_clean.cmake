@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vps_support.dir/vps/support/crc.cpp.o"
+  "CMakeFiles/vps_support.dir/vps/support/crc.cpp.o.d"
+  "CMakeFiles/vps_support.dir/vps/support/rng.cpp.o"
+  "CMakeFiles/vps_support.dir/vps/support/rng.cpp.o.d"
+  "CMakeFiles/vps_support.dir/vps/support/stats.cpp.o"
+  "CMakeFiles/vps_support.dir/vps/support/stats.cpp.o.d"
+  "CMakeFiles/vps_support.dir/vps/support/strings.cpp.o"
+  "CMakeFiles/vps_support.dir/vps/support/strings.cpp.o.d"
+  "CMakeFiles/vps_support.dir/vps/support/table.cpp.o"
+  "CMakeFiles/vps_support.dir/vps/support/table.cpp.o.d"
+  "libvps_support.a"
+  "libvps_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vps_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vps/svm/component.cpp" "src/CMakeFiles/vps_svm.dir/vps/svm/component.cpp.o" "gcc" "src/CMakeFiles/vps_svm.dir/vps/svm/component.cpp.o.d"
+  "/root/repo/src/vps/svm/register_model.cpp" "src/CMakeFiles/vps_svm.dir/vps/svm/register_model.cpp.o" "gcc" "src/CMakeFiles/vps_svm.dir/vps/svm/register_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_tlm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

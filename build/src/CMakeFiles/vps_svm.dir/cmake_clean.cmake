@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vps_svm.dir/vps/svm/component.cpp.o"
+  "CMakeFiles/vps_svm.dir/vps/svm/component.cpp.o.d"
+  "CMakeFiles/vps_svm.dir/vps/svm/register_model.cpp.o"
+  "CMakeFiles/vps_svm.dir/vps/svm/register_model.cpp.o.d"
+  "libvps_svm.a"
+  "libvps_svm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vps_svm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vps_tlm.dir/vps/tlm/payload.cpp.o"
+  "CMakeFiles/vps_tlm.dir/vps/tlm/payload.cpp.o.d"
+  "CMakeFiles/vps_tlm.dir/vps/tlm/router.cpp.o"
+  "CMakeFiles/vps_tlm.dir/vps/tlm/router.cpp.o.d"
+  "libvps_tlm.a"
+  "libvps_tlm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vps_tlm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ams_test.cpp" "tests/CMakeFiles/ams_test.dir/ams_test.cpp.o" "gcc" "tests/CMakeFiles/ams_test.dir/ams_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/vps_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_safety.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_mutation.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_formal.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_ams.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_ecu.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_can.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_gate.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_svm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_mp.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_coverage.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_tlm.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/vps_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ams_test.dir/ams_test.cpp.o"
+  "CMakeFiles/ams_test.dir/ams_test.cpp.o.d"
+  "ams_test"
+  "ams_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ams_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/binary_mutation_test.dir/binary_mutation_test.cpp.o"
+  "CMakeFiles/binary_mutation_test.dir/binary_mutation_test.cpp.o.d"
+  "binary_mutation_test"
+  "binary_mutation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/binary_mutation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecu_test.dir/ecu_test.cpp.o"
+  "CMakeFiles/ecu_test.dir/ecu_test.cpp.o.d"
+  "ecu_test"
+  "ecu_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

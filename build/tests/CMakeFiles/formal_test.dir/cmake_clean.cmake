@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formal_test.dir/formal_test.cpp.o"
+  "CMakeFiles/formal_test.dir/formal_test.cpp.o.d"
+  "formal_test"
+  "formal_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formal_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_ecc_memory_test.dir/hw_ecc_memory_test.cpp.o"
+  "CMakeFiles/hw_ecc_memory_test.dir/hw_ecc_memory_test.cpp.o.d"
+  "hw_ecc_memory_test"
+  "hw_ecc_memory_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_ecc_memory_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

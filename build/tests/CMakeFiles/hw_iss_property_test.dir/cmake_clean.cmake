@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hw_iss_property_test.dir/hw_iss_property_test.cpp.o"
+  "CMakeFiles/hw_iss_property_test.dir/hw_iss_property_test.cpp.o.d"
+  "hw_iss_property_test"
+  "hw_iss_property_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hw_iss_property_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

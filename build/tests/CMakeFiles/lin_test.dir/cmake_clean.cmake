@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lin_test.dir/lin_test.cpp.o"
+  "CMakeFiles/lin_test.dir/lin_test.cpp.o.d"
+  "lin_test"
+  "lin_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lin_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/register_model_test.dir/register_model_test.cpp.o"
+  "CMakeFiles/register_model_test.dir/register_model_test.cpp.o.d"
+  "register_model_test"
+  "register_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/register_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

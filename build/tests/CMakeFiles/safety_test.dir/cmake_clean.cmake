@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/safety_test.dir/safety_test.cpp.o"
+  "CMakeFiles/safety_test.dir/safety_test.cpp.o.d"
+  "safety_test"
+  "safety_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/safety_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/svm_can_tb_test.dir/svm_can_tb_test.cpp.o"
+  "CMakeFiles/svm_can_tb_test.dir/svm_can_tb_test.cpp.o.d"
+  "svm_can_tb_test"
+  "svm_can_tb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/svm_can_tb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

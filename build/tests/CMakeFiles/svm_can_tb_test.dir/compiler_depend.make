@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for svm_can_tb_test.
+# This may be replaced when dependencies are built.

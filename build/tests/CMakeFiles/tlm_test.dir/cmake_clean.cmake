@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlm_test.dir/tlm_test.cpp.o"
+  "CMakeFiles/tlm_test.dir/tlm_test.cpp.o.d"
+  "tlm_test"
+  "tlm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
