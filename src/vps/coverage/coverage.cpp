@@ -32,6 +32,15 @@ void Coverpoint::sample(std::int64_t value) {
   if (bin != npos) ++bins_[bin].hits;
 }
 
+void Coverpoint::merge(const Coverpoint& other) {
+  ensure(bins_.size() == other.bins_.size(), "Coverpoint::merge: bin count mismatch");
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    ensure(bins_[i].lo == other.bins_[i].lo && bins_[i].hi == other.bins_[i].hi,
+           "Coverpoint::merge: bin layout mismatch");
+    bins_[i].hits += other.bins_[i].hits;
+  }
+}
+
 std::size_t Coverpoint::bin_of(std::int64_t value) const noexcept {
   for (std::size_t i = 0; i < bins_.size(); ++i) {
     if (value >= bins_[i].lo && value <= bins_[i].hi) return i;
@@ -79,6 +88,13 @@ void Cross::sample(std::int64_t va, std::int64_t vb) {
   ++matrix_[ba * b_.bin_count() + bb];
 }
 
+void Cross::merge(const Cross& other) {
+  ensure(bin_count() == other.bin_count(), "Cross::merge: shape mismatch");
+  ensure_storage();
+  other.ensure_storage();
+  for (std::size_t i = 0; i < matrix_.size(); ++i) matrix_[i] += other.matrix_[i];
+}
+
 std::size_t Cross::bins_hit() const noexcept {
   ensure_storage();
   std::size_t hit = 0;
@@ -116,6 +132,21 @@ Coverpoint& Covergroup::add_coverpoint(std::string point_name) {
 Cross& Covergroup::add_cross(std::string cross_name, const Coverpoint& a, const Coverpoint& b) {
   crosses_.push_back(std::make_unique<Cross>(std::move(cross_name), a, b));
   return *crosses_.back();
+}
+
+void Covergroup::merge(const Covergroup& other) {
+  ensure(points_.size() == other.points_.size() && crosses_.size() == other.crosses_.size(),
+         "Covergroup::merge: structure mismatch");
+  for (std::size_t i = 0; i < points_.size(); ++i) {
+    ensure(points_[i]->name() == other.points_[i]->name(),
+           "Covergroup::merge: coverpoint name mismatch");
+    points_[i]->merge(*other.points_[i]);
+  }
+  for (std::size_t i = 0; i < crosses_.size(); ++i) {
+    ensure(crosses_[i]->name() == other.crosses_[i]->name(),
+           "Covergroup::merge: cross name mismatch");
+    crosses_[i]->merge(*other.crosses_[i]);
+  }
 }
 
 Coverpoint& Covergroup::point(const std::string& point_name) {
@@ -173,6 +204,12 @@ FaultSpaceCoverage::FaultSpaceCoverage(std::size_t fault_classes, std::size_t lo
                          static_cast<std::int64_t>(i));
   }
   cross_ = &group_.add_cross("class_x_location", *class_point_, *location_point_);
+}
+
+void FaultSpaceCoverage::merge(const FaultSpaceCoverage& other) {
+  ensure(time_windows_ == other.time_windows_, "FaultSpaceCoverage::merge: shape mismatch");
+  group_.merge(other.group_);
+  samples_ += other.samples_;
 }
 
 void FaultSpaceCoverage::sample(std::size_t fault_class, std::size_t location_bucket,

@@ -26,6 +26,11 @@ class Coverpoint {
 
   void sample(std::int64_t value);
 
+  /// Accumulates `other`'s per-bin hit counts into this point. Requires an
+  /// identical bin layout (same count, same ranges). Merging is commutative
+  /// and associative, so shards can be folded in any order.
+  void merge(const Coverpoint& other);
+
   [[nodiscard]] const std::string& name() const noexcept { return name_; }
   [[nodiscard]] std::size_t bin_count() const noexcept { return bins_.size(); }
   [[nodiscard]] std::size_t bins_hit() const noexcept;
@@ -59,6 +64,9 @@ class Cross {
 
   void sample(std::int64_t va, std::int64_t vb);
 
+  /// Accumulates `other`'s hit matrix; requires the same matrix shape.
+  void merge(const Cross& other);
+
   [[nodiscard]] std::size_t bin_count() const noexcept { return a_.bin_count() * b_.bin_count(); }
   [[nodiscard]] std::size_t bins_hit() const noexcept;
   [[nodiscard]] double coverage() const noexcept;
@@ -82,6 +90,10 @@ class Covergroup {
   Coverpoint& add_coverpoint(std::string point_name);
   Cross& add_cross(std::string cross_name, const Coverpoint& a, const Coverpoint& b);
 
+  /// Accumulates another group with the same structure (same points and
+  /// crosses, by position and name) into this one.
+  void merge(const Covergroup& other);
+
   [[nodiscard]] Coverpoint& point(const std::string& point_name);
   [[nodiscard]] double coverage() const noexcept;  ///< mean over points and crosses
   [[nodiscard]] std::string report() const;
@@ -104,6 +116,12 @@ class FaultSpaceCoverage {
 
   /// time_fraction in [0,1): injection time / scenario duration.
   void sample(std::size_t fault_class, std::size_t location_bucket, double time_fraction);
+
+  /// Order-independent merge of a same-shaped shard: hit counts accumulate,
+  /// so folding per-worker (or per-seed) shards in any order yields
+  /// identical totals. Used by parallel campaign executors at their batch
+  /// barrier and by sharded multi-seed aggregation.
+  void merge(const FaultSpaceCoverage& other);
 
   [[nodiscard]] double coverage() const noexcept { return group_.coverage(); }
   [[nodiscard]] std::string report() const { return group_.report(); }

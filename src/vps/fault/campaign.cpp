@@ -23,8 +23,11 @@ const char* to_string(Strategy s) noexcept {
 double CampaignResult::diagnostic_coverage() const noexcept {
   const double detected = static_cast<double>(count(Outcome::kDetectedCorrected) +
                                               count(Outcome::kDetectedUncorrected));
+  // A hang is a dangerous, undetected outcome — the same way weak_spots()
+  // counts it. Without it here a campaign full of timeouts reported DC = 1.
   const double dangerous = detected + static_cast<double>(count(Outcome::kSilentDataCorruption) +
-                                                          count(Outcome::kHazard));
+                                                          count(Outcome::kHazard) +
+                                                          count(Outcome::kTimeout));
   return dangerous == 0.0 ? 1.0 : detected / dangerous;
 }
 
@@ -43,6 +46,19 @@ std::string CampaignResult::render() const {
                 faults_to_first_hazard, hazard_probability.estimate, hazard_probability.lo,
                 hazard_probability.hi);
   return t.render() + buf;
+}
+
+void CampaignResult::merge(const CampaignResult& shard) {
+  if (faults_to_first_hazard == 0 && shard.faults_to_first_hazard != 0) {
+    faults_to_first_hazard = runs_executed + shard.faults_to_first_hazard;
+  }
+  for (std::size_t i = 0; i < kOutcomeCount; ++i) outcome_counts[i] += shard.outcome_counts[i];
+  records.insert(records.end(), shard.records.begin(), shard.records.end());
+  coverage_curve.insert(coverage_curve.end(), shard.coverage_curve.begin(),
+                        shard.coverage_curve.end());
+  runs_executed += shard.runs_executed;
+  final_coverage = std::max(final_coverage, shard.final_coverage);
+  hazard_probability = support::wilson_interval(count(Outcome::kHazard), runs_executed);
 }
 
 std::vector<CampaignResult::WeakSpot> CampaignResult::weak_spots() const {
@@ -77,34 +93,34 @@ std::string CampaignResult::render_weak_spots() const {
   return t.render();
 }
 
-Campaign::Campaign(Scenario& scenario, CampaignConfig config)
-    : scenario_(scenario),
-      config_(config),
-      rng_(config.seed),
-      types_(scenario.fault_types()),
-      coverage_(std::max<std::size_t>(1, scenario.fault_types().size()), config.location_buckets,
+CampaignState::CampaignState(std::vector<FaultType> types, sim::Time duration,
+                             const CampaignConfig& config)
+    : config_(config),
+      duration_(duration),
+      types_(std::move(types)),
+      coverage_(std::max<std::size_t>(1, types_.size()), config.location_buckets,
                 config.time_windows) {
   ensure(!types_.empty(), "Campaign: scenario offers no fault types");
   ensure(config_.runs > 0, "Campaign: zero runs");
   weights_.assign(types_.size() * config_.location_buckets, 1.0);
 }
 
-std::uint64_t Campaign::address_for_bucket(std::size_t bucket) {
-  return bucket + config_.location_buckets * rng_.uniform_u64(0, 1 << 20);
+std::uint64_t CampaignState::address_for_bucket(std::size_t bucket, support::Xorshift& rng) {
+  return bucket + config_.location_buckets * rng.uniform_u64(0, 1 << 20);
 }
 
-FaultDescriptor Campaign::generate(std::size_t run_index) {
+FaultDescriptor CampaignState::generate(std::size_t run_index, support::Xorshift& rng) {
   std::size_t type_idx = 0;
   std::size_t bucket = 0;
 
   switch (config_.strategy) {
     case Strategy::kMonteCarlo: {
-      type_idx = rng_.index(types_.size());
-      bucket = rng_.index(config_.location_buckets);
+      type_idx = rng.index(types_.size());
+      bucket = rng.index(config_.location_buckets);
       break;
     }
     case Strategy::kGuided: {
-      const std::size_t cell = rng_.weighted(weights_);
+      const std::size_t cell = rng.weighted(weights_);
       type_idx = cell / config_.location_buckets;
       bucket = cell % config_.location_buckets;
       break;
@@ -112,12 +128,12 @@ FaultDescriptor Campaign::generate(std::size_t run_index) {
     case Strategy::kCoverageDriven: {
       const auto holes = coverage_.class_location_holes();
       if (!holes.empty()) {
-        const auto& hole = holes[rng_.index(holes.size())];
+        const auto& hole = holes[rng.index(holes.size())];
         type_idx = std::min(hole.first, types_.size() - 1);
         bucket = hole.second;
       } else {
         // Space covered: continue with guided weights (closure reached).
-        const std::size_t cell = rng_.weighted(weights_);
+        const std::size_t cell = rng.weighted(weights_);
         type_idx = cell / config_.location_buckets;
         bucket = cell % config_.location_buckets;
       }
@@ -135,8 +151,8 @@ FaultDescriptor Campaign::generate(std::size_t run_index) {
   FaultDescriptor fault;
   fault.id = next_fault_id_++;
   fault.type = types_[type_idx];
-  fault.address = address_for_bucket(bucket);
-  fault.bit = static_cast<int>(rng_.index(39));
+  fault.address = address_for_bucket(bucket, rng);
+  fault.bit = static_cast<int>(rng.index(39));
   fault.location = std::string(to_string(fault.type)) + "/bucket" + std::to_string(bucket);
 
   // Injection time: uniform window (grid strategy walks the windows).
@@ -145,41 +161,41 @@ FaultDescriptor Campaign::generate(std::size_t run_index) {
   if (config_.strategy == Strategy::kExhaustiveGrid) {
     const std::size_t cells = types_.size() * config_.location_buckets;
     const std::size_t window = (run_index / cells) % config_.time_windows;
-    tf = (static_cast<double>(window) + rng_.uniform()) / window_count;
+    tf = (static_cast<double>(window) + rng.uniform()) / window_count;
   } else {
-    tf = rng_.uniform();
+    tf = rng.uniform();
   }
-  fault.inject_at = sim::Time::from_seconds(scenario_.duration().to_seconds() * tf);
+  fault.inject_at = sim::Time::from_seconds(duration_.to_seconds() * tf);
 
   // Type-specific parameters.
   switch (fault.type) {
     case FaultType::kSensorOffset:
-      fault.magnitude = rng_.uniform(-2.0, 2.0);
+      fault.magnitude = rng.uniform(-2.0, 2.0);
       break;
     case FaultType::kSensorStuck:
-      fault.magnitude = rng_.uniform(0.0, 5.0);
+      fault.magnitude = rng.uniform(0.0, 5.0);
       fault.persistence = Persistence::kPermanent;
       break;
     case FaultType::kExecutionSlowdown:
-      fault.magnitude = rng_.uniform(1.5, 4.0);
+      fault.magnitude = rng.uniform(1.5, 4.0);
       fault.persistence = Persistence::kIntermittent;
-      fault.duration = sim::Time::from_seconds(scenario_.duration().to_seconds() * 0.2);
+      fault.duration = sim::Time::from_seconds(duration_.to_seconds() * 0.2);
       break;
     case FaultType::kTaskKill:
-      fault.persistence = rng_.chance(0.5) ? Persistence::kPermanent : Persistence::kIntermittent;
-      fault.duration = sim::Time::from_seconds(scenario_.duration().to_seconds() * 0.3);
+      fault.persistence = rng.chance(0.5) ? Persistence::kPermanent : Persistence::kIntermittent;
+      fault.duration = sim::Time::from_seconds(duration_.to_seconds() * 0.3);
       break;
     case FaultType::kCanFrameCorruption:
       // Half wire upsets (CRC-detectable transients), half buffer/gateway
       // corruption that only end-to-end protection can catch.
-      fault.persistence = rng_.chance(0.5) ? Persistence::kTransient : Persistence::kIntermittent;
-      fault.magnitude = rng_.uniform(0.2, 1.0);
-      fault.duration = sim::Time::from_seconds(scenario_.duration().to_seconds() * 0.2);
+      fault.persistence = rng.chance(0.5) ? Persistence::kTransient : Persistence::kIntermittent;
+      fault.magnitude = rng.uniform(0.2, 1.0);
+      fault.duration = sim::Time::from_seconds(duration_.to_seconds() * 0.2);
       break;
     case FaultType::kSignalStuck:
-      fault.magnitude = rng_.chance(0.5) ? 1.0 : -1.0;
+      fault.magnitude = rng.chance(0.5) ? 1.0 : -1.0;
       fault.persistence = Persistence::kIntermittent;
-      fault.duration = sim::Time::from_seconds(scenario_.duration().to_seconds() * 0.25);
+      fault.duration = sim::Time::from_seconds(duration_.to_seconds() * 0.25);
       break;
     default:
       break;
@@ -187,12 +203,15 @@ FaultDescriptor Campaign::generate(std::size_t run_index) {
   return fault;
 }
 
-void Campaign::learn(const FaultDescriptor& fault, Outcome outcome) {
-  // Guided strategy: boost cells that produced dangerous outcomes.
-  std::size_t type_idx = 0;
+bool CampaignState::learn(const FaultDescriptor& fault, Outcome outcome) {
+  // Guided strategy: boost cells that produced dangerous outcomes. A type
+  // outside the campaign's fault space has no cell — skip the sample
+  // instead of corrupting cell 0's weight and coverage.
+  std::size_t type_idx = types_.size();
   for (std::size_t i = 0; i < types_.size(); ++i) {
     if (types_[i] == fault.type) type_idx = i;
   }
+  if (type_idx == types_.size()) return false;
   const std::size_t bucket = fault.address % config_.location_buckets;
   double& w = weights_[cell_index(type_idx, bucket)];
   switch (outcome) {
@@ -210,12 +229,18 @@ void Campaign::learn(const FaultDescriptor& fault, Outcome outcome) {
     case Outcome::kDetectedCorrected:
       break;
   }
-  const std::size_t fc = std::min(type_idx, types_.size() - 1);
-  const double tf = scenario_.duration() == sim::Time::zero()
+  const double tf = duration_ == sim::Time::zero()
                         ? 0.0
-                        : fault.inject_at.to_seconds() / scenario_.duration().to_seconds();
-  coverage_.sample(fc, bucket, tf);
+                        : fault.inject_at.to_seconds() / duration_.to_seconds();
+  coverage_.sample(type_idx, bucket, tf);
+  return true;
 }
+
+Campaign::Campaign(Scenario& scenario, CampaignConfig config)
+    : scenario_(scenario),
+      config_(config),
+      rng_(config.seed),
+      state_(scenario.fault_types(), scenario.duration(), config) {}
 
 CampaignResult Campaign::run() {
   CampaignResult result;
@@ -226,13 +251,13 @@ CampaignResult Campaign::run() {
   }
 
   for (std::size_t i = 0; i < config_.runs; ++i) {
-    const FaultDescriptor fault = generate(i);
+    const FaultDescriptor fault = state_.generate(i, rng_);
     const Observation obs = scenario_.run(&fault, config_.seed);
     const Outcome outcome = classify(golden_, obs);
     ++result.outcome_counts[static_cast<std::size_t>(outcome)];
-    learn(fault, outcome);
+    state_.learn(fault, outcome);
     result.records.push_back({fault, outcome});
-    result.coverage_curve.push_back(coverage_.coverage());
+    result.coverage_curve.push_back(state_.coverage().coverage());
     ++result.runs_executed;
     if (outcome == Outcome::kHazard && result.faults_to_first_hazard == 0) {
       result.faults_to_first_hazard = i + 1;
@@ -242,7 +267,7 @@ CampaignResult Campaign::run() {
       break;
     }
   }
-  result.final_coverage = coverage_.coverage();
+  result.final_coverage = state_.coverage().coverage();
   result.hazard_probability =
       support::wilson_interval(result.count(Outcome::kHazard), result.runs_executed);
   return result;

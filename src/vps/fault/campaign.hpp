@@ -13,9 +13,20 @@
 ///                    produced dangerous outcomes are sampled more often
 ///   kCoverageDriven  targets unhit class x location bins first
 ///   kExhaustiveGrid  deterministic sweep over class x location x window
+///
+/// Two drivers share the strategy machinery (CampaignState):
+///   Campaign          sequential replay on the caller's thread; learning
+///                     is applied after every run.
+///   ParallelCampaign  fans replays out over a work-stealing thread pool.
+///                     Per-run randomness comes from Xorshift::fork(key)
+///                     keyed on the run index, and adaptive learning is
+///                     applied in batched rounds at a barrier, so the
+///                     result is bitwise identical for any worker count.
 
 #include <array>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -37,6 +48,15 @@ struct CampaignConfig {
   std::size_t time_windows = 8;
   /// Stop early once this many hazards were found (0 = never stop early).
   std::size_t stop_after_hazards = 0;
+  /// ParallelCampaign only: scenario replays run on this many pool threads
+  /// (0 and 1 both mean one worker). The result is identical for any value.
+  std::size_t workers = 1;
+  /// ParallelCampaign only: adaptive strategies (kGuided, kCoverageDriven)
+  /// generate this many runs from the current weights before learning is
+  /// applied at the batch barrier (0 = default of 32). The batch size — not
+  /// the worker count — defines the learning cadence, so changing workers
+  /// never changes results; changing batch_size does.
+  std::size_t batch_size = 0;
 };
 
 struct RunRecord {
@@ -63,9 +83,19 @@ struct CampaignResult {
                ? 0.0
                : static_cast<double>(count(o)) / static_cast<double>(runs_executed);
   }
-  /// Diagnostic coverage in the FMEDA sense: detected / (detected + silent).
+  /// Diagnostic coverage in the FMEDA sense: detected events over all
+  /// dangerous events. Hangs (kTimeout) count as undetected-dangerous: a
+  /// campaign full of timeouts must report DC = 0, not 1.
   [[nodiscard]] double diagnostic_coverage() const noexcept;
   [[nodiscard]] std::string render() const;
+
+  /// Aggregates a shard result (e.g. one seed of a multi-seed campaign)
+  /// into this one. Counts, hazard interval inputs and weak-spot tallies
+  /// are order-independent; records and the coverage curve are appended in
+  /// call order (the curve is per-shard closure, diagnostic only), and
+  /// final_coverage keeps the max — recompute it from merged
+  /// FaultSpaceCoverage shards when exact aggregate coverage matters.
+  void merge(const CampaignResult& shard);
 
   /// Weak-spot identification (paper Sec. 3.4: "identifying the weak spots
   /// has to be conducted by analysis of error propagation, error masking,
@@ -84,6 +114,46 @@ struct CampaignResult {
   [[nodiscard]] std::string render_weak_spots() const;
 };
 
+/// Strategy state shared by the campaign drivers: fault generation under
+/// the configured strategy, the guided weak-spot weights, and fault-space
+/// coverage. Not thread-safe — drivers mutate it from one thread only (the
+/// parallel driver on the coordinator thread at batch barriers).
+class CampaignState {
+ public:
+  CampaignState(std::vector<FaultType> types, sim::Time duration, const CampaignConfig& config);
+
+  /// Generates the descriptor for `run_index`, drawing every random
+  /// parameter from `rng` (the sequential driver passes one long-lived
+  /// stream; the parallel driver passes a per-run forked stream).
+  [[nodiscard]] FaultDescriptor generate(std::size_t run_index, support::Xorshift& rng);
+
+  /// Folds one classified outcome back into the guided weights and the
+  /// fault-space coverage. Returns false — and changes nothing — when the
+  /// fault's type is not part of this campaign's fault space: a foreign
+  /// descriptor must be skipped, not silently mapped onto cell 0.
+  bool learn(const FaultDescriptor& fault, Outcome outcome);
+
+  [[nodiscard]] const coverage::FaultSpaceCoverage& coverage() const noexcept {
+    return coverage_;
+  }
+  [[nodiscard]] const std::vector<FaultType>& types() const noexcept { return types_; }
+
+ private:
+  [[nodiscard]] std::size_t cell_index(std::size_t type_idx, std::size_t bucket) const noexcept {
+    return type_idx * config_.location_buckets + bucket;
+  }
+  /// An address whose location bucket is `bucket` (campaign convention:
+  /// bucket == address % location_buckets).
+  [[nodiscard]] std::uint64_t address_for_bucket(std::size_t bucket, support::Xorshift& rng);
+
+  CampaignConfig config_;
+  sim::Time duration_;
+  std::vector<FaultType> types_;
+  std::vector<double> weights_;  // guided strategy state, one per cell
+  coverage::FaultSpaceCoverage coverage_;
+  std::uint64_t next_fault_id_ = 1;
+};
+
 class Campaign {
  public:
   Campaign(Scenario& scenario, CampaignConfig config);
@@ -94,24 +164,42 @@ class Campaign {
   [[nodiscard]] const Observation& golden() const noexcept { return golden_; }
 
  private:
-  [[nodiscard]] FaultDescriptor generate(std::size_t run_index);
-  void learn(const FaultDescriptor& fault, Outcome outcome);
-  [[nodiscard]] std::size_t cell_index(std::size_t type_idx, std::size_t bucket) const noexcept {
-    return type_idx * config_.location_buckets + bucket;
-  }
-  /// An address whose location bucket is `bucket` (campaign convention:
-  /// bucket == address % location_buckets).
-  [[nodiscard]] std::uint64_t address_for_bucket(std::size_t bucket);
-
   Scenario& scenario_;
   CampaignConfig config_;
   support::Xorshift rng_;
   Observation golden_;
   bool golden_valid_ = false;
-  std::vector<FaultType> types_;
-  std::vector<double> weights_;  // guided strategy state, one per cell
-  coverage::FaultSpaceCoverage coverage_;
-  std::uint64_t next_fault_id_ = 1;
+  CampaignState state_;
+};
+
+/// Builds a fresh Scenario instance. Called concurrently from pool threads
+/// (each worker gets its own instance), so it must be thread-safe — plain
+/// construction of independent scenarios is.
+using ScenarioFactory = std::function<std::unique_ptr<Scenario>()>;
+
+/// Batched parallel campaign driver. Descriptors for a batch are generated
+/// on the coordinator from per-run forked RNG streams, the replays fan out
+/// across a work-stealing thread pool onto per-worker scenario instances,
+/// and classification results are reduced — and adaptive learning applied —
+/// in run-index order at the batch barrier. Consequently the full
+/// CampaignResult (records, counts, coverage curve) is bitwise identical
+/// for any CampaignConfig::workers value.
+class ParallelCampaign {
+ public:
+  ParallelCampaign(ScenarioFactory factory, CampaignConfig config);
+
+  [[nodiscard]] CampaignResult run();
+
+  /// The golden observation the classification compares against (valid
+  /// after the first run()).
+  [[nodiscard]] const Observation& golden() const noexcept { return golden_; }
+
+ private:
+  ScenarioFactory factory_;
+  CampaignConfig config_;
+  std::unique_ptr<Scenario> coordinator_;  // golden run + fault-space probe
+  Observation golden_;
+  bool golden_valid_ = false;
 };
 
 }  // namespace vps::fault

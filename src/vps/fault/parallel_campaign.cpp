@@ -1,0 +1,131 @@
+#include <algorithm>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "vps/fault/campaign.hpp"
+#include "vps/support/ensure.hpp"
+#include "vps/support/thread_pool.hpp"
+
+namespace vps::fault {
+
+using support::ensure;
+
+namespace {
+
+/// Default learning cadence for adaptive strategies. Deliberately a fixed
+/// constant (never derived from the worker count): the batch size defines
+/// when guided weights update, so deriving it from `workers` would break
+/// the any-worker-count reproducibility guarantee.
+constexpr std::size_t kDefaultBatch = 32;
+
+/// Hands each pool task a private Scenario instance; instances are built
+/// lazily via the factory and reused across batches, mirroring how the
+/// sequential driver reuses one scenario for every replay.
+class ScenarioPool {
+ public:
+  explicit ScenarioPool(const ScenarioFactory& factory) : factory_(factory) {}
+
+  std::unique_ptr<Scenario> acquire() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!idle_.empty()) {
+        auto s = std::move(idle_.back());
+        idle_.pop_back();
+        return s;
+      }
+    }
+    auto fresh = factory_();
+    ensure(fresh != nullptr, "ParallelCampaign: scenario factory returned null");
+    return fresh;
+  }
+
+  void release(std::unique_ptr<Scenario> scenario) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    idle_.push_back(std::move(scenario));
+  }
+
+ private:
+  const ScenarioFactory& factory_;
+  std::mutex mutex_;
+  std::vector<std::unique_ptr<Scenario>> idle_;
+};
+
+}  // namespace
+
+ParallelCampaign::ParallelCampaign(ScenarioFactory factory, CampaignConfig config)
+    : factory_(std::move(factory)), config_(config) {
+  ensure(static_cast<bool>(factory_), "ParallelCampaign: empty scenario factory");
+}
+
+CampaignResult ParallelCampaign::run() {
+  if (!golden_valid_) {
+    coordinator_ = factory_();
+    ensure(coordinator_ != nullptr, "ParallelCampaign: scenario factory returned null");
+    golden_ = coordinator_->run(nullptr, config_.seed);
+    golden_valid_ = true;
+    ensure(golden_.completed,
+           "ParallelCampaign: golden run did not complete for " + coordinator_->name());
+  }
+
+  CampaignState state(coordinator_->fault_types(), coordinator_->duration(), config_);
+  support::ThreadPool pool(std::max<std::size_t>(1, config_.workers));
+  ScenarioPool scenarios(factory_);
+
+  // Every random draw of run i comes from a stream forked on the run index,
+  // so neither scheduling nor the worker count can perturb it.
+  const support::Xorshift base(config_.seed);
+  const std::size_t batch = config_.batch_size == 0 ? kDefaultBatch : config_.batch_size;
+
+  CampaignResult result;
+  std::size_t next_run = 0;
+  bool stopped = false;
+  while (next_run < config_.runs && !stopped) {
+    const std::size_t n = std::min(batch, config_.runs - next_run);
+
+    // Generate the whole batch on the coordinator: adaptive strategies see
+    // the weights/coverage as of the last barrier.
+    std::vector<FaultDescriptor> faults;
+    faults.reserve(n);
+    for (std::size_t b = 0; b < n; ++b) {
+      support::Xorshift run_rng = base.fork(next_run + b);
+      faults.push_back(state.generate(next_run + b, run_rng));
+    }
+
+    // Fan the replays out; each slot is written by exactly one task.
+    std::vector<Outcome> outcomes(n, Outcome::kNoEffect);
+    pool.parallel_for(n, [&](std::size_t b) {
+      auto scenario = scenarios.acquire();
+      const Observation obs = scenario->run(&faults[b], config_.seed);
+      outcomes[b] = classify(golden_, obs);
+      scenarios.release(std::move(scenario));
+    });
+
+    // Barrier: reduce in run-index order — learning, coverage and the
+    // closure curve replay exactly as a one-worker execution would.
+    for (std::size_t b = 0; b < n; ++b) {
+      const Outcome outcome = outcomes[b];
+      ++result.outcome_counts[static_cast<std::size_t>(outcome)];
+      state.learn(faults[b], outcome);
+      result.records.push_back({std::move(faults[b]), outcome});
+      result.coverage_curve.push_back(state.coverage().coverage());
+      ++result.runs_executed;
+      if (outcome == Outcome::kHazard && result.faults_to_first_hazard == 0) {
+        result.faults_to_first_hazard = next_run + b + 1;
+      }
+      if (config_.stop_after_hazards != 0 &&
+          result.count(Outcome::kHazard) >= config_.stop_after_hazards) {
+        stopped = true;
+        break;
+      }
+    }
+    next_run += n;
+  }
+
+  result.final_coverage = state.coverage().coverage();
+  result.hazard_probability =
+      support::wilson_interval(result.count(Outcome::kHazard), result.runs_executed);
+  return result;
+}
+
+}  // namespace vps::fault

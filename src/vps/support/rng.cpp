@@ -85,4 +85,14 @@ Xorshift Xorshift::fork() noexcept {
   return Xorshift(next() ^ 0xd1b54a32d192ed03ULL);
 }
 
+Xorshift Xorshift::fork(std::uint64_t key) const noexcept {
+  // SplitMix64 finalizer over (state, key): adjacent keys land far apart,
+  // so consecutive campaign runs get decorrelated streams.
+  std::uint64_t z = state_ + (key + 1) * 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return Xorshift(z);
+}
+
 }  // namespace vps::support

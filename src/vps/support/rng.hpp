@@ -53,6 +53,13 @@ class Xorshift {
   /// stream so run order does not perturb per-run randomness).
   Xorshift fork() noexcept;
 
+  /// Keyed fork: derives an independent stream from the current state and
+  /// `key` WITHOUT advancing this generator. Stream `key` is therefore
+  /// identical no matter how many other streams are forked or in which
+  /// order — the property the parallel campaign executor relies on to be
+  /// bitwise reproducible across worker counts (key = run index).
+  [[nodiscard]] Xorshift fork(std::uint64_t key) const noexcept;
+
  private:
   std::uint64_t state_;
   bool has_spare_normal_ = false;

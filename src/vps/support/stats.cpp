@@ -40,8 +40,18 @@ Histogram::Histogram(double lo, double hi, std::size_t bins)
 }
 
 void Histogram::add(double x) noexcept {
+  // A NaN/Inf sample would make the index cast below undefined behaviour;
+  // drop it but keep it visible through dropped_non_finite().
+  if (!std::isfinite(x)) {
+    ++dropped_non_finite_;
+    return;
+  }
+  // Clamp in floating point before the cast: a finite but huge sample
+  // (|frac| ~ 1e300) would also overflow the integer cast.
   const double frac = (x - lo_) / (hi_ - lo_);
-  auto idx = static_cast<std::ptrdiff_t>(frac * static_cast<double>(counts_.size()));
+  const double scaled =
+      std::clamp(frac, 0.0, 1.0) * static_cast<double>(counts_.size());
+  auto idx = static_cast<std::ptrdiff_t>(scaled);
   idx = std::clamp<std::ptrdiff_t>(idx, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
   ++counts_[static_cast<std::size_t>(idx)];
   ++total_;

@@ -30,8 +30,10 @@ class Accumulator {
   double sum_ = 0.0;
 };
 
-/// Fixed-bin histogram over [lo, hi); out-of-range samples clamp into the
-/// first/last bin so totals are conserved.
+/// Fixed-bin histogram over [lo, hi); finite out-of-range samples clamp
+/// into the first/last bin so totals are conserved. Non-finite samples
+/// (NaN/Inf) are dropped and counted separately instead of being fed into
+/// the bin-index cast (which would be undefined behaviour).
 class Histogram {
  public:
   Histogram(double lo, double hi, std::size_t bins);
@@ -39,6 +41,8 @@ class Histogram {
   [[nodiscard]] std::size_t bin_count() const noexcept { return counts_.size(); }
   [[nodiscard]] std::uint64_t count_in_bin(std::size_t i) const;
   [[nodiscard]] std::uint64_t total() const noexcept { return total_; }
+  /// Samples rejected by add() because they were NaN or infinite.
+  [[nodiscard]] std::uint64_t dropped_non_finite() const noexcept { return dropped_non_finite_; }
   [[nodiscard]] double bin_lo(std::size_t i) const;
   [[nodiscard]] double bin_hi(std::size_t i) const;
   /// ASCII rendering used by bench reports.
@@ -49,6 +53,7 @@ class Histogram {
   double hi_;
   std::vector<std::uint64_t> counts_;
   std::uint64_t total_ = 0;
+  std::uint64_t dropped_non_finite_ = 0;
 };
 
 /// Wilson score interval for a binomial proportion — used for failure-

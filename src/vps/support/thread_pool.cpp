@@ -1,0 +1,132 @@
+#include "vps/support/thread_pool.hpp"
+
+#include <exception>
+#include <utility>
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::support {
+
+ThreadPool::ThreadPool(std::size_t workers) {
+  const std::size_t n = workers == 0 ? 1 : workers;
+  queues_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) queues_.push_back(std::make_unique<WorkerQueue>());
+  threads_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    threads_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  wake_cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  ensure(static_cast<bool>(task), "ThreadPool::submit: empty task");
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ensure(!stop_, "ThreadPool::submit: pool is shutting down");
+    target = next_queue_;
+    next_queue_ = (next_queue_ + 1) % queues_.size();
+    ++queued_;
+    ++pending_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mutex);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  wake_cv_.notify_one();
+}
+
+bool ThreadPool::try_get_task(std::size_t self, std::function<void()>& out) {
+  // Own deque first (front), then steal from the back of the others so a
+  // thief and the owner contend on opposite ends.
+  {
+    WorkerQueue& q = *queues_[self];
+    std::lock_guard<std::mutex> lock(q.mutex);
+    if (!q.tasks.empty()) {
+      out = std::move(q.tasks.front());
+      q.tasks.pop_front();
+      return true;
+    }
+  }
+  for (std::size_t off = 1; off < queues_.size(); ++off) {
+    WorkerQueue& victim = *queues_[(self + off) % queues_.size()];
+    std::lock_guard<std::mutex> lock(victim.mutex);
+    if (!victim.tasks.empty()) {
+      out = std::move(victim.tasks.back());
+      victim.tasks.pop_back();
+      return true;
+    }
+  }
+  return false;
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  std::function<void()> task;
+  for (;;) {
+    if (try_get_task(self, task)) {
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        --queued_;
+      }
+      task();
+      task = nullptr;
+      bool idle;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        idle = --pending_ == 0;
+      }
+      if (idle) idle_cv_.notify_all();
+      continue;
+    }
+    std::unique_lock<std::mutex> lock(mutex_);
+    wake_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+    if (stop_ && queued_ == 0) return;
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& body) {
+  if (count == 0) return;
+  struct State {
+    std::mutex mutex;
+    std::condition_variable done;
+    std::size_t remaining;
+    std::exception_ptr error;
+  };
+  State state;
+  state.remaining = count;
+  for (std::size_t i = 0; i < count; ++i) {
+    submit([&state, &body, i] {
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        if (!state.error) state.error = std::current_exception();
+      }
+      bool last;
+      {
+        std::lock_guard<std::mutex> lock(state.mutex);
+        last = --state.remaining == 0;
+      }
+      if (last) state.done.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(state.mutex);
+  state.done.wait(lock, [&state] { return state.remaining == 0; });
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+}  // namespace vps::support

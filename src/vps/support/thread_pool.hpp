@@ -1,0 +1,66 @@
+#pragma once
+
+/// Small work-stealing thread pool for embarrassingly parallel campaign
+/// work (one scenario replay per task). Each worker owns a deque;
+/// submit() distributes round-robin, an idle worker first drains its own
+/// deque (front) and then steals from the back of a victim's deque, so
+/// uneven task durations rebalance without a central queue bottleneck.
+///
+/// The pool makes no ordering promises: callers that need deterministic
+/// results must slot task outputs by index and reduce in index order
+/// (see fault::ParallelCampaign).
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vps::support {
+
+class ThreadPool {
+ public:
+  /// Spawns `workers` threads (at least one).
+  explicit ThreadPool(std::size_t workers);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t worker_count() const noexcept { return threads_.size(); }
+
+  /// Enqueues a task. Tasks must not submit to or destroy the pool.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished.
+  void wait_idle();
+
+  /// Runs body(i) for every i in [0, count) on the pool and blocks until
+  /// all iterations finished. The first exception thrown by any iteration
+  /// is rethrown here (remaining iterations still run to completion).
+  void parallel_for(std::size_t count, const std::function<void(std::size_t)>& body);
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  bool try_get_task(std::size_t self, std::function<void()>& out);
+  void worker_loop(std::size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;  // guards sleeping/waking and the counters below
+  std::condition_variable wake_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t queued_ = 0;   // submitted, not yet popped
+  std::size_t pending_ = 0;  // submitted, not yet finished
+  std::size_t next_queue_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace vps::support

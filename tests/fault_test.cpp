@@ -420,4 +420,57 @@ TEST(CampaignTest, DiagnosticCoverageDefinition) {
   EXPECT_NEAR(r.diagnostic_coverage(), 0.8, 1e-12);
 }
 
+TEST(CampaignTest, DiagnosticCoverageCountsTimeoutsAsDangerous) {
+  // Regression: timeouts were ignored by diagnostic_coverage() while
+  // weak_spots() ranked them as dangerous, so a campaign consisting purely
+  // of hangs reported a perfect DC of 1.0.
+  CampaignResult hung;
+  hung.outcome_counts[static_cast<std::size_t>(Outcome::kTimeout)] = 10;
+  hung.runs_executed = 10;
+  EXPECT_DOUBLE_EQ(hung.diagnostic_coverage(), 0.0);
+
+  // A timeout depresses DC exactly like an SDC (both undetected-dangerous).
+  CampaignResult with_timeout;
+  with_timeout.outcome_counts[static_cast<std::size_t>(Outcome::kDetectedCorrected)] = 6;
+  with_timeout.outcome_counts[static_cast<std::size_t>(Outcome::kTimeout)] = 4;
+  with_timeout.runs_executed = 10;
+  CampaignResult with_sdc;
+  with_sdc.outcome_counts[static_cast<std::size_t>(Outcome::kDetectedCorrected)] = 6;
+  with_sdc.outcome_counts[static_cast<std::size_t>(Outcome::kSilentDataCorruption)] = 4;
+  with_sdc.runs_executed = 10;
+  EXPECT_DOUBLE_EQ(with_timeout.diagnostic_coverage(), with_sdc.diagnostic_coverage());
+  EXPECT_NEAR(with_timeout.diagnostic_coverage(), 0.6, 1e-12);
+
+  // Both accountings agree that the all-hang campaign is all-dangerous.
+  hung.records.push_back({FaultDescriptor{}, Outcome::kTimeout});
+  const auto spots = hung.weak_spots();
+  ASSERT_EQ(spots.size(), 1u);
+  EXPECT_DOUBLE_EQ(spots[0].danger_rate(), 1.0);
+}
+
+TEST(CampaignStateTest, LearnSkipsFaultTypesOutsideTheFaultSpace) {
+  // Regression: a descriptor whose type is not in the campaign's fault
+  // space was silently mapped to cell 0, corrupting the guided weights and
+  // the coverage sampling.
+  CampaignConfig cfg;
+  cfg.runs = 10;
+  cfg.location_buckets = 4;
+  cfg.strategy = Strategy::kGuided;
+  CampaignState state({FaultType::kSensorOffset, FaultType::kSensorStuck}, Time::ms(10), cfg);
+
+  FaultDescriptor foreign;
+  foreign.type = FaultType::kTaskKill;  // not offered by this fault space
+  foreign.address = 0;                  // would have hit cell 0 before the fix
+  foreign.inject_at = Time::ms(5);
+  EXPECT_FALSE(state.learn(foreign, Outcome::kHazard));
+  EXPECT_EQ(state.coverage().samples(), 0u) << "foreign fault must not be sampled";
+
+  FaultDescriptor known;
+  known.type = FaultType::kSensorStuck;
+  known.address = 1;
+  known.inject_at = Time::ms(5);
+  EXPECT_TRUE(state.learn(known, Outcome::kHazard));
+  EXPECT_EQ(state.coverage().samples(), 1u);
+}
+
 }  // namespace

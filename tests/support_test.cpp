@@ -6,6 +6,7 @@
 #include <array>
 #include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "vps/support/crc.hpp"
@@ -193,6 +194,27 @@ TEST(Stats, HistogramClampsOutOfRange) {
   EXPECT_EQ(h.total(), 3u);
   EXPECT_EQ(h.count_in_bin(0), 1u);
   EXPECT_EQ(h.count_in_bin(4), 1u);
+  EXPECT_EQ(h.count_in_bin(2), 1u);
+}
+
+TEST(Stats, HistogramDropsAndCountsNonFiniteSamples) {
+  // Regression: NaN/Inf used to reach the bin-index cast, which is
+  // undefined behaviour for values outside the target integer's range.
+  Histogram h(0.0, 10.0, 5);
+  h.add(std::nan(""));
+  h.add(std::numeric_limits<double>::infinity());
+  h.add(-std::numeric_limits<double>::infinity());
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.dropped_non_finite(), 3u);
+  // Finite but huge samples clamp into the edge bins instead of
+  // overflowing the cast.
+  h.add(1e300);
+  h.add(-1e300);
+  h.add(5.0);
+  EXPECT_EQ(h.total(), 3u);
+  EXPECT_EQ(h.dropped_non_finite(), 3u);
+  EXPECT_EQ(h.count_in_bin(4), 1u);
+  EXPECT_EQ(h.count_in_bin(0), 1u);
   EXPECT_EQ(h.count_in_bin(2), 1u);
 }
 
