@@ -13,6 +13,7 @@
 
 #include "vps/apps/caps.hpp"
 #include "vps/fault/campaign.hpp"
+#include "vps/obs/profile.hpp"
 #include "vps/support/table.hpp"
 
 using namespace vps;
@@ -68,7 +69,11 @@ int main(int argc, char** argv) {
   // Sequential baseline (the original single-thread driver).
   apps::CapsScenario scenario(apps::CapsConfig{.crash = true, .duration = sim::Time::ms(15)});
   auto t0 = std::chrono::steady_clock::now();
-  const auto sequential = fault::Campaign(scenario, base_config(runs)).run();
+  fault::CampaignResult sequential;
+  {
+    VPS_PROFILE_SCOPE("campaign.sequential");
+    sequential = fault::Campaign(scenario, base_config(runs)).run();
+  }
   const double seq_ms = ms_since(t0);
 
   support::Table table({"executor", "workers", "wall ms", "speedup", "hazards", "identical"});
@@ -84,7 +89,11 @@ int main(int argc, char** argv) {
     cfg.workers = workers;
     fault::ParallelCampaign campaign(caps_factory(), cfg);
     t0 = std::chrono::steady_clock::now();
-    const auto result = campaign.run();
+    fault::CampaignResult result;
+    {
+      VPS_PROFILE_SCOPE("campaign.parallel");
+      result = campaign.run();
+    }
     const double par_ms = ms_since(t0);
 
     const bool same = !have_reference || identical(reference, result);
@@ -104,6 +113,7 @@ int main(int argc, char** argv) {
       "Determinism contract: the parallel rows must agree bitwise with each\n"
       "other for every worker count (records, counts, coverage curve). The\n"
       "sequential baseline legitimately differs — it draws all runs from one\n"
-      "RNG stream, the parallel executor forks one stream per run index.\n");
+      "RNG stream, the parallel executor forks one stream per run index.\n\n");
+  std::printf("%s\n", obs::Profiler::instance().report().c_str());
   return 0;
 }

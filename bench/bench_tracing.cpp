@@ -1,0 +1,94 @@
+// E15 — tracing overhead. The observability layer must be effectively free
+// when disabled (the kernel pays one pointer test per scheduler action) and
+// cheap enough when enabled that traced runs stay representative. Four
+// configurations over the same kernel workload:
+//   baseline       no observer attached
+//   observer       KernelTracer attached, attribution only (no Tracer)
+//   tracer_nosink  KernelTracer -> Tracer with zero sinks (counter bump)
+//   jsonl / chrome full serialization to disk
+// EXPERIMENTS.md E15 records the measured overhead against its <2% budget
+// for the disabled case.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+
+#include "vps/obs/kernel_tracer.hpp"
+#include "vps/obs/trace.hpp"
+#include "vps/sim/kernel.hpp"
+#include "vps/sim/signal.hpp"
+
+namespace {
+
+using namespace vps;
+using namespace vps::sim;
+
+constexpr std::size_t kProcesses = 8;
+constexpr int kIterations = 2000;
+
+/// Representative mixed workload: timed waits, signal commits, event
+/// notifications — the same primitive mix bench_kernel (E3) measures.
+void build_workload(Kernel& kernel, Signal<std::uint32_t>& sig, Event& tick) {
+  for (std::size_t p = 0; p < kProcesses; ++p) {
+    kernel.spawn("worker" + std::to_string(p),
+                 [](Signal<std::uint32_t>& sig, Event& tick, std::size_t p) -> Coro {
+                   for (int i = 0; i < kIterations; ++i) {
+                     if (p == 0) {
+                       sig.write(static_cast<std::uint32_t>(i));
+                       tick.notify();
+                     }
+                     co_await delay(Time::ns(10));
+                   }
+                 }(sig, tick, p));
+  }
+}
+
+enum class Mode { kBaseline, kObserver, kTracerNoSink, kJsonl, kChrome };
+
+void run_tracing(benchmark::State& state, Mode mode) {
+  for (auto _ : state) {
+    Kernel kernel;
+    Signal<std::uint32_t> sig(kernel, "sig", 0);
+    Event tick(kernel, "tick");
+
+    obs::Tracer tracer;
+    std::unique_ptr<obs::TraceSink> sink;
+    std::unique_ptr<obs::KernelTracer> kernel_tracer;
+    if (mode != Mode::kBaseline) {
+      kernel_tracer = std::make_unique<obs::KernelTracer>(kernel);
+      if (mode != Mode::kObserver) kernel_tracer->set_tracer(&tracer);
+      if (mode == Mode::kJsonl) {
+        sink = std::make_unique<obs::JsonlSink>("bench_tracing.out.jsonl");
+      } else if (mode == Mode::kChrome) {
+        sink = std::make_unique<obs::ChromeTraceSink>("bench_tracing.out.trace.json");
+      }
+      if (sink) tracer.add_sink(*sink);
+    }
+
+    build_workload(kernel, sig, tick);
+    kernel.run();
+    state.counters["activations"] = static_cast<double>(kernel.stats().activations);
+    if (mode != Mode::kBaseline) {
+      state.counters["events"] = static_cast<double>(tracer.events());
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(kProcesses) *
+                          kIterations);
+}
+
+void BM_Tracing_Baseline(benchmark::State& state) { run_tracing(state, Mode::kBaseline); }
+void BM_Tracing_ObserverOnly(benchmark::State& state) { run_tracing(state, Mode::kObserver); }
+void BM_Tracing_TracerNoSink(benchmark::State& state) { run_tracing(state, Mode::kTracerNoSink); }
+void BM_Tracing_Jsonl(benchmark::State& state) { run_tracing(state, Mode::kJsonl); }
+void BM_Tracing_ChromeTrace(benchmark::State& state) { run_tracing(state, Mode::kChrome); }
+
+BENCHMARK(BM_Tracing_Baseline);
+BENCHMARK(BM_Tracing_ObserverOnly);
+BENCHMARK(BM_Tracing_TracerNoSink);
+BENCHMARK(BM_Tracing_Jsonl);
+BENCHMARK(BM_Tracing_ChromeTrace);
+
+}  // namespace
+
+BENCHMARK_MAIN();

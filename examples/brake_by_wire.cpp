@@ -1,9 +1,16 @@
 // Brake-by-wire: a mixed-domain ECU built from the analog (TDF) frontend,
-// the preemptive OS runtime, and alive supervision — then stressed with an
-// analog drift fault and a task crash. Shows the degradation cascade the
-// paper's error-effect simulation is meant to expose:
+// the preemptive OS runtime, alive supervision and a TLM actuator register
+// bank — then stressed through the fault-injection hub with an analog drift
+// fault and a task crash. Shows the degradation cascade the paper's
+// error-effect simulation is meant to expose:
 //   healthy -> drifted pedal (plausibility catches it) -> control task dead
 //   (alive supervision escalates to the limp-home actuator state).
+//
+// The run is fully traced through the observability layer: process
+// activations (KernelTracer), TLM writes to the actuator (TransactionProbe
+// on the Router), and the injected faults (InjectorHub spans) all land in
+//   brake_by_wire.trace.json   (load in Perfetto / chrome://tracing)
+//   brake_by_wire.trace.jsonl  (one JSON object per event)
 
 #include <algorithm>
 #include <cstdio>
@@ -11,7 +18,13 @@
 #include "vps/ams/tdf.hpp"
 #include "vps/ecu/alive_supervision.hpp"
 #include "vps/ecu/os.hpp"
+#include "vps/fault/injector.hpp"
+#include "vps/hw/memory.hpp"
+#include "vps/obs/kernel_tracer.hpp"
+#include "vps/obs/probe.hpp"
+#include "vps/obs/trace.hpp"
 #include "vps/sim/kernel.hpp"
+#include "vps/tlm/router.hpp"
 
 using namespace vps;
 using sim::Time;
@@ -19,26 +32,55 @@ using sim::Time;
 int main() {
   sim::Kernel kernel;
 
+  // --- observability: sinks + kernel tracer --------------------------------
+  obs::Tracer tracer;
+  obs::ChromeTraceSink chrome("brake_by_wire.trace.json");
+  obs::JsonlSink jsonl("brake_by_wire.trace.jsonl");
+  tracer.add_sink(chrome);
+  tracer.add_sink(jsonl);
+  obs::KernelTracer kernel_tracer(kernel);
+  kernel_tracer.set_tracer(&tracer);
+
   // --- analog pedal frontend (TDF cluster @ 1 kHz) -------------------------
-  // pedal position (0..1) -> sensor gain -> anti-alias low-pass.
+  // pedal position (0..1) -> injectable channel -> sensor gain -> low-pass.
   double pedal_position = 0.2;
+  fault::AnalogChannel pedal_channel([&pedal_position] { return pedal_position; });
   ams::TdfCluster frontend(kernel, "frontend", Time::ms(1));
-  auto& pedal = frontend.add<ams::Source>("pedal", [&](double) { return pedal_position; });
+  auto& pedal = frontend.add<ams::Source>("pedal", [&](double) { return pedal_channel.read(); });
   auto& sensor = frontend.add<ams::Gain>("sensor", 5.0, 0.0);  // 0..5 V
   auto& filter = frontend.add<ams::LowPass>("filter", 0.004);
   sensor.connect(pedal);
   filter.connect(sensor);
+
+  // --- TLM actuator register bank behind a router --------------------------
+  constexpr std::uint64_t kActuatorBase = 0x40000000;
+  constexpr std::uint64_t kTorqueReg = 0x0;  // commanded torque, Nm as u32
+  tlm::Router bus("bbw_bus", Time::ns(20));
+  hw::Memory actuator("act_regs", 256, Time::ns(50));
+  bus.map(kActuatorBase, actuator.size(), actuator.socket());
+  tlm::InitiatorSocket cpu_port("cpu_port");
+  cpu_port.bind(bus.target_socket());
+
+  obs::TransactionProbe bus_probe(kernel, "bbw_bus", 0.0, 200.0, 10);
+  bus_probe.set_tracer(&tracer);
+  bus.set_probe(&bus_probe);
 
   // --- digital side: control task + plausibility + limp-home ---------------
   ecu::OsScheduler os(kernel, "bbw_os");
   ecu::AliveSupervision wdgm(kernel, "wdgm", Time::ms(50), 2);
   const auto supervised = wdgm.add_entity("brake_control");
 
-  double brake_torque = 0.0;     // actuator command (Nm, 0..3000)
-  bool limp_home = false;        // degraded mode: constant safe braking
+  bool limp_home = false;  // degraded mode: constant safe braking
   int plausibility_trips = 0;
 
-  const auto control = os.add_task(
+  const auto command_torque = [&](double torque_nm) {
+    tlm::GenericPayload payload(tlm::Command::kWrite, kActuatorBase + kTorqueReg, 4);
+    payload.set_value_le(static_cast<std::uint64_t>(torque_nm));
+    Time delay = Time::zero();  // LT write; annotated latency is traced
+    cpu_port.b_transport(payload, delay);
+  };
+
+  (void)os.add_task(
       {.name = "brake_control",
        .period = Time::ms(10),
        .wcet = Time::ms(2),
@@ -51,35 +93,60 @@ int main() {
            ++plausibility_trips;
            return;  // hold last command
          }
-         brake_torque = std::clamp(volts / 5.0, 0.0, 1.0) * 3000.0;
+         command_torque(std::clamp(volts / 5.0, 0.0, 1.0) * 3000.0);
        }});
 
   wdgm.set_on_failure([&](ecu::AliveSupervision::EntityId) {
     limp_home = true;
-    brake_torque = 900.0;  // limp-home: moderate constant braking
+    command_torque(900.0);  // limp-home: moderate constant braking
   });
 
-  // --- scenario script -------------------------------------------------------
-  kernel.spawn("scenario", [](sim::Kernel& k, double& pedal_pos, ams::Gain& sensor,
-                              ecu::OsScheduler& os, ecu::TaskId ctrl) -> sim::Coro {
+  // --- fault injection through the hub (traced as spans) -------------------
+  fault::InjectorHub hub(kernel);
+  hub.bind_os(os);
+  hub.bind_sensor(pedal_channel);
+  hub.set_tracer(&tracer);
+
+  // The channel sits before the 5x sensor gain, so a 0.4 offset in pedal
+  // units is the same 2 V drift the cascade story needs; 1.8 is the severe
+  // 9 V drift that violates plausibility.
+  fault::FaultDescriptor drift;
+  drift.id = 1;
+  drift.type = fault::FaultType::kSensorOffset;
+  drift.persistence = fault::Persistence::kPermanent;
+  drift.inject_at = Time::ms(600);
+  drift.magnitude = 0.4;
+  drift.location = "pedal_channel";
+  hub.schedule(drift);
+
+  fault::FaultDescriptor severe = drift;
+  severe.id = 2;
+  severe.inject_at = Time::ms(900);
+  severe.magnitude = 1.8;
+  hub.schedule(severe);
+
+  fault::FaultDescriptor crash;
+  crash.id = 3;
+  crash.type = fault::FaultType::kTaskKill;
+  crash.persistence = fault::Persistence::kPermanent;
+  crash.inject_at = Time::ms(1200);
+  crash.address = 0;  // the control task
+  crash.location = "brake_control";
+  hub.schedule(crash);
+
+  // --- scenario: only the driver action remains scripted -------------------
+  kernel.spawn("scenario", [](double& pedal_pos) -> sim::Coro {
     co_await sim::delay(Time::ms(300));
     pedal_pos = 0.6;  // driver brakes
-    co_await sim::delay(Time::ms(300));
-    sensor.set_offset(2.0);  // analog drift fault in the sensor ASIC
-    co_await sim::delay(Time::ms(300));
-    sensor.set_offset(9.0);  // severe drift: pushes past the plausible range
-    co_await sim::delay(Time::ms(300));
-    os.kill_task(ctrl);  // control task crashes entirely
-    (void)k;
-  }(kernel, pedal_position, sensor, os, control));
+  }(pedal_position));
 
   std::printf("== brake-by-wire degradation cascade ==\n\n");
   std::printf("%-8s %-10s %-12s %-12s %s\n", "t [ms]", "pedal", "sensor [V]", "torque [Nm]",
               "mode");
   for (int t = 100; t <= 1600; t += 100) {
     kernel.run(Time::ms(static_cast<std::uint64_t>(t)));
-    std::printf("%-8d %-10.2f %-12.2f %-12.0f %s\n", t, pedal_position, filter.output(),
-                brake_torque,
+    std::printf("%-8d %-10.2f %-12.2f %-12u %s\n", t, pedal_position, filter.output(),
+                actuator.peek32(kTorqueReg),
                 limp_home                 ? "LIMP-HOME (alive supervision)"
                 : plausibility_trips > 0  ? "plausibility holding last value"
                                           : "normal");
@@ -88,12 +155,24 @@ int main() {
   std::printf("\nplausibility trips: %d, supervision failures: %llu, deadline misses: %llu\n",
               plausibility_trips, static_cast<unsigned long long>(wdgm.failures()),
               static_cast<unsigned long long>(os.total_deadline_misses()));
+  std::printf("faults applied: %llu, actuator writes: %llu (mean latency %.0f ns)\n",
+              static_cast<unsigned long long>(hub.applied_count()),
+              static_cast<unsigned long long>(bus_probe.transactions()),
+              bus_probe.latency().mean());
   std::printf(
       "\nThe cascade the campaign would classify: moderate drift -> wrong-but-\n"
       "plausible torque (silent data corruption at system level!); severe\n"
       "drift -> plausibility check holds the last safe command (detected);\n"
       "task death -> alive supervision escalates to limp-home (detected,\n"
       "degraded). Exactly the error-propagation / protection-layering story\n"
-      "of the paper's Sec. 3.4.\n");
+      "of the paper's Sec. 3.4.\n\n");
+
+  std::printf("%s\n", kernel_tracer.report(8).c_str());
+  tracer.flush();
+  chrome.close();
+  std::printf("trace: brake_by_wire.trace.json (%llu events, Perfetto-loadable), "
+              "brake_by_wire.trace.jsonl (%llu lines)\n",
+              static_cast<unsigned long long>(chrome.events_written()),
+              static_cast<unsigned long long>(jsonl.lines_written()));
   return 0;
 }

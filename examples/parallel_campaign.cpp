@@ -9,6 +9,7 @@
 #include "vps/apps/caps.hpp"
 #include "vps/coverage/coverage.hpp"
 #include "vps/fault/campaign.hpp"
+#include "vps/obs/campaign_monitor.hpp"
 
 using namespace vps;
 
@@ -30,6 +31,11 @@ int main() {
   cfg.location_buckets = 8;
   cfg.workers = 4;
   fault::ParallelCampaign campaign(factory, cfg);
+  // Live progress: throttled runs/s + coverage lines while batches complete.
+  obs::ProgressReporter::Options rep_opts;
+  rep_opts.min_interval_seconds = 0.5;
+  obs::ProgressReporter reporter(rep_opts);
+  campaign.set_monitor(&reporter);
   const auto result = campaign.run();
   std::printf("%s\n", result.render().c_str());
   std::printf("weak spots:\n%s\n", result.render_weak_spots().c_str());

@@ -200,7 +200,7 @@ Observation CapsScenario::run(const FaultDescriptor* fault_in, std::uint64_t see
 
   // Deployment monitor.
   Time deploy_time = Time::max();
-  airbag.gpio().out().set_commit_hook([&](const std::uint32_t& v) {
+  airbag.gpio().out().add_commit_hook([&](const std::uint32_t& v) {
     if (v != 0 && deploy_time == Time::max()) deploy_time = kernel.now();
   });
 

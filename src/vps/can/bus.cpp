@@ -1,6 +1,7 @@
 #include "vps/can/bus.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "vps/support/ensure.hpp"
 
@@ -8,6 +9,16 @@ namespace vps::can {
 
 using support::ensure;
 using sim::Time;
+
+namespace {
+
+std::string frame_label(const CanFrame& frame) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "can:0x%03x", frame.id);
+  return buf;
+}
+
+}  // namespace
 
 CanBus::CanBus(sim::Kernel& kernel, std::string name, std::uint64_t bitrate_bps)
     : Module(kernel, std::move(name)),
@@ -70,6 +81,10 @@ void CanBus::bump_tx_error(CanNode& node) {
     node.state_ = NodeState::kBusOff;
     ++stats_.bus_off_events;
     node.tx_queue_.clear();
+    if (probe_ != nullptr) {
+      probe_->mark("can", "bus_off",
+                   {obs::TraceArg::number("node", static_cast<double>(node.index_))});
+    }
   } else if (node.tec_ > 127) {
     node.state_ = NodeState::kErrorPassive;
   }
@@ -104,6 +119,11 @@ sim::Coro CanBus::run() {
 
     if (corrupted) {
       ++stats_.corrupted_frames;
+      if (probe_ != nullptr) {
+        probe_->mark("can", "crc_error:" + frame_label(frame).substr(4),
+                     {obs::TraceArg::number("id", static_cast<double>(frame.id)),
+                      obs::TraceArg::number("node", static_cast<double>(winner->index_))});
+      }
       // CRC error: receivers signal an error frame, the transmitter backs
       // off and retransmits. Error frame + suspend ≈ 17..31 bit times.
       for (CanNode* node : nodes_) {
@@ -126,6 +146,14 @@ sim::Coro CanBus::run() {
         node->on_frame(frame);
       }
       ++stats_.frames_delivered;
+      if (probe_ != nullptr) {
+        // The frame occupied the wire for frame_time ending now.
+        const Time wire = frame_time(frame);
+        probe_->record("can", frame_label(frame), probe_->kernel().now() - wire, wire,
+                       {obs::TraceArg::number("id", static_cast<double>(frame.id)),
+                        obs::TraceArg::number("dlc", static_cast<double>(frame.dlc)),
+                        obs::TraceArg::number("node", static_cast<double>(winner->index_))});
+      }
     }
     frame_done_.notify();
   }

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "vps/can/frame.hpp"
+#include "vps/obs/probe.hpp"
 #include "vps/sim/kernel.hpp"
 #include "vps/sim/module.hpp"
 #include "vps/support/rng.hpp"
@@ -68,6 +69,12 @@ class CanBus final : public sim::Module {
   }
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] std::size_t pending_frames() const noexcept;
+
+  /// Attaches a frame probe: each delivered frame becomes a latency sample
+  /// and trace span covering its wire time; corruption and bus-off events
+  /// become instant marks. nullptr detaches.
+  void set_probe(obs::TransactionProbe* probe) noexcept { probe_ = probe; }
+  [[nodiscard]] obs::TransactionProbe* probe() const noexcept { return probe_; }
   /// Fired after every completed (delivered or failed) frame slot.
   [[nodiscard]] sim::Event& frame_done_event() noexcept { return frame_done_; }
 
@@ -94,6 +101,7 @@ class CanBus final : public sim::Module {
   std::vector<CanNode*> nodes_;
   sim::Event submitted_;
   sim::Event frame_done_;
+  obs::TransactionProbe* probe_ = nullptr;
   Stats stats_;
   double error_rate_ = 0.0;
   bool force_error_ = false;

@@ -1,11 +1,23 @@
 #include "vps/can/lin.hpp"
 
+#include <cstdio>
+
 #include "vps/support/ensure.hpp"
 
 namespace vps::can {
 
 using sim::Time;
 using support::ensure;
+
+namespace {
+
+std::string slot_label(const char* prefix, std::uint8_t frame_id) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%s0x%02x", prefix, frame_id);
+  return buf;
+}
+
+}  // namespace
 
 std::uint8_t lin_pid(std::uint8_t id) {
   ensure(id <= kMaxLinId, "lin_pid: identifier exceeds 6 bits / reserved range");
@@ -80,6 +92,10 @@ sim::Coro LinBus::master_loop() {
     auto response = slot.publisher->publish(slot.frame_id);
     if (!response.has_value()) {
       ++stats_.silent_slots;  // no response: the slot elapses empty
+      if (probe_ != nullptr) {
+        probe_->mark("lin", slot_label("silent:", slot.frame_id),
+                     {obs::TraceArg::number("id", static_cast<double>(slot.frame_id))});
+      }
       continue;
     }
     ensure(response->size() == slot.expected_bytes,
@@ -99,9 +115,20 @@ sim::Coro LinBus::master_loop() {
 
     if (lin_checksum(pid, *response) != checksum) {
       ++stats_.checksum_errors;  // receivers drop the response; no retry
+      if (probe_ != nullptr) {
+        probe_->mark("lin", slot_label("checksum_error:", slot.frame_id),
+                     {obs::TraceArg::number("id", static_cast<double>(slot.frame_id))});
+      }
       continue;
     }
     ++stats_.responses_delivered;
+    if (probe_ != nullptr) {
+      const Time wire = slot_time(slot);
+      probe_->record("lin", slot_label("lin:", slot.frame_id), probe_->kernel().now() - wire,
+                     wire,
+                     {obs::TraceArg::number("id", static_cast<double>(slot.frame_id)),
+                      obs::TraceArg::number("bytes", static_cast<double>(slot.expected_bytes))});
+    }
     for (LinNode* node : nodes_) {
       if (node != slot.publisher) node->on_frame(slot.frame_id, *response);
     }

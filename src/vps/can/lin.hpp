@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "vps/obs/probe.hpp"
 #include "vps/sim/kernel.hpp"
 #include "vps/sim/module.hpp"
 #include "vps/support/rng.hpp"
@@ -68,6 +69,11 @@ class LinBus final : public sim::Module {
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
   [[nodiscard]] sim::Time slot_time(const Slot& slot) const;
 
+  /// Attaches a frame probe: delivered responses become spans over the slot
+  /// time; checksum errors and silent slots become marks. nullptr detaches.
+  void set_probe(obs::TransactionProbe* probe) noexcept { probe_ = probe; }
+  [[nodiscard]] obs::TransactionProbe* probe() const noexcept { return probe_; }
+
   // --- fault injection -----------------------------------------------------
   /// Corrupts each response independently with this probability.
   void set_error_rate(double probability, std::uint64_t seed = 1);
@@ -80,6 +86,7 @@ class LinBus final : public sim::Module {
   std::vector<LinNode*> nodes_;
   std::vector<Slot> schedule_;
   sim::Event schedule_changed_;
+  obs::TransactionProbe* probe_ = nullptr;
   Stats stats_;
   double error_rate_ = 0.0;
   support::Xorshift rng_;

@@ -1,6 +1,7 @@
 #include "vps/fault/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
 
 #include "vps/support/ensure.hpp"
@@ -236,6 +237,25 @@ bool CampaignState::learn(const FaultDescriptor& fault, Outcome outcome) {
   return true;
 }
 
+obs::CampaignProgress progress_snapshot(const std::string& name, const CampaignResult& result,
+                                        std::size_t runs_total, double coverage,
+                                        double wall_seconds) {
+  obs::CampaignProgress progress;
+  progress.campaign = name;
+  progress.runs_done = result.runs_executed;
+  progress.runs_total = runs_total;
+  progress.wall_seconds = wall_seconds;
+  progress.runs_per_second =
+      wall_seconds > 0.0 ? static_cast<double>(result.runs_executed) / wall_seconds : 0.0;
+  progress.coverage = coverage;
+  progress.hazards = result.count(Outcome::kHazard);
+  for (std::size_t i = 0; i < kOutcomeCount; ++i) {
+    progress.outcome_counts.emplace_back(to_string(static_cast<Outcome>(i)),
+                                         result.outcome_counts[i]);
+  }
+  return progress;
+}
+
 Campaign::Campaign(Scenario& scenario, CampaignConfig config)
     : scenario_(scenario),
       config_(config),
@@ -243,6 +263,10 @@ Campaign::Campaign(Scenario& scenario, CampaignConfig config)
       state_(scenario.fault_types(), scenario.duration(), config) {}
 
 CampaignResult Campaign::run() {
+  const auto started = std::chrono::steady_clock::now();
+  const auto elapsed = [&started] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  };
   CampaignResult result;
   if (!golden_valid_) {
     golden_ = scenario_.run(nullptr, config_.seed);
@@ -262,6 +286,10 @@ CampaignResult Campaign::run() {
     if (outcome == Outcome::kHazard && result.faults_to_first_hazard == 0) {
       result.faults_to_first_hazard = i + 1;
     }
+    if (monitor_ != nullptr) {
+      monitor_->on_progress(progress_snapshot(scenario_.name(), result, config_.runs,
+                                              state_.coverage().coverage(), elapsed()));
+    }
     if (config_.stop_after_hazards != 0 &&
         result.count(Outcome::kHazard) >= config_.stop_after_hazards) {
       break;
@@ -270,6 +298,10 @@ CampaignResult Campaign::run() {
   result.final_coverage = state_.coverage().coverage();
   result.hazard_probability =
       support::wilson_interval(result.count(Outcome::kHazard), result.runs_executed);
+  if (monitor_ != nullptr) {
+    monitor_->on_complete(progress_snapshot(scenario_.name(), result, config_.runs,
+                                            result.final_coverage, elapsed()));
+  }
   return result;
 }
 

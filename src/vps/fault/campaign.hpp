@@ -32,6 +32,7 @@
 
 #include "vps/coverage/coverage.hpp"
 #include "vps/fault/scenario.hpp"
+#include "vps/obs/campaign_monitor.hpp"
 #include "vps/support/rng.hpp"
 #include "vps/support/stats.hpp"
 
@@ -154,6 +155,13 @@ class CampaignState {
   std::uint64_t next_fault_id_ = 1;
 };
 
+/// Builds the obs-layer progress snapshot both campaign drivers report
+/// through their monitor. `wall_seconds` is host time since run() started.
+[[nodiscard]] obs::CampaignProgress progress_snapshot(const std::string& name,
+                                                      const CampaignResult& result,
+                                                      std::size_t runs_total, double coverage,
+                                                      double wall_seconds);
+
 class Campaign {
  public:
   Campaign(Scenario& scenario, CampaignConfig config);
@@ -163,6 +171,11 @@ class Campaign {
   /// The golden observation the classification compares against.
   [[nodiscard]] const Observation& golden() const noexcept { return golden_; }
 
+  /// Attaches a progress monitor: on_progress after every run, on_complete
+  /// once at the end of run(). The monitor must outlive run(); nullptr
+  /// detaches.
+  void set_monitor(obs::CampaignMonitor* monitor) noexcept { monitor_ = monitor; }
+
  private:
   Scenario& scenario_;
   CampaignConfig config_;
@@ -170,6 +183,7 @@ class Campaign {
   Observation golden_;
   bool golden_valid_ = false;
   CampaignState state_;
+  obs::CampaignMonitor* monitor_ = nullptr;
 };
 
 /// Builds a fresh Scenario instance. Called concurrently from pool threads
@@ -194,12 +208,18 @@ class ParallelCampaign {
   /// after the first run()).
   [[nodiscard]] const Observation& golden() const noexcept { return golden_; }
 
+  /// Attaches a progress monitor: on_progress at every batch barrier (from
+  /// the coordinator thread), on_complete once at the end of run(). The
+  /// monitor must outlive run(); nullptr detaches.
+  void set_monitor(obs::CampaignMonitor* monitor) noexcept { monitor_ = monitor; }
+
  private:
   ScenarioFactory factory_;
   CampaignConfig config_;
   std::unique_ptr<Scenario> coordinator_;  // golden run + fault-space probe
   Observation golden_;
   bool golden_valid_ = false;
+  obs::CampaignMonitor* monitor_ = nullptr;
 };
 
 }  // namespace vps::fault

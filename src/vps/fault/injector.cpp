@@ -12,12 +12,35 @@ void InjectorHub::revert_later(std::function<void()> revert, Time delay) {
 }
 
 bool InjectorHub::apply(const FaultDescriptor& fault) {
+  const bool applied = apply_effect(fault);
+  if (applied) {
+    ++applied_;
+  } else {
+    ++skipped_;
+  }
+  if (tracer_ != nullptr) {
+    const std::string name = std::string(to_string(fault.type)) + "#" + std::to_string(fault.id);
+    std::vector<obs::TraceArg> args = {
+        obs::TraceArg::str("persistence", to_string(fault.persistence)),
+        obs::TraceArg::number("address", static_cast<double>(fault.address)),
+        obs::TraceArg::number("magnitude", fault.magnitude),
+        obs::TraceArg::number("bit", fault.bit)};
+    if (!fault.location.empty()) args.push_back(obs::TraceArg::str("location", fault.location));
+    if (applied) {
+      tracer_->complete("fault", name, kernel_.now(), fault.duration, "faults", std::move(args));
+    } else {
+      tracer_->instant("fault", "skipped:" + name, kernel_.now(), "faults", std::move(args));
+    }
+  }
+  return applied;
+}
+
+bool InjectorHub::apply_effect(const FaultDescriptor& fault) {
   switch (fault.type) {
     case FaultType::kMemoryBitFlip: {
       if (platform_ == nullptr) break;
       const auto addr = fault.address % platform_->ram().size();
       platform_->ram().flip_bit(addr, fault.bit % 8);
-      ++applied_;
       return true;
     }
     case FaultType::kMemoryCodewordFlip: {
@@ -29,20 +52,17 @@ bool InjectorHub::apply(const FaultDescriptor& fault) {
         const auto word = (fault.address / 4) % (platform_->ram().size() / 4);
         platform_->ram().flip_codeword_bit(word, fault.bit % hw::kCodewordBits);
       }
-      ++applied_;
       return true;
     }
     case FaultType::kRegisterBitFlip: {
       if (platform_ == nullptr) break;
       const int reg = 1 + static_cast<int>(fault.address % (hw::kRegisterCount - 1));
       platform_->cpu().corrupt_register(reg, 1u << (fault.bit % 32));
-      ++applied_;
       return true;
     }
     case FaultType::kPcCorruption: {
       if (platform_ == nullptr) break;
       platform_->cpu().corrupt_pc(1u << (fault.bit % 16));
-      ++applied_;
       return true;
     }
     case FaultType::kSignalStuck: {
@@ -54,7 +74,6 @@ bool InjectorHub::apply(const FaultDescriptor& fault) {
         auto* gpio = &platform_->gpio();
         revert_later([gpio] { gpio->in().force(0); }, fault.duration);
       }
-      ++applied_;
       return true;
     }
     case FaultType::kBusErrorInjection: {
@@ -62,7 +81,6 @@ bool InjectorHub::apply(const FaultDescriptor& fault) {
       // A corrupted bus transaction: the payload reached memory poisoned.
       const auto addr = (fault.address % platform_->ram().size()) & ~3ULL;
       platform_->ram().flip_bit(addr, fault.bit % 8);
-      ++applied_;
       return true;
     }
     case FaultType::kCanFrameCorruption: {
@@ -76,7 +94,6 @@ bool InjectorHub::apply(const FaultDescriptor& fault) {
           revert_later([bus] { bus->set_error_rate(0.0); }, fault.duration);
         }
       }
-      ++applied_;
       return true;
     }
     case FaultType::kSensorOffset:
@@ -91,14 +108,12 @@ bool InjectorHub::apply(const FaultDescriptor& fault) {
       if (fault.persistence != Persistence::kPermanent && fault.duration > Time::zero()) {
         revert_later([&ch] { ch.clear_faults(); }, fault.duration);
       }
-      ++applied_;
       return true;
     }
     case FaultType::kSupplyBrownout: {
       if (platform_ == nullptr) break;
       // Undervoltage transient: the supply monitor forces a cold reset.
       platform_->reset();
-      ++applied_;
       return true;
     }
     case FaultType::kTaskKill: {
@@ -109,7 +124,6 @@ bool InjectorHub::apply(const FaultDescriptor& fault) {
         auto* os = os_;
         revert_later([os, task] { os->revive_task(task); }, fault.duration);
       }
-      ++applied_;
       return true;
     }
     case FaultType::kExecutionSlowdown: {
@@ -121,11 +135,9 @@ bool InjectorHub::apply(const FaultDescriptor& fault) {
         auto* os = os_;
         revert_later([os, task] { os->set_execution_factor(task, 1.0); }, fault.duration);
       }
-      ++applied_;
       return true;
     }
   }
-  ++skipped_;
   return false;
 }
 

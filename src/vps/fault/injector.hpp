@@ -13,6 +13,7 @@
 #include "vps/ecu/os.hpp"
 #include "vps/ecu/platform.hpp"
 #include "vps/fault/descriptor.hpp"
+#include "vps/obs/trace.hpp"
 
 namespace vps::fault {
 
@@ -74,10 +75,19 @@ class InjectorHub {
   [[nodiscard]] std::uint64_t applied_count() const noexcept { return applied_; }
   [[nodiscard]] std::uint64_t skipped_count() const noexcept { return skipped_; }
 
+  /// Attaches a tracer: applied faults become complete spans on the "faults"
+  /// track (span length = the fault's active window; transient faults are
+  /// zero-length), skipped descriptors become instants. nullptr detaches.
+  void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
+
   /// Sites available on this hub (used by campaigns to build fault spaces).
   [[nodiscard]] std::vector<FaultType> supported_types() const;
 
  private:
+  /// Pure effect application; returns false when the type has no binding.
+  /// Accounting and tracing live in apply().
+  bool apply_effect(const FaultDescriptor& fault);
   void revert_later(std::function<void()> revert, sim::Time delay);
 
   sim::Kernel& kernel_;
@@ -85,6 +95,7 @@ class InjectorHub {
   can::CanBus* can_bus_ = nullptr;
   ecu::OsScheduler* os_ = nullptr;
   std::vector<AnalogChannel*> sensors_;
+  obs::Tracer* tracer_ = nullptr;
   std::uint64_t applied_ = 0;
   std::uint64_t skipped_ = 0;
 };

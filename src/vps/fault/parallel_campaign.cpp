@@ -1,4 +1,5 @@
 #include <algorithm>
+#include <chrono>
 #include <mutex>
 #include <utility>
 #include <vector>
@@ -59,6 +60,10 @@ ParallelCampaign::ParallelCampaign(ScenarioFactory factory, CampaignConfig confi
 }
 
 CampaignResult ParallelCampaign::run() {
+  const auto started = std::chrono::steady_clock::now();
+  const auto elapsed = [&started] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  };
   if (!golden_valid_) {
     coordinator_ = factory_();
     ensure(coordinator_ != nullptr, "ParallelCampaign: scenario factory returned null");
@@ -120,11 +125,19 @@ CampaignResult ParallelCampaign::run() {
       }
     }
     next_run += n;
+    if (monitor_ != nullptr) {
+      monitor_->on_progress(progress_snapshot(coordinator_->name(), result, config_.runs,
+                                              state.coverage().coverage(), elapsed()));
+    }
   }
 
   result.final_coverage = state.coverage().coverage();
   result.hazard_probability =
       support::wilson_interval(result.count(Outcome::kHazard), result.runs_executed);
+  if (monitor_ != nullptr) {
+    monitor_->on_complete(progress_snapshot(coordinator_->name(), result, config_.runs,
+                                            result.final_coverage, elapsed()));
+  }
   return result;
 }
 

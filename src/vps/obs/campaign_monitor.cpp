@@ -1,0 +1,56 @@
+#include "vps/obs/campaign_monitor.hpp"
+
+namespace vps::obs {
+
+ProgressReporter::ProgressReporter(Options options) : options_(options) {}
+
+void ProgressReporter::on_progress(const CampaignProgress& progress) {
+  ++progress_reports_;
+  if (options_.tracer != nullptr) {
+    options_.tracer->counter(
+        "campaign", progress.campaign.empty() ? "campaign" : progress.campaign,
+        sim::Time::ps(progress.runs_done),
+        {TraceArg::number("runs_done", static_cast<double>(progress.runs_done)),
+         TraceArg::number("hazards", static_cast<double>(progress.hazards)),
+         TraceArg::number("coverage", progress.coverage)});
+  }
+  if (!options_.print) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (printed_before_ &&
+      std::chrono::duration<double>(now - last_print_).count() < options_.min_interval_seconds) {
+    return;
+  }
+  last_print_ = now;
+  printed_before_ = true;
+  emit(progress, /*final=*/false);
+}
+
+void ProgressReporter::on_complete(const CampaignProgress& progress) {
+  ++complete_reports_;
+  if (options_.print) emit(progress, /*final=*/true);
+}
+
+void ProgressReporter::emit(const CampaignProgress& progress, bool final) {
+  std::FILE* stream = options_.stream != nullptr ? options_.stream : stdout;
+  std::fprintf(stream, "[%s] %s%llu/%llu runs, %.1f runs/s, coverage %.1f%%, hazards %llu",
+               progress.campaign.empty() ? "campaign" : progress.campaign.c_str(),
+               final ? "done: " : "",
+               static_cast<unsigned long long>(progress.runs_done),
+               static_cast<unsigned long long>(progress.runs_total),
+               progress.runs_per_second, progress.coverage * 100.0,
+               static_cast<unsigned long long>(progress.hazards));
+  if (final && !progress.outcome_counts.empty()) {
+    std::fprintf(stream, " (");
+    bool first = true;
+    for (const auto& [name, count] : progress.outcome_counts) {
+      if (count == 0) continue;
+      std::fprintf(stream, "%s%s=%llu", first ? "" : ", ", name.c_str(),
+                   static_cast<unsigned long long>(count));
+      first = false;
+    }
+    std::fprintf(stream, ")");
+  }
+  std::fprintf(stream, "\n");
+}
+
+}  // namespace vps::obs

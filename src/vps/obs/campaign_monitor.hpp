@@ -1,0 +1,77 @@
+#pragma once
+
+/// Campaign-level observability: a monitor interface the fault-injection
+/// drivers (fault::Campaign / fault::ParallelCampaign) report into while a
+/// campaign executes, plus a throttled stdout/trace progress reporter.
+///
+/// The progress snapshot is plain data (no fault-layer types) so obs stays
+/// below fault in the module graph: fault depends on obs, never the
+/// reverse.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "vps/obs/trace.hpp"
+
+namespace vps::obs {
+
+/// Point-in-time view of a running campaign.
+struct CampaignProgress {
+  std::string campaign;        ///< campaign/scenario label
+  std::uint64_t runs_done = 0;
+  std::uint64_t runs_total = 0;
+  double wall_seconds = 0.0;   ///< host time since the campaign started
+  double runs_per_second = 0.0;
+  double coverage = 0.0;       ///< fault-space coverage in [0, 1]
+  std::uint64_t hazards = 0;
+  /// Classification tallies, e.g. {"no_effect", 120}, {"hazard", 3}.
+  std::vector<std::pair<std::string, std::uint64_t>> outcome_counts;
+};
+
+/// Receives campaign progress callbacks on the driver's thread (sequential:
+/// after each run; parallel: at batch barriers, from the coordinator).
+class CampaignMonitor {
+ public:
+  virtual ~CampaignMonitor() = default;
+  virtual void on_progress(const CampaignProgress& progress) = 0;
+  /// Always called once with the final snapshot when the campaign ends.
+  virtual void on_complete(const CampaignProgress& progress) = 0;
+};
+
+/// Standard monitor: prints a throttled one-line progress report and/or
+/// emits "campaign" counter events into a Tracer. Counter timestamps derive
+/// from runs_done (one picosecond per run) — campaigns span many disjoint
+/// kernel instances, so run count is the only deterministic clock available.
+class ProgressReporter final : public CampaignMonitor {
+ public:
+  struct Options {
+    double min_interval_seconds = 1.0;  ///< wall-clock gap between printed lines
+    bool print = true;
+    Tracer* tracer = nullptr;
+    std::FILE* stream = nullptr;  ///< nullptr means stdout
+  };
+
+  ProgressReporter() : ProgressReporter(Options()) {}
+  explicit ProgressReporter(Options options);
+
+  void on_progress(const CampaignProgress& progress) override;
+  void on_complete(const CampaignProgress& progress) override;
+
+  [[nodiscard]] std::uint64_t progress_reports() const noexcept { return progress_reports_; }
+  [[nodiscard]] std::uint64_t complete_reports() const noexcept { return complete_reports_; }
+
+ private:
+  void emit(const CampaignProgress& progress, bool final);
+
+  Options options_;
+  std::chrono::steady_clock::time_point last_print_;
+  bool printed_before_ = false;
+  std::uint64_t progress_reports_ = 0;
+  std::uint64_t complete_reports_ = 0;
+};
+
+}  // namespace vps::obs

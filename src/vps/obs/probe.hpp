@@ -1,0 +1,74 @@
+#pragma once
+
+/// Transaction/frame probe attached to interconnect models (tlm::Router,
+/// can::CanBus, can::LinBus). The owning model calls record() per completed
+/// transaction with its simulated begin time and latency; the probe keeps
+/// aggregate latency statistics (support::Accumulator + Histogram) and, when
+/// a Tracer is attached, emits a complete span per transaction.
+///
+/// The probe carries the sim::Kernel reference so that models without one
+/// (the Router decodes addresses, it does not keep time) can still stamp
+/// spans against simulated time.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vps/obs/trace.hpp"
+#include "vps/sim/kernel.hpp"
+#include "vps/support/stats.hpp"
+
+namespace vps::obs {
+
+class TransactionProbe {
+ public:
+  /// `track` names the Perfetto lane for this probe's spans. The latency
+  /// histogram spans [hist_lo_ns, hist_hi_ns) nanoseconds.
+  TransactionProbe(sim::Kernel& kernel, std::string track, double hist_lo_ns = 0.0,
+                   double hist_hi_ns = 1000.0, std::size_t bins = 20)
+      : kernel_(kernel), track_(std::move(track)), latency_hist_(hist_lo_ns, hist_hi_ns, bins) {}
+
+  void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+  [[nodiscard]] sim::Kernel& kernel() const noexcept { return kernel_; }
+  [[nodiscard]] const std::string& track() const noexcept { return track_; }
+
+  /// Records one completed transaction: a span [begin, begin + latency).
+  void record(const char* category, std::string name, sim::Time begin, sim::Time latency,
+              std::vector<TraceArg> args = {}) {
+    ++transactions_;
+    const double latency_ns = static_cast<double>(latency.picoseconds()) / 1000.0;
+    latency_.add(latency_ns);
+    latency_hist_.add(latency_ns);
+    if (tracer_ != nullptr) {
+      tracer_->complete(category, std::move(name), begin, latency, track_, std::move(args));
+    }
+  }
+
+  /// Records a point occurrence (decode error, corrupted frame, bus-off) at
+  /// the current simulated time.
+  void mark(const char* category, std::string name, std::vector<TraceArg> args = {}) {
+    ++marks_;
+    if (tracer_ != nullptr) {
+      tracer_->instant(category, std::move(name), kernel_.now(), track_, std::move(args));
+    }
+  }
+
+  [[nodiscard]] std::uint64_t transactions() const noexcept { return transactions_; }
+  [[nodiscard]] std::uint64_t marks() const noexcept { return marks_; }
+  /// Latency statistics in nanoseconds.
+  [[nodiscard]] const support::Accumulator& latency() const noexcept { return latency_; }
+  [[nodiscard]] const support::Histogram& latency_histogram() const noexcept {
+    return latency_hist_;
+  }
+
+ private:
+  sim::Kernel& kernel_;
+  std::string track_;
+  Tracer* tracer_ = nullptr;
+  std::uint64_t transactions_ = 0;
+  std::uint64_t marks_ = 0;
+  support::Accumulator latency_;
+  support::Histogram latency_hist_;
+};
+
+}  // namespace vps::obs

@@ -1,0 +1,64 @@
+#include "vps/obs/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "vps/support/table.hpp"
+
+namespace vps::obs {
+
+Profiler& Profiler::instance() {
+  static Profiler profiler;
+  return profiler;
+}
+
+void Profiler::add_sample(const char* name, std::uint64_t ns) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ProfileEntry& entry = entries_[name];
+  if (entry.name.empty()) entry.name = name;
+  ++entry.calls;
+  entry.total_ns += ns;
+  entry.max_ns = std::max(entry.max_ns, ns);
+}
+
+std::vector<ProfileEntry> Profiler::entries() const {
+  std::vector<ProfileEntry> out;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    out.reserve(entries_.size());
+    for (const auto& [name, entry] : entries_) out.push_back(entry);
+  }
+  std::sort(out.begin(), out.end(), [](const ProfileEntry& a, const ProfileEntry& b) {
+    if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+    return a.name < b.name;
+  });
+  return out;
+}
+
+std::string Profiler::report() const {
+  support::Table table({"scope", "calls", "total ms", "mean us", "max us"});
+  char buf[64];
+  for (const ProfileEntry& entry : entries()) {
+    std::vector<std::string> row;
+    row.push_back(entry.name);
+    row.push_back(std::to_string(entry.calls));
+    std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(entry.total_ns) / 1e6);
+    row.emplace_back(buf);
+    const double mean_us =
+        entry.calls == 0 ? 0.0
+                         : static_cast<double>(entry.total_ns) / static_cast<double>(entry.calls) / 1e3;
+    std::snprintf(buf, sizeof buf, "%.3f", mean_us);
+    row.emplace_back(buf);
+    std::snprintf(buf, sizeof buf, "%.3f", static_cast<double>(entry.max_ns) / 1e3);
+    row.emplace_back(buf);
+    table.add_row(std::move(row));
+  }
+  return "host-time profile (wall clock)\n" + table.render();
+}
+
+void Profiler::reset() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+}
+
+}  // namespace vps::obs

@@ -1,0 +1,80 @@
+#pragma once
+
+/// Wall-clock (host-time) profiling for the bench harnesses: answers "where
+/// does host time go" for E3/E14/E15. This is deliberately separate from the
+/// trace sinks — trace files carry simulated time only (determinism), the
+/// profiler carries host time only (performance).
+///
+/// Usage:
+///   void Campaign::run() {
+///     VPS_PROFILE_SCOPE("campaign.run");
+///     ...
+///   }
+///   ...
+///   std::fputs(obs::Profiler::instance().report().c_str(), stdout);
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace vps::obs {
+
+/// Aggregated samples for one named scope.
+struct ProfileEntry {
+  std::string name;
+  std::uint64_t calls = 0;
+  std::uint64_t total_ns = 0;
+  std::uint64_t max_ns = 0;
+};
+
+/// Process-wide sample aggregator. Thread-safe (parallel campaigns profile
+/// from worker threads); the hot path is one mutex lock plus a hash lookup,
+/// so scopes belong around batches, not in per-delta-cycle code.
+class Profiler {
+ public:
+  static Profiler& instance();
+
+  void add_sample(const char* name, std::uint64_t ns);
+
+  /// Entries sorted by total time descending (name breaks ties).
+  [[nodiscard]] std::vector<ProfileEntry> entries() const;
+  /// ASCII table: name, calls, total ms, mean us, max us.
+  [[nodiscard]] std::string report() const;
+  void reset();
+
+ private:
+  Profiler() = default;
+  mutable std::mutex mutex_;
+  std::unordered_map<std::string, ProfileEntry> entries_;
+};
+
+/// RAII timer feeding Profiler; prefer the VPS_PROFILE_SCOPE macro.
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name) noexcept
+      : name_(name), start_(std::chrono::steady_clock::now()) {}
+  ~ProfileScope() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    Profiler::instance().add_sample(
+        name_, static_cast<std::uint64_t>(
+                   std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed).count()));
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace vps::obs
+
+#define VPS_OBS_CONCAT_INNER(a, b) a##b
+#define VPS_OBS_CONCAT(a, b) VPS_OBS_CONCAT_INNER(a, b)
+/// Times the enclosing scope under `name` (a string literal or other
+/// pointer that outlives the program's profiling reports).
+#define VPS_PROFILE_SCOPE(name) \
+  ::vps::obs::ProfileScope VPS_OBS_CONCAT(vps_profile_scope_, __LINE__)(name)

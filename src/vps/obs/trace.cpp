@@ -1,0 +1,175 @@
+#include "vps/obs/trace.hpp"
+
+#include <cstdio>
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::obs {
+
+using support::ensure;
+
+const char* to_string(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::kComplete: return "complete";
+    case EventKind::kInstant: return "instant";
+    case EventKind::kCounter: return "counter";
+  }
+  return "?";
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Shortest round-trippable formatting for numeric args; integral values
+/// print without a decimal point so golden files stay stable and readable.
+std::string format_number(double value) {
+  char buf[48];
+  if (value == static_cast<double>(static_cast<long long>(value)) && value > -1e15 &&
+      value < 1e15) {
+    std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
+  } else {
+    std::snprintf(buf, sizeof buf, "%.17g", value);
+  }
+  return buf;
+}
+
+std::string format_args(const std::vector<TraceArg>& args) {
+  std::string out = "{";
+  bool first = true;
+  for (const TraceArg& arg : args) {
+    if (!first) out += ',';
+    first = false;
+    out += '"' + json_escape(arg.key) + "\":";
+    if (arg.numeric) {
+      out += format_number(arg.num);
+    } else {
+      out += '"' + json_escape(arg.text) + '"';
+    }
+  }
+  out += '}';
+  return out;
+}
+
+/// Picoseconds as fractional microseconds (Chrome trace `ts` unit).
+std::string format_us(sim::Time t) {
+  char buf[48];
+  const std::uint64_t ps = t.picoseconds();
+  std::snprintf(buf, sizeof buf, "%llu.%06llu", static_cast<unsigned long long>(ps / 1000000ULL),
+                static_cast<unsigned long long>(ps % 1000000ULL));
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JsonlSink
+// ---------------------------------------------------------------------------
+
+JsonlSink::JsonlSink(const std::string& path) : out_(path) {
+  ensure(out_.is_open(), "JsonlSink: cannot open " + path);
+}
+
+JsonlSink::~JsonlSink() { out_.flush(); }
+
+void JsonlSink::record(const TraceEvent& event) {
+  std::string line = "{\"kind\":\"";
+  line += to_string(event.kind);
+  line += "\",\"ts_ps\":" + std::to_string(event.ts.picoseconds());
+  if (event.kind == EventKind::kComplete) {
+    line += ",\"dur_ps\":" + std::to_string(event.dur.picoseconds());
+  }
+  line += ",\"cat\":\"" + json_escape(event.category) + "\"";
+  line += ",\"name\":\"" + json_escape(event.name) + "\"";
+  if (!event.track.empty()) line += ",\"track\":\"" + json_escape(event.track) + "\"";
+  if (!event.args.empty()) line += ",\"args\":" + format_args(event.args);
+  line += "}\n";
+  out_ << line;
+  ++lines_;
+}
+
+void JsonlSink::flush() { out_.flush(); }
+
+// ---------------------------------------------------------------------------
+// ChromeTraceSink
+// ---------------------------------------------------------------------------
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path) : out_(path) {
+  ensure(out_.is_open(), "ChromeTraceSink: cannot open " + path);
+  out_ << "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+}
+
+ChromeTraceSink::~ChromeTraceSink() { close(); }
+
+void ChromeTraceSink::emit(const std::string& json) {
+  if (!first_) out_ << ",";
+  first_ = false;
+  out_ << "\n" << json;
+}
+
+int ChromeTraceSink::tid_for(const std::string& track) {
+  for (std::size_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == track) return static_cast<int>(i) + 1;
+  }
+  tracks_.push_back(track);
+  const int tid = static_cast<int>(tracks_.size());
+  emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+       ",\"args\":{\"name\":\"" + json_escape(track) + "\"}}");
+  return tid;
+}
+
+void ChromeTraceSink::record(const TraceEvent& event) {
+  if (!open_) return;
+  const std::string& track = event.track.empty() ? std::string(event.category) : event.track;
+  const int tid = tid_for(track);
+  std::string json = "{\"name\":\"" + json_escape(event.name) + "\",\"cat\":\"" +
+                     json_escape(event.category) + "\",\"pid\":1,\"tid\":" + std::to_string(tid) +
+                     ",\"ts\":" + format_us(event.ts);
+  switch (event.kind) {
+    case EventKind::kComplete:
+      json += ",\"ph\":\"X\",\"dur\":" + format_us(event.dur);
+      break;
+    case EventKind::kInstant:
+      json += ",\"ph\":\"i\",\"s\":\"t\"";
+      break;
+    case EventKind::kCounter:
+      json += ",\"ph\":\"C\"";
+      break;
+  }
+  if (!event.args.empty()) json += ",\"args\":" + format_args(event.args);
+  json += "}";
+  emit(json);
+  ++events_;
+}
+
+void ChromeTraceSink::flush() { out_.flush(); }
+
+void ChromeTraceSink::close() {
+  if (!open_) return;
+  open_ = false;
+  out_ << "\n]}\n";
+  out_.flush();
+}
+
+}  // namespace vps::obs

@@ -66,11 +66,13 @@ Event::~Event() { kernel_.unregister_event(*this); }
 
 void Event::notify_immediate() {
   ++kernel_.stats_.notifications;
+  if (kernel_.observer_ != nullptr) kernel_.observer_->on_event_notified(*this, kernel_.now_);
   fire();
 }
 
 void Event::notify() {
   ++kernel_.stats_.notifications;
+  if (kernel_.observer_ != nullptr) kernel_.observer_->on_event_notified(*this, kernel_.now_);
   if (delta_pending_) return;
   delta_pending_ = true;
   kernel_.queue_delta_notification(*this);
@@ -78,6 +80,7 @@ void Event::notify() {
 
 void Event::notify(Time delay) {
   ++kernel_.stats_.notifications;
+  if (kernel_.observer_ != nullptr) kernel_.observer_->on_event_notified(*this, kernel_.now_);
   // Note: unlike IEEE-1666 (where a later notification at an earlier time
   // overrides a pending one), every timed notification matures unless the
   // event is cancelled. All models in this repository are written against
@@ -249,6 +252,7 @@ void Kernel::run_process(Process& p) {
   ++stats_.activations;
   ++p.activations_;
   current_ = &p;
+  if (observer_ != nullptr) observer_->on_process_activation(p, now_);
   if (p.kind_ == Process::Kind::kMethod) {
     try {
       p.body_();
@@ -269,6 +273,7 @@ void Kernel::run_process(Process& p) {
   }
   current_ = nullptr;
   if (p.state_ != Process::State::kTerminated) p.state_ = Process::State::kWaiting;
+  if (observer_ != nullptr) observer_->on_process_return(p, now_);
 }
 
 void Kernel::evaluate_phase() {
@@ -326,6 +331,7 @@ bool Kernel::advance_time(Time until) {
     }
     now_ = top.when;
     ++stats_.timed_steps;
+    if (observer_ != nullptr) observer_->on_time_advance(now_);
     while (!timed_.empty() && timed_.top().when == now_) {
       TimedEntry e = timed_.top();
       timed_.pop();
@@ -349,6 +355,7 @@ Time Kernel::run(Time until) {
     update_phase();
     delta_notification_phase();
     ++stats_.delta_cycles;
+    if (observer_ != nullptr) observer_->on_delta_cycle(now_);
     rethrow_pending_error();
     if (stop_requested_) return now_;
     if (!runnable_.empty()) continue;  // another delta cycle at the same time

@@ -210,6 +210,27 @@ struct KernelStats {
   std::uint64_t updates = 0;           ///< channel updates performed
 };
 
+/// Passive scheduler observer: the attachment point for the structured
+/// observability layer (obs::KernelTracer). Callbacks fire synchronously on
+/// the simulation thread; with no observer attached the kernel pays a single
+/// pointer test per scheduler action, which keeps disabled-tracing overhead
+/// within the E15 budget. KernelStats stays the cheap aggregate view; an
+/// observer refines it into per-process / per-event attribution.
+class KernelObserver {
+ public:
+  virtual ~KernelObserver() = default;
+  /// A process was dequeued and is about to run its evaluation slice.
+  virtual void on_process_activation(const Process& process, Time now) = 0;
+  /// The process's evaluation slice returned (same simulated instant).
+  virtual void on_process_return(const Process& process, Time now) = 0;
+  /// An event notification was requested (immediate, delta or timed).
+  virtual void on_event_notified(const Event& event, Time now) = 0;
+  /// One evaluate/update/delta-notify cycle completed.
+  virtual void on_delta_cycle(Time now) = 0;
+  /// Simulated time advanced to `now`.
+  virtual void on_time_advance(Time now) = 0;
+};
+
 class Kernel {
  public:
   Kernel();
@@ -227,6 +248,12 @@ class Kernel {
 
   [[nodiscard]] Time now() const noexcept { return now_; }
   [[nodiscard]] const KernelStats& stats() const noexcept { return stats_; }
+
+  /// Attaches/detaches the (single) scheduler observer; pass nullptr to
+  /// detach. The observer must outlive its attachment.
+  void set_observer(KernelObserver* observer) noexcept { observer_ = observer; }
+  [[nodiscard]] KernelObserver* observer() const noexcept { return observer_; }
+
   [[nodiscard]] Process* current_process() const noexcept { return current_; }
   [[nodiscard]] bool has_pending_activity() const noexcept;
   [[nodiscard]] Time next_activity_time() const noexcept;
@@ -284,6 +311,7 @@ class Kernel {
   Time now_ = Time::zero();
   bool stop_requested_ = false;
   Process* current_ = nullptr;
+  KernelObserver* observer_ = nullptr;
   std::uint64_t next_seq_ = 0;
   KernelStats stats_;
   std::exception_ptr pending_error_;

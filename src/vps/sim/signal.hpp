@@ -1,12 +1,17 @@
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "vps/sim/kernel.hpp"
 
 namespace vps::sim {
+
+/// Handle returned by Signal<T>::add_commit_hook; never reused per signal.
+using CommitHookId = std::uint64_t;
 
 /// Primitive channel with sc_signal semantics: writes during the evaluation
 /// phase become visible in the next delta cycle; the value-changed event
@@ -48,23 +53,47 @@ class Signal final : public UpdateHook {
     current_ = value;
     next_ = value;
     ++change_count_;
-    if (on_commit_) on_commit_(current_);
+    run_commit_hooks();
     changed_.notify_immediate();
   }
 
-  /// Observation hook used by tracers and monitors; called after each commit.
-  void set_commit_hook(std::function<void(const T&)> hook) { on_commit_ = std::move(hook); }
+  /// Registers an observation hook (tracer, monitor, scoreboard); every
+  /// registered hook runs in registration order after each commit. Returns a
+  /// handle for remove_commit_hook, so independent observers can attach and
+  /// detach without evicting each other (the old single-slot set_commit_hook
+  /// silently dropped whichever observer attached first).
+  CommitHookId add_commit_hook(std::function<void(const T&)> hook) {
+    const CommitHookId id = next_hook_id_++;
+    hooks_.push_back({id, std::move(hook)});
+    return id;
+  }
+
+  /// Detaches a hook; unknown handles are ignored.
+  void remove_commit_hook(CommitHookId id) {
+    std::erase_if(hooks_, [id](const Hook& h) { return h.id == id; });
+  }
+
+  [[nodiscard]] std::size_t commit_hook_count() const noexcept { return hooks_.size(); }
 
   void perform_update() override {
     update_pending_ = false;
     if (next_ == current_) return;
     current_ = next_;
     ++change_count_;
-    if (on_commit_) on_commit_(current_);
+    run_commit_hooks();
     changed_.notify();
   }
 
  private:
+  struct Hook {
+    CommitHookId id;
+    std::function<void(const T&)> fn;
+  };
+
+  void run_commit_hooks() {
+    for (const Hook& hook : hooks_) hook.fn(current_);
+  }
+
   Kernel& kernel_;
   std::string name_;
   T current_;
@@ -72,7 +101,8 @@ class Signal final : public UpdateHook {
   Event changed_;
   bool update_pending_ = false;
   std::uint64_t change_count_ = 0;
-  std::function<void(const T&)> on_commit_;
+  std::vector<Hook> hooks_;
+  CommitHookId next_hook_id_ = 1;
 };
 
 }  // namespace vps::sim

@@ -12,16 +12,31 @@ namespace vps::sim {
 /// Picosecond resolution with a 64-bit count covers ~213 days of simulated
 /// time, far beyond any mission-profile segment the framework simulates,
 /// while keeping arithmetic exact (no floating-point timebase drift).
+///
+/// Arithmetic saturates instead of wrapping: additions and multiplications
+/// clamp to Time::max(), subtractions clamp to Time::zero(). Time::max()
+/// therefore behaves as "infinitely far in the future" — in particular
+/// `Kernel::run_for(Time::max())` runs until activity is exhausted rather
+/// than returning immediately on a wrapped deadline, and `Time::sec(huge)`
+/// yields Time::max() rather than an arbitrary small count.
 class Time {
  public:
   constexpr Time() noexcept = default;
 
   [[nodiscard]] static constexpr Time zero() noexcept { return Time(0); }
   [[nodiscard]] static constexpr Time ps(std::uint64_t v) noexcept { return Time(v); }
-  [[nodiscard]] static constexpr Time ns(std::uint64_t v) noexcept { return Time(v * 1000ULL); }
-  [[nodiscard]] static constexpr Time us(std::uint64_t v) noexcept { return Time(v * 1000000ULL); }
-  [[nodiscard]] static constexpr Time ms(std::uint64_t v) noexcept { return Time(v * 1000000000ULL); }
-  [[nodiscard]] static constexpr Time sec(std::uint64_t v) noexcept { return Time(v * 1000000000000ULL); }
+  [[nodiscard]] static constexpr Time ns(std::uint64_t v) noexcept {
+    return Time(sat_mul(v, 1000ULL));
+  }
+  [[nodiscard]] static constexpr Time us(std::uint64_t v) noexcept {
+    return Time(sat_mul(v, 1000000ULL));
+  }
+  [[nodiscard]] static constexpr Time ms(std::uint64_t v) noexcept {
+    return Time(sat_mul(v, 1000000000ULL));
+  }
+  [[nodiscard]] static constexpr Time sec(std::uint64_t v) noexcept {
+    return Time(sat_mul(v, 1000000000000ULL));
+  }
   [[nodiscard]] static constexpr Time max() noexcept {
     return Time(std::numeric_limits<std::uint64_t>::max());
   }
@@ -37,17 +52,21 @@ class Time {
   constexpr auto operator<=>(const Time&) const noexcept = default;
 
   constexpr Time& operator+=(Time rhs) noexcept {
-    ps_ += rhs.ps_;
+    ps_ = sat_add(ps_, rhs.ps_);
     return *this;
   }
   constexpr Time& operator-=(Time rhs) noexcept {
-    ps_ -= rhs.ps_;
+    ps_ = sat_sub(ps_, rhs.ps_);
     return *this;
   }
-  friend constexpr Time operator+(Time a, Time b) noexcept { return Time(a.ps_ + b.ps_); }
-  friend constexpr Time operator-(Time a, Time b) noexcept { return Time(a.ps_ - b.ps_); }
-  friend constexpr Time operator*(Time a, std::uint64_t k) noexcept { return Time(a.ps_ * k); }
-  friend constexpr Time operator*(std::uint64_t k, Time a) noexcept { return Time(a.ps_ * k); }
+  friend constexpr Time operator+(Time a, Time b) noexcept { return Time(sat_add(a.ps_, b.ps_)); }
+  friend constexpr Time operator-(Time a, Time b) noexcept { return Time(sat_sub(a.ps_, b.ps_)); }
+  friend constexpr Time operator*(Time a, std::uint64_t k) noexcept {
+    return Time(sat_mul(a.ps_, k));
+  }
+  friend constexpr Time operator*(std::uint64_t k, Time a) noexcept {
+    return Time(sat_mul(a.ps_, k));
+  }
   friend constexpr std::uint64_t operator/(Time a, Time b) noexcept {
     return b.ps_ ? a.ps_ / b.ps_ : 0;
   }
@@ -60,6 +79,18 @@ class Time {
 
  private:
   explicit constexpr Time(std::uint64_t ps) noexcept : ps_(ps) {}
+
+  static constexpr std::uint64_t kMaxPs = std::numeric_limits<std::uint64_t>::max();
+  [[nodiscard]] static constexpr std::uint64_t sat_add(std::uint64_t a, std::uint64_t b) noexcept {
+    return a > kMaxPs - b ? kMaxPs : a + b;
+  }
+  [[nodiscard]] static constexpr std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) noexcept {
+    return a < b ? 0 : a - b;
+  }
+  [[nodiscard]] static constexpr std::uint64_t sat_mul(std::uint64_t a, std::uint64_t k) noexcept {
+    return k != 0 && a > kMaxPs / k ? kMaxPs : a * k;
+  }
+
   std::uint64_t ps_ = 0;
 };
 

@@ -9,8 +9,14 @@ VcdTracer::VcdTracer(Kernel& kernel, const std::string& path) : kernel_(kernel),
 }
 
 VcdTracer::~VcdTracer() {
+  detach();
   finalize_header();
   out_.flush();
+}
+
+void VcdTracer::detach() {
+  for (const auto& detacher : detachers_) detacher();
+  detachers_.clear();
 }
 
 std::string VcdTracer::next_id() {
@@ -36,7 +42,9 @@ void VcdTracer::declare(const std::string& name, const std::string& id, std::siz
 void VcdTracer::trace(Signal<bool>& signal) {
   const std::string id = next_id();
   declare(signal.name(), id, 1);
-  signal.set_commit_hook([this, id](const bool& v) { record_scalar(id, v); });
+  const CommitHookId hook =
+      signal.add_commit_hook([this, id](const bool& v) { record_scalar(id, v); });
+  detachers_.push_back([&signal, hook] { signal.remove_commit_hook(hook); });
   initial_scalar_.emplace_back(id, signal.read());
 }
 
@@ -48,7 +56,9 @@ void VcdTracer::trace(Signal<double>& signal) {
     if (c == ' ') c = '_';
   }
   declarations_ += "$var real 64 " + id + " " + clean + " $end\n";
-  signal.set_commit_hook([this, id](const double& v) { record_real(id, v); });
+  const CommitHookId hook =
+      signal.add_commit_hook([this, id](const double& v) { record_real(id, v); });
+  detachers_.push_back([&signal, hook] { signal.remove_commit_hook(hook); });
   initial_real_.emplace_back(id, signal.read());
 }
 

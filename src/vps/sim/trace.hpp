@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <functional>
 #include <string>
 #include <type_traits>
 #include <vector>
@@ -14,6 +15,12 @@ namespace vps::sim {
 /// each committed change is recorded with the kernel timestamp, producing a
 /// standard VCD file viewable in GTKWave — the observability advantage of
 /// VPs the paper emphasizes (easy tracking of error propagation).
+///
+/// Lifetime: the tracer registers a commit hook per traced signal and keeps
+/// the remove handle; the destructor (or detach()) removes every hook, so a
+/// tracer may be destroyed mid-simulation while its signals live on. Traced
+/// signals must still be alive at that point — destroy the tracer before
+/// the signals (or call detach() while they exist).
 class VcdTracer {
  public:
   VcdTracer(Kernel& kernel, const std::string& path);
@@ -30,14 +37,20 @@ class VcdTracer {
   void trace(Signal<T>& signal) {
     const std::string id = next_id();
     declare(signal.name(), id, sizeof(T) * 8);
-    signal.set_commit_hook([this, id](const T& v) {
+    const CommitHookId hook = signal.add_commit_hook([this, id](const T& v) {
       record_vector(id, static_cast<std::uint64_t>(v), sizeof(T) * 8);
     });
+    detachers_.push_back([&signal, hook] { signal.remove_commit_hook(hook); });
     initial_vector_.push_back({id, static_cast<std::uint64_t>(signal.read()), sizeof(T) * 8});
   }
 
   /// Attaches a real-valued signal.
   void trace(Signal<double>& signal);
+
+  /// Removes every commit hook this tracer registered. Idempotent; called
+  /// by the destructor so destroying the tracer before its signals cannot
+  /// leave hooks that capture a dangling `this`.
+  void detach();
 
   /// Writes the header and the initial value dump; implicit on first record.
   void finalize_header();
@@ -69,6 +82,7 @@ class VcdTracer {
   std::vector<std::pair<std::string, bool>> initial_scalar_;
   std::vector<VectorInit> initial_vector_;
   std::vector<std::pair<std::string, double>> initial_real_;
+  std::vector<std::function<void()>> detachers_;
 };
 
 }  // namespace vps::sim

@@ -28,12 +28,17 @@ class QuantumKeeper {
   [[nodiscard]] bool need_sync() const noexcept { return quantum_ != sim::Time::zero() && local_ >= quantum_; }
 
   /// Yields to the kernel for the accumulated local time. A zero quantum
-  /// means "sync on every call" (fully coupled reference behaviour).
+  /// means "sync on every call" (fully coupled reference behaviour). A call
+  /// with no accumulated local time performs no kernel yield and is not
+  /// counted: sync_count() reports actual yields only, so the E4 decoupling
+  /// stats are not skewed by flush calls that had nothing to flush.
   [[nodiscard]] sim::Coro sync() {
     const sim::Time t = local_;
     local_ = sim::Time::zero();
-    ++sync_count_;
-    if (t != sim::Time::zero()) co_await sim::delay(t);
+    if (t != sim::Time::zero()) {
+      ++sync_count_;
+      co_await sim::delay(t);
+    }
   }
 
   /// Syncs only when the quantum is exhausted.
@@ -41,6 +46,7 @@ class QuantumKeeper {
     if (need_sync()) co_await sync();
   }
 
+  /// Number of actual kernel yields performed by sync().
   [[nodiscard]] std::uint64_t sync_count() const noexcept { return sync_count_; }
 
  private:

@@ -1,5 +1,6 @@
 #include "vps/tlm/router.hpp"
 
+#include <cstdio>
 #include <memory>
 
 #include "vps/support/ensure.hpp"
@@ -7,6 +8,22 @@
 namespace vps::tlm {
 
 using support::ensure;
+
+namespace {
+
+/// Span label like "write@0x40000000" — command plus the initiator-side
+/// address, stable across runs so traces diff cleanly.
+std::string transaction_name(const GenericPayload& payload) {
+  const char* verb = payload.command() == Command::kRead    ? "read"
+                     : payload.command() == Command::kWrite ? "write"
+                                                            : "ignore";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "@0x%llx",
+                static_cast<unsigned long long>(payload.address()));
+  return std::string(verb) + buf;
+}
+
+}  // namespace
 
 Router::Router(std::string name, sim::Time hop_latency)
     : name_(std::move(name)), hop_latency_(hop_latency), socket_(name_ + ".tsock") {
@@ -38,14 +55,27 @@ void Router::b_transport(GenericPayload& payload, sim::Time& delay) {
   if (w == nullptr) {
     ++decode_errors_;
     payload.set_response(Response::kAddressError);
+    if (probe_ != nullptr) {
+      probe_->mark("tlm", "decode_error" + transaction_name(payload),
+                   {obs::TraceArg::number("size", static_cast<double>(payload.size()))});
+    }
     return;
   }
   ++forwarded_;
+  const sim::Time delay_before = delay;
   delay += hop_latency_;
   const std::uint64_t original = payload.address();
   payload.set_address(original - w->base);
   w->out.b_transport(payload, delay);
   payload.set_address(original);
+  if (probe_ != nullptr) {
+    // Annotated LT timing: the transaction occupies [now + delay_before,
+    // now + delay_after) of simulated time.
+    probe_->record("tlm", transaction_name(payload), probe_->kernel().now() + delay_before,
+                   delay - delay_before,
+                   {obs::TraceArg::str("response", to_string(payload.response())),
+                    obs::TraceArg::number("size", static_cast<double>(payload.size()))});
+  }
 }
 
 bool Router::get_direct_mem_ptr(std::uint64_t address, DmiRegion& region) {

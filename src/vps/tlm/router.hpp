@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "vps/obs/probe.hpp"
 #include "vps/sim/time.hpp"
 #include "vps/tlm/payload.hpp"
 #include "vps/tlm/sockets.hpp"
@@ -28,6 +29,13 @@ class Router final : public BlockingTransport, public DmiProvider {
   [[nodiscard]] std::uint64_t forwarded() const noexcept { return forwarded_; }
   [[nodiscard]] std::uint64_t decode_errors() const noexcept { return decode_errors_; }
 
+  /// Attaches a transaction probe: every forwarded b_transport becomes a
+  /// latency sample and (with a Tracer on the probe) a trace span; decode
+  /// errors become instant marks. The probe supplies the kernel reference
+  /// for timestamps — the router itself does not keep time. nullptr detaches.
+  void set_probe(obs::TransactionProbe* probe) noexcept { probe_ = probe; }
+  [[nodiscard]] obs::TransactionProbe* probe() const noexcept { return probe_; }
+
   void b_transport(GenericPayload& payload, sim::Time& delay) override;
   bool get_direct_mem_ptr(std::uint64_t address, DmiRegion& region) override;
 
@@ -46,6 +54,7 @@ class Router final : public BlockingTransport, public DmiProvider {
   sim::Time hop_latency_;
   TargetSocket socket_;
   std::vector<std::unique_ptr<Window>> map_;
+  obs::TransactionProbe* probe_ = nullptr;
   std::uint64_t forwarded_ = 0;
   std::uint64_t decode_errors_ = 0;
 };

@@ -1,0 +1,433 @@
+// Observability-layer tests: JSON escaping, JSONL schema + determinism,
+// Chrome trace-event structure, kernel attribution, transaction probes on
+// the TLM router and the CAN bus, wall-clock profiling scopes, campaign
+// progress monitoring, and fault-injection spans.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <iterator>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "vps/can/bus.hpp"
+#include "vps/can/frame.hpp"
+#include "vps/fault/campaign.hpp"
+#include "vps/fault/injector.hpp"
+#include "vps/hw/memory.hpp"
+#include "vps/obs/campaign_monitor.hpp"
+#include "vps/obs/kernel_tracer.hpp"
+#include "vps/obs/probe.hpp"
+#include "vps/obs/profile.hpp"
+#include "vps/obs/trace.hpp"
+#include "vps/sim/kernel.hpp"
+#include "vps/sim/signal.hpp"
+#include "vps/tlm/payload.hpp"
+#include "vps/tlm/router.hpp"
+#include "vps/tlm/sockets.hpp"
+
+namespace {
+
+using namespace vps;
+using namespace vps::sim;
+using obs::TraceArg;
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.is_open()) << path;
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+std::size_t count_occurrences(const std::string& haystack, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t pos = haystack.find(needle); pos != std::string::npos;
+       pos = haystack.find(needle, pos + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(Json, Escape) {
+  EXPECT_EQ(obs::json_escape("plain"), "plain");
+  EXPECT_EQ(obs::json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(obs::json_escape("back\\slash"), "back\\\\slash");
+  EXPECT_EQ(obs::json_escape("line\nbreak"), "line\\nbreak");
+  EXPECT_EQ(obs::json_escape("tab\there"), "tab\\there");
+  EXPECT_EQ(obs::json_escape(std::string("nul\0byte", 8)), "nul\\u0000byte");
+  EXPECT_EQ(obs::json_escape("\x01"), "\\u0001");
+}
+
+TEST(Jsonl, SchemaAndArgs) {
+  const std::string path = "/tmp/vps_obs_jsonl_test.jsonl";
+  {
+    obs::Tracer tracer;
+    obs::JsonlSink sink(path);
+    tracer.add_sink(sink);
+    EXPECT_TRUE(tracer.has_sinks());
+    tracer.complete("tlm", "write@0x40", Time::ns(12), Time::ps(250), "bus0",
+                    {TraceArg::str("response", "OK"), TraceArg::number("size", 4)});
+    tracer.instant("can", "crc_error", Time::us(3));
+    tracer.counter("campaign", "caps", Time::ps(7),
+                   {TraceArg::number("runs_done", 7), TraceArg::number("coverage", 0.5)});
+    tracer.flush();
+    EXPECT_EQ(tracer.events(), 3u);
+    EXPECT_EQ(sink.lines_written(), 3u);
+  }
+  const auto lines = lines_of(slurp(path));
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0],
+            "{\"kind\":\"complete\",\"ts_ps\":12000,\"dur_ps\":250,\"cat\":\"tlm\","
+            "\"name\":\"write@0x40\",\"track\":\"bus0\","
+            "\"args\":{\"response\":\"OK\",\"size\":4}}");
+  // Instants carry no dur_ps; empty track/args are omitted entirely.
+  EXPECT_EQ(lines[1],
+            "{\"kind\":\"instant\",\"ts_ps\":3000000,\"cat\":\"can\",\"name\":\"crc_error\"}");
+  EXPECT_EQ(lines[2],
+            "{\"kind\":\"counter\",\"ts_ps\":7,\"cat\":\"campaign\",\"name\":\"caps\","
+            "\"args\":{\"runs_done\":7,\"coverage\":0.5}}");
+  std::remove(path.c_str());
+}
+
+TEST(Chrome, DocumentStructureAndThreadMetadata) {
+  const std::string path = "/tmp/vps_obs_chrome_test.trace.json";
+  {
+    obs::Tracer tracer;
+    obs::ChromeTraceSink sink(path);
+    tracer.add_sink(sink);
+    tracer.complete("kernel", "worker", Time::us(1), Time::ns(10), "worker");
+    tracer.complete("kernel", "worker", Time::us(2), Time::ns(10), "worker");
+    tracer.instant("fault", "skipped:stuck#1", Time::us(3), "faults");
+    tracer.counter("campaign", "caps", Time::ps(4), {TraceArg::number("runs_done", 4)});
+    sink.close();
+    EXPECT_EQ(sink.events_written(), 4u);
+    // Records after close are ignored, not appended to a finalized document.
+    tracer.instant("kernel", "late", Time::us(9));
+    EXPECT_EQ(sink.events_written(), 4u);
+  }
+  const std::string content = slurp(path);
+  EXPECT_EQ(content.rfind("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[", 0), 0u);
+  EXPECT_EQ(content.substr(content.size() - 4), "\n]}\n");
+  // One thread_name metadata record per distinct track, emitted on first use:
+  // "worker", "faults", and the counter's category lane "campaign".
+  EXPECT_EQ(count_occurrences(content, "\"name\":\"thread_name\""), 3u);
+  EXPECT_EQ(count_occurrences(content, "\"ph\":\"X\""), 2u);
+  EXPECT_EQ(count_occurrences(content, "\"ph\":\"i\""), 1u);
+  EXPECT_EQ(count_occurrences(content, "\"ph\":\"C\""), 1u);
+  EXPECT_NE(content.find("\"ts\":1.000000"), std::string::npos);  // 1us, ps-exact
+  EXPECT_NE(content.find("\"dur\":0.010000"), std::string::npos);    // 10ns
+  EXPECT_EQ(content.find("late"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+/// Shared workload for the determinism test: two processes, one notifying
+/// an event the other waits on.
+void traced_run(const std::string& path) {
+  Kernel kernel;
+  Event tick(kernel, "tick");
+  obs::Tracer tracer;
+  obs::JsonlSink sink(path);
+  tracer.add_sink(sink);
+  obs::KernelTracer::Options opts;
+  opts.trace_notifications = true;
+  obs::KernelTracer kt(kernel, opts);
+  kt.set_tracer(&tracer);
+  kernel.spawn("producer", [](Event& tick) -> Coro {
+    for (int i = 0; i < 5; ++i) {
+      co_await delay(10_ns);
+      tick.notify();
+    }
+  }(tick));
+  kernel.spawn("consumer", [](Event& tick) -> Coro {
+    for (int i = 0; i < 5; ++i) co_await tick;
+  }(tick));
+  kernel.run();
+  tracer.flush();
+}
+
+TEST(Trace, ByteIdenticalAcrossRuns) {
+  const std::string a = "/tmp/vps_obs_det_a.jsonl";
+  const std::string b = "/tmp/vps_obs_det_b.jsonl";
+  traced_run(a);
+  traced_run(b);
+  const std::string ca = slurp(a);
+  EXPECT_FALSE(ca.empty());
+  EXPECT_EQ(ca, slurp(b));  // sim-time-only timestamps: byte-identical
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+}
+
+TEST(KernelTracer, AttributionMatchesKernelStats) {
+  Kernel kernel;
+  Event tick(kernel, "tick");
+  obs::KernelTracer::Options opts;
+  opts.trace_notifications = true;
+  obs::KernelTracer kt(kernel, opts);
+  kernel.spawn("busy", [](Event& tick) -> Coro {
+    for (int i = 0; i < 7; ++i) {
+      co_await delay(1_ns);
+      tick.notify();
+    }
+  }(tick));
+  kernel.spawn("idle", []() -> Coro { co_await delay(2_ns); }());
+  kernel.run();
+
+  EXPECT_EQ(kt.activations_seen(), kernel.stats().activations);
+  EXPECT_EQ(kt.notifications_seen(), kernel.stats().notifications);
+  EXPECT_EQ(kt.delta_cycles_seen(), kernel.stats().delta_cycles);
+
+  const auto procs = kt.process_attribution();
+  ASSERT_GE(procs.size(), 2u);
+  EXPECT_EQ(procs[0].name, "busy");  // sorted by activations descending
+  std::uint64_t sum = 0;
+  for (const auto& p : procs) sum += p.activations;
+  EXPECT_EQ(sum, kernel.stats().activations);
+
+  const auto events = kt.event_attribution();
+  ASSERT_FALSE(events.empty());
+  EXPECT_EQ(events[0].name, "tick");
+  EXPECT_EQ(events[0].notifications, 7u);
+
+  const std::string report = kt.report();
+  EXPECT_NE(report.find("busy"), std::string::npos);
+  EXPECT_NE(report.find("tick"), std::string::npos);
+}
+
+TEST(KernelTracer, DetachesOnDestructionWithoutEvictingSuccessor) {
+  Kernel kernel;
+  auto first = std::make_unique<obs::KernelTracer>(kernel);
+  EXPECT_EQ(kernel.observer(), first.get());
+  {
+    // A successor replaces the registration; destroying the *old* tracer
+    // afterwards must not null out the new one.
+    obs::KernelTracer second(kernel);
+    EXPECT_EQ(kernel.observer(), &second);
+    first.reset();
+    EXPECT_EQ(kernel.observer(), &second);
+  }
+  EXPECT_EQ(kernel.observer(), nullptr);  // last one out detaches
+  kernel.spawn("p", []() -> Coro { co_await delay(1_ns); }());
+  kernel.run();  // no observer: must not crash
+  EXPECT_EQ(kernel.now(), 1_ns);
+}
+
+TEST(Probe, AggregatesLatencyAndEmitsSpans) {
+  Kernel kernel;
+  obs::Tracer tracer;
+  obs::TransactionProbe probe(kernel, "bus0", 0.0, 100.0, 10);
+  probe.set_tracer(&tracer);
+  probe.record("tlm", "write@0x0", Time::zero(), Time::ns(10));
+  probe.record("tlm", "read@0x4", Time::ns(50), Time::ns(30));
+  probe.mark("tlm", "decode_error");
+  EXPECT_EQ(probe.transactions(), 2u);
+  EXPECT_EQ(probe.marks(), 1u);
+  EXPECT_DOUBLE_EQ(probe.latency().mean(), 20.0);  // (10 + 30) / 2 ns
+  EXPECT_EQ(probe.latency_histogram().total(), 2u);
+  EXPECT_EQ(tracer.events(), 3u);
+}
+
+TEST(Probe, RouterEmitsTransactionSpansAndDecodeMarks) {
+  Kernel kernel;
+  obs::Tracer tracer;
+  obs::JsonlSink sink("/tmp/vps_obs_router_test.jsonl");
+  tracer.add_sink(sink);
+
+  tlm::Router router("bus", Time::ns(20));
+  hw::Memory mem("mem", 256, Time::ns(50));
+  router.map(0x1000, mem.size(), mem.socket());
+  obs::TransactionProbe probe(kernel, "bus");
+  probe.set_tracer(&tracer);
+  router.set_probe(&probe);
+
+  tlm::InitiatorSocket port("port");
+  port.bind(router.target_socket());
+
+  tlm::GenericPayload write(tlm::Command::kWrite, 0x1000, 4);
+  write.set_value_le(0xDEADBEEF);
+  Time delay = Time::zero();
+  port.b_transport(write, delay);
+  EXPECT_EQ(write.response(), tlm::Response::kOk);
+  EXPECT_EQ(delay, Time::ns(70));  // hop + memory latency
+
+  tlm::GenericPayload read(tlm::Command::kRead, 0x1000, 4);
+  delay = Time::zero();
+  port.b_transport(read, delay);
+  EXPECT_EQ(read.value_le(), 0xDEADBEEFu);
+
+  tlm::GenericPayload stray(tlm::Command::kRead, 0x9999, 4);
+  delay = Time::zero();
+  port.b_transport(stray, delay);
+  EXPECT_EQ(stray.response(), tlm::Response::kAddressError);
+
+  EXPECT_EQ(probe.transactions(), 2u);
+  EXPECT_EQ(probe.marks(), 1u);
+  EXPECT_DOUBLE_EQ(probe.latency().mean(), 70.0);
+  tracer.flush();
+  const std::string content = slurp("/tmp/vps_obs_router_test.jsonl");
+  EXPECT_NE(content.find("write@0x1000"), std::string::npos);
+  EXPECT_NE(content.find("read@0x1000"), std::string::npos);
+  EXPECT_NE(content.find("decode_error"), std::string::npos);
+  EXPECT_NE(content.find("\"response\":\"OK\""), std::string::npos);
+  std::remove("/tmp/vps_obs_router_test.jsonl");
+}
+
+class Recorder final : public can::CanNode {
+ public:
+  void on_frame(const can::CanFrame& frame) override { received.push_back(frame); }
+  std::vector<can::CanFrame> received;
+};
+
+TEST(Probe, CanBusFrameSpans) {
+  Kernel kernel;
+  can::CanBus bus(kernel, "can0", 500000);
+  Recorder a, b;
+  bus.attach(a);
+  bus.attach(b);
+  obs::Tracer tracer;
+  obs::TransactionProbe probe(kernel, "can0", 0.0, 500000.0, 10);
+  probe.set_tracer(&tracer);
+  bus.set_probe(&probe);
+
+  const auto frame = can::CanFrame::make(0x123, std::vector<std::uint8_t>{1, 2});
+  bus.submit(a, frame);
+  kernel.run();
+  ASSERT_EQ(b.received.size(), 1u);
+  EXPECT_EQ(probe.transactions(), 1u);
+  // The span covers the whole frame on the wire.
+  const Time wire = bus.bit_time() * can::frame_bit_count(frame);
+  EXPECT_DOUBLE_EQ(probe.latency().mean(),
+                   static_cast<double>(wire.picoseconds()) / 1000.0);
+  EXPECT_EQ(tracer.events(), 1u);
+}
+
+TEST(Profiler, ScopesAggregateByName) {
+  obs::Profiler::instance().reset();
+  for (int i = 0; i < 3; ++i) {
+    VPS_PROFILE_SCOPE("obs_test.scope");
+    volatile int sink = 0;
+    for (int j = 0; j < 1000; ++j) sink += j;
+  }
+  const auto entries = obs::Profiler::instance().entries();
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].name, "obs_test.scope");
+  EXPECT_EQ(entries[0].calls, 3u);
+  EXPECT_GT(entries[0].total_ns, 0u);
+  EXPECT_GE(entries[0].total_ns, entries[0].max_ns);
+  EXPECT_NE(obs::Profiler::instance().report().find("obs_test.scope"), std::string::npos);
+  obs::Profiler::instance().reset();
+  EXPECT_TRUE(obs::Profiler::instance().entries().empty());
+}
+
+/// Minimal deterministic scenario: no kernel, instant runs. A fault flips
+/// the output signature so classification exercises real outcomes.
+class ToyScenario final : public fault::Scenario {
+ public:
+  [[nodiscard]] std::string name() const override { return "toy"; }
+  [[nodiscard]] sim::Time duration() const override { return Time::ms(1); }
+  [[nodiscard]] std::vector<fault::FaultType> fault_types() const override {
+    return {fault::FaultType::kSensorOffset, fault::FaultType::kTaskKill};
+  }
+  [[nodiscard]] fault::Observation run(const fault::FaultDescriptor* fault,
+                                       std::uint64_t seed) override {
+    fault::Observation obs;
+    obs.completed = true;
+    obs.output_signature = static_cast<std::uint32_t>(seed);
+    if (fault != nullptr && fault->type == fault::FaultType::kTaskKill) {
+      obs.output_signature ^= 1;  // silent corruption
+    }
+    return obs;
+  }
+};
+
+TEST(Monitor, CampaignReportsProgressPerRunAndCompletionOnce) {
+  ToyScenario scenario;
+  fault::CampaignConfig cfg;
+  cfg.runs = 10;
+  cfg.seed = 42;
+  cfg.strategy = fault::Strategy::kMonteCarlo;
+
+  obs::Tracer tracer;
+  obs::ProgressReporter::Options opts;
+  opts.print = false;
+  opts.tracer = &tracer;
+  obs::ProgressReporter reporter(opts);
+
+  fault::Campaign campaign(scenario, cfg);
+  campaign.set_monitor(&reporter);
+  const auto result = campaign.run();
+  EXPECT_EQ(result.runs_executed, 10u);
+  EXPECT_EQ(reporter.progress_reports(), 10u);   // sequential: one per run
+  EXPECT_EQ(reporter.complete_reports(), 1u);
+  EXPECT_EQ(tracer.events(), 10u);               // one "campaign" counter per run
+}
+
+TEST(Monitor, ParallelCampaignReportsBatchesAndCompletion) {
+  fault::CampaignConfig cfg;
+  cfg.runs = 20;
+  cfg.seed = 42;
+  cfg.strategy = fault::Strategy::kMonteCarlo;
+  cfg.workers = 2;
+  cfg.batch_size = 8;
+
+  obs::ProgressReporter::Options opts;
+  opts.print = false;
+  obs::ProgressReporter reporter(opts);
+
+  fault::ParallelCampaign campaign([] { return std::make_unique<ToyScenario>(); }, cfg);
+  campaign.set_monitor(&reporter);
+  const auto result = campaign.run();
+  EXPECT_EQ(result.runs_executed, 20u);
+  EXPECT_EQ(reporter.progress_reports(), 3u);  // ceil(20 / 8) batch barriers
+  EXPECT_EQ(reporter.complete_reports(), 1u);
+}
+
+TEST(Injector, EmitsSpansForAppliedAndInstantsForSkipped) {
+  Kernel kernel;
+  obs::Tracer tracer;
+  obs::JsonlSink sink("/tmp/vps_obs_injector_test.jsonl");
+  tracer.add_sink(sink);
+
+  double raw = 1.0;
+  fault::AnalogChannel channel([&raw] { return raw; });
+  fault::InjectorHub hub(kernel);
+  hub.bind_sensor(channel);
+  hub.set_tracer(&tracer);
+
+  fault::FaultDescriptor offset;
+  offset.id = 1;
+  offset.type = fault::FaultType::kSensorOffset;
+  offset.persistence = fault::Persistence::kPermanent;
+  offset.inject_at = Time::us(10);
+  offset.magnitude = 0.5;
+  hub.schedule(offset);
+
+  fault::FaultDescriptor unbound;  // no platform bound: must be skipped
+  unbound.id = 2;
+  unbound.type = fault::FaultType::kRegisterBitFlip;
+  unbound.inject_at = Time::us(20);
+  hub.schedule(unbound);
+
+  kernel.run();
+  EXPECT_DOUBLE_EQ(channel.read(), 1.5);
+  EXPECT_EQ(hub.applied_count(), 1u);
+  EXPECT_EQ(hub.skipped_count(), 1u);
+  tracer.flush();
+  const std::string content = slurp("/tmp/vps_obs_injector_test.jsonl");
+  EXPECT_NE(content.find("\"cat\":\"fault\""), std::string::npos);
+  EXPECT_NE(content.find("sensor_offset#1"), std::string::npos);
+  EXPECT_NE(content.find("skipped:register_bit_flip#2"), std::string::npos);
+  EXPECT_NE(content.find("\"track\":\"faults\""), std::string::npos);
+  std::remove("/tmp/vps_obs_injector_test.jsonl");
+}
+
+}  // namespace

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -486,6 +487,178 @@ TEST(Vcd, WritesChangesToFile) {
   EXPECT_NE(content.find("$timescale 1ps $end"), std::string::npos);
   EXPECT_NE(content.find("clk"), std::string::npos);
   EXPECT_NE(content.find("#10000"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+// --- regression tests for the PR-2 bugfix anchors ---------------------------
+
+// Time arithmetic saturates instead of wrapping (the old two's-complement
+// wrap made `now + Time::max()` a tiny deadline and Time::sec(huge) a
+// nonsense small count).
+TEST(Time, SaturatingArithmetic) {
+  EXPECT_EQ(Time::max() + 1_ns, Time::max());
+  EXPECT_EQ(1_ns + Time::max(), Time::max());
+  EXPECT_EQ(Time::max() + Time::max(), Time::max());
+  EXPECT_EQ(Time::sec(std::numeric_limits<std::uint64_t>::max()), Time::max());
+  EXPECT_EQ(Time::max() * 2, Time::max());
+  EXPECT_EQ(1_ns - 1_us, Time::zero());  // subtraction clamps at zero
+  EXPECT_EQ(Time::zero() - Time::max(), Time::zero());
+  // Ordinary arithmetic is unaffected.
+  EXPECT_EQ(1_us + 1_ns, Time::ps(1001000));
+  EXPECT_EQ(1_us - 1_ns, Time::ps(999000));
+  Time t = Time::max();
+  t += 5_ms;
+  EXPECT_EQ(t, Time::max());
+  t -= Time::max();
+  EXPECT_EQ(t, Time::zero());
+}
+
+// run_for(Time::max()) means "until activity is exhausted". Before the
+// saturating fix, now + max wrapped to (now - 1ps) and run() returned
+// immediately without executing anything.
+TEST(Kernel, RunForTimeMaxDoesNotWrap) {
+  Kernel k;
+  int steps = 0;
+  k.spawn("p", [](int& steps) -> Coro {
+    for (int i = 0; i < 3; ++i) {
+      co_await delay(10_ns);
+      ++steps;
+    }
+  }(steps));
+  k.run_for(Time::max());
+  EXPECT_EQ(steps, 3);
+  EXPECT_EQ(k.now(), 30_ns);
+}
+
+// Commit hooks are multi-subscriber with independent handle-based removal
+// (the old single-slot set_commit_hook silently evicted prior observers).
+TEST(Signal, MultipleCommitHooksCoexist) {
+  Kernel k;
+  Signal<int> sig(k, "sig", 0);
+  std::vector<int> a, b;
+  const CommitHookId ha = sig.add_commit_hook([&a](const int& v) { a.push_back(v); });
+  const CommitHookId hb = sig.add_commit_hook([&b](const int& v) { b.push_back(v); });
+  EXPECT_NE(ha, hb);
+  EXPECT_EQ(sig.commit_hook_count(), 2u);
+
+  k.spawn("w", [](Signal<int>& sig) -> Coro {
+    sig.write(1);
+    co_await delay(1_ns);
+    sig.write(2);
+    co_await delay(1_ns);
+  }(sig));
+  k.run();
+  EXPECT_EQ(a, (std::vector<int>{1, 2}));
+  EXPECT_EQ(b, (std::vector<int>{1, 2}));
+
+  // Removing one hook must not disturb the other.
+  sig.remove_commit_hook(ha);
+  EXPECT_EQ(sig.commit_hook_count(), 1u);
+  sig.force(7);
+  EXPECT_EQ(a, (std::vector<int>{1, 2}));
+  EXPECT_EQ(b, (std::vector<int>{1, 2, 7}));
+  sig.remove_commit_hook(hb);
+  EXPECT_EQ(sig.commit_hook_count(), 0u);
+  sig.remove_commit_hook(hb);  // double-remove is a no-op
+}
+
+// The concrete instance of the eviction bug: attaching a VCD tracer and a
+// user monitor to the same signal; both must see every commit.
+TEST(Signal, TracerAndMonitorCoexist) {
+  const std::string path = "/tmp/vps_vcd_coexist_test.vcd";
+  Kernel k;
+  Signal<std::uint8_t> bus(k, "bus", 0);
+  std::vector<int> monitored;
+  (void)bus.add_commit_hook([&monitored](const std::uint8_t& v) { monitored.push_back(v); });
+  VcdTracer vcd(k, path);
+  vcd.trace(bus);  // must not evict the monitor
+  EXPECT_EQ(bus.commit_hook_count(), 2u);
+
+  k.spawn("w", [](Signal<std::uint8_t>& bus) -> Coro {
+    for (std::uint8_t i = 1; i <= 3; ++i) {
+      bus.write(i);
+      co_await delay(10_ns);
+    }
+  }(bus));
+  k.run();
+  EXPECT_EQ(monitored, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(vcd.change_records(), 3u);
+  std::remove(path.c_str());
+}
+
+// Destroying the tracer before the signals it traces must detach its commit
+// hooks: afterwards the hooks that captured the dead tracer are gone and
+// further writes are safe (previously a use-after-free under ASan).
+TEST(Vcd, TracerDestroyedBeforeSignalsDetachesHooks) {
+  const std::string path = "/tmp/vps_vcd_lifetime_test.vcd";
+  Kernel k;
+  Signal<bool> clk(k, "clk", false);
+  Signal<std::uint8_t> bus(k, "bus", 0);
+  {
+    VcdTracer vcd(k, path);
+    vcd.trace(clk);
+    vcd.trace(bus);
+    EXPECT_EQ(clk.commit_hook_count(), 1u);
+    EXPECT_EQ(bus.commit_hook_count(), 1u);
+  }  // tracer destroyed here, signals live on
+  EXPECT_EQ(clk.commit_hook_count(), 0u);
+  EXPECT_EQ(bus.commit_hook_count(), 0u);
+  k.spawn("w", [](Signal<bool>& clk, Signal<std::uint8_t>& bus) -> Coro {
+    clk.write(true);
+    bus.write(42);
+    co_await delay(1_ns);
+  }(clk, bus));
+  k.run();  // would crash (dangling `this` in the hook) without detach
+  EXPECT_TRUE(clk.read());
+  std::remove(path.c_str());
+}
+
+// Byte-exact golden file: the VCD writer's output is fully deterministic
+// (sim-time timestamps only), so observability changes that perturb the
+// format are caught here rather than in a downstream waveform viewer.
+TEST(Vcd, GoldenFileOutput) {
+  const std::string path = "/tmp/vps_vcd_golden_test.vcd";
+  {
+    Kernel k;
+    Signal<bool> clk(k, "clk", false);
+    Signal<std::uint8_t> bus(k, "bus", 0);
+    VcdTracer vcd(k, path);
+    vcd.trace(clk);
+    vcd.trace(bus);
+    k.spawn("driver", [](Signal<bool>& clk, Signal<std::uint8_t>& bus) -> Coro {
+      for (std::uint8_t i = 1; i <= 3; ++i) {
+        clk.write(!clk.read());
+        bus.write(i);
+        co_await delay(10_ns);
+      }
+    }(clk, bus));
+    k.run();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.is_open());
+  const std::string content((std::istreambuf_iterator<char>(in)),
+                            std::istreambuf_iterator<char>());
+  const std::string golden = R"($timescale 1ps $end
+$scope module vps $end
+$var wire 1 ! clk $end
+$var wire 8 " bus $end
+$upscope $end
+$enddefinitions $end
+$dumpvars
+0!
+b00000000 "
+$end
+#0
+1!
+b00000001 "
+#10000
+0!
+b00000010 "
+#20000
+1!
+b00000011 "
+)";
+  EXPECT_EQ(content, golden);
   std::remove(path.c_str());
 }
 

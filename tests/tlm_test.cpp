@@ -210,6 +210,25 @@ TEST(Quantum, AccumulatesAndSyncs) {
   EXPECT_EQ(qk.sync_count(), 3u);
 }
 
+// Regression: sync() with no accumulated local time used to bump
+// sync_count() even though it never yielded to the kernel, inflating the
+// E4 decoupling statistics with free flush calls.
+TEST(Quantum, ZeroLocalSyncNotCounted) {
+  Kernel k;
+  QuantumKeeper qk(k, 100_ns);
+  k.spawn("initiator", [](Kernel& k, QuantumKeeper& qk) -> Coro {
+    co_await qk.sync();  // nothing accumulated: no yield, not counted
+    co_await qk.sync();
+    qk.inc(40_ns);
+    co_await qk.sync();  // actual yield
+    co_await qk.sync();  // flushed already: free again
+    (void)k;
+  }(k, qk));
+  k.run();
+  EXPECT_EQ(qk.sync_count(), 1u);
+  EXPECT_EQ(k.now(), 40_ns);
+}
+
 TEST(Quantum, ZeroQuantumSyncsNever) {
   Kernel k;
   QuantumKeeper qk(k, Time::zero());
