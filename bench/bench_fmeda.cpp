@@ -48,7 +48,8 @@ std::map<fault::FaultType, MeasuredDc> measure_dc(const apps::CapsConfig& config
         ++dangerous;
         break;
       case fault::Outcome::kNoEffect:
-        break;  // masked faults are not part of the DC denominator
+      case fault::Outcome::kSimCrash:
+        break;  // masked/quarantined faults are not part of the DC denominator
     }
   }
   std::map<fault::FaultType, MeasuredDc> dc;

@@ -1,0 +1,90 @@
+// Checkpoint/resume for long error-effect campaigns: run a parallel CAPS
+// campaign, preempt it halfway (the driver writes a checkpoint at the batch
+// barrier), resume from the file, and verify the stitched-together result is
+// identical to an uninterrupted run. Exits nonzero on any mismatch — this is
+// also the CI round-trip check.
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "vps/apps/caps.hpp"
+#include "vps/fault/campaign.hpp"
+#include "vps/fault/checkpoint.hpp"
+
+using namespace vps;
+
+namespace {
+
+fault::ScenarioFactory factory() {
+  return [] {
+    return std::make_unique<apps::CapsScenario>(
+        apps::CapsConfig{.crash = true, .duration = sim::Time::ms(15)});
+  };
+}
+
+bool identical(const fault::CampaignResult& a, const fault::CampaignResult& b) {
+  if (a.outcome_counts != b.outcome_counts || a.runs_executed != b.runs_executed ||
+      a.final_coverage != b.final_coverage || a.coverage_curve != b.coverage_curve ||
+      a.faults_to_first_hazard != b.faults_to_first_hazard ||
+      a.records.size() != b.records.size() || a.quarantine.size() != b.quarantine.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const auto& ra = a.records[i];
+    const auto& rb = b.records[i];
+    if (ra.fault.id != rb.fault.id || ra.fault.type != rb.fault.type ||
+        ra.fault.inject_at != rb.fault.inject_at || ra.fault.address != rb.fault.address ||
+        ra.fault.bit != rb.fault.bit || ra.fault.magnitude != rb.fault.magnitude ||
+        ra.outcome != rb.outcome || ra.crash_what != rb.crash_what) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main() {
+  const std::string path = "/tmp/vps_example_checkpoint.jsonl";
+  fault::CampaignConfig cfg;
+  cfg.runs = 120;
+  cfg.seed = 2026;
+  cfg.strategy = fault::Strategy::kGuided;
+  cfg.location_buckets = 8;
+  cfg.workers = 4;
+  cfg.batch_size = 20;
+  cfg.checkpoint_every = 20;
+  cfg.checkpoint_path = path;
+
+  // Reference: the campaign nobody interrupted.
+  std::printf("== uninterrupted run (%zu injections) ==\n", cfg.runs);
+  const auto uninterrupted = fault::ParallelCampaign(factory(), cfg).run();
+  std::printf("hazards: %llu, coverage: %.1f%%\n\n",
+              static_cast<unsigned long long>(uninterrupted.count(fault::Outcome::kHazard)),
+              uninterrupted.final_coverage * 100.0);
+
+  // The same campaign, preempted at 50%. preempt_after stands in for a
+  // SIGKILL'd worker: the driver stops at the next batch barrier after 60
+  // runs, leaving only the checkpoint file behind.
+  cfg.preempt_after = cfg.runs / 2;
+  std::printf("== interrupted at %zu runs ==\n", cfg.preempt_after);
+  const auto partial = fault::ParallelCampaign(factory(), cfg).run();
+  std::printf("interrupted: %s after %zu runs, checkpoint at %s\n\n",
+              partial.interrupted ? "yes" : "NO (bug)", partial.runs_executed, path.c_str());
+
+  // Resume from disk — on a different worker count, to show the checkpoint
+  // carries everything determinism needs.
+  cfg.preempt_after = 0;
+  cfg.workers = 2;
+  const auto checkpoint = fault::load_checkpoint(path);
+  std::printf("== resuming from run %zu on %zu workers ==\n", checkpoint.next_run(),
+              cfg.workers);
+  const auto resumed = fault::ParallelCampaign(factory(), cfg).resume(checkpoint);
+  std::printf("%s\n", resumed.render().c_str());
+
+  const bool ok = partial.interrupted && identical(resumed, uninterrupted);
+  std::printf("resumed == uninterrupted: %s\n", ok ? "yes" : "NO — MISMATCH");
+  std::remove(path.c_str());
+  return ok ? 0 : 1;
+}

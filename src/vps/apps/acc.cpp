@@ -115,12 +115,13 @@ Observation AccScenario::run(const FaultDescriptor* fault_in, std::uint64_t seed
   hub.bind_sensor(radar);
   if (fault_in != nullptr) hub.schedule(*fault_in);
 
-  kernel.run(config_.duration);
+  const sim::RunStatus status = kernel.run(config_.duration, config_.run_budget);
 
   last_min_gap_ = plant.min_gap;
   last_misses_ = os.total_deadline_misses();
   Observation obs;
-  obs.completed = true;
+  // See CapsConfig::run_budget: a tripped budget is a livelocked run.
+  obs.completed = !status.budget_exhausted();
   obs.hazard = plant.min_gap <= 0.0;
   obs.deadline_misses = os.total_deadline_misses();
   // Detections: the scheduler's deadline monitor plus the actuator's

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "vps/fault/scenario.hpp"
+#include "vps/sim/kernel.hpp"
 #include "vps/sim/time.hpp"
 
 namespace vps::apps {
@@ -24,6 +25,8 @@ struct AccConfig {
   sim::Time leader_brake_duration = sim::Time::sec(4);
   sim::Time control_period = sim::Time::ms(20);
   sim::Time control_wcet = sim::Time::ms(8);
+  /// Watchdog budget; see CapsConfig::run_budget for rationale.
+  sim::RunBudget run_budget{.max_deltas_without_advance = std::uint64_t{1} << 20};
 };
 
 class AccScenario final : public fault::Scenario {

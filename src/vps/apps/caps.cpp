@@ -231,11 +231,13 @@ Observation CapsScenario::run(const FaultDescriptor* fault_in, std::uint64_t see
     }
   }
 
-  kernel.run(config_.duration);
+  const sim::RunStatus status = kernel.run(config_.duration, config_.run_budget);
 
   // --- observation ---------------------------------------------------------
   Observation obs;
-  obs.completed = true;
+  // A tripped watchdog budget means the model livelocked under the fault:
+  // the run did not complete and classify() reports it as kTimeout.
+  obs.completed = !status.budget_exhausted();
   const bool deployed = deploy_time != Time::max();
 
   if (config_.crash) {

@@ -15,6 +15,7 @@
 
 #include "vps/fault/scenario.hpp"
 #include "vps/hw/memory.hpp"
+#include "vps/sim/kernel.hpp"
 #include "vps/sim/time.hpp"
 
 namespace vps::apps {
@@ -28,6 +29,13 @@ struct CapsConfig {
   /// Deployment later than crash_time + this limit counts as a hazard
   /// (too late to protect the occupants).
   sim::Time deploy_deadline = sim::Time::ms(6);
+  /// Watchdog budget for the simulation run. The default livelock guard
+  /// (2^20 delta cycles without time advance) is far beyond anything the
+  /// healthy model does at one timestamp, so it only ever fires on
+  /// fault-induced notification storms; the run then reports
+  /// completed = false and classifies as kTimeout instead of hanging the
+  /// campaign worker.
+  sim::RunBudget run_budget{.max_deltas_without_advance = std::uint64_t{1} << 20};
 };
 
 class CapsScenario final : public fault::Scenario {

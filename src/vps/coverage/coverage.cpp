@@ -185,7 +185,10 @@ std::string Covergroup::report() const {
 
 FaultSpaceCoverage::FaultSpaceCoverage(std::size_t fault_classes, std::size_t location_buckets,
                                        std::size_t time_windows)
-    : group_("fault_space"), time_windows_(time_windows) {
+    : group_("fault_space"),
+      fault_classes_(fault_classes),
+      location_buckets_(location_buckets),
+      time_windows_(time_windows) {
   ensure(fault_classes > 0 && location_buckets > 0 && time_windows > 0,
          "FaultSpaceCoverage: dimensions must be positive");
   class_point_ = &group_.add_coverpoint("fault_class");
@@ -206,8 +209,18 @@ FaultSpaceCoverage::FaultSpaceCoverage(std::size_t fault_classes, std::size_t lo
   cross_ = &group_.add_cross("class_x_location", *class_point_, *location_point_);
 }
 
+FaultSpaceCoverage::FaultSpaceCoverage(const FaultSpaceCoverage& other)
+    : FaultSpaceCoverage(other.fault_classes_, other.location_buckets_, other.time_windows_) {
+  // Covergroup owns its points/crosses behind unique_ptr and Cross holds
+  // references into its group, so copying = rebuild the same shape + fold
+  // the source's hit counts in.
+  merge(other);
+}
+
 void FaultSpaceCoverage::merge(const FaultSpaceCoverage& other) {
-  ensure(time_windows_ == other.time_windows_, "FaultSpaceCoverage::merge: shape mismatch");
+  ensure(fault_classes_ == other.fault_classes_ && location_buckets_ == other.location_buckets_ &&
+             time_windows_ == other.time_windows_,
+         "FaultSpaceCoverage::merge: shape mismatch");
   group_.merge(other.group_);
   samples_ += other.samples_;
 }

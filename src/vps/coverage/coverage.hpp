@@ -114,6 +114,16 @@ class FaultSpaceCoverage {
   FaultSpaceCoverage(std::size_t fault_classes, std::size_t location_buckets,
                      std::size_t time_windows);
 
+  /// Deep copy (same shape, same hit counts). Lets campaign results carry
+  /// their coverage shard by value so CampaignResult::merge can recompute
+  /// exact aggregate coverage instead of keeping the max.
+  FaultSpaceCoverage(const FaultSpaceCoverage& other);
+  FaultSpaceCoverage& operator=(const FaultSpaceCoverage&) = delete;
+  /// Moves are safe: the cached Coverpoint/Cross pointers target heap
+  /// objects owned through unique_ptr, whose addresses are move-stable.
+  FaultSpaceCoverage(FaultSpaceCoverage&&) noexcept = default;
+  FaultSpaceCoverage& operator=(FaultSpaceCoverage&&) noexcept = default;
+
   /// time_fraction in [0,1): injection time / scenario duration.
   void sample(std::size_t fault_class, std::size_t location_bucket, double time_fraction);
 
@@ -137,6 +147,8 @@ class FaultSpaceCoverage {
   Coverpoint* location_point_ = nullptr;
   Coverpoint* time_point_ = nullptr;
   Cross* cross_ = nullptr;
+  std::size_t fault_classes_;
+  std::size_t location_buckets_;
   std::size_t time_windows_;
   std::uint64_t samples_ = 0;
 };

@@ -3,7 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <exception>
+#include <utility>
 
+#include "vps/fault/checkpoint.hpp"
 #include "vps/support/ensure.hpp"
 #include "vps/support/table.hpp"
 
@@ -26,6 +29,8 @@ double CampaignResult::diagnostic_coverage() const noexcept {
                                               count(Outcome::kDetectedUncorrected));
   // A hang is a dangerous, undetected outcome — the same way weak_spots()
   // counts it. Without it here a campaign full of timeouts reported DC = 1.
+  // kSimCrash stays out of both sums: the replay never produced a system
+  // verdict, so it can neither raise nor dilute the FMEDA metric.
   const double dangerous = detected + static_cast<double>(count(Outcome::kSilentDataCorruption) +
                                                           count(Outcome::kHazard) +
                                                           count(Outcome::kTimeout));
@@ -57,8 +62,22 @@ void CampaignResult::merge(const CampaignResult& shard) {
   records.insert(records.end(), shard.records.begin(), shard.records.end());
   coverage_curve.insert(coverage_curve.end(), shard.coverage_curve.begin(),
                         shard.coverage_curve.end());
+  quarantine.insert(quarantine.end(), shard.quarantine.begin(), shard.quarantine.end());
   runs_executed += shard.runs_executed;
-  final_coverage = std::max(final_coverage, shard.final_coverage);
+  interrupted = interrupted || shard.interrupted;
+  if (coverage != nullptr && shard.coverage != nullptr) {
+    // Exact aggregate coverage: fold the shards' hit counts. Copy-on-write —
+    // the published shard pointers may be shared with other results.
+    auto merged = std::make_shared<coverage::FaultSpaceCoverage>(*coverage);
+    merged->merge(*shard.coverage);
+    final_coverage = merged->coverage();
+    coverage = std::move(merged);
+  } else {
+    // A side lost its shard (hand-built result): max is the best available
+    // lower bound on true aggregate coverage.
+    final_coverage = std::max(final_coverage, shard.final_coverage);
+    if (coverage == nullptr) coverage = shard.coverage;
+  }
   hazard_probability = support::wilson_interval(count(Outcome::kHazard), runs_executed);
 }
 
@@ -91,7 +110,40 @@ std::string CampaignResult::render_weak_spots() const {
     std::snprintf(rate, sizeof rate, "%.3f", s.danger_rate());
     t.add_row({to_string(s.type), std::to_string(s.injected), std::to_string(s.dangerous), rate});
   }
-  return t.render();
+  std::string out = t.render();
+  if (!quarantine.empty()) out += render_quarantine();
+  return out;
+}
+
+std::string CampaignResult::render_quarantine() const {
+  std::string out =
+      "quarantine (" + std::to_string(quarantine.size()) + " crashing descriptors)\n";
+  support::Table t({"fault id", "type", "attempts", "error"});
+  for (const auto& q : quarantine) {
+    t.add_row({std::to_string(q.fault.id), to_string(q.fault.type), std::to_string(q.attempts),
+               q.what});
+  }
+  return out + t.render();
+}
+
+ReplayResult replay_isolated(Scenario& scenario, const FaultDescriptor& fault, std::uint64_t seed,
+                             const Observation& golden, std::size_t crash_retries) {
+  ReplayResult result;
+  for (std::size_t attempt = 0; attempt <= crash_retries; ++attempt) {
+    result.attempts = static_cast<std::uint32_t>(attempt + 1);
+    try {
+      const Observation obs = scenario.run(&fault, seed);
+      result.outcome = classify(golden, obs);
+      result.crash_what.clear();
+      return result;
+    } catch (const std::exception& e) {
+      result.crash_what = e.what();
+    } catch (...) {
+      result.crash_what = "unknown exception";
+    }
+  }
+  result.outcome = Outcome::kSimCrash;
+  return result;
 }
 
 CampaignState::CampaignState(std::vector<FaultType> types, sim::Time duration,
@@ -205,6 +257,10 @@ FaultDescriptor CampaignState::generate(std::size_t run_index, support::Xorshift
 }
 
 bool CampaignState::learn(const FaultDescriptor& fault, Outcome outcome) {
+  // A crashed replay never produced a system verdict: it must influence
+  // neither the guided weights nor fault-space coverage (coverage measures
+  // verdicts obtained, and a crash-heavy campaign must not look "covered").
+  if (outcome == Outcome::kSimCrash) return false;
   // Guided strategy: boost cells that produced dangerous outcomes. A type
   // outside the campaign's fault space has no cell — skip the sample
   // instead of corrupting cell 0's weight and coverage.
@@ -228,6 +284,7 @@ bool CampaignState::learn(const FaultDescriptor& fault, Outcome outcome) {
       w = std::max(w * 0.9, 1.0 / 64.0);
       break;
     case Outcome::kDetectedCorrected:
+    case Outcome::kSimCrash:  // unreachable (filtered above); keeps -Wswitch exhaustive
       break;
   }
   const double tf = duration_ == sim::Time::zero()
@@ -256,49 +313,153 @@ obs::CampaignProgress progress_snapshot(const std::string& name, const CampaignR
   return progress;
 }
 
+namespace {
+
+/// Field-by-field descriptor identity (doubles bitwise via ==; magnitudes
+/// are never NaN). Used by resume() to verify that the deterministic
+/// machinery regenerates exactly what the checkpoint recorded.
+bool same_fault(const FaultDescriptor& a, const FaultDescriptor& b) noexcept {
+  return a.id == b.id && a.type == b.type && a.persistence == b.persistence &&
+         a.inject_at == b.inject_at && a.duration == b.duration && a.location == b.location &&
+         a.address == b.address && a.bit == b.bit && a.magnitude == b.magnitude;
+}
+
+/// Folds one classified run into the accumulating result — the single
+/// reduce step both drivers and both entry points (run/resume) share, so an
+/// uninterrupted run and a replayed checkpoint cannot diverge structurally.
+void fold_run(CampaignResult& result, CampaignState& state, std::size_t run_index,
+              RunRecord record, std::uint32_t attempts) {
+  ++result.outcome_counts[static_cast<std::size_t>(record.outcome)];
+  state.learn(record.fault, record.outcome);  // no-op (false) for kSimCrash
+  if (record.outcome == Outcome::kSimCrash) {
+    result.quarantine.push_back({record.fault, record.crash_what, attempts});
+  }
+  if (record.outcome == Outcome::kHazard && result.faults_to_first_hazard == 0) {
+    result.faults_to_first_hazard = run_index + 1;
+  }
+  result.records.push_back(std::move(record));
+  result.coverage_curve.push_back(state.coverage().coverage());
+  ++result.runs_executed;
+}
+
+bool stop_condition_met(const CampaignConfig& config, const CampaignResult& result) noexcept {
+  return config.stop_after_hazards != 0 &&
+         result.count(Outcome::kHazard) >= config.stop_after_hazards;
+}
+
+void finalize(CampaignResult& result, const CampaignState& state) {
+  result.final_coverage = state.coverage().coverage();
+  result.coverage = std::make_shared<coverage::FaultSpaceCoverage>(state.coverage());
+  result.hazard_probability =
+      support::wilson_interval(result.count(Outcome::kHazard), result.runs_executed);
+}
+
+void validate_checkpoint(const CampaignCheckpoint& cp, const char* driver,
+                         const std::string& scenario_name, const CampaignConfig& config) {
+  ensure(cp.driver == driver, "resume: checkpoint was written by driver '" + cp.driver +
+                                  "', not '" + driver + "'");
+  ensure(cp.scenario == scenario_name, "resume: checkpoint is for scenario '" + cp.scenario +
+                                           "', not '" + scenario_name + "'");
+  const CampaignConfig& c = cp.config;
+  ensure(c.runs == config.runs && c.seed == config.seed && c.strategy == config.strategy &&
+             c.location_buckets == config.location_buckets &&
+             c.time_windows == config.time_windows &&
+             c.stop_after_hazards == config.stop_after_hazards &&
+             c.batch_size == config.batch_size && c.crash_retries == config.crash_retries,
+         "resume: checkpoint config disagrees with this campaign's "
+         "determinism-relevant config (runs/seed/strategy/buckets/windows/"
+         "stop_after_hazards/batch_size/crash_retries)");
+  ensure(cp.records.size() <= config.runs, "resume: checkpoint has more records than runs");
+  ensure(cp.golden.completed, "resume: checkpoint golden run did not complete");
+}
+
+}  // namespace
+
 Campaign::Campaign(Scenario& scenario, CampaignConfig config)
     : scenario_(scenario),
       config_(config),
       rng_(config.seed),
       state_(scenario.fault_types(), scenario.duration(), config) {}
 
+void Campaign::ensure_golden() {
+  if (golden_valid_) return;
+  golden_ = scenario_.run(nullptr, config_.seed);
+  golden_valid_ = true;
+  ensure(golden_.completed, "Campaign: golden run did not complete for " + scenario_.name());
+}
+
+void Campaign::write_checkpoint(const CampaignResult& partial) const {
+  CampaignCheckpoint cp;
+  cp.driver = "campaign";
+  cp.scenario = scenario_.name();
+  cp.config = config_;
+  cp.golden = golden_;
+  cp.records = partial.records;
+  save_checkpoint(cp, config_.checkpoint_path);
+}
+
 CampaignResult Campaign::run() {
+  ensure_golden();
+  return execute(0, CampaignResult{}, rng_, state_);
+}
+
+CampaignResult Campaign::resume(const CampaignCheckpoint& checkpoint) {
+  validate_checkpoint(checkpoint, "campaign", scenario_.name(), config_);
+  golden_ = checkpoint.golden;
+  golden_valid_ = true;
+  // Fresh generation/learning state: resume replays the recorded prefix
+  // through the same deterministic machinery an uninterrupted run used, so
+  // weights, coverage, the closure curve and the RNG position come out
+  // exactly where the interrupted run left them — no scenario re-execution.
+  rng_ = support::Xorshift(config_.seed);
+  state_ = CampaignState(scenario_.fault_types(), scenario_.duration(), config_);
+  CampaignResult result;
+  for (std::size_t i = 0; i < checkpoint.records.size(); ++i) {
+    const RunRecord& record = checkpoint.records[i];
+    const FaultDescriptor regenerated = state_.generate(i, rng_);
+    ensure(same_fault(regenerated, record.fault),
+           "resume: run " + std::to_string(i) +
+               " does not regenerate the recorded descriptor — checkpoint is "
+               "inconsistent with this scenario/config/code version");
+    fold_run(result, state_, i, record,
+             static_cast<std::uint32_t>(config_.crash_retries + 1));
+  }
+  return execute(checkpoint.records.size(), std::move(result), rng_, state_);
+}
+
+CampaignResult Campaign::execute(std::size_t start_run, CampaignResult result,
+                                 support::Xorshift& rng, CampaignState& state) {
   const auto started = std::chrono::steady_clock::now();
   const auto elapsed = [&started] {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
   };
-  CampaignResult result;
-  if (!golden_valid_) {
-    golden_ = scenario_.run(nullptr, config_.seed);
-    golden_valid_ = true;
-    ensure(golden_.completed, "Campaign: golden run did not complete for " + scenario_.name());
-  }
-
-  for (std::size_t i = 0; i < config_.runs; ++i) {
-    const FaultDescriptor fault = state_.generate(i, rng_);
-    const Observation obs = scenario_.run(&fault, config_.seed);
-    const Outcome outcome = classify(golden_, obs);
-    ++result.outcome_counts[static_cast<std::size_t>(outcome)];
-    state_.learn(fault, outcome);
-    result.records.push_back({fault, outcome});
-    result.coverage_curve.push_back(state_.coverage().coverage());
-    ++result.runs_executed;
-    if (outcome == Outcome::kHazard && result.faults_to_first_hazard == 0) {
-      result.faults_to_first_hazard = i + 1;
-    }
+  const bool checkpointing = config_.checkpoint_every != 0 && !config_.checkpoint_path.empty();
+  std::size_t executed_this_call = 0;
+  for (std::size_t i = start_run; i < config_.runs; ++i) {
+    if (stop_condition_met(config_, result)) break;  // resumed past the stop
+    const FaultDescriptor fault = state.generate(i, rng);
+    ReplayResult replay =
+        replay_isolated(scenario_, fault, config_.seed, golden_, config_.crash_retries);
+    fold_run(result, state, i, {fault, replay.outcome, std::move(replay.crash_what)},
+             replay.attempts);
+    ++executed_this_call;
     if (monitor_ != nullptr) {
       monitor_->on_progress(progress_snapshot(scenario_.name(), result, config_.runs,
-                                              state_.coverage().coverage(), elapsed()));
+                                              state.coverage().coverage(), elapsed()));
     }
-    if (config_.stop_after_hazards != 0 &&
-        result.count(Outcome::kHazard) >= config_.stop_after_hazards) {
+    if (checkpointing && result.runs_executed % config_.checkpoint_every == 0) {
+      write_checkpoint(result);
+    }
+    if (stop_condition_met(config_, result)) break;
+    if (config_.preempt_after != 0 && executed_this_call >= config_.preempt_after &&
+        i + 1 < config_.runs) {
+      if (!config_.checkpoint_path.empty()) write_checkpoint(result);
+      result.interrupted = true;
       break;
     }
   }
-  result.final_coverage = state_.coverage().coverage();
-  result.hazard_probability =
-      support::wilson_interval(result.count(Outcome::kHazard), result.runs_executed);
-  if (monitor_ != nullptr) {
+  finalize(result, state);
+  if (monitor_ != nullptr && !result.interrupted) {
     monitor_->on_complete(progress_snapshot(scenario_.name(), result, config_.runs,
                                             result.final_coverage, elapsed()));
   }

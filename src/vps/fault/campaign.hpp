@@ -58,11 +58,31 @@ struct CampaignConfig {
   /// the worker count — defines the learning cadence, so changing workers
   /// never changes results; changing batch_size does.
   std::size_t batch_size = 0;
+  /// A throwing scenario replay is retried this many times before the run
+  /// is recorded as Outcome::kSimCrash and the descriptor quarantined.
+  /// Retries are for transient host trouble (e.g. allocation failure); a
+  /// deterministic simulator bug throws identically every attempt.
+  std::size_t crash_retries = 1;
+  /// Write a checkpoint (see fault/checkpoint.hpp) to `checkpoint_path`
+  /// every N completed runs; 0 disables checkpointing. The parallel driver
+  /// rounds the cadence up to its batch barriers.
+  std::size_t checkpoint_every = 0;
+  std::string checkpoint_path;
+  /// Testing / preemption hook: abandon run() after this many replays in
+  /// the current call (0 = run to completion), writing a final checkpoint
+  /// when checkpoint_path is set. The returned partial result has
+  /// `interrupted == true`. The parallel driver preempts at the next batch
+  /// barrier. This is how the CI kill-at-50% round-trip is driven without
+  /// actually SIGKILLing the test runner.
+  std::size_t preempt_after = 0;
 };
 
 struct RunRecord {
   FaultDescriptor fault;
   Outcome outcome = Outcome::kNoEffect;
+  /// Outcome::kSimCrash only: what() text of the exception that escaped the
+  /// final replay attempt (empty otherwise).
+  std::string crash_what;
 };
 
 struct CampaignResult {
@@ -75,6 +95,24 @@ struct CampaignResult {
   /// Coverage after each run (closure curve).
   std::vector<double> coverage_curve;
   support::Proportion hazard_probability;  ///< Wilson interval
+  /// The fault-space coverage shard behind final_coverage. Drivers populate
+  /// it so merge() can recompute exact aggregate coverage; treat as
+  /// immutable once published (merge copies before mutating).
+  std::shared_ptr<const coverage::FaultSpaceCoverage> coverage;
+  /// True when run() was preempted (CampaignConfig::preempt_after) before
+  /// all runs executed; resume from the written checkpoint to finish.
+  bool interrupted = false;
+
+  /// Descriptors whose replays kept throwing after the configured retries.
+  /// These are infrastructure failures (simulator bugs, host trouble) — the
+  /// fault itself never received a verdict, so quarantined runs are
+  /// excluded from diagnostic_coverage() and the weak-spot danger tallies.
+  struct QuarantineEntry {
+    FaultDescriptor fault;
+    std::string what;            ///< exception text of the final attempt
+    std::uint32_t attempts = 0;  ///< total attempts incl. retries
+  };
+  std::vector<QuarantineEntry> quarantine;
 
   [[nodiscard]] std::uint64_t count(Outcome o) const noexcept {
     return outcome_counts[static_cast<std::size_t>(o)];
@@ -91,11 +129,13 @@ struct CampaignResult {
   [[nodiscard]] std::string render() const;
 
   /// Aggregates a shard result (e.g. one seed of a multi-seed campaign)
-  /// into this one. Counts, hazard interval inputs and weak-spot tallies
-  /// are order-independent; records and the coverage curve are appended in
-  /// call order (the curve is per-shard closure, diagnostic only), and
-  /// final_coverage keeps the max — recompute it from merged
-  /// FaultSpaceCoverage shards when exact aggregate coverage matters.
+  /// into this one. Counts, hazard interval inputs, quarantine and
+  /// weak-spot tallies are order-independent; records and the coverage
+  /// curve are appended in call order (the curve is per-shard closure,
+  /// diagnostic only). When both sides carry their FaultSpaceCoverage
+  /// shard, final_coverage is recomputed exactly from the merged shards;
+  /// only when either side lost its shard does it fall back to the max
+  /// (a lower bound on true aggregate coverage).
   void merge(const CampaignResult& shard);
 
   /// Weak-spot identification (paper Sec. 3.4: "identifying the weak spots
@@ -112,8 +152,26 @@ struct CampaignResult {
     }
   };
   [[nodiscard]] std::vector<WeakSpot> weak_spots() const;
+  /// Weak-spot table; when the quarantine is non-empty the crashing
+  /// descriptors are appended so infrastructure failures are reported
+  /// alongside the safety-relevant populations, never silently dropped.
   [[nodiscard]] std::string render_weak_spots() const;
+  [[nodiscard]] std::string render_quarantine() const;
 };
+
+/// One crash-isolated scenario replay: runs `scenario` against `fault`
+/// (retrying up to `crash_retries` extra attempts when the replay throws)
+/// and classifies against `golden`. A replay that keeps throwing yields
+/// Outcome::kSimCrash with the captured what() text instead of propagating —
+/// the exception boundary both campaign drivers share.
+struct ReplayResult {
+  Outcome outcome = Outcome::kNoEffect;
+  std::string crash_what;      ///< kSimCrash only
+  std::uint32_t attempts = 1;  ///< total attempts taken
+};
+[[nodiscard]] ReplayResult replay_isolated(Scenario& scenario, const FaultDescriptor& fault,
+                                           std::uint64_t seed, const Observation& golden,
+                                           std::size_t crash_retries);
 
 /// Strategy state shared by the campaign drivers: fault generation under
 /// the configured strategy, the guided weak-spot weights, and fault-space
@@ -162,11 +220,21 @@ class CampaignState {
                                                       std::size_t runs_total, double coverage,
                                                       double wall_seconds);
 
+struct CampaignCheckpoint;  // fault/checkpoint.hpp
+
 class Campaign {
  public:
   Campaign(Scenario& scenario, CampaignConfig config);
 
   [[nodiscard]] CampaignResult run();
+
+  /// Continues an interrupted campaign from a checkpoint to the same final
+  /// result — byte-identical to an uninterrupted run() — by replaying the
+  /// recorded prefix through the deterministic generation/learning machinery
+  /// (no scenario re-execution for finished runs). ensure()-fails when the
+  /// checkpoint's driver/scenario/config disagree with this campaign or the
+  /// recorded descriptors do not regenerate identically.
+  [[nodiscard]] CampaignResult resume(const CampaignCheckpoint& checkpoint);
 
   /// The golden observation the classification compares against.
   [[nodiscard]] const Observation& golden() const noexcept { return golden_; }
@@ -177,6 +245,11 @@ class Campaign {
   void set_monitor(obs::CampaignMonitor* monitor) noexcept { monitor_ = monitor; }
 
  private:
+  void ensure_golden();
+  void write_checkpoint(const CampaignResult& partial) const;
+  [[nodiscard]] CampaignResult execute(std::size_t start_run, CampaignResult result,
+                                       support::Xorshift& rng, CampaignState& state);
+
   Scenario& scenario_;
   CampaignConfig config_;
   support::Xorshift rng_;
@@ -204,6 +277,13 @@ class ParallelCampaign {
 
   [[nodiscard]] CampaignResult run();
 
+  /// Continues an interrupted parallel campaign from a checkpoint; the
+  /// final result is byte-identical to an uninterrupted run() for any
+  /// worker count. The checkpoint must have been cut at a batch barrier
+  /// (the parallel driver only writes them there); the golden observation
+  /// is taken from the checkpoint, so no golden re-run happens.
+  [[nodiscard]] CampaignResult resume(const CampaignCheckpoint& checkpoint);
+
   /// The golden observation the classification compares against (valid
   /// after the first run()).
   [[nodiscard]] const Observation& golden() const noexcept { return golden_; }
@@ -214,6 +294,11 @@ class ParallelCampaign {
   void set_monitor(obs::CampaignMonitor* monitor) noexcept { monitor_ = monitor; }
 
  private:
+  void ensure_coordinator();
+  void write_checkpoint(const CampaignResult& partial) const;
+  [[nodiscard]] CampaignResult execute(std::size_t start_run, CampaignResult result,
+                                       CampaignState& state);
+
   ScenarioFactory factory_;
   CampaignConfig config_;
   std::unique_ptr<Scenario> coordinator_;  // golden run + fault-space probe

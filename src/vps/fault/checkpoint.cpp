@@ -1,0 +1,354 @@
+#include "vps/fault/checkpoint.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "vps/obs/trace.hpp"
+#include "vps/support/ensure.hpp"
+
+namespace vps::fault {
+
+using support::ensure;
+
+namespace {
+
+constexpr const char* kSchemaName = "vps-campaign-checkpoint";
+
+// --- writing ---------------------------------------------------------------
+
+void append_str(std::string& line, const char* key, const std::string& value) {
+  line += ",\"";
+  line += key;
+  line += "\":\"";
+  line += obs::json_escape(value);
+  line += '"';
+}
+
+void append_u64(std::string& line, const char* key, std::uint64_t value) {
+  line += ",\"";
+  line += key;
+  line += "\":";
+  line += std::to_string(value);
+}
+
+void append_i64(std::string& line, const char* key, std::int64_t value) {
+  line += ",\"";
+  line += key;
+  line += "\":";
+  line += std::to_string(value);
+}
+
+/// Doubles go through hexfloat (as a JSON string — a bare hexfloat is not
+/// valid JSON) so the value round-trips bitwise; %.17g can lose the exact
+/// bit pattern under some libc printf/scanf pairings, hexfloat cannot.
+void append_double(std::string& line, const char* key, double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%a", value);
+  line += ",\"";
+  line += key;
+  line += "\":\"";
+  line += buf;
+  line += '"';
+}
+
+// --- flat-JSON line parsing ------------------------------------------------
+
+/// Minimal parser for the flat objects this module writes: string values
+/// (with the obs::json_escape escapes) and plain integer/number tokens. Not
+/// a general JSON parser and not meant to be one.
+class LineParser {
+ public:
+  explicit LineParser(const std::string& line) : line_(line) {
+    ensure(!line_.empty() && line_.front() == '{' && line_.back() == '}',
+           "checkpoint: malformed line: " + line_);
+    std::size_t pos = 1;
+    while (pos < line_.size() - 1) {
+      const std::string key = parse_string(pos);
+      ensure(pos < line_.size() && line_[pos] == ':', "checkpoint: expected ':' in " + line_);
+      ++pos;
+      if (line_[pos] == '"') {
+        strings_.emplace_back(key, parse_string(pos));
+      } else {
+        std::size_t end = pos;
+        while (end < line_.size() && line_[end] != ',' && line_[end] != '}') ++end;
+        numbers_.emplace_back(key, line_.substr(pos, end - pos));
+        pos = end;
+      }
+      if (pos < line_.size() && line_[pos] == ',') ++pos;
+    }
+  }
+
+  [[nodiscard]] bool has(const char* key) const {
+    for (const auto& [k, v] : strings_) {
+      if (k == key) return true;
+    }
+    for (const auto& [k, v] : numbers_) {
+      if (k == key) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] const std::string& str(const char* key) const {
+    for (const auto& [k, v] : strings_) {
+      if (k == key) return v;
+    }
+    throw support::InvariantError("checkpoint: missing string field '" + std::string(key) +
+                                  "' in " + line_);
+  }
+
+  [[nodiscard]] std::uint64_t u64(const char* key) const {
+    return std::strtoull(number(key).c_str(), nullptr, 10);
+  }
+
+  [[nodiscard]] std::int64_t i64(const char* key) const {
+    return std::strtoll(number(key).c_str(), nullptr, 10);
+  }
+
+  /// Hexfloat-encoded double (stored as a string field).
+  [[nodiscard]] double hexdouble(const char* key) const {
+    return std::strtod(str(key).c_str(), nullptr);
+  }
+
+ private:
+  [[nodiscard]] const std::string& number(const char* key) const {
+    for (const auto& [k, v] : numbers_) {
+      if (k == key) return v;
+    }
+    throw support::InvariantError("checkpoint: missing numeric field '" + std::string(key) +
+                                  "' in " + line_);
+  }
+
+  std::string parse_string(std::size_t& pos) {
+    ensure(pos < line_.size() && line_[pos] == '"', "checkpoint: expected '\"' in " + line_);
+    ++pos;
+    std::string out;
+    while (pos < line_.size() && line_[pos] != '"') {
+      char c = line_[pos];
+      if (c == '\\') {
+        ensure(pos + 1 < line_.size(), "checkpoint: dangling escape in " + line_);
+        const char e = line_[pos + 1];
+        pos += 2;
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            ensure(pos + 4 <= line_.size(), "checkpoint: bad \\u escape in " + line_);
+            out += static_cast<char>(std::strtoul(line_.substr(pos, 4).c_str(), nullptr, 16));
+            pos += 4;
+            break;
+          }
+          default: ensure(false, "checkpoint: unknown escape in " + line_);
+        }
+      } else {
+        out += c;
+        ++pos;
+      }
+    }
+    ensure(pos < line_.size(), "checkpoint: unterminated string in " + line_);
+    ++pos;  // closing quote
+    return out;
+  }
+
+  const std::string& line_;
+  std::vector<std::pair<std::string, std::string>> strings_;
+  std::vector<std::pair<std::string, std::string>> numbers_;
+};
+
+// --- enum round trips (names are the to_string spellings) ------------------
+
+Strategy parse_strategy(const std::string& name) {
+  for (int i = 0; i < 4; ++i) {
+    const auto s = static_cast<Strategy>(i);
+    if (name == to_string(s)) return s;
+  }
+  throw support::InvariantError("checkpoint: unknown strategy '" + name + "'");
+}
+
+FaultType parse_fault_type(const std::string& name) {
+  for (std::size_t i = 0; i < kFaultTypeCount; ++i) {
+    const auto t = static_cast<FaultType>(i);
+    if (name == to_string(t)) return t;
+  }
+  throw support::InvariantError("checkpoint: unknown fault type '" + name + "'");
+}
+
+Persistence parse_persistence(const std::string& name) {
+  for (int i = 0; i < 3; ++i) {
+    const auto p = static_cast<Persistence>(i);
+    if (name == to_string(p)) return p;
+  }
+  throw support::InvariantError("checkpoint: unknown persistence '" + name + "'");
+}
+
+Outcome parse_outcome(const std::string& name) {
+  for (std::size_t i = 0; i < kOutcomeCount; ++i) {
+    const auto o = static_cast<Outcome>(i);
+    if (name == to_string(o)) return o;
+  }
+  throw support::InvariantError("checkpoint: unknown outcome '" + name + "'");
+}
+
+}  // namespace
+
+std::string to_jsonl(const CampaignCheckpoint& checkpoint) {
+  std::string out;
+  // Header.
+  out += "{\"schema\":\"";
+  out += kSchemaName;
+  out += "\",\"version\":" + std::to_string(CampaignCheckpoint::kVersion);
+  append_str(out, "driver", checkpoint.driver);
+  append_str(out, "scenario", checkpoint.scenario);
+  out += "}\n";
+
+  // Config (the determinism-relevant fields plus crash handling; workers and
+  // checkpoint cadence are resume-time choices and deliberately absent).
+  const CampaignConfig& c = checkpoint.config;
+  std::string cfg = "{\"kind\":\"config\"";
+  append_u64(cfg, "runs", c.runs);
+  append_u64(cfg, "seed", c.seed);
+  append_str(cfg, "strategy", to_string(c.strategy));
+  append_u64(cfg, "location_buckets", c.location_buckets);
+  append_u64(cfg, "time_windows", c.time_windows);
+  append_u64(cfg, "stop_after_hazards", c.stop_after_hazards);
+  append_u64(cfg, "batch_size", c.batch_size);
+  append_u64(cfg, "crash_retries", c.crash_retries);
+  out += cfg + "}\n";
+
+  // Golden observation.
+  const Observation& g = checkpoint.golden;
+  std::string gold = "{\"kind\":\"golden\"";
+  append_u64(gold, "signature", g.output_signature);
+  append_u64(gold, "completed", g.completed ? 1 : 0);
+  append_u64(gold, "hazard", g.hazard ? 1 : 0);
+  append_u64(gold, "detected", g.detected);
+  append_u64(gold, "corrected", g.corrected);
+  append_u64(gold, "resets", g.resets);
+  append_u64(gold, "deadline_misses", g.deadline_misses);
+  out += gold + "}\n";
+
+  // Records, one per completed run, in run order.
+  for (std::size_t i = 0; i < checkpoint.records.size(); ++i) {
+    const RunRecord& r = checkpoint.records[i];
+    std::string rec = "{\"kind\":\"record\"";
+    append_u64(rec, "run", i);
+    append_str(rec, "outcome", to_string(r.outcome));
+    append_u64(rec, "id", r.fault.id);
+    append_str(rec, "type", to_string(r.fault.type));
+    append_str(rec, "persistence", to_string(r.fault.persistence));
+    append_u64(rec, "inject_at_ps", r.fault.inject_at.picoseconds());
+    append_u64(rec, "duration_ps", r.fault.duration.picoseconds());
+    append_str(rec, "location", r.fault.location);
+    append_u64(rec, "address", r.fault.address);
+    append_i64(rec, "bit", r.fault.bit);
+    append_double(rec, "magnitude", r.fault.magnitude);
+    if (!r.crash_what.empty()) append_str(rec, "crash_what", r.crash_what);
+    out += rec + "}\n";
+  }
+
+  // Truncation guard.
+  out += "{\"kind\":\"end\",\"records\":" + std::to_string(checkpoint.records.size()) + "}\n";
+  return out;
+}
+
+CampaignCheckpoint checkpoint_from_jsonl(const std::string& text) {
+  CampaignCheckpoint cp;
+  std::size_t pos = 0;
+  std::size_t line_no = 0;
+  bool saw_end = false;
+  while (pos < text.size()) {
+    std::size_t nl = text.find('\n', pos);
+    if (nl == std::string::npos) nl = text.size();
+    const std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    ensure(!saw_end, "checkpoint: content after end line");
+    const LineParser p(line);
+    if (line_no == 0) {
+      ensure(p.str("schema") == kSchemaName, "checkpoint: not a campaign checkpoint");
+      ensure(p.u64("version") == CampaignCheckpoint::kVersion,
+             "checkpoint: unsupported version " + std::to_string(p.u64("version")) +
+                 " (expected " + std::to_string(CampaignCheckpoint::kVersion) + ")");
+      cp.driver = p.str("driver");
+      cp.scenario = p.str("scenario");
+      ++line_no;
+      continue;
+    }
+    const std::string& kind = p.str("kind");
+    if (kind == "config") {
+      cp.config.runs = p.u64("runs");
+      cp.config.seed = p.u64("seed");
+      cp.config.strategy = parse_strategy(p.str("strategy"));
+      cp.config.location_buckets = p.u64("location_buckets");
+      cp.config.time_windows = p.u64("time_windows");
+      cp.config.stop_after_hazards = p.u64("stop_after_hazards");
+      cp.config.batch_size = p.u64("batch_size");
+      cp.config.crash_retries = p.u64("crash_retries");
+    } else if (kind == "golden") {
+      cp.golden.output_signature = static_cast<std::uint32_t>(p.u64("signature"));
+      cp.golden.completed = p.u64("completed") != 0;
+      cp.golden.hazard = p.u64("hazard") != 0;
+      cp.golden.detected = p.u64("detected");
+      cp.golden.corrected = p.u64("corrected");
+      cp.golden.resets = p.u64("resets");
+      cp.golden.deadline_misses = p.u64("deadline_misses");
+    } else if (kind == "record") {
+      ensure(p.u64("run") == cp.records.size(), "checkpoint: record out of order");
+      RunRecord r;
+      r.outcome = parse_outcome(p.str("outcome"));
+      r.fault.id = p.u64("id");
+      r.fault.type = parse_fault_type(p.str("type"));
+      r.fault.persistence = parse_persistence(p.str("persistence"));
+      r.fault.inject_at = sim::Time::ps(p.u64("inject_at_ps"));
+      r.fault.duration = sim::Time::ps(p.u64("duration_ps"));
+      r.fault.location = p.str("location");
+      r.fault.address = p.u64("address");
+      r.fault.bit = static_cast<int>(p.i64("bit"));
+      r.fault.magnitude = p.hexdouble("magnitude");
+      if (p.has("crash_what")) r.crash_what = p.str("crash_what");
+      cp.records.push_back(std::move(r));
+    } else if (kind == "end") {
+      ensure(p.u64("records") == cp.records.size(),
+             "checkpoint: end line count mismatch (truncated file?)");
+      saw_end = true;
+    } else {
+      ensure(false, "checkpoint: unknown line kind '" + kind + "'");
+    }
+    ++line_no;
+  }
+  ensure(line_no >= 3, "checkpoint: missing header/config/golden lines");
+  ensure(saw_end, "checkpoint: missing end line (truncated file?)");
+  ensure(cp.driver == "campaign" || cp.driver == "parallel_campaign",
+         "checkpoint: unknown driver '" + cp.driver + "'");
+  return cp;
+}
+
+void save_checkpoint(const CampaignCheckpoint& checkpoint, const std::string& path) {
+  ensure(!path.empty(), "save_checkpoint: empty path");
+  const std::string tmp = path + ".tmp";
+  const std::string payload = to_jsonl(checkpoint);
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  ensure(f != nullptr, "save_checkpoint: cannot open " + tmp);
+  const std::size_t written = std::fwrite(payload.data(), 1, payload.size(), f);
+  const bool flushed = std::fflush(f) == 0;
+  std::fclose(f);
+  ensure(written == payload.size() && flushed, "save_checkpoint: short write to " + tmp);
+  ensure(std::rename(tmp.c_str(), path.c_str()) == 0,
+         "save_checkpoint: rename to " + path + " failed");
+}
+
+CampaignCheckpoint load_checkpoint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ensure(f != nullptr, "load_checkpoint: cannot open " + path);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  return checkpoint_from_jsonl(text);
+}
+
+}  // namespace vps::fault

@@ -1,0 +1,60 @@
+#pragma once
+
+/// Campaign checkpoint/resume — the persistence substrate for preemptible,
+/// shardable campaign workers (paper Sec. 3.4 calls for "very large"
+/// error-effect campaigns; long campaigns must survive preemption without
+/// losing determinism).
+///
+/// A checkpoint is deliberately minimal: driver + scenario identity, the
+/// campaign config, the golden observation, and the ordered prefix of run
+/// records. Everything else a driver holds — guided weights, fault-space
+/// coverage, the closure curve, outcome counts, RNG position — is
+/// reconstructed on resume by replaying generate()/learn() over the
+/// recorded prefix, which is exact because both are deterministic. The
+/// regenerated descriptors are compared against the stored ones as an
+/// integrity check, so a checkpoint from a different config, scenario or
+/// code version fails loudly instead of silently diverging.
+///
+/// On-disk format: JSONL (one flat JSON object per line) with a versioned
+/// header line and a trailing end line that guards against truncation
+/// (e.g. SIGKILL mid-write; save_checkpoint additionally writes to a temp
+/// file and renames). Doubles are serialized as C99 hexfloat strings so the
+/// round trip is bitwise exact.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vps/fault/campaign.hpp"
+
+namespace vps::fault {
+
+struct CampaignCheckpoint {
+  /// Bump when the line schema changes; load rejects other versions.
+  static constexpr std::uint32_t kVersion = 1;
+
+  std::string driver;    ///< "campaign" or "parallel_campaign"
+  std::string scenario;  ///< Scenario::name() of the interrupted campaign
+  CampaignConfig config;
+  Observation golden;
+  /// Completed runs 0..N-1 in run-index order.
+  std::vector<RunRecord> records;
+
+  /// The run index the resumed campaign continues from.
+  [[nodiscard]] std::size_t next_run() const noexcept { return records.size(); }
+};
+
+/// Serializes to the JSONL schema described above.
+[[nodiscard]] std::string to_jsonl(const CampaignCheckpoint& checkpoint);
+
+/// Parses a checkpoint; ensure()-fails on schema/version mismatch, malformed
+/// lines, or a missing/inconsistent end line (truncated file).
+[[nodiscard]] CampaignCheckpoint checkpoint_from_jsonl(const std::string& text);
+
+/// Atomic save: writes `path` + ".tmp" then renames over `path`, so a kill
+/// mid-write leaves either the previous checkpoint or a complete new one.
+void save_checkpoint(const CampaignCheckpoint& checkpoint, const std::string& path);
+
+[[nodiscard]] CampaignCheckpoint load_checkpoint(const std::string& path);
+
+}  // namespace vps::fault

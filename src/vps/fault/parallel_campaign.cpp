@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "vps/fault/campaign.hpp"
+#include "vps/fault/checkpoint.hpp"
 #include "vps/support/ensure.hpp"
 #include "vps/support/thread_pool.hpp"
 
@@ -52,6 +53,41 @@ class ScenarioPool {
   std::vector<std::unique_ptr<Scenario>> idle_;
 };
 
+// Shared with campaign.cpp by spelling, not linkage: small enough that
+// duplicating beats exporting internals.
+bool same_fault(const FaultDescriptor& a, const FaultDescriptor& b) noexcept {
+  return a.id == b.id && a.type == b.type && a.persistence == b.persistence &&
+         a.inject_at == b.inject_at && a.duration == b.duration && a.location == b.location &&
+         a.address == b.address && a.bit == b.bit && a.magnitude == b.magnitude;
+}
+
+bool stop_condition_met(const CampaignConfig& config, const CampaignResult& result) noexcept {
+  return config.stop_after_hazards != 0 &&
+         result.count(Outcome::kHazard) >= config.stop_after_hazards;
+}
+
+void fold_run(CampaignResult& result, CampaignState& state, std::size_t run_index,
+              RunRecord record, std::uint32_t attempts) {
+  ++result.outcome_counts[static_cast<std::size_t>(record.outcome)];
+  state.learn(record.fault, record.outcome);  // no-op (false) for kSimCrash
+  if (record.outcome == Outcome::kSimCrash) {
+    result.quarantine.push_back({record.fault, record.crash_what, attempts});
+  }
+  if (record.outcome == Outcome::kHazard && result.faults_to_first_hazard == 0) {
+    result.faults_to_first_hazard = run_index + 1;
+  }
+  result.records.push_back(std::move(record));
+  result.coverage_curve.push_back(state.coverage().coverage());
+  ++result.runs_executed;
+}
+
+void finalize(CampaignResult& result, const CampaignState& state) {
+  result.final_coverage = state.coverage().coverage();
+  result.coverage = std::make_shared<coverage::FaultSpaceCoverage>(state.coverage());
+  result.hazard_probability =
+      support::wilson_interval(result.count(Outcome::kHazard), result.runs_executed);
+}
+
 }  // namespace
 
 ParallelCampaign::ParallelCampaign(ScenarioFactory factory, CampaignConfig config)
@@ -59,21 +95,97 @@ ParallelCampaign::ParallelCampaign(ScenarioFactory factory, CampaignConfig confi
   ensure(static_cast<bool>(factory_), "ParallelCampaign: empty scenario factory");
 }
 
+void ParallelCampaign::ensure_coordinator() {
+  if (coordinator_ != nullptr) return;
+  coordinator_ = factory_();
+  ensure(coordinator_ != nullptr, "ParallelCampaign: scenario factory returned null");
+}
+
+void ParallelCampaign::write_checkpoint(const CampaignResult& partial) const {
+  CampaignCheckpoint cp;
+  cp.driver = "parallel_campaign";
+  cp.scenario = coordinator_->name();
+  cp.config = config_;
+  cp.golden = golden_;
+  cp.records = partial.records;
+  save_checkpoint(cp, config_.checkpoint_path);
+}
+
 CampaignResult ParallelCampaign::run() {
-  const auto started = std::chrono::steady_clock::now();
-  const auto elapsed = [&started] {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
-  };
+  ensure_coordinator();
   if (!golden_valid_) {
-    coordinator_ = factory_();
-    ensure(coordinator_ != nullptr, "ParallelCampaign: scenario factory returned null");
     golden_ = coordinator_->run(nullptr, config_.seed);
     golden_valid_ = true;
     ensure(golden_.completed,
            "ParallelCampaign: golden run did not complete for " + coordinator_->name());
   }
+  CampaignState state(coordinator_->fault_types(), coordinator_->duration(), config_);
+  return execute(0, CampaignResult{}, state);
+}
+
+CampaignResult ParallelCampaign::resume(const CampaignCheckpoint& checkpoint) {
+  ensure_coordinator();
+  ensure(checkpoint.driver == "parallel_campaign",
+         "resume: checkpoint was written by driver '" + checkpoint.driver +
+             "', not 'parallel_campaign'");
+  ensure(checkpoint.scenario == coordinator_->name(),
+         "resume: checkpoint is for scenario '" + checkpoint.scenario + "', not '" +
+             coordinator_->name() + "'");
+  const CampaignConfig& c = checkpoint.config;
+  ensure(c.runs == config_.runs && c.seed == config_.seed && c.strategy == config_.strategy &&
+             c.location_buckets == config_.location_buckets &&
+             c.time_windows == config_.time_windows &&
+             c.stop_after_hazards == config_.stop_after_hazards &&
+             c.batch_size == config_.batch_size && c.crash_retries == config_.crash_retries,
+         "resume: checkpoint config disagrees with this campaign's "
+         "determinism-relevant config (runs/seed/strategy/buckets/windows/"
+         "stop_after_hazards/batch_size/crash_retries)");
+  ensure(checkpoint.records.size() <= config_.runs,
+         "resume: checkpoint has more records than runs");
+  ensure(checkpoint.golden.completed, "resume: checkpoint golden run did not complete");
+  golden_ = checkpoint.golden;
+  golden_valid_ = true;
 
   CampaignState state(coordinator_->fault_types(), coordinator_->duration(), config_);
+  const support::Xorshift base(config_.seed);
+  const std::size_t batch = config_.batch_size == 0 ? kDefaultBatch : config_.batch_size;
+  CampaignResult result;
+  // Replay the recorded prefix batch-by-batch: descriptors of a batch are
+  // regenerated (and verified) against the pre-batch weights, then learning
+  // folds at the barrier — exactly the cadence the interrupted run used.
+  std::size_t next = 0;
+  while (next < checkpoint.records.size()) {
+    const std::size_t n = std::min(batch, config_.runs - next);
+    const std::size_t take = std::min(n, checkpoint.records.size() - next);
+    for (std::size_t b = 0; b < take; ++b) {
+      support::Xorshift run_rng = base.fork(next + b);
+      const FaultDescriptor regenerated = state.generate(next + b, run_rng);
+      ensure(same_fault(regenerated, checkpoint.records[next + b].fault),
+             "resume: run " + std::to_string(next + b) +
+                 " does not regenerate the recorded descriptor — checkpoint is "
+                 "inconsistent with this scenario/config/code version");
+    }
+    for (std::size_t b = 0; b < take; ++b) {
+      fold_run(result, state, next + b, checkpoint.records[next + b],
+               static_cast<std::uint32_t>(config_.crash_retries + 1));
+    }
+    next += take;
+    if (take < n) {
+      // A mid-batch cut is only ever written when the hazard stop condition
+      // ended the campaign inside that batch.
+      ensure(stop_condition_met(config_, result),
+             "resume: parallel checkpoint was not cut at a batch barrier");
+    }
+  }
+  return execute(next, std::move(result), state);
+}
+
+CampaignResult ParallelCampaign::execute(std::size_t start_run, CampaignResult result,
+                                         CampaignState& state) {
+  const auto started = std::chrono::steady_clock::now();
+  const auto elapsed = [&started] {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
+  };
   support::ThreadPool pool(std::max<std::size_t>(1, config_.workers));
   ScenarioPool scenarios(factory_);
 
@@ -81,10 +193,12 @@ CampaignResult ParallelCampaign::run() {
   // so neither scheduling nor the worker count can perturb it.
   const support::Xorshift base(config_.seed);
   const std::size_t batch = config_.batch_size == 0 ? kDefaultBatch : config_.batch_size;
+  const bool checkpointing = config_.checkpoint_every != 0 && !config_.checkpoint_path.empty();
 
-  CampaignResult result;
-  std::size_t next_run = 0;
-  bool stopped = false;
+  std::size_t next_run = start_run;
+  std::size_t executed_this_call = 0;
+  std::size_t runs_since_checkpoint = 0;
+  bool stopped = stop_condition_met(config_, result);  // resumed past the stop
   while (next_run < config_.runs && !stopped) {
     const std::size_t n = std::min(batch, config_.runs - next_run);
 
@@ -97,44 +211,53 @@ CampaignResult ParallelCampaign::run() {
       faults.push_back(state.generate(next_run + b, run_rng));
     }
 
-    // Fan the replays out; each slot is written by exactly one task.
-    std::vector<Outcome> outcomes(n, Outcome::kNoEffect);
+    // Fan the crash-isolated replays out; each slot is written by exactly
+    // one task, and replay_isolated converts a throwing scenario into
+    // kSimCrash instead of letting the exception kill the pool.
+    std::vector<ReplayResult> replays(n);
     pool.parallel_for(n, [&](std::size_t b) {
       auto scenario = scenarios.acquire();
-      const Observation obs = scenario->run(&faults[b], config_.seed);
-      outcomes[b] = classify(golden_, obs);
+      replays[b] =
+          replay_isolated(*scenario, faults[b], config_.seed, golden_, config_.crash_retries);
       scenarios.release(std::move(scenario));
     });
 
     // Barrier: reduce in run-index order — learning, coverage and the
     // closure curve replay exactly as a one-worker execution would.
+    std::size_t processed = 0;
     for (std::size_t b = 0; b < n; ++b) {
-      const Outcome outcome = outcomes[b];
-      ++result.outcome_counts[static_cast<std::size_t>(outcome)];
-      state.learn(faults[b], outcome);
-      result.records.push_back({std::move(faults[b]), outcome});
-      result.coverage_curve.push_back(state.coverage().coverage());
-      ++result.runs_executed;
-      if (outcome == Outcome::kHazard && result.faults_to_first_hazard == 0) {
-        result.faults_to_first_hazard = next_run + b + 1;
-      }
-      if (config_.stop_after_hazards != 0 &&
-          result.count(Outcome::kHazard) >= config_.stop_after_hazards) {
+      fold_run(result, state, next_run + b,
+               {std::move(faults[b]), replays[b].outcome, std::move(replays[b].crash_what)},
+               replays[b].attempts);
+      processed = b + 1;
+      if (stop_condition_met(config_, result)) {
         stopped = true;
         break;
       }
     }
     next_run += n;
+    executed_this_call += processed;
     if (monitor_ != nullptr) {
       monitor_->on_progress(progress_snapshot(coordinator_->name(), result, config_.runs,
                                               state.coverage().coverage(), elapsed()));
     }
+    if (checkpointing) {
+      runs_since_checkpoint += processed;
+      if (runs_since_checkpoint >= config_.checkpoint_every) {
+        write_checkpoint(result);
+        runs_since_checkpoint = 0;
+      }
+    }
+    if (!stopped && config_.preempt_after != 0 && executed_this_call >= config_.preempt_after &&
+        next_run < config_.runs) {
+      if (!config_.checkpoint_path.empty()) write_checkpoint(result);
+      result.interrupted = true;
+      break;
+    }
   }
 
-  result.final_coverage = state.coverage().coverage();
-  result.hazard_probability =
-      support::wilson_interval(result.count(Outcome::kHazard), result.runs_executed);
-  if (monitor_ != nullptr) {
+  finalize(result, state);
+  if (monitor_ != nullptr && !result.interrupted) {
     monitor_->on_complete(progress_snapshot(coordinator_->name(), result, config_.runs,
                                             result.final_coverage, elapsed()));
   }

@@ -10,6 +10,7 @@ const char* to_string(Outcome o) noexcept {
     case Outcome::kSilentDataCorruption: return "silent_data_corruption";
     case Outcome::kHazard: return "hazard";
     case Outcome::kTimeout: return "timeout";
+    case Outcome::kSimCrash: return "sim_crash";
   }
   return "?";
 }

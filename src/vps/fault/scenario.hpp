@@ -50,8 +50,11 @@ enum class Outcome : std::uint8_t {
   kSilentDataCorruption,  ///< outputs wrong, nothing noticed — the SDC case
   kHazard,                ///< safety goal violated
   kTimeout,               ///< system hung (no completion)
+  kSimCrash,              ///< the *simulator* threw during the replay — an
+                          ///< infrastructure failure, not a system verdict;
+                          ///< quarantined and excluded from safety metrics
 };
-inline constexpr std::size_t kOutcomeCount = 6;
+inline constexpr std::size_t kOutcomeCount = 7;
 
 [[nodiscard]] const char* to_string(Outcome o) noexcept;
 [[nodiscard]] Outcome classify(const Observation& golden, const Observation& faulty) noexcept;

@@ -8,12 +8,10 @@ namespace vps::obs {
 
 KernelTracer::KernelTracer(sim::Kernel& kernel, Options options)
     : kernel_(kernel), options_(options) {
-  kernel_.set_observer(this);
+  kernel_.add_observer(*this);
 }
 
-KernelTracer::~KernelTracer() {
-  if (kernel_.observer() == this) kernel_.set_observer(nullptr);
-}
+KernelTracer::~KernelTracer() { kernel_.remove_observer(*this); }
 
 void KernelTracer::on_process_activation(const sim::Process& process, sim::Time now) {
   ++activations_seen_;
@@ -55,6 +53,14 @@ void KernelTracer::on_delta_cycle(sim::Time now) {
 }
 
 void KernelTracer::on_time_advance(sim::Time) { ++time_advances_seen_; }
+
+void KernelTracer::on_budget_trip(const sim::RunStatus& status) {
+  ++budget_trips_seen_;
+  if (tracer_ != nullptr) {
+    tracer_->instant("kernel", std::string("budget_trip:") + sim::to_string(status.reason),
+                     status.time, "scheduler");
+  }
+}
 
 std::vector<ProcessAttribution> KernelTracer::process_attribution() const {
   std::vector<ProcessAttribution> out;

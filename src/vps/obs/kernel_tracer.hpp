@@ -38,9 +38,9 @@ class KernelTracer final : public sim::KernelObserver {
     std::uint64_t counter_interval = 0;
   };
 
-  /// Attaches to the kernel (kernel.set_observer(this)); detaches in the
+  /// Attaches to the kernel (kernel.add_observer(*this)); detaches in the
   /// destructor. The tracer must outlive the attachment, the kernel must
-  /// outlive this object.
+  /// outlive this object. Coexists with any other KernelObserver.
   explicit KernelTracer(sim::Kernel& kernel) : KernelTracer(kernel, Options()) {}
   KernelTracer(sim::Kernel& kernel, Options options);
   ~KernelTracer() override;
@@ -57,6 +57,7 @@ class KernelTracer final : public sim::KernelObserver {
   void on_event_notified(const sim::Event& event, sim::Time now) override;
   void on_delta_cycle(sim::Time now) override;
   void on_time_advance(sim::Time now) override;
+  void on_budget_trip(const sim::RunStatus& status) override;
 
   /// Attribution sorted by count descending (name breaks ties) for stable
   /// reports.
@@ -67,6 +68,7 @@ class KernelTracer final : public sim::KernelObserver {
   [[nodiscard]] std::uint64_t notifications_seen() const noexcept { return notifications_seen_; }
   [[nodiscard]] std::uint64_t delta_cycles_seen() const noexcept { return delta_cycles_seen_; }
   [[nodiscard]] std::uint64_t time_advances_seen() const noexcept { return time_advances_seen_; }
+  [[nodiscard]] std::uint64_t budget_trips_seen() const noexcept { return budget_trips_seen_; }
 
   /// ASCII report of the hottest processes/events (support::Table).
   [[nodiscard]] std::string report(std::size_t top_n = 10) const;
@@ -85,6 +87,7 @@ class KernelTracer final : public sim::KernelObserver {
   std::uint64_t notifications_seen_ = 0;
   std::uint64_t delta_cycles_seen_ = 0;
   std::uint64_t time_advances_seen_ = 0;
+  std::uint64_t budget_trips_seen_ = 0;
 };
 
 }  // namespace vps::obs

@@ -66,13 +66,13 @@ Event::~Event() { kernel_.unregister_event(*this); }
 
 void Event::notify_immediate() {
   ++kernel_.stats_.notifications;
-  if (kernel_.observer_ != nullptr) kernel_.observer_->on_event_notified(*this, kernel_.now_);
+  for (KernelObserver* o : kernel_.observers_) o->on_event_notified(*this, kernel_.now_);
   fire();
 }
 
 void Event::notify() {
   ++kernel_.stats_.notifications;
-  if (kernel_.observer_ != nullptr) kernel_.observer_->on_event_notified(*this, kernel_.now_);
+  for (KernelObserver* o : kernel_.observers_) o->on_event_notified(*this, kernel_.now_);
   if (delta_pending_) return;
   delta_pending_ = true;
   kernel_.queue_delta_notification(*this);
@@ -80,7 +80,7 @@ void Event::notify() {
 
 void Event::notify(Time delay) {
   ++kernel_.stats_.notifications;
-  if (kernel_.observer_ != nullptr) kernel_.observer_->on_event_notified(*this, kernel_.now_);
+  for (KernelObserver* o : kernel_.observers_) o->on_event_notified(*this, kernel_.now_);
   // Note: unlike IEEE-1666 (where a later notification at an earlier time
   // overrides a pending one), every timed notification matures unless the
   // event is cancelled. All models in this repository are written against
@@ -163,8 +163,36 @@ bool TimedEventAwaiter::await_resume() const noexcept {
 // Kernel
 // ---------------------------------------------------------------------------
 
+const char* to_string(StopReason reason) noexcept {
+  switch (reason) {
+    case StopReason::kIdle: return "idle";
+    case StopReason::kTimeLimit: return "time_limit";
+    case StopReason::kStopRequested: return "stop_requested";
+    case StopReason::kActivationBudget: return "activation_budget";
+    case StopReason::kDeltaBudget: return "delta_budget";
+    case StopReason::kLivelock: return "livelock";
+  }
+  return "?";
+}
+
 Kernel::Kernel() = default;
 Kernel::~Kernel() = default;
+
+void Kernel::add_observer(KernelObserver& observer) {
+  ensure(!has_observer(observer), "Kernel::add_observer: observer already attached");
+  observers_.push_back(&observer);
+}
+
+void Kernel::remove_observer(KernelObserver& observer) noexcept {
+  std::erase(observers_, &observer);
+}
+
+bool Kernel::has_observer(const KernelObserver& observer) const noexcept {
+  for (const KernelObserver* o : observers_) {
+    if (o == &observer) return true;
+  }
+  return false;
+}
 
 Process& Kernel::spawn(std::string name, Coro coro) {
   ensure(coro.valid(), "spawn: coroutine is empty");
@@ -252,7 +280,7 @@ void Kernel::run_process(Process& p) {
   ++stats_.activations;
   ++p.activations_;
   current_ = &p;
-  if (observer_ != nullptr) observer_->on_process_activation(p, now_);
+  for (KernelObserver* o : observers_) o->on_process_activation(p, now_);
   if (p.kind_ == Process::Kind::kMethod) {
     try {
       p.body_();
@@ -273,15 +301,17 @@ void Kernel::run_process(Process& p) {
   }
   current_ = nullptr;
   if (p.state_ != Process::State::kTerminated) p.state_ = Process::State::kWaiting;
-  if (observer_ != nullptr) observer_->on_process_return(p, now_);
+  for (KernelObserver* o : observers_) o->on_process_return(p, now_);
 }
 
-void Kernel::evaluate_phase() {
+bool Kernel::evaluate_phase(std::uint64_t activation_limit) {
   while (!runnable_.empty()) {
+    if (activation_limit != 0 && stats_.activations >= activation_limit) return false;
     Process* p = runnable_.front();
     runnable_.pop_front();
     run_process(*p);
   }
+  return true;
 }
 
 void Kernel::update_phase() {
@@ -331,7 +361,7 @@ bool Kernel::advance_time(Time until) {
     }
     now_ = top.when;
     ++stats_.timed_steps;
-    if (observer_ != nullptr) observer_->on_time_advance(now_);
+    for (KernelObserver* o : observers_) o->on_time_advance(now_);
     while (!timed_.empty() && timed_.top().when == now_) {
       TimedEntry e = timed_.top();
       timed_.pop();
@@ -348,18 +378,56 @@ bool Kernel::advance_time(Time until) {
   return false;
 }
 
-Time Kernel::run(Time until) {
+RunStatus Kernel::budget_trip(StopReason reason) {
+  const RunStatus status{reason, now_};
+  for (KernelObserver* o : observers_) o->on_budget_trip(status);
+  return status;
+}
+
+Time Kernel::run(Time until) { return run(until, RunBudget{}).time; }
+
+RunStatus Kernel::run(Time until, const RunBudget& budget) {
   stop_requested_ = false;
+  // Budgets are relative to the state at entry; convert to absolute
+  // thresholds once so the hot loop compares against constants. With no
+  // budget set this costs one branch per delta cycle (`limited`) and one per
+  // activation (inside evaluate_phase) — measured against E3 in E16.
+  const bool limited = !budget.unlimited();
+  const std::uint64_t activation_limit =
+      budget.max_activations == 0 ? 0 : stats_.activations + budget.max_activations;
+  const std::uint64_t delta_limit =
+      budget.max_delta_cycles == 0 ? 0 : stats_.delta_cycles + budget.max_delta_cycles;
+  std::uint64_t deltas_without_advance = 0;
   while (true) {
-    evaluate_phase();
+    const bool evaluated_fully = evaluate_phase(activation_limit);
     update_phase();
     delta_notification_phase();
     ++stats_.delta_cycles;
-    if (observer_ != nullptr) observer_->on_delta_cycle(now_);
+    for (KernelObserver* o : observers_) o->on_delta_cycle(now_);
     rethrow_pending_error();
-    if (stop_requested_) return now_;
+    if (stop_requested_) return RunStatus{StopReason::kStopRequested, now_};
+    if (limited) {
+      // An evaluate phase cut short means max_activations tripped mid-phase
+      // (the only way to bound an immediate-notification livelock, which
+      // never reaches a delta boundary).
+      if (!evaluated_fully) return budget_trip(StopReason::kActivationBudget);
+      if (activation_limit != 0 && stats_.activations >= activation_limit) {
+        return budget_trip(StopReason::kActivationBudget);
+      }
+      if (delta_limit != 0 && stats_.delta_cycles >= delta_limit) {
+        return budget_trip(StopReason::kDeltaBudget);
+      }
+      ++deltas_without_advance;
+      if (budget.max_deltas_without_advance != 0 &&
+          deltas_without_advance >= budget.max_deltas_without_advance) {
+        return budget_trip(StopReason::kLivelock);
+      }
+    }
     if (!runnable_.empty()) continue;  // another delta cycle at the same time
-    if (!advance_time(until)) return now_;
+    if (!advance_time(until)) {
+      return RunStatus{timed_.empty() ? StopReason::kIdle : StopReason::kTimeLimit, now_};
+    }
+    deltas_without_advance = 0;
   }
 }
 

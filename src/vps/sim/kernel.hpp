@@ -210,25 +210,82 @@ struct KernelStats {
   std::uint64_t updates = 0;           ///< channel updates performed
 };
 
+/// Watchdog budget for a single Kernel::run call. Faulted models can spin
+/// forever in zero-time activity (a process that keeps re-notifying, a
+/// combinational loop, a corrupted scheduler table); a budget bounds the run
+/// without reference to wall-clock time so results stay deterministic. All
+/// limits are relative to the state at the start of the run call; 0 disables
+/// the corresponding limit. With every limit disabled the scheduler pays one
+/// branch per delta cycle plus one per activation (measured in E16).
+struct RunBudget {
+  /// Maximum process activations before the run stops (0 = unlimited).
+  /// Catches livelocks that never finish an evaluate phase (immediate
+  /// self-notification), which the delta-based limits cannot see.
+  std::uint64_t max_activations = 0;
+  /// Maximum completed delta cycles before the run stops (0 = unlimited).
+  std::uint64_t max_delta_cycles = 0;
+  /// Livelock heuristic: stop after this many consecutive delta cycles
+  /// without simulated time advancing (0 = disabled). A healthy model
+  /// settles in a handful of deltas per instant; a faulted one can delta
+  /// forever at the same timestamp.
+  std::uint64_t max_deltas_without_advance = 0;
+
+  [[nodiscard]] bool unlimited() const noexcept {
+    return max_activations == 0 && max_delta_cycles == 0 && max_deltas_without_advance == 0;
+  }
+};
+
+/// Why a budgeted run returned.
+enum class StopReason : std::uint8_t {
+  kIdle,              ///< no activity remains
+  kTimeLimit,         ///< simulated time reached `until`
+  kStopRequested,     ///< Kernel::stop() was called
+  kActivationBudget,  ///< RunBudget::max_activations exhausted
+  kDeltaBudget,       ///< RunBudget::max_delta_cycles exhausted
+  kLivelock,          ///< RunBudget::max_deltas_without_advance tripped
+};
+
+[[nodiscard]] const char* to_string(StopReason reason) noexcept;
+
+/// Structured result of a budgeted run: how it stopped and when.
+struct RunStatus {
+  StopReason reason = StopReason::kIdle;
+  Time time;  ///< simulated time at which the run stopped
+
+  /// True when the run was cut short by its RunBudget (as opposed to
+  /// finishing, hitting the time limit, or an orderly stop()).
+  [[nodiscard]] bool budget_exhausted() const noexcept {
+    return reason == StopReason::kActivationBudget || reason == StopReason::kDeltaBudget ||
+           reason == StopReason::kLivelock;
+  }
+};
+
 /// Passive scheduler observer: the attachment point for the structured
 /// observability layer (obs::KernelTracer). Callbacks fire synchronously on
 /// the simulation thread; with no observer attached the kernel pays a single
-/// pointer test per scheduler action, which keeps disabled-tracing overhead
-/// within the E15 budget. KernelStats stays the cheap aggregate view; an
-/// observer refines it into per-process / per-event attribution.
+/// empty-vector test per scheduler action, which keeps disabled-tracing
+/// overhead within the E15 budget. KernelStats stays the cheap aggregate
+/// view; an observer refines it into per-process / per-event attribution.
+/// Any number of observers may attach (Kernel::add_observer); callbacks fire
+/// in attachment order.
 class KernelObserver {
  public:
   virtual ~KernelObserver() = default;
+  // Every callback defaults to a no-op: with multiple observers attached,
+  // most care about a single hook (a budget watchdog, a delta counter) and
+  // should not have to stub out the rest.
   /// A process was dequeued and is about to run its evaluation slice.
-  virtual void on_process_activation(const Process& process, Time now) = 0;
+  virtual void on_process_activation(const Process& process, Time now) { (void)process, (void)now; }
   /// The process's evaluation slice returned (same simulated instant).
-  virtual void on_process_return(const Process& process, Time now) = 0;
+  virtual void on_process_return(const Process& process, Time now) { (void)process, (void)now; }
   /// An event notification was requested (immediate, delta or timed).
-  virtual void on_event_notified(const Event& event, Time now) = 0;
+  virtual void on_event_notified(const Event& event, Time now) { (void)event, (void)now; }
   /// One evaluate/update/delta-notify cycle completed.
-  virtual void on_delta_cycle(Time now) = 0;
+  virtual void on_delta_cycle(Time now) { (void)now; }
   /// Simulated time advanced to `now`.
-  virtual void on_time_advance(Time now) = 0;
+  virtual void on_time_advance(Time now) { (void)now; }
+  /// A RunBudget limit cut the run short.
+  virtual void on_budget_trip(const RunStatus& status) { (void)status; }
 };
 
 class Kernel {
@@ -249,10 +306,15 @@ class Kernel {
   [[nodiscard]] Time now() const noexcept { return now_; }
   [[nodiscard]] const KernelStats& stats() const noexcept { return stats_; }
 
-  /// Attaches/detaches the (single) scheduler observer; pass nullptr to
-  /// detach. The observer must outlive its attachment.
-  void set_observer(KernelObserver* observer) noexcept { observer_ = observer; }
-  [[nodiscard]] KernelObserver* observer() const noexcept { return observer_; }
+  /// Attaches a scheduler observer; callbacks fire in attachment order. The
+  /// observer must outlive its attachment (detach via remove_observer).
+  /// ensure()-fails on a duplicate attach — the single-slot set_observer it
+  /// replaces silently evicted the previous observer, which lost trace data.
+  void add_observer(KernelObserver& observer);
+  /// Detaches an observer; no-op when it is not attached.
+  void remove_observer(KernelObserver& observer) noexcept;
+  [[nodiscard]] bool has_observer(const KernelObserver& observer) const noexcept;
+  [[nodiscard]] std::size_t observer_count() const noexcept { return observers_.size(); }
 
   [[nodiscard]] Process* current_process() const noexcept { return current_; }
   [[nodiscard]] bool has_pending_activity() const noexcept;
@@ -261,8 +323,21 @@ class Kernel {
   /// Runs until no activity remains or simulated time would exceed `until`.
   /// Returns the time at which simulation stopped.
   Time run(Time until = Time::max());
+  /// Budgeted run: stops additionally when any RunBudget limit is exhausted
+  /// and reports how it stopped. A trip leaves the kernel consistent (no
+  /// torn delta cycle is visible to models) but pending activity remains
+  /// queued; the campaign layer classifies such runs as Outcome::kTimeout.
+  RunStatus run(Time until, const RunBudget& budget);
   /// Runs for a further duration from now().
   Time run_for(Time duration) { return run(now_ + duration); }
+  /// Budgeted variant of run_for (saturating, so duration may be Time::max()).
+  RunStatus run_for(Time duration, const RunBudget& budget) {
+    return run(now_ + duration, budget);
+  }
+  /// Runs with no time limit until idle, stop() or a budget trip.
+  RunStatus run_until_idle(const RunBudget& budget = RunBudget{}) {
+    return run(Time::max(), budget);
+  }
   /// Requests an orderly stop at the end of the current delta cycle.
   void stop() noexcept { stop_requested_ = true; }
   [[nodiscard]] bool stop_requested() const noexcept { return stop_requested_; }
@@ -302,16 +377,20 @@ class Kernel {
   void unregister_event(Event& e) { live_events_.erase(&e); }
 
   void run_process(Process& p);
-  void evaluate_phase();
+  /// Runs runnable processes until the queue drains or `activation_limit`
+  /// (absolute stats_.activations threshold; 0 = unlimited) is reached.
+  /// Returns false when the limit cut the phase short.
+  bool evaluate_phase(std::uint64_t activation_limit);
   void update_phase();
   void delta_notification_phase();
   bool advance_time(Time until);
   void rethrow_pending_error();
+  RunStatus budget_trip(StopReason reason);
 
   Time now_ = Time::zero();
   bool stop_requested_ = false;
   Process* current_ = nullptr;
-  KernelObserver* observer_ = nullptr;
+  std::vector<KernelObserver*> observers_;
   std::uint64_t next_seq_ = 0;
   KernelStats stats_;
   std::exception_ptr pending_error_;

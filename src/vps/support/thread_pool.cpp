@@ -76,7 +76,15 @@ void ThreadPool::worker_loop(std::size_t self) {
         std::lock_guard<std::mutex> lock(mutex_);
         --queued_;
       }
-      task();
+      try {
+        task();
+      } catch (...) {
+        // A throwing task used to escape the thread entry point and
+        // std::terminate the whole campaign; capture the first error and
+        // hand it to whoever joins at wait_idle().
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (!error_) error_ = std::current_exception();
+      }
       task = nullptr;
       bool idle;
       {
@@ -95,6 +103,12 @@ void ThreadPool::worker_loop(std::size_t self) {
 void ThreadPool::wait_idle() {
   std::unique_lock<std::mutex> lock(mutex_);
   idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  if (error_) {
+    auto e = error_;
+    error_ = nullptr;
+    lock.unlock();
+    std::rethrow_exception(e);
+  }
 }
 
 void ThreadPool::parallel_for(std::size_t count,
@@ -116,12 +130,13 @@ void ThreadPool::parallel_for(std::size_t count,
         std::lock_guard<std::mutex> lock(state.mutex);
         if (!state.error) state.error = std::current_exception();
       }
-      bool last;
       {
+        // Notify while holding the lock: the waiter destroys `state` as soon
+        // as it observes remaining == 0, so an unlocked notify could touch a
+        // dead condition_variable.
         std::lock_guard<std::mutex> lock(state.mutex);
-        last = --state.remaining == 0;
+        if (--state.remaining == 0) state.done.notify_all();
       }
-      if (last) state.done.notify_all();
     });
   }
   std::unique_lock<std::mutex> lock(state.mutex);

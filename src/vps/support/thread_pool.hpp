@@ -35,7 +35,11 @@ class ThreadPool {
   /// Enqueues a task. Tasks must not submit to or destroy the pool.
   void submit(std::function<void()> task);
 
-  /// Blocks until every submitted task has finished.
+  /// Blocks until every submitted task has finished. If any task submitted
+  /// since the last wait_idle() threw, the first captured exception is
+  /// rethrown here (after all tasks finished) instead of std::terminate
+  /// tearing the process down on the worker thread. An error never claimed
+  /// by wait_idle() is dropped at destruction.
   void wait_idle();
 
   /// Runs body(i) for every i in [0, count) on the pool and blocks until
@@ -60,6 +64,7 @@ class ThreadPool {
   std::size_t queued_ = 0;   // submitted, not yet popped
   std::size_t pending_ = 0;  // submitted, not yet finished
   std::size_t next_queue_ = 0;
+  std::exception_ptr error_;  // first exception a pooled task threw
   bool stop_ = false;
 };
 

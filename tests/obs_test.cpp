@@ -203,22 +203,53 @@ TEST(KernelTracer, AttributionMatchesKernelStats) {
   EXPECT_NE(report.find("tick"), std::string::npos);
 }
 
-TEST(KernelTracer, DetachesOnDestructionWithoutEvictingSuccessor) {
+TEST(KernelTracer, CoexistsWithOtherObserversAndDetachesOnDestruction) {
   Kernel kernel;
   auto first = std::make_unique<obs::KernelTracer>(kernel);
-  EXPECT_EQ(kernel.observer(), first.get());
+  EXPECT_TRUE(kernel.has_observer(*first));
   {
-    // A successor replaces the registration; destroying the *old* tracer
-    // afterwards must not null out the new one.
+    // A second tracer attaches alongside — no eviction in either direction,
+    // and destroying the *old* tracer must not detach the new one.
     obs::KernelTracer second(kernel);
-    EXPECT_EQ(kernel.observer(), &second);
+    EXPECT_TRUE(kernel.has_observer(*first));
+    EXPECT_TRUE(kernel.has_observer(second));
+    EXPECT_EQ(kernel.observer_count(), 2u);
     first.reset();
-    EXPECT_EQ(kernel.observer(), &second);
+    EXPECT_TRUE(kernel.has_observer(second));
+    EXPECT_EQ(kernel.observer_count(), 1u);
   }
-  EXPECT_EQ(kernel.observer(), nullptr);  // last one out detaches
+  EXPECT_EQ(kernel.observer_count(), 0u);  // last one out detaches
   kernel.spawn("p", []() -> Coro { co_await delay(1_ns); }());
   kernel.run();  // no observer: must not crash
   EXPECT_EQ(kernel.now(), 1_ns);
+}
+
+TEST(KernelTracer, CoexistsWithUserObserverAndRecordsBudgetTrips) {
+  // A KernelTracer and a plain user observer attached to the same kernel:
+  // both must see every callback, and a tripped watchdog budget shows up as
+  // a budget_trip instant on the scheduler track.
+  struct TripCounter final : sim::KernelObserver {
+    int trips = 0;
+    void on_budget_trip(const sim::RunStatus&) override { ++trips; }
+  };
+  Kernel kernel;
+  Event e(kernel, "e");
+  kernel.method("storm", [&] { e.notify(); }, {&e}, /*initialize=*/true);
+
+  obs::Tracer tracer;
+  obs::KernelTracer kt(kernel);
+  kt.set_tracer(&tracer);
+  TripCounter user;
+  kernel.add_observer(user);
+
+  const sim::RunStatus status =
+      kernel.run_until_idle(sim::RunBudget{.max_deltas_without_advance = 20});
+  EXPECT_EQ(status.reason, sim::StopReason::kLivelock);
+  EXPECT_EQ(kt.budget_trips_seen(), 1u);
+  EXPECT_EQ(user.trips, 1);
+  EXPECT_EQ(kt.delta_cycles_seen(), kernel.stats().delta_cycles);
+  EXPECT_GT(tracer.events(), 0u);
+  kernel.remove_observer(user);
 }
 
 TEST(Probe, AggregatesLatencyAndEmitsSpans) {

@@ -5,12 +5,14 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
 #include <memory>
 #include <set>
 #include <stdexcept>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -82,6 +84,26 @@ TEST(ThreadPoolTest, ParallelForPropagatesException) {
   std::atomic<int> counter{0};
   pool.parallel_for(8, [&counter](std::size_t) { counter.fetch_add(1); });
   EXPECT_EQ(counter.load(), 8);
+}
+
+TEST(ThreadPoolTest, SubmitRethrowsPooledExceptionAtWaitIdle) {
+  // Regression: an exception thrown inside a submit()ed task used to unwind
+  // the worker thread (std::terminate). It must instead be captured and
+  // rethrown to the caller at the wait point.
+  ThreadPool pool(2);
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.submit([&ran, i] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (i == 3) throw std::runtime_error("pooled task failed");
+    });
+  }
+  EXPECT_THROW(pool.wait_idle(), std::runtime_error);
+  EXPECT_EQ(ran.load(), 8);  // the failure did not kill the other tasks
+  // The error is consumed by the rethrow: the pool stays usable.
+  pool.submit([&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  pool.wait_idle();
+  EXPECT_EQ(ran.load(), 9);
 }
 
 TEST(ThreadPoolTest, ZeroWorkersClampsToOne) {
@@ -239,10 +261,18 @@ void expect_identical(const CampaignResult& a, const CampaignResult& b) {
     EXPECT_EQ(a.records[i].fault.inject_at, b.records[i].fault.inject_at);
     EXPECT_EQ(a.records[i].fault.magnitude, b.records[i].fault.magnitude);
     EXPECT_EQ(a.records[i].outcome, b.records[i].outcome);
+    EXPECT_EQ(a.records[i].crash_what, b.records[i].crash_what);
   }
   ASSERT_EQ(a.coverage_curve.size(), b.coverage_curve.size());
   for (std::size_t i = 0; i < a.coverage_curve.size(); ++i) {
     EXPECT_EQ(a.coverage_curve[i], b.coverage_curve[i]) << "curve diverges at run " << i;
+  }
+  EXPECT_EQ(a.interrupted, b.interrupted);
+  ASSERT_EQ(a.quarantine.size(), b.quarantine.size());
+  for (std::size_t i = 0; i < a.quarantine.size(); ++i) {
+    EXPECT_EQ(a.quarantine[i].fault.id, b.quarantine[i].fault.id);
+    EXPECT_EQ(a.quarantine[i].what, b.quarantine[i].what);
+    EXPECT_EQ(a.quarantine[i].attempts, b.quarantine[i].attempts);
   }
 }
 
@@ -300,6 +330,133 @@ TEST(ParallelCampaignTest, StopAfterHazardsTrimsDeterministically) {
     EXPECT_EQ(w1.runs_executed, w1.faults_to_first_hazard);
     EXPECT_LT(w1.runs_executed, 100u);
   }
+}
+
+// --------------------------------------------------------------------------
+// Crash isolation
+// --------------------------------------------------------------------------
+
+/// Wraps CapsScenario and throws for every descriptor whose id is divisible
+/// by `crash_every` — a deterministic stand-in for a buggy injector/model.
+class CrashyCaps final : public Scenario {
+ public:
+  explicit CrashyCaps(std::uint64_t crash_every) : inner_(CapsConfig{.duration = Time::ms(10)}),
+                                                   crash_every_(crash_every) {}
+  [[nodiscard]] std::string name() const override { return inner_.name(); }
+  [[nodiscard]] vps::sim::Time duration() const override { return inner_.duration(); }
+  [[nodiscard]] std::vector<FaultType> fault_types() const override {
+    return inner_.fault_types();
+  }
+  [[nodiscard]] Observation run(const FaultDescriptor* fault, std::uint64_t seed) override {
+    if (fault != nullptr && fault->id % crash_every_ == 0) {
+      throw std::runtime_error("simulated model crash for fault " + std::to_string(fault->id));
+    }
+    return inner_.run(fault, seed);
+  }
+
+ private:
+  CapsScenario inner_;
+  std::uint64_t crash_every_;
+};
+
+TEST(ParallelCampaignTest, CrashingReplaysQuarantineAndStayDeterministic) {
+  CampaignConfig cfg;
+  cfg.runs = 24;
+  cfg.seed = 42;
+  cfg.location_buckets = 8;
+  cfg.crash_retries = 1;
+  const auto crashy_factory = [] { return std::make_unique<CrashyCaps>(5); };
+
+  cfg.workers = 1;
+  const auto w1 = ParallelCampaign(crashy_factory, cfg).run();
+  cfg.workers = 4;
+  const auto w4 = ParallelCampaign(crashy_factory, cfg).run();
+  cfg.workers = 8;
+  const auto w8 = ParallelCampaign(crashy_factory, cfg).run();
+  expect_identical(w1, w4);
+  expect_identical(w1, w8);
+
+  // Every fifth descriptor crashed; the campaign completed all other runs.
+  EXPECT_EQ(w1.runs_executed, 24u);
+  EXPECT_EQ(w1.count(Outcome::kSimCrash), 24u / 5);
+  ASSERT_EQ(w1.quarantine.size(), 24u / 5);
+  for (const auto& q : w1.quarantine) {
+    EXPECT_EQ(q.fault.id % 5, 0u);
+    EXPECT_NE(q.what.find("simulated model crash"), std::string::npos);
+    EXPECT_EQ(q.attempts, 2u);  // first try + one retry
+  }
+  // Quarantined descriptors carry their diagnostics in the record too.
+  for (const auto& rec : w1.records) {
+    EXPECT_EQ(rec.outcome == Outcome::kSimCrash, !rec.crash_what.empty());
+  }
+  // The quarantine shows up in the weak-spot report instead of vanishing.
+  EXPECT_NE(w1.render_weak_spots().find("quarantine"), std::string::npos);
+}
+
+TEST(ParallelCampaignTest, CrashRetriesAreDeterministicPerDescriptor) {
+  // Re-running the same crashing campaign reproduces the same quarantine —
+  // retries do not inject host nondeterminism into the result.
+  CampaignConfig cfg;
+  cfg.runs = 20;
+  cfg.seed = 7;
+  cfg.location_buckets = 8;
+  cfg.workers = 4;
+  cfg.crash_retries = 3;
+  const auto factory = [] { return std::make_unique<CrashyCaps>(3); };
+  const auto first = ParallelCampaign(factory, cfg).run();
+  const auto second = ParallelCampaign(factory, cfg).run();
+  expect_identical(first, second);
+  EXPECT_GT(first.quarantine.size(), 0u);
+  for (const auto& q : first.quarantine) EXPECT_EQ(q.attempts, 4u);
+}
+
+// --------------------------------------------------------------------------
+// Exact coverage recompute on merge
+// --------------------------------------------------------------------------
+
+TEST(CampaignResultMerge, RecomputesCoverageFromDisjointShards) {
+  // Two shards covering disjoint fault classes: the exact merged coverage is
+  // strictly greater than either shard's own, so a max() fallback would be
+  // visibly wrong.
+  auto cov_a = std::make_shared<FaultSpaceCoverage>(2, 2, 2);
+  cov_a->sample(0, 0, 0.1);
+  cov_a->sample(0, 1, 0.6);
+  auto cov_b = std::make_shared<FaultSpaceCoverage>(2, 2, 2);
+  cov_b->sample(1, 0, 0.1);
+  cov_b->sample(1, 1, 0.6);
+
+  CampaignResult a;
+  a.runs_executed = 2;
+  a.final_coverage = cov_a->coverage();
+  a.coverage = cov_a;
+  CampaignResult b;
+  b.runs_executed = 2;
+  b.final_coverage = cov_b->coverage();
+  b.coverage = cov_b;
+
+  FaultSpaceCoverage expected(2, 2, 2);
+  expected.merge(*cov_a);
+  expected.merge(*cov_b);
+
+  a.merge(b);
+  EXPECT_DOUBLE_EQ(a.final_coverage, expected.coverage());
+  EXPECT_GT(a.final_coverage, cov_a->coverage());
+  EXPECT_GT(a.final_coverage, cov_b->coverage());
+  ASSERT_NE(a.coverage, nullptr);
+  EXPECT_EQ(a.coverage->samples(), 4u);
+  // The inputs were copied, not mutated.
+  EXPECT_EQ(cov_a->samples(), 2u);
+  EXPECT_EQ(cov_b->samples(), 2u);
+
+  // Without a shard on one side the merge falls back to the max lower bound
+  // (and adopts the surviving shard for later merges).
+  CampaignResult c;
+  c.runs_executed = 1;
+  c.final_coverage = 0.9;
+  CampaignResult d = c;
+  d.merge(a);
+  EXPECT_DOUBLE_EQ(d.final_coverage, std::max(0.9, a.final_coverage));
+  EXPECT_EQ(d.coverage, a.coverage);
 }
 
 TEST(ParallelCampaignTest, BatchSizeIsPartOfTheContractWorkersAreNot) {

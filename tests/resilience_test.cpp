@@ -1,0 +1,464 @@
+// Fault-tolerant campaign execution: kernel watchdog budgets terminating
+// livelocked models as kTimeout, crash-isolated replays quarantining
+// throwing scenarios as kSimCrash, and checkpoint/resume producing results
+// byte-identical to an uninterrupted campaign for both drivers.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "vps/apps/caps.hpp"
+#include "vps/fault/campaign.hpp"
+#include "vps/fault/checkpoint.hpp"
+#include "vps/sim/kernel.hpp"
+#include "vps/support/crc.hpp"
+#include "vps/support/ensure.hpp"
+
+namespace {
+
+using namespace vps::fault;
+using vps::apps::CapsConfig;
+using vps::apps::CapsScenario;
+using vps::sim::Coro;
+using vps::sim::Event;
+using vps::sim::Kernel;
+using vps::sim::RunBudget;
+using vps::sim::RunStatus;
+using vps::sim::StopReason;
+using vps::sim::Time;
+using vps::support::InvariantError;
+
+// --------------------------------------------------------------------------
+// Livelocked model -> kTimeout (tentpole part 1, end to end)
+// --------------------------------------------------------------------------
+
+/// A tiny VP whose model livelocks under every injected fault: the fault
+/// starts a delta-notification storm at inject_at, so without a watchdog
+/// budget the replay would hang the campaign worker forever. The scenario's
+/// detection logic never fires, making every timeout undetected-dangerous.
+class LivelockScenario final : public Scenario {
+ public:
+  [[nodiscard]] std::string name() const override { return "livelock_probe"; }
+  [[nodiscard]] Time duration() const override { return Time::us(100); }
+  [[nodiscard]] std::vector<FaultType> fault_types() const override {
+    return {FaultType::kSignalStuck};
+  }
+  [[nodiscard]] Observation run(const FaultDescriptor* fault, std::uint64_t) override {
+    Kernel kernel;
+    Event storm(kernel, "storm");
+    std::uint64_t ticks = 0;
+    kernel.spawn("workload", [](Kernel& k, std::uint64_t& ticks) -> Coro {
+      while (k.now() < Time::us(100)) {
+        co_await vps::sim::delay(Time::us(1));
+        ++ticks;
+      }
+    }(kernel, ticks));
+    if (fault != nullptr) {
+      kernel.method("stuck_feedback", [&storm] { storm.notify(); }, {&storm},
+                    /*initialize=*/false);
+      kernel.spawn("fault", [](Event& storm, Time at) -> Coro {
+        co_await vps::sim::delay(at);
+        storm.notify();
+      }(storm, fault->inject_at));
+    }
+    const RunStatus status =
+        kernel.run(Time::us(100), RunBudget{.max_deltas_without_advance = 1000});
+    Observation obs;
+    obs.completed = !status.budget_exhausted();
+    vps::support::Crc32 sig;
+    sig.update_u64(ticks);
+    obs.output_signature = sig.value();
+    return obs;
+  }
+};
+
+TEST(Resilience, LivelockedModelClassifiesAsTimeoutAndDragsDcDown) {
+  LivelockScenario scenario;
+  CampaignConfig cfg;
+  cfg.runs = 12;
+  cfg.seed = 3;
+  cfg.location_buckets = 4;
+  const auto result = Campaign(scenario, cfg).run();
+  // Every fault livelocks the model; the budget terminated every replay.
+  EXPECT_EQ(result.count(Outcome::kTimeout), 12u);
+  EXPECT_EQ(result.runs_executed, 12u);
+  // Undetected hangs are dangerous: DC must collapse to 0, not report 1.
+  EXPECT_DOUBLE_EQ(result.diagnostic_coverage(), 0.0);
+  const auto spots = result.weak_spots();
+  ASSERT_EQ(spots.size(), 1u);
+  EXPECT_DOUBLE_EQ(spots[0].danger_rate(), 1.0);
+}
+
+TEST(Resilience, LivelockTerminatesWithinBudgetNotWallClock) {
+  // Direct check that the run returns (rather than relying on a test
+  // timeout): a single livelocked replay stops after ~1000 deltas.
+  LivelockScenario scenario;
+  FaultDescriptor fault;
+  fault.id = 1;
+  fault.type = FaultType::kSignalStuck;
+  fault.inject_at = Time::us(50);
+  const Observation golden = scenario.run(nullptr, 1);
+  ASSERT_TRUE(golden.completed);
+  const Observation faulty = scenario.run(&fault, 1);
+  EXPECT_FALSE(faulty.completed);
+  EXPECT_EQ(classify(golden, faulty), Outcome::kTimeout);
+}
+
+// --------------------------------------------------------------------------
+// Throwing scenario -> kSimCrash (tentpole part 2, sequential driver)
+// --------------------------------------------------------------------------
+
+/// Throws on descriptors whose id is divisible by `crash_every`; runs the
+/// wrapped airbag scenario otherwise.
+class CrashyCaps final : public Scenario {
+ public:
+  explicit CrashyCaps(std::uint64_t crash_every)
+      : inner_(CapsConfig{.duration = Time::ms(10)}), crash_every_(crash_every) {}
+  [[nodiscard]] std::string name() const override { return inner_.name(); }
+  [[nodiscard]] Time duration() const override { return inner_.duration(); }
+  [[nodiscard]] std::vector<FaultType> fault_types() const override {
+    return inner_.fault_types();
+  }
+  [[nodiscard]] Observation run(const FaultDescriptor* fault, std::uint64_t seed) override {
+    if (fault != nullptr && fault->id % crash_every_ == 0) {
+      throw std::runtime_error("model crash @" + std::to_string(fault->id));
+    }
+    return inner_.run(fault, seed);
+  }
+
+ private:
+  CapsScenario inner_;
+  std::uint64_t crash_every_;
+};
+
+TEST(Resilience, ThrowingScenarioIsQuarantinedAndCampaignContinues) {
+  CrashyCaps scenario(4);
+  CampaignConfig cfg;
+  cfg.runs = 16;
+  cfg.seed = 8;
+  cfg.location_buckets = 8;
+  cfg.crash_retries = 2;
+  const auto result = Campaign(scenario, cfg).run();
+  EXPECT_EQ(result.runs_executed, 16u);  // the crashes did not end the campaign
+  EXPECT_EQ(result.count(Outcome::kSimCrash), 4u);
+  ASSERT_EQ(result.quarantine.size(), 4u);
+  for (const auto& q : result.quarantine) {
+    EXPECT_EQ(q.fault.id % 4, 0u);
+    EXPECT_NE(q.what.find("model crash"), std::string::npos);
+    EXPECT_EQ(q.attempts, 3u);  // 1 + crash_retries
+  }
+  // Crashes are infrastructure failures: excluded from DC entirely. A
+  // result whose only "bad" outcomes are crashes keeps the DC of the rest.
+  CampaignResult only_crashes;
+  only_crashes.outcome_counts[static_cast<std::size_t>(Outcome::kSimCrash)] = 5;
+  only_crashes.runs_executed = 5;
+  EXPECT_DOUBLE_EQ(only_crashes.diagnostic_coverage(), 1.0);
+}
+
+TEST(Resilience, ReplayIsolatedRetriesThenCapturesDiagnostics) {
+  CrashyCaps scenario(1);  // every descriptor crashes
+  FaultDescriptor fault;
+  fault.id = 7;
+  Observation golden;
+  golden.completed = true;
+  const ReplayResult r = replay_isolated(scenario, fault, 1, golden, 2);
+  EXPECT_EQ(r.outcome, Outcome::kSimCrash);
+  EXPECT_EQ(r.attempts, 3u);
+  EXPECT_NE(r.crash_what.find("model crash @7"), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Checkpoint serialization (tentpole part 3)
+// --------------------------------------------------------------------------
+
+CampaignCheckpoint sample_checkpoint() {
+  CampaignCheckpoint cp;
+  cp.driver = "campaign";
+  cp.scenario = "airbag \"caps\"\nv2";  // exercises JSON string escaping
+  cp.config.runs = 40;
+  cp.config.seed = 0xDEADBEEF;
+  cp.config.strategy = Strategy::kGuided;
+  cp.config.location_buckets = 8;
+  cp.config.time_windows = 4;
+  cp.config.stop_after_hazards = 3;
+  cp.config.batch_size = 7;
+  cp.config.crash_retries = 2;
+  cp.golden.output_signature = 0x12345678;
+  cp.golden.completed = true;
+  cp.golden.detected = 2;
+  RunRecord r1;
+  r1.fault.id = 1;
+  r1.fault.type = FaultType::kSensorOffset;
+  r1.fault.persistence = Persistence::kTransient;
+  r1.fault.inject_at = Time::us(13);
+  r1.fault.duration = Time::ns(700);
+  r1.fault.location = "sensor/radar[0]";
+  r1.fault.address = 0xFFFF0001;
+  r1.fault.bit = -1;
+  r1.fault.magnitude = 0.1;  // not exactly representable: hexfloat must hold it
+  r1.outcome = Outcome::kSilentDataCorruption;
+  RunRecord r2;
+  r2.fault.id = 2;
+  r2.fault.type = FaultType::kTaskKill;
+  r2.fault.persistence = Persistence::kPermanent;
+  r2.fault.location = "os/task \\ \"control\"";
+  r2.fault.magnitude = -1.0 / 3.0;
+  r2.outcome = Outcome::kSimCrash;
+  r2.crash_what = "std::bad_alloc\tduring replay";
+  cp.records = {r1, r2};
+  return cp;
+}
+
+TEST(Checkpoint, JsonlRoundTripIsExact) {
+  const CampaignCheckpoint cp = sample_checkpoint();
+  const std::string text = to_jsonl(cp);
+  const CampaignCheckpoint back = checkpoint_from_jsonl(text);
+  EXPECT_EQ(back.driver, cp.driver);
+  EXPECT_EQ(back.scenario, cp.scenario);
+  EXPECT_EQ(back.config.runs, cp.config.runs);
+  EXPECT_EQ(back.config.seed, cp.config.seed);
+  EXPECT_EQ(back.config.strategy, cp.config.strategy);
+  EXPECT_EQ(back.config.location_buckets, cp.config.location_buckets);
+  EXPECT_EQ(back.config.time_windows, cp.config.time_windows);
+  EXPECT_EQ(back.config.stop_after_hazards, cp.config.stop_after_hazards);
+  EXPECT_EQ(back.config.batch_size, cp.config.batch_size);
+  EXPECT_EQ(back.config.crash_retries, cp.config.crash_retries);
+  EXPECT_EQ(back.golden.output_signature, cp.golden.output_signature);
+  EXPECT_EQ(back.golden.completed, cp.golden.completed);
+  EXPECT_EQ(back.golden.detected, cp.golden.detected);
+  ASSERT_EQ(back.records.size(), cp.records.size());
+  for (std::size_t i = 0; i < cp.records.size(); ++i) {
+    const auto& a = cp.records[i];
+    const auto& b = back.records[i];
+    EXPECT_EQ(b.fault.id, a.fault.id);
+    EXPECT_EQ(b.fault.type, a.fault.type);
+    EXPECT_EQ(b.fault.persistence, a.fault.persistence);
+    EXPECT_EQ(b.fault.inject_at, a.fault.inject_at);
+    EXPECT_EQ(b.fault.duration, a.fault.duration);
+    EXPECT_EQ(b.fault.location, a.fault.location);
+    EXPECT_EQ(b.fault.address, a.fault.address);
+    EXPECT_EQ(b.fault.bit, a.fault.bit);
+    EXPECT_EQ(b.fault.magnitude, a.fault.magnitude);  // bitwise via hexfloat
+    EXPECT_EQ(b.outcome, a.outcome);
+    EXPECT_EQ(b.crash_what, a.crash_what);
+  }
+  EXPECT_EQ(back.next_run(), 2u);
+  // Serialization is deterministic (resume must be able to re-save the same
+  // bytes when nothing changed).
+  EXPECT_EQ(to_jsonl(back), text);
+}
+
+TEST(Checkpoint, RejectsTruncationVersionSkewAndGarbage) {
+  const std::string text = to_jsonl(sample_checkpoint());
+  // Truncation: losing the end line (or part of it) must be detected.
+  const std::size_t last_line = text.rfind("\n{");
+  ASSERT_NE(last_line, std::string::npos);
+  EXPECT_THROW((void)checkpoint_from_jsonl(text.substr(0, last_line + 1)), InvariantError);
+  EXPECT_THROW((void)checkpoint_from_jsonl(text.substr(0, text.size() - 4)), InvariantError);
+  // Version skew.
+  std::string skewed = text;
+  const std::size_t v = skewed.find("\"version\":1");
+  ASSERT_NE(v, std::string::npos);
+  skewed.replace(v, 11, "\"version\":9");
+  EXPECT_THROW((void)checkpoint_from_jsonl(skewed), InvariantError);
+  // Arbitrary garbage.
+  EXPECT_THROW((void)checkpoint_from_jsonl("not a checkpoint"), InvariantError);
+  EXPECT_THROW((void)checkpoint_from_jsonl(""), InvariantError);
+}
+
+TEST(Checkpoint, SaveLoadRoundTripsThroughDisk) {
+  const std::string path = "/tmp/vps_checkpoint_roundtrip.jsonl";
+  const CampaignCheckpoint cp = sample_checkpoint();
+  save_checkpoint(cp, path);
+  const CampaignCheckpoint back = load_checkpoint(path);
+  EXPECT_EQ(to_jsonl(back), to_jsonl(cp));
+  std::remove(path.c_str());
+  EXPECT_THROW((void)load_checkpoint(path), InvariantError);
+}
+
+// --------------------------------------------------------------------------
+// Resume == uninterrupted (both drivers)
+// --------------------------------------------------------------------------
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.outcome_counts, b.outcome_counts);
+  EXPECT_EQ(a.runs_executed, b.runs_executed);
+  EXPECT_EQ(a.faults_to_first_hazard, b.faults_to_first_hazard);
+  EXPECT_EQ(a.final_coverage, b.final_coverage);
+  EXPECT_EQ(a.coverage_curve, b.coverage_curve);
+  EXPECT_EQ(a.interrupted, b.interrupted);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].fault.id, b.records[i].fault.id);
+    EXPECT_EQ(a.records[i].fault.type, b.records[i].fault.type);
+    EXPECT_EQ(a.records[i].fault.inject_at, b.records[i].fault.inject_at);
+    EXPECT_EQ(a.records[i].fault.address, b.records[i].fault.address);
+    EXPECT_EQ(a.records[i].fault.magnitude, b.records[i].fault.magnitude);
+    EXPECT_EQ(a.records[i].outcome, b.records[i].outcome);
+    EXPECT_EQ(a.records[i].crash_what, b.records[i].crash_what);
+  }
+  ASSERT_EQ(a.quarantine.size(), b.quarantine.size());
+  for (std::size_t i = 0; i < a.quarantine.size(); ++i) {
+    EXPECT_EQ(a.quarantine[i].fault.id, b.quarantine[i].fault.id);
+    EXPECT_EQ(a.quarantine[i].what, b.quarantine[i].what);
+    EXPECT_EQ(a.quarantine[i].attempts, b.quarantine[i].attempts);
+  }
+  EXPECT_EQ(a.hazard_probability.estimate, b.hazard_probability.estimate);
+  EXPECT_EQ(a.hazard_probability.lo, b.hazard_probability.lo);
+  EXPECT_EQ(a.hazard_probability.hi, b.hazard_probability.hi);
+}
+
+TEST(Resilience, SequentialResumeMatchesUninterruptedRun) {
+  const std::string path = "/tmp/vps_resume_seq.jsonl";
+  for (const auto strategy : {Strategy::kMonteCarlo, Strategy::kGuided}) {
+    SCOPED_TRACE(to_string(strategy));
+    CampaignConfig cfg;
+    cfg.runs = 30;
+    cfg.seed = 21;
+    cfg.strategy = strategy;
+    cfg.location_buckets = 8;
+    cfg.checkpoint_path = path;
+
+    CapsScenario uninterrupted_scenario(CapsConfig{.duration = Time::ms(10)});
+    const auto uninterrupted = Campaign(uninterrupted_scenario, cfg).run();
+
+    for (const std::size_t cut : {std::size_t{5}, std::size_t{13}, std::size_t{29}}) {
+      SCOPED_TRACE("cut=" + std::to_string(cut));
+      cfg.preempt_after = cut;
+      CapsScenario first_half(CapsConfig{.duration = Time::ms(10)});
+      const auto partial = Campaign(first_half, cfg).run();
+      EXPECT_TRUE(partial.interrupted);
+      EXPECT_EQ(partial.runs_executed, cut);
+
+      const CampaignCheckpoint cp = load_checkpoint(path);
+      EXPECT_EQ(cp.next_run(), cut);
+      CampaignConfig resume_cfg = cfg;
+      resume_cfg.preempt_after = 0;
+      CapsScenario second_half(CapsConfig{.duration = Time::ms(10)});
+      const auto resumed = Campaign(second_half, resume_cfg).resume(cp);
+      expect_identical(resumed, uninterrupted);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Resilience, SequentialResumeWithCrashesRebuildsQuarantine) {
+  const std::string path = "/tmp/vps_resume_crash.jsonl";
+  CampaignConfig cfg;
+  cfg.runs = 20;
+  cfg.seed = 5;
+  cfg.location_buckets = 8;
+  cfg.checkpoint_path = path;
+  CrashyCaps full(3);
+  const auto uninterrupted = Campaign(full, cfg).run();
+  ASSERT_GT(uninterrupted.quarantine.size(), 0u);
+
+  cfg.preempt_after = 11;  // past at least one crashing run
+  CrashyCaps half(3);
+  const auto partial = Campaign(half, cfg).run();
+  ASSERT_TRUE(partial.interrupted);
+  const CampaignCheckpoint cp = load_checkpoint(path);
+  CampaignConfig resume_cfg = cfg;
+  resume_cfg.preempt_after = 0;
+  CrashyCaps rest(3);
+  const auto resumed = Campaign(rest, resume_cfg).resume(cp);
+  expect_identical(resumed, uninterrupted);
+  std::remove(path.c_str());
+}
+
+TEST(Resilience, ParallelResumeMatchesUninterruptedRunForAnyWorkerCount) {
+  const std::string path = "/tmp/vps_resume_par.jsonl";
+  CampaignConfig cfg;
+  cfg.runs = 24;
+  cfg.seed = 42;
+  cfg.strategy = Strategy::kGuided;
+  cfg.location_buckets = 8;
+  cfg.batch_size = 8;
+  cfg.checkpoint_path = path;
+  const auto factory = [] {
+    return std::make_unique<CapsScenario>(CapsConfig{.duration = Time::ms(10)});
+  };
+
+  cfg.workers = 4;
+  const auto uninterrupted = ParallelCampaign(factory, cfg).run();
+
+  cfg.preempt_after = 8;  // preempts at the first batch barrier
+  const auto partial = ParallelCampaign(factory, cfg).run();
+  EXPECT_TRUE(partial.interrupted);
+  EXPECT_EQ(partial.runs_executed, 8u);
+
+  const CampaignCheckpoint cp = load_checkpoint(path);
+  EXPECT_EQ(cp.driver, "parallel_campaign");
+  EXPECT_EQ(cp.next_run(), 8u);
+  CampaignConfig resume_cfg = cfg;
+  resume_cfg.preempt_after = 0;
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{4}, std::size_t{8}}) {
+    SCOPED_TRACE("workers=" + std::to_string(workers));
+    resume_cfg.workers = workers;
+    const auto resumed = ParallelCampaign(factory, resume_cfg).resume(cp);
+    expect_identical(resumed, uninterrupted);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Resilience, PeriodicCheckpointsAreWrittenDuringTheRun) {
+  const std::string path = "/tmp/vps_periodic_cp.jsonl";
+  CampaignConfig cfg;
+  cfg.runs = 10;
+  cfg.seed = 9;
+  cfg.location_buckets = 4;
+  cfg.checkpoint_every = 4;
+  cfg.checkpoint_path = path;
+  CapsScenario scenario(CapsConfig{.duration = Time::ms(10)});
+  const auto result = Campaign(scenario, cfg).run();
+  EXPECT_FALSE(result.interrupted);
+  EXPECT_EQ(result.runs_executed, 10u);
+  // The last periodic checkpoint (at run 8) is on disk and resumable.
+  const CampaignCheckpoint cp = load_checkpoint(path);
+  EXPECT_EQ(cp.next_run(), 8u);
+  CapsScenario rest(CapsConfig{.duration = Time::ms(10)});
+  const auto resumed = Campaign(rest, cfg).resume(cp);
+  expect_identical(resumed, result);
+  std::remove(path.c_str());
+}
+
+TEST(Resilience, ResumeRejectsMismatchedConfigScenarioOrDriver) {
+  const std::string path = "/tmp/vps_resume_reject.jsonl";
+  CampaignConfig cfg;
+  cfg.runs = 8;
+  cfg.seed = 2;
+  cfg.location_buckets = 4;
+  cfg.preempt_after = 4;
+  cfg.checkpoint_path = path;
+  CapsScenario scenario(CapsConfig{.duration = Time::ms(10)});
+  (void)Campaign(scenario, cfg).run();
+  const CampaignCheckpoint cp = load_checkpoint(path);
+
+  CampaignConfig other = cfg;
+  other.seed = 3;
+  CapsScenario s2(CapsConfig{.duration = Time::ms(10)});
+  EXPECT_THROW((void)Campaign(s2, other).resume(cp), InvariantError);
+
+  // Wrong driver: a sequential checkpoint cannot seed a parallel campaign.
+  CampaignConfig par = cfg;
+  par.preempt_after = 0;
+  ParallelCampaign parallel(
+      [] { return std::make_unique<CapsScenario>(CapsConfig{.duration = Time::ms(10)}); }, par);
+  EXPECT_THROW((void)parallel.resume(cp), InvariantError);
+
+  // Wrong scenario.
+  LivelockScenario foreign;
+  CampaignConfig lcfg = cfg;
+  lcfg.preempt_after = 0;
+  EXPECT_THROW((void)Campaign(foreign, lcfg).resume(cp), InvariantError);
+  std::remove(path.c_str());
+}
+
+}  // namespace

@@ -15,6 +15,7 @@
 #include "vps/sim/signal.hpp"
 #include "vps/sim/time.hpp"
 #include "vps/sim/trace.hpp"
+#include "vps/support/ensure.hpp"
 
 namespace {
 
@@ -660,6 +661,160 @@ b00000011 "
 )";
   EXPECT_EQ(content, golden);
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Watchdog budgets (RunBudget / RunStatus)
+// ---------------------------------------------------------------------------
+
+TEST(RunBudget, DeltaLivelockStopsWithLivelockReason) {
+  Kernel k;
+  Event e(k, "e");
+  // Delta livelock: the method re-notifies its own trigger every delta, so
+  // time never advances and an unbudgeted run would spin forever.
+  k.method("storm", [&] { e.notify(); }, {&e}, /*initialize=*/true);
+  const RunStatus status = k.run_until_idle(RunBudget{.max_deltas_without_advance = 100});
+  EXPECT_EQ(status.reason, StopReason::kLivelock);
+  EXPECT_TRUE(status.budget_exhausted());
+  EXPECT_EQ(status.time, Time::zero());  // never left t = 0
+  EXPECT_STREQ(to_string(status.reason), "livelock");
+}
+
+TEST(RunBudget, ImmediateSelfNotificationStopsOnActivationBudget) {
+  Kernel k;
+  Event e(k, "e");
+  // Immediate self-notification never lets the evaluate phase drain, so no
+  // delta boundary is ever reached: only the activation budget can catch it.
+  k.method("storm", [&] { e.notify_immediate(); }, {&e}, /*initialize=*/true);
+  const RunStatus status = k.run_until_idle(RunBudget{.max_activations = 1000});
+  EXPECT_EQ(status.reason, StopReason::kActivationBudget);
+  EXPECT_TRUE(status.budget_exhausted());
+  EXPECT_GE(k.stats().activations, 1000u);
+}
+
+TEST(RunBudget, DeltaCycleBudgetStops) {
+  Kernel k;
+  Event e(k, "e");
+  k.method("storm", [&] { e.notify(); }, {&e}, /*initialize=*/true);
+  const RunStatus status = k.run_until_idle(RunBudget{.max_delta_cycles = 50});
+  EXPECT_EQ(status.reason, StopReason::kDeltaBudget);
+  EXPECT_GE(k.stats().delta_cycles, 50u);
+}
+
+TEST(RunBudget, LivelockCounterResetsOnTimeAdvance) {
+  Kernel k;
+  k.spawn("healthy", []() -> Coro {
+    for (int i = 0; i < 50; ++i) co_await delay(1_ns);
+  }());
+  // A healthy periodic process advances time every delta or two — far below
+  // the heuristic threshold, so a tight livelock guard must not fire.
+  const RunStatus status = k.run_until_idle(RunBudget{.max_deltas_without_advance = 3});
+  EXPECT_EQ(status.reason, StopReason::kIdle);
+  EXPECT_FALSE(status.budget_exhausted());
+  EXPECT_EQ(k.now(), 50_ns);
+}
+
+TEST(RunBudget, DistinguishesIdleFromTimeLimit) {
+  Kernel k;
+  k.spawn("p", []() -> Coro { co_await delay(10_ns); }());
+  Kernel k2;
+  k2.spawn("p", []() -> Coro {
+    for (;;) co_await delay(10_ns);
+  }());
+  EXPECT_EQ(k.run_until_idle().reason, StopReason::kIdle);
+  EXPECT_EQ(k2.run_for(25_ns, RunBudget{}).reason, StopReason::kTimeLimit);
+  EXPECT_EQ(k2.now(), 25_ns);
+}
+
+TEST(RunBudget, BudgetsAreRelativeToRunEntryAndResumable) {
+  Kernel k;
+  int wakeups = 0;
+  k.spawn("p", [](int& wakeups) -> Coro {
+    for (int i = 0; i < 10; ++i) {
+      co_await delay(1_ns);
+      ++wakeups;
+    }
+  }(wakeups));
+  const RunStatus first = k.run_until_idle(RunBudget{.max_activations = 3});
+  EXPECT_EQ(first.reason, StopReason::kActivationBudget);
+  EXPECT_LT(wakeups, 10);
+  // A fresh call gets a fresh allowance (limits are relative to run() entry,
+  // not lifetime totals), so the same budget eventually finishes the work.
+  RunStatus last = first;
+  for (int guard = 0; guard < 20 && last.budget_exhausted(); ++guard) {
+    last = k.run_until_idle(RunBudget{.max_activations = 3});
+  }
+  EXPECT_EQ(last.reason, StopReason::kIdle);
+  EXPECT_EQ(wakeups, 10);
+  EXPECT_EQ(k.now(), 10_ns);
+}
+
+TEST(RunBudget, LegacyUnbudgetedRunStillReturnsTime) {
+  Kernel k;
+  k.spawn("p", []() -> Coro { co_await delay(7_ns); }());
+  EXPECT_EQ(k.run(), 7_ns);
+}
+
+// ---------------------------------------------------------------------------
+// Multiple kernel observers
+// ---------------------------------------------------------------------------
+
+struct CountingObserver final : KernelObserver {
+  int deltas = 0;
+  int trips = 0;
+  StopReason last_trip = StopReason::kIdle;
+  void on_delta_cycle(Time) override { ++deltas; }
+  void on_budget_trip(const RunStatus& status) override {
+    ++trips;
+    last_trip = status.reason;
+  }
+};
+
+TEST(KernelObserver, MultipleObserversAllReceiveCallbacks) {
+  Kernel k;
+  CountingObserver a;
+  CountingObserver b;
+  k.add_observer(a);
+  k.add_observer(b);
+  EXPECT_EQ(k.observer_count(), 2u);
+  k.spawn("p", []() -> Coro { co_await delay(1_ns); }());
+  k.run();
+  EXPECT_GT(a.deltas, 0);
+  EXPECT_EQ(a.deltas, b.deltas);  // both saw every delta boundary
+
+  k.remove_observer(a);
+  EXPECT_FALSE(k.has_observer(a));
+  EXPECT_TRUE(k.has_observer(b));
+  const int a_before = a.deltas;
+  k.spawn("q", []() -> Coro { co_await delay(1_ns); }());
+  k.run();
+  EXPECT_EQ(a.deltas, a_before);  // detached: no further callbacks
+  EXPECT_GT(b.deltas, a.deltas);
+}
+
+TEST(KernelObserver, DuplicateAttachIsAnInvariantError) {
+  Kernel k;
+  CountingObserver a;
+  k.add_observer(a);
+  EXPECT_THROW(k.add_observer(a), vps::support::InvariantError);
+  k.remove_observer(a);
+  k.remove_observer(a);  // removing a detached observer is a no-op
+  EXPECT_EQ(k.observer_count(), 0u);
+}
+
+TEST(KernelObserver, BudgetTripNotifiesEveryObserver) {
+  Kernel k;
+  Event e(k, "e");
+  k.method("storm", [&] { e.notify(); }, {&e}, /*initialize=*/true);
+  CountingObserver a;
+  CountingObserver b;
+  k.add_observer(a);
+  k.add_observer(b);
+  const RunStatus status = k.run_until_idle(RunBudget{.max_deltas_without_advance = 10});
+  EXPECT_EQ(status.reason, StopReason::kLivelock);
+  EXPECT_EQ(a.trips, 1);
+  EXPECT_EQ(b.trips, 1);
+  EXPECT_EQ(a.last_trip, StopReason::kLivelock);
 }
 
 }  // namespace
