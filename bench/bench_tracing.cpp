@@ -8,16 +8,28 @@
 //   jsonl / chrome full serialization to disk
 // EXPERIMENTS.md E15 records the measured overhead against its <2% budget
 // for the disabled case.
+//
+// E17 — provenance overhead. Every substrate touch point (memory
+// b_transport, signal commit) holds a null ProvenanceTracker* while
+// provenance is off, so the disabled configuration must cost one predicted
+// branch per touch point (<2% vs the same workload, budget shared with
+// E15). Three configurations each for the memory and signal touch points:
+//   disabled   null tracker pointer (the production default)
+//   enabled    tracker attached, clean traffic (no fault active)
+//   poisoned   tracker attached, a fault's taint flowing through the model
 
 #include <benchmark/benchmark.h>
 
 #include <memory>
 #include <string>
 
+#include "vps/hw/memory.hpp"
 #include "vps/obs/kernel_tracer.hpp"
+#include "vps/obs/provenance.hpp"
 #include "vps/obs/trace.hpp"
 #include "vps/sim/kernel.hpp"
 #include "vps/sim/signal.hpp"
+#include "vps/tlm/payload.hpp"
 
 namespace {
 
@@ -88,6 +100,103 @@ BENCHMARK(BM_Tracing_ObserverOnly);
 BENCHMARK(BM_Tracing_TracerNoSink);
 BENCHMARK(BM_Tracing_Jsonl);
 BENCHMARK(BM_Tracing_ChromeTrace);
+
+// --- E17: provenance touch-point overhead ----------------------------------
+
+enum class ProvMode { kDisabled, kEnabled, kPoisoned };
+
+constexpr int kMemOps = 4096;
+
+/// Hammers Memory::b_transport with word reads/writes — the touch point with
+/// the provenance branch on both the read and write path.
+void run_prov_memory(benchmark::State& state, ProvMode mode) {
+  Kernel kernel;
+  hw::Memory mem("bench_mem", 4096, Time::ns(10));
+  obs::ProvenanceTracker tracker(kernel);
+  if (mode != ProvMode::kDisabled) {
+    mem.set_provenance(&tracker);
+    if (mode == ProvMode::kPoisoned) {
+      // One live fault whose poisoned word sits inside the access window, so
+      // the cold attribution path runs every lap over it.
+      tracker.begin_fault(1, "bench#0", "inject:bench");
+      mem.flip_bit(0x40, 3, 1);
+    }
+  }
+  tlm::GenericPayload read(tlm::Command::kRead, 0, 4);
+  tlm::GenericPayload write(tlm::Command::kWrite, 0, 4);
+  write.set_value_le(0xA5A5A5A5u);
+  for (auto _ : state) {
+    for (int i = 0; i < kMemOps; ++i) {
+      const std::uint64_t addr = static_cast<std::uint64_t>(i % 64) * 4;
+      Time delay = Time::zero();
+      read.set_address(addr);
+      read.set_response(tlm::Response::kIncomplete);
+      mem.b_transport(read, delay);
+      // Writes land two words above the reads so the poisoned word is never
+      // cleanly overwritten and stays live for the whole run.
+      write.set_address(0x400 + addr);
+      write.set_response(tlm::Response::kIncomplete);
+      write.clear_poison();
+      mem.b_transport(write, delay);
+      benchmark::DoNotOptimize(read.data().data());
+    }
+  }
+  state.counters["reads"] = static_cast<double>(mem.reads());
+  state.SetItemsProcessed(state.iterations() * kMemOps * 2);
+}
+
+/// Hammers Signal commits — the sim-side touch point: poison-tag compare in
+/// perform_update plus (enabled) a watch_signal commit hook.
+void run_prov_signal(benchmark::State& state, ProvMode mode) {
+  for (auto _ : state) {
+    Kernel fresh;
+    Signal<std::uint32_t> fresh_sig(fresh, "sig", 0);
+    obs::ProvenanceTracker fresh_tracker(fresh);
+    if (mode != ProvMode::kDisabled) {
+      fresh_tracker.watch_signal(fresh_sig, "sig:bench");
+      if (mode == ProvMode::kPoisoned) fresh_tracker.begin_fault(1, "bench#0", "inject:bench");
+    }
+    fresh.spawn("committer", [](Signal<std::uint32_t>& s, ProvMode m) -> Coro {
+      for (int i = 0; i < kIterations; ++i) {
+        if (m == ProvMode::kPoisoned) {
+          s.force_poisoned(static_cast<std::uint32_t>(i), 1);
+        } else {
+          s.write(static_cast<std::uint32_t>(i));
+        }
+        co_await delay(Time::ns(10));
+      }
+    }(fresh_sig, mode));
+    fresh.run();
+    benchmark::DoNotOptimize(fresh.stats().activations);
+  }
+  state.SetItemsProcessed(state.iterations() * kIterations);
+}
+
+void BM_Provenance_MemDisabled(benchmark::State& state) {
+  run_prov_memory(state, ProvMode::kDisabled);
+}
+void BM_Provenance_MemEnabled(benchmark::State& state) {
+  run_prov_memory(state, ProvMode::kEnabled);
+}
+void BM_Provenance_MemPoisoned(benchmark::State& state) {
+  run_prov_memory(state, ProvMode::kPoisoned);
+}
+void BM_Provenance_SignalDisabled(benchmark::State& state) {
+  run_prov_signal(state, ProvMode::kDisabled);
+}
+void BM_Provenance_SignalEnabled(benchmark::State& state) {
+  run_prov_signal(state, ProvMode::kEnabled);
+}
+void BM_Provenance_SignalPoisoned(benchmark::State& state) {
+  run_prov_signal(state, ProvMode::kPoisoned);
+}
+
+BENCHMARK(BM_Provenance_MemDisabled);
+BENCHMARK(BM_Provenance_MemEnabled);
+BENCHMARK(BM_Provenance_MemPoisoned);
+BENCHMARK(BM_Provenance_SignalDisabled);
+BENCHMARK(BM_Provenance_SignalEnabled);
+BENCHMARK(BM_Provenance_SignalPoisoned);
 
 }  // namespace
 

@@ -11,6 +11,11 @@
 // on the Router), and the injected faults (InjectorHub spans) all land in
 //   brake_by_wire.trace.json   (load in Perfetto / chrome://tracing)
 //   brake_by_wire.trace.jsonl  (one JSON object per event)
+// and each injected fault's propagation DAG — sites reached, first
+// detection, measured detection latency — lands in
+//   brake_by_wire.provenance.jsonl / brake_by_wire.provenance.dot
+// Both provenance files carry only simulated-time stamps, so they are
+// byte-identical across reruns (CI diffs them against checked-in goldens).
 
 #include <algorithm>
 #include <cstdio>
@@ -21,7 +26,9 @@
 #include "vps/fault/injector.hpp"
 #include "vps/hw/memory.hpp"
 #include "vps/obs/kernel_tracer.hpp"
+#include "vps/obs/metrics.hpp"
 #include "vps/obs/probe.hpp"
+#include "vps/obs/provenance.hpp"
 #include "vps/obs/trace.hpp"
 #include "vps/sim/kernel.hpp"
 #include "vps/tlm/router.hpp"
@@ -40,6 +47,13 @@ int main() {
   tracer.add_sink(jsonl);
   obs::KernelTracer kernel_tracer(kernel);
   kernel_tracer.set_tracer(&tracer);
+
+  // Metric registry + provenance tracker: the probes below publish counters
+  // into `metrics`; every injected fault grows a propagation DAG in
+  // `provenance`.
+  obs::MetricRegistry metrics;
+  kernel_tracer.set_metrics(&metrics);
+  obs::ProvenanceTracker provenance(kernel);
 
   // --- analog pedal frontend (TDF cluster @ 1 kHz) -------------------------
   // pedal position (0..1) -> injectable channel -> sensor gain -> low-pass.
@@ -63,6 +77,7 @@ int main() {
 
   obs::TransactionProbe bus_probe(kernel, "bbw_bus", 0.0, 200.0, 10);
   bus_probe.set_tracer(&tracer);
+  bus_probe.set_metrics(&metrics);
   bus.set_probe(&bus_probe);
 
   // --- digital side: control task + plausibility + limp-home ---------------
@@ -91,6 +106,9 @@ int main() {
          // Plausibility: a healthy sensor stays within 0..5 V minus margins.
          if (volts < -0.1 || volts > 5.1) {
            ++plausibility_trips;
+           // Ambient detection: the check cannot name the fault it tripped
+           // on, so every live undetected fault is marked detected here.
+           provenance.detect_all("plausibility:brake_control");
            return;  // hold last command
          }
          command_torque(std::clamp(volts / 5.0, 0.0, 1.0) * 3000.0);
@@ -106,6 +124,8 @@ int main() {
   hub.bind_os(os);
   hub.bind_sensor(pedal_channel);
   hub.set_tracer(&tracer);
+  hub.set_provenance(&provenance);
+  wdgm.set_provenance(&provenance);
 
   // The channel sits before the 5x sensor gain, so a 0.4 offset in pedal
   // units is the same 2 V drift the cascade story needs; 1.8 is the severe
@@ -167,12 +187,37 @@ int main() {
       "degraded). Exactly the error-propagation / protection-layering story\n"
       "of the paper's Sec. 3.4.\n\n");
 
+  // --- provenance: who saw each fault, and how fast ------------------------
+  std::printf("== fault provenance ==\n\n");
+  for (const auto& fp : provenance.faults()) {
+    if (fp.detected()) {
+      const sim::Time latency = *fp.detection_latency();
+      std::printf("  %-18s detected at %-28s latency %6.1f ms  (depth %u, %zu sites)\n",
+                  fp.label.c_str(), std::string(fp.containment_site()).c_str(),
+                  static_cast<double>(latency.picoseconds()) / 1e9, fp.depth(), fp.breadth());
+    } else {
+      std::printf("  %-18s LATENT: never detected (reached %zu sites)\n", fp.label.c_str(),
+                  fp.breadth());
+    }
+  }
+  std::printf(
+      "\nNote the drift fault's long latency: injected at 600 ms, it stayed\n"
+      "silent-but-wrong until the severe drift pushed the same channel over\n"
+      "the plausibility bound — exactly the latent-fault interval an FTTI\n"
+      "check in safety::Fmeda must compare against the budget.\n\n");
+
+  std::printf("%s\n", metrics.render().c_str());
   std::printf("%s\n", kernel_tracer.report(8).c_str());
   tracer.flush();
   chrome.close();
+  provenance.write_jsonl("brake_by_wire.provenance.jsonl");
+  provenance.write_dot("brake_by_wire.provenance.dot");
   std::printf("trace: brake_by_wire.trace.json (%llu events, Perfetto-loadable), "
               "brake_by_wire.trace.jsonl (%llu lines)\n",
               static_cast<unsigned long long>(chrome.events_written()),
               static_cast<unsigned long long>(jsonl.lines_written()));
+  std::printf("provenance: brake_by_wire.provenance.jsonl / .dot (%zu faults, "
+              "byte-stable across reruns)\n",
+              provenance.faults().size());
   return 0;
 }

@@ -5,6 +5,7 @@
 #include "vps/can/bus.hpp"
 #include "vps/ecu/platform.hpp"
 #include "vps/fault/injector.hpp"
+#include "vps/obs/provenance.hpp"
 #include "vps/support/crc.hpp"
 #include "vps/support/rng.hpp"
 
@@ -122,9 +123,11 @@ class SensorNode final : public can::CanNode {
   /// Fault hook: while active, one TX-buffer byte is stuck at a garbage
   /// value chosen at activation (an address-decoder-class fault) — applied
   /// after protection is computed, i.e. the corruption CAN's wire CRC
-  /// cannot see and only end-to-end protection can catch.
-  void set_corrupting(bool active) noexcept {
+  /// cannot see and only end-to-end protection can catch. A non-zero
+  /// poison_id stamps every corrupted frame for provenance tracking.
+  void set_corrupting(bool active, std::uint64_t poison_id = 0) noexcept {
     corrupting_ = active;
+    poison_id_ = poison_id;
     if (active) {
       corrupt_byte_ = rng_.index(3);
       corrupt_value_ = static_cast<std::uint8_t>(rng_.next());
@@ -140,7 +143,9 @@ class SensorNode final : public can::CanNode {
       counter_ = static_cast<std::uint8_t>((counter_ + 1) & 0xFF);
       std::uint8_t payload[3] = {value, static_cast<std::uint8_t>(~value), counter_};
       if (corrupting_) payload[corrupt_byte_] = corrupt_value_;
-      bus_.submit(*this, can::CanFrame::make(kAccelFrameId, payload));
+      can::CanFrame frame = can::CanFrame::make(kAccelFrameId, payload);
+      if (corrupting_) frame.poison_id = poison_id_;
+      bus_.submit(*this, frame);
     }
   }
 
@@ -149,6 +154,7 @@ class SensorNode final : public can::CanNode {
   support::Xorshift rng_;
   std::uint8_t counter_ = 0;
   bool corrupting_ = false;
+  std::uint64_t poison_id_ = 0;
   std::size_t corrupt_byte_ = 0;
   std::uint8_t corrupt_value_ = 0;
 };
@@ -208,6 +214,27 @@ Observation CapsScenario::run(const FaultDescriptor* fault_in, std::uint64_t see
   fault::InjectorHub hub(airbag);
   hub.bind_can(bus);
   hub.bind_sensor(accel);
+
+  // Optional end-to-end provenance: one tracker wired through every layer a
+  // fault effect can cross, attached before injection so the minted token is
+  // live at first contact. The firmware's link checks announce themselves by
+  // incrementing the counters at 0x2000/0x2004, so a write watch on those
+  // words timestamps the firmware-level detection instant.
+  obs::ProvenanceTracker tracker(kernel);
+  obs::ProvenanceTracker* prov = config_.provenance ? &tracker : nullptr;
+  if (prov != nullptr) {
+    bus.set_provenance(prov);
+    airbag.bus().set_provenance(prov);
+    airbag.ram().set_provenance(prov);
+    airbag.cpu().set_provenance(prov);
+    hub.set_provenance(prov);
+    prov->watch_signal(airbag.gpio().out(), "sig:airbag.squib");
+    airbag.ram().add_write_watch(0x2000,
+                                 [prov](std::uint32_t) { prov->detect_all("fw.link_check:airbag"); });
+    airbag.ram().add_write_watch(0x2004,
+                                 [prov](std::uint32_t) { prov->detect_all("fw.alive_check:airbag"); });
+  }
+
   if (fault_in != nullptr) {
     FaultDescriptor fault = *fault_in;
     // Memory faults are drawn over the *occupied* image (firmware + data),
@@ -221,11 +248,21 @@ Observation CapsScenario::run(const FaultDescriptor* fault_in, std::uint64_t see
         fault.persistence == fault::Persistence::kIntermittent) {
       // Source-side corruption: a TX-buffer byte sticks at garbage from the
       // injection instant onwards — exactly what link protection must catch
-      // (the wire CRC is computed over the already-corrupted buffer).
-      kernel.spawn("caps.sensor_fault", [](SensorNode& s, Time at) -> sim::Coro {
-        co_await sim::delay(at);
-        s.set_corrupting(true);
-      }(sensor, fault.inject_at));
+      // (the wire CRC is computed over the already-corrupted buffer). This
+      // path bypasses the hub, so the provenance token is minted here.
+      kernel.spawn("caps.sensor_fault",
+                   [](SensorNode& s, obs::ProvenanceTracker* p, FaultDescriptor f) -> sim::Coro {
+                     co_await sim::delay(f.inject_at);
+                     std::uint64_t token = 0;
+                     if (p != nullptr) {
+                       token = fault::provenance_token(f);
+                       p->begin_fault(token,
+                                      std::string(fault::to_string(f.type)) + "#" +
+                                          std::to_string(f.id),
+                                      std::string("inject:") + fault::to_string(f.type));
+                     }
+                     s.set_corrupting(true, token);
+                   }(sensor, prov, fault));
     } else {
       hub.schedule(fault);
     }
@@ -262,6 +299,7 @@ Observation CapsScenario::run(const FaultDescriptor* fault_in, std::uint64_t see
                  (airbag.cpu().state() == hw::Cpu::State::kFaulted ? 1 : 0);
   obs.corrected = airbag.ram().corrected_errors() + bus.stats().retransmissions;
   obs.resets = airbag.reset_count();
+  if (prov != nullptr) obs.provenance = prov->faults();
   return obs;
 }
 

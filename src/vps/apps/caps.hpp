@@ -29,6 +29,12 @@ struct CapsConfig {
   /// Deployment later than crash_time + this limit counts as a hazard
   /// (too late to protect the occupants).
   sim::Time deploy_deadline = sim::Time::ms(6);
+  /// Wires an obs::ProvenanceTracker through every layer (sensor, CAN,
+  /// router, RAM, CPU registers, squib GPIO, firmware link checks) and
+  /// returns the per-fault propagation DAG in Observation::provenance.
+  /// Golden runs stay byte-identical either way: the tracker only ever
+  /// records applied faults.
+  bool provenance = false;
   /// Watchdog budget for the simulation run. The default livelock guard
   /// (2^20 delta cycles without time advance) is far beyond anything the
   /// healthy model does at one timestamp, so it only ever fires on

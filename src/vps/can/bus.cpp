@@ -54,9 +54,10 @@ std::size_t CanBus::pending_frames() const noexcept {
   return n;
 }
 
-void CanBus::set_error_rate(double probability, std::uint64_t seed) {
+void CanBus::set_error_rate(double probability, std::uint64_t seed, std::uint64_t fault_id) {
   error_rate_ = std::clamp(probability, 0.0, 1.0);
   rng_ = support::Xorshift(seed);
+  error_fault_id_ = fault_id;
 }
 
 CanNode* CanBus::arbitrate() {
@@ -119,6 +120,13 @@ sim::Coro CanBus::run() {
 
     if (corrupted) {
       ++stats_.corrupted_frames;
+      if (provenance_ != nullptr && error_fault_id_ != 0) {
+        // Wire-level corruption: the fault touched the bus, and the CRC of
+        // every receiver detects it in the same slot (the frame is never
+        // delivered corrupted — CAN retransmits a clean copy).
+        provenance_->touch(error_fault_id_, "can:" + name());
+        provenance_->detect(error_fault_id_, "can.crc:" + name(), "can:" + name());
+      }
       if (probe_ != nullptr) {
         probe_->mark("can", "crc_error:" + frame_label(frame).substr(4),
                      {obs::TraceArg::number("id", static_cast<double>(frame.id)),
@@ -139,6 +147,12 @@ sim::Coro CanBus::run() {
       if (winner->tec_ > 0) --winner->tec_;  // successful transmission decrements
       if (winner->tec_ <= 127 && winner->state_ == NodeState::kErrorPassive) {
         winner->state_ = NodeState::kErrorActive;
+      }
+      if (provenance_ != nullptr && frame.poison_id != 0) {
+        // Application-level corruption (poisoned before the CRC was
+        // computed): the frame is delivered CRC-clean, carrying the fault
+        // to every receiver — only end-to-end protection can catch it now.
+        provenance_->touch(frame.poison_id, "can:" + name());
       }
       for (CanNode* node : nodes_) {
         if (node == winner || node->state_ == NodeState::kBusOff) continue;

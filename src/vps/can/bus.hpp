@@ -12,6 +12,7 @@
 
 #include "vps/can/frame.hpp"
 #include "vps/obs/probe.hpp"
+#include "vps/obs/provenance.hpp"
 #include "vps/sim/kernel.hpp"
 #include "vps/sim/module.hpp"
 #include "vps/support/rng.hpp"
@@ -75,16 +76,24 @@ class CanBus final : public sim::Module {
   /// become instant marks. nullptr detaches.
   void set_probe(obs::TransactionProbe* probe) noexcept { probe_ = probe; }
   [[nodiscard]] obs::TransactionProbe* probe() const noexcept { return probe_; }
+  /// Attaches a provenance tracker: wire corruption becomes a contact plus a
+  /// CRC detection; delivered frames carrying a poison_id (corrupted before
+  /// protection) become contacts. nullptr detaches.
+  void set_provenance(obs::ProvenanceTracker* tracker) noexcept { provenance_ = tracker; }
   /// Fired after every completed (delivered or failed) frame slot.
   [[nodiscard]] sim::Event& frame_done_event() noexcept { return frame_done_; }
 
   // --- fault-injection interface -----------------------------------------
   /// Each transmitted frame is independently corrupted with this probability
   /// (models EMI bursts on the harness; a corrupted frame fails CRC at every
-  /// receiver and is retransmitted by the sender).
-  void set_error_rate(double probability, std::uint64_t seed = 1);
+  /// receiver and is retransmitted by the sender). A non-zero fault_id
+  /// attributes the corruption for provenance tracking.
+  void set_error_rate(double probability, std::uint64_t seed = 1, std::uint64_t fault_id = 0);
   /// Corrupts exactly the next transmitted frame.
-  void force_error_on_next_frame() noexcept { force_error_ = true; }
+  void force_error_on_next_frame(std::uint64_t fault_id = 0) noexcept {
+    force_error_ = true;
+    if (fault_id != 0) error_fault_id_ = fault_id;
+  }
 
   /// Starts bus-off recovery for a node (ISO 11898 requires a software
   /// request; the node rejoins after 128 x 11 recessive bit times).
@@ -102,9 +111,11 @@ class CanBus final : public sim::Module {
   sim::Event submitted_;
   sim::Event frame_done_;
   obs::TransactionProbe* probe_ = nullptr;
+  obs::ProvenanceTracker* provenance_ = nullptr;
   Stats stats_;
   double error_rate_ = 0.0;
   bool force_error_ = false;
+  std::uint64_t error_fault_id_ = 0;  ///< fault attributed for injected corruption
   support::Xorshift rng_;
 };
 

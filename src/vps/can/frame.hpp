@@ -20,6 +20,11 @@ struct CanFrame {
   std::uint8_t dlc = 0;  ///< data length code, 0..8
   std::array<std::uint8_t, 8> data{};
   bool remote = false;
+  /// Provenance tag: non-zero when the payload bytes were corrupted by that
+  /// fault *before* protection was computed (so the wire CRC cannot see it).
+  /// Metadata only — never serialized onto the wire and excluded from
+  /// frame equality.
+  std::uint64_t poison_id = 0;
 
   [[nodiscard]] static CanFrame make(std::uint16_t id, std::span<const std::uint8_t> payload);
 
@@ -28,7 +33,10 @@ struct CanFrame {
   }
   [[nodiscard]] std::string to_string() const;
 
-  friend bool operator==(const CanFrame&, const CanFrame&) = default;
+  friend bool operator==(const CanFrame& a, const CanFrame& b) noexcept {
+    // poison_id is out-of-band metadata, not frame content.
+    return a.id == b.id && a.dlc == b.dlc && a.data == b.data && a.remote == b.remote;
+  }
 };
 
 /// Unstuffed header+data bits (SOF..data field) — the CRC-15 input.

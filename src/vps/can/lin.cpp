@@ -70,9 +70,10 @@ Time LinBus::slot_time(const Slot& slot) const {
   return bit_time_ * (bits + bits * 2 / 5);
 }
 
-void LinBus::set_error_rate(double probability, std::uint64_t seed) {
+void LinBus::set_error_rate(double probability, std::uint64_t seed, std::uint64_t fault_id) {
   error_rate_ = probability < 0.0 ? 0.0 : probability > 1.0 ? 1.0 : probability;
   rng_ = support::Xorshift(seed);
+  error_fault_id_ = fault_id;
 }
 
 sim::Coro LinBus::master_loop() {
@@ -115,6 +116,10 @@ sim::Coro LinBus::master_loop() {
 
     if (lin_checksum(pid, *response) != checksum) {
       ++stats_.checksum_errors;  // receivers drop the response; no retry
+      if (provenance_ != nullptr && error_fault_id_ != 0) {
+        provenance_->touch(error_fault_id_, "lin:" + name());
+        provenance_->detect(error_fault_id_, "lin.checksum:" + name(), "lin:" + name());
+      }
       if (probe_ != nullptr) {
         probe_->mark("lin", slot_label("checksum_error:", slot.frame_id),
                      {obs::TraceArg::number("id", static_cast<double>(slot.frame_id))});

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "vps/obs/probe.hpp"
+#include "vps/obs/provenance.hpp"
 #include "vps/sim/kernel.hpp"
 #include "vps/sim/module.hpp"
 #include "vps/support/rng.hpp"
@@ -73,10 +74,14 @@ class LinBus final : public sim::Module {
   /// time; checksum errors and silent slots become marks. nullptr detaches.
   void set_probe(obs::TransactionProbe* probe) noexcept { probe_ = probe; }
   [[nodiscard]] obs::TransactionProbe* probe() const noexcept { return probe_; }
+  /// Attaches a provenance tracker: injected response corruption becomes a
+  /// contact plus a checksum detection. nullptr detaches.
+  void set_provenance(obs::ProvenanceTracker* tracker) noexcept { provenance_ = tracker; }
 
   // --- fault injection -----------------------------------------------------
-  /// Corrupts each response independently with this probability.
-  void set_error_rate(double probability, std::uint64_t seed = 1);
+  /// Corrupts each response independently with this probability. A non-zero
+  /// fault_id attributes the corruption for provenance tracking.
+  void set_error_rate(double probability, std::uint64_t seed = 1, std::uint64_t fault_id = 0);
 
  private:
   [[nodiscard]] sim::Coro master_loop();
@@ -87,8 +92,10 @@ class LinBus final : public sim::Module {
   std::vector<Slot> schedule_;
   sim::Event schedule_changed_;
   obs::TransactionProbe* probe_ = nullptr;
+  obs::ProvenanceTracker* provenance_ = nullptr;
   Stats stats_;
   double error_rate_ = 0.0;
+  std::uint64_t error_fault_id_ = 0;
   support::Xorshift rng_;
 };
 

@@ -43,6 +43,9 @@ sim::Coro AliveSupervision::run() {
       if (++e.consecutive_bad_cycles >= escalate_after_ && !e.failed) {
         e.failed = true;
         ++failures_;
+        if (provenance_ != nullptr) {
+          provenance_->detect_all("wdgm:" + name() + ":" + e.name);
+        }
         if (on_failure_) on_failure_(id);
       }
     }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "vps/obs/provenance.hpp"
 #include "vps/sim/kernel.hpp"
 #include "vps/sim/module.hpp"
 
@@ -40,6 +41,13 @@ class AliveSupervision final : public sim::Module {
   /// Clears the failed latch (after a recovery action).
   void acknowledge(EntityId id);
 
+  /// Attaches a provenance tracker: each escalation is recorded as an
+  /// ambient detection at "wdgm:<name>:<entity>". The monitor only sees the
+  /// symptom (missing checkpoints), never the fault, so the detection
+  /// attaches to all in-flight faults — campaign runs inject exactly one.
+  /// nullptr detaches.
+  void set_provenance(obs::ProvenanceTracker* tracker) noexcept { provenance_ = tracker; }
+
  private:
   struct Entity {
     std::string name;
@@ -56,6 +64,7 @@ class AliveSupervision final : public sim::Module {
   std::vector<Entity> entities_;
   std::function<void(EntityId)> on_failure_;
   std::uint64_t failures_ = 0;
+  obs::ProvenanceTracker* provenance_ = nullptr;
 };
 
 }  // namespace vps::ecu

@@ -37,9 +37,16 @@ std::vector<std::uint8_t> E2eProtector::protect(std::span<const std::uint8_t> pa
   return message;
 }
 
+void E2eChecker::report_detection() {
+  if (provenance_ != nullptr) {
+    provenance_->detect_all("e2e:" + std::to_string(config_.data_id));
+  }
+}
+
 E2eStatus E2eChecker::check(std::span<const std::uint8_t> message) {
   if (message.size() < kE2eHeaderSize) {
     ++stats_.wrong_crc;
+    report_detection();
     return E2eStatus::kWrongCrc;
   }
   const std::uint8_t crc = message[0];
@@ -47,6 +54,7 @@ E2eStatus E2eChecker::check(std::span<const std::uint8_t> message) {
   const auto payload = message.subspan(kE2eHeaderSize);
   if (e2e_crc(config_.data_id, counter, payload) != crc) {
     ++stats_.wrong_crc;
+    report_detection();
     return E2eStatus::kWrongCrc;
   }
   E2eStatus status = E2eStatus::kOk;
@@ -56,10 +64,12 @@ E2eStatus E2eChecker::check(std::span<const std::uint8_t> message) {
                                   (kAliveCounterMax + 1));
     if (delta == 0) {
       ++stats_.repeated;
+      report_detection();
       return E2eStatus::kRepeated;
     }
     if (delta > config_.max_delta_counter) {
       ++stats_.wrong_sequence;
+      report_detection();
       // Accept the new counter as the reference so communication can
       // resynchronize after a burst loss, as Profile 1 does.
       last_counter_ = counter;

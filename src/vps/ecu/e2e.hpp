@@ -10,6 +10,8 @@
 #include <span>
 #include <vector>
 
+#include "vps/obs/provenance.hpp"
+
 namespace vps::ecu {
 
 /// Wire layout: [0] = CRC, [1] = alive counter (low nibble), [2..] = payload.
@@ -67,11 +69,21 @@ class E2eChecker {
   };
   [[nodiscard]] const Stats& stats() const noexcept { return stats_; }
 
+  /// Attaches a provenance tracker: every bad-status verdict (CRC error,
+  /// repetition, sequence break) is recorded as an ambient detection at
+  /// "e2e:<data_id>". The checker cannot name the fault that corrupted the
+  /// message, so the detection attaches to all in-flight faults — campaign
+  /// runs inject exactly one. nullptr detaches.
+  void set_provenance(obs::ProvenanceTracker* tracker) noexcept { provenance_ = tracker; }
+
  private:
+  void report_detection();
+
   E2eConfig config_;
   std::optional<std::uint8_t> last_counter_;
   std::vector<std::uint8_t> last_payload_;
   Stats stats_;
+  obs::ProvenanceTracker* provenance_ = nullptr;
 };
 
 /// Computes the Profile-1 CRC over data id, counter and payload.

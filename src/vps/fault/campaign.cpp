@@ -24,6 +24,13 @@ const char* to_string(Strategy s) noexcept {
   return "?";
 }
 
+std::optional<sim::Time> RunRecord::detection_latency() const noexcept {
+  for (const auto& fp : provenance) {
+    if (const auto latency = fp.detection_latency()) return latency;
+  }
+  return std::nullopt;
+}
+
 double CampaignResult::diagnostic_coverage() const noexcept {
   const double detected = static_cast<double>(count(Outcome::kDetectedCorrected) +
                                               count(Outcome::kDetectedUncorrected));
@@ -126,15 +133,100 @@ std::string CampaignResult::render_quarantine() const {
   return out + t.render();
 }
 
+std::vector<CampaignResult::LatencyStats> CampaignResult::detection_latency_stats(
+    double lo_us, double hi_us, std::size_t bins) const {
+  std::vector<LatencyStats> stats;
+  const auto find = [&stats, lo_us, hi_us, bins](FaultType t) -> LatencyStats& {
+    for (auto& s : stats) {
+      if (s.type == t) return s;
+    }
+    stats.emplace_back(t, lo_us, hi_us, bins);
+    return stats.back();
+  };
+  for (const auto& rec : records) {
+    if (rec.provenance.empty()) continue;  // untraced run: no latency verdict
+    LatencyStats& s = find(rec.fault.type);
+    ++s.traced;
+    if (const auto latency = rec.detection_latency()) {
+      ++s.detected;
+      s.latency_us.add(latency->to_seconds() * 1e6);
+    }
+  }
+  // Enum order, so the table layout is independent of record order (and
+  // therefore identical across shard merge orders and worker counts).
+  std::sort(stats.begin(), stats.end(), [](const LatencyStats& a, const LatencyStats& b) {
+    return static_cast<int>(a.type) < static_cast<int>(b.type);
+  });
+  return stats;
+}
+
+std::string CampaignResult::render_latency(double lo_us, double hi_us, std::size_t bins) const {
+  const auto stats = detection_latency_stats(lo_us, hi_us, bins);
+  if (stats.empty()) return "detection latency: no provenance-traced runs\n";
+  support::Table t({"fault population", "traced", "detected", "p50 [us]", "p95 [us]", "p99 [us]"});
+  for (const auto& s : stats) {
+    if (s.detected == 0) {
+      t.add_row({to_string(s.type), std::to_string(s.traced), "0", "-", "-", "-"});
+      continue;
+    }
+    char p50[32], p95[32], p99[32];
+    std::snprintf(p50, sizeof p50, "%.1f", s.latency_us.percentile(0.50));
+    std::snprintf(p95, sizeof p95, "%.1f", s.latency_us.percentile(0.95));
+    std::snprintf(p99, sizeof p99, "%.1f", s.latency_us.percentile(0.99));
+    t.add_row({to_string(s.type), std::to_string(s.traced), std::to_string(s.detected), p50, p95,
+               p99});
+  }
+  return t.render();
+}
+
+std::string CampaignResult::provenance_jsonl() const {
+  std::string out;
+  for (const auto& rec : records) {
+    for (const auto& fp : rec.provenance) {
+      out += obs::provenance_to_json(fp);
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string CampaignResult::provenance_dot() const {
+  std::string out = "digraph provenance {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  std::size_t index = 0;
+  for (const auto& rec : records) {
+    for (const auto& fp : rec.provenance) obs::provenance_to_dot(fp, index++, out);
+  }
+  out += "}\n";
+  return out;
+}
+
+void CampaignResult::publish_metrics(obs::MetricRegistry& registry, const std::string& prefix,
+                                     double lo_us, double hi_us, std::size_t bins) const {
+  registry.counter(prefix + ".runs").add(runs_executed);
+  registry.counter(prefix + ".quarantined").add(quarantine.size());
+  for (std::size_t i = 0; i < kOutcomeCount; ++i) {
+    registry.counter(prefix + ".outcome." + to_string(static_cast<Outcome>(i)))
+        .add(outcome_counts[i]);
+  }
+  registry.gauge(prefix + ".coverage").set(final_coverage);
+  registry.gauge(prefix + ".diagnostic_coverage").set(diagnostic_coverage());
+  registry.gauge(prefix + ".hazard_probability").set(hazard_probability.estimate);
+  auto& hist = registry.histogram(prefix + ".detection_latency_us", lo_us, hi_us, bins);
+  for (const auto& rec : records) {
+    if (const auto latency = rec.detection_latency()) hist.add(latency->to_seconds() * 1e6);
+  }
+}
+
 ReplayResult replay_isolated(Scenario& scenario, const FaultDescriptor& fault, std::uint64_t seed,
                              const Observation& golden, std::size_t crash_retries) {
   ReplayResult result;
   for (std::size_t attempt = 0; attempt <= crash_retries; ++attempt) {
     result.attempts = static_cast<std::uint32_t>(attempt + 1);
     try {
-      const Observation obs = scenario.run(&fault, seed);
+      Observation obs = scenario.run(&fault, seed);
       result.outcome = classify(golden, obs);
       result.crash_what.clear();
+      result.provenance = std::move(obs.provenance);
       return result;
     } catch (const std::exception& e) {
       result.crash_what = e.what();
@@ -296,7 +388,7 @@ bool CampaignState::learn(const FaultDescriptor& fault, Outcome outcome) {
 
 obs::CampaignProgress progress_snapshot(const std::string& name, const CampaignResult& result,
                                         std::size_t runs_total, double coverage,
-                                        double wall_seconds) {
+                                        double wall_seconds, bool include_latency) {
   obs::CampaignProgress progress;
   progress.campaign = name;
   progress.runs_done = result.runs_executed;
@@ -309,6 +401,20 @@ obs::CampaignProgress progress_snapshot(const std::string& name, const CampaignR
   for (std::size_t i = 0; i < kOutcomeCount; ++i) {
     progress.outcome_counts.emplace_back(to_string(static_cast<Outcome>(i)),
                                          result.outcome_counts[i]);
+  }
+  if (include_latency) {
+    support::Histogram latency_us(0.0, 1'000'000.0, 2048);
+    for (const auto& rec : result.records) {
+      if (const auto latency = rec.detection_latency()) {
+        latency_us.add(latency->to_seconds() * 1e6);
+      }
+    }
+    progress.detections_with_latency = latency_us.total();
+    if (latency_us.total() > 0) {
+      progress.latency_p50_us = latency_us.percentile(0.50);
+      progress.latency_p95_us = latency_us.percentile(0.95);
+      progress.latency_p99_us = latency_us.percentile(0.99);
+    }
   }
   return progress;
 }
@@ -440,7 +546,8 @@ CampaignResult Campaign::execute(std::size_t start_run, CampaignResult result,
     const FaultDescriptor fault = state.generate(i, rng);
     ReplayResult replay =
         replay_isolated(scenario_, fault, config_.seed, golden_, config_.crash_retries);
-    fold_run(result, state, i, {fault, replay.outcome, std::move(replay.crash_what)},
+    fold_run(result, state, i,
+             {fault, replay.outcome, std::move(replay.crash_what), std::move(replay.provenance)},
              replay.attempts);
     ++executed_this_call;
     if (monitor_ != nullptr) {
@@ -459,9 +566,13 @@ CampaignResult Campaign::execute(std::size_t start_run, CampaignResult result,
     }
   }
   finalize(result, state);
-  if (monitor_ != nullptr && !result.interrupted) {
-    monitor_->on_complete(progress_snapshot(scenario_.name(), result, config_.runs,
-                                            result.final_coverage, elapsed()));
+  if (!result.interrupted) {
+    if (metrics_ != nullptr) result.publish_metrics(*metrics_);
+    if (monitor_ != nullptr) {
+      monitor_->on_complete(progress_snapshot(scenario_.name(), result, config_.runs,
+                                              result.final_coverage, elapsed(),
+                                              /*include_latency=*/true));
+    }
   }
   return result;
 }

@@ -33,6 +33,7 @@
 #include "vps/coverage/coverage.hpp"
 #include "vps/fault/scenario.hpp"
 #include "vps/obs/campaign_monitor.hpp"
+#include "vps/obs/metrics.hpp"
 #include "vps/support/rng.hpp"
 #include "vps/support/stats.hpp"
 
@@ -83,6 +84,14 @@ struct RunRecord {
   /// Outcome::kSimCrash only: what() text of the exception that escaped the
   /// final replay attempt (empty otherwise).
   std::string crash_what;
+  /// Propagation DAGs observed during the replay (empty unless the scenario
+  /// runs with provenance enabled; campaign runs carry at most one fault).
+  std::vector<obs::FaultProvenance> provenance;
+
+  /// Injection → first detection of this run's fault, measured from its
+  /// provenance DAG. nullopt when provenance is off or the fault stayed
+  /// undetected (latent).
+  [[nodiscard]] std::optional<sim::Time> detection_latency() const noexcept;
 };
 
 struct CampaignResult {
@@ -157,6 +166,38 @@ struct CampaignResult {
   /// alongside the safety-relevant populations, never silently dropped.
   [[nodiscard]] std::string render_weak_spots() const;
   [[nodiscard]] std::string render_quarantine() const;
+
+  /// Per-fault-type detection-latency distribution, computed on demand from
+  /// the records' provenance (order-independent: merging shards in any order
+  /// yields the same table because records carry the raw DAGs).
+  struct LatencyStats {
+    FaultType type;
+    std::uint64_t traced = 0;    ///< runs of this type that carried provenance
+    std::uint64_t detected = 0;  ///< of those, runs whose fault was detected
+    support::Histogram latency_us;
+    LatencyStats(FaultType t, double lo_us, double hi_us, std::size_t bins)
+        : type(t), latency_us(lo_us, hi_us, bins) {}
+  };
+  /// Percentile resolution is bounded by the bin width (hi_us - lo_us)/bins;
+  /// pass a range matched to the scenario's detection mechanisms.
+  [[nodiscard]] std::vector<LatencyStats> detection_latency_stats(
+      double lo_us = 0.0, double hi_us = 1'000'000.0, std::size_t bins = 2048) const;
+  [[nodiscard]] std::string render_latency(double lo_us = 0.0, double hi_us = 1'000'000.0,
+                                           std::size_t bins = 2048) const;
+
+  /// Provenance exports over all records in run order — byte-identical
+  /// across reruns and (for ParallelCampaign) across worker counts, because
+  /// the records themselves are. Same per-fault schema as
+  /// obs::ProvenanceTracker::to_jsonl()/to_dot().
+  [[nodiscard]] std::string provenance_jsonl() const;
+  [[nodiscard]] std::string provenance_dot() const;
+
+  /// Publishes the aggregate into a metric registry under `prefix`:
+  /// run/outcome counters, a coverage gauge, and the detection-latency
+  /// histogram "<prefix>.detection_latency_us".
+  void publish_metrics(obs::MetricRegistry& registry, const std::string& prefix = "campaign",
+                       double lo_us = 0.0, double hi_us = 1'000'000.0,
+                       std::size_t bins = 2048) const;
 };
 
 /// One crash-isolated scenario replay: runs `scenario` against `fault`
@@ -168,6 +209,8 @@ struct ReplayResult {
   Outcome outcome = Outcome::kNoEffect;
   std::string crash_what;      ///< kSimCrash only
   std::uint32_t attempts = 1;  ///< total attempts taken
+  /// Provenance reported by the successful replay (see RunRecord).
+  std::vector<obs::FaultProvenance> provenance;
 };
 [[nodiscard]] ReplayResult replay_isolated(Scenario& scenario, const FaultDescriptor& fault,
                                            std::uint64_t seed, const Observation& golden,
@@ -215,10 +258,13 @@ class CampaignState {
 
 /// Builds the obs-layer progress snapshot both campaign drivers report
 /// through their monitor. `wall_seconds` is host time since run() started.
+/// `include_latency` fills the detection-latency percentiles — an O(records)
+/// pass, so drivers request it only for final (on_complete) snapshots.
 [[nodiscard]] obs::CampaignProgress progress_snapshot(const std::string& name,
                                                       const CampaignResult& result,
                                                       std::size_t runs_total, double coverage,
-                                                      double wall_seconds);
+                                                      double wall_seconds,
+                                                      bool include_latency = false);
 
 struct CampaignCheckpoint;  // fault/checkpoint.hpp
 
@@ -244,6 +290,10 @@ class Campaign {
   /// detaches.
   void set_monitor(obs::CampaignMonitor* monitor) noexcept { monitor_ = monitor; }
 
+  /// Attaches a metric registry: the finished result is published into it
+  /// once at the end of run()/resume(). Must outlive run(); nullptr detaches.
+  void set_metrics(obs::MetricRegistry* metrics) noexcept { metrics_ = metrics; }
+
  private:
   void ensure_golden();
   void write_checkpoint(const CampaignResult& partial) const;
@@ -257,6 +307,7 @@ class Campaign {
   bool golden_valid_ = false;
   CampaignState state_;
   obs::CampaignMonitor* monitor_ = nullptr;
+  obs::MetricRegistry* metrics_ = nullptr;
 };
 
 /// Builds a fresh Scenario instance. Called concurrently from pool threads
@@ -293,6 +344,11 @@ class ParallelCampaign {
   /// monitor must outlive run(); nullptr detaches.
   void set_monitor(obs::CampaignMonitor* monitor) noexcept { monitor_ = monitor; }
 
+  /// Attaches a metric registry: the finished result is published into it
+  /// once at the end of run()/resume(), from the coordinator thread. Must
+  /// outlive run(); nullptr detaches.
+  void set_metrics(obs::MetricRegistry* metrics) noexcept { metrics_ = metrics; }
+
  private:
   void ensure_coordinator();
   void write_checkpoint(const CampaignResult& partial) const;
@@ -305,6 +361,7 @@ class ParallelCampaign {
   Observation golden_;
   bool golden_valid_ = false;
   obs::CampaignMonitor* monitor_ = nullptr;
+  obs::MetricRegistry* metrics_ = nullptr;
 };
 
 }  // namespace vps::fault

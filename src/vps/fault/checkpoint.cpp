@@ -246,6 +246,11 @@ std::string to_jsonl(const CampaignCheckpoint& checkpoint) {
     append_i64(rec, "bit", r.fault.bit);
     append_double(rec, "magnitude", r.fault.magnitude);
     if (!r.crash_what.empty()) append_str(rec, "crash_what", r.crash_what);
+    for (std::size_t k = 0; k < r.provenance.size(); ++k) {
+      const obs::FaultProvenance& fp = r.provenance[k];
+      append_str(rec, ("prov" + std::to_string(k)).c_str(),
+                 std::to_string(fp.fault_id) + ":" + fp.encode());
+    }
     out += rec + "}\n";
   }
 
@@ -269,9 +274,9 @@ CampaignCheckpoint checkpoint_from_jsonl(const std::string& text) {
     const LineParser p(line);
     if (line_no == 0) {
       ensure(p.str("schema") == kSchemaName, "checkpoint: not a campaign checkpoint");
-      ensure(p.u64("version") == CampaignCheckpoint::kVersion,
+      ensure(p.u64("version") >= 1 && p.u64("version") <= CampaignCheckpoint::kVersion,
              "checkpoint: unsupported version " + std::to_string(p.u64("version")) +
-                 " (expected " + std::to_string(CampaignCheckpoint::kVersion) + ")");
+                 " (expected 1.." + std::to_string(CampaignCheckpoint::kVersion) + ")");
       cp.driver = p.str("driver");
       cp.scenario = p.str("scenario");
       ++line_no;
@@ -309,6 +314,13 @@ CampaignCheckpoint checkpoint_from_jsonl(const std::string& text) {
       r.fault.bit = static_cast<int>(p.i64("bit"));
       r.fault.magnitude = p.hexdouble("magnitude");
       if (p.has("crash_what")) r.crash_what = p.str("crash_what");
+      for (std::size_t k = 0; p.has(("prov" + std::to_string(k)).c_str()); ++k) {
+        const std::string& text = p.str(("prov" + std::to_string(k)).c_str());
+        const std::size_t colon = text.find(':');
+        ensure(colon != std::string::npos && colon > 0, "checkpoint: bad provenance field");
+        const std::uint64_t fault_id = std::strtoull(text.substr(0, colon).c_str(), nullptr, 10);
+        r.provenance.push_back(obs::FaultProvenance::decode(fault_id, text.substr(colon + 1)));
+      }
       cp.records.push_back(std::move(r));
     } else if (kind == "end") {
       ensure(p.u64("records") == cp.records.size(),

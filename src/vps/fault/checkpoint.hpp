@@ -30,8 +30,11 @@
 namespace vps::fault {
 
 struct CampaignCheckpoint {
-  /// Bump when the line schema changes; load rejects other versions.
-  static constexpr std::uint32_t kVersion = 1;
+  /// Bump when the line schema changes; load accepts 1..kVersion (older
+  /// checkpoints simply lack the newer optional fields).
+  /// v1: header/config/golden/records.
+  /// v2: records optionally carry per-fault provenance DAGs ("provN").
+  static constexpr std::uint32_t kVersion = 2;
 
   std::string driver;    ///< "campaign" or "parallel_campaign"
   std::string scenario;  ///< Scenario::name() of the interrupted campaign

@@ -53,4 +53,12 @@ struct FaultDescriptor {
   [[nodiscard]] std::string to_string() const;
 };
 
+/// Provenance token for a descriptor: campaign fault ids start at 0 but the
+/// obs::ProvenanceTracker reserves 0 for "untainted", so token = id + 1.
+/// Every touch point (memory poison, payload poison, frame poison, register
+/// taint) must carry this value, not the raw descriptor id.
+[[nodiscard]] constexpr std::uint64_t provenance_token(const FaultDescriptor& fault) noexcept {
+  return fault.id + 1;
+}
+
 }  // namespace vps::fault

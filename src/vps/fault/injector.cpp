@@ -12,11 +12,19 @@ void InjectorHub::revert_later(std::function<void()> revert, Time delay) {
 }
 
 bool InjectorHub::apply(const FaultDescriptor& fault) {
+  if (provenance_ != nullptr) {
+    // Mint the token before the effect runs so effect-side touch points
+    // (sensor reads, poisoned signal commits) already see the fault.
+    provenance_->begin_fault(provenance_token(fault),
+                             std::string(to_string(fault.type)) + "#" + std::to_string(fault.id),
+                             std::string("inject:") + to_string(fault.type));
+  }
   const bool applied = apply_effect(fault);
   if (applied) {
     ++applied_;
   } else {
     ++skipped_;
+    if (provenance_ != nullptr) provenance_->abandon(provenance_token(fault));
   }
   if (tracer_ != nullptr) {
     const std::string name = std::string(to_string(fault.type)) + "#" + std::to_string(fault.id);
@@ -36,40 +44,46 @@ bool InjectorHub::apply(const FaultDescriptor& fault) {
 }
 
 bool InjectorHub::apply_effect(const FaultDescriptor& fault) {
+  // 0 while provenance is off: effects then skip all poison bookkeeping.
+  const std::uint64_t token = provenance_ != nullptr ? provenance_token(fault) : 0;
   switch (fault.type) {
     case FaultType::kMemoryBitFlip: {
       if (platform_ == nullptr) break;
       const auto addr = fault.address % platform_->ram().size();
-      platform_->ram().flip_bit(addr, fault.bit % 8);
+      platform_->ram().flip_bit(addr, fault.bit % 8, token);
       return true;
     }
     case FaultType::kMemoryCodewordFlip: {
       if (platform_ == nullptr) break;
       if (platform_->ram().ecc_mode() != hw::EccMode::kSecded) {
         const auto addr = fault.address % platform_->ram().size();
-        platform_->ram().flip_bit(addr, fault.bit % 8);
+        platform_->ram().flip_bit(addr, fault.bit % 8, token);
       } else {
         const auto word = (fault.address / 4) % (platform_->ram().size() / 4);
-        platform_->ram().flip_codeword_bit(word, fault.bit % hw::kCodewordBits);
+        platform_->ram().flip_codeword_bit(word, fault.bit % hw::kCodewordBits, token);
       }
       return true;
     }
     case FaultType::kRegisterBitFlip: {
       if (platform_ == nullptr) break;
       const int reg = 1 + static_cast<int>(fault.address % (hw::kRegisterCount - 1));
-      platform_->cpu().corrupt_register(reg, 1u << (fault.bit % 32));
+      platform_->cpu().corrupt_register(reg, 1u << (fault.bit % 32), token);
       return true;
     }
     case FaultType::kPcCorruption: {
       if (platform_ == nullptr) break;
-      platform_->cpu().corrupt_pc(1u << (fault.bit % 16));
+      platform_->cpu().corrupt_pc(1u << (fault.bit % 16), token);
       return true;
     }
     case FaultType::kSignalStuck: {
       if (platform_ == nullptr) break;
       // Stuck GPIO input (short to VCC: all-ones, short to ground: 0).
       const auto value = fault.magnitude > 0.0 ? 0xFFFFFFFFu : 0u;
-      platform_->gpio().in().force(value);
+      if (token != 0) {
+        platform_->gpio().in().force_poisoned(value, token);
+      } else {
+        platform_->gpio().in().force(value);
+      }
       if (fault.persistence == Persistence::kIntermittent && fault.duration > Time::zero()) {
         auto* gpio = &platform_->gpio();
         revert_later([gpio] { gpio->in().force(0); }, fault.duration);
@@ -80,15 +94,16 @@ bool InjectorHub::apply_effect(const FaultDescriptor& fault) {
       if (platform_ == nullptr) break;
       // A corrupted bus transaction: the payload reached memory poisoned.
       const auto addr = (fault.address % platform_->ram().size()) & ~3ULL;
-      platform_->ram().flip_bit(addr, fault.bit % 8);
+      platform_->ram().flip_bit(addr, fault.bit % 8, token);
       return true;
     }
     case FaultType::kCanFrameCorruption: {
       if (can_bus_ == nullptr) break;
       if (fault.persistence == Persistence::kTransient) {
-        can_bus_->force_error_on_next_frame();
+        can_bus_->force_error_on_next_frame(token);
       } else {
-        can_bus_->set_error_rate(fault.magnitude > 0.0 ? fault.magnitude : 0.5, fault.id + 1);
+        can_bus_->set_error_rate(fault.magnitude > 0.0 ? fault.magnitude : 0.5, fault.id + 1,
+                                 token);
         if (fault.duration > Time::zero()) {
           auto* bus = can_bus_;
           revert_later([bus] { bus->set_error_rate(0.0); }, fault.duration);
@@ -101,9 +116,9 @@ bool InjectorHub::apply_effect(const FaultDescriptor& fault) {
       if (sensors_.empty()) break;
       AnalogChannel& ch = *sensors_[fault.address % sensors_.size()];
       if (fault.type == FaultType::kSensorOffset) {
-        ch.set_offset(fault.magnitude);
+        ch.set_offset(fault.magnitude, token);
       } else {
-        ch.set_stuck(fault.magnitude);
+        ch.set_stuck(fault.magnitude, token);
       }
       if (fault.persistence != Persistence::kPermanent && fault.duration > Time::zero()) {
         revert_later([&ch] { ch.clear_faults(); }, fault.duration);

@@ -13,6 +13,7 @@
 #include "vps/ecu/os.hpp"
 #include "vps/ecu/platform.hpp"
 #include "vps/fault/descriptor.hpp"
+#include "vps/obs/provenance.hpp"
 #include "vps/obs/trace.hpp"
 
 namespace vps::fault {
@@ -30,21 +31,46 @@ class AnalogChannel {
   }
 
   [[nodiscard]] double read() const {
+    if (provenance_ != nullptr && fault_id_ != 0 && !touched_) {
+      // First consumption of the faulty value: the corrupted reading left
+      // the sensor and entered the acquisition chain.
+      touched_ = true;
+      provenance_->touch(fault_id_, "sensor");
+    }
     if (stuck_.has_value()) return *stuck_;
     return physical_() + offset_;
   }
 
-  void set_offset(double volts) { offset_ = volts; }
-  void set_stuck(double volts) { stuck_ = volts; }
+  /// A non-zero fault_id attributes the corruption for provenance tracking.
+  void set_offset(double volts, std::uint64_t fault_id = 0) {
+    offset_ = volts;
+    tag(fault_id);
+  }
+  void set_stuck(double volts, std::uint64_t fault_id = 0) {
+    stuck_ = volts;
+    tag(fault_id);
+  }
   void clear_faults() {
     offset_ = 0.0;
     stuck_.reset();
+    fault_id_ = 0;
   }
 
+  /// nullptr detaches.
+  void set_provenance(obs::ProvenanceTracker* tracker) noexcept { provenance_ = tracker; }
+
  private:
+  void tag(std::uint64_t fault_id) {
+    fault_id_ = fault_id;
+    touched_ = false;
+  }
+
   std::function<double()> physical_;
   double offset_ = 0.0;
   std::optional<double> stuck_;
+  obs::ProvenanceTracker* provenance_ = nullptr;
+  std::uint64_t fault_id_ = 0;
+  mutable bool touched_ = false;
 };
 
 /// Applies FaultDescriptors to a system. Duration-limited faults schedule
@@ -60,7 +86,10 @@ class InjectorHub {
   void bind_platform(ecu::EcuPlatform& platform) noexcept { platform_ = &platform; }
   void bind_can(can::CanBus& bus) noexcept { can_bus_ = &bus; }
   void bind_os(ecu::OsScheduler& os) noexcept { os_ = &os; }
-  void bind_sensor(AnalogChannel& channel) noexcept { sensors_.push_back(&channel); }
+  void bind_sensor(AnalogChannel& channel) noexcept {
+    if (provenance_ != nullptr) channel.set_provenance(provenance_);
+    sensors_.push_back(&channel);
+  }
 
   /// Immediately applies the fault's effect. For kIntermittent faults with a
   /// duration, a reversion process restores nominal behaviour afterwards.
@@ -81,6 +110,16 @@ class InjectorHub {
   void set_tracer(obs::Tracer* tracer) noexcept { tracer_ = tracer; }
   [[nodiscard]] obs::Tracer* tracer() const noexcept { return tracer_; }
 
+  /// Attaches a provenance tracker: apply() mints a token (root node at
+  /// "inject:<type>") before the effect runs, so effect-side touch points
+  /// see the fault, and abandons it again when the effect was skipped.
+  /// Propagates to bound sensor channels. nullptr detaches.
+  void set_provenance(obs::ProvenanceTracker* tracker) noexcept {
+    provenance_ = tracker;
+    for (AnalogChannel* channel : sensors_) channel->set_provenance(tracker);
+  }
+  [[nodiscard]] obs::ProvenanceTracker* provenance() const noexcept { return provenance_; }
+
   /// Sites available on this hub (used by campaigns to build fault spaces).
   [[nodiscard]] std::vector<FaultType> supported_types() const;
 
@@ -96,6 +135,7 @@ class InjectorHub {
   ecu::OsScheduler* os_ = nullptr;
   std::vector<AnalogChannel*> sensors_;
   obs::Tracer* tracer_ = nullptr;
+  obs::ProvenanceTracker* provenance_ = nullptr;
   std::uint64_t applied_ = 0;
   std::uint64_t skipped_ = 0;
 };

@@ -227,7 +227,8 @@ CampaignResult ParallelCampaign::execute(std::size_t start_run, CampaignResult r
     std::size_t processed = 0;
     for (std::size_t b = 0; b < n; ++b) {
       fold_run(result, state, next_run + b,
-               {std::move(faults[b]), replays[b].outcome, std::move(replays[b].crash_what)},
+               {std::move(faults[b]), replays[b].outcome, std::move(replays[b].crash_what),
+                std::move(replays[b].provenance)},
                replays[b].attempts);
       processed = b + 1;
       if (stop_condition_met(config_, result)) {
@@ -257,9 +258,13 @@ CampaignResult ParallelCampaign::execute(std::size_t start_run, CampaignResult r
   }
 
   finalize(result, state);
-  if (monitor_ != nullptr && !result.interrupted) {
-    monitor_->on_complete(progress_snapshot(coordinator_->name(), result, config_.runs,
-                                            result.final_coverage, elapsed()));
+  if (!result.interrupted) {
+    if (metrics_ != nullptr) result.publish_metrics(*metrics_);
+    if (monitor_ != nullptr) {
+      monitor_->on_complete(progress_snapshot(coordinator_->name(), result, config_.runs,
+                                              result.final_coverage, elapsed(),
+                                              /*include_latency=*/true));
+    }
   }
   return result;
 }

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "vps/fault/descriptor.hpp"
+#include "vps/obs/provenance.hpp"
 #include "vps/sim/time.hpp"
 
 namespace vps::fault {
@@ -23,6 +24,10 @@ struct Observation {
   std::uint64_t corrected = 0;         ///< corrected events (ECC-CE, CAN retransmit)
   std::uint64_t resets = 0;            ///< recovery resets taken
   std::uint64_t deadline_misses = 0;   ///< timing violations observed
+  /// Propagation DAGs of the faults applied during this run (empty unless
+  /// the scenario wired a ProvenanceTracker — golden runs always leave it
+  /// empty). Timestamps are simulated time, so contents are deterministic.
+  std::vector<obs::FaultProvenance> provenance;
 };
 
 /// A self-contained, re-runnable experiment on a system VP.

@@ -132,6 +132,9 @@ Cpu::Cpu(sim::Kernel& kernel, std::string name, Config config)
 
 void Cpu::reset() {
   regs_.fill(0);
+  taint_mask_ = 0;
+  store_poison_ = 0;
+  load_poison_ = 0;
   pc_ = config_.reset_pc;
   irq_enabled_ = false;
   in_irq_ = false;
@@ -142,8 +145,114 @@ void Cpu::reset() {
   reset_event_.notify();
 }
 
-void Cpu::corrupt_register(int i, std::uint32_t xor_mask) {
-  if (i > 0 && i < kRegisterCount) regs_[static_cast<std::size_t>(i)] ^= xor_mask;
+void Cpu::corrupt_register(int i, std::uint32_t xor_mask, std::uint64_t fault_id) {
+  if (i > 0 && i < kRegisterCount) {
+    regs_[static_cast<std::size_t>(i)] ^= xor_mask;
+    if (provenance_ != nullptr && fault_id != 0) {
+      taint_mask_ |= 1u << i;
+      reg_taint_[static_cast<std::size_t>(i)] = fault_id;
+    }
+  }
+}
+
+void Cpu::corrupt_pc(std::uint32_t xor_mask, std::uint64_t fault_id) {
+  pc_ ^= xor_mask;
+  // A corrupted PC takes effect at the very next fetch; record the contact
+  // immediately rather than waiting for a value to flow anywhere.
+  if (provenance_ != nullptr && fault_id != 0) provenance_->touch(fault_id, "cpu:" + name() + ".pc");
+}
+
+void Cpu::track_taint(const Decoded& d) {
+  bool reads_rs1 = false;   // 'a' operand
+  bool reads_rs2 = false;   // 'b' operand
+  bool reads_rd = false;    // rdv operand (stores, branches)
+  bool writes_rd = false;
+  bool is_store = false;
+  switch (d.opcode) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kShr:
+    case Opcode::kSra:
+    case Opcode::kMul:
+    case Opcode::kSlt:
+    case Opcode::kSltu:
+      reads_rs1 = reads_rs2 = writes_rd = true;
+      break;
+    case Opcode::kAddi:
+    case Opcode::kAndi:
+    case Opcode::kOri:
+    case Opcode::kXori:
+    case Opcode::kShli:
+    case Opcode::kShri:
+    case Opcode::kSlti:
+      reads_rs1 = writes_rd = true;
+      break;
+    case Opcode::kLui:
+      writes_rd = true;
+      break;
+    case Opcode::kLw:
+    case Opcode::kLb:
+    case Opcode::kLbu:
+    case Opcode::kLh:
+    case Opcode::kLhu:
+      reads_rs1 = writes_rd = true;  // address register feeds the result
+      break;
+    case Opcode::kSw:
+    case Opcode::kSh:
+    case Opcode::kSb:
+      reads_rs1 = reads_rd = true;  // address + data registers
+      is_store = true;
+      break;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+      reads_rs1 = reads_rd = true;  // branches compare rd with rs1
+      break;
+    case Opcode::kJal:
+      writes_rd = true;
+      break;
+    case Opcode::kJalr:
+      reads_rs1 = true;
+      writes_rd = true;
+      break;
+    default:
+      break;
+  }
+
+  // First tainted operand this instruction consumes defines the contact.
+  std::uint64_t fault_id = 0;
+  int source = -1;
+  if (reads_rs1 && (taint_mask_ & (1u << d.rs1)) != 0) {
+    fault_id = reg_taint_[d.rs1];
+    source = d.rs1;
+  } else if (reads_rs2 && (taint_mask_ & (1u << d.rs2)) != 0) {
+    fault_id = reg_taint_[d.rs2];
+    source = d.rs2;
+  } else if (reads_rd && (taint_mask_ & (1u << d.rd)) != 0) {
+    fault_id = reg_taint_[d.rd];
+    source = d.rd;
+  }
+  if (fault_id != 0 && provenance_ != nullptr) {
+    provenance_->touch(fault_id, "cpu:" + name() + ".r" + std::to_string(source));
+  }
+  // Stores forward the data register's taint onto the outgoing payload.
+  if (is_store && (taint_mask_ & (1u << d.rd)) != 0) store_poison_ = reg_taint_[d.rd];
+  // Writes either propagate the consumed taint or clean the destination.
+  if (writes_rd && d.rd != 0) {
+    if (fault_id != 0) {
+      taint_mask_ |= 1u << d.rd;
+      reg_taint_[d.rd] = fault_id;
+    } else {
+      taint_mask_ &= ~(1u << d.rd);
+    }
+  }
 }
 
 void Cpu::fault(FaultCause cause, std::uint32_t address) {
@@ -168,6 +277,7 @@ bool Cpu::bus_read(std::uint32_t address, std::size_t size, std::uint32_t& value
   socket_.b_transport(payload, delay);
   qk_.inc(delay);
   if (!payload.ok()) return false;
+  if (provenance_ != nullptr && payload.poisoned()) load_poison_ = payload.poison_id();
   value = static_cast<std::uint32_t>(payload.value_le());
   if (config_.use_dmi && payload.dmi_allowed() && !dmi_.covers(address, size)) {
     (void)socket_.get_direct_mem_ptr(address, dmi_);
@@ -181,11 +291,16 @@ bool Cpu::bus_write(std::uint32_t address, std::size_t size, std::uint32_t value
     std::uint8_t* p = dmi_.base + (address - dmi_.start);
     for (std::size_t i = 0; i < size; ++i) p[i] = static_cast<std::uint8_t>(value >> (8 * i));
     qk_.inc(dmi_.write_latency);
+    if (store_poison_ != 0) store_poison_ = 0;  // DMI bypasses the payload
     return true;
   }
   ++stats_.bus_accesses;
   tlm::GenericPayload payload(tlm::Command::kWrite, address, size);
   payload.set_value_le(value);
+  if (store_poison_ != 0) {
+    payload.poison(store_poison_);
+    store_poison_ = 0;
+  }
   sim::Time delay = sim::Time::zero();
   socket_.b_transport(payload, delay);
   qk_.inc(delay);
@@ -220,6 +335,7 @@ bool Cpu::step() {
   }
   const Decoded d = decode(word);
   if (trace_hook_) trace_hook_(pc_, d);
+  if (taint_mask_ != 0) track_taint(d);
   ++stats_.instructions;
 
   std::uint32_t next_pc = pc_ + 4;
@@ -344,6 +460,17 @@ bool Cpu::step() {
       next_pc = a + static_cast<std::uint32_t>(d.simm());
       cycles = 2;
       break;
+  }
+
+  // A load that pulled a poisoned value taints its destination register
+  // (set in bus_read; also covers a fetch from a poisoned word, which makes
+  // the produced result suspect).
+  if (load_poison_ != 0) {
+    if (d.rd != 0) {
+      taint_mask_ |= 1u << d.rd;
+      reg_taint_[d.rd] = load_poison_;
+    }
+    load_poison_ = 0;
   }
 
   pc_ = next_pc;

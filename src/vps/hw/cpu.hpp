@@ -11,6 +11,7 @@
 #include <string>
 
 #include "vps/hw/isa.hpp"
+#include "vps/obs/provenance.hpp"
 #include "vps/sim/kernel.hpp"
 #include "vps/sim/module.hpp"
 #include "vps/sim/signal.hpp"
@@ -69,10 +70,25 @@ class Cpu final : public sim::Module {
   [[nodiscard]] sim::Event& stopped_event() noexcept { return stopped_event_; }
 
   // --- fault-injection interface -----------------------------------------
-  /// XORs a mask into a register file entry (SEU in the register file).
-  void corrupt_register(int i, std::uint32_t xor_mask);
+  /// XORs a mask into a register file entry (SEU in the register file). A
+  /// non-zero fault_id taints the register for provenance tracking: the
+  /// first instruction consuming it records the contact, stores forward the
+  /// taint onto the outgoing payload, and clean overwrites clear it.
+  void corrupt_register(int i, std::uint32_t xor_mask, std::uint64_t fault_id = 0);
   /// XORs a mask into the program counter (control-flow upset).
-  void corrupt_pc(std::uint32_t xor_mask) noexcept { pc_ ^= xor_mask; }
+  void corrupt_pc(std::uint32_t xor_mask, std::uint64_t fault_id = 0);
+
+  /// Attaches a provenance tracker. Disabled cost: one branch per executed
+  /// instruction (taint mask test) plus one per bus access, mirroring the
+  /// trace-hook pattern. nullptr detaches and drops all taint.
+  void set_provenance(obs::ProvenanceTracker* tracker) noexcept {
+    provenance_ = tracker;
+    if (tracker == nullptr) {
+      taint_mask_ = 0;
+      store_poison_ = 0;
+      load_poison_ = 0;
+    }
+  }
 
   /// Optional per-instruction hook (pc, decoded instruction). Used by
   /// coverage collectors; adds one branch to the hot loop when unset.
@@ -85,6 +101,10 @@ class Cpu final : public sim::Module {
   /// Executes one instruction; returns false when execution must pause
   /// (halt/fault/sleep). Accumulates local time into the quantum keeper.
   bool step();
+  /// Cold taint bookkeeping, entered only while registers are tainted:
+  /// records first consumption of a corrupted register, forwards taint to
+  /// written registers and store payloads, clears it on clean overwrites.
+  void track_taint(const Decoded& d);
   void enter_irq();
   void fault(FaultCause cause, std::uint32_t address);
 
@@ -110,6 +130,15 @@ class Cpu final : public sim::Module {
   tlm::DmiRegion dmi_;
   Stats stats_;
   std::function<void(std::uint32_t, const Decoded&)> trace_hook_;
+
+  // Provenance: register-file taint (bit i of taint_mask_ set = regs_[i]
+  // carries fault reg_taint_[i]); store_poison_/load_poison_ hand fault ids
+  // across the bus_write/bus_read boundary within one instruction.
+  obs::ProvenanceTracker* provenance_ = nullptr;
+  std::uint32_t taint_mask_ = 0;
+  std::array<std::uint64_t, kRegisterCount> reg_taint_{};
+  std::uint64_t store_poison_ = 0;
+  std::uint64_t load_poison_ = 0;
 };
 
 [[nodiscard]] const char* to_string(Cpu::State s) noexcept;

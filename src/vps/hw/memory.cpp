@@ -65,8 +65,9 @@ void Memory::poke32(std::uint64_t address, std::uint32_t value) {
   codewords_[address / 4] = ecc_encode(value);
 }
 
-void Memory::flip_bit(std::uint64_t byte_address, int bit) {
+void Memory::flip_bit(std::uint64_t byte_address, int bit, std::uint64_t fault_id) {
   ensure(byte_address < size_ && bit >= 0 && bit < 8, "Memory::flip_bit out of range");
+  if (fault_id != 0) word_poison_[byte_address / 4] = fault_id;
   if (ecc_ == EccMode::kNone) {
     plain_[byte_address] ^= static_cast<std::uint8_t>(1u << bit);
     return;
@@ -88,11 +89,18 @@ void Memory::flip_bit(std::uint64_t byte_address, int bit) {
   ensure(false, "Memory::flip_bit: internal layout error");
 }
 
-void Memory::flip_codeword_bit(std::uint64_t word_index, int raw_bit) {
+void Memory::flip_codeword_bit(std::uint64_t word_index, int raw_bit, std::uint64_t fault_id) {
   ensure(ecc_ == EccMode::kSecded, "flip_codeword_bit requires SEC-DED mode");
   ensure(word_index < codewords_.size() && raw_bit >= 0 && raw_bit < kCodewordBits,
          "flip_codeword_bit out of range");
+  if (fault_id != 0) word_poison_[word_index] = fault_id;
   codewords_[word_index] ^= 1ULL << raw_bit;
+}
+
+void Memory::add_write_watch(std::uint64_t address, std::function<void(std::uint32_t)> callback) {
+  ensure(address % 4 == 0 && address + 4 <= size_, "add_write_watch out of range/unaligned");
+  ensure(static_cast<bool>(callback), "add_write_watch: empty callback");
+  write_watches_.emplace_back(address / 4, std::move(callback));
 }
 
 std::uint32_t Memory::read_word(std::uint64_t word_index, bool& uncorrectable) {
@@ -143,7 +151,16 @@ void Memory::b_transport(tlm::GenericPayload& payload, sim::Time& delay) {
   bool uncorrectable = false;
   if (payload.command() == tlm::Command::kRead) {
     ++reads_;
-    const std::uint32_t word = read_word(w, uncorrectable);
+    std::uint32_t word;
+    if (provenance_ == nullptr) {
+      word = read_word(w, uncorrectable);
+    } else {
+      // Cold path: note whether *this* read scrubbed/flagged a poisoned word
+      // so the ECC event can be attributed as a detection of that fault.
+      const std::uint64_t corrected_before = corrected_;
+      word = read_word(w, uncorrectable);
+      provenance_read(w, payload, uncorrectable, corrected_ != corrected_before);
+    }
     if (uncorrectable) {
       payload.set_response(tlm::Response::kGenericError);
       return;
@@ -164,13 +181,53 @@ void Memory::b_transport(tlm::GenericPayload& payload, sim::Time& delay) {
     for (std::size_t i = n; i-- > 0;) v = (v << 8) | payload.data()[i];
     word = (word & ~mask) | ((v << shift) & mask);
     write_word(w, word);
+    if (provenance_ != nullptr) provenance_write(w, n, payload);
+    if (!write_watches_.empty()) {
+      for (const auto& watch : write_watches_) {
+        if (watch.first == w) watch.second(word);
+      }
+    }
   }
-  payload.set_dmi_allowed(ecc_ == EccMode::kNone);
+  payload.set_dmi_allowed(ecc_ == EccMode::kNone && provenance_ == nullptr);
   payload.set_response(tlm::Response::kOk);
+}
+
+void Memory::provenance_read(std::uint64_t word_index, tlm::GenericPayload& payload,
+                             bool uncorrectable, bool corrected) {
+  const auto it = word_poison_.find(word_index);
+  if (it == word_poison_.end()) return;
+  const std::uint64_t fault_id = it->second;
+  provenance_->touch(fault_id, "mem:" + name_);
+  if (corrected) {
+    // SEC-DED corrected and scrubbed the word: the fault is contained here.
+    provenance_->detect(fault_id, "hw.ecc:" + name_, "mem:" + name_);
+    word_poison_.erase(it);
+  } else if (uncorrectable) {
+    provenance_->detect(fault_id, "hw.ecc:" + name_ + ".ue", "mem:" + name_);
+  } else {
+    // Raw SRAM (or a check-bit-only flip that decoded clean): the corrupted
+    // value leaves on the bus.
+    payload.poison(fault_id);
+  }
+}
+
+void Memory::provenance_write(std::uint64_t word_index, std::size_t n,
+                              const tlm::GenericPayload& payload) {
+  if (payload.poisoned()) {
+    // A corrupted value landed in memory: the word now carries the fault.
+    word_poison_[word_index] = payload.poison_id();
+    provenance_->touch(payload.poison_id(), "mem:" + name_);
+  } else if (n == 4) {
+    // A clean full-word write overwrites whatever fault the word carried.
+    word_poison_.erase(word_index);
+  }
 }
 
 bool Memory::get_direct_mem_ptr(std::uint64_t /*address*/, tlm::DmiRegion& region) {
   if (ecc_ != EccMode::kNone) return false;  // reads must pass the decoder
+  // Provenance tracking needs to see every access, so a tracked memory
+  // declines the DMI fast path.
+  if (provenance_ != nullptr) return false;
   region.base = plain_.data();
   region.start = 0;
   region.end = size_ - 1;

@@ -1,11 +1,15 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "vps/hw/ecc.hpp"
+#include "vps/obs/provenance.hpp"
 #include "vps/sim/time.hpp"
 #include "vps/tlm/payload.hpp"
 #include "vps/tlm/sockets.hpp"
@@ -41,11 +45,28 @@ class Memory final : public tlm::BlockingTransport, public tlm::DmiProvider {
 
   // --- fault-injection interface -----------------------------------------
   /// Flips one data bit (byte view). In SEC-DED mode this flips the
-  /// corresponding data bit inside the stored codeword.
-  void flip_bit(std::uint64_t byte_address, int bit);
+  /// corresponding data bit inside the stored codeword. A non-zero fault_id
+  /// marks the containing word as carrying that fault for provenance
+  /// tracking (first read re-tags the outgoing payload; an ECC
+  /// correction/uncorrectable on the word counts as detection).
+  void flip_bit(std::uint64_t byte_address, int bit, std::uint64_t fault_id = 0);
   /// SEC-DED mode only: flips a raw codeword bit (0..38) of a 32-bit word,
   /// allowing injection into the check bits as well.
-  void flip_codeword_bit(std::uint64_t word_index, int raw_bit);
+  void flip_codeword_bit(std::uint64_t word_index, int raw_bit, std::uint64_t fault_id = 0);
+
+  /// Attaches a provenance tracker. While attached, DMI is declined (and
+  /// pre-existing grants should be invalidated by the caller) so every
+  /// access stays visible to the tracker; disabled cost is one pointer test
+  /// per b_transport. nullptr detaches.
+  void set_provenance(obs::ProvenanceTracker* tracker) noexcept { provenance_ = tracker; }
+
+  /// Registers a callback fired after a bus write lands in the given
+  /// word-aligned address (value = the full word after the write). DMI
+  /// writes bypass the watch, so pair it with set_provenance (which declines
+  /// DMI) when every store must be observed. Scenarios use this to timestamp
+  /// firmware-level detections, e.g. an error-counter word the firmware
+  /// increments when a link check fails.
+  void add_write_watch(std::uint64_t address, std::function<void(std::uint32_t)> callback);
 
   // --- statistics ---------------------------------------------------------
   [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
@@ -59,6 +80,11 @@ class Memory final : public tlm::BlockingTransport, public tlm::DmiProvider {
  private:
   [[nodiscard]] std::uint32_t read_word(std::uint64_t word_index, bool& uncorrectable);
   void write_word(std::uint64_t word_index, std::uint32_t value);
+  // Cold provenance paths, entered only when a tracker is attached.
+  void provenance_read(std::uint64_t word_index, tlm::GenericPayload& payload,
+                       bool uncorrectable, bool corrected);
+  void provenance_write(std::uint64_t word_index, std::size_t n,
+                        const tlm::GenericPayload& payload);
 
   std::string name_;
   std::size_t size_;
@@ -67,6 +93,9 @@ class Memory final : public tlm::BlockingTransport, public tlm::DmiProvider {
   tlm::TargetSocket socket_;
   std::vector<std::uint8_t> plain_;       // kNone backing store
   std::vector<std::uint64_t> codewords_;  // kSecded backing store (one per word)
+  obs::ProvenanceTracker* provenance_ = nullptr;
+  std::unordered_map<std::uint64_t, std::uint64_t> word_poison_;  // word index -> fault id
+  std::vector<std::pair<std::uint64_t, std::function<void(std::uint32_t)>>> write_watches_;
   std::uint64_t reads_ = 0;
   std::uint64_t writes_ = 0;
   std::uint64_t corrected_ = 0;

@@ -1,8 +1,14 @@
 #include "vps/obs/campaign_monitor.hpp"
 
+#include <cmath>
+
 namespace vps::obs {
 
-ProgressReporter::ProgressReporter(Options options) : options_(options) {}
+ProgressReporter::ProgressReporter(Options options) : options_(options) {
+  // A negative throttle would make every comparison below nonsense; zero is
+  // a valid "print every sample" request.
+  if (!(options_.min_interval_seconds >= 0.0)) options_.min_interval_seconds = 0.0;
+}
 
 void ProgressReporter::on_progress(const CampaignProgress& progress) {
   ++progress_reports_;
@@ -32,13 +38,22 @@ void ProgressReporter::on_complete(const CampaignProgress& progress) {
 
 void ProgressReporter::emit(const CampaignProgress& progress, bool final) {
   std::FILE* stream = options_.stream != nullptr ? options_.stream : stdout;
+  // First samples arrive with wall_seconds == 0 (or epsilon), which turns a
+  // naive runs/wall division into inf/NaN or an absurd spike; clamp such
+  // values to 0 so the printed rate is never nonsense.
+  double rps = progress.runs_per_second;
+  if (!std::isfinite(rps) || rps < 0.0 || progress.wall_seconds < 1e-9) rps = 0.0;
   std::fprintf(stream, "[%s] %s%llu/%llu runs, %.1f runs/s, coverage %.1f%%, hazards %llu",
                progress.campaign.empty() ? "campaign" : progress.campaign.c_str(),
                final ? "done: " : "",
                static_cast<unsigned long long>(progress.runs_done),
                static_cast<unsigned long long>(progress.runs_total),
-               progress.runs_per_second, progress.coverage * 100.0,
+               rps, progress.coverage * 100.0,
                static_cast<unsigned long long>(progress.hazards));
+  if (final && progress.detections_with_latency > 0) {
+    std::fprintf(stream, ", detection latency p50/p95/p99 %.1f/%.1f/%.1f us",
+                 progress.latency_p50_us, progress.latency_p95_us, progress.latency_p99_us);
+  }
   if (final && !progress.outcome_counts.empty()) {
     std::fprintf(stream, " (");
     bool first = true;

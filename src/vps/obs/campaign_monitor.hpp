@@ -30,6 +30,13 @@ struct CampaignProgress {
   std::uint64_t hazards = 0;
   /// Classification tallies, e.g. {"no_effect", 120}, {"hazard", 3}.
   std::vector<std::pair<std::string, std::uint64_t>> outcome_counts;
+  /// Provenance detection-latency summary (microseconds of simulated time).
+  /// Filled on final snapshots only — computing percentiles over every run
+  /// record on each per-run callback would be quadratic.
+  std::uint64_t detections_with_latency = 0;
+  double latency_p50_us = 0.0;
+  double latency_p95_us = 0.0;
+  double latency_p99_us = 0.0;
 };
 
 /// Receives campaign progress callbacks on the driver's thread (sequential:

@@ -15,6 +15,7 @@ KernelTracer::~KernelTracer() { kernel_.remove_observer(*this); }
 
 void KernelTracer::on_process_activation(const sim::Process& process, sim::Time now) {
   ++activations_seen_;
+  if (metric_activations_ != nullptr) metric_activations_->add();
   auto& attribution = process_counts_[&process];
   if (attribution.name.empty()) attribution.name = process.name();
   ++attribution.activations;
@@ -31,6 +32,7 @@ void KernelTracer::on_process_return(const sim::Process&, sim::Time) {
 
 void KernelTracer::on_event_notified(const sim::Event& event, sim::Time now) {
   ++notifications_seen_;
+  if (metric_notifications_ != nullptr) metric_notifications_->add();
   auto& attribution = event_counts_[&event];
   if (attribution.name.empty()) {
     attribution.name = event.name().empty() ? "<unnamed>" : event.name();
@@ -43,6 +45,7 @@ void KernelTracer::on_event_notified(const sim::Event& event, sim::Time now) {
 
 void KernelTracer::on_delta_cycle(sim::Time now) {
   ++delta_cycles_seen_;
+  if (metric_delta_cycles_ != nullptr) metric_delta_cycles_->add();
   if (tracer_ != nullptr && options_.counter_interval != 0 &&
       delta_cycles_seen_ % options_.counter_interval == 0) {
     tracer_->counter("kernel", "scheduler", now,
@@ -52,10 +55,14 @@ void KernelTracer::on_delta_cycle(sim::Time now) {
   }
 }
 
-void KernelTracer::on_time_advance(sim::Time) { ++time_advances_seen_; }
+void KernelTracer::on_time_advance(sim::Time) {
+  ++time_advances_seen_;
+  if (metric_time_advances_ != nullptr) metric_time_advances_->add();
+}
 
 void KernelTracer::on_budget_trip(const sim::RunStatus& status) {
   ++budget_trips_seen_;
+  if (metric_budget_trips_ != nullptr) metric_budget_trips_->add();
   if (tracer_ != nullptr) {
     tracer_->instant("kernel", std::string("budget_trip:") + sim::to_string(status.reason),
                      status.time, "scheduler");

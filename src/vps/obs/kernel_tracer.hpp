@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "vps/obs/metrics.hpp"
 #include "vps/obs/trace.hpp"
 #include "vps/sim/kernel.hpp"
 
@@ -50,6 +51,24 @@ class KernelTracer final : public sim::KernelObserver {
   /// Destination for structured events; nullptr (default) keeps only the
   /// attribution tallies.
   void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+  /// Publishes the aggregate tallies as "kernel.*" counters. Counter objects
+  /// are resolved once; each observer callback pays one null test plus an
+  /// increment. nullptr detaches.
+  void set_metrics(MetricRegistry* registry) {
+    if (registry == nullptr) {
+      metric_activations_ = nullptr;
+      metric_notifications_ = nullptr;
+      metric_delta_cycles_ = nullptr;
+      metric_time_advances_ = nullptr;
+      metric_budget_trips_ = nullptr;
+      return;
+    }
+    metric_activations_ = &registry->counter("kernel.activations");
+    metric_notifications_ = &registry->counter("kernel.notifications");
+    metric_delta_cycles_ = &registry->counter("kernel.delta_cycles");
+    metric_time_advances_ = &registry->counter("kernel.time_advances");
+    metric_budget_trips_ = &registry->counter("kernel.budget_trips");
+  }
 
   // KernelObserver interface.
   void on_process_activation(const sim::Process& process, sim::Time now) override;
@@ -77,6 +96,11 @@ class KernelTracer final : public sim::KernelObserver {
   sim::Kernel& kernel_;
   Options options_;
   Tracer* tracer_ = nullptr;
+  Counter* metric_activations_ = nullptr;
+  Counter* metric_notifications_ = nullptr;
+  Counter* metric_delta_cycles_ = nullptr;
+  Counter* metric_time_advances_ = nullptr;
+  Counter* metric_budget_trips_ = nullptr;
 
   // Keyed by identity (processes and events are non-movable kernel objects);
   // the name is copied on first sight so reports survive object teardown.

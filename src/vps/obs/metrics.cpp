@@ -1,0 +1,76 @@
+#include "vps/obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "vps/obs/trace.hpp"
+#include "vps/support/ensure.hpp"
+
+namespace vps::obs {
+
+support::Histogram& MetricRegistry::histogram(const std::string& name, double lo, double hi,
+                                              std::size_t bins) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_.emplace(name, support::Histogram(lo, hi, bins)).first;
+  support::ensure(it->second.lo() == lo && it->second.hi() == hi &&
+                      it->second.bin_count() == bins,
+                  "MetricRegistry: histogram re-registered with a different shape");
+  return it->second;
+}
+
+std::string MetricRegistry::render() const {
+  char buf[160];
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    std::snprintf(buf, sizeof buf, "%-40s counter   %20" PRIu64 "\n", name.c_str(), c.value());
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    std::snprintf(buf, sizeof buf, "%-40s gauge     %20.6g\n", name.c_str(), g.value());
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    std::snprintf(buf, sizeof buf,
+                  "%-40s histogram %20" PRIu64 " samples  p50=%.6g p95=%.6g p99=%.6g\n",
+                  name.c_str(), h.total(), h.percentile(0.50), h.percentile(0.95),
+                  h.percentile(0.99));
+    out += buf;
+  }
+  return out;
+}
+
+std::string MetricRegistry::to_jsonl() const {
+  char buf[224];
+  std::string out;
+  for (const auto& [name, c] : counters_) {
+    out += "{\"metric\":\"" + json_escape(name) + "\",\"kind\":\"counter\",\"value\":";
+    std::snprintf(buf, sizeof buf, "%" PRIu64 "}\n", c.value());
+    out += buf;
+  }
+  for (const auto& [name, g] : gauges_) {
+    out += "{\"metric\":\"" + json_escape(name) + "\",\"kind\":\"gauge\",\"value\":";
+    // %.17g round-trips doubles exactly, keeping the export byte-stable.
+    std::snprintf(buf, sizeof buf, "%.17g}\n", g.value());
+    out += buf;
+  }
+  for (const auto& [name, h] : histograms_) {
+    out += "{\"metric\":\"" + json_escape(name) + "\",\"kind\":\"histogram\",";
+    std::snprintf(buf, sizeof buf,
+                  "\"count\":%" PRIu64 ",\"dropped\":%" PRIu64
+                  ",\"p50\":%.17g,\"p95\":%.17g,\"p99\":%.17g}\n",
+                  h.total(), h.dropped_non_finite(), h.percentile(0.50), h.percentile(0.95),
+                  h.percentile(0.99));
+    out += buf;
+  }
+  return out;
+}
+
+void MetricRegistry::write_jsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  support::ensure(out.good(), "MetricRegistry: cannot open JSONL path");
+  out << to_jsonl();
+}
+
+}  // namespace vps::obs

@@ -1,0 +1,70 @@
+#pragma once
+
+/// Central metric registry of the observability layer: named counters,
+/// gauges and histograms that the kernel tracer, transaction probes and
+/// campaign drivers publish into. Registration returns stable references
+/// (std::map nodes never move), so publishers cache a pointer once and the
+/// hot path is a plain increment behind one null test. Snapshots iterate in
+/// name order — deterministic across reruns, so the JSONL export can be
+/// golden-tested like every other obs artifact.
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "vps/support/stats.hpp"
+
+namespace vps::obs {
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_ += n; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-written sample of a continuous quantity.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+class MetricRegistry {
+ public:
+  /// Returns the counter/gauge with this name, creating it on first use.
+  /// References stay valid for the registry's lifetime.
+  [[nodiscard]] Counter& counter(const std::string& name) { return counters_[name]; }
+  [[nodiscard]] Gauge& gauge(const std::string& name) { return gauges_[name]; }
+  /// Returns the histogram with this name; the range/bin shape is fixed by
+  /// the first caller (later callers must agree — enforced).
+  [[nodiscard]] support::Histogram& histogram(const std::string& name, double lo, double hi,
+                                              std::size_t bins);
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// Human-readable table, name-sorted.
+  [[nodiscard]] std::string render() const;
+  /// One JSON object per metric, name-sorted within each kind:
+  ///   {"metric":"kernel.activations","kind":"counter","value":123}
+  ///   {"metric":"bus0.latency_ns","kind":"histogram","count":9,"p50":...}
+  [[nodiscard]] std::string to_jsonl() const;
+  void write_jsonl(const std::string& path) const;
+
+ private:
+  // std::map: node stability for cached pointers + sorted iteration for
+  // deterministic snapshots.
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, support::Histogram> histograms_;
+};
+
+}  // namespace vps::obs

@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "vps/obs/metrics.hpp"
 #include "vps/obs/trace.hpp"
 #include "vps/sim/kernel.hpp"
 #include "vps/support/stats.hpp"
@@ -29,6 +30,22 @@ class TransactionProbe {
       : kernel_(kernel), track_(std::move(track)), latency_hist_(hist_lo_ns, hist_hi_ns, bins) {}
 
   void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+  /// Publishes per-probe counters/latency into a MetricRegistry under
+  /// "<track>.transactions" / "<track>.marks" / "<track>.latency_ns". The
+  /// metric objects are resolved once here; the hot path pays one null test
+  /// plus plain increments. nullptr detaches.
+  void set_metrics(MetricRegistry* registry) {
+    if (registry == nullptr) {
+      metric_transactions_ = nullptr;
+      metric_marks_ = nullptr;
+      metric_latency_ = nullptr;
+      return;
+    }
+    metric_transactions_ = &registry->counter(track_ + ".transactions");
+    metric_marks_ = &registry->counter(track_ + ".marks");
+    metric_latency_ = &registry->histogram(track_ + ".latency_ns", latency_hist_.lo(),
+                                           latency_hist_.hi(), latency_hist_.bin_count());
+  }
   [[nodiscard]] sim::Kernel& kernel() const noexcept { return kernel_; }
   [[nodiscard]] const std::string& track() const noexcept { return track_; }
 
@@ -39,6 +56,10 @@ class TransactionProbe {
     const double latency_ns = static_cast<double>(latency.picoseconds()) / 1000.0;
     latency_.add(latency_ns);
     latency_hist_.add(latency_ns);
+    if (metric_transactions_ != nullptr) {
+      metric_transactions_->add();
+      metric_latency_->add(latency_ns);
+    }
     if (tracer_ != nullptr) {
       tracer_->complete(category, std::move(name), begin, latency, track_, std::move(args));
     }
@@ -48,6 +69,7 @@ class TransactionProbe {
   /// the current simulated time.
   void mark(const char* category, std::string name, std::vector<TraceArg> args = {}) {
     ++marks_;
+    if (metric_marks_ != nullptr) metric_marks_->add();
     if (tracer_ != nullptr) {
       tracer_->instant(category, std::move(name), kernel_.now(), track_, std::move(args));
     }
@@ -65,6 +87,9 @@ class TransactionProbe {
   sim::Kernel& kernel_;
   std::string track_;
   Tracer* tracer_ = nullptr;
+  Counter* metric_transactions_ = nullptr;
+  Counter* metric_marks_ = nullptr;
+  support::Histogram* metric_latency_ = nullptr;
   std::uint64_t transactions_ = 0;
   std::uint64_t marks_ = 0;
   support::Accumulator latency_;

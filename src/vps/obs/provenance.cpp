@@ -1,0 +1,314 @@
+#include "vps/obs/provenance.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+
+#include "vps/obs/trace.hpp"
+#include "vps/support/ensure.hpp"
+
+namespace vps::obs {
+
+namespace {
+
+// Delimiters of the compact checkpoint encoding; sites and labels are
+// internal identifiers and must stay clear of them.
+constexpr const char* kReserved = "|,;\n";
+
+void check_identifier(std::string_view text, const char* what) {
+  support::ensure(text.find_first_of(kReserved) == std::string_view::npos,
+                  what);
+}
+
+char kind_char(HopKind kind) noexcept {
+  switch (kind) {
+    case HopKind::kInjection: return 'I';
+    case HopKind::kPropagation: return 'P';
+    case HopKind::kDetection: return 'D';
+  }
+  return '?';
+}
+
+HopKind kind_from_char(char c) {
+  switch (c) {
+    case 'I': return HopKind::kInjection;
+    case 'P': return HopKind::kPropagation;
+    case 'D': return HopKind::kDetection;
+    default: support::ensure(false, "FaultProvenance::decode: bad hop kind"); return HopKind::kPropagation;
+  }
+}
+
+}  // namespace
+
+const char* to_string(HopKind kind) noexcept {
+  switch (kind) {
+    case HopKind::kInjection: return "injection";
+    case HopKind::kPropagation: return "propagation";
+    case HopKind::kDetection: return "detection";
+  }
+  return "?";
+}
+
+// --- FaultProvenance ---------------------------------------------------------
+
+bool FaultProvenance::detected() const noexcept {
+  for (const auto& n : nodes)
+    if (n.kind == HopKind::kDetection) return true;
+  return false;
+}
+
+sim::Time FaultProvenance::injected_at() const noexcept {
+  return nodes.empty() ? sim::Time::zero() : nodes.front().at;
+}
+
+std::optional<sim::Time> FaultProvenance::detection_latency() const noexcept {
+  if (nodes.empty()) return std::nullopt;
+  for (const auto& n : nodes) {
+    if (n.kind != HopKind::kDetection) continue;
+    const sim::Time injected = nodes.front().at;
+    return n.at >= injected ? sim::Time::ps(n.at.picoseconds() - injected.picoseconds())
+                            : sim::Time::zero();
+  }
+  return std::nullopt;
+}
+
+std::string_view FaultProvenance::containment_site() const noexcept {
+  for (const auto& n : nodes)
+    if (n.kind == HopKind::kDetection) return n.site;
+  return {};
+}
+
+std::uint32_t FaultProvenance::depth() const noexcept {
+  std::uint32_t d = 0;
+  for (const auto& n : nodes) d = std::max(d, n.depth);
+  return d;
+}
+
+std::string FaultProvenance::encode() const {
+  check_identifier(label, "provenance label contains a reserved character");
+  std::string out = label;
+  out += '|';
+  char buf[96];
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    const ProvenanceNode& n = nodes[i];
+    check_identifier(n.site, "provenance site contains a reserved character");
+    if (i != 0) out += ';';
+    out += n.site;
+    std::snprintf(buf, sizeof buf, ",%c,%" PRIu64 ",%" PRId32, kind_char(n.kind),
+                  static_cast<std::uint64_t>(n.at.picoseconds()), n.parent);
+    out += buf;
+  }
+  return out;
+}
+
+FaultProvenance FaultProvenance::decode(std::uint64_t fault_id, std::string_view text) {
+  FaultProvenance fp;
+  fp.fault_id = fault_id;
+  const std::size_t bar = text.find('|');
+  support::ensure(bar != std::string_view::npos, "FaultProvenance::decode: missing '|'");
+  fp.label = std::string(text.substr(0, bar));
+  std::string_view rest = text.substr(bar + 1);
+  while (!rest.empty()) {
+    const std::size_t semi = rest.find(';');
+    std::string_view node_text = rest.substr(0, semi);
+    rest = semi == std::string_view::npos ? std::string_view{} : rest.substr(semi + 1);
+
+    ProvenanceNode node;
+    const std::size_t c1 = node_text.find(',');
+    support::ensure(c1 != std::string_view::npos, "FaultProvenance::decode: bad node");
+    node.site = std::string(node_text.substr(0, c1));
+    node_text.remove_prefix(c1 + 1);
+    support::ensure(node_text.size() >= 2 && node_text[1] == ',',
+                    "FaultProvenance::decode: bad kind");
+    node.kind = kind_from_char(node_text[0]);
+    node_text.remove_prefix(2);
+
+    std::uint64_t ts = 0;
+    std::int64_t parent = -1;
+    const int got = std::sscanf(std::string(node_text).c_str(), "%" SCNu64 ",%" SCNd64, &ts, &parent);
+    support::ensure(got == 2, "FaultProvenance::decode: bad node fields");
+    node.at = sim::Time::ps(ts);
+    node.parent = static_cast<std::int32_t>(parent);
+    node.depth = node.parent >= 0 && static_cast<std::size_t>(node.parent) < fp.nodes.size()
+                     ? fp.nodes[static_cast<std::size_t>(node.parent)].depth + 1
+                     : 0;
+    fp.nodes.push_back(std::move(node));
+  }
+  return fp;
+}
+
+// --- ProvenanceTracker -------------------------------------------------------
+
+FaultProvenance* ProvenanceTracker::lookup(std::uint64_t fault_id) noexcept {
+  for (auto& fp : faults_)
+    if (fp.fault_id == fault_id) return &fp;
+  return nullptr;
+}
+
+const FaultProvenance* ProvenanceTracker::find(std::uint64_t fault_id) const noexcept {
+  for (const auto& fp : faults_)
+    if (fp.fault_id == fault_id) return &fp;
+  return nullptr;
+}
+
+void ProvenanceTracker::begin_fault(std::uint64_t fault_id, std::string label, std::string site) {
+  support::ensure(fault_id != 0, "provenance fault id 0 is reserved for 'no fault'");
+  if (lookup(fault_id) != nullptr) return;  // token already minted
+  FaultProvenance fp;
+  fp.fault_id = fault_id;
+  fp.label = std::move(label);
+  fp.nodes.push_back({std::move(site), HopKind::kInjection, kernel_.now(), -1, 0});
+  faults_.push_back(std::move(fp));
+}
+
+void ProvenanceTracker::abandon(std::uint64_t fault_id) {
+  for (std::size_t i = 0; i < faults_.size(); ++i) {
+    if (faults_[i].fault_id == fault_id) {
+      faults_.erase(faults_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+void ProvenanceTracker::touch(std::uint64_t fault_id, std::string_view site,
+                              std::string_view from_site) {
+  FaultProvenance* fp = lookup(fault_id);
+  if (fp == nullptr || fp->nodes.empty()) return;  // stale tag: ignore
+  for (const auto& n : fp->nodes)
+    if (n.site == site) return;  // first contact only
+
+  std::int32_t parent = 0;  // default: hangs off the injection root
+  if (!from_site.empty()) {
+    for (std::size_t i = fp->nodes.size(); i-- > 0;) {
+      if (fp->nodes[i].site == from_site) {
+        parent = static_cast<std::int32_t>(i);
+        break;
+      }
+    }
+  }
+  const std::uint32_t depth = fp->nodes[static_cast<std::size_t>(parent)].depth + 1;
+  fp->nodes.push_back(
+      {std::string(site), HopKind::kPropagation, kernel_.now(), parent, depth});
+}
+
+void ProvenanceTracker::detect(std::uint64_t fault_id, std::string_view site,
+                               std::string_view from_site) {
+  FaultProvenance* fp = lookup(fault_id);
+  if (fp == nullptr || fp->nodes.empty() || fp->detected()) return;  // first detection wins
+
+  // Default parent: the most recent contact — the detection observed the
+  // effect where it last surfaced.
+  auto parent = static_cast<std::int32_t>(fp->nodes.size() - 1);
+  if (!from_site.empty()) {
+    for (std::size_t i = fp->nodes.size(); i-- > 0;) {
+      if (fp->nodes[i].site == from_site) {
+        parent = static_cast<std::int32_t>(i);
+        break;
+      }
+    }
+  }
+  const std::uint32_t depth = fp->nodes[static_cast<std::size_t>(parent)].depth + 1;
+  fp->nodes.push_back({std::string(site), HopKind::kDetection, kernel_.now(), parent, depth});
+}
+
+void ProvenanceTracker::detect_all(std::string_view site) {
+  for (auto& fp : faults_) {
+    if (fp.nodes.empty() || fp.detected()) continue;
+    const auto parent = static_cast<std::int32_t>(fp.nodes.size() - 1);
+    fp.nodes.push_back({std::string(site), HopKind::kDetection, kernel_.now(), parent,
+                        fp.nodes[static_cast<std::size_t>(parent)].depth + 1});
+  }
+}
+
+// --- exports -----------------------------------------------------------------
+
+std::string provenance_to_json(const FaultProvenance& fp) {
+  char buf[128];
+  std::string out = "{\"fault\":";
+  std::snprintf(buf, sizeof buf, "%" PRIu64, fp.fault_id);
+  out += buf;
+  out += ",\"label\":\"";
+  out += json_escape(fp.label);
+  out += "\",\"nodes\":[";
+  for (std::size_t i = 0; i < fp.nodes.size(); ++i) {
+    const ProvenanceNode& n = fp.nodes[i];
+    if (i != 0) out += ',';
+    out += "{\"site\":\"";
+    out += json_escape(n.site);
+    std::snprintf(buf, sizeof buf, "\",\"kind\":\"%s\",\"ts_ps\":%" PRIu64 ",\"parent\":%" PRId32
+                                   ",\"depth\":%" PRIu32 "}",
+                  to_string(n.kind), static_cast<std::uint64_t>(n.at.picoseconds()), n.parent,
+                  n.depth);
+    out += buf;
+  }
+  out += "],\"detected\":";
+  out += fp.detected() ? "true" : "false";
+  if (const auto latency = fp.detection_latency()) {
+    std::snprintf(buf, sizeof buf, ",\"latency_ps\":%" PRIu64,
+                  static_cast<std::uint64_t>(latency->picoseconds()));
+    out += buf;
+    out += ",\"containment\":\"";
+    out += json_escape(std::string(fp.containment_site()));
+    out += '"';
+  }
+  std::snprintf(buf, sizeof buf, ",\"depth\":%" PRIu32 ",\"breadth\":%zu}", fp.depth(),
+                fp.breadth());
+  out += buf;
+  return out;
+}
+
+void provenance_to_dot(const FaultProvenance& fp, std::size_t index, std::string& out) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf, "  subgraph cluster_f%zu {\n", index);
+  out += buf;
+  out += "    label=\"";
+  out += fp.label;
+  out += "\";\n    style=rounded;\n";
+  for (std::size_t i = 0; i < fp.nodes.size(); ++i) {
+    const ProvenanceNode& n = fp.nodes[i];
+    const char* fill = n.kind == HopKind::kInjection    ? "#f4cccc"
+                       : n.kind == HopKind::kDetection ? "#d9ead3"
+                                                       : "#fff2cc";
+    std::snprintf(buf, sizeof buf, "    f%zu_n%zu [label=\"%s\\n@%" PRIu64
+                                   " ps\", style=filled, fillcolor=\"%s\"];\n",
+                  index, i, n.site.c_str(), static_cast<std::uint64_t>(n.at.picoseconds()), fill);
+    out += buf;
+  }
+  for (std::size_t i = 0; i < fp.nodes.size(); ++i) {
+    if (fp.nodes[i].parent < 0) continue;
+    std::snprintf(buf, sizeof buf, "    f%zu_n%" PRId32 " -> f%zu_n%zu;\n", index,
+                  fp.nodes[i].parent, index, i);
+    out += buf;
+  }
+  out += "  }\n";
+}
+
+std::string ProvenanceTracker::to_jsonl() const {
+  std::string out;
+  for (const auto& fp : faults_) {
+    out += provenance_to_json(fp);
+    out += '\n';
+  }
+  return out;
+}
+
+void ProvenanceTracker::write_jsonl(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  support::ensure(out.good(), "ProvenanceTracker: cannot open JSONL path");
+  out << to_jsonl();
+}
+
+std::string ProvenanceTracker::to_dot() const {
+  std::string out = "digraph provenance {\n  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  for (std::size_t i = 0; i < faults_.size(); ++i) provenance_to_dot(faults_[i], i, out);
+  out += "}\n";
+  return out;
+}
+
+void ProvenanceTracker::write_dot(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  support::ensure(out.good(), "ProvenanceTracker: cannot open DOT path");
+  out << to_dot();
+}
+
+}  // namespace vps::obs

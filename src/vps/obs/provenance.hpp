@@ -1,0 +1,142 @@
+#pragma once
+
+/// Fault-effect provenance (paper Sec. 3.3, Fig. 3): the campaign monitor
+/// should be able to *explain* an error effect, not just classify the end
+/// state. A ProvenanceTracker mints one token per applied fault (at
+/// fault::InjectorHub) and the substrate models — signals, TLM payloads,
+/// CAN/LIN frames, ECC memory words, CPU registers — report first-contact
+/// observations at named sites as the corrupted value moves through them.
+/// Each fault accumulates a small propagation DAG with simulated-time
+/// stamps, from which detection latency (injection → first detection by a
+/// safety mechanism), containment site and propagation depth/breadth fall
+/// out directly.
+///
+/// Determinism contract: every timestamp is simulated time, node order is
+/// insertion order, and fault order is application order — so the JSONL and
+/// Graphviz DOT exports are byte-identical across reruns (and, lifted to
+/// campaign level, across worker counts). Disabled cost: models hold a
+/// `ProvenanceTracker*` that is null while provenance is off, so every
+/// touch point costs one pointer test.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "vps/sim/kernel.hpp"
+#include "vps/sim/signal.hpp"
+#include "vps/sim/time.hpp"
+
+namespace vps::obs {
+
+/// Role of a node in the propagation DAG.
+enum class HopKind : std::uint8_t {
+  kInjection,    ///< the minted root: where the fault entered the system
+  kPropagation,  ///< first contact of the corrupted value with a new site
+  kDetection,    ///< a safety mechanism observed the effect
+};
+
+[[nodiscard]] const char* to_string(HopKind kind) noexcept;
+
+struct ProvenanceNode {
+  std::string site;  ///< e.g. "mem:ram", "bus:bus0", "cpu:airbag.r5", "hw.ecc:ram"
+  HopKind kind = HopKind::kPropagation;
+  sim::Time at;
+  std::int32_t parent = -1;  ///< index into nodes; -1 = root
+  std::uint32_t depth = 0;   ///< hops from the injection node
+};
+
+/// The per-fault propagation DAG plus the metrics derived from it.
+struct FaultProvenance {
+  std::uint64_t fault_id = 0;
+  std::string label;  ///< e.g. "mem_bit_flip#12"
+  std::vector<ProvenanceNode> nodes;
+
+  [[nodiscard]] bool detected() const noexcept;
+  [[nodiscard]] sim::Time injected_at() const noexcept;
+  /// Injection → first detection. nullopt while undetected (a latent fault).
+  [[nodiscard]] std::optional<sim::Time> detection_latency() const noexcept;
+  /// Site of the first detection node, or empty while undetected.
+  [[nodiscard]] std::string_view containment_site() const noexcept;
+  /// Longest hop chain from the injection node (0 = never left the site).
+  [[nodiscard]] std::uint32_t depth() const noexcept;
+  /// Number of distinct sites the effect reached (including injection).
+  [[nodiscard]] std::size_t breadth() const noexcept { return nodes.size(); }
+
+  /// Compact single-line encoding for checkpoints:
+  ///   label|site,K,ts_ps,parent;site,K,ts_ps,parent;...
+  /// with K one of I/P/D. Sites and labels are internal identifiers and must
+  /// not contain the delimiters (enforced).
+  [[nodiscard]] std::string encode() const;
+  [[nodiscard]] static FaultProvenance decode(std::uint64_t fault_id, std::string_view text);
+};
+
+/// Collects the propagation DAGs of all faults applied during one run.
+/// Touch points call in with the fault id carried by the corrupted artifact
+/// (payload poison id, frame poison id, signal poison tag, register taint,
+/// poisoned memory word); detection mechanisms call detect()/detect_all().
+class ProvenanceTracker {
+ public:
+  explicit ProvenanceTracker(sim::Kernel& kernel) : kernel_(kernel) {}
+
+  /// Mints the token for a fault about to be applied; the root node carries
+  /// the injection site. Called by fault::InjectorHub.
+  void begin_fault(std::uint64_t fault_id, std::string label, std::string site);
+  /// Removes a fault whose application turned out to be skipped.
+  void abandon(std::uint64_t fault_id);
+
+  /// First-contact observation: records `site` once per fault (subsequent
+  /// touches of the same site are ignored). `from_site` names the parent
+  /// node; empty = the injection root. Unknown fault ids are ignored so
+  /// stale poison tags cannot crash a run.
+  void touch(std::uint64_t fault_id, std::string_view site, std::string_view from_site = {});
+  /// Records the first detection of this fault (later detections are
+  /// ignored; the first one defines the detection latency). `from_site`
+  /// empty = chain onto the most recent node of this fault.
+  void detect(std::uint64_t fault_id, std::string_view site, std::string_view from_site = {});
+  /// Ambient detection: a mechanism fired that cannot name the fault it saw
+  /// (watchdog escalation, plausibility check). Marks every begun,
+  /// not-yet-detected fault as detected at `site` — exact for campaign runs,
+  /// which inject exactly one fault.
+  void detect_all(std::string_view site);
+
+  [[nodiscard]] const std::vector<FaultProvenance>& faults() const noexcept { return faults_; }
+  [[nodiscard]] const FaultProvenance* find(std::uint64_t fault_id) const noexcept;
+  void clear() { faults_.clear(); }
+
+  [[nodiscard]] sim::Time now() const { return kernel_.now(); }
+
+  /// One JSON object per fault, nodes in insertion order — byte-identical
+  /// across reruns.
+  [[nodiscard]] std::string to_jsonl() const;
+  void write_jsonl(const std::string& path) const;
+  /// Graphviz DOT: one cluster per fault, nodes colored by HopKind.
+  [[nodiscard]] std::string to_dot() const;
+  void write_dot(const std::string& path) const;
+
+  /// Attaches a commit hook that reports poisoned commits of this signal as
+  /// first-contact observations at `site`. (sim cannot depend on obs, so
+  /// the signal only carries a dumb poison tag; this helper closes the
+  /// loop from the obs side.) Returns the hook id for detaching.
+  template <typename T>
+  sim::CommitHookId watch_signal(sim::Signal<T>& signal, std::string site) {
+    return signal.add_commit_hook([this, &signal, site = std::move(site)](const T&) {
+      if (signal.poison_id() != 0) touch(signal.poison_id(), site);
+    });
+  }
+
+ private:
+  [[nodiscard]] FaultProvenance* lookup(std::uint64_t fault_id) noexcept;
+
+  sim::Kernel& kernel_;
+  std::vector<FaultProvenance> faults_;  // application order
+};
+
+/// Formats the per-fault provenance lines (used by tracker and campaign
+/// exports, which share one schema).
+[[nodiscard]] std::string provenance_to_json(const FaultProvenance& fp);
+/// Appends one DOT cluster for the fault to `out`; `index` keys node names.
+void provenance_to_dot(const FaultProvenance& fp, std::size_t index, std::string& out);
+
+}  // namespace vps::obs

@@ -17,24 +17,79 @@ const char* to_string(EventKind kind) noexcept {
   return "?";
 }
 
+namespace {
+
+/// Length of the valid UTF-8 sequence starting at text[i], or 0 if the
+/// bytes there are not well-formed UTF-8 (truncated sequence, bad
+/// continuation byte, overlong encoding, surrogate range, > U+10FFFF).
+std::size_t utf8_sequence_length(const std::string& text, std::size_t i) {
+  const auto b0 = static_cast<unsigned char>(text[i]);
+  if (b0 < 0x80) return 1;
+  std::size_t len = 0;
+  std::uint32_t min_cp = 0;
+  std::uint32_t cp = 0;
+  if ((b0 & 0xE0) == 0xC0) {
+    len = 2, min_cp = 0x80, cp = b0 & 0x1Fu;
+  } else if ((b0 & 0xF0) == 0xE0) {
+    len = 3, min_cp = 0x800, cp = b0 & 0x0Fu;
+  } else if ((b0 & 0xF8) == 0xF0) {
+    len = 4, min_cp = 0x10000, cp = b0 & 0x07u;
+  } else {
+    return 0;  // lone continuation byte or 0xF8..0xFF
+  }
+  if (i + len > text.size()) return 0;
+  for (std::size_t k = 1; k < len; ++k) {
+    const auto b = static_cast<unsigned char>(text[i + k]);
+    if ((b & 0xC0) != 0x80) return 0;
+    cp = (cp << 6) | (b & 0x3Fu);
+  }
+  if (cp < min_cp) return 0;                     // overlong encoding
+  if (cp >= 0xD800 && cp <= 0xDFFF) return 0;    // UTF-16 surrogate
+  if (cp > 0x10FFFF) return 0;                   // beyond Unicode
+  return len;
+}
+
+}  // namespace
+
 std::string json_escape(const std::string& text) {
   std::string out;
   out.reserve(text.size());
-  for (const char c : text) {
+  for (std::size_t i = 0; i < text.size();) {
+    const char c = text[i];
+    const auto uc = static_cast<unsigned char>(c);
     switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\r': out += "\\r"; break;
-      case '\t': out += "\\t"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
+      case '"': out += "\\\""; ++i; continue;
+      case '\\': out += "\\\\"; ++i; continue;
+      case '\b': out += "\\b"; ++i; continue;
+      case '\f': out += "\\f"; ++i; continue;
+      case '\n': out += "\\n"; ++i; continue;
+      case '\r': out += "\\r"; ++i; continue;
+      case '\t': out += "\\t"; ++i; continue;
+      default: break;
+    }
+    if (uc < 0x20) {
+      // All remaining C0 controls: Chrome's trace viewer rejects raw bytes
+      // like \x1f, so every one of 0x00..0x1F must leave as \u00XX.
+      char buf[8];
+      std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(uc));
+      out += buf;
+      ++i;
+      continue;
+    }
+    if (uc < 0x80) {
+      out += c;
+      ++i;
+      continue;
+    }
+    // Non-ASCII: pass well-formed UTF-8 sequences through untouched and
+    // replace each invalid byte with the (escaped) replacement character,
+    // so the output is always valid UTF-8 JSON regardless of the input.
+    if (const std::size_t len = utf8_sequence_length(text, i); len != 0) {
+      out.append(text, i, len);
+      i += len;
+    } else {
+      out += "\\ufffd";
+      ++i;
     }
   }
   return out;

@@ -55,18 +55,31 @@ void Fmeda::add_row(FmedaRow row) {
   rows_.push_back(std::move(row));
 }
 
+std::size_t Fmeda::set_measured_latency(const std::string& component,
+                                        const std::string& failure_mode, double seconds) {
+  std::size_t updated = 0;
+  for (auto& row : rows_) {
+    if (row.component == component && row.failure_mode == failure_mode) {
+      row.measured_detection_latency_s = seconds;
+      ++updated;
+    }
+  }
+  return updated;
+}
+
 FmedaMetrics Fmeda::metrics() const {
   FmedaMetrics m;
   for (const auto& row : rows_) {
     m.total_fit += row.fit;
     if (!row.safety_related) continue;
     m.safety_related_fit += row.fit;
+    const double dc = row.effective_diagnostic_coverage();
     // Residual faults: the safety mechanisms miss (1 - DC) of them; those
     // can violate the safety goal directly (single-point/residual).
-    const double residual = row.fit * (1.0 - row.diagnostic_coverage);
+    const double residual = row.fit * (1.0 - dc);
     m.residual_fit += residual;
     // Latent multi-point faults: detected-but-dormant share never revealed.
-    const double covered = row.fit * row.diagnostic_coverage;
+    const double covered = row.fit * dc;
     m.latent_fit += covered * (1.0 - row.latent_coverage);
   }
   if (m.safety_related_fit > 0.0) {
@@ -79,14 +92,26 @@ FmedaMetrics Fmeda::metrics() const {
 }
 
 std::string Fmeda::render() const {
-  support::Table t({"component", "failure mode", "FIT", "SR", "DC", "residual FIT"});
+  support::Table t({"component", "failure mode", "FIT", "SR", "DC", "eff. DC", "latency/FTTI",
+                    "residual FIT"});
   for (const auto& row : rows_) {
-    char fit[32], dc[32], res[32];
+    char fit[32], dc[32], eff[32], lat[48], res[32];
     std::snprintf(fit, sizeof fit, "%.3g", row.fit);
     std::snprintf(dc, sizeof dc, "%.2f", row.diagnostic_coverage);
+    std::snprintf(eff, sizeof eff, "%.2f", row.effective_diagnostic_coverage());
+    if (row.ftti_budget_s <= 0.0) {
+      std::snprintf(lat, sizeof lat, "-");
+    } else if (row.measured_detection_latency_s < 0.0) {
+      std::snprintf(lat, sizeof lat, "?/%.3gs", row.ftti_budget_s);
+    } else {
+      std::snprintf(lat, sizeof lat, "%.3gs/%.3gs", row.measured_detection_latency_s,
+                    row.ftti_budget_s);
+    }
     std::snprintf(res, sizeof res, "%.3g",
-                  row.safety_related ? row.fit * (1.0 - row.diagnostic_coverage) : 0.0);
-    t.add_row({row.component, row.failure_mode, fit, row.safety_related ? "yes" : "no", dc, res});
+                  row.safety_related ? row.fit * (1.0 - row.effective_diagnostic_coverage())
+                                     : 0.0);
+    t.add_row({row.component, row.failure_mode, fit, row.safety_related ? "yes" : "no", dc, eff,
+               lat, res});
   }
   const auto m = metrics();
   char buf[192];

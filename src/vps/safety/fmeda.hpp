@@ -30,6 +30,26 @@ struct FmedaRow {
   bool safety_related = true;    ///< can it violate the safety goal at all?
   double diagnostic_coverage = 0.0;  ///< fraction caught by safety mechanisms
   double latent_coverage = 1.0;  ///< fraction of multi-point faults revealed
+  /// Fault-tolerant time interval budget for this failure mode in seconds
+  /// (0 = no timing requirement). A diagnostic only counts if it fires
+  /// within the FTTI.
+  double ftti_budget_s = 0.0;
+  /// Measured detection latency from a provenance-traced campaign (seconds;
+  /// < 0 = unmeasured, the claimed DC is taken at face value). Fed by
+  /// Fmeda::set_measured_latency().
+  double measured_detection_latency_s = -1.0;
+
+  /// The diagnostic coverage the metrics may actually credit: the claimed
+  /// DC, or 0 when the measured detection latency exceeds the FTTI budget —
+  /// a detection that arrives after the FTTI cannot prevent the hazard, so
+  /// the mechanism contributes nothing (ISO 26262-5 timing requirement).
+  [[nodiscard]] double effective_diagnostic_coverage() const noexcept {
+    if (ftti_budget_s > 0.0 && measured_detection_latency_s >= 0.0 &&
+        measured_detection_latency_s > ftti_budget_s) {
+      return 0.0;
+    }
+    return diagnostic_coverage;
+  }
 };
 
 struct FmedaMetrics {
@@ -50,6 +70,12 @@ class Fmeda {
   void add_row(FmedaRow row);
   [[nodiscard]] std::size_t row_count() const noexcept { return rows_.size(); }
   [[nodiscard]] const std::vector<FmedaRow>& rows() const noexcept { return rows_; }
+
+  /// Feeds a measured detection latency (e.g. a campaign's per-type p99 from
+  /// CampaignResult::detection_latency_stats) into the matching row(s).
+  /// Returns the number of rows updated (0 = no such component/mode).
+  std::size_t set_measured_latency(const std::string& component, const std::string& failure_mode,
+                                   double seconds);
 
   [[nodiscard]] FmedaMetrics metrics() const;
   [[nodiscard]] std::string render() const;

@@ -57,6 +57,19 @@ class Signal final : public UpdateHook {
     changed_.notify_immediate();
   }
 
+  /// force() plus a provenance tag: the committed value is marked as carrying
+  /// fault `fault_id` until the next clean commit overwrites it. The sim
+  /// layer cannot depend on obs, so the tag is a dumb integer here;
+  /// obs::ProvenanceTracker::watch_signal turns tagged commits into
+  /// propagation observations.
+  void force_poisoned(const T& value, std::uint64_t fault_id) {
+    poison_id_ = fault_id;
+    force(value);
+  }
+
+  /// Fault id of the last poisoned force, or 0 once a clean write committed.
+  [[nodiscard]] std::uint64_t poison_id() const noexcept { return poison_id_; }
+
   /// Registers an observation hook (tracer, monitor, scoreboard); every
   /// registered hook runs in registration order after each commit. Returns a
   /// handle for remove_commit_hook, so independent observers can attach and
@@ -79,6 +92,7 @@ class Signal final : public UpdateHook {
     update_pending_ = false;
     if (next_ == current_) return;
     current_ = next_;
+    poison_id_ = 0;  // a clean delta-protocol commit overwrites the fault value
     ++change_count_;
     run_commit_hooks();
     changed_.notify();
@@ -100,6 +114,7 @@ class Signal final : public UpdateHook {
   T next_;
   Event changed_;
   bool update_pending_ = false;
+  std::uint64_t poison_id_ = 0;
   std::uint64_t change_count_ = 0;
   std::vector<Hook> hooks_;
   CommitHookId next_hook_id_ = 1;

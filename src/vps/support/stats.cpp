@@ -69,6 +69,37 @@ double Histogram::bin_lo(std::size_t i) const {
 
 double Histogram::bin_hi(std::size_t i) const { return bin_lo(i) + (hi_ - lo_) / static_cast<double>(counts_.size()); }
 
+double Histogram::percentile(double p) const noexcept {
+  if (total_ == 0) return lo_;
+  p = std::clamp(p, 0.0, 1.0);
+  // Rank of the requested sample (1-based, ceil): p50 of 4 samples is the
+  // 2nd, p99 of 100 samples the 99th. ceil keeps p=1 at the last sample.
+  const double exact = p * static_cast<double>(total_);
+  std::uint64_t rank = static_cast<std::uint64_t>(std::ceil(exact));
+  rank = std::clamp<std::uint64_t>(rank, 1, total_);
+  std::uint64_t cum = 0;
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    if (counts_[i] == 0) continue;
+    if (cum + counts_[i] >= rank) {
+      // Interpolate the rank's position within the bin, assuming samples
+      // spread uniformly across it.
+      const double within =
+          static_cast<double>(rank - cum) / static_cast<double>(counts_[i]);
+      return bin_lo(i) + (bin_hi(i) - bin_lo(i)) * within;
+    }
+    cum += counts_[i];
+  }
+  return hi_;  // unreachable for a consistent total_, but keep it total
+}
+
+void Histogram::merge(const Histogram& other) {
+  ensure(counts_.size() == other.counts_.size(), "Histogram merge: bin count mismatch");
+  ensure(lo_ == other.lo_ && hi_ == other.hi_, "Histogram merge: range mismatch");
+  for (std::size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_ += other.total_;
+  dropped_non_finite_ += other.dropped_non_finite_;
+}
+
 std::string Histogram::render(std::size_t width) const {
   std::uint64_t peak = 1;
   for (auto c : counts_) peak = std::max(peak, c);

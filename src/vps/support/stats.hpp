@@ -45,6 +45,17 @@ class Histogram {
   [[nodiscard]] std::uint64_t dropped_non_finite() const noexcept { return dropped_non_finite_; }
   [[nodiscard]] double bin_lo(std::size_t i) const;
   [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] double lo() const noexcept { return lo_; }
+  [[nodiscard]] double hi() const noexcept { return hi_; }
+  /// Percentile estimate (p in [0, 1]) by linear interpolation within the
+  /// bin containing the requested rank. Returns lo() on an empty histogram.
+  /// Resolution is bounded by the bin width, which is exactly what makes the
+  /// estimate order-independent: the same samples in any order (or merged
+  /// from any sharding) give bit-identical percentiles.
+  [[nodiscard]] double percentile(double p) const noexcept;
+  /// Adds another histogram's counts bin-by-bin. Both histograms must have
+  /// the same range and bin count (order-independent shard merge).
+  void merge(const Histogram& other);
   /// ASCII rendering used by bench reports.
   [[nodiscard]] std::string render(std::size_t width = 40) const;
 

@@ -68,6 +68,9 @@ void Router::b_transport(GenericPayload& payload, sim::Time& delay) {
   payload.set_address(original - w->base);
   w->out.b_transport(payload, delay);
   payload.set_address(original);
+  if (provenance_ != nullptr && payload.poisoned()) {
+    provenance_->touch(payload.poison_id(), "bus:" + name_);
+  }
   if (probe_ != nullptr) {
     // Annotated LT timing: the transaction occupies [now + delay_before,
     // now + delay_after) of simulated time.

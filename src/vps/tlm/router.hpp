@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "vps/obs/probe.hpp"
+#include "vps/obs/provenance.hpp"
 #include "vps/sim/time.hpp"
 #include "vps/tlm/payload.hpp"
 #include "vps/tlm/sockets.hpp"
@@ -36,6 +37,11 @@ class Router final : public BlockingTransport, public DmiProvider {
   void set_probe(obs::TransactionProbe* probe) noexcept { probe_ = probe; }
   [[nodiscard]] obs::TransactionProbe* probe() const noexcept { return probe_; }
 
+  /// Attaches a provenance tracker: poisoned payloads crossing this router
+  /// become first-contact observations at site "bus:<name>". nullptr
+  /// detaches; disabled cost is one pointer test per transaction.
+  void set_provenance(obs::ProvenanceTracker* tracker) noexcept { provenance_ = tracker; }
+
   void b_transport(GenericPayload& payload, sim::Time& delay) override;
   bool get_direct_mem_ptr(std::uint64_t address, DmiRegion& region) override;
 
@@ -55,6 +61,7 @@ class Router final : public BlockingTransport, public DmiProvider {
   TargetSocket socket_;
   std::vector<std::unique_ptr<Window>> map_;
   obs::TransactionProbe* probe_ = nullptr;
+  obs::ProvenanceTracker* provenance_ = nullptr;
   std::uint64_t forwarded_ = 0;
   std::uint64_t decode_errors_ = 0;
 };

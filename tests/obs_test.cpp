@@ -13,12 +13,16 @@
 #include <string>
 #include <vector>
 
+#include "vps/apps/caps.hpp"
 #include "vps/can/bus.hpp"
 #include "vps/can/frame.hpp"
 #include "vps/fault/campaign.hpp"
 #include "vps/fault/injector.hpp"
 #include "vps/hw/memory.hpp"
 #include "vps/obs/campaign_monitor.hpp"
+#include "vps/obs/metrics.hpp"
+#include "vps/obs/provenance.hpp"
+#include "vps/support/ensure.hpp"
 #include "vps/obs/kernel_tracer.hpp"
 #include "vps/obs/probe.hpp"
 #include "vps/obs/profile.hpp"
@@ -459,6 +463,322 @@ TEST(Injector, EmitsSpansForAppliedAndInstantsForSkipped) {
   EXPECT_NE(content.find("skipped:register_bit_flip#2"), std::string::npos);
   EXPECT_NE(content.find("\"track\":\"faults\""), std::string::npos);
   std::remove("/tmp/vps_obs_injector_test.jsonl");
+}
+
+// --------------------------------------------------------------------------
+// JSON escaping: full C0 sweep + invalid UTF-8
+// --------------------------------------------------------------------------
+
+TEST(Json, RegressionEscapesEveryC0ControlCharacter) {
+  // Regression: only a handful of control characters used to be escaped;
+  // Chrome's trace viewer rejects any raw byte in 0x00..0x1F. Sweep all 32.
+  for (int c = 0x00; c < 0x20; ++c) {
+    const std::string in(1, static_cast<char>(c));
+    const std::string out = obs::json_escape(in);
+    SCOPED_TRACE(c);
+    // No raw control byte may survive.
+    for (const char ch : out) EXPECT_GE(static_cast<unsigned char>(ch), 0x20u);
+    switch (c) {
+      case '\b': EXPECT_EQ(out, "\\b"); break;
+      case '\f': EXPECT_EQ(out, "\\f"); break;
+      case '\n': EXPECT_EQ(out, "\\n"); break;
+      case '\r': EXPECT_EQ(out, "\\r"); break;
+      case '\t': EXPECT_EQ(out, "\\t"); break;
+      default: {
+        char expected[8];
+        std::snprintf(expected, sizeof expected, "\\u%04x", static_cast<unsigned>(c));
+        EXPECT_EQ(out, expected);
+      }
+    }
+  }
+}
+
+TEST(Json, PassesUtf8ThroughAndReplacesInvalidBytes) {
+  // Well-formed multi-byte sequences survive untouched.
+  EXPECT_EQ(obs::json_escape("caf\xC3\xA9"), "caf\xC3\xA9");
+  EXPECT_EQ(obs::json_escape("\xE2\x82\xAC"), "\xE2\x82\xAC");   // €
+  EXPECT_EQ(obs::json_escape("\xF0\x9F\x9A\x97"), "\xF0\x9F\x9A\x97");  // 🚗
+  // Invalid bytes become the escaped replacement character, never raw bytes.
+  EXPECT_EQ(obs::json_escape("\xFF"), "\\ufffd");
+  EXPECT_EQ(obs::json_escape("\xC3"), "\\ufffd");          // truncated 2-byte
+  EXPECT_EQ(obs::json_escape("\xE2\x82"), "\\ufffd\\ufffd");  // truncated 3-byte
+  EXPECT_EQ(obs::json_escape("a\x80z"), "a\\ufffdz");      // stray continuation
+  EXPECT_EQ(obs::json_escape("\xC0\xAF"), "\\ufffd\\ufffd");  // overlong encoding
+}
+
+// --------------------------------------------------------------------------
+// ProgressReporter rate guards
+// --------------------------------------------------------------------------
+
+std::string emit_progress_line(const obs::CampaignProgress& progress) {
+  const std::string path = "/tmp/vps_obs_monitor_guard_test.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  EXPECT_NE(f, nullptr);
+  obs::ProgressReporter::Options opts;
+  opts.stream = f;
+  obs::ProgressReporter reporter(opts);
+  reporter.on_complete(progress);
+  std::fclose(f);
+  const std::string line = slurp(path);
+  std::remove(path.c_str());
+  return line;
+}
+
+TEST(Monitor, RegressionDivideByZeroAndNonsenseRunsPerSecondAreClamped) {
+  // Regression: the first progress sample arrives with wall_seconds == 0, so
+  // a naive runs/wall division printed inf/NaN or absurd spikes.
+  obs::CampaignProgress p;
+  p.campaign = "guard";
+  p.runs_done = 5;
+  p.runs_total = 10;
+  for (const double rps : {std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity(),
+                           std::numeric_limits<double>::quiet_NaN(), -3.0}) {
+    p.wall_seconds = 1.0;
+    p.runs_per_second = rps;
+    const std::string line = emit_progress_line(p);
+    EXPECT_NE(line.find("0.0 runs/s"), std::string::npos) << line;
+    EXPECT_EQ(line.find("inf"), std::string::npos) << line;
+    EXPECT_EQ(line.find("nan"), std::string::npos) << line;
+  }
+  // Zero wall clock with a "plausible" rate is still nonsense: clamp it too.
+  p.wall_seconds = 0.0;
+  p.runs_per_second = 1e9;
+  EXPECT_NE(emit_progress_line(p).find("0.0 runs/s"), std::string::npos);
+  // A sane sample passes through untouched.
+  p.wall_seconds = 2.0;
+  p.runs_per_second = 2.5;
+  EXPECT_NE(emit_progress_line(p).find("2.5 runs/s"), std::string::npos);
+}
+
+TEST(Monitor, FinalSnapshotPrintsLatencyPercentilesWhenMeasured) {
+  obs::CampaignProgress p;
+  p.campaign = "latency";
+  p.runs_done = p.runs_total = 4;
+  p.wall_seconds = 1.0;
+  p.runs_per_second = 4.0;
+  EXPECT_EQ(emit_progress_line(p).find("detection latency"), std::string::npos);
+  p.detections_with_latency = 3;
+  p.latency_p50_us = 10.0;
+  p.latency_p95_us = 20.0;
+  p.latency_p99_us = 30.0;
+  const std::string line = emit_progress_line(p);
+  EXPECT_NE(line.find("detection latency p50/p95/p99 10.0/20.0/30.0 us"), std::string::npos)
+      << line;
+}
+
+// --------------------------------------------------------------------------
+// Metric registry
+// --------------------------------------------------------------------------
+
+TEST(Metrics, RegistryCountersGaugesHistogramsAndDeterministicSnapshots) {
+  obs::MetricRegistry registry;
+  obs::Counter& runs = registry.counter("campaign.runs");
+  runs.add();
+  runs.add(4);
+  EXPECT_EQ(registry.counter("campaign.runs").value(), 5u);  // same object
+  registry.gauge("campaign.coverage").set(0.75);
+  auto& latency = registry.histogram("campaign.latency_us", 0.0, 100.0, 10);
+  latency.add(10.0);
+  latency.add(90.0);
+  EXPECT_EQ(registry.size(), 3u);
+  // Re-registration with a different shape is a bug, not a silent re-bin.
+  EXPECT_THROW((void)registry.histogram("campaign.latency_us", 0.0, 50.0, 10),
+               vps::support::InvariantError);
+  // Snapshots are name-ordered: byte-identical regardless of insertion order.
+  obs::MetricRegistry reordered;
+  reordered.histogram("campaign.latency_us", 0.0, 100.0, 10).add(90.0);
+  reordered.histogram("campaign.latency_us", 0.0, 100.0, 10).add(10.0);
+  reordered.gauge("campaign.coverage").set(0.75);
+  reordered.counter("campaign.runs").add(5);
+  EXPECT_EQ(registry.to_jsonl(), reordered.to_jsonl());
+  EXPECT_EQ(registry.render(), reordered.render());
+  EXPECT_NE(registry.to_jsonl().find("\"metric\":\"campaign.runs\""), std::string::npos);
+}
+
+// --------------------------------------------------------------------------
+// Provenance tracker
+// --------------------------------------------------------------------------
+
+TEST(Provenance, RecordsDagWithFirstContactDedupAndFirstDetection) {
+  Kernel kernel;
+  obs::ProvenanceTracker tracker(kernel);
+  EXPECT_THROW(tracker.begin_fault(0, "bad", "inject"), vps::support::InvariantError);
+
+  kernel.spawn("driver", [](obs::ProvenanceTracker& t) -> Coro {
+    t.begin_fault(5, "mem_bit_flip#4", "inject:mem_bit_flip");
+    co_await delay(Time::us(2));
+    t.touch(5, "mem:ram");
+    t.touch(5, "mem:ram");    // same site: first contact only
+    t.touch(99, "mem:ram");   // unknown id (stale tag): ignored
+    t.touch(5, "bus:bus0", "mem:ram");
+    co_await delay(Time::us(3));
+    t.detect(5, "hw.ecc:ram", "mem:ram");
+    t.detect(5, "e2e:7");     // later detection: ignored
+  }(tracker));
+  kernel.run();
+
+  ASSERT_EQ(tracker.faults().size(), 1u);
+  const obs::FaultProvenance* fp = tracker.find(5);
+  ASSERT_NE(fp, nullptr);
+  ASSERT_EQ(fp->nodes.size(), 4u);
+  EXPECT_EQ(fp->nodes[0].kind, obs::HopKind::kInjection);
+  EXPECT_EQ(fp->nodes[1].site, "mem:ram");
+  EXPECT_EQ(fp->nodes[2].site, "bus:bus0");
+  EXPECT_EQ(fp->nodes[2].parent, 1);
+  EXPECT_EQ(fp->nodes[2].depth, 2u);
+  EXPECT_EQ(fp->nodes[3].kind, obs::HopKind::kDetection);
+  EXPECT_TRUE(fp->detected());
+  EXPECT_EQ(fp->containment_site(), "hw.ecc:ram");
+  ASSERT_TRUE(fp->detection_latency().has_value());
+  EXPECT_EQ(*fp->detection_latency(), Time::us(5));
+  EXPECT_EQ(fp->depth(), 2u);
+  EXPECT_EQ(fp->breadth(), 4u);
+}
+
+TEST(Provenance, AmbientDetectionAbandonAndLatentFaults) {
+  Kernel kernel;
+  obs::ProvenanceTracker tracker(kernel);
+  tracker.begin_fault(1, "a#0", "inject:a");
+  tracker.begin_fault(2, "b#1", "inject:b");
+  tracker.begin_fault(3, "c#2", "inject:c");
+  tracker.detect(2, "wdgm:w:e");
+  tracker.abandon(3);  // skipped application: no trace survives
+  EXPECT_EQ(tracker.find(3), nullptr);
+  // Ambient detection hits every live undetected fault exactly once.
+  tracker.detect_all("e2e:9");
+  tracker.detect_all("e2e:9");
+  ASSERT_NE(tracker.find(1), nullptr);
+  EXPECT_EQ(tracker.find(1)->containment_site(), "e2e:9");
+  EXPECT_EQ(tracker.find(1)->nodes.size(), 2u);
+  EXPECT_EQ(tracker.find(2)->containment_site(), "wdgm:w:e");  // kept the first
+  // A never-detected fault is latent: no latency, empty containment.
+  tracker.begin_fault(7, "latent#6", "inject:z");
+  EXPECT_FALSE(tracker.find(7)->detected());
+  EXPECT_FALSE(tracker.find(7)->detection_latency().has_value());
+  EXPECT_TRUE(tracker.find(7)->containment_site().empty());
+}
+
+TEST(Provenance, EncodeDecodeRoundTripsAndRejectsGarbage) {
+  Kernel kernel;
+  obs::ProvenanceTracker tracker(kernel);
+  kernel.spawn("driver", [](obs::ProvenanceTracker& t) -> Coro {
+    t.begin_fault(12, "can_frame_corruption#11", "inject:can_frame_corruption");
+    co_await delay(Time::us(7));
+    t.touch(12, "can:can0");
+    t.touch(12, "mem:ram", "can:can0");
+    co_await delay(Time::us(1));
+    t.detect(12, "fw.link_check:airbag");
+  }(tracker));
+  kernel.run();
+
+  const obs::FaultProvenance* fp = tracker.find(12);
+  ASSERT_NE(fp, nullptr);
+  const std::string text = fp->encode();
+  const obs::FaultProvenance back = obs::FaultProvenance::decode(12, text);
+  EXPECT_EQ(back.fault_id, fp->fault_id);
+  EXPECT_EQ(back.label, fp->label);
+  ASSERT_EQ(back.nodes.size(), fp->nodes.size());
+  for (std::size_t i = 0; i < fp->nodes.size(); ++i) {
+    EXPECT_EQ(back.nodes[i].site, fp->nodes[i].site);
+    EXPECT_EQ(back.nodes[i].kind, fp->nodes[i].kind);
+    EXPECT_EQ(back.nodes[i].at, fp->nodes[i].at);
+    EXPECT_EQ(back.nodes[i].parent, fp->nodes[i].parent);
+    EXPECT_EQ(back.nodes[i].depth, fp->nodes[i].depth);
+  }
+  EXPECT_EQ(back.encode(), text);  // stable re-encode
+  EXPECT_THROW((void)obs::FaultProvenance::decode(1, "no-bar-delimiter"),
+               vps::support::InvariantError);
+  EXPECT_THROW((void)obs::FaultProvenance::decode(1, "label|site,X,5,0"),
+               vps::support::InvariantError);
+}
+
+TEST(Provenance, ExportsAreByteIdenticalAcrossReruns) {
+  const auto build = [] {
+    Kernel kernel;
+    obs::ProvenanceTracker tracker(kernel);
+    kernel.spawn("driver", [](obs::ProvenanceTracker& t) -> Coro {
+      t.begin_fault(3, "reg_flip#2", "inject:register_bit_flip");
+      co_await delay(Time::ns(500));
+      t.touch(3, "cpu:core.r5");
+      t.begin_fault(4, "mem_flip#3", "inject:mem_bit_flip");
+      co_await delay(Time::ns(500));
+      t.detect(4, "hw.ecc:ram");
+    }(tracker));
+    kernel.run();
+    return std::pair<std::string, std::string>(tracker.to_jsonl(), tracker.to_dot());
+  };
+  const auto [jsonl1, dot1] = build();
+  const auto [jsonl2, dot2] = build();
+  EXPECT_EQ(jsonl1, jsonl2);
+  EXPECT_EQ(dot1, dot2);
+  // Schema spot checks.
+  EXPECT_NE(jsonl1.find("\"fault\":3"), std::string::npos);
+  EXPECT_NE(jsonl1.find("\"detected\":false"), std::string::npos);
+  EXPECT_NE(jsonl1.find("\"latency_ps\":"), std::string::npos);
+  EXPECT_NE(dot1.find("digraph provenance"), std::string::npos);
+  EXPECT_NE(dot1.find("cluster_f1"), std::string::npos);
+}
+
+TEST(Provenance, WatchSignalReportsPoisonedCommitsOnly) {
+  Kernel kernel;
+  Signal<std::uint32_t> sig(kernel, "squib", 0);
+  obs::ProvenanceTracker tracker(kernel);
+  tracker.watch_signal(sig, "sig:squib");
+  tracker.begin_fault(9, "stuck#8", "inject:signal_stuck");
+  kernel.spawn("driver", [](Signal<std::uint32_t>& s) -> Coro {
+    s.write(1);  // clean commit: no provenance contact
+    co_await delay(Time::us(1));
+    s.force_poisoned(7, 9);
+  }(sig));
+  kernel.run();
+  const obs::FaultProvenance* fp = tracker.find(9);
+  ASSERT_NE(fp, nullptr);
+  ASSERT_EQ(fp->nodes.size(), 2u);
+  EXPECT_EQ(fp->nodes[1].site, "sig:squib");
+  EXPECT_EQ(fp->nodes[1].at, Time::us(1));
+}
+
+// --------------------------------------------------------------------------
+// Provenance through the CAPS scenario (end-to-end)
+// --------------------------------------------------------------------------
+
+TEST(Provenance, CapsScenarioTracesCanCorruptionToFirmwareLinkCheck) {
+  vps::apps::CapsScenario scenario(
+      vps::apps::CapsConfig{.duration = Time::ms(10), .provenance = true});
+  // The golden run applies no fault: provenance must stay empty.
+  const fault::Observation golden = scenario.run(nullptr, 42);
+  EXPECT_TRUE(golden.provenance.empty());
+
+  // Source-side CAN corruption (post-protection): the wire CRC is clean, so
+  // only the firmware's complement/alive check can catch it.
+  fault::FaultDescriptor corruption;
+  corruption.id = 11;
+  corruption.type = fault::FaultType::kCanFrameCorruption;
+  corruption.persistence = fault::Persistence::kIntermittent;
+  corruption.inject_at = Time::ms(3);
+  const fault::Observation traced = scenario.run(&corruption, 42);
+  ASSERT_EQ(traced.provenance.size(), 1u);
+  const obs::FaultProvenance& fp = traced.provenance[0];
+  EXPECT_EQ(fp.fault_id, fault::provenance_token(corruption));
+  EXPECT_EQ(fp.label, "can_frame_corruption#11");
+  EXPECT_EQ(fp.injected_at(), Time::ms(3));
+  ASSERT_TRUE(fp.detected());
+  const std::string site(fp.containment_site());
+  EXPECT_TRUE(site == "fw.link_check:airbag" || site == "fw.alive_check:airbag") << site;
+  // The corrupted frame crossed the CAN bus before the firmware saw it.
+  bool touched_can = false;
+  for (const auto& n : fp.nodes) touched_can |= n.site == "can:can0";
+  EXPECT_TRUE(touched_can);
+  // Detection latency is measured in simulated time, after injection.
+  ASSERT_TRUE(fp.detection_latency().has_value());
+  EXPECT_GT(*fp.detection_latency(), Time::zero());
+  EXPECT_LT(*fp.detection_latency(), Time::ms(7));
+
+  // Same fault, same seed: the propagation DAG is reproducible bit-for-bit.
+  const fault::Observation again = scenario.run(&corruption, 42);
+  ASSERT_EQ(again.provenance.size(), 1u);
+  EXPECT_EQ(obs::provenance_to_json(again.provenance[0]), obs::provenance_to_json(fp));
 }
 
 }  // namespace

@@ -19,6 +19,8 @@
 #include "vps/apps/caps.hpp"
 #include "vps/coverage/coverage.hpp"
 #include "vps/fault/campaign.hpp"
+#include "vps/fault/checkpoint.hpp"
+#include "vps/obs/provenance.hpp"
 #include "vps/support/ensure.hpp"
 #include "vps/support/rng.hpp"
 #include "vps/support/thread_pool.hpp"
@@ -475,6 +477,111 @@ TEST(ParallelCampaignTest, BatchSizeIsPartOfTheContractWorkersAreNot) {
   const auto b = ParallelCampaign(caps_factory(false), cfg).run();
   expect_identical(a, b);
   EXPECT_EQ(a.runs_executed, 25u);
+}
+
+// --------------------------------------------------------------------------
+// Provenance across workers + checkpoints
+// --------------------------------------------------------------------------
+
+ScenarioFactory traced_caps_factory() {
+  return [] {
+    return std::make_unique<CapsScenario>(
+        CapsConfig{.duration = Time::ms(10), .provenance = true});
+  };
+}
+
+TEST(ParallelCampaignTest, ProvenanceExportsAreWorkerCountInvariant) {
+  // The headline determinism guarantee extended to the provenance layer:
+  // JSONL/DOT exports and the latency table are byte-identical for any
+  // worker count and across reruns, because the per-run DAGs ride on the
+  // records and every aggregate is recomputed from them in run order.
+  CampaignConfig cfg;
+  cfg.runs = 18;
+  cfg.seed = 7;
+  cfg.location_buckets = 8;
+  cfg.workers = 1;
+  const auto w1 = ParallelCampaign(traced_caps_factory(), cfg).run();
+  cfg.workers = 2;
+  const auto w2 = ParallelCampaign(traced_caps_factory(), cfg).run();
+  cfg.workers = 8;
+  const auto w8 = ParallelCampaign(traced_caps_factory(), cfg).run();
+  expect_identical(w1, w2);
+  expect_identical(w1, w8);
+
+  const std::string jsonl = w1.provenance_jsonl();
+  EXPECT_FALSE(jsonl.empty());
+  EXPECT_EQ(jsonl, w2.provenance_jsonl());
+  EXPECT_EQ(jsonl, w8.provenance_jsonl());
+  EXPECT_EQ(w1.provenance_dot(), w2.provenance_dot());
+  EXPECT_EQ(w1.provenance_dot(), w8.provenance_dot());
+  EXPECT_EQ(w1.render_latency(), w2.render_latency());
+  EXPECT_EQ(w1.render_latency(), w8.render_latency());
+
+  // Rerun with the same config: still the same bytes.
+  cfg.workers = 2;
+  EXPECT_EQ(ParallelCampaign(traced_caps_factory(), cfg).run().provenance_jsonl(), jsonl);
+
+  // The latency table is well-formed: every traced run appears under exactly
+  // one fault type, detections never exceed traced runs, and at least one
+  // fault was actually traced through the model.
+  std::uint64_t traced = 0;
+  for (const auto& s : w1.detection_latency_stats()) {
+    EXPECT_LE(s.detected, s.traced);
+    traced += s.traced;
+  }
+  EXPECT_GT(traced, 0u);
+  EXPECT_LE(traced, w1.runs_executed);
+}
+
+TEST(Checkpoint, V2RoundTripsProvenanceRecords) {
+  using vps::obs::FaultProvenance;
+  using vps::obs::HopKind;
+  using vps::obs::ProvenanceNode;
+
+  CampaignCheckpoint cp;
+  cp.driver = "campaign";
+  cp.scenario = "toy";
+  cp.config.runs = 4;
+  cp.config.seed = 1;
+  cp.golden.completed = true;
+
+  RunRecord rec;
+  rec.fault.id = 1;
+  rec.fault.type = FaultType::kMemoryBitFlip;
+  rec.outcome = Outcome::kDetectedCorrected;
+  FaultProvenance fp;
+  fp.fault_id = 2;
+  fp.label = "mem_bit_flip#1";
+  fp.nodes.push_back(
+      ProvenanceNode{"inject:mem_bit_flip", HopKind::kInjection, Time::us(3), -1, 0});
+  fp.nodes.push_back(ProvenanceNode{"mem:ram", HopKind::kPropagation, Time::us(4), 0, 1});
+  fp.nodes.push_back(ProvenanceNode{"hw.ecc:ram", HopKind::kDetection, Time::us(5), 1, 2});
+  rec.provenance.push_back(fp);
+  cp.records.push_back(rec);
+
+  const std::string text = to_jsonl(cp);
+  EXPECT_NE(text.find("\"version\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"prov0\""), std::string::npos);
+
+  const CampaignCheckpoint back = checkpoint_from_jsonl(text);
+  ASSERT_EQ(back.records.size(), 1u);
+  ASSERT_EQ(back.records[0].provenance.size(), 1u);
+  const FaultProvenance& got = back.records[0].provenance[0];
+  EXPECT_EQ(got.fault_id, 2u);
+  EXPECT_EQ(got.label, "mem_bit_flip#1");
+  EXPECT_EQ(got.encode(), fp.encode());
+  ASSERT_TRUE(got.detection_latency().has_value());
+  EXPECT_EQ(*got.detection_latency(), Time::us(2));
+  EXPECT_EQ(to_jsonl(back), text);
+
+  // A record without provenance serializes without prov fields, and the line
+  // still parses — i.e. the v2 field is genuinely optional (v1 shape).
+  cp.records[0].provenance.clear();
+  const std::string v1ish = to_jsonl(cp);
+  EXPECT_EQ(v1ish.find("\"prov0\""), std::string::npos);
+  const CampaignCheckpoint plain = checkpoint_from_jsonl(v1ish);
+  ASSERT_EQ(plain.records.size(), 1u);
+  EXPECT_TRUE(plain.records[0].provenance.empty());
 }
 
 }  // namespace

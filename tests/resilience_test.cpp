@@ -262,11 +262,12 @@ TEST(Checkpoint, RejectsTruncationVersionSkewAndGarbage) {
   ASSERT_NE(last_line, std::string::npos);
   EXPECT_THROW((void)checkpoint_from_jsonl(text.substr(0, last_line + 1)), InvariantError);
   EXPECT_THROW((void)checkpoint_from_jsonl(text.substr(0, text.size() - 4)), InvariantError);
-  // Version skew.
+  // Version skew (a future version must be rejected, not half-parsed).
   std::string skewed = text;
-  const std::size_t v = skewed.find("\"version\":1");
+  const std::string vkey = "\"version\":" + std::to_string(CampaignCheckpoint::kVersion);
+  const std::size_t v = skewed.find(vkey);
   ASSERT_NE(v, std::string::npos);
-  skewed.replace(v, 11, "\"version\":9");
+  skewed.replace(v, vkey.size(), "\"version\":99");
   EXPECT_THROW((void)checkpoint_from_jsonl(skewed), InvariantError);
   // Arbitrary garbage.
   EXPECT_THROW((void)checkpoint_from_jsonl("not a checkpoint"), InvariantError);

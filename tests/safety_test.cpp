@@ -7,10 +7,17 @@
 
 #include <cmath>
 
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "vps/ecu/e2e.hpp"
+#include "vps/obs/provenance.hpp"
 #include "vps/safety/fmeda.hpp"
 #include "vps/safety/fptc.hpp"
 #include "vps/safety/ft_synthesis.hpp"
 #include "vps/safety/fta.hpp"
+#include "vps/sim/kernel.hpp"
 #include "vps/support/ensure.hpp"
 
 namespace {
@@ -179,6 +186,68 @@ TEST(FmedaTest, RenderAndValidation) {
   EXPECT_NE(f.render().find("SPFM"), std::string::npos);
   EXPECT_THROW(f.add_row({"x", "y", -1.0, true, 0.0, 1.0}), vps::support::InvariantError);
   EXPECT_THROW(f.add_row({"x", "y", 1.0, true, 2.0, 1.0}), vps::support::InvariantError);
+}
+
+TEST(FmedaTest, MeasuredDetectionLatencyBeyondFttiFlipsTheVerdict) {
+  // End to end: a fault's detection latency is *measured* through the
+  // provenance tracker (injection at 2 ms, E2E checker flags the corrupted
+  // frame at 5 ms -> 3 ms latency), then fed into the FMEDA. The claimed
+  // 99% diagnostic coverage passes ASIL B on paper; against a 2 ms FTTI
+  // budget the measured 3 ms latency zeroes the effective coverage and the
+  // verdict flips — the detection arrives too late to prevent the hazard.
+  using vps::ecu::E2eChecker;
+  using vps::ecu::E2eConfig;
+  using vps::ecu::E2eProtector;
+  using vps::ecu::E2eStatus;
+
+  vps::sim::Kernel kernel;
+  vps::obs::ProvenanceTracker tracker(kernel);
+  E2eProtector protector(E2eConfig{.data_id = 5});
+  E2eChecker checker(E2eConfig{.data_id = 5});
+  checker.set_provenance(&tracker);
+
+  kernel.spawn("e2e_run",
+               [](vps::obs::ProvenanceTracker& t, E2eProtector& p,
+                  E2eChecker& c) -> vps::sim::Coro {
+                 const std::uint8_t payload[] = {0x11, 0x22, 0x33};
+                 co_await vps::sim::delay(vps::sim::Time::ms(2));
+                 t.begin_fault(1, "can_frame_corruption#7", "inject:can_frame_corruption");
+                 std::vector<std::uint8_t> wire = p.protect(payload);
+                 wire.back() ^= 0x40;  // the corruption the fault represents
+                 co_await vps::sim::delay(vps::sim::Time::ms(3));
+                 EXPECT_EQ(c.check(wire), E2eStatus::kWrongCrc);
+               }(tracker, protector, checker));
+  kernel.run();
+
+  ASSERT_EQ(tracker.faults().size(), 1u);
+  const auto& fp = tracker.faults().front();
+  ASSERT_TRUE(fp.detected());
+  EXPECT_EQ(fp.containment_site(), "e2e:5");
+  ASSERT_TRUE(fp.detection_latency().has_value());
+  const double latency_s = fp.detection_latency()->to_seconds();
+  EXPECT_DOUBLE_EQ(latency_s, 0.003);
+
+  Fmeda fmeda;
+  fmeda.add_row({.component = "can_link",
+                 .failure_mode = "frame_corruption",
+                 .fit = 100.0,
+                 .diagnostic_coverage = 0.99,
+                 .ftti_budget_s = 0.002});
+  EXPECT_TRUE(fmeda.metrics().meets(Asil::kB));  // on paper: 99% DC, SPFM 0.99
+
+  EXPECT_EQ(fmeda.set_measured_latency("can_link", "no_such_mode", latency_s), 0u);
+  ASSERT_EQ(fmeda.set_measured_latency("can_link", "frame_corruption", latency_s), 1u);
+  EXPECT_DOUBLE_EQ(fmeda.rows()[0].effective_diagnostic_coverage(), 0.0);
+  EXPECT_FALSE(fmeda.metrics().meets(Asil::kB));
+  EXPECT_NE(fmeda.render().find("FTTI"), std::string::npos);
+
+  // The same measurement against a budget it fits keeps the credit.
+  Fmeda relaxed;
+  FmedaRow row = fmeda.rows()[0];
+  row.ftti_budget_s = 0.010;
+  relaxed.add_row(row);
+  EXPECT_DOUBLE_EQ(relaxed.rows()[0].effective_diagnostic_coverage(), 0.99);
+  EXPECT_TRUE(relaxed.metrics().meets(Asil::kB));
 }
 
 TEST(Fptc, PropagationAndTransformation) {

@@ -223,6 +223,59 @@ TEST(Stats, HistogramRejectsBadConstruction) {
   EXPECT_THROW(Histogram(5.0, 5.0, 4), InvariantError);
 }
 
+TEST(Stats, HistogramPercentilesInterpolateWithinBins) {
+  // One sample per unit-wide bin: the pXX estimate must land inside the
+  // XXth bin (resolution is bounded by the bin width, not the sample count).
+  Histogram h(0.0, 100.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(static_cast<double>(i) + 0.5);
+  EXPECT_NEAR(h.percentile(0.50), 50.0, 1.0);
+  EXPECT_NEAR(h.percentile(0.95), 95.0, 1.0);
+  EXPECT_NEAR(h.percentile(0.99), 99.0, 1.0);
+  // p=0 clamps to the first sample, p=1 to the last.
+  EXPECT_NEAR(h.percentile(0.0), 0.5, 1.0);
+  EXPECT_NEAR(h.percentile(1.0), 99.5, 1.0);
+  // Empty histogram reports its lower bound instead of dividing by zero.
+  EXPECT_EQ(Histogram(2.5, 9.0, 4).percentile(0.5), 2.5);
+}
+
+TEST(Stats, HistogramPercentileIsOrderAndMergeIndependent) {
+  Xorshift rng(123);
+  std::vector<double> samples;
+  samples.reserve(1000);
+  for (int i = 0; i < 1000; ++i) samples.push_back(rng.uniform(0.0, 1000.0));
+
+  Histogram forward(0.0, 1000.0, 256);
+  for (const double s : samples) forward.add(s);
+  Histogram reversed(0.0, 1000.0, 256);
+  for (auto it = samples.rbegin(); it != samples.rend(); ++it) reversed.add(*it);
+  // Three shards filled round-robin, merged in an arbitrary order — the
+  // shard-merge path campaign latency aggregation relies on.
+  Histogram a(0.0, 1000.0, 256);
+  Histogram b(0.0, 1000.0, 256);
+  Histogram merged(0.0, 1000.0, 256);
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    (i % 3 == 0 ? a : i % 3 == 1 ? b : merged).add(samples[i]);
+  }
+  merged.merge(b);
+  merged.merge(a);
+  EXPECT_EQ(merged.total(), forward.total());
+  for (const double p : {0.5, 0.9, 0.95, 0.99}) {
+    // Bitwise equality, not NEAR: the estimate depends only on bin counts.
+    EXPECT_EQ(forward.percentile(p), reversed.percentile(p)) << p;
+    EXPECT_EQ(forward.percentile(p), merged.percentile(p)) << p;
+  }
+}
+
+TEST(Stats, HistogramMergeRejectsShapeMismatch) {
+  Histogram a(0.0, 10.0, 5);
+  EXPECT_THROW(a.merge(Histogram(0.0, 10.0, 6)), InvariantError);
+  EXPECT_THROW(a.merge(Histogram(0.0, 9.0, 5)), InvariantError);
+  Histogram same(0.0, 10.0, 5);
+  same.add(1.0);
+  EXPECT_NO_THROW(a.merge(same));
+  EXPECT_EQ(a.total(), 1u);
+}
+
 TEST(Stats, WilsonIntervalBracketsTruth) {
   // 3 failures in 1000 trials: interval must contain 0.003 and stay in [0,1].
   const auto p = wilson_interval(3, 1000);
