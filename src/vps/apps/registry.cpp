@@ -1,0 +1,77 @@
+#include "vps/apps/registry.hpp"
+
+#include <vector>
+
+#include "vps/apps/acc.hpp"
+#include "vps/apps/caps.hpp"
+#include "vps/support/ensure.hpp"
+
+namespace vps::apps {
+
+using support::ensure;
+
+namespace {
+
+std::vector<std::string> split_spec(const std::string& spec) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t colon = spec.find(':', start);
+    if (colon == std::string::npos) {
+      parts.push_back(spec.substr(start));
+      break;
+    }
+    parts.push_back(spec.substr(start, colon - start));
+    start = colon + 1;
+  }
+  return parts;
+}
+
+std::unique_ptr<fault::Scenario> make_caps(const std::vector<std::string>& options) {
+  CapsConfig config;
+  for (std::size_t i = 1; i < options.size(); ++i) {
+    const std::string& opt = options[i];
+    if (opt == "crash") {
+      config.crash = true;
+    } else if (opt == "normal") {
+      config.crash = false;
+    } else if (opt == "protected") {
+      config.protected_link = true;
+    } else if (opt == "unprotected") {
+      config.protected_link = false;
+    } else if (opt == "ecc") {
+      config.ecc = hw::EccMode::kSecded;
+    } else if (opt == "prov") {
+      config.provenance = true;
+    } else {
+      ensure(false, "registry: unknown caps option '" + opt +
+                        "' (known: crash, normal, protected, unprotected, ecc, prov)");
+    }
+  }
+  return std::make_unique<CapsScenario>(config);
+}
+
+}  // namespace
+
+std::unique_ptr<fault::Scenario> make_scenario(const std::string& spec) {
+  ensure(!spec.empty(), "registry: empty scenario spec");
+  const std::vector<std::string> parts = split_spec(spec);
+  if (parts[0] == "caps") return make_caps(parts);
+  if (parts[0] == "acc") {
+    ensure(parts.size() == 1, "registry: acc takes no options");
+    return std::make_unique<AccScenario>();
+  }
+  ensure(false, "registry: unknown app '" + parts[0] + "' in spec '" + spec +
+                    "'\n" + registry_help());
+  return nullptr;  // unreachable
+}
+
+std::string registry_help() {
+  return "scenario specs:\n"
+         "  caps[:crash|:normal][:protected|:unprotected][:ecc][:prov]\n"
+         "      airbag (CAPS) system VP, e.g. caps:crash:unprotected\n"
+         "  acc\n"
+         "      adaptive-cruise-control timing scenario\n";
+}
+
+}  // namespace vps::apps

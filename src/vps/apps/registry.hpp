@@ -1,0 +1,30 @@
+#pragma once
+
+/// Scenario registry: builds app scenarios from a textual spec, so a
+/// process that cannot share a ScenarioFactory closure — the vps-worker
+/// binary of the distributed campaign, spawned by fork+exec — can
+/// reconstruct the coordinator's scenario from the SETUP message alone.
+///
+/// Spec grammar: "<app>[:<option>...]" with options in any order.
+///   caps   options: crash|normal, protected|unprotected, ecc, prov
+///          e.g. "caps:crash:unprotected:ecc"
+///   acc    no options
+///
+/// The built scenario's name() must match what the coordinator runs — the
+/// distributed handshake verifies exactly that.
+
+#include <memory>
+#include <string>
+
+#include "vps/fault/scenario.hpp"
+
+namespace vps::apps {
+
+/// Builds the scenario `spec` describes; throws support::InvariantError on
+/// an unknown app or option (the message lists what is available).
+[[nodiscard]] std::unique_ptr<fault::Scenario> make_scenario(const std::string& spec);
+
+/// One-line-per-app usage text for --help outputs.
+[[nodiscard]] std::string registry_help();
+
+}  // namespace vps::apps

@@ -1,0 +1,539 @@
+#include "vps/dist/coordinator.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <optional>
+#include <utility>
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "vps/dist/worker.hpp"
+#include "vps/fault/checkpoint.hpp"
+#include "vps/fault/driver_util.hpp"
+#include "vps/support/ensure.hpp"
+
+namespace vps::dist {
+
+using fault::CampaignCheckpoint;
+using fault::CampaignConfig;
+using fault::CampaignResult;
+using fault::CampaignState;
+using fault::FaultDescriptor;
+using fault::Outcome;
+using fault::ReplayResult;
+using fault::detail::fold_run;
+using fault::detail::kDefaultBatch;
+using fault::detail::stop_condition_met;
+using support::ensure;
+
+using Clock = std::chrono::steady_clock;
+
+struct DistCampaign::Worker {
+  pid_t pid = -1;
+  std::unique_ptr<Channel> channel;
+  bool alive = false;
+  /// Batch positions assigned to this worker that have no RESULT yet.
+  std::vector<std::size_t> inflight;
+  Clock::time_point last_heard;
+};
+
+/// RAII fleet: whatever path leaves execute() — return, ensure() throw,
+/// scenario exception — every still-running child is SIGKILLed and reaped.
+struct DistCampaign::Fleet {
+  std::vector<Worker> workers;
+  FleetStats* stats = nullptr;
+
+  ~Fleet() {
+    for (Worker& w : workers) reap(w, /*force_kill=*/true);
+  }
+
+  /// Closes the channel (folding its counters into the stats), kills the
+  /// process if requested, and waits for it — never leaves a zombie.
+  void reap(Worker& w, bool force_kill) {
+    if (w.channel != nullptr) {
+      if (stats != nullptr) {
+        stats->frames_sent += w.channel->stats().frames_sent;
+        stats->frames_received += w.channel->stats().frames_received;
+        stats->bytes_sent += w.channel->stats().bytes_sent;
+        stats->bytes_received += w.channel->stats().bytes_received;
+      }
+      w.channel->close();
+      w.channel.reset();
+    }
+    if (w.pid > 0) {
+      if (force_kill) ::kill(w.pid, SIGKILL);
+      int status = 0;
+      pid_t r;
+      do {
+        r = ::waitpid(w.pid, &status, 0);
+      } while (r < 0 && errno == EINTR);
+      w.pid = -1;
+    }
+    w.alive = false;
+  }
+
+  [[nodiscard]] std::size_t alive_count() const noexcept {
+    std::size_t n = 0;
+    for (const Worker& w : workers) n += w.alive ? 1 : 0;
+    return n;
+  }
+};
+
+namespace {
+
+/// Forks one worker. In fork-only mode the child serves with the inherited
+/// factory; in exec mode it dup2s its socket onto fd 3 and execs the
+/// vps-worker binary. `all_pairs` is every socketpair of the fleet — the
+/// child closes all ends that are not its own, so a dead coordinator (or
+/// dead sibling) produces a visible EOF instead of a connection kept alive
+/// by an unrelated process holding a duplicate descriptor.
+pid_t spawn_worker(std::size_t index, const std::vector<SocketPair>& all_pairs,
+                   const fault::ScenarioFactory& factory, const DistConfig& config) {
+  const pid_t pid = ::fork();
+  ensure(pid >= 0, std::string("dist: fork failed: ") + std::strerror(errno));
+  if (pid != 0) return pid;
+
+  // --- child ---
+  const int my_fd = all_pairs[index].worker_fd;
+  for (std::size_t i = 0; i < all_pairs.size(); ++i) {
+    ::close(all_pairs[i].coordinator_fd);
+    if (i != index) ::close(all_pairs[i].worker_fd);
+  }
+  if (config.worker_path.empty()) {
+    // Fork-only worker: serve straight out of the fork with the inherited
+    // factory. _exit, not exit — a forked child must not run the parent's
+    // atexit handlers or flush its inherited stdio buffers twice.
+    int code = 3;
+    {
+      Channel channel(my_fd);
+      code = serve(channel, [&factory](const SetupMsg&) { return factory(); });
+    }
+    ::_exit(code);
+  }
+  // Exec worker: hand the socket over on fd 3 and replace the image.
+  if (my_fd != 3) {
+    if (::dup2(my_fd, 3) < 0) ::_exit(127);
+    ::close(my_fd);
+  }
+  ::execl(config.worker_path.c_str(), "vps-worker", "--fd", "3",
+          static_cast<char*>(nullptr));
+  ::_exit(127);  // exec failed: the coordinator sees EOF instead of HELLO
+}
+
+int remaining_ms(Clock::time_point deadline) noexcept {
+  const auto left =
+      std::chrono::duration_cast<std::chrono::milliseconds>(deadline - Clock::now()).count();
+  return left <= 0 ? 0 : static_cast<int>(std::min<long long>(left, 1'000'000));
+}
+
+}  // namespace
+
+DistCampaign::DistCampaign(fault::ScenarioFactory factory, DistConfig config)
+    : factory_(std::move(factory)), config_(std::move(config)) {
+  ensure(static_cast<bool>(factory_), "DistCampaign: empty scenario factory");
+  ignore_sigpipe();
+}
+
+void DistCampaign::ensure_coordinator() {
+  if (coordinator_ != nullptr) return;
+  coordinator_ = factory_();
+  ensure(coordinator_ != nullptr, "DistCampaign: scenario factory returned null");
+}
+
+void DistCampaign::write_checkpoint(const CampaignResult& partial) const {
+  CampaignCheckpoint cp;
+  // Deliberately "parallel_campaign": the two batched drivers share one
+  // generation/learning cadence, so their checkpoints are interchangeable.
+  cp.driver = "parallel_campaign";
+  cp.scenario = coordinator_->name();
+  cp.config = config_.campaign;
+  cp.golden = golden_;
+  cp.records = partial.records;
+  save_checkpoint(cp, config_.campaign.checkpoint_path);
+}
+
+CampaignResult DistCampaign::run() {
+  ensure_coordinator();
+  if (!golden_valid_) {
+    golden_ = coordinator_->run(nullptr, config_.campaign.seed);
+    golden_valid_ = true;
+    ensure(golden_.completed,
+           "DistCampaign: golden run did not complete for " + coordinator_->name());
+  }
+  CampaignState state(coordinator_->fault_types(), coordinator_->duration(), config_.campaign);
+  return execute(0, CampaignResult{}, state);
+}
+
+CampaignResult DistCampaign::resume(const CampaignCheckpoint& checkpoint) {
+  ensure_coordinator();
+  fault::detail::validate_checkpoint(checkpoint, "parallel_campaign", coordinator_->name(),
+                                     config_.campaign);
+  golden_ = checkpoint.golden;
+  golden_valid_ = true;
+
+  CampaignState state(coordinator_->fault_types(), coordinator_->duration(), config_.campaign);
+  CampaignResult result;
+  const std::size_t next =
+      fault::detail::replay_prefix_batched(checkpoint, config_.campaign, state, result);
+  return execute(next, std::move(result), state);
+}
+
+void DistCampaign::publish_fleet_metrics() const {
+  if (metrics_ == nullptr) return;
+  metrics_->counter("dist.workers_spawned").add(fleet_stats_.workers_spawned);
+  metrics_->counter("dist.worker_deaths").add(fleet_stats_.worker_deaths);
+  metrics_->counter("dist.requeued_runs").add(fleet_stats_.requeued_runs);
+  metrics_->counter("dist.crashed_runs").add(fleet_stats_.crashed_runs);
+  metrics_->counter("dist.frames_sent").add(fleet_stats_.frames_sent);
+  metrics_->counter("dist.frames_received").add(fleet_stats_.frames_received);
+  metrics_->counter("dist.bytes_sent").add(fleet_stats_.bytes_sent);
+  metrics_->counter("dist.bytes_received").add(fleet_stats_.bytes_received);
+}
+
+CampaignResult DistCampaign::execute(std::size_t start_run, CampaignResult result,
+                                     CampaignState& state) {
+  const auto started = Clock::now();
+  const auto elapsed = [&started] {
+    return std::chrono::duration<double>(Clock::now() - started).count();
+  };
+  const CampaignConfig& cc = config_.campaign;
+  const std::size_t fleet_size = std::max<std::size_t>(1, config_.workers);
+
+  // --- spawn the fleet -----------------------------------------------------
+  std::vector<SocketPair> pairs;
+  pairs.reserve(fleet_size);
+  for (std::size_t i = 0; i < fleet_size; ++i) pairs.push_back(make_socket_pair());
+
+  Fleet fleet;
+  fleet.stats = &fleet_stats_;
+  fleet.workers.resize(fleet_size);
+  for (std::size_t i = 0; i < fleet_size; ++i) {
+    Worker& w = fleet.workers[i];
+    w.pid = spawn_worker(i, pairs, factory_, config_);
+    ::close(pairs[i].worker_fd);
+    w.channel = std::make_unique<Channel>(pairs[i].coordinator_fd);
+    w.alive = true;
+    w.last_heard = Clock::now();
+    ++fleet_stats_.workers_spawned;
+  }
+
+  // --- handshake: SETUP out, HELLO back ------------------------------------
+  SetupMsg setup;
+  setup.scenario_spec =
+      config_.scenario_spec.empty() ? coordinator_->name() : config_.scenario_spec;
+  setup.seed = cc.seed;
+  setup.crash_retries = cc.crash_retries;
+  setup.golden = golden_;
+  const std::string setup_payload = encode_setup(setup);
+  const auto hello_deadline = Clock::now() + std::chrono::milliseconds(config_.hello_timeout_ms);
+  for (std::size_t i = 0; i < fleet_size; ++i) {
+    Worker& w = fleet.workers[i];
+    ensure(w.channel->send_frame(MsgType::kHello, setup_payload),
+           "dist: worker " + std::to_string(i) +
+               " died before SETUP could be delivered (spawn failure — bad worker binary "
+               "path or worker crashed on startup)");
+    auto frame = w.channel->wait_frame(remaining_ms(hello_deadline));
+    ensure(frame.has_value(),
+           "dist: worker " + std::to_string(i) +
+               (w.channel->open() ? " did not answer SETUP within the hello timeout"
+                                  : " exited before completing the handshake (spawn failure — "
+                                    "bad worker binary path or worker crashed on startup)"));
+    ensure(frame->type == MsgType::kHello, std::string("dist: worker ") + std::to_string(i) +
+                                               " answered SETUP with " + to_string(frame->type));
+    const HelloMsg hello = decode_hello(frame->payload);
+    ensure(hello.version == kProtocolVersion,
+           "dist: worker " + std::to_string(i) + " speaks protocol v" +
+               std::to_string(hello.version) + ", coordinator speaks v" +
+               std::to_string(kProtocolVersion));
+    ensure(hello.scenario == coordinator_->name(),
+           "dist: worker " + std::to_string(i) + " built scenario '" + hello.scenario +
+               "', coordinator runs '" + coordinator_->name() + "'");
+    w.last_heard = Clock::now();
+  }
+
+  // --- batch loop ----------------------------------------------------------
+  const support::Xorshift base(cc.seed);
+  const std::size_t batch = cc.batch_size == 0 ? kDefaultBatch : cc.batch_size;
+  const bool checkpointing = cc.checkpoint_every != 0 && !cc.checkpoint_path.empty();
+
+  std::size_t next_run = start_run;
+  std::size_t executed_this_call = 0;
+  std::size_t runs_since_checkpoint = 0;
+  std::uint64_t results_total = 0;
+  bool kill_hook_fired = config_.kill_after_results == 0;
+  bool stopped = stop_condition_met(cc, result);  // resumed past the stop
+
+  // Declares `w` dead: reap it and requeue its in-flight work onto the
+  // least-loaded survivor (or synthesize kSimCrash once a run exhausted its
+  // requeue budget). Defined here so both the send and the collect paths
+  // share it.
+  std::vector<std::optional<ReplayResult>> replays;
+  std::vector<std::uint32_t> requeues;
+  std::vector<FaultDescriptor>* batch_faults = nullptr;
+  std::size_t batch_results = 0;
+  const auto assign_one = [&](Worker& w, std::size_t slot) -> bool {
+    AssignMsg msg;
+    msg.run = next_run + slot;
+    msg.fault = (*batch_faults)[slot];
+    if (!w.channel->send_frame(MsgType::kAssign, encode_assign(msg))) return false;
+    w.inflight.push_back(slot);
+    return true;
+  };
+  const std::function<void(Worker&)> on_worker_death = [&](Worker& w) {
+    std::vector<std::size_t> orphaned = std::move(w.inflight);
+    w.inflight.clear();
+    fleet.reap(w, /*force_kill=*/true);
+    ++fleet_stats_.worker_deaths;
+    std::fprintf(stderr, "dist: worker died, requeuing %zu in-flight run(s) onto %zu survivor(s)\n",
+                 orphaned.size(), fleet.alive_count());
+    for (std::size_t slot : orphaned) {
+      if (replays[slot].has_value()) continue;  // result arrived before the EOF
+      ++requeues[slot];
+      ++fleet_stats_.requeued_runs;
+      if (requeues[slot] > config_.max_requeues) {
+        // The run keeps taking its workers down with it — same verdict the
+        // in-process drivers give a replay that keeps throwing.
+        ReplayResult crash;
+        crash.outcome = Outcome::kSimCrash;
+        crash.attempts = requeues[slot];
+        crash.crash_what = "dist: run " + std::to_string(next_run + slot) + " requeued " +
+                           std::to_string(config_.max_requeues) +
+                           " time(s), each assigned worker died before returning a result";
+        replays[slot] = std::move(crash);
+        ++fleet_stats_.crashed_runs;
+        ++batch_results;
+        continue;
+      }
+      Worker* target = nullptr;
+      for (Worker& cand : fleet.workers) {
+        if (!cand.alive) continue;
+        if (target == nullptr || cand.inflight.size() < target->inflight.size()) target = &cand;
+      }
+      ensure(target != nullptr, "dist: all workers died with runs still in flight");
+      if (!assign_one(*target, slot)) {
+        on_worker_death(*target);  // recurses; terminates because the fleet shrinks
+        // The current slot was not recorded as target's inflight (send
+        // failed), so requeue it again by hand on the next survivor.
+        --requeues[slot];
+        --fleet_stats_.requeued_runs;
+        Worker* next_target = nullptr;
+        for (Worker& cand : fleet.workers) {
+          if (!cand.alive) continue;
+          if (next_target == nullptr || cand.inflight.size() < next_target->inflight.size()) {
+            next_target = &cand;
+          }
+        }
+        ensure(next_target != nullptr, "dist: all workers died with runs still in flight");
+        ++requeues[slot];
+        ++fleet_stats_.requeued_runs;
+        ensure(assign_one(*next_target, slot),
+               "dist: workers keep dying faster than runs can be reassigned");
+      }
+    }
+  };
+
+  while (next_run < cc.runs && !stopped) {
+    const std::size_t n = std::min(batch, cc.runs - next_run);
+
+    // Generate the whole batch on the coordinator: adaptive strategies see
+    // the weights/coverage as of the last barrier (same as ParallelCampaign).
+    std::vector<FaultDescriptor> faults;
+    faults.reserve(n);
+    for (std::size_t b = 0; b < n; ++b) {
+      support::Xorshift run_rng = base.fork(next_run + b);
+      faults.push_back(state.generate(next_run + b, run_rng));
+    }
+
+    replays.assign(n, std::nullopt);
+    requeues.assign(n, 0);
+    batch_faults = &faults;
+    batch_results = 0;
+
+    // Fan out round-robin over the survivors.
+    {
+      std::vector<Worker*> alive;
+      for (Worker& w : fleet.workers) {
+        if (w.alive) alive.push_back(&w);
+      }
+      ensure(!alive.empty(), "dist: no workers alive at batch start");
+      for (std::size_t b = 0; b < n; ++b) {
+        Worker& w = *alive[b % alive.size()];
+        if (!w.alive) continue;  // died while assigning this batch
+        if (!assign_one(w, b)) on_worker_death(w);
+      }
+      // Slots whose round-robin worker was already dead by their turn.
+      for (std::size_t b = 0; b < n; ++b) {
+        if (replays[b].has_value()) continue;
+        bool assigned = false;
+        for (const Worker& w : fleet.workers) {
+          if (w.alive &&
+              std::find(w.inflight.begin(), w.inflight.end(), b) != w.inflight.end()) {
+            assigned = true;
+            break;
+          }
+        }
+        if (!assigned) {
+          Worker* target = nullptr;
+          for (Worker& cand : fleet.workers) {
+            if (!cand.alive) continue;
+            if (target == nullptr || cand.inflight.size() < target->inflight.size()) {
+              target = &cand;
+            }
+          }
+          ensure(target != nullptr, "dist: all workers died while assigning a batch");
+          if (!assign_one(*target, b)) on_worker_death(*target);
+        }
+      }
+    }
+
+    // Collect until every slot has a verdict.
+    while (batch_results < n) {
+      std::vector<struct pollfd> pfds;
+      std::vector<Worker*> polled;
+      for (Worker& w : fleet.workers) {
+        if (!w.alive) continue;
+        pfds.push_back({w.channel->fd(), POLLIN, 0});
+        polled.push_back(&w);
+      }
+      ensure(!pfds.empty(), "dist: all workers died with runs still in flight");
+
+      const int timeout = std::min(config_.heartbeat_timeout_ms, 1000);
+      const int rc = ::poll(pfds.data(), pfds.size(), timeout);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        ensure(false, std::string("dist: poll failed: ") + std::strerror(errno));
+      }
+
+      for (std::size_t i = 0; i < polled.size(); ++i) {
+        Worker& w = *polled[i];
+        if (!w.alive) continue;  // killed earlier in this sweep
+        if ((pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        const bool stream_ok = w.channel->pump();
+        // Drain every frame the pump buffered — results that raced the EOF
+        // still count, so a worker killed after finishing its work loses
+        // nothing.
+        while (auto frame = w.channel->next_frame()) {
+          w.last_heard = Clock::now();
+          switch (frame->type) {
+            case MsgType::kHeartbeat:
+              break;  // liveness only; last_heard update above is the point
+            case MsgType::kResult: {
+              ResultMsg msg = decode_result(frame->payload);
+              ensure(msg.run >= next_run && msg.run < next_run + n,
+                     "dist: RESULT for run " + std::to_string(msg.run) +
+                         " outside the current batch");
+              const std::size_t slot = msg.run - next_run;
+              auto it = std::find(w.inflight.begin(), w.inflight.end(), slot);
+              if (it != w.inflight.end()) w.inflight.erase(it);
+              if (!replays[slot].has_value()) {
+                // First verdict wins; a duplicate from a requeue race is
+                // byte-identical anyway (replays are pure).
+                replays[slot] = std::move(msg.replay);
+                ++batch_results;
+              }
+              ++results_total;
+              if (!kill_hook_fired && results_total >= config_.kill_after_results) {
+                kill_hook_fired = true;
+                const std::size_t victim = config_.kill_worker % fleet.workers.size();
+                if (fleet.workers[victim].alive) {
+                  ::kill(fleet.workers[victim].pid, SIGKILL);
+                }
+              }
+              break;
+            }
+            default:
+              ensure(false, std::string("dist: unexpected ") + to_string(frame->type) +
+                                " frame from a worker");
+          }
+        }
+        if (!stream_ok) on_worker_death(w);
+      }
+
+      // Hang detection: a worker holding work that has said nothing for the
+      // whole heartbeat window is wedged — kill it and move its work.
+      const auto now = Clock::now();
+      for (Worker& w : fleet.workers) {
+        if (!w.alive || w.inflight.empty()) continue;
+        if (now - w.last_heard >
+            std::chrono::milliseconds(config_.heartbeat_timeout_ms)) {
+          std::fprintf(stderr, "dist: worker pid %d silent past the heartbeat timeout, killing\n",
+                       static_cast<int>(w.pid));
+          ::kill(w.pid, SIGKILL);
+          on_worker_death(w);
+        }
+      }
+    }
+    batch_faults = nullptr;
+
+    // Barrier: reduce in run-index order — learning, coverage and the
+    // closure curve replay exactly as ParallelCampaign would.
+    std::size_t processed = 0;
+    for (std::size_t b = 0; b < n; ++b) {
+      ReplayResult& r = *replays[b];
+      fold_run(result, state, next_run + b,
+               {std::move(faults[b]), r.outcome, std::move(r.crash_what),
+                std::move(r.provenance)},
+               r.attempts);
+      processed = b + 1;
+      if (stop_condition_met(cc, result)) {
+        stopped = true;
+        break;
+      }
+    }
+    next_run += n;
+    executed_this_call += processed;
+    if (monitor_ != nullptr) {
+      obs::CampaignProgress progress = progress_snapshot(
+          coordinator_->name(), result, cc.runs, state.coverage().coverage(), elapsed());
+      progress.workers_alive = fleet.alive_count();
+      progress.worker_deaths = fleet_stats_.worker_deaths;
+      progress.requeued_runs = fleet_stats_.requeued_runs;
+      monitor_->on_progress(progress);
+    }
+    if (checkpointing) {
+      runs_since_checkpoint += processed;
+      if (runs_since_checkpoint >= cc.checkpoint_every) {
+        write_checkpoint(result);
+        runs_since_checkpoint = 0;
+      }
+    }
+    if (!stopped && cc.preempt_after != 0 && executed_this_call >= cc.preempt_after &&
+        next_run < cc.runs) {
+      if (!cc.checkpoint_path.empty()) write_checkpoint(result);
+      result.interrupted = true;
+      break;
+    }
+  }
+
+  // --- orderly shutdown ----------------------------------------------------
+  for (Worker& w : fleet.workers) {
+    if (!w.alive) continue;
+    (void)w.channel->send_frame(MsgType::kShutdown, "");
+    fleet.reap(w, /*force_kill=*/false);
+  }
+
+  fault::detail::finalize(result, state);
+  if (!result.interrupted) {
+    if (metrics_ != nullptr) {
+      result.publish_metrics(*metrics_);
+      publish_fleet_metrics();
+    }
+    if (monitor_ != nullptr) {
+      obs::CampaignProgress progress =
+          progress_snapshot(coordinator_->name(), result, cc.runs, result.final_coverage,
+                            elapsed(), /*include_latency=*/true);
+      progress.worker_deaths = fleet_stats_.worker_deaths;
+      progress.requeued_runs = fleet_stats_.requeued_runs;
+      monitor_->on_complete(progress);
+    }
+  }
+  return result;
+}
+
+}  // namespace vps::dist

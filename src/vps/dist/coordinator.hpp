@@ -1,0 +1,118 @@
+#pragma once
+
+/// Coordinator side of the distributed campaign: DistCampaign shards the
+/// run indices of one fault-injection campaign across a fleet of worker
+/// processes and merges their RESULT frames back into a CampaignResult that
+/// is bitwise identical to the in-process ParallelCampaign — for any fleet
+/// size, and even when workers are killed mid-campaign.
+///
+/// Determinism contract (the same one ParallelCampaign honours): descriptors
+/// of a batch are generated on the coordinator from per-run forked RNG
+/// streams against the weights as of the last barrier; replays execute
+/// anywhere (a replay is a pure function of descriptor + seed + golden); and
+/// classification results fold — and adaptive learning applies — in
+/// run-index order at the batch barrier. Who executed a run can therefore
+/// never change what the run produced or how it folded.
+///
+/// Supervision: the coordinator owns the worker processes. A worker that
+/// closes its socket, exits nonzero, dies on a signal, or goes silent past
+/// the heartbeat timeout while holding work is declared dead, reaped with
+/// waitpid (no zombies), and its in-flight runs are requeued onto survivors.
+/// Requeues per run are bounded (DistConfig::max_requeues); a run that keeps
+/// dying with its workers is recorded as Outcome::kSimCrash and quarantined,
+/// mirroring the crash-isolation semantics of the in-process drivers. When
+/// the whole fleet is gone the campaign fails with a clean error.
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vps/dist/transport.hpp"
+#include "vps/fault/campaign.hpp"
+
+namespace vps::dist {
+
+struct DistConfig {
+  fault::CampaignConfig campaign;
+  /// Fleet size (worker processes). 0 and 1 both mean one worker;
+  /// CampaignConfig::workers (the thread-pool width) is ignored here.
+  std::size_t workers = 2;
+  /// Path of the vps-worker binary. Empty selects fork-only mode: the child
+  /// serves directly out of fork() with the inherited ScenarioFactory (the
+  /// default for tests — any factory works). Non-empty selects fork+exec:
+  /// the binary rebuilds the scenario from `scenario_spec` via the app
+  /// registry, in a pristine address space.
+  std::string worker_path;
+  /// Registry spec (e.g. "caps:crash:15") for exec-mode workers; carried in
+  /// the SETUP message. Ignored (diagnostic only) in fork mode.
+  std::string scenario_spec;
+  /// Worker must answer SETUP with HELLO within this long, or spawning
+  /// counts as failed.
+  int hello_timeout_ms = 10'000;
+  /// A worker holding assignments that stays silent this long is declared
+  /// hung, SIGKILLed and its work requeued. Idle workers are exempt (they
+  /// have nothing to say between batches).
+  int heartbeat_timeout_ms = 30'000;
+  /// A run may be requeued onto a survivor at most this many times before it
+  /// is recorded as kSimCrash and quarantined.
+  std::size_t max_requeues = 2;
+  /// Test/CI hook: after this many RESULT frames arrived in total, SIGKILL
+  /// worker `kill_worker` (0-based) — deterministic worker loss without
+  /// external orchestration. 0 disables.
+  std::size_t kill_after_results = 0;
+  std::size_t kill_worker = 0;
+};
+
+/// Aggregate fleet counters of one run()/resume() call.
+struct FleetStats {
+  std::uint64_t workers_spawned = 0;
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t requeued_runs = 0;
+  std::uint64_t crashed_runs = 0;  ///< runs that exhausted max_requeues
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+/// Distributed campaign driver. API mirrors ParallelCampaign; checkpoints
+/// are written with driver="parallel_campaign" because the two drivers share
+/// one generation/learning cadence — a campaign checkpointed under
+/// distribution resumes in-process and vice versa.
+class DistCampaign {
+ public:
+  DistCampaign(fault::ScenarioFactory factory, DistConfig config);
+
+  [[nodiscard]] fault::CampaignResult run();
+  [[nodiscard]] fault::CampaignResult resume(const fault::CampaignCheckpoint& checkpoint);
+
+  [[nodiscard]] const fault::Observation& golden() const noexcept { return golden_; }
+  [[nodiscard]] const FleetStats& fleet_stats() const noexcept { return fleet_stats_; }
+
+  void set_monitor(obs::CampaignMonitor* monitor) noexcept { monitor_ = monitor; }
+  void set_metrics(obs::MetricRegistry* metrics) noexcept { metrics_ = metrics; }
+
+ private:
+  struct Worker;
+  struct Fleet;
+
+  void ensure_coordinator();
+  void write_checkpoint(const fault::CampaignResult& partial) const;
+  [[nodiscard]] fault::CampaignResult execute(std::size_t start_run,
+                                              fault::CampaignResult result,
+                                              fault::CampaignState& state);
+  /// Publishes fleet counters into the attached metric registry ("dist.*").
+  void publish_fleet_metrics() const;
+
+  fault::ScenarioFactory factory_;
+  DistConfig config_;
+  std::unique_ptr<fault::Scenario> coordinator_;  // golden run + fault-space probe
+  fault::Observation golden_;
+  bool golden_valid_ = false;
+  FleetStats fleet_stats_;
+  obs::CampaignMonitor* monitor_ = nullptr;
+  obs::MetricRegistry* metrics_ = nullptr;
+};
+
+}  // namespace vps::dist

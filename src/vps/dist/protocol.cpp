@@ -1,0 +1,201 @@
+#include "vps/dist/protocol.hpp"
+
+#include <cstring>
+
+#include "vps/fault/codec.hpp"
+#include "vps/support/crc.hpp"
+#include "vps/support/ensure.hpp"
+
+namespace vps::dist {
+
+using support::ensure;
+
+const char* to_string(MsgType t) noexcept {
+  switch (t) {
+    case MsgType::kHello: return "HELLO";
+    case MsgType::kAssign: return "ASSIGN";
+    case MsgType::kResult: return "RESULT";
+    case MsgType::kHeartbeat: return "HEARTBEAT";
+    case MsgType::kShutdown: return "SHUTDOWN";
+  }
+  return "?";
+}
+
+namespace {
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.push_back(static_cast<char>(v & 0xFF));
+  out.push_back(static_cast<char>((v >> 8) & 0xFF));
+  out.push_back(static_cast<char>((v >> 16) & 0xFF));
+  out.push_back(static_cast<char>((v >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32(const char* p) noexcept {
+  const auto* u = reinterpret_cast<const unsigned char*>(p);
+  return static_cast<std::uint32_t>(u[0]) | (static_cast<std::uint32_t>(u[1]) << 8) |
+         (static_cast<std::uint32_t>(u[2]) << 16) | (static_cast<std::uint32_t>(u[3]) << 24);
+}
+
+std::uint32_t payload_crc(std::string_view payload) {
+  return support::crc32_ieee(
+      {reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size()});
+}
+
+bool valid_type(std::uint8_t t) noexcept {
+  return t >= static_cast<std::uint8_t>(MsgType::kHello) &&
+         t <= static_cast<std::uint8_t>(MsgType::kShutdown);
+}
+
+}  // namespace
+
+std::string encode_frame(MsgType type, std::string_view payload) {
+  ensure(payload.size() <= kMaxFramePayload, "dist: frame payload exceeds kMaxFramePayload");
+  std::string out;
+  out.reserve(kFrameHeaderSize + payload.size());
+  put_u32(out, kFrameMagic);
+  out.push_back(static_cast<char>(type));
+  put_u32(out, static_cast<std::uint32_t>(payload.size()));
+  put_u32(out, payload_crc(payload));
+  out.append(payload);
+  return out;
+}
+
+void FrameReader::feed(const char* data, std::size_t n) {
+  // Compact before growing so a long-lived stream does not accumulate the
+  // already-consumed prefix forever.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+std::optional<Frame> FrameReader::next() {
+  if (buf_.size() - pos_ < kFrameHeaderSize) return std::nullopt;
+  const char* h = buf_.data() + pos_;
+  const std::uint32_t magic = get_u32(h);
+  ensure(magic == kFrameMagic, "dist: bad frame magic — stream corrupted or misaligned");
+  const std::uint8_t type = static_cast<std::uint8_t>(h[4]);
+  ensure(valid_type(type), "dist: unknown frame type " + std::to_string(type));
+  const std::uint32_t length = get_u32(h + 5);
+  ensure(length <= kMaxFramePayload, "dist: frame length exceeds kMaxFramePayload");
+  const std::uint32_t crc = get_u32(h + 9);
+  if (buf_.size() - pos_ < kFrameHeaderSize + length) return std::nullopt;
+
+  Frame frame;
+  frame.type = static_cast<MsgType>(type);
+  frame.payload.assign(buf_, pos_ + kFrameHeaderSize, length);
+  ensure(payload_crc(frame.payload) == crc,
+         std::string("dist: payload CRC mismatch on ") + to_string(frame.type) + " frame");
+  pos_ += kFrameHeaderSize + length;
+  return frame;
+}
+
+// --- typed messages --------------------------------------------------------
+// Payload bodies are flat-JSON lines via fault::codec — identical field
+// spellings and value encodings to the checkpoint file.
+
+namespace {
+namespace codec = fault::codec;
+}
+
+std::string encode_setup(const SetupMsg& m) {
+  std::string line = "{\"kind\":\"setup\"";
+  codec::append_u64(line, "version", m.version);
+  codec::append_str(line, "scenario_spec", m.scenario_spec);
+  codec::append_u64(line, "seed", m.seed);
+  codec::append_u64(line, "crash_retries", m.crash_retries);
+  codec::append_observation(line, m.golden);
+  line += "}";
+  return line;
+}
+
+SetupMsg decode_setup(const std::string& payload) {
+  const codec::LineParser p(payload);
+  ensure(p.str("kind") == "setup", "dist: HELLO payload from coordinator is not a setup message");
+  SetupMsg m;
+  m.version = static_cast<std::uint32_t>(p.u64("version"));
+  m.scenario_spec = p.str("scenario_spec");
+  m.seed = p.u64("seed");
+  m.crash_retries = p.u64("crash_retries");
+  m.golden = codec::observation_from(p);
+  return m;
+}
+
+std::string encode_hello(const HelloMsg& m) {
+  std::string line = "{\"kind\":\"hello\"";
+  codec::append_u64(line, "version", m.version);
+  codec::append_u64(line, "pid", m.pid);
+  codec::append_str(line, "scenario", m.scenario);
+  line += "}";
+  return line;
+}
+
+HelloMsg decode_hello(const std::string& payload) {
+  const codec::LineParser p(payload);
+  ensure(p.str("kind") == "hello", "dist: HELLO payload from worker is not a hello message");
+  HelloMsg m;
+  m.version = static_cast<std::uint32_t>(p.u64("version"));
+  m.pid = p.u64("pid");
+  m.scenario = p.str("scenario");
+  return m;
+}
+
+std::string encode_assign(const AssignMsg& m) {
+  std::string line = "{\"kind\":\"assign\"";
+  codec::append_u64(line, "run", m.run);
+  codec::append_fault(line, m.fault);
+  line += "}";
+  return line;
+}
+
+AssignMsg decode_assign(const std::string& payload) {
+  const codec::LineParser p(payload);
+  ensure(p.str("kind") == "assign", "dist: ASSIGN payload is not an assign message");
+  AssignMsg m;
+  m.run = p.u64("run");
+  m.fault = codec::fault_from(p);
+  return m;
+}
+
+std::string encode_result(const ResultMsg& m) {
+  std::string line = "{\"kind\":\"result\"";
+  codec::append_u64(line, "run", m.run);
+  codec::append_replay(line, m.replay.outcome, m.replay.attempts, m.replay.crash_what,
+                       m.replay.provenance);
+  line += "}";
+  return line;
+}
+
+ResultMsg decode_result(const std::string& payload) {
+  const codec::LineParser p(payload);
+  ensure(p.str("kind") == "result", "dist: RESULT payload is not a result message");
+  ResultMsg m;
+  m.run = p.u64("run");
+  codec::ReplayFields fields = codec::replay_from(p);
+  m.replay.outcome = fields.outcome;
+  m.replay.attempts = fields.attempts;
+  m.replay.crash_what = std::move(fields.crash_what);
+  m.replay.provenance = std::move(fields.provenance);
+  return m;
+}
+
+std::string encode_heartbeat(const HeartbeatMsg& m) {
+  std::string line = "{\"kind\":\"heartbeat\"";
+  codec::append_u64(line, "runs_done", m.runs_done);
+  line += "}";
+  return line;
+}
+
+HeartbeatMsg decode_heartbeat(const std::string& payload) {
+  const codec::LineParser p(payload);
+  ensure(p.str("kind") == "heartbeat", "dist: HEARTBEAT payload is not a heartbeat message");
+  HeartbeatMsg m;
+  m.runs_done = p.u64("runs_done");
+  return m;
+}
+
+}  // namespace vps::dist

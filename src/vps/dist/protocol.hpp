@@ -1,0 +1,124 @@
+#pragma once
+
+/// Wire protocol of the distributed campaign fleet: a length-prefixed,
+/// CRC-guarded, versioned frame layer plus the five message types the
+/// coordinator and the vps-worker processes exchange:
+///
+///   SETUP      coordinator → worker  campaign identity: protocol version,
+///              (a HELLO frame)       scenario spec, seed, crash retries,
+///                                    the golden observation
+///   HELLO      worker → coordinator  protocol version, pid, the name of
+///                                    the scenario the worker built
+///   ASSIGN     coordinator → worker  one run index + its FaultDescriptor
+///   RESULT     worker → coordinator  run index + replay verdict (outcome,
+///                                    attempts, crash_what, provenance)
+///   HEARTBEAT  worker → coordinator  liveness + runs completed so far
+///   SHUTDOWN   coordinator → worker  drain and exit cleanly
+///
+/// Frame layout (all integers little-endian):
+///   magic  u32   0x56505331 ("VPS1")
+///   type   u8    MsgType
+///   length u32   payload byte count (bounded by kMaxFramePayload)
+///   crc    u32   CRC-32 (IEEE 802.3) of the payload bytes
+///   payload      `length` bytes
+///
+/// Payloads are the same flat-JSON lines the checkpoint file uses — both
+/// run through fault::codec, so the wire format and the on-disk format are
+/// one implementation and values (hexfloat doubles, picosecond times)
+/// round-trip bitwise. A frame with a bad magic, an insane length or a
+/// failing CRC throws support::InvariantError from the reader: a corrupted
+/// or misaligned stream is a protocol violation, never a mis-parse.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "vps/fault/campaign.hpp"
+
+namespace vps::dist {
+
+inline constexpr std::uint32_t kFrameMagic = 0x56505331u;  // "VPS1"
+inline constexpr std::uint32_t kProtocolVersion = 1;
+/// Upper bound on one payload; a length field beyond this is stream
+/// corruption (the largest real payloads — provenance-bearing RESULTs —
+/// are a few KiB).
+inline constexpr std::uint32_t kMaxFramePayload = 64u * 1024u * 1024u;
+inline constexpr std::size_t kFrameHeaderSize = 13;  // magic + type + length + crc
+
+enum class MsgType : std::uint8_t {
+  kHello = 1,
+  kAssign = 2,
+  kResult = 3,
+  kHeartbeat = 4,
+  kShutdown = 5,
+};
+[[nodiscard]] const char* to_string(MsgType t) noexcept;
+
+struct Frame {
+  MsgType type = MsgType::kHello;
+  std::string payload;
+};
+
+/// Serializes one frame (header + payload).
+[[nodiscard]] std::string encode_frame(MsgType type, std::string_view payload);
+
+/// Incremental frame decoder over a byte stream: feed() arbitrary chunks,
+/// next() yields complete frames. Throws support::InvariantError on a
+/// malformed header or a payload CRC mismatch — the connection is then
+/// unusable and must be torn down.
+class FrameReader {
+ public:
+  void feed(const char* data, std::size_t n);
+  [[nodiscard]] std::optional<Frame> next();
+  [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+
+ private:
+  std::string buf_;
+  std::size_t pos_ = 0;
+};
+
+// --- typed messages --------------------------------------------------------
+
+/// Coordinator → worker campaign identity (sent as the first HELLO frame).
+struct SetupMsg {
+  std::uint32_t version = kProtocolVersion;
+  std::string scenario_spec;  ///< registry spec for exec workers (diagnostic for fork workers)
+  std::uint64_t seed = 0;
+  std::uint64_t crash_retries = 0;
+  fault::Observation golden;
+};
+
+/// Worker → coordinator announcement after building its scenario.
+struct HelloMsg {
+  std::uint32_t version = kProtocolVersion;
+  std::uint64_t pid = 0;
+  std::string scenario;  ///< Scenario::name() of the instance the worker built
+};
+
+struct AssignMsg {
+  std::uint64_t run = 0;  ///< global run index
+  fault::FaultDescriptor fault;
+};
+
+struct ResultMsg {
+  std::uint64_t run = 0;
+  fault::ReplayResult replay;
+};
+
+struct HeartbeatMsg {
+  std::uint64_t runs_done = 0;
+};
+
+[[nodiscard]] std::string encode_setup(const SetupMsg& m);
+[[nodiscard]] SetupMsg decode_setup(const std::string& payload);
+[[nodiscard]] std::string encode_hello(const HelloMsg& m);
+[[nodiscard]] HelloMsg decode_hello(const std::string& payload);
+[[nodiscard]] std::string encode_assign(const AssignMsg& m);
+[[nodiscard]] AssignMsg decode_assign(const std::string& payload);
+[[nodiscard]] std::string encode_result(const ResultMsg& m);
+[[nodiscard]] ResultMsg decode_result(const std::string& payload);
+[[nodiscard]] std::string encode_heartbeat(const HeartbeatMsg& m);
+[[nodiscard]] HeartbeatMsg decode_heartbeat(const std::string& payload);
+
+}  // namespace vps::dist

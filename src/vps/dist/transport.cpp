@@ -1,0 +1,106 @@
+#include "vps/dist/transport.hpp"
+
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+#include <string>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::dist {
+
+using support::ensure;
+
+void ignore_sigpipe() noexcept {
+  static const bool installed = [] {
+    ::signal(SIGPIPE, SIG_IGN);
+    return true;
+  }();
+  (void)installed;
+}
+
+SocketPair make_socket_pair() {
+  int fds[2];
+  ensure(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) == 0,
+         std::string("dist: socketpair failed: ") + std::strerror(errno));
+  return SocketPair{fds[0], fds[1]};
+}
+
+Channel::Channel(int fd) : fd_(fd) {
+  ensure(fd >= 0, "dist: Channel constructed with invalid fd");
+  ignore_sigpipe();
+}
+
+Channel::~Channel() { close(); }
+
+Channel::Channel(Channel&& other) noexcept
+    : fd_(other.fd_), reader_(std::move(other.reader_)), stats_(other.stats_) {
+  other.fd_ = -1;
+}
+
+void Channel::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Channel::send_frame(MsgType type, std::string_view payload) {
+  ensure(open(), "dist: send_frame on a closed channel");
+  const std::string frame = encode_frame(type, payload);
+  std::size_t off = 0;
+  while (off < frame.size()) {
+    const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) return false;  // peer died
+      ensure(false, std::string("dist: send failed: ") + std::strerror(errno));
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  ++stats_.frames_sent;
+  stats_.bytes_sent += frame.size();
+  return true;
+}
+
+bool Channel::pump() {
+  ensure(open(), "dist: pump on a closed channel");
+  char buf[16384];
+  const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+  if (n > 0) {
+    reader_.feed(buf, static_cast<std::size_t>(n));
+    stats_.bytes_received += static_cast<std::uint64_t>(n);
+    return true;
+  }
+  if (n == 0) return false;  // orderly EOF
+  if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) return true;
+  if (errno == ECONNRESET) return false;
+  ensure(false, std::string("dist: recv failed: ") + std::strerror(errno));
+  return false;  // unreachable
+}
+
+std::optional<Frame> Channel::wait_frame(int timeout_ms) {
+  for (;;) {
+    if (auto frame = next_frame()) return frame;
+    if (!open()) return std::nullopt;
+    struct pollfd pfd{fd_, POLLIN, 0};
+    const int rc = ::poll(&pfd, 1, timeout_ms);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      ensure(false, std::string("dist: poll failed: ") + std::strerror(errno));
+    }
+    if (rc == 0) return std::nullopt;  // timeout, channel still open
+    if (!pump()) {
+      // Peer hung up; hand out anything already buffered, then report EOF.
+      if (auto frame = next_frame()) return frame;
+      close();
+      return std::nullopt;
+    }
+  }
+}
+
+}  // namespace vps::dist

@@ -1,0 +1,85 @@
+#pragma once
+
+/// Byte transport under the framed protocol: a Channel owns one end of a
+/// local stream socket (the coordinator↔worker link is a SOCK_STREAM
+/// socketpair) and moves whole frames over it. Writes use MSG_NOSIGNAL and
+/// the process ignores SIGPIPE (ignore_sigpipe()), so a peer that died
+/// mid-write surfaces as a ChannelClosed error the coordinator can handle —
+/// never as a fatal signal.
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "vps/dist/protocol.hpp"
+
+namespace vps::dist {
+
+/// Installs SIG_IGN for SIGPIPE once, process-wide. Idempotent; called by
+/// every Channel constructor so no user of the transport can forget it.
+void ignore_sigpipe() noexcept;
+
+/// Creates a connected SOCK_STREAM socketpair (coordinator end first).
+/// Throws support::InvariantError on failure.
+struct SocketPair {
+  int coordinator_fd = -1;
+  int worker_fd = -1;
+};
+[[nodiscard]] SocketPair make_socket_pair();
+
+/// Transfer counters of one channel, for the dist.* metrics.
+struct ChannelStats {
+  std::uint64_t frames_sent = 0;
+  std::uint64_t frames_received = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+/// One end of a framed byte stream over a socket fd. Owns (and closes) the
+/// fd. Not thread-safe — each channel belongs to one thread.
+class Channel {
+ public:
+  /// Takes ownership of `fd`.
+  explicit Channel(int fd);
+  ~Channel();
+  Channel(Channel&& other) noexcept;
+  Channel& operator=(Channel&&) = delete;
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  [[nodiscard]] int fd() const noexcept { return fd_; }
+  [[nodiscard]] bool open() const noexcept { return fd_ >= 0; }
+  void close() noexcept;
+
+  /// Sends one complete frame. Returns false when the peer is gone (EPIPE /
+  /// ECONNRESET — a dead worker, handled by the supervision loop); throws
+  /// support::InvariantError on any other send error.
+  [[nodiscard]] bool send_frame(MsgType type, std::string_view payload);
+
+  /// Non-blocking-ish receive step: reads whatever bytes are available
+  /// (one recv) into the frame reader. Returns false on EOF/peer-reset,
+  /// true otherwise (including "no data right now"). Frame decoding errors
+  /// (bad magic/CRC) propagate as support::InvariantError.
+  [[nodiscard]] bool pump();
+
+  /// Next fully buffered frame, if any. Call pump() (or wait_frame) first.
+  [[nodiscard]] std::optional<Frame> next_frame() {
+    auto frame = reader_.next();
+    if (frame) ++stats_.frames_received;
+    return frame;
+  }
+
+  /// Blocks up to `timeout_ms` (-1 = forever) for one complete frame.
+  /// Returns std::nullopt on timeout or peer EOF (distinguish via open():
+  /// EOF closes the channel, a timeout leaves it open).
+  [[nodiscard]] std::optional<Frame> wait_frame(int timeout_ms);
+
+  [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
+
+ private:
+  int fd_;
+  FrameReader reader_;
+  ChannelStats stats_;
+};
+
+}  // namespace vps::dist

@@ -1,0 +1,37 @@
+#pragma once
+
+/// Worker side of the distributed campaign: a serve loop that speaks the
+/// framed protocol over one channel to the coordinator. The same loop backs
+/// both spawn modes — fork-only workers (the test/default path: the child
+/// inherits the ScenarioFactory and serves straight out of fork()) and the
+/// vps-worker binary (fork+exec: the scenario is rebuilt in a pristine
+/// process from the SETUP message's registry spec).
+
+#include <functional>
+#include <memory>
+
+#include "vps/dist/protocol.hpp"
+#include "vps/dist/transport.hpp"
+#include "vps/fault/campaign.hpp"
+
+namespace vps::dist {
+
+/// Builds the worker's scenario from the coordinator's SETUP message.
+/// Fork-mode workers ignore the message and call the inherited factory;
+/// exec-mode workers parse `setup.scenario_spec` through the app registry.
+using ScenarioBuilder = std::function<std::unique_ptr<fault::Scenario>(const SetupMsg&)>;
+
+/// Runs the worker protocol on `channel` until SHUTDOWN or coordinator EOF:
+///   1. wait for the coordinator's SETUP (sent as a HELLO frame); verify the
+///      protocol version,
+///   2. build the scenario and reply HELLO (version, pid, scenario name),
+///   3. serve ASSIGN frames — each replay is bracketed by a HEARTBEAT before
+///      and answered with a RESULT after — until SHUTDOWN.
+///
+/// Returns the process exit code: 0 after a clean SHUTDOWN, 2 when the
+/// coordinator vanished (EOF), 3 on a protocol violation or scenario-build
+/// failure (details on stderr). Never throws — the caller is about to
+/// _exit() with the return value and must not unwind a forked child.
+[[nodiscard]] int serve(Channel& channel, const ScenarioBuilder& build) noexcept;
+
+}  // namespace vps::dist

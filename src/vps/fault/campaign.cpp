@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "vps/fault/checkpoint.hpp"
+#include "vps/fault/driver_util.hpp"
 #include "vps/support/ensure.hpp"
 #include "vps/support/table.hpp"
 
@@ -419,67 +420,9 @@ obs::CampaignProgress progress_snapshot(const std::string& name, const CampaignR
   return progress;
 }
 
-namespace {
-
-/// Field-by-field descriptor identity (doubles bitwise via ==; magnitudes
-/// are never NaN). Used by resume() to verify that the deterministic
-/// machinery regenerates exactly what the checkpoint recorded.
-bool same_fault(const FaultDescriptor& a, const FaultDescriptor& b) noexcept {
-  return a.id == b.id && a.type == b.type && a.persistence == b.persistence &&
-         a.inject_at == b.inject_at && a.duration == b.duration && a.location == b.location &&
-         a.address == b.address && a.bit == b.bit && a.magnitude == b.magnitude;
-}
-
-/// Folds one classified run into the accumulating result — the single
-/// reduce step both drivers and both entry points (run/resume) share, so an
-/// uninterrupted run and a replayed checkpoint cannot diverge structurally.
-void fold_run(CampaignResult& result, CampaignState& state, std::size_t run_index,
-              RunRecord record, std::uint32_t attempts) {
-  ++result.outcome_counts[static_cast<std::size_t>(record.outcome)];
-  state.learn(record.fault, record.outcome);  // no-op (false) for kSimCrash
-  if (record.outcome == Outcome::kSimCrash) {
-    result.quarantine.push_back({record.fault, record.crash_what, attempts});
-  }
-  if (record.outcome == Outcome::kHazard && result.faults_to_first_hazard == 0) {
-    result.faults_to_first_hazard = run_index + 1;
-  }
-  result.records.push_back(std::move(record));
-  result.coverage_curve.push_back(state.coverage().coverage());
-  ++result.runs_executed;
-}
-
-bool stop_condition_met(const CampaignConfig& config, const CampaignResult& result) noexcept {
-  return config.stop_after_hazards != 0 &&
-         result.count(Outcome::kHazard) >= config.stop_after_hazards;
-}
-
-void finalize(CampaignResult& result, const CampaignState& state) {
-  result.final_coverage = state.coverage().coverage();
-  result.coverage = std::make_shared<coverage::FaultSpaceCoverage>(state.coverage());
-  result.hazard_probability =
-      support::wilson_interval(result.count(Outcome::kHazard), result.runs_executed);
-}
-
-void validate_checkpoint(const CampaignCheckpoint& cp, const char* driver,
-                         const std::string& scenario_name, const CampaignConfig& config) {
-  ensure(cp.driver == driver, "resume: checkpoint was written by driver '" + cp.driver +
-                                  "', not '" + driver + "'");
-  ensure(cp.scenario == scenario_name, "resume: checkpoint is for scenario '" + cp.scenario +
-                                           "', not '" + scenario_name + "'");
-  const CampaignConfig& c = cp.config;
-  ensure(c.runs == config.runs && c.seed == config.seed && c.strategy == config.strategy &&
-             c.location_buckets == config.location_buckets &&
-             c.time_windows == config.time_windows &&
-             c.stop_after_hazards == config.stop_after_hazards &&
-             c.batch_size == config.batch_size && c.crash_retries == config.crash_retries,
-         "resume: checkpoint config disagrees with this campaign's "
-         "determinism-relevant config (runs/seed/strategy/buckets/windows/"
-         "stop_after_hazards/batch_size/crash_retries)");
-  ensure(cp.records.size() <= config.runs, "resume: checkpoint has more records than runs");
-  ensure(cp.golden.completed, "resume: checkpoint golden run did not complete");
-}
-
-}  // namespace
+using detail::finalize;
+using detail::fold_run;
+using detail::stop_condition_met;
 
 Campaign::Campaign(Scenario& scenario, CampaignConfig config)
     : scenario_(scenario),
@@ -510,7 +453,7 @@ CampaignResult Campaign::run() {
 }
 
 CampaignResult Campaign::resume(const CampaignCheckpoint& checkpoint) {
-  validate_checkpoint(checkpoint, "campaign", scenario_.name(), config_);
+  detail::validate_checkpoint(checkpoint, "campaign", scenario_.name(), config_);
   golden_ = checkpoint.golden;
   golden_valid_ = true;
   // Fresh generation/learning state: resume replays the recorded prefix
@@ -523,7 +466,7 @@ CampaignResult Campaign::resume(const CampaignCheckpoint& checkpoint) {
   for (std::size_t i = 0; i < checkpoint.records.size(); ++i) {
     const RunRecord& record = checkpoint.records[i];
     const FaultDescriptor regenerated = state_.generate(i, rng_);
-    ensure(same_fault(regenerated, record.fault),
+    ensure(detail::same_fault(regenerated, record.fault),
            "resume: run " + std::to_string(i) +
                " does not regenerate the recorded descriptor — checkpoint is "
                "inconsistent with this scenario/config/code version");

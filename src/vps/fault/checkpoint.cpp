@@ -4,7 +4,7 @@
 #include <cstdlib>
 #include <string>
 
-#include "vps/obs/trace.hpp"
+#include "vps/fault/codec.hpp"
 #include "vps/support/ensure.hpp"
 
 namespace vps::fault {
@@ -15,181 +15,15 @@ namespace {
 
 constexpr const char* kSchemaName = "vps-campaign-checkpoint";
 
-// --- writing ---------------------------------------------------------------
-
-void append_str(std::string& line, const char* key, const std::string& value) {
-  line += ",\"";
-  line += key;
-  line += "\":\"";
-  line += obs::json_escape(value);
-  line += '"';
-}
-
-void append_u64(std::string& line, const char* key, std::uint64_t value) {
-  line += ",\"";
-  line += key;
-  line += "\":";
-  line += std::to_string(value);
-}
-
-void append_i64(std::string& line, const char* key, std::int64_t value) {
-  line += ",\"";
-  line += key;
-  line += "\":";
-  line += std::to_string(value);
-}
-
-/// Doubles go through hexfloat (as a JSON string — a bare hexfloat is not
-/// valid JSON) so the value round-trips bitwise; %.17g can lose the exact
-/// bit pattern under some libc printf/scanf pairings, hexfloat cannot.
-void append_double(std::string& line, const char* key, double value) {
-  char buf[48];
-  std::snprintf(buf, sizeof buf, "%a", value);
-  line += ",\"";
-  line += key;
-  line += "\":\"";
-  line += buf;
-  line += '"';
-}
-
-// --- flat-JSON line parsing ------------------------------------------------
-
-/// Minimal parser for the flat objects this module writes: string values
-/// (with the obs::json_escape escapes) and plain integer/number tokens. Not
-/// a general JSON parser and not meant to be one.
-class LineParser {
- public:
-  explicit LineParser(const std::string& line) : line_(line) {
-    ensure(!line_.empty() && line_.front() == '{' && line_.back() == '}',
-           "checkpoint: malformed line: " + line_);
-    std::size_t pos = 1;
-    while (pos < line_.size() - 1) {
-      const std::string key = parse_string(pos);
-      ensure(pos < line_.size() && line_[pos] == ':', "checkpoint: expected ':' in " + line_);
-      ++pos;
-      if (line_[pos] == '"') {
-        strings_.emplace_back(key, parse_string(pos));
-      } else {
-        std::size_t end = pos;
-        while (end < line_.size() && line_[end] != ',' && line_[end] != '}') ++end;
-        numbers_.emplace_back(key, line_.substr(pos, end - pos));
-        pos = end;
-      }
-      if (pos < line_.size() && line_[pos] == ',') ++pos;
-    }
-  }
-
-  [[nodiscard]] bool has(const char* key) const {
-    for (const auto& [k, v] : strings_) {
-      if (k == key) return true;
-    }
-    for (const auto& [k, v] : numbers_) {
-      if (k == key) return true;
-    }
-    return false;
-  }
-
-  [[nodiscard]] const std::string& str(const char* key) const {
-    for (const auto& [k, v] : strings_) {
-      if (k == key) return v;
-    }
-    throw support::InvariantError("checkpoint: missing string field '" + std::string(key) +
-                                  "' in " + line_);
-  }
-
-  [[nodiscard]] std::uint64_t u64(const char* key) const {
-    return std::strtoull(number(key).c_str(), nullptr, 10);
-  }
-
-  [[nodiscard]] std::int64_t i64(const char* key) const {
-    return std::strtoll(number(key).c_str(), nullptr, 10);
-  }
-
-  /// Hexfloat-encoded double (stored as a string field).
-  [[nodiscard]] double hexdouble(const char* key) const {
-    return std::strtod(str(key).c_str(), nullptr);
-  }
-
- private:
-  [[nodiscard]] const std::string& number(const char* key) const {
-    for (const auto& [k, v] : numbers_) {
-      if (k == key) return v;
-    }
-    throw support::InvariantError("checkpoint: missing numeric field '" + std::string(key) +
-                                  "' in " + line_);
-  }
-
-  std::string parse_string(std::size_t& pos) {
-    ensure(pos < line_.size() && line_[pos] == '"', "checkpoint: expected '\"' in " + line_);
-    ++pos;
-    std::string out;
-    while (pos < line_.size() && line_[pos] != '"') {
-      char c = line_[pos];
-      if (c == '\\') {
-        ensure(pos + 1 < line_.size(), "checkpoint: dangling escape in " + line_);
-        const char e = line_[pos + 1];
-        pos += 2;
-        switch (e) {
-          case '"': out += '"'; break;
-          case '\\': out += '\\'; break;
-          case 'n': out += '\n'; break;
-          case 'r': out += '\r'; break;
-          case 't': out += '\t'; break;
-          case 'u': {
-            ensure(pos + 4 <= line_.size(), "checkpoint: bad \\u escape in " + line_);
-            out += static_cast<char>(std::strtoul(line_.substr(pos, 4).c_str(), nullptr, 16));
-            pos += 4;
-            break;
-          }
-          default: ensure(false, "checkpoint: unknown escape in " + line_);
-        }
-      } else {
-        out += c;
-        ++pos;
-      }
-    }
-    ensure(pos < line_.size(), "checkpoint: unterminated string in " + line_);
-    ++pos;  // closing quote
-    return out;
-  }
-
-  const std::string& line_;
-  std::vector<std::pair<std::string, std::string>> strings_;
-  std::vector<std::pair<std::string, std::string>> numbers_;
-};
-
-// --- enum round trips (names are the to_string spellings) ------------------
-
-Strategy parse_strategy(const std::string& name) {
-  for (int i = 0; i < 4; ++i) {
-    const auto s = static_cast<Strategy>(i);
-    if (name == to_string(s)) return s;
-  }
-  throw support::InvariantError("checkpoint: unknown strategy '" + name + "'");
-}
-
-FaultType parse_fault_type(const std::string& name) {
-  for (std::size_t i = 0; i < kFaultTypeCount; ++i) {
-    const auto t = static_cast<FaultType>(i);
-    if (name == to_string(t)) return t;
-  }
-  throw support::InvariantError("checkpoint: unknown fault type '" + name + "'");
-}
-
-Persistence parse_persistence(const std::string& name) {
-  for (int i = 0; i < 3; ++i) {
-    const auto p = static_cast<Persistence>(i);
-    if (name == to_string(p)) return p;
-  }
-  throw support::InvariantError("checkpoint: unknown persistence '" + name + "'");
-}
-
-Outcome parse_outcome(const std::string& name) {
-  for (std::size_t i = 0; i < kOutcomeCount; ++i) {
-    const auto o = static_cast<Outcome>(i);
-    if (name == to_string(o)) return o;
-  }
-  throw support::InvariantError("checkpoint: unknown outcome '" + name + "'");
+/// Splits `text` into its next line starting at `pos` (advancing `pos` past
+/// the newline); returns false when exhausted.
+bool next_line(const std::string& text, std::size_t& pos, std::string& line) {
+  if (pos >= text.size()) return false;
+  std::size_t nl = text.find('\n', pos);
+  if (nl == std::string::npos) nl = text.size();
+  line = text.substr(pos, nl - pos);
+  pos = nl + 1;
+  return true;
 }
 
 }  // namespace
@@ -197,142 +31,126 @@ Outcome parse_outcome(const std::string& name) {
 std::string to_jsonl(const CampaignCheckpoint& checkpoint) {
   std::string out;
   // Header.
-  out += "{\"schema\":\"";
-  out += kSchemaName;
-  out += "\",\"version\":" + std::to_string(CampaignCheckpoint::kVersion);
-  append_str(out, "driver", checkpoint.driver);
-  append_str(out, "scenario", checkpoint.scenario);
-  out += "}\n";
+  std::string header = "{\"schema\":\"";
+  header += kSchemaName;
+  header += "\",\"version\":" + std::to_string(CampaignCheckpoint::kVersion);
+  codec::append_str(header, "driver", checkpoint.driver);
+  codec::append_str(header, "scenario", checkpoint.scenario);
+  header += '}';
+  out += codec::with_crc(header) + "\n";
 
   // Config (the determinism-relevant fields plus crash handling; workers and
   // checkpoint cadence are resume-time choices and deliberately absent).
-  const CampaignConfig& c = checkpoint.config;
   std::string cfg = "{\"kind\":\"config\"";
-  append_u64(cfg, "runs", c.runs);
-  append_u64(cfg, "seed", c.seed);
-  append_str(cfg, "strategy", to_string(c.strategy));
-  append_u64(cfg, "location_buckets", c.location_buckets);
-  append_u64(cfg, "time_windows", c.time_windows);
-  append_u64(cfg, "stop_after_hazards", c.stop_after_hazards);
-  append_u64(cfg, "batch_size", c.batch_size);
-  append_u64(cfg, "crash_retries", c.crash_retries);
-  out += cfg + "}\n";
+  codec::append_config(cfg, checkpoint.config);
+  cfg += '}';
+  out += codec::with_crc(cfg) + "\n";
 
   // Golden observation.
-  const Observation& g = checkpoint.golden;
   std::string gold = "{\"kind\":\"golden\"";
-  append_u64(gold, "signature", g.output_signature);
-  append_u64(gold, "completed", g.completed ? 1 : 0);
-  append_u64(gold, "hazard", g.hazard ? 1 : 0);
-  append_u64(gold, "detected", g.detected);
-  append_u64(gold, "corrected", g.corrected);
-  append_u64(gold, "resets", g.resets);
-  append_u64(gold, "deadline_misses", g.deadline_misses);
-  out += gold + "}\n";
+  codec::append_observation(gold, checkpoint.golden);
+  gold += '}';
+  out += codec::with_crc(gold) + "\n";
 
   // Records, one per completed run, in run order.
   for (std::size_t i = 0; i < checkpoint.records.size(); ++i) {
-    const RunRecord& r = checkpoint.records[i];
     std::string rec = "{\"kind\":\"record\"";
-    append_u64(rec, "run", i);
-    append_str(rec, "outcome", to_string(r.outcome));
-    append_u64(rec, "id", r.fault.id);
-    append_str(rec, "type", to_string(r.fault.type));
-    append_str(rec, "persistence", to_string(r.fault.persistence));
-    append_u64(rec, "inject_at_ps", r.fault.inject_at.picoseconds());
-    append_u64(rec, "duration_ps", r.fault.duration.picoseconds());
-    append_str(rec, "location", r.fault.location);
-    append_u64(rec, "address", r.fault.address);
-    append_i64(rec, "bit", r.fault.bit);
-    append_double(rec, "magnitude", r.fault.magnitude);
-    if (!r.crash_what.empty()) append_str(rec, "crash_what", r.crash_what);
-    for (std::size_t k = 0; k < r.provenance.size(); ++k) {
-      const obs::FaultProvenance& fp = r.provenance[k];
-      append_str(rec, ("prov" + std::to_string(k)).c_str(),
-                 std::to_string(fp.fault_id) + ":" + fp.encode());
-    }
-    out += rec + "}\n";
+    codec::append_record(rec, checkpoint.records[i], i);
+    rec += '}';
+    out += codec::with_crc(rec) + "\n";
   }
 
   // Truncation guard.
-  out += "{\"kind\":\"end\",\"records\":" + std::to_string(checkpoint.records.size()) + "}\n";
+  out += codec::with_crc("{\"kind\":\"end\",\"records\":" +
+                         std::to_string(checkpoint.records.size()) + "}") +
+         "\n";
   return out;
 }
 
-CampaignCheckpoint checkpoint_from_jsonl(const std::string& text) {
+CampaignCheckpoint checkpoint_from_jsonl(const std::string& text, CheckpointRecovery* recovery) {
   CampaignCheckpoint cp;
   std::size_t pos = 0;
   std::size_t line_no = 0;
   bool saw_end = false;
-  while (pos < text.size()) {
-    std::size_t nl = text.find('\n', pos);
-    if (nl == std::string::npos) nl = text.size();
-    const std::string line = text.substr(pos, nl - pos);
-    pos = nl + 1;
+  bool corrupted = false;
+  std::string line;
+  while (!corrupted && next_line(text, pos, line)) {
     if (line.empty()) continue;
     ensure(!saw_end, "checkpoint: content after end line");
-    const LineParser p(line);
-    if (line_no == 0) {
-      ensure(p.str("schema") == kSchemaName, "checkpoint: not a campaign checkpoint");
-      ensure(p.u64("version") >= 1 && p.u64("version") <= CampaignCheckpoint::kVersion,
-             "checkpoint: unsupported version " + std::to_string(p.u64("version")) +
-                 " (expected 1.." + std::to_string(CampaignCheckpoint::kVersion) + ")");
-      cp.driver = p.str("driver");
-      cp.scenario = p.str("scenario");
-      ++line_no;
-      continue;
+
+    // Integrity first: a line failing its CRC (or failing to parse at all)
+    // inside the record region is recoverable — drop it and the tail. The
+    // header/config/golden lines are not: without them there is nothing to
+    // resume, so corruption there always throws.
+    std::string crc_error;
+    const bool record_region = recovery != nullptr && line_no >= 3;
+    if (!codec::check_crc(line, &crc_error)) {
+      ensure(record_region, "checkpoint: " + crc_error);
+      if (recovery->first_error.empty()) recovery->first_error = crc_error;
+      corrupted = true;
+      break;
     }
-    const std::string& kind = p.str("kind");
-    if (kind == "config") {
-      cp.config.runs = p.u64("runs");
-      cp.config.seed = p.u64("seed");
-      cp.config.strategy = parse_strategy(p.str("strategy"));
-      cp.config.location_buckets = p.u64("location_buckets");
-      cp.config.time_windows = p.u64("time_windows");
-      cp.config.stop_after_hazards = p.u64("stop_after_hazards");
-      cp.config.batch_size = p.u64("batch_size");
-      cp.config.crash_retries = p.u64("crash_retries");
-    } else if (kind == "golden") {
-      cp.golden.output_signature = static_cast<std::uint32_t>(p.u64("signature"));
-      cp.golden.completed = p.u64("completed") != 0;
-      cp.golden.hazard = p.u64("hazard") != 0;
-      cp.golden.detected = p.u64("detected");
-      cp.golden.corrected = p.u64("corrected");
-      cp.golden.resets = p.u64("resets");
-      cp.golden.deadline_misses = p.u64("deadline_misses");
-    } else if (kind == "record") {
-      ensure(p.u64("run") == cp.records.size(), "checkpoint: record out of order");
-      RunRecord r;
-      r.outcome = parse_outcome(p.str("outcome"));
-      r.fault.id = p.u64("id");
-      r.fault.type = parse_fault_type(p.str("type"));
-      r.fault.persistence = parse_persistence(p.str("persistence"));
-      r.fault.inject_at = sim::Time::ps(p.u64("inject_at_ps"));
-      r.fault.duration = sim::Time::ps(p.u64("duration_ps"));
-      r.fault.location = p.str("location");
-      r.fault.address = p.u64("address");
-      r.fault.bit = static_cast<int>(p.i64("bit"));
-      r.fault.magnitude = p.hexdouble("magnitude");
-      if (p.has("crash_what")) r.crash_what = p.str("crash_what");
-      for (std::size_t k = 0; p.has(("prov" + std::to_string(k)).c_str()); ++k) {
-        const std::string& text = p.str(("prov" + std::to_string(k)).c_str());
-        const std::size_t colon = text.find(':');
-        ensure(colon != std::string::npos && colon > 0, "checkpoint: bad provenance field");
-        const std::uint64_t fault_id = std::strtoull(text.substr(0, colon).c_str(), nullptr, 10);
-        r.provenance.push_back(obs::FaultProvenance::decode(fault_id, text.substr(colon + 1)));
+    try {
+      const codec::LineParser p(line);
+      if (line_no == 0) {
+        ensure(p.str("schema") == kSchemaName, "checkpoint: not a campaign checkpoint");
+        ensure(p.u64("version") >= 1 && p.u64("version") <= CampaignCheckpoint::kVersion,
+               "checkpoint: unsupported version " + std::to_string(p.u64("version")) +
+                   " (expected 1.." + std::to_string(CampaignCheckpoint::kVersion) + ")");
+        cp.driver = p.str("driver");
+        cp.scenario = p.str("scenario");
+        ++line_no;
+        continue;
       }
-      cp.records.push_back(std::move(r));
-    } else if (kind == "end") {
-      ensure(p.u64("records") == cp.records.size(),
-             "checkpoint: end line count mismatch (truncated file?)");
-      saw_end = true;
-    } else {
-      ensure(false, "checkpoint: unknown line kind '" + kind + "'");
+      const std::string& kind = p.str("kind");
+      if (kind == "config") {
+        cp.config = codec::config_from(p);
+      } else if (kind == "golden") {
+        cp.golden = codec::observation_from(p);
+      } else if (kind == "record") {
+        ensure(p.u64("run") == cp.records.size(), "checkpoint: record out of order");
+        cp.records.push_back(codec::record_from(p));
+      } else if (kind == "end") {
+        ensure(p.u64("records") == cp.records.size(),
+               "checkpoint: end line count mismatch (truncated file?)");
+        saw_end = true;
+      } else {
+        ensure(false, "checkpoint: unknown line kind '" + kind + "'");
+      }
+    } catch (const support::InvariantError& e) {
+      if (!record_region) throw;
+      if (recovery->first_error.empty()) recovery->first_error = e.what();
+      corrupted = true;
+      break;
     }
     ++line_no;
   }
   ensure(line_no >= 3, "checkpoint: missing header/config/golden lines");
-  ensure(saw_end, "checkpoint: missing end line (truncated file?)");
+  if (corrupted) {
+    // Count what the corruption cost: the bad line plus every further line
+    // that is not a readable end line. A surviving end line gives the exact
+    // intended record count.
+    std::size_t dropped = 1;
+    while (next_line(text, pos, line)) {
+      if (line.empty()) continue;
+      if (codec::check_crc(line)) {
+        try {
+          const codec::LineParser p(line);
+          if (p.has("kind") && p.str("kind") == "end") {
+            const std::uint64_t intended = p.u64("records");
+            if (intended >= cp.records.size()) dropped = intended - cp.records.size();
+            break;
+          }
+        } catch (const support::InvariantError&) {
+          // fall through: count it as a lost record line
+        }
+      }
+      ++dropped;
+    }
+    recovery->dropped_records = dropped;
+  } else {
+    ensure(saw_end, "checkpoint: missing end line (truncated file?)");
+  }
   ensure(cp.driver == "campaign" || cp.driver == "parallel_campaign",
          "checkpoint: unknown driver '" + cp.driver + "'");
   return cp;
@@ -352,7 +170,7 @@ void save_checkpoint(const CampaignCheckpoint& checkpoint, const std::string& pa
          "save_checkpoint: rename to " + path + " failed");
 }
 
-CampaignCheckpoint load_checkpoint(const std::string& path) {
+CampaignCheckpoint load_checkpoint(const std::string& path, CheckpointRecovery* recovery) {
   std::FILE* f = std::fopen(path.c_str(), "rb");
   ensure(f != nullptr, "load_checkpoint: cannot open " + path);
   std::string text;
@@ -360,7 +178,22 @@ CampaignCheckpoint load_checkpoint(const std::string& path) {
   std::size_t n;
   while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
   std::fclose(f);
-  return checkpoint_from_jsonl(text);
+
+  CheckpointRecovery local;
+  CampaignCheckpoint cp = checkpoint_from_jsonl(text, &local);
+  if (local.dropped_records > 0) {
+    // Salvage once, then make the file clean: rewrite the good prefix (with
+    // a matching end line) so the next load does not re-run the recovery.
+    save_checkpoint(cp, path);
+    local.file_rewritten = true;
+    std::fprintf(stderr,
+                 "load_checkpoint: %s: dropped %zu corrupt record(s) (%s); "
+                 "file truncated to last good record (%zu kept)\n",
+                 path.c_str(), local.dropped_records, local.first_error.c_str(),
+                 cp.records.size());
+  }
+  if (recovery != nullptr) *recovery = local;
+  return cp;
 }
 
 }  // namespace vps::fault

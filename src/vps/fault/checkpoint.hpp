@@ -19,7 +19,10 @@
 /// header line and a trailing end line that guards against truncation
 /// (e.g. SIGKILL mid-write; save_checkpoint additionally writes to a temp
 /// file and renames). Doubles are serialized as C99 hexfloat strings so the
-/// round trip is bitwise exact.
+/// round trip is bitwise exact. Since v3 every line also carries a CRC-32
+/// trailer (fault::codec::with_crc), so a flipped bit anywhere in a record
+/// is detected instead of silently mis-parsed; load_checkpoint() recovers
+/// from record corruption by truncating to the last good record.
 
 #include <cstdint>
 #include <string>
@@ -34,7 +37,9 @@ struct CampaignCheckpoint {
   /// checkpoints simply lack the newer optional fields).
   /// v1: header/config/golden/records.
   /// v2: records optionally carry per-fault provenance DAGs ("provN").
-  static constexpr std::uint32_t kVersion = 2;
+  /// v3: every line ends with a CRC-32 trailer ("crc"); v1/v2 files without
+  ///     trailers still load, they just cannot detect in-line corruption.
+  static constexpr std::uint32_t kVersion = 3;
 
   std::string driver;    ///< "campaign" or "parallel_campaign"
   std::string scenario;  ///< Scenario::name() of the interrupted campaign
@@ -47,17 +52,39 @@ struct CampaignCheckpoint {
   [[nodiscard]] std::size_t next_run() const noexcept { return records.size(); }
 };
 
-/// Serializes to the JSONL schema described above.
+/// What load_checkpoint() did about detected corruption. dropped_records >
+/// 0 means the checkpoint came back shorter than written: the first corrupt
+/// record and everything after it were discarded (resume re-executes those
+/// runs — slower, never wrong).
+struct CheckpointRecovery {
+  std::size_t dropped_records = 0;
+  bool file_rewritten = false;  ///< on-disk file truncated to the good prefix
+  std::string first_error;      ///< what the first corrupt line failed with
+};
+
+/// Serializes to the JSONL schema described above (always writes kVersion,
+/// i.e. with per-line CRC trailers).
 [[nodiscard]] std::string to_jsonl(const CampaignCheckpoint& checkpoint);
 
 /// Parses a checkpoint; ensure()-fails on schema/version mismatch, malformed
-/// lines, or a missing/inconsistent end line (truncated file).
-[[nodiscard]] CampaignCheckpoint checkpoint_from_jsonl(const std::string& text);
+/// lines, a failed line CRC, or a missing/inconsistent end line (truncated
+/// file). With `recovery` non-null, corruption confined to the record
+/// region is downgraded: the corrupt record and all later ones are dropped
+/// (reported in `recovery`) and the good prefix is returned; corruption in
+/// the header/config/golden lines still throws — there is nothing to resume
+/// without them.
+[[nodiscard]] CampaignCheckpoint checkpoint_from_jsonl(const std::string& text,
+                                                       CheckpointRecovery* recovery = nullptr);
 
 /// Atomic save: writes `path` + ".tmp" then renames over `path`, so a kill
 /// mid-write leaves either the previous checkpoint or a complete new one.
 void save_checkpoint(const CampaignCheckpoint& checkpoint, const std::string& path);
 
-[[nodiscard]] CampaignCheckpoint load_checkpoint(const std::string& path);
+/// Loads with record-corruption recovery: a corrupt record line is reported
+/// (stderr + `recovery` when given) and the file is rewritten truncated to
+/// the last good record, so the next load is clean instead of repeating the
+/// salvage. Header/config/golden corruption still throws.
+[[nodiscard]] CampaignCheckpoint load_checkpoint(const std::string& path,
+                                                 CheckpointRecovery* recovery = nullptr);
 
 }  // namespace vps::fault

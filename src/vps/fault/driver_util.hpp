@@ -1,0 +1,129 @@
+#pragma once
+
+/// Internal helpers shared by the campaign drivers (sequential, in-process
+/// parallel, distributed). These used to be duplicated per driver file;
+/// with a third driver the duplication stopped paying for itself. Not part
+/// of the public campaign API — drivers include this, nothing else should.
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+
+#include "vps/fault/campaign.hpp"
+#include "vps/fault/checkpoint.hpp"
+#include "vps/support/ensure.hpp"
+#include "vps/support/rng.hpp"
+#include "vps/support/stats.hpp"
+
+namespace vps::fault::detail {
+
+/// Default learning cadence of the batched drivers (parallel, distributed)
+/// for adaptive strategies. Deliberately a fixed constant (never derived
+/// from the worker count): the batch size defines when guided weights
+/// update, so deriving it from `workers` would break the any-worker-count
+/// reproducibility guarantee.
+inline constexpr std::size_t kDefaultBatch = 32;
+
+/// Field-by-field descriptor identity (doubles bitwise via ==; magnitudes
+/// are never NaN). Used by resume() to verify that the deterministic
+/// machinery regenerates exactly what the checkpoint recorded.
+inline bool same_fault(const FaultDescriptor& a, const FaultDescriptor& b) noexcept {
+  return a.id == b.id && a.type == b.type && a.persistence == b.persistence &&
+         a.inject_at == b.inject_at && a.duration == b.duration && a.location == b.location &&
+         a.address == b.address && a.bit == b.bit && a.magnitude == b.magnitude;
+}
+
+inline bool stop_condition_met(const CampaignConfig& config,
+                               const CampaignResult& result) noexcept {
+  return config.stop_after_hazards != 0 &&
+         result.count(Outcome::kHazard) >= config.stop_after_hazards;
+}
+
+/// Folds one classified run into the accumulating result — the single
+/// reduce step every driver and entry point (run/resume) shares, so an
+/// uninterrupted run and a replayed checkpoint cannot diverge structurally.
+inline void fold_run(CampaignResult& result, CampaignState& state, std::size_t run_index,
+                     RunRecord record, std::uint32_t attempts) {
+  ++result.outcome_counts[static_cast<std::size_t>(record.outcome)];
+  state.learn(record.fault, record.outcome);  // no-op (false) for kSimCrash
+  if (record.outcome == Outcome::kSimCrash) {
+    result.quarantine.push_back({record.fault, record.crash_what, attempts});
+  }
+  if (record.outcome == Outcome::kHazard && result.faults_to_first_hazard == 0) {
+    result.faults_to_first_hazard = run_index + 1;
+  }
+  result.records.push_back(std::move(record));
+  result.coverage_curve.push_back(state.coverage().coverage());
+  ++result.runs_executed;
+}
+
+inline void finalize(CampaignResult& result, const CampaignState& state) {
+  result.final_coverage = state.coverage().coverage();
+  result.coverage = std::make_shared<coverage::FaultSpaceCoverage>(state.coverage());
+  result.hazard_probability =
+      support::wilson_interval(result.count(Outcome::kHazard), result.runs_executed);
+}
+
+inline void validate_checkpoint(const CampaignCheckpoint& cp, const char* driver,
+                                const std::string& scenario_name, const CampaignConfig& config) {
+  support::ensure(cp.driver == driver, "resume: checkpoint was written by driver '" + cp.driver +
+                                           "', not '" + driver + "'");
+  support::ensure(cp.scenario == scenario_name, "resume: checkpoint is for scenario '" +
+                                                    cp.scenario + "', not '" + scenario_name +
+                                                    "'");
+  const CampaignConfig& c = cp.config;
+  support::ensure(
+      c.runs == config.runs && c.seed == config.seed && c.strategy == config.strategy &&
+          c.location_buckets == config.location_buckets &&
+          c.time_windows == config.time_windows &&
+          c.stop_after_hazards == config.stop_after_hazards &&
+          c.batch_size == config.batch_size && c.crash_retries == config.crash_retries,
+      "resume: checkpoint config disagrees with this campaign's "
+      "determinism-relevant config (runs/seed/strategy/buckets/windows/"
+      "stop_after_hazards/batch_size/crash_retries)");
+  support::ensure(cp.records.size() <= config.runs,
+                  "resume: checkpoint has more records than runs");
+  support::ensure(cp.golden.completed, "resume: checkpoint golden run did not complete");
+}
+
+/// Replays a checkpointed prefix at the batched drivers' cadence:
+/// descriptors of a batch are regenerated (and verified) against the
+/// pre-batch weights, then learning folds at the barrier — exactly the
+/// cadence the interrupted run used. Returns the run index execution
+/// continues from. Shared by ParallelCampaign::resume and
+/// dist::DistCampaign::resume, which write interchangeable checkpoints.
+inline std::size_t replay_prefix_batched(const CampaignCheckpoint& checkpoint,
+                                         const CampaignConfig& config, CampaignState& state,
+                                         CampaignResult& result) {
+  const support::Xorshift base(config.seed);
+  const std::size_t batch = config.batch_size == 0 ? kDefaultBatch : config.batch_size;
+  std::size_t next = 0;
+  while (next < checkpoint.records.size()) {
+    const std::size_t n = std::min(batch, config.runs - next);
+    const std::size_t take = std::min(n, checkpoint.records.size() - next);
+    for (std::size_t b = 0; b < take; ++b) {
+      support::Xorshift run_rng = base.fork(next + b);
+      const FaultDescriptor regenerated = state.generate(next + b, run_rng);
+      support::ensure(same_fault(regenerated, checkpoint.records[next + b].fault),
+                      "resume: run " + std::to_string(next + b) +
+                          " does not regenerate the recorded descriptor — checkpoint is "
+                          "inconsistent with this scenario/config/code version");
+    }
+    for (std::size_t b = 0; b < take; ++b) {
+      fold_run(result, state, next + b, checkpoint.records[next + b],
+               static_cast<std::uint32_t>(config.crash_retries + 1));
+    }
+    next += take;
+    if (take < n) {
+      // A mid-batch cut is only ever written when the hazard stop condition
+      // ended the campaign inside that batch.
+      support::ensure(stop_condition_met(config, result),
+                      "resume: parallel checkpoint was not cut at a batch barrier");
+    }
+  }
+  return next;
+}
+
+}  // namespace vps::fault::detail

@@ -6,20 +6,19 @@
 
 #include "vps/fault/campaign.hpp"
 #include "vps/fault/checkpoint.hpp"
+#include "vps/fault/driver_util.hpp"
 #include "vps/support/ensure.hpp"
 #include "vps/support/thread_pool.hpp"
 
 namespace vps::fault {
 
 using support::ensure;
+using detail::finalize;
+using detail::fold_run;
+using detail::kDefaultBatch;
+using detail::stop_condition_met;
 
 namespace {
-
-/// Default learning cadence for adaptive strategies. Deliberately a fixed
-/// constant (never derived from the worker count): the batch size defines
-/// when guided weights update, so deriving it from `workers` would break
-/// the any-worker-count reproducibility guarantee.
-constexpr std::size_t kDefaultBatch = 32;
 
 /// Hands each pool task a private Scenario instance; instances are built
 /// lazily via the factory and reused across batches, mirroring how the
@@ -52,41 +51,6 @@ class ScenarioPool {
   std::mutex mutex_;
   std::vector<std::unique_ptr<Scenario>> idle_;
 };
-
-// Shared with campaign.cpp by spelling, not linkage: small enough that
-// duplicating beats exporting internals.
-bool same_fault(const FaultDescriptor& a, const FaultDescriptor& b) noexcept {
-  return a.id == b.id && a.type == b.type && a.persistence == b.persistence &&
-         a.inject_at == b.inject_at && a.duration == b.duration && a.location == b.location &&
-         a.address == b.address && a.bit == b.bit && a.magnitude == b.magnitude;
-}
-
-bool stop_condition_met(const CampaignConfig& config, const CampaignResult& result) noexcept {
-  return config.stop_after_hazards != 0 &&
-         result.count(Outcome::kHazard) >= config.stop_after_hazards;
-}
-
-void fold_run(CampaignResult& result, CampaignState& state, std::size_t run_index,
-              RunRecord record, std::uint32_t attempts) {
-  ++result.outcome_counts[static_cast<std::size_t>(record.outcome)];
-  state.learn(record.fault, record.outcome);  // no-op (false) for kSimCrash
-  if (record.outcome == Outcome::kSimCrash) {
-    result.quarantine.push_back({record.fault, record.crash_what, attempts});
-  }
-  if (record.outcome == Outcome::kHazard && result.faults_to_first_hazard == 0) {
-    result.faults_to_first_hazard = run_index + 1;
-  }
-  result.records.push_back(std::move(record));
-  result.coverage_curve.push_back(state.coverage().coverage());
-  ++result.runs_executed;
-}
-
-void finalize(CampaignResult& result, const CampaignState& state) {
-  result.final_coverage = state.coverage().coverage();
-  result.coverage = std::make_shared<coverage::FaultSpaceCoverage>(state.coverage());
-  result.hazard_probability =
-      support::wilson_interval(result.count(Outcome::kHazard), result.runs_executed);
-}
 
 }  // namespace
 
@@ -125,58 +89,16 @@ CampaignResult ParallelCampaign::run() {
 
 CampaignResult ParallelCampaign::resume(const CampaignCheckpoint& checkpoint) {
   ensure_coordinator();
-  ensure(checkpoint.driver == "parallel_campaign",
-         "resume: checkpoint was written by driver '" + checkpoint.driver +
-             "', not 'parallel_campaign'");
-  ensure(checkpoint.scenario == coordinator_->name(),
-         "resume: checkpoint is for scenario '" + checkpoint.scenario + "', not '" +
-             coordinator_->name() + "'");
-  const CampaignConfig& c = checkpoint.config;
-  ensure(c.runs == config_.runs && c.seed == config_.seed && c.strategy == config_.strategy &&
-             c.location_buckets == config_.location_buckets &&
-             c.time_windows == config_.time_windows &&
-             c.stop_after_hazards == config_.stop_after_hazards &&
-             c.batch_size == config_.batch_size && c.crash_retries == config_.crash_retries,
-         "resume: checkpoint config disagrees with this campaign's "
-         "determinism-relevant config (runs/seed/strategy/buckets/windows/"
-         "stop_after_hazards/batch_size/crash_retries)");
-  ensure(checkpoint.records.size() <= config_.runs,
-         "resume: checkpoint has more records than runs");
-  ensure(checkpoint.golden.completed, "resume: checkpoint golden run did not complete");
+  detail::validate_checkpoint(checkpoint, "parallel_campaign", coordinator_->name(), config_);
   golden_ = checkpoint.golden;
   golden_valid_ = true;
 
   CampaignState state(coordinator_->fault_types(), coordinator_->duration(), config_);
-  const support::Xorshift base(config_.seed);
-  const std::size_t batch = config_.batch_size == 0 ? kDefaultBatch : config_.batch_size;
   CampaignResult result;
   // Replay the recorded prefix batch-by-batch: descriptors of a batch are
   // regenerated (and verified) against the pre-batch weights, then learning
   // folds at the barrier — exactly the cadence the interrupted run used.
-  std::size_t next = 0;
-  while (next < checkpoint.records.size()) {
-    const std::size_t n = std::min(batch, config_.runs - next);
-    const std::size_t take = std::min(n, checkpoint.records.size() - next);
-    for (std::size_t b = 0; b < take; ++b) {
-      support::Xorshift run_rng = base.fork(next + b);
-      const FaultDescriptor regenerated = state.generate(next + b, run_rng);
-      ensure(same_fault(regenerated, checkpoint.records[next + b].fault),
-             "resume: run " + std::to_string(next + b) +
-                 " does not regenerate the recorded descriptor — checkpoint is "
-                 "inconsistent with this scenario/config/code version");
-    }
-    for (std::size_t b = 0; b < take; ++b) {
-      fold_run(result, state, next + b, checkpoint.records[next + b],
-               static_cast<std::uint32_t>(config_.crash_retries + 1));
-    }
-    next += take;
-    if (take < n) {
-      // A mid-batch cut is only ever written when the hazard stop condition
-      // ended the campaign inside that batch.
-      ensure(stop_condition_met(config_, result),
-             "resume: parallel checkpoint was not cut at a batch barrier");
-    }
-  }
+  const std::size_t next = detail::replay_prefix_batched(checkpoint, config_, state, result);
   return execute(next, std::move(result), state);
 }
 

@@ -50,6 +50,15 @@ void ProgressReporter::emit(const CampaignProgress& progress, bool final) {
                static_cast<unsigned long long>(progress.runs_total),
                rps, progress.coverage * 100.0,
                static_cast<unsigned long long>(progress.hazards));
+  if (progress.workers_alive > 0 || progress.worker_deaths > 0) {
+    std::fprintf(stream, ", fleet %llu alive",
+                 static_cast<unsigned long long>(progress.workers_alive));
+    if (progress.worker_deaths > 0) {
+      std::fprintf(stream, " (%llu died, %llu runs requeued)",
+                   static_cast<unsigned long long>(progress.worker_deaths),
+                   static_cast<unsigned long long>(progress.requeued_runs));
+    }
+  }
   if (final && progress.detections_with_latency > 0) {
     std::fprintf(stream, ", detection latency p50/p95/p99 %.1f/%.1f/%.1f us",
                  progress.latency_p50_us, progress.latency_p95_us, progress.latency_p99_us);

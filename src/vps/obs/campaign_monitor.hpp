@@ -37,6 +37,11 @@ struct CampaignProgress {
   double latency_p50_us = 0.0;
   double latency_p95_us = 0.0;
   double latency_p99_us = 0.0;
+  /// Fleet health (distributed driver only; in-process drivers leave all
+  /// three zero and reporters then omit them).
+  std::uint64_t workers_alive = 0;
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t requeued_runs = 0;
 };
 
 /// Receives campaign progress callbacks on the driver's thread (sequential:

@@ -560,7 +560,8 @@ TEST(Checkpoint, V2RoundTripsProvenanceRecords) {
   cp.records.push_back(rec);
 
   const std::string text = to_jsonl(cp);
-  EXPECT_NE(text.find("\"version\":2"), std::string::npos);
+  EXPECT_NE(text.find("\"version\":" + std::to_string(CampaignCheckpoint::kVersion)),
+            std::string::npos);
   EXPECT_NE(text.find("\"prov0\""), std::string::npos);
 
   const CampaignCheckpoint back = checkpoint_from_jsonl(text);

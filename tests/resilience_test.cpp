@@ -17,6 +17,7 @@
 #include "vps/apps/caps.hpp"
 #include "vps/fault/campaign.hpp"
 #include "vps/fault/checkpoint.hpp"
+#include "vps/fault/codec.hpp"
 #include "vps/sim/kernel.hpp"
 #include "vps/support/crc.hpp"
 #include "vps/support/ensure.hpp"
@@ -34,6 +35,7 @@ using vps::sim::RunStatus;
 using vps::sim::StopReason;
 using vps::sim::Time;
 using vps::support::InvariantError;
+namespace codec = vps::fault::codec;
 
 // --------------------------------------------------------------------------
 // Livelocked model -> kTimeout (tentpole part 1, end to end)
@@ -282,6 +284,102 @@ TEST(Checkpoint, SaveLoadRoundTripsThroughDisk) {
   EXPECT_EQ(to_jsonl(back), to_jsonl(cp));
   std::remove(path.c_str());
   EXPECT_THROW((void)load_checkpoint(path), InvariantError);
+}
+
+// --------------------------------------------------------------------------
+// Per-line CRC integrity (checkpoint v3)
+// --------------------------------------------------------------------------
+
+TEST(Checkpoint, EveryV3LineCarriesAVerifiableCrc) {
+  const std::string text = to_jsonl(sample_checkpoint());
+  std::size_t pos = 0;
+  int lines = 0;
+  while (pos < text.size()) {
+    const std::size_t nl = text.find('\n', pos);
+    std::string line = text.substr(pos, nl - pos);
+    pos = nl + 1;
+    if (line.empty()) continue;
+    ++lines;
+    EXPECT_NE(line.find("\"crc\":\""), std::string::npos) << line;
+    EXPECT_TRUE(codec::check_crc(line)) << line;
+    // Any single-character change inside the object body must break it.
+    std::string tampered = line;
+    tampered[10] = tampered[10] == 'x' ? 'y' : 'x';
+    std::string error;
+    EXPECT_FALSE(codec::check_crc(tampered, &error));
+    EXPECT_FALSE(error.empty());
+  }
+  EXPECT_EQ(lines, 6);  // header, config, golden, 2 records, end
+}
+
+TEST(Checkpoint, CorruptRecordLineIsReportedAndFileTruncatedToLastGoodRecord) {
+  const std::string path = "/tmp/vps_checkpoint_crc_recovery.jsonl";
+  save_checkpoint(sample_checkpoint(), path);
+
+  // Flip one byte inside the SECOND record line on disk.
+  std::string text;
+  {
+    std::ifstream in(path);
+    std::stringstream ss;
+    ss << in.rdbuf();
+    text = ss.str();
+  }
+  std::size_t rec = text.find("\"kind\":\"record\"");
+  ASSERT_NE(rec, std::string::npos);
+  rec = text.find("\"kind\":\"record\"", rec + 1);
+  ASSERT_NE(rec, std::string::npos);
+  text[rec + 20] ^= 0x01;
+  {
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+  }
+
+  // The strict entry point treats the bad line as fatal...
+  EXPECT_THROW((void)checkpoint_from_jsonl(text), InvariantError);
+
+  // ...while load_checkpoint recovers: the good prefix survives, the report
+  // says what was dropped, and the file is rewritten clean.
+  CheckpointRecovery recovery;
+  const CampaignCheckpoint back = load_checkpoint(path, &recovery);
+  EXPECT_EQ(back.records.size(), 1u);
+  EXPECT_EQ(back.records[0].fault.id, 1u);
+  EXPECT_EQ(recovery.dropped_records, 1u);
+  EXPECT_TRUE(recovery.file_rewritten);
+  EXPECT_FALSE(recovery.first_error.empty());
+
+  CheckpointRecovery second;
+  const CampaignCheckpoint clean = load_checkpoint(path, &second);
+  EXPECT_EQ(clean.records.size(), 1u);
+  EXPECT_EQ(second.dropped_records, 0u);
+  EXPECT_FALSE(second.file_rewritten);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, HeaderCorruptionIsNeverRecoverable) {
+  std::string text = to_jsonl(sample_checkpoint());
+  text[2] ^= 0x01;  // inside the header line
+  CheckpointRecovery recovery;
+  EXPECT_THROW((void)checkpoint_from_jsonl(text, &recovery), InvariantError);
+}
+
+TEST(Checkpoint, V2FilesWithoutCrcFieldsStillLoad) {
+  const CampaignCheckpoint cp = sample_checkpoint();
+  std::string text = to_jsonl(cp);
+  // Regress the file to v2: strip every per-line CRC trailer and lower the
+  // header version.
+  for (std::size_t p; (p = text.find(",\"crc\":\"")) != std::string::npos;) {
+    text.erase(p, 17);  // ,"crc":"xxxxxxxx"
+  }
+  const std::string v3 = "\"version\":" + std::to_string(CampaignCheckpoint::kVersion);
+  const std::size_t v = text.find(v3);
+  ASSERT_NE(v, std::string::npos);
+  text.replace(v, v3.size(), "\"version\":2");
+
+  const CampaignCheckpoint back = checkpoint_from_jsonl(text);
+  EXPECT_EQ(back.records.size(), cp.records.size());
+  EXPECT_EQ(back.driver, cp.driver);
+  EXPECT_EQ(back.records[1].crash_what, cp.records[1].crash_what);
+  EXPECT_EQ(back.records[1].fault.magnitude, cp.records[1].fault.magnitude);
 }
 
 // --------------------------------------------------------------------------

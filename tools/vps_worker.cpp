@@ -1,0 +1,54 @@
+// vps-worker: worker-process binary of the distributed fault-injection
+// campaign. The coordinator fork+execs this with one end of a socketpair on
+// an inherited fd (conventionally 3) and drives it over the framed protocol:
+// SETUP in, HELLO out, then ASSIGN/RESULT until SHUTDOWN. The scenario is
+// rebuilt locally from the SETUP message's registry spec, so the worker
+// shares no address space — a replay that corrupts or kills this process
+// cannot take the coordinator (or its siblings) down with it.
+//
+// Usage: vps-worker --fd N
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "vps/apps/registry.hpp"
+#include "vps/dist/worker.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --fd N\n"
+               "  Serves the distributed-campaign worker protocol on the socket\n"
+               "  inherited as file descriptor N. Not meant to be run by hand —\n"
+               "  the campaign coordinator spawns it.\n\n%s",
+               argv0, vps::apps::registry_help().c_str());
+  return 64;  // EX_USAGE
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int fd = -1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--fd") == 0 && i + 1 < argc) {
+      fd = std::atoi(argv[++i]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (fd < 0) return usage(argv[0]);
+
+  try {
+    vps::dist::Channel channel(fd);
+    return vps::dist::serve(channel, [](const vps::dist::SetupMsg& setup) {
+      return vps::apps::make_scenario(setup.scenario_spec);
+    });
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vps-worker: %s\n", e.what());
+    return 3;
+  }
+}
