@@ -36,102 +36,267 @@ struct Plant {
 
 }  // namespace
 
+/// One quiescent golden-run snapshot of the ACC system (see the CAPS twin
+/// in caps.cpp for the replay-engine rationale). Plain data only.
+struct AccEpochSnapshot {
+  sim::KernelSnapshot kernel;
+  ecu::OsScheduler::Snapshot os;
+  Plant plant{};
+  support::Xorshift noise{0};
+  fault::AnalogChannel::Snapshot radar;
+  double commanded_accel = 0.0;
+  sim::Time last_command;
+  std::uint64_t stale_command_events = 0;
+  bool plant_step_pending = false;
+  std::uint8_t leader_phase = 0;
+  bool monitor_pending = false;
+};
+
+/// Golden epoch snapshots for one seed; the golden prefix is fault-id
+/// independent, so one segmented golden run serves every forked replay.
+struct AccReplayCache {
+  std::uint64_t seed = 0;
+  bool valid = false;
+  std::vector<AccEpochSnapshot> epochs;
+};
+
+namespace {
+
+constexpr std::size_t kReplayEpochs = 8;
+
+/// The complete ACC system VP. Spawn order matches the pre-refactor inline
+/// build (plant integrator, leader event, control task, actuator monitor,
+/// diagnostics, injector) — kernel ordinal identity is what lets a forked
+/// replay overlay a golden snapshot onto a fresh instance. All coroutine
+/// bodies are restore-safe (DESIGN.md "Replay engine"): post-await work
+/// runs at loop top gated on pending/phase members, so a restored fresh
+/// coroutine resumed by a pending timed entry continues exactly where the
+/// snapshotted original was parked.
+struct AccSystem {
+  sim::Kernel kernel;
+  ecu::OsScheduler os;
+  Plant plant;
+  support::Xorshift noise;
+  fault::AnalogChannel radar;
+  fault::InjectorHub hub;
+
+  double desired_gap = 0.0;
+  Time staleness_limit;
+  double commanded_accel = 0.0;
+  Time last_command = Time::zero();
+  std::uint64_t stale_command_events = 0;
+  bool plant_step_pending = false;
+  std::uint8_t leader_phase = 0;
+  bool monitor_pending = false;
+
+  AccSystem(const AccConfig& cfg, std::uint64_t seed)
+      : os(kernel, "acc_os"),
+        plant{cfg.initial_gap_m, cfg.ego_speed_mps, 0.0,
+              cfg.ego_speed_mps, 0.0, cfg.initial_gap_m},
+        // Radar distance sensor with seed-dependent measurement noise.
+        noise(seed),
+        radar([this] { return plant.gap_m + noise.normal(0.0, 0.05); }),
+        hub(kernel),
+        desired_gap(0.9 * cfg.ego_speed_mps),  // ~0.9s time gap
+        staleness_limit(cfg.control_period * 3) {
+    // Plant integration process (the physical world does not miss deadlines).
+    kernel.spawn("plant", plant_loop());
+    // Leader braking event.
+    kernel.spawn("leader", leader_event(cfg));
+    // Control task: constant-time-gap ACC law, outputs written at completion.
+    os.add_task({.name = "acc_control",
+                 .period = cfg.control_period,
+                 .wcet = cfg.control_wcet,
+                 .priority = 5,
+                 .body = [this] {
+                   const double measured_gap = radar.read();
+                   const double gap_error = measured_gap - desired_gap;
+                   const double closing = plant.leader_speed - plant.ego_speed;  // via tracker
+                   commanded_accel = std::clamp(0.25 * gap_error + 0.8 * closing, -8.0, 2.0);
+                   plant.ego_accel = commanded_accel;
+                   last_command = kernel.now();
+                 }});
+    // Actuator freshness monitor: commands older than 3 control periods are
+    // considered stale and the actuator falls back to coasting — the standard
+    // defensive measure that turns a *late* (but correct) command into a
+    // detected timing failure ("the right value at the wrong time").
+    kernel.spawn("actuator_monitor", monitor_loop());
+    // Background diagnostics load.
+    os.add_task({.name = "diagnostics",
+                 .period = Time::ms(100),
+                 .wcet = Time::ms(12),
+                 .priority = 1,
+                 .body = [] {}});
+    hub.bind_os(os);
+    hub.bind_sensor(radar);
+  }
+
+  [[nodiscard]] sim::Coro plant_loop() {
+    for (;;) {
+      if (plant_step_pending) {
+        plant_step_pending = false;
+        plant.step(0.005);
+      }
+      plant_step_pending = true;
+      co_await sim::delay(Time::ms(5));
+    }
+  }
+
+  // Two-phase event as an explicit machine: the phase member names the work
+  // owed at the *next* resume, so a restored coroutine picks up mid-event.
+  [[nodiscard]] sim::Coro leader_event(const AccConfig cfg) {
+    for (;;) {
+      if (leader_phase == 0) {
+        leader_phase = 1;
+        co_await sim::delay(cfg.leader_brake_at);
+      } else if (leader_phase == 1) {
+        plant.leader_accel = -cfg.leader_brake_mps2;
+        leader_phase = 2;
+        co_await sim::delay(cfg.leader_brake_duration);
+      } else {
+        plant.leader_accel = 0.0;
+        co_return;
+      }
+    }
+  }
+
+  [[nodiscard]] sim::Coro monitor_loop() {
+    for (;;) {
+      if (monitor_pending) {
+        monitor_pending = false;
+        if (kernel.now() - last_command > staleness_limit && plant.ego_accel != 0.0) {
+          plant.ego_accel = 0.0;  // coast
+          ++stale_command_events;
+        }
+      }
+      monitor_pending = true;
+      co_await sim::delay(Time::ms(5));
+    }
+  }
+
+  /// Schedules the fault: classic path at elaboration, fork path right
+  /// after restore with the injection's full-replay sequence number pinned.
+  void inject(const FaultDescriptor& fault, bool pinned, std::uint64_t pinned_seq) {
+    if (pinned) hub.set_pinned_seq(pinned_seq);
+    hub.schedule(fault);
+  }
+
+  void capture(AccEpochSnapshot& e) const {
+    e.kernel = kernel.snapshot();
+    e.os = os.snapshot();
+    e.plant = plant;
+    e.noise = noise;
+    e.radar = radar.snapshot();
+    e.commanded_accel = commanded_accel;
+    e.last_command = last_command;
+    e.stale_command_events = stale_command_events;
+    e.plant_step_pending = plant_step_pending;
+    e.leader_phase = leader_phase;
+    e.monitor_pending = monitor_pending;
+  }
+
+  void restore(const AccEpochSnapshot& e) {
+    kernel.restore(e.kernel);
+    os.restore(e.os);
+    plant = e.plant;
+    noise = e.noise;
+    radar.restore(e.radar);
+    commanded_accel = e.commanded_accel;
+    last_command = e.last_command;
+    stale_command_events = e.stale_command_events;
+    plant_step_pending = e.plant_step_pending;
+    leader_phase = e.leader_phase;
+    monitor_pending = e.monitor_pending;
+  }
+
+  [[nodiscard]] Observation observe(sim::RunStatus status) {
+    Observation obs;
+    // See CapsConfig::run_budget: a tripped budget is a livelocked run.
+    obs.completed = !status.budget_exhausted();
+    obs.hazard = plant.min_gap <= 0.0;
+    obs.deadline_misses = os.total_deadline_misses();
+    // Detections: the scheduler's deadline monitor plus the actuator's
+    // stale-command fallback events.
+    obs.detected = os.total_deadline_misses() + stale_command_events;
+    support::Crc32 sig;
+    sig.update_u64(static_cast<std::uint64_t>(std::llround(plant.min_gap * 10.0)));
+    sig.update_u64(static_cast<std::uint64_t>(std::llround(plant.ego_speed * 10.0)));
+    obs.output_signature = sig.value();
+    return obs;
+  }
+};
+
+}  // namespace
+
+AccScenario::AccScenario(AccConfig config) : config_(config) {}
+AccScenario::~AccScenario() = default;
+
 std::vector<FaultType> AccScenario::fault_types() const {
   return {FaultType::kExecutionSlowdown, FaultType::kTaskKill, FaultType::kSensorOffset,
           FaultType::kSensorStuck};
 }
 
 Observation AccScenario::run(const FaultDescriptor* fault_in, std::uint64_t seed) {
-  sim::Kernel kernel;
-  ecu::OsScheduler os(kernel, "acc_os");
-
-  Plant plant{config_.initial_gap_m, config_.ego_speed_mps, 0.0,
-              config_.ego_speed_mps, 0.0, config_.initial_gap_m};
-
-  // Radar distance sensor with seed-dependent measurement noise.
-  support::Xorshift noise(seed);
-  fault::AnalogChannel radar([&plant, &noise] { return plant.gap_m + noise.normal(0.0, 0.05); });
-
-  // Plant integration process (the physical world does not miss deadlines).
-  kernel.spawn("plant", [](Plant& plant) -> sim::Coro {
-    for (;;) {
-      co_await sim::delay(Time::ms(5));
-      plant.step(0.005);
+  if (!snapshot_replay()) return run_full(fault_in, seed, /*capture_epochs=*/false);
+  if (fault_in == nullptr) return run_full(nullptr, seed, /*capture_epochs=*/true);
+  if (cache_ == nullptr || !cache_->valid || cache_->seed != seed) {
+    (void)run_full(nullptr, seed, /*capture_epochs=*/true);
+  }
+  const AccEpochSnapshot* best = nullptr;
+  if (cache_ != nullptr && cache_->valid && cache_->seed == seed) {
+    for (const AccEpochSnapshot& e : cache_->epochs) {
+      if (e.kernel.now < fault_in->inject_at) best = &e;
     }
-  }(plant));
+  }
+  if (best == nullptr) return run_full(fault_in, seed, /*capture_epochs=*/false);
+  return run_forked(*best, *fault_in, seed);
+}
 
-  // Leader braking event.
-  kernel.spawn("leader", [](Plant& plant, const AccConfig cfg) -> sim::Coro {
-    co_await sim::delay(cfg.leader_brake_at);
-    plant.leader_accel = -cfg.leader_brake_mps2;
-    co_await sim::delay(cfg.leader_brake_duration);
-    plant.leader_accel = 0.0;
-  }(plant, config_));
+Observation AccScenario::run_full(const FaultDescriptor* fault_in, std::uint64_t seed,
+                                  bool capture_epochs) {
+  AccSystem sys(config_, seed);
+  if (fault_in != nullptr) sys.inject(*fault_in, /*pinned=*/false, 0);
 
-  // Control task: constant-time-gap ACC law, outputs written at completion.
-  const double desired_gap = 0.9 * config_.ego_speed_mps;  // ~0.9s time gap
-  double commanded_accel = 0.0;
-  Time last_command = Time::zero();
-  const auto control_task = os.add_task(
-      {.name = "acc_control",
-       .period = config_.control_period,
-       .wcet = config_.control_wcet,
-       .priority = 5,
-       .body = [&] {
-         const double measured_gap = radar.read();
-         const double gap_error = measured_gap - desired_gap;
-         const double closing = plant.leader_speed - plant.ego_speed;  // via tracker
-         commanded_accel = std::clamp(0.25 * gap_error + 0.8 * closing, -8.0, 2.0);
-         plant.ego_accel = commanded_accel;
-         last_command = kernel.now();
-       }});
-
-  // Actuator freshness monitor: commands older than 3 control periods are
-  // considered stale and the actuator falls back to coasting — the standard
-  // defensive measure that turns a *late* (but correct) command into a
-  // detected timing failure ("the right value at the wrong time").
-  std::uint64_t stale_command_events = 0;
-  const Time staleness_limit = config_.control_period * 3;
-  kernel.spawn("actuator_monitor", [](sim::Kernel& kernel, Plant& plant, Time& last_command,
-                                      Time limit, std::uint64_t& stale_events) -> sim::Coro {
-    for (;;) {
-      co_await sim::delay(Time::ms(5));
-      if (kernel.now() - last_command > limit && plant.ego_accel != 0.0) {
-        plant.ego_accel = 0.0;  // coast
-        ++stale_events;
+  sim::RunStatus status{};
+  if (capture_epochs) {
+    if (cache_ == nullptr) cache_ = std::make_unique<AccReplayCache>();
+    cache_->valid = false;
+    cache_->seed = seed;
+    cache_->epochs.clear();
+    cache_->epochs.reserve(kReplayEpochs - 1);
+    bool aborted = false;
+    for (std::size_t k = 1; k < kReplayEpochs; ++k) {
+      status = sys.kernel.run(config_.duration * k / kReplayEpochs, config_.run_budget);
+      if (status.budget_exhausted()) {
+        cache_->epochs.clear();
+        aborted = true;
+        break;
       }
+      cache_->epochs.emplace_back();
+      sys.capture(cache_->epochs.back());
     }
-  }(kernel, plant, last_command, staleness_limit, stale_command_events));
-  // Background diagnostics load.
-  os.add_task({.name = "diagnostics",
-               .period = Time::ms(100),
-               .wcet = Time::ms(12),
-               .priority = 1,
-               .body = [] {}});
-  (void)control_task;
+    if (!aborted) {
+      status = sys.kernel.run(config_.duration, config_.run_budget);
+      cache_->valid = !status.budget_exhausted();
+    }
+  } else {
+    status = sys.kernel.run(config_.duration, config_.run_budget);
+  }
 
-  fault::InjectorHub hub(kernel);
-  hub.bind_os(os);
-  hub.bind_sensor(radar);
-  if (fault_in != nullptr) hub.schedule(*fault_in);
+  last_min_gap_ = sys.plant.min_gap;
+  last_misses_ = sys.os.total_deadline_misses();
+  return sys.observe(status);
+}
 
-  const sim::RunStatus status = kernel.run(config_.duration, config_.run_budget);
-
-  last_min_gap_ = plant.min_gap;
-  last_misses_ = os.total_deadline_misses();
-  Observation obs;
-  // See CapsConfig::run_budget: a tripped budget is a livelocked run.
-  obs.completed = !status.budget_exhausted();
-  obs.hazard = plant.min_gap <= 0.0;
-  obs.deadline_misses = os.total_deadline_misses();
-  // Detections: the scheduler's deadline monitor plus the actuator's
-  // stale-command fallback events.
-  obs.detected = os.total_deadline_misses() + stale_command_events;
-  support::Crc32 sig;
-  sig.update_u64(static_cast<std::uint64_t>(std::llround(plant.min_gap * 10.0)));
-  sig.update_u64(static_cast<std::uint64_t>(std::llround(plant.ego_speed * 10.0)));
-  obs.output_signature = sig.value();
-  return obs;
+Observation AccScenario::run_forked(const AccEpochSnapshot& epoch, const FaultDescriptor& fault,
+                                    std::uint64_t seed) {
+  AccSystem sys(config_, seed);
+  sys.restore(epoch);
+  sys.inject(fault, /*pinned=*/true, epoch.kernel.init_seq_mark);
+  const sim::RunStatus status = sys.kernel.run(config_.duration, config_.run_budget);
+  last_min_gap_ = sys.plant.min_gap;
+  last_misses_ = sys.os.total_deadline_misses();
+  return sys.observe(status);
 }
 
 }  // namespace vps::apps

@@ -8,6 +8,7 @@
 /// degrade braking response and can end in a collision.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "vps/fault/scenario.hpp"
@@ -29,10 +30,16 @@ struct AccConfig {
   sim::RunBudget run_budget{.max_deltas_without_advance = std::uint64_t{1} << 20};
 };
 
+/// Opaque per-seed golden epoch snapshots for snapshot-and-fork replay
+/// (defined in acc.cpp; see the CAPS twin for the pattern).
+struct AccEpochSnapshot;
+struct AccReplayCache;
+
 class AccScenario final : public fault::Scenario {
  public:
-  explicit AccScenario(AccConfig config) : config_(config) {}
+  explicit AccScenario(AccConfig config);
   AccScenario() : AccScenario(AccConfig{}) {}
+  ~AccScenario() override;
 
   [[nodiscard]] std::string name() const override { return "acc_follow_brake"; }
   [[nodiscard]] sim::Time duration() const override { return config_.duration; }
@@ -45,7 +52,13 @@ class AccScenario final : public fault::Scenario {
   [[nodiscard]] std::uint64_t last_deadline_misses() const noexcept { return last_misses_; }
 
  private:
+  fault::Observation run_full(const fault::FaultDescriptor* fault, std::uint64_t seed,
+                              bool capture_epochs);
+  fault::Observation run_forked(const AccEpochSnapshot& epoch,
+                                const fault::FaultDescriptor& fault, std::uint64_t seed);
+
   AccConfig config_;
+  std::unique_ptr<AccReplayCache> cache_;
   double last_min_gap_ = 0.0;
   std::uint64_t last_misses_ = 0;
 };

@@ -134,18 +134,38 @@ class SensorNode final : public can::CanNode {
     }
   }
 
+  // --- snapshot-and-fork replay -------------------------------------------
+  // Only the workload-visible state is imaged. rng_ is deliberately NOT
+  // part of it: the stream is fault-salted per replay and never consumed
+  // during the golden prefix (only set_corrupting() draws from it), so a
+  // forked twin keeps its freshly constructed generator.
+  [[nodiscard]] std::uint8_t counter() const noexcept { return counter_; }
+  [[nodiscard]] bool sample_pending() const noexcept { return sample_pending_; }
+  void restore_state(std::uint8_t counter, bool sample_pending) noexcept {
+    counter_ = counter;
+    sample_pending_ = sample_pending;
+  }
+
  private:
+  // Restore-safe shape (see DESIGN.md "Replay engine"): the sample runs at
+  // loop top gated on sample_pending_, so a restored fresh coroutine resumed
+  // by the pending timed entry emits exactly the sample the original would
+  // have emitted after its await.
   [[nodiscard]] sim::Coro sample_loop() {
     for (;;) {
+      if (sample_pending_) {
+        sample_pending_ = false;
+        const double g = channel_.read();
+        const auto value = static_cast<std::uint8_t>(std::clamp(g * kCountsPerG, 0.0, 255.0));
+        counter_ = static_cast<std::uint8_t>((counter_ + 1) & 0xFF);
+        std::uint8_t payload[3] = {value, static_cast<std::uint8_t>(~value), counter_};
+        if (corrupting_) payload[corrupt_byte_] = corrupt_value_;
+        can::CanFrame frame = can::CanFrame::make(kAccelFrameId, payload);
+        if (corrupting_) frame.poison_id = poison_id_;
+        bus_.submit(*this, frame);
+      }
+      sample_pending_ = true;
       co_await sim::delay(Time::ms(1));
-      const double g = channel_.read();
-      const auto value = static_cast<std::uint8_t>(std::clamp(g * kCountsPerG, 0.0, 255.0));
-      counter_ = static_cast<std::uint8_t>((counter_ + 1) & 0xFF);
-      std::uint8_t payload[3] = {value, static_cast<std::uint8_t>(~value), counter_};
-      if (corrupting_) payload[corrupt_byte_] = corrupt_value_;
-      can::CanFrame frame = can::CanFrame::make(kAccelFrameId, payload);
-      if (corrupting_) frame.poison_id = poison_id_;
-      bus_.submit(*this, frame);
     }
   }
 
@@ -153,6 +173,7 @@ class SensorNode final : public can::CanNode {
   fault::AnalogChannel& channel_;
   support::Xorshift rng_;
   std::uint8_t counter_ = 0;
+  bool sample_pending_ = false;
   bool corrupting_ = false;
   std::uint64_t poison_id_ = 0;
   std::size_t corrupt_byte_ = 0;
@@ -160,6 +181,223 @@ class SensorNode final : public can::CanNode {
 };
 
 }  // namespace
+
+/// One quiescent golden-run snapshot: everything a forked replay must
+/// overlay onto a freshly built (shape-identical) system. Plain data only —
+/// the cache outlives any individual system instance.
+struct CapsEpochSnapshot {
+  sim::KernelSnapshot kernel;
+  can::CanBus::Snapshot bus;
+  ecu::EcuPlatform::Snapshot airbag;
+  support::Xorshift noise_rng{0};
+  fault::AnalogChannel::Snapshot accel;
+  std::uint8_t sensor_counter = 0;
+  bool sensor_sample_pending = false;
+  sim::Time deploy_time = sim::Time::max();
+};
+
+/// Golden epoch snapshots for one seed. The golden prefix is identical for
+/// every fault (the only fault-dependent pre-injection state, the sensor
+/// corruption stream, is excluded from the images), so one segmented golden
+/// run serves every forked replay of the campaign.
+struct CapsReplayCache {
+  std::uint64_t seed = 0;
+  bool valid = false;
+  std::vector<CapsEpochSnapshot> epochs;  ///< quiescent at epochs[i].kernel.now, increasing
+};
+
+namespace {
+
+/// Number of segments the golden run is cut into; interior boundaries
+/// (1..kReplayEpochs-1) each yield a snapshot, so a late injection forks
+/// from at most 1/kReplayEpochs of the run away.
+constexpr std::size_t kReplayEpochs = 8;
+
+[[nodiscard]] constexpr std::uint64_t fault_salt_of(const FaultDescriptor* fault) noexcept {
+  return fault != nullptr ? fault->id * 0x9E3779B97F4A7C15ULL : 0;
+}
+
+/// The complete CAPS system VP, construction order identical to the
+/// pre-refactor inline build (CAN bus, airbag platform + firmware, analog
+/// front end, sensor node, injector hub, provenance tracker) — ordinal
+/// identity of kernel processes/events is what lets a fork overlay a
+/// golden snapshot onto a fresh instance.
+struct CapsSystem {
+  sim::Kernel kernel;
+  can::CanBus bus;
+  ecu::EcuPlatform airbag;
+  bool wired;  ///< sequencing point: attach_can + firmware load before the sensor node
+  support::Xorshift noise_rng;
+  fault::AnalogChannel accel;
+  support::Xorshift sensor_rng;
+  SensorNode sensor;
+  Time deploy_time = Time::max();
+  fault::InjectorHub hub;
+  obs::ProvenanceTracker tracker;
+  obs::ProvenanceTracker* prov = nullptr;
+
+  CapsSystem(const CapsConfig& cfg, std::uint64_t seed, std::uint64_t fault_salt)
+      : bus(kernel, "can0", 500000),
+        airbag(kernel, "airbag", platform_config(cfg)),
+        wired((airbag.attach_can(bus),
+               airbag.load_program(cfg.protected_link ? kProtectedFirmware : kUnprotectedFirmware),
+               true)),
+        noise_rng(seed),
+        // Physical crash pulse: low-g driving noise, then a 35g pulse.
+        accel([this, cfg]() {
+          const Time t = kernel.now();
+          double g = 1.0 + noise_rng.uniform(0.0, 1.0);  // road noise
+          if (cfg.crash && t >= cfg.crash_time && t < cfg.crash_time + Time::ms(4)) g = 35.0;
+          return g;
+        }),
+        // The sensor-node stream only feeds fault-choice randomness (which
+        // buffer byte sticks, at which value), so mixing the fault id in
+        // keeps golden runs untouched while giving every injection its own
+        // corruption pattern.
+        sensor_rng(seed ^ 0xABCDEF ^ fault_salt),
+        sensor(kernel, bus, accel, sensor_rng.fork()),
+        hub(airbag),
+        tracker(kernel) {
+    // Deployment monitor.
+    airbag.gpio().out().add_commit_hook([this](const std::uint32_t& v) {
+      if (v != 0 && deploy_time == Time::max()) deploy_time = kernel.now();
+    });
+    hub.bind_can(bus);
+    hub.bind_sensor(accel);
+    // Optional end-to-end provenance: one tracker wired through every layer
+    // a fault effect can cross, attached before injection so the minted
+    // token is live at first contact. The firmware's link checks announce
+    // themselves by incrementing the counters at 0x2000/0x2004, so a write
+    // watch on those words timestamps the firmware-level detection instant.
+    if (cfg.provenance) {
+      prov = &tracker;
+      bus.set_provenance(prov);
+      airbag.bus().set_provenance(prov);
+      airbag.ram().set_provenance(prov);
+      airbag.cpu().set_provenance(prov);
+      hub.set_provenance(prov);
+      prov->watch_signal(airbag.gpio().out(), "sig:airbag.squib");
+      obs::ProvenanceTracker* p = prov;
+      airbag.ram().add_write_watch(0x2000,
+                                   [p](std::uint32_t) { p->detect_all("fw.link_check:airbag"); });
+      airbag.ram().add_write_watch(0x2004,
+                                   [p](std::uint32_t) { p->detect_all("fw.alive_check:airbag"); });
+    }
+  }
+
+  [[nodiscard]] static ecu::EcuPlatform::Config platform_config(const CapsConfig& cfg) {
+    ecu::EcuPlatform::Config pc;
+    pc.ecc = cfg.ecc;
+    pc.cpu.quantum = Time::us(10);
+    return pc;
+  }
+
+  /// Schedules the fault. On the classic path this runs during elaboration
+  /// (kernel at t=0); on the fork path it runs right after restore, with
+  /// `pinned_seq` carrying the timed-queue sequence number the injection
+  /// holds in a full replay (the golden snapshot's init_seq_mark) so the
+  /// suffix interleaves identically.
+  void inject(const CapsConfig& cfg, FaultDescriptor fault, bool pinned,
+              std::uint64_t pinned_seq) {
+    (void)cfg;
+    // Memory faults are drawn over the *occupied* image (firmware + data),
+    // not the whole address space: flipping bits in never-read RAM tells a
+    // campaign nothing (standard occupancy weighting).
+    if (fault.type == FaultType::kMemoryBitFlip || fault.type == FaultType::kMemoryCodewordFlip ||
+        fault.type == FaultType::kBusErrorInjection) {
+      fault.address %= 0x200;  // the firmware image region
+    }
+    if (fault.type == FaultType::kCanFrameCorruption &&
+        fault.persistence == fault::Persistence::kIntermittent) {
+      // Source-side corruption: a TX-buffer byte sticks at garbage from the
+      // injection instant onwards — exactly what link protection must catch
+      // (the wire CRC is computed over the already-corrupted buffer). This
+      // path bypasses the hub, so the provenance token is minted here.
+      const Time delay =
+          fault.inject_at > kernel.now() ? fault.inject_at - kernel.now() : Time::zero();
+      kernel.spawn("caps.sensor_fault",
+                   [](SensorNode& s, obs::ProvenanceTracker* p, FaultDescriptor f, Time delay,
+                      bool pinned, std::uint64_t seq) -> sim::Coro {
+                     if (pinned) {
+                       co_await sim::delay_pinned(delay, seq);
+                     } else {
+                       co_await sim::delay(delay);
+                     }
+                     std::uint64_t token = 0;
+                     if (p != nullptr) {
+                       token = fault::provenance_token(f);
+                       p->begin_fault(token,
+                                      std::string(fault::to_string(f.type)) + "#" +
+                                          std::to_string(f.id),
+                                      std::string("inject:") + fault::to_string(f.type));
+                     }
+                     s.set_corrupting(true, token);
+                   }(sensor, prov, fault, delay, pinned, pinned_seq));
+    } else {
+      if (pinned) hub.set_pinned_seq(pinned_seq);
+      hub.schedule(fault);
+    }
+  }
+
+  void capture(CapsEpochSnapshot& e) const {
+    e.kernel = kernel.snapshot();
+    e.bus = bus.snapshot();
+    e.airbag = airbag.snapshot();
+    e.noise_rng = noise_rng;
+    e.accel = accel.snapshot();
+    e.sensor_counter = sensor.counter();
+    e.sensor_sample_pending = sensor.sample_pending();
+    e.deploy_time = deploy_time;
+  }
+
+  void restore(const CapsEpochSnapshot& e) {
+    kernel.restore(e.kernel);
+    bus.restore(e.bus);
+    airbag.restore(e.airbag);
+    noise_rng = e.noise_rng;
+    accel.restore(e.accel);
+    sensor.restore_state(e.sensor_counter, e.sensor_sample_pending);
+    deploy_time = e.deploy_time;
+  }
+
+  [[nodiscard]] Observation observe(const CapsConfig& cfg, sim::RunStatus status) {
+    Observation obs;
+    // A tripped watchdog budget means the model livelocked under the fault:
+    // the run did not complete and classify() reports it as kTimeout.
+    obs.completed = !status.budget_exhausted();
+    const bool deployed = deploy_time != Time::max();
+
+    if (cfg.crash) {
+      const Time deadline = cfg.crash_time + cfg.deploy_deadline;
+      obs.hazard = !deployed || deploy_time > deadline;  // failed/late deployment
+    } else {
+      obs.hazard = deployed;  // inadvertent deployment
+    }
+
+    // Functional output signature: deployment decision + time bucket (1 ms).
+    support::Crc32 sig;
+    sig.update_u64(deployed ? 1 : 0);
+    sig.update_u64(deployed ? deploy_time.picoseconds() / Time::ms(1).picoseconds() : 0);
+    obs.output_signature = sig.value();
+
+    // Detections: firmware integrity/stale counters, watchdog resets,
+    // uncorrectable ECC, CPU hardware faults.
+    const std::uint32_t integrity_errors = airbag.ram().peek32(0x2000);
+    const std::uint32_t stale_errors = airbag.ram().peek32(0x2004);
+    obs.detected = integrity_errors + stale_errors + airbag.reset_count() +
+                   airbag.ram().uncorrectable_errors() +
+                   (airbag.cpu().state() == hw::Cpu::State::kFaulted ? 1 : 0);
+    obs.corrected = airbag.ram().corrected_errors() + bus.stats().retransmissions;
+    obs.resets = airbag.reset_count();
+    if (prov != nullptr) obs.provenance = prov->faults();
+    return obs;
+  }
+};
+
+}  // namespace
+
+CapsScenario::CapsScenario(CapsConfig config) : config_(config) {}
+CapsScenario::~CapsScenario() = default;
 
 std::string CapsScenario::name() const {
   std::string n = "caps_";
@@ -176,131 +414,65 @@ std::vector<FaultType> CapsScenario::fault_types() const {
 }
 
 Observation CapsScenario::run(const FaultDescriptor* fault_in, std::uint64_t seed) {
-  sim::Kernel kernel;
-  can::CanBus bus(kernel, "can0", 500000);
-
-  ecu::EcuPlatform::Config pc;
-  pc.ecc = config_.ecc;
-  pc.cpu.quantum = Time::us(10);
-  ecu::EcuPlatform airbag(kernel, "airbag", pc);
-  airbag.attach_can(bus);
-  airbag.load_program(config_.protected_link ? kProtectedFirmware : kUnprotectedFirmware);
-
-  // Physical crash pulse: low-g driving noise, then a 35g pulse.
-  support::Xorshift noise_rng(seed);
-  const CapsConfig cfg = config_;
-  fault::AnalogChannel accel([&kernel, &noise_rng, cfg]() {
-    const Time t = kernel.now();
-    double g = 1.0 + noise_rng.uniform(0.0, 1.0);  // road noise
-    if (cfg.crash && t >= cfg.crash_time && t < cfg.crash_time + Time::ms(4)) g = 35.0;
-    return g;
-  });
-
-  // The sensor-node stream only feeds fault-choice randomness (which buffer
-  // byte sticks, at which value), so mixing the fault id in keeps golden
-  // runs untouched while giving every injection its own corruption pattern.
-  const std::uint64_t fault_salt =
-      fault_in != nullptr ? fault_in->id * 0x9E3779B97F4A7C15ULL : 0;
-  support::Xorshift sensor_rng(seed ^ 0xABCDEF ^ fault_salt);
-  SensorNode sensor(kernel, bus, accel, sensor_rng.fork());
-
-  // Deployment monitor.
-  Time deploy_time = Time::max();
-  airbag.gpio().out().add_commit_hook([&](const std::uint32_t& v) {
-    if (v != 0 && deploy_time == Time::max()) deploy_time = kernel.now();
-  });
-
-  // Fault injection.
-  fault::InjectorHub hub(airbag);
-  hub.bind_can(bus);
-  hub.bind_sensor(accel);
-
-  // Optional end-to-end provenance: one tracker wired through every layer a
-  // fault effect can cross, attached before injection so the minted token is
-  // live at first contact. The firmware's link checks announce themselves by
-  // incrementing the counters at 0x2000/0x2004, so a write watch on those
-  // words timestamps the firmware-level detection instant.
-  obs::ProvenanceTracker tracker(kernel);
-  obs::ProvenanceTracker* prov = config_.provenance ? &tracker : nullptr;
-  if (prov != nullptr) {
-    bus.set_provenance(prov);
-    airbag.bus().set_provenance(prov);
-    airbag.ram().set_provenance(prov);
-    airbag.cpu().set_provenance(prov);
-    hub.set_provenance(prov);
-    prov->watch_signal(airbag.gpio().out(), "sig:airbag.squib");
-    airbag.ram().add_write_watch(0x2000,
-                                 [prov](std::uint32_t) { prov->detect_all("fw.link_check:airbag"); });
-    airbag.ram().add_write_watch(0x2004,
-                                 [prov](std::uint32_t) { prov->detect_all("fw.alive_check:airbag"); });
+  if (!snapshot_replay()) return run_full(fault_in, seed, /*capture_epochs=*/false);
+  // Golden runs are segmented to (re)fill the epoch cache as a side effect —
+  // the campaign drivers always run golden first, so forks hit a warm cache.
+  if (fault_in == nullptr) return run_full(nullptr, seed, /*capture_epochs=*/true);
+  if (cache_ == nullptr || !cache_->valid || cache_->seed != seed) {
+    (void)run_full(nullptr, seed, /*capture_epochs=*/true);
   }
-
-  if (fault_in != nullptr) {
-    FaultDescriptor fault = *fault_in;
-    // Memory faults are drawn over the *occupied* image (firmware + data),
-    // not the whole address space: flipping bits in never-read RAM tells a
-    // campaign nothing (standard occupancy weighting).
-    if (fault.type == FaultType::kMemoryBitFlip || fault.type == FaultType::kMemoryCodewordFlip ||
-        fault.type == FaultType::kBusErrorInjection) {
-      fault.address %= 0x200;  // the firmware image region
-    }
-    if (fault.type == FaultType::kCanFrameCorruption &&
-        fault.persistence == fault::Persistence::kIntermittent) {
-      // Source-side corruption: a TX-buffer byte sticks at garbage from the
-      // injection instant onwards — exactly what link protection must catch
-      // (the wire CRC is computed over the already-corrupted buffer). This
-      // path bypasses the hub, so the provenance token is minted here.
-      kernel.spawn("caps.sensor_fault",
-                   [](SensorNode& s, obs::ProvenanceTracker* p, FaultDescriptor f) -> sim::Coro {
-                     co_await sim::delay(f.inject_at);
-                     std::uint64_t token = 0;
-                     if (p != nullptr) {
-                       token = fault::provenance_token(f);
-                       p->begin_fault(token,
-                                      std::string(fault::to_string(f.type)) + "#" +
-                                          std::to_string(f.id),
-                                      std::string("inject:") + fault::to_string(f.type));
-                     }
-                     s.set_corrupting(true, token);
-                   }(sensor, prov, fault));
-    } else {
-      hub.schedule(fault);
+  const CapsEpochSnapshot* best = nullptr;
+  if (cache_ != nullptr && cache_->valid && cache_->seed == seed) {
+    // Largest epoch strictly before the injection instant: everything at
+    // exactly inject_at must still execute *after* the injection entry.
+    for (const CapsEpochSnapshot& e : cache_->epochs) {
+      if (e.kernel.now < fault_in->inject_at) best = &e;
     }
   }
+  if (best == nullptr) return run_full(fault_in, seed, /*capture_epochs=*/false);
+  return run_forked(*best, *fault_in, seed);
+}
 
-  const sim::RunStatus status = kernel.run(config_.duration, config_.run_budget);
+Observation CapsScenario::run_full(const FaultDescriptor* fault_in, std::uint64_t seed,
+                                   bool capture_epochs) {
+  CapsSystem sys(config_, seed, fault_salt_of(fault_in));
+  if (fault_in != nullptr) sys.inject(config_, *fault_in, /*pinned=*/false, 0);
 
-  // --- observation ---------------------------------------------------------
-  Observation obs;
-  // A tripped watchdog budget means the model livelocked under the fault:
-  // the run did not complete and classify() reports it as kTimeout.
-  obs.completed = !status.budget_exhausted();
-  const bool deployed = deploy_time != Time::max();
-
-  if (config_.crash) {
-    const Time deadline = config_.crash_time + config_.deploy_deadline;
-    obs.hazard = !deployed || deploy_time > deadline;  // failed/late deployment
+  sim::RunStatus status{};
+  if (capture_epochs) {
+    if (cache_ == nullptr) cache_ = std::make_unique<CapsReplayCache>();
+    cache_->valid = false;
+    cache_->seed = seed;
+    cache_->epochs.clear();
+    cache_->epochs.reserve(kReplayEpochs - 1);
+    bool aborted = false;
+    for (std::size_t k = 1; k < kReplayEpochs; ++k) {
+      status = sys.kernel.run(config_.duration * k / kReplayEpochs, config_.run_budget);
+      if (status.budget_exhausted()) {  // a golden livelock: no cache, report as-is
+        cache_->epochs.clear();
+        aborted = true;
+        break;
+      }
+      cache_->epochs.emplace_back();
+      sys.capture(cache_->epochs.back());
+    }
+    if (!aborted) {
+      status = sys.kernel.run(config_.duration, config_.run_budget);
+      cache_->valid = !status.budget_exhausted();
+    }
   } else {
-    obs.hazard = deployed;  // inadvertent deployment
+    status = sys.kernel.run(config_.duration, config_.run_budget);
   }
+  return sys.observe(config_, status);
+}
 
-  // Functional output signature: deployment decision + time bucket (1 ms).
-  support::Crc32 sig;
-  sig.update_u64(deployed ? 1 : 0);
-  sig.update_u64(deployed ? deploy_time.picoseconds() / Time::ms(1).picoseconds() : 0);
-  obs.output_signature = sig.value();
-
-  // Detections: firmware integrity/stale counters, watchdog resets,
-  // uncorrectable ECC, CPU hardware faults.
-  const std::uint32_t integrity_errors = airbag.ram().peek32(0x2000);
-  const std::uint32_t stale_errors = airbag.ram().peek32(0x2004);
-  obs.detected = integrity_errors + stale_errors + airbag.reset_count() +
-                 airbag.ram().uncorrectable_errors() +
-                 (airbag.cpu().state() == hw::Cpu::State::kFaulted ? 1 : 0);
-  obs.corrected = airbag.ram().corrected_errors() + bus.stats().retransmissions;
-  obs.resets = airbag.reset_count();
-  if (prov != nullptr) obs.provenance = prov->faults();
-  return obs;
+Observation CapsScenario::run_forked(const CapsEpochSnapshot& epoch, const FaultDescriptor& fault,
+                                     std::uint64_t seed) {
+  CapsSystem sys(config_, seed, fault_salt_of(&fault));
+  sys.restore(epoch);
+  sys.inject(config_, fault, /*pinned=*/true, epoch.kernel.init_seq_mark);
+  const sim::RunStatus status = sys.kernel.run(config_.duration, config_.run_budget);
+  return sys.observe(config_, status);
 }
 
 }  // namespace vps::apps

@@ -11,6 +11,7 @@
 /// link protection (complement + alive counter) on/off and RAM ECC on/off.
 
 #include <cstdint>
+#include <memory>
 #include <string>
 
 #include "vps/fault/scenario.hpp"
@@ -44,9 +45,15 @@ struct CapsConfig {
   sim::RunBudget run_budget{.max_deltas_without_advance = std::uint64_t{1} << 20};
 };
 
+/// Opaque per-seed golden epoch snapshots for snapshot-and-fork replay
+/// (defined in caps.cpp; the snapshot types live with the system model).
+struct CapsEpochSnapshot;
+struct CapsReplayCache;
+
 class CapsScenario final : public fault::Scenario {
  public:
-  explicit CapsScenario(CapsConfig config) : config_(config) {}
+  explicit CapsScenario(CapsConfig config);
+  ~CapsScenario() override;
 
   [[nodiscard]] std::string name() const override;
   [[nodiscard]] sim::Time duration() const override { return config_.duration; }
@@ -57,7 +64,20 @@ class CapsScenario final : public fault::Scenario {
   [[nodiscard]] const CapsConfig& config() const noexcept { return config_; }
 
  private:
+  /// Classic path: build a fresh system, inject, run t=0..duration. With
+  /// `capture_epochs` the golden run is segmented and quiescent snapshots
+  /// are cached for later forks — bit-identical either way (segmentation
+  /// only changes where run() returns, never the event order).
+  fault::Observation run_full(const fault::FaultDescriptor* fault, std::uint64_t seed,
+                              bool capture_epochs);
+  /// Fork path: rebuild the system shape, overlay the cached epoch state,
+  /// schedule the injection with its full-replay sequence number pinned and
+  /// execute only the divergent suffix.
+  fault::Observation run_forked(const CapsEpochSnapshot& epoch,
+                                const fault::FaultDescriptor& fault, std::uint64_t seed);
+
   CapsConfig config_;
+  std::unique_ptr<CapsReplayCache> cache_;
 };
 
 }  // namespace vps::apps

@@ -105,44 +105,53 @@ sim::Coro CanBus::recover(CanNode& node) {
   node.state_ = NodeState::kErrorActive;
 }
 
+// Written in snapshot-replayable form: the transmit state machine lives in
+// members (tx_phase_, tx_node_) and each completed wait is handled at the
+// top of the loop, so a fresh coroutine resumed from the body top after
+// Kernel::restore behaves exactly like the original resumed at its await.
+// The in-flight frame is recovered from the winner's queue front, which is
+// stable across the wire time (submit only appends; only this process pops).
 sim::Coro CanBus::run() {
   for (;;) {
-    CanNode* winner = arbitrate();
-    if (winner == nullptr) {
-      co_await submitted_;
-      continue;
-    }
-    const CanFrame frame = winner->tx_queue_.front();
-    co_await sim::delay(frame_time(frame));
+    if (tx_phase_ == TxPhase::kBackoff) {
+      // Error frame + suspend transmission window elapsed.
+      tx_phase_ = TxPhase::kIdle;
+      frame_done_.notify();
+    } else if (tx_phase_ == TxPhase::kTransmitting) {
+      tx_phase_ = TxPhase::kIdle;
+      CanNode* winner = nodes_[tx_node_];
+      const CanFrame frame = winner->tx_queue_.front();
 
-    const bool corrupted = force_error_ || (error_rate_ > 0.0 && rng_.chance(error_rate_));
-    force_error_ = false;
+      const bool corrupted = force_error_ || (error_rate_ > 0.0 && rng_.chance(error_rate_));
+      force_error_ = false;
 
-    if (corrupted) {
-      ++stats_.corrupted_frames;
-      if (provenance_ != nullptr && error_fault_id_ != 0) {
-        // Wire-level corruption: the fault touched the bus, and the CRC of
-        // every receiver detects it in the same slot (the frame is never
-        // delivered corrupted — CAN retransmits a clean copy).
-        provenance_->touch(error_fault_id_, "can:" + name());
-        provenance_->detect(error_fault_id_, "can.crc:" + name(), "can:" + name());
+      if (corrupted) {
+        ++stats_.corrupted_frames;
+        if (provenance_ != nullptr && error_fault_id_ != 0) {
+          // Wire-level corruption: the fault touched the bus, and the CRC of
+          // every receiver detects it in the same slot (the frame is never
+          // delivered corrupted — CAN retransmits a clean copy).
+          provenance_->touch(error_fault_id_, "can:" + name());
+          provenance_->detect(error_fault_id_, "can.crc:" + name(), "can:" + name());
+        }
+        if (probe_ != nullptr) {
+          probe_->mark("can", "crc_error:" + frame_label(frame).substr(4),
+                       {obs::TraceArg::number("id", static_cast<double>(frame.id)),
+                        obs::TraceArg::number("node", static_cast<double>(winner->index_))});
+        }
+        // CRC error: receivers signal an error frame, the transmitter backs
+        // off and retransmits. Error frame + suspend ≈ 17..31 bit times.
+        for (CanNode* node : nodes_) {
+          if (node == winner || node->state_ == NodeState::kBusOff) continue;
+          node->rec_ += 1;
+          if (node->rec_ > 127) node->state_ = NodeState::kErrorPassive;
+        }
+        bump_tx_error(*winner);
+        if (winner->state_ != NodeState::kBusOff) ++stats_.retransmissions;
+        tx_phase_ = TxPhase::kBackoff;
+        co_await sim::delay(bit_time_ * 23);
+        continue;
       }
-      if (probe_ != nullptr) {
-        probe_->mark("can", "crc_error:" + frame_label(frame).substr(4),
-                     {obs::TraceArg::number("id", static_cast<double>(frame.id)),
-                      obs::TraceArg::number("node", static_cast<double>(winner->index_))});
-      }
-      // CRC error: receivers signal an error frame, the transmitter backs
-      // off and retransmits. Error frame + suspend ≈ 17..31 bit times.
-      for (CanNode* node : nodes_) {
-        if (node == winner || node->state_ == NodeState::kBusOff) continue;
-        node->rec_ += 1;
-        if (node->rec_ > 127) node->state_ = NodeState::kErrorPassive;
-      }
-      bump_tx_error(*winner);
-      if (winner->state_ != NodeState::kBusOff) ++stats_.retransmissions;
-      co_await sim::delay(bit_time_ * 23);
-    } else {
       winner->tx_queue_.pop_front();
       if (winner->tec_ > 0) --winner->tec_;  // successful transmission decrements
       if (winner->tec_ <= 127 && winner->state_ == NodeState::kErrorPassive) {
@@ -168,8 +177,50 @@ sim::Coro CanBus::run() {
                         obs::TraceArg::number("dlc", static_cast<double>(frame.dlc)),
                         obs::TraceArg::number("node", static_cast<double>(winner->index_))});
       }
+      frame_done_.notify();
     }
-    frame_done_.notify();
+
+    CanNode* next = arbitrate();
+    if (next == nullptr) {
+      co_await submitted_;
+      continue;
+    }
+    tx_node_ = next->index_;
+    tx_phase_ = TxPhase::kTransmitting;
+    co_await sim::delay(frame_time(next->tx_queue_.front()));
+  }
+}
+
+CanBus::Snapshot CanBus::snapshot() const {
+  Snapshot s;
+  s.stats = stats_;
+  s.error_rate = error_rate_;
+  s.force_error = force_error_;
+  s.error_fault_id = error_fault_id_;
+  s.rng = rng_;
+  s.tx_phase = tx_phase_;
+  s.tx_node = tx_node_;
+  s.nodes.reserve(nodes_.size());
+  for (const CanNode* node : nodes_) {
+    s.nodes.push_back(Snapshot::NodeImage{node->state_, node->tec_, node->rec_, node->tx_queue_});
+  }
+  return s;
+}
+
+void CanBus::restore(const Snapshot& s) {
+  ensure(s.nodes.size() == nodes_.size(), "CanBus::restore: node count differs from snapshot");
+  stats_ = s.stats;
+  error_rate_ = s.error_rate;
+  force_error_ = s.force_error;
+  error_fault_id_ = s.error_fault_id;
+  rng_ = s.rng;
+  tx_phase_ = s.tx_phase;
+  tx_node_ = s.tx_node;
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    nodes_[i]->state_ = s.nodes[i].state;
+    nodes_[i]->tec_ = s.nodes[i].tec;
+    nodes_[i]->rec_ = s.nodes[i].rec;
+    nodes_[i]->tx_queue_ = s.nodes[i].tx_queue;
   }
 }
 

@@ -99,6 +99,31 @@ class CanBus final : public sim::Module {
   /// request; the node rejoins after 128 x 11 recessive bit times).
   void request_recovery(CanNode& node);
 
+  // --- snapshot-and-fork replay -------------------------------------------
+  /// Transmit state machine phase; exposed for snapshotting. The arbiter
+  /// process is written so its entire suspension state is (tx_phase_,
+  /// tx_node_) plus the node queues — see run() in bus.cpp.
+  enum class TxPhase : std::uint8_t { kIdle, kTransmitting, kBackoff };
+
+  struct Snapshot {
+    struct NodeImage {
+      NodeState state = NodeState::kErrorActive;
+      unsigned tec = 0;
+      unsigned rec = 0;
+      std::deque<CanFrame> tx_queue;
+    };
+    Stats stats;
+    double error_rate = 0.0;
+    bool force_error = false;
+    std::uint64_t error_fault_id = 0;
+    support::Xorshift rng{1};
+    TxPhase tx_phase = TxPhase::kIdle;
+    std::size_t tx_node = 0;
+    std::vector<NodeImage> nodes;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& s);
+
  private:
   [[nodiscard]] sim::Coro run();
   [[nodiscard]] sim::Coro recover(CanNode& node);
@@ -117,6 +142,8 @@ class CanBus final : public sim::Module {
   bool force_error_ = false;
   std::uint64_t error_fault_id_ = 0;  ///< fault attributed for injected corruption
   support::Xorshift rng_;
+  TxPhase tx_phase_ = TxPhase::kIdle;
+  std::size_t tx_node_ = 0;  ///< index of the node whose frame is on the wire
 };
 
 }  // namespace vps::can

@@ -76,68 +76,92 @@ void LinBus::set_error_rate(double probability, std::uint64_t seed, std::uint64_
   error_fault_id_ = fault_id;
 }
 
+// Written in snapshot-replayable form: the slot cursor and the pending-slot
+// flag live in members, so a fresh coroutine resumed from the body top after
+// Kernel::restore behaves exactly like the original resumed at its await.
+// The slot itself is re-read after the wire delay; add_slot only appends, so
+// the entry at slot_index_ is stable across the wait.
 sim::Coro LinBus::master_loop() {
-  std::size_t index = 0;
   for (;;) {
+    if (slot_pending_) {
+      slot_pending_ = false;
+      const Slot slot = schedule_[slot_index_];
+      ++slot_index_;
+      process_response(slot);
+      continue;
+    }
     if (schedule_.empty()) {
       co_await schedule_changed_;
       continue;
     }
-    if (index >= schedule_.size()) index = 0;
-    const Slot slot = schedule_[index];
-    ++index;
-
+    if (slot_index_ >= schedule_.size()) slot_index_ = 0;
     ++stats_.headers_sent;
-    co_await sim::delay(slot_time(slot));
+    slot_pending_ = true;
+    co_await sim::delay(slot_time(schedule_[slot_index_]));
+  }
+}
 
-    auto response = slot.publisher->publish(slot.frame_id);
-    if (!response.has_value()) {
-      ++stats_.silent_slots;  // no response: the slot elapses empty
-      if (probe_ != nullptr) {
-        probe_->mark("lin", slot_label("silent:", slot.frame_id),
-                     {obs::TraceArg::number("id", static_cast<double>(slot.frame_id))});
-      }
-      continue;
-    }
-    ensure(response->size() == slot.expected_bytes,
-           "LinBus: publisher returned wrong response length");
-
-    const std::uint8_t pid = lin_pid(slot.frame_id);
-    std::uint8_t checksum = lin_checksum(pid, *response);
-    if (error_rate_ > 0.0 && rng_.chance(error_rate_)) {
-      // Corrupt one random bit of the response or its checksum.
-      const std::size_t bit = rng_.index(8 * (response->size() + 1));
-      if (bit < 8 * response->size()) {
-        (*response)[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
-      } else {
-        checksum ^= static_cast<std::uint8_t>(1u << (bit % 8));
-      }
-    }
-
-    if (lin_checksum(pid, *response) != checksum) {
-      ++stats_.checksum_errors;  // receivers drop the response; no retry
-      if (provenance_ != nullptr && error_fault_id_ != 0) {
-        provenance_->touch(error_fault_id_, "lin:" + name());
-        provenance_->detect(error_fault_id_, "lin.checksum:" + name(), "lin:" + name());
-      }
-      if (probe_ != nullptr) {
-        probe_->mark("lin", slot_label("checksum_error:", slot.frame_id),
-                     {obs::TraceArg::number("id", static_cast<double>(slot.frame_id))});
-      }
-      continue;
-    }
-    ++stats_.responses_delivered;
+void LinBus::process_response(const Slot& slot) {
+  auto response = slot.publisher->publish(slot.frame_id);
+  if (!response.has_value()) {
+    ++stats_.silent_slots;  // no response: the slot elapses empty
     if (probe_ != nullptr) {
-      const Time wire = slot_time(slot);
-      probe_->record("lin", slot_label("lin:", slot.frame_id), probe_->kernel().now() - wire,
-                     wire,
-                     {obs::TraceArg::number("id", static_cast<double>(slot.frame_id)),
-                      obs::TraceArg::number("bytes", static_cast<double>(slot.expected_bytes))});
+      probe_->mark("lin", slot_label("silent:", slot.frame_id),
+                   {obs::TraceArg::number("id", static_cast<double>(slot.frame_id))});
     }
-    for (LinNode* node : nodes_) {
-      if (node != slot.publisher) node->on_frame(slot.frame_id, *response);
+    return;
+  }
+  ensure(response->size() == slot.expected_bytes,
+         "LinBus: publisher returned wrong response length");
+
+  const std::uint8_t pid = lin_pid(slot.frame_id);
+  std::uint8_t checksum = lin_checksum(pid, *response);
+  if (error_rate_ > 0.0 && rng_.chance(error_rate_)) {
+    // Corrupt one random bit of the response or its checksum.
+    const std::size_t bit = rng_.index(8 * (response->size() + 1));
+    if (bit < 8 * response->size()) {
+      (*response)[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    } else {
+      checksum ^= static_cast<std::uint8_t>(1u << (bit % 8));
     }
   }
+
+  if (lin_checksum(pid, *response) != checksum) {
+    ++stats_.checksum_errors;  // receivers drop the response; no retry
+    if (provenance_ != nullptr && error_fault_id_ != 0) {
+      provenance_->touch(error_fault_id_, "lin:" + name());
+      provenance_->detect(error_fault_id_, "lin.checksum:" + name(), "lin:" + name());
+    }
+    if (probe_ != nullptr) {
+      probe_->mark("lin", slot_label("checksum_error:", slot.frame_id),
+                   {obs::TraceArg::number("id", static_cast<double>(slot.frame_id))});
+    }
+    return;
+  }
+  ++stats_.responses_delivered;
+  if (probe_ != nullptr) {
+    const Time wire = slot_time(slot);
+    probe_->record("lin", slot_label("lin:", slot.frame_id), probe_->kernel().now() - wire,
+                   wire,
+                   {obs::TraceArg::number("id", static_cast<double>(slot.frame_id)),
+                    obs::TraceArg::number("bytes", static_cast<double>(slot.expected_bytes))});
+  }
+  for (LinNode* node : nodes_) {
+    if (node != slot.publisher) node->on_frame(slot.frame_id, *response);
+  }
+}
+
+LinBus::Snapshot LinBus::snapshot() const {
+  return Snapshot{stats_, error_rate_, error_fault_id_, rng_, slot_index_, slot_pending_};
+}
+
+void LinBus::restore(const Snapshot& s) {
+  stats_ = s.stats;
+  error_rate_ = s.error_rate;
+  error_fault_id_ = s.error_fault_id;
+  rng_ = s.rng;
+  slot_index_ = s.slot_index;
+  slot_pending_ = s.slot_pending;
 }
 
 }  // namespace vps::can

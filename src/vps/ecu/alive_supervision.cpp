@@ -29,27 +29,60 @@ void AliveSupervision::acknowledge(EntityId id) {
   e.reports_this_cycle = 0;
 }
 
+// Written in snapshot-replayable form: the completed cycle is processed at
+// the top of the loop (gated on cycle_elapsed_), so a fresh coroutine
+// resumed from the body top after Kernel::restore behaves exactly like the
+// original resumed at its delay.
 sim::Coro AliveSupervision::run() {
   for (;;) {
+    if (cycle_elapsed_) check_cycle();
+    cycle_elapsed_ = true;
     co_await sim::delay(cycle_);
-    for (EntityId id = 0; id < entities_.size(); ++id) {
-      Entity& e = entities_[id];
-      const bool ok = e.reports_this_cycle >= e.min_reports;
-      e.reports_this_cycle = 0;
-      if (ok) {
-        e.consecutive_bad_cycles = 0;
-        continue;
+  }
+}
+
+void AliveSupervision::check_cycle() {
+  for (EntityId id = 0; id < entities_.size(); ++id) {
+    Entity& e = entities_[id];
+    const bool ok = e.reports_this_cycle >= e.min_reports;
+    e.reports_this_cycle = 0;
+    if (ok) {
+      e.consecutive_bad_cycles = 0;
+      continue;
+    }
+    if (++e.consecutive_bad_cycles >= escalate_after_ && !e.failed) {
+      e.failed = true;
+      ++failures_;
+      if (provenance_ != nullptr) {
+        provenance_->detect_all("wdgm:" + name() + ":" + e.name);
       }
-      if (++e.consecutive_bad_cycles >= escalate_after_ && !e.failed) {
-        e.failed = true;
-        ++failures_;
-        if (provenance_ != nullptr) {
-          provenance_->detect_all("wdgm:" + name() + ":" + e.name);
-        }
-        if (on_failure_) on_failure_(id);
-      }
+      if (on_failure_) on_failure_(id);
     }
   }
+}
+
+AliveSupervision::Snapshot AliveSupervision::snapshot() const {
+  Snapshot s;
+  s.entities.reserve(entities_.size());
+  for (const Entity& e : entities_) {
+    s.entities.push_back(
+        Snapshot::EntityImage{e.reports_this_cycle, e.consecutive_bad_cycles, e.failed});
+  }
+  s.failures = failures_;
+  s.cycle_elapsed = cycle_elapsed_;
+  return s;
+}
+
+void AliveSupervision::restore(const Snapshot& s) {
+  support::ensure(s.entities.size() == entities_.size(),
+                  "AliveSupervision::restore: entity count differs from snapshot");
+  for (std::size_t i = 0; i < entities_.size(); ++i) {
+    entities_[i].reports_this_cycle = s.entities[i].reports_this_cycle;
+    entities_[i].consecutive_bad_cycles = s.entities[i].consecutive_bad_cycles;
+    entities_[i].failed = s.entities[i].failed;
+  }
+  failures_ = s.failures;
+  cycle_elapsed_ = s.cycle_elapsed;
 }
 
 }  // namespace vps::ecu

@@ -48,6 +48,20 @@ class AliveSupervision final : public sim::Module {
   /// nullptr detaches.
   void set_provenance(obs::ProvenanceTracker* tracker) noexcept { provenance_ = tracker; }
 
+  // --- snapshot-and-fork replay -------------------------------------------
+  struct Snapshot {
+    struct EntityImage {
+      unsigned reports_this_cycle = 0;
+      unsigned consecutive_bad_cycles = 0;
+      bool failed = false;
+    };
+    std::vector<EntityImage> entities;
+    std::uint64_t failures = 0;
+    bool cycle_elapsed = false;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& s);
+
  private:
   struct Entity {
     std::string name;
@@ -58,12 +72,14 @@ class AliveSupervision final : public sim::Module {
   };
 
   [[nodiscard]] sim::Coro run();
+  void check_cycle();
 
   sim::Time cycle_;
   unsigned escalate_after_;
   std::vector<Entity> entities_;
   std::function<void(EntityId)> on_failure_;
   std::uint64_t failures_ = 0;
+  bool cycle_elapsed_ = false;  ///< a supervision-cycle delay is outstanding
   obs::ProvenanceTracker* provenance_ = nullptr;
 };
 

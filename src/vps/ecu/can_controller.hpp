@@ -52,6 +52,21 @@ class CanController final : public hw::RegisterDevice, public can::CanNode {
 
   void on_frame(const can::CanFrame& frame) override;
 
+  // --- snapshot-and-fork replay -------------------------------------------
+  /// Node-level state (TEC/REC/bus-off, pending tx queue) is captured by
+  /// CanBus::Snapshot; this covers only the controller-local registers.
+  struct Snapshot {
+    can::CanFrame tx_mailbox{};
+    std::deque<can::CanFrame> rx_fifo;
+    std::uint64_t rx_overflows = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const { return Snapshot{tx_mailbox_, rx_fifo_, rx_overflows_}; }
+  void restore(const Snapshot& s) {
+    tx_mailbox_ = s.tx_mailbox;
+    rx_fifo_ = s.rx_fifo;
+    rx_overflows_ = s.rx_overflows;
+  }
+
  protected:
   std::uint32_t read_register(std::uint32_t offset, sim::Time& delay) override;
   void write_register(std::uint32_t offset, std::uint32_t value, sim::Time& delay) override;

@@ -87,8 +87,35 @@ void OsScheduler::release_jobs() {
   }
 }
 
+// Written in snapshot-replayable form: the in-flight slice (which task,
+// when it started) lives in members and its completion is processed at the
+// top of the loop, so a fresh coroutine resumed from the body top after
+// Kernel::restore behaves exactly like the original resumed at its await.
 sim::Coro OsScheduler::run() {
   for (;;) {
+    if (slice_armed_) {
+      slice_armed_ = false;
+      const Time ran = now() - slice_start_;
+      busy_time_ += ran;
+      Task& t = tasks_[slice_task_];
+      t.job.remaining = t.job.remaining > ran ? t.job.remaining - ran : Time::zero();
+
+      if (t.job.active && t.job.remaining == Time::zero()) {
+        // Job completion: functional effect + timing verdict.
+        t.job.active = false;
+        ++t.stats.completions;
+        const Time response = now() - t.job.release;
+        t.stats.total_response += response;
+        t.stats.max_response = std::max(t.stats.max_response, response);
+        if (now() > t.job.absolute_deadline) {
+          ++t.stats.deadline_misses;
+          ++total_misses_;
+          deadline_miss_.notify();
+        }
+        if (t.config.body) t.config.body();
+      }
+    }
+
     release_jobs();
     const int idx = pick_ready();
 
@@ -117,29 +144,45 @@ sim::Coro OsScheduler::run() {
 
     Time slice = t.job.remaining;
     if (next_release != Time::max()) slice = std::min(slice, next_release - now());
-    const Time start = now();
+    slice_task_ = static_cast<std::size_t>(idx);
+    slice_start_ = now();
+    slice_armed_ = true;
     if (slice > Time::zero()) {
       (void)co_await sim::wait_with_timeout(reschedule_, slice);
     }
-    const Time ran = now() - start;
-    busy_time_ += ran;
-    t.job.remaining = t.job.remaining > ran ? t.job.remaining - ran : Time::zero();
-
-    if (t.job.active && t.job.remaining == Time::zero()) {
-      // Job completion: functional effect + timing verdict.
-      t.job.active = false;
-      ++t.stats.completions;
-      const Time response = now() - t.job.release;
-      t.stats.total_response += response;
-      t.stats.max_response = std::max(t.stats.max_response, response);
-      if (now() > t.job.absolute_deadline) {
-        ++t.stats.deadline_misses;
-        ++total_misses_;
-        deadline_miss_.notify();
-      }
-      if (t.config.body) t.config.body();
-    }
   }
+}
+
+OsScheduler::Snapshot OsScheduler::snapshot() const {
+  Snapshot s;
+  s.tasks.reserve(tasks_.size());
+  for (const Task& t : tasks_) {
+    s.tasks.push_back(Snapshot::TaskImage{t.stats, t.job, t.next_release, t.exec_factor, t.killed});
+  }
+  s.total_misses = total_misses_;
+  s.busy_time = busy_time_;
+  s.running = running_;
+  s.slice_armed = slice_armed_;
+  s.slice_task = slice_task_;
+  s.slice_start = slice_start_;
+  return s;
+}
+
+void OsScheduler::restore(const Snapshot& s) {
+  ensure(s.tasks.size() == tasks_.size(), "OsScheduler::restore: task count differs from snapshot");
+  for (std::size_t i = 0; i < tasks_.size(); ++i) {
+    tasks_[i].stats = s.tasks[i].stats;
+    tasks_[i].job = s.tasks[i].job;
+    tasks_[i].next_release = s.tasks[i].next_release;
+    tasks_[i].exec_factor = s.tasks[i].exec_factor;
+    tasks_[i].killed = s.tasks[i].killed;
+  }
+  total_misses_ = s.total_misses;
+  busy_time_ = s.busy_time;
+  running_ = s.running;
+  slice_armed_ = s.slice_armed;
+  slice_task_ = s.slice_task;
+  slice_start_ = s.slice_start;
 }
 
 }  // namespace vps::ecu

@@ -72,13 +72,36 @@ class OsScheduler final : public sim::Module {
   void revive_task(TaskId id);
   [[nodiscard]] bool is_killed(TaskId id) const { return tasks_.at(id).killed; }
 
- private:
   struct Job {
     sim::Time release;
     sim::Time absolute_deadline;
     sim::Time remaining;
     bool active = false;  ///< released and not yet completed
   };
+
+  // --- snapshot-and-fork replay -------------------------------------------
+  /// Task bodies and configs are structural; per-task dynamic state plus the
+  /// in-flight slice bookkeeping is what forking needs.
+  struct Snapshot {
+    struct TaskImage {
+      TaskStats stats;
+      Job job;
+      sim::Time next_release;
+      double exec_factor = 1.0;
+      bool killed = false;
+    };
+    std::vector<TaskImage> tasks;
+    std::uint64_t total_misses = 0;
+    sim::Time busy_time = sim::Time::zero();
+    int running = -1;
+    bool slice_armed = false;
+    std::size_t slice_task = 0;
+    sim::Time slice_start = sim::Time::zero();
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& s);
+
+ private:
   struct Task {
     TaskConfig config;
     TaskStats stats;
@@ -98,6 +121,9 @@ class OsScheduler final : public sim::Module {
   std::uint64_t total_misses_ = 0;
   sim::Time busy_time_ = sim::Time::zero();
   int running_ = -1;  ///< task index currently "executing"
+  bool slice_armed_ = false;          ///< a slice wait is outstanding
+  std::size_t slice_task_ = 0;        ///< task the outstanding slice belongs to
+  sim::Time slice_start_ = sim::Time::zero();
 };
 
 }  // namespace vps::ecu

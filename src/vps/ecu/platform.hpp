@@ -79,6 +79,46 @@ class EcuPlatform {
     return *can_;
   }
 
+  // --- snapshot-and-fork replay -------------------------------------------
+  /// Aggregate image of the whole ECU. RAM is restored before the CPU so the
+  /// CPU's DMI re-acquire lands in the restored backing store.
+  struct Snapshot {
+    hw::Memory::Snapshot ram;
+    tlm::Router::Snapshot bus;
+    hw::InterruptController::Snapshot intc;
+    hw::Timer::Snapshot timer;
+    hw::Watchdog::Snapshot watchdog;
+    hw::Gpio::Snapshot gpio;
+    hw::Adc::Snapshot adc;
+    hw::Cpu::Snapshot cpu;
+    std::optional<CanController::Snapshot> can;
+    std::uint32_t resets = 0;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    Snapshot s{ram_->snapshot(),      bus_->snapshot(),  intc_->snapshot(),
+               timer_->snapshot(),    watchdog_->snapshot(), gpio_->snapshot(),
+               adc_->snapshot(),      cpu_->snapshot(),  std::nullopt,
+               resets_};
+    if (can_ != nullptr) s.can = can_->snapshot();
+    return s;
+  }
+
+  void restore(const Snapshot& s) {
+    support::ensure(s.can.has_value() == (can_ != nullptr),
+                    "EcuPlatform::restore: CAN attachment differs from snapshot");
+    ram_->restore(s.ram);
+    bus_->restore(s.bus);
+    intc_->restore(s.intc);
+    timer_->restore(s.timer);
+    watchdog_->restore(s.watchdog);
+    gpio_->restore(s.gpio);
+    adc_->restore(s.adc);
+    cpu_->restore(s.cpu);
+    if (can_ != nullptr) can_->restore(*s.can);
+    resets_ = s.resets;
+  }
+
  private:
   sim::Kernel& kernel_;
   std::string name_;

@@ -428,7 +428,9 @@ Campaign::Campaign(Scenario& scenario, CampaignConfig config)
     : scenario_(scenario),
       config_(config),
       rng_(config.seed),
-      state_(scenario.fault_types(), scenario.duration(), config) {}
+      state_(scenario.fault_types(), scenario.duration(), config) {
+  scenario_.set_snapshot_replay(config_.snapshot_replay);
+}
 
 void Campaign::ensure_golden() {
   if (golden_valid_) return;

@@ -76,6 +76,12 @@ struct CampaignConfig {
   /// barrier. This is how the CI kill-at-50% round-trip is driven without
   /// actually SIGKILLing the test runner.
   std::size_t preempt_after = 0;
+  /// Snapshot-and-fork replay: supporting scenarios cache golden epoch
+  /// snapshots per seed and execute only the divergent suffix of each
+  /// faulty replay. Purely an execution optimization — results are bitwise
+  /// identical either way (the snapshot-equivalence tests enforce this), so
+  /// like `workers` it is not part of the checkpoint identity.
+  bool snapshot_replay = true;
 };
 
 struct RunRecord {

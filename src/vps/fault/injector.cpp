@@ -159,6 +159,16 @@ bool InjectorHub::apply_effect(const FaultDescriptor& fault) {
 void InjectorHub::schedule(const FaultDescriptor& fault) {
   const Time delay =
       fault.inject_at > kernel_.now() ? fault.inject_at - kernel_.now() : Time::zero();
+  if (has_pinned_seq_) {
+    has_pinned_seq_ = false;
+    kernel_.spawn("fault.schedule",
+                  [](InjectorHub& hub, FaultDescriptor fault, Time delay,
+                     std::uint64_t seq) -> sim::Coro {
+                    co_await sim::delay_pinned(delay, seq);
+                    (void)hub.apply(fault);
+                  }(*this, fault, delay, pinned_seq_));
+    return;
+  }
   kernel_.spawn("fault.schedule",
                 [](InjectorHub& hub, FaultDescriptor fault, Time delay) -> sim::Coro {
                   co_await sim::delay(delay);

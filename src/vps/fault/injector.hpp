@@ -59,6 +59,21 @@ class AnalogChannel {
   /// nullptr detaches.
   void set_provenance(obs::ProvenanceTracker* tracker) noexcept { provenance_ = tracker; }
 
+  // --- snapshot-and-fork replay -------------------------------------------
+  struct Snapshot {
+    double offset = 0.0;
+    std::optional<double> stuck;
+    std::uint64_t fault_id = 0;
+    bool touched = false;
+  };
+  [[nodiscard]] Snapshot snapshot() const { return Snapshot{offset_, stuck_, fault_id_, touched_}; }
+  void restore(const Snapshot& s) {
+    offset_ = s.offset;
+    stuck_ = s.stuck;
+    fault_id_ = s.fault_id;
+    touched_ = s.touched;
+  }
+
  private:
   void tag(std::uint64_t fault_id) {
     fault_id_ = fault_id;
@@ -100,6 +115,16 @@ class InjectorHub {
   /// in the future); used by the Stressor.
   void schedule(const FaultDescriptor& fault);
 
+  /// Pins the timed-queue sequence number the next schedule() call uses for
+  /// its injection delay (consumed by that call). Snapshot-forked replays
+  /// pass the golden run's Kernel::init_seq_mark here so the injection
+  /// sorts against the restored prefix exactly as it would in a full
+  /// replay, where the injection process is spawned last at elaboration.
+  void set_pinned_seq(std::uint64_t seq) noexcept {
+    pinned_seq_ = seq;
+    has_pinned_seq_ = true;
+  }
+
   [[nodiscard]] sim::Kernel& kernel() noexcept { return kernel_; }
   [[nodiscard]] std::uint64_t applied_count() const noexcept { return applied_; }
   [[nodiscard]] std::uint64_t skipped_count() const noexcept { return skipped_; }
@@ -138,6 +163,8 @@ class InjectorHub {
   obs::ProvenanceTracker* provenance_ = nullptr;
   std::uint64_t applied_ = 0;
   std::uint64_t skipped_ = 0;
+  std::uint64_t pinned_seq_ = 0;
+  bool has_pinned_seq_ = false;
 };
 
 }  // namespace vps::fault

@@ -25,7 +25,8 @@ namespace {
 /// sequential driver reuses one scenario for every replay.
 class ScenarioPool {
  public:
-  explicit ScenarioPool(const ScenarioFactory& factory) : factory_(factory) {}
+  ScenarioPool(const ScenarioFactory& factory, bool snapshot_replay)
+      : factory_(factory), snapshot_replay_(snapshot_replay) {}
 
   std::unique_ptr<Scenario> acquire() {
     {
@@ -38,6 +39,7 @@ class ScenarioPool {
     }
     auto fresh = factory_();
     ensure(fresh != nullptr, "ParallelCampaign: scenario factory returned null");
+    fresh->set_snapshot_replay(snapshot_replay_);
     return fresh;
   }
 
@@ -48,6 +50,7 @@ class ScenarioPool {
 
  private:
   const ScenarioFactory& factory_;
+  bool snapshot_replay_;
   std::mutex mutex_;
   std::vector<std::unique_ptr<Scenario>> idle_;
 };
@@ -63,6 +66,7 @@ void ParallelCampaign::ensure_coordinator() {
   if (coordinator_ != nullptr) return;
   coordinator_ = factory_();
   ensure(coordinator_ != nullptr, "ParallelCampaign: scenario factory returned null");
+  coordinator_->set_snapshot_replay(config_.snapshot_replay);
 }
 
 void ParallelCampaign::write_checkpoint(const CampaignResult& partial) const {
@@ -109,7 +113,7 @@ CampaignResult ParallelCampaign::execute(std::size_t start_run, CampaignResult r
     return std::chrono::duration<double>(std::chrono::steady_clock::now() - started).count();
   };
   support::ThreadPool pool(std::max<std::size_t>(1, config_.workers));
-  ScenarioPool scenarios(factory_);
+  ScenarioPool scenarios(factory_, config_.snapshot_replay);
 
   // Every random draw of run i comes from a stream forked on the run index,
   // so neither scheduling nor the worker count can perturb it.

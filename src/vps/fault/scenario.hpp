@@ -45,6 +45,17 @@ class Scenario {
   /// or timeout, and reports. `seed` fixes the workload randomness: the
   /// same seed without a fault must give a reproducible golden run.
   [[nodiscard]] virtual Observation run(const FaultDescriptor* fault, std::uint64_t seed) = 0;
+
+  /// Enables snapshot-and-fork replay: a supporting scenario caches golden
+  /// epoch snapshots per seed and executes only the divergent suffix of
+  /// each faulty run. The contract is strict — results must be bitwise
+  /// identical with the flag on or off; scenarios without snapshot support
+  /// simply ignore it. Default on.
+  void set_snapshot_replay(bool enabled) noexcept { snapshot_replay_ = enabled; }
+  [[nodiscard]] bool snapshot_replay() const noexcept { return snapshot_replay_; }
+
+ private:
+  bool snapshot_replay_ = true;
 };
 
 /// Error-effect classification relative to the golden run.

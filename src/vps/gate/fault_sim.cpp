@@ -1,8 +1,14 @@
 #include "vps/gate/fault_sim.hpp"
 
 #include <algorithm>
+#include <array>
+#include <bit>
+
+#include "vps/support/ensure.hpp"
 
 namespace vps::gate {
+
+using support::ensure;
 
 std::vector<FaultSite> FaultSimulator::enumerate_faults() const {
   std::vector<FaultSite> sites;
@@ -14,49 +20,111 @@ std::vector<FaultSite> FaultSimulator::enumerate_faults() const {
   return sites;
 }
 
+std::vector<std::pair<std::string, NetId>> FaultSimulator::sorted_outputs() const {
+  std::vector<std::pair<std::string, NetId>> outs(netlist_.outputs().begin(),
+                                                  netlist_.outputs().end());
+  std::sort(outs.begin(), outs.end());
+  return outs;
+}
+
 std::uint64_t FaultSimulator::response(Evaluator& eval, const TestVector& vector) const {
+  ensure(netlist_.outputs().size() <= 64,
+         "FaultSimulator::response: more than 64 outputs cannot be packed into one word "
+         "(responses would alias) — use wide_response()");
   eval.set_input_word(netlist_.inputs(), vector.input_value);
   eval.evaluate();
   for (std::size_t c = 0; c < vector.clock_cycles; ++c) eval.clock();
   // Concatenate outputs in deterministic (sorted-name) order.
-  std::vector<std::pair<std::string, NetId>> outs(netlist_.outputs().begin(),
-                                                  netlist_.outputs().end());
-  std::sort(outs.begin(), outs.end());
   std::uint64_t r = 0;
-  for (const auto& [name, net] : outs) r = (r << 1) | (eval.value(net) ? 1u : 0u);
+  for (const auto& [name, net] : sorted_outputs()) r = (r << 1) | (eval.value(net) ? 1u : 0u);
   return r;
+}
+
+std::vector<std::uint64_t> FaultSimulator::wide_response(Evaluator& eval,
+                                                         const TestVector& vector) const {
+  eval.set_input_word(netlist_.inputs(), vector.input_value);
+  eval.evaluate();
+  for (std::size_t c = 0; c < vector.clock_cycles; ++c) eval.clock();
+  const auto outs = sorted_outputs();
+  std::vector<std::uint64_t> words((outs.size() + 63) / 64, 0);
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    const std::size_t word = i / 64;
+    words[word] = (words[word] << 1) | (eval.value(outs[i].second) ? 1u : 0u);
+  }
+  return words;
 }
 
 FaultSimResult FaultSimulator::run(const std::vector<TestVector>& vectors) const {
   FaultSimResult result;
   const auto sites = enumerate_faults();
   result.total_faults = sites.size();
+  const auto outs = sorted_outputs();
+  const std::size_t vector_count = vectors.size();
 
-  // Golden responses.
-  std::vector<std::uint64_t> golden;
-  golden.reserve(vectors.size());
+  // Golden responses, computed ONCE for the whole sweep and indexed per
+  // (vector, output) bit — hoisted out of the fault loop, where the old
+  // serial implementation recomputed them for every fault.
+  std::vector<std::uint8_t> golden_bits(vector_count * outs.size());
   {
     Evaluator eval(netlist_);
-    for (const auto& v : vectors) {
+    for (std::size_t i = 0; i < vector_count; ++i) {
       eval.reset();
-      golden.push_back(response(eval, v));
+      eval.set_input_word(netlist_.inputs(), vectors[i].input_value);
+      eval.evaluate();
+      for (std::size_t c = 0; c < vectors[i].clock_cycles; ++c) eval.clock();
+      for (std::size_t o = 0; o < outs.size(); ++o) {
+        golden_bits[i * outs.size() + o] = eval.value(outs[o].second) ? 1 : 0;
+      }
       ++result.simulations;
     }
   }
 
-  for (const auto& site : sites) {
-    Evaluator eval(netlist_);
-    eval.inject_stuck_at(site.net, site.stuck_value);
-    bool detected = false;
-    for (std::size_t i = 0; i < vectors.size() && !detected; ++i) {
-      eval.reset();
-      detected = response(eval, vectors[i]) != golden[i];
-      ++result.simulations;
+  // PPSFP sweep: 64 faults per word, one bit-parallel netlist evaluation
+  // per (batch, vector). A lane's fault counts as detected at the first
+  // vector where any output lane-bit differs from the golden bit; the
+  // simulations field accumulates the per-fault replay counts the serial
+  // loop would have performed (first-detecting vector inclusive), keeping
+  // FaultSimResult bit-identical to the per-fault implementation.
+  constexpr std::uint64_t kOnes = ~std::uint64_t{0};
+  for (std::size_t batch = 0; batch < sites.size(); batch += 64) {
+    const std::size_t lanes = std::min<std::size_t>(64, sites.size() - batch);
+    WordEvaluator eval(netlist_);
+    for (std::size_t l = 0; l < lanes; ++l) {
+      eval.inject_stuck_at(sites[batch + l].net, sites[batch + l].stuck_value,
+                           std::uint64_t{1} << l);
     }
-    if (detected) {
-      ++result.detected;
-    } else {
-      result.undetected.push_back(site);
+    const std::uint64_t active = lanes == 64 ? kOnes : (std::uint64_t{1} << lanes) - 1;
+    std::uint64_t detected = 0;
+    std::array<std::size_t, 64> first_detect{};
+    first_detect.fill(vector_count);  // sentinel: undetected by any vector
+
+    for (std::size_t i = 0; i < vector_count && detected != active; ++i) {
+      eval.reset();
+      eval.set_input_word(netlist_.inputs(), vectors[i].input_value);
+      eval.evaluate();
+      for (std::size_t c = 0; c < vectors[i].clock_cycles; ++c) eval.clock();
+      std::uint64_t diff = 0;
+      for (std::size_t o = 0; o < outs.size(); ++o) {
+        const std::uint64_t golden = golden_bits[i * outs.size() + o] != 0 ? kOnes : 0;
+        diff |= eval.lanes(outs[o].second) ^ golden;
+      }
+      std::uint64_t newly = diff & active & ~detected;
+      detected |= newly;
+      while (newly != 0) {
+        const int l = std::countr_zero(newly);
+        first_detect[static_cast<std::size_t>(l)] = i;
+        newly &= newly - 1;
+      }
+    }
+
+    for (std::size_t l = 0; l < lanes; ++l) {
+      if ((detected >> l) & 1u) {
+        ++result.detected;
+        result.simulations += first_detect[l] + 1;
+      } else {
+        result.undetected.push_back(sites[batch + l]);
+        result.simulations += vector_count;
+      }
     }
   }
   return result;

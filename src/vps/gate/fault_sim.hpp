@@ -7,6 +7,8 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "vps/gate/netlist.hpp"
@@ -27,10 +29,17 @@ struct FaultSimResult {
   std::size_t total_faults = 0;
   std::size_t detected = 0;
   std::vector<FaultSite> undetected;
-  std::uint64_t simulations = 0;  ///< netlist evaluations performed
+  /// Logical per-fault vector replays (golden replays included): the count a
+  /// serial simulator performs, independent of how the sweep is executed —
+  /// the PPSFP engine reports the identical number while doing ~1/64 of the
+  /// evaluation work. Deterministic, so usable in regression tests.
+  std::uint64_t simulations = 0;
 
+  /// Detected fraction of the enumerated fault list. An empty fault list
+  /// has covered nothing: coverage is 0.0, not vacuously 1.0 (a netlist
+  /// with no fault sites must never read as "fully covered").
   [[nodiscard]] double coverage() const noexcept {
-    return total_faults == 0 ? 1.0
+    return total_faults == 0 ? 0.0
                              : static_cast<double>(detected) / static_cast<double>(total_faults);
   }
 };
@@ -42,14 +51,28 @@ class FaultSimulator {
   /// Enumerates all single stuck-at faults on every net.
   [[nodiscard]] std::vector<FaultSite> enumerate_faults() const;
 
-  /// Runs serial fault simulation: for each fault, replays all vectors and
-  /// compares every marked output against the golden response.
+  /// Runs the stuck-at sweep with the word-parallel (PPSFP) engine: faults
+  /// are packed 64 per machine word and simulated in one bit-parallel
+  /// netlist sweep per batch. Classifications, undetected-site order and
+  /// the simulations count are identical to the serial per-fault loop.
   [[nodiscard]] FaultSimResult run(const std::vector<TestVector>& vectors) const;
 
-  /// Response of the (faulty) circuit to one vector: concatenated outputs.
+  /// Response of the (faulty) circuit to one vector: concatenated outputs,
+  /// MSB = first output in sorted-name order. Fails loudly on designs with
+  /// more than 64 marked outputs — the word would silently alias; use
+  /// wide_response() there.
   [[nodiscard]] std::uint64_t response(Evaluator& eval, const TestVector& vector) const;
 
+  /// Wide-design variant: outputs packed 64 per word in sorted-name order,
+  /// word 0 holding the first 64 outputs (MSB-first within each word, the
+  /// last word padded from the top). Any output count supported.
+  [[nodiscard]] std::vector<std::uint64_t> wide_response(Evaluator& eval,
+                                                         const TestVector& vector) const;
+
  private:
+  /// Sorted-name output order, shared by response()/wide_response()/run().
+  [[nodiscard]] std::vector<std::pair<std::string, NetId>> sorted_outputs() const;
+
   const Netlist& netlist_;
 };
 

@@ -1,5 +1,7 @@
 #include "vps/gate/netlist.hpp"
 
+#include <algorithm>
+
 #include "vps/support/ensure.hpp"
 
 namespace vps::gate {
@@ -173,5 +175,87 @@ void Evaluator::inject_stuck_at(NetId net, bool value) {
 }
 
 void Evaluator::clear_faults() { faults_.clear(); }
+
+// ---------------------------------------------------------------------------
+// WordEvaluator (PPSFP)
+// ---------------------------------------------------------------------------
+
+WordEvaluator::WordEvaluator(const Netlist& netlist)
+    : netlist_(netlist),
+      values_(netlist.gate_count(), 0),
+      dff_state_(netlist.gate_count(), 0),
+      stuck_mask_(netlist.gate_count(), 0),
+      stuck_ones_(netlist.gate_count(), 0) {}
+
+void WordEvaluator::set_input(NetId net, bool value) {
+  ensure(net < values_.size() && netlist_.gate(net).kind == GateKind::kInput,
+         "WordEvaluator::set_input: net is not an input");
+  values_[net] = value ? ~std::uint64_t{0} : 0;
+  apply_fault(net);
+}
+
+void WordEvaluator::set_input_word(const std::vector<NetId>& nets, std::uint64_t value) {
+  for (std::size_t i = 0; i < nets.size(); ++i) set_input(nets[i], ((value >> i) & 1u) != 0);
+}
+
+void WordEvaluator::evaluate() {
+  const std::size_t n = netlist_.gate_count();
+  constexpr std::uint64_t kOnes = ~std::uint64_t{0};
+  for (NetId id = 0; id < n; ++id) {
+    const Gate& g = netlist_.gate(id);
+    const auto v = [this](NetId net) { return values_[net]; };
+    switch (g.kind) {
+      case GateKind::kInput: break;  // keep externally set value
+      case GateKind::kDff: values_[id] = dff_state_[id]; break;
+      case GateKind::kConst0: values_[id] = 0; break;
+      case GateKind::kConst1: values_[id] = kOnes; break;
+      case GateKind::kBuf: values_[id] = v(g.in[0]); break;
+      case GateKind::kNot: values_[id] = ~v(g.in[0]); break;
+      case GateKind::kAnd: values_[id] = v(g.in[0]) & v(g.in[1]); break;
+      case GateKind::kOr: values_[id] = v(g.in[0]) | v(g.in[1]); break;
+      case GateKind::kXor: values_[id] = v(g.in[0]) ^ v(g.in[1]); break;
+      case GateKind::kNand: values_[id] = ~(v(g.in[0]) & v(g.in[1])); break;
+      case GateKind::kNor: values_[id] = ~(v(g.in[0]) | v(g.in[1])); break;
+      case GateKind::kXnor: values_[id] = ~(v(g.in[0]) ^ v(g.in[1])); break;
+      case GateKind::kMux:
+        values_[id] = (v(g.in[0]) & v(g.in[2])) | (~v(g.in[0]) & v(g.in[1]));
+        break;
+    }
+    apply_fault(id);
+  }
+}
+
+void WordEvaluator::clock() {
+  for (NetId dff : netlist_.dffs()) {
+    const NetId d = netlist_.gate(dff).in[0];
+    ensure(d != kNoNet, "WordEvaluator::clock: DFF with unconnected D input");
+    dff_state_[dff] = values_[d];
+  }
+  evaluate();
+}
+
+void WordEvaluator::reset() {
+  for (NetId dff : netlist_.dffs()) dff_state_[dff] = 0;
+}
+
+std::uint64_t WordEvaluator::lanes(NetId net) const {
+  ensure(net < values_.size(), "WordEvaluator::lanes: undefined net");
+  return values_[net];
+}
+
+void WordEvaluator::inject_stuck_at(NetId net, bool value, std::uint64_t lane_mask) {
+  ensure(net < values_.size(), "inject_stuck_at: undefined net");
+  stuck_mask_[net] |= lane_mask;
+  if (value) {
+    stuck_ones_[net] |= lane_mask;
+  } else {
+    stuck_ones_[net] &= ~lane_mask;
+  }
+}
+
+void WordEvaluator::clear_faults() {
+  std::fill(stuck_mask_.begin(), stuck_mask_.end(), 0);
+  std::fill(stuck_ones_.begin(), stuck_ones_.end(), 0);
+}
 
 }  // namespace vps::gate

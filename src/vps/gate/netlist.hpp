@@ -112,4 +112,43 @@ class Evaluator {
   std::uint64_t gate_evals_ = 0;
 };
 
+/// 64-lane bit-parallel twin of Evaluator (PPSFP — parallel-pattern /
+/// parallel-fault simulation): lane i of every 64-bit net word is an
+/// independent two-valued simulation with its own stuck-at overlay, so one
+/// netlist sweep evaluates up to 64 faulty machines at once. Primary inputs
+/// are replicated across all lanes; per-net overlay masks pin individual
+/// lanes to their stuck values. Lane semantics are bit-exact with the
+/// scalar Evaluator (same traversal order, same overlay points).
+class WordEvaluator {
+ public:
+  explicit WordEvaluator(const Netlist& netlist);
+
+  void set_input(NetId net, bool value);
+  /// Sets an integer onto consecutive input nets, LSB first; each input bit
+  /// is broadcast to all 64 lanes.
+  void set_input_word(const std::vector<NetId>& nets, std::uint64_t value);
+
+  void evaluate();
+  void clock();
+  void reset();
+
+  /// All 64 lanes of one net.
+  [[nodiscard]] std::uint64_t lanes(NetId net) const;
+
+  /// Pins the net to `value` in every lane selected by `lane_mask`.
+  void inject_stuck_at(NetId net, bool value, std::uint64_t lane_mask);
+  void clear_faults();
+
+ private:
+  void apply_fault(NetId net) noexcept {
+    values_[net] = (values_[net] & ~stuck_mask_[net]) | stuck_ones_[net];
+  }
+
+  const Netlist& netlist_;
+  std::vector<std::uint64_t> values_;
+  std::vector<std::uint64_t> dff_state_;
+  std::vector<std::uint64_t> stuck_mask_;  ///< lanes with any stuck-at on this net
+  std::vector<std::uint64_t> stuck_ones_;  ///< of those, lanes stuck at 1
+};
+
 }  // namespace vps::gate

@@ -478,6 +478,48 @@ bool Cpu::step() {
   return state_ == State::kRunning;
 }
 
+Cpu::Snapshot Cpu::snapshot() const {
+  Snapshot s;
+  s.state = state_;
+  s.fault_cause = fault_cause_;
+  s.fault_address = fault_address_;
+  s.pc = pc_;
+  s.regs = regs_;
+  s.irq_enabled = irq_enabled_;
+  s.in_irq = in_irq_;
+  s.saved_pc = saved_pc_;
+  s.stats = stats_;
+  s.qk = qk_.snapshot();
+  s.dmi_held = dmi_.base != nullptr;
+  s.dmi_start = dmi_.start;
+  s.taint_mask = taint_mask_;
+  s.reg_taint = reg_taint_;
+  return s;
+}
+
+void Cpu::restore(const Snapshot& s) {
+  state_ = s.state;
+  fault_cause_ = s.fault_cause;
+  fault_address_ = s.fault_address;
+  pc_ = s.pc;
+  regs_ = s.regs;
+  irq_enabled_ = s.irq_enabled;
+  in_irq_ = s.in_irq;
+  saved_pc_ = s.saved_pc;
+  stats_ = s.stats;
+  qk_.restore(s.qk);
+  taint_mask_ = s.taint_mask;
+  reg_taint_ = s.reg_taint;
+  store_poison_ = 0;
+  load_poison_ = 0;
+  // Re-acquire the DMI window from the bound target (restore runs after the
+  // backing memory is restored): the pointer must reference the twin's
+  // storage, and holding the grant keeps the dmi/bus access split — and with
+  // it every statistic — identical to a full replay.
+  dmi_ = tlm::DmiRegion{};
+  if (s.dmi_held) (void)socket_.get_direct_mem_ptr(s.dmi_start, dmi_);
+}
+
 sim::Coro Cpu::main_loop() {
   for (;;) {
     switch (state_) {

@@ -96,6 +96,31 @@ class Cpu final : public sim::Module {
     trace_hook_ = std::move(hook);
   }
 
+  // --- snapshot-and-fork replay -------------------------------------------
+  /// Value-type image of the architectural and micro-architectural state.
+  /// The DMI grant is captured as its address window only: restore
+  /// re-acquires the pointer from the bound target so it lands in the
+  /// twin's backing store, never the snapshot source's.
+  struct Snapshot {
+    State state = State::kRunning;
+    FaultCause fault_cause = FaultCause::kNone;
+    std::uint32_t fault_address = 0;
+    std::uint32_t pc = 0;
+    std::array<std::uint32_t, kRegisterCount> regs{};
+    bool irq_enabled = false;
+    bool in_irq = false;
+    std::uint32_t saved_pc = 0;
+    Stats stats;
+    tlm::QuantumKeeper::Snapshot qk;
+    bool dmi_held = false;
+    std::uint64_t dmi_start = 0;
+    std::uint32_t taint_mask = 0;
+    std::array<std::uint64_t, kRegisterCount> reg_taint{};
+  };
+
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& s);
+
  private:
   [[nodiscard]] sim::Coro main_loop();
   /// Executes one instruction; returns false when execution must pause

@@ -68,6 +68,34 @@ class Memory final : public tlm::BlockingTransport, public tlm::DmiProvider {
   /// increments when a link check fails.
   void add_write_watch(std::uint64_t address, std::function<void(std::uint32_t)> callback);
 
+  // --- snapshot-and-fork replay -------------------------------------------
+  /// Value-type image of the backing store, poison map and statistics.
+  /// Structural configuration (size, ECC mode, watches, provenance) is not
+  /// captured: restore targets a twin built with the same configuration.
+  struct Snapshot {
+    std::vector<std::uint8_t> plain;
+    std::vector<std::uint64_t> codewords;
+    std::unordered_map<std::uint64_t, std::uint64_t> word_poison;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t corrected = 0;
+    std::uint64_t uncorrectable = 0;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    return Snapshot{plain_, codewords_, word_poison_, reads_, writes_, corrected_, uncorrectable_};
+  }
+
+  void restore(const Snapshot& s) {
+    plain_ = s.plain;
+    codewords_ = s.codewords;
+    word_poison_ = s.word_poison;
+    reads_ = s.reads;
+    writes_ = s.writes;
+    corrected_ = s.corrected;
+    uncorrectable_ = s.uncorrectable;
+  }
+
   // --- statistics ---------------------------------------------------------
   [[nodiscard]] std::uint64_t reads() const noexcept { return reads_; }
   [[nodiscard]] std::uint64_t writes() const noexcept { return writes_; }

@@ -96,16 +96,26 @@ Timer::Timer(sim::Kernel& kernel, std::string name)
   spawn("tick", run());
 }
 
+// Written in snapshot-replayable form: all state lives in members and the
+// completed wait is handled at the top of the loop, so a fresh coroutine
+// resumed from the body top after Kernel::restore behaves exactly like the
+// original resumed at its await (see DESIGN.md "Replay engine").
 sim::Coro Timer::run() {
   for (;;) {
+    if (armed_) {
+      armed_ = false;
+      const bool expired = kernel().current_process()->last_wait_timed_out();
+      if (expired && armed_generation_ == config_generation_) {
+        ++expiries_;
+        status_ |= 1u;
+        if (on_expire_) on_expire_();
+        if ((ctrl_ & 2u) == 0) ctrl_ &= ~1u;  // one-shot: disable
+      }
+    }
     while ((ctrl_ & 1u) == 0) co_await reconfigured_;
-    const std::uint64_t gen = config_generation_;
-    const bool fired = !co_await sim::wait_with_timeout(reconfigured_, Time::us(period_us_));
-    if (!fired || gen != config_generation_) continue;  // reconfigured mid-wait
-    ++expiries_;
-    status_ |= 1u;
-    if (on_expire_) on_expire_();
-    if ((ctrl_ & 2u) == 0) ctrl_ &= ~1u;  // one-shot: disable
+    armed_generation_ = config_generation_;
+    armed_ = true;
+    (void)co_await sim::wait_with_timeout(reconfigured_, Time::us(period_us_));
   }
 }
 
@@ -149,16 +159,23 @@ Watchdog::Watchdog(sim::Kernel& kernel, std::string name)
   spawn("guard", run());
 }
 
+// Snapshot-replayable form; see Timer::run.
 sim::Coro Watchdog::run() {
   for (;;) {
+    if (armed_) {
+      armed_ = false;
+      const bool kicked = !kernel().current_process()->last_wait_timed_out();
+      if (!kicked && enabled()) {
+        ++timeouts_;
+        // A watchdog reset returns the chip to its power-on state, where the
+        // watchdog is disarmed until boot software re-enables it.
+        ctrl_ &= ~1u;
+        if (on_timeout_) on_timeout_();
+      }
+    }
     while (!enabled()) co_await reconfigured_;
-    const bool kicked = co_await sim::wait_with_timeout(kick_event_, Time::us(period_us_));
-    if (kicked || !enabled()) continue;
-    ++timeouts_;
-    // A watchdog reset returns the chip to its power-on state, where the
-    // watchdog is disarmed until boot software re-enables it.
-    ctrl_ &= ~1u;
-    if (on_timeout_) on_timeout_();
+    armed_ = true;
+    (void)co_await sim::wait_with_timeout(kick_event_, Time::us(period_us_));
   }
 }
 

@@ -62,6 +62,18 @@ class InterruptController final : public RegisterDevice {
   [[nodiscard]] std::uint32_t pending() const noexcept { return pending_; }
   [[nodiscard]] std::uint32_t enabled() const noexcept { return enable_; }
 
+  struct Snapshot {
+    std::uint32_t pending = 0;
+    std::uint32_t enable = 0;
+    sim::Signal<bool>::Snapshot irq_out;
+  };
+  [[nodiscard]] Snapshot snapshot() const { return Snapshot{pending_, enable_, irq_out_.snapshot()}; }
+  void restore(const Snapshot& s) {
+    pending_ = s.pending;
+    enable_ = s.enable;
+    irq_out_.restore(s.irq_out);
+  }
+
  protected:
   std::uint32_t read_register(std::uint32_t offset, sim::Time& delay) override;
   void write_register(std::uint32_t offset, std::uint32_t value, sim::Time& delay) override;
@@ -93,6 +105,29 @@ class Timer final : public RegisterDevice {
 
   [[nodiscard]] std::uint32_t expiry_count() const noexcept { return expiries_; }
 
+  struct Snapshot {
+    std::uint32_t ctrl = 0;
+    std::uint32_t period_us = 1000;
+    std::uint32_t status = 0;
+    std::uint32_t expiries = 0;
+    std::uint64_t config_generation = 0;
+    bool armed = false;
+    std::uint64_t armed_generation = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const {
+    return Snapshot{ctrl_, period_us_, status_, expiries_, config_generation_, armed_,
+                    armed_generation_};
+  }
+  void restore(const Snapshot& s) {
+    ctrl_ = s.ctrl;
+    period_us_ = s.period_us;
+    status_ = s.status;
+    expiries_ = s.expiries;
+    config_generation_ = s.config_generation;
+    armed_ = s.armed;
+    armed_generation_ = s.armed_generation;
+  }
+
  protected:
   std::uint32_t read_register(std::uint32_t offset, sim::Time& delay) override;
   void write_register(std::uint32_t offset, std::uint32_t value, sim::Time& delay) override;
@@ -106,6 +141,8 @@ class Timer final : public RegisterDevice {
   std::uint32_t status_ = 0;
   std::uint32_t expiries_ = 0;
   std::uint64_t config_generation_ = 0;  // restart the wait when reconfigured
+  bool armed_ = false;                   // a wait_with_timeout is outstanding
+  std::uint64_t armed_generation_ = 0;   // config_generation_ when armed
   sim::Event reconfigured_;
   std::function<void()> on_expire_;
 };
@@ -132,6 +169,20 @@ class Watchdog final : public RegisterDevice {
   /// Direct kick for C++-level software models.
   void kick() { kick_event_.notify(); }
 
+  struct Snapshot {
+    std::uint32_t ctrl = 0;
+    std::uint32_t period_us = 10000;
+    std::uint32_t timeouts = 0;
+    bool armed = false;
+  };
+  [[nodiscard]] Snapshot snapshot() const { return Snapshot{ctrl_, period_us_, timeouts_, armed_}; }
+  void restore(const Snapshot& s) {
+    ctrl_ = s.ctrl;
+    period_us_ = s.period_us;
+    timeouts_ = s.timeouts;
+    armed_ = s.armed;
+  }
+
  protected:
   std::uint32_t read_register(std::uint32_t offset, sim::Time& delay) override;
   void write_register(std::uint32_t offset, std::uint32_t value, sim::Time& delay) override;
@@ -143,6 +194,7 @@ class Watchdog final : public RegisterDevice {
   std::uint32_t ctrl_ = 0;
   std::uint32_t period_us_ = 10000;
   std::uint32_t timeouts_ = 0;
+  bool armed_ = false;  // a wait_with_timeout is outstanding
   sim::Event kick_event_;
   sim::Event reconfigured_;
   std::function<void()> on_timeout_;
@@ -160,6 +212,16 @@ class Gpio final : public RegisterDevice {
 
   [[nodiscard]] sim::Signal<std::uint32_t>& out() noexcept { return out_; }
   [[nodiscard]] sim::Signal<std::uint32_t>& in() noexcept { return in_; }
+
+  struct Snapshot {
+    sim::Signal<std::uint32_t>::Snapshot out;
+    sim::Signal<std::uint32_t>::Snapshot in;
+  };
+  [[nodiscard]] Snapshot snapshot() const { return Snapshot{out_.snapshot(), in_.snapshot()}; }
+  void restore(const Snapshot& s) {
+    out_.restore(s.out);
+    in_.restore(s.in);
+  }
 
  protected:
   std::uint32_t read_register(std::uint32_t offset, sim::Time& delay) override;
@@ -187,6 +249,12 @@ class Adc final : public RegisterDevice {
   void set_source(std::function<double()> source) { source_ = std::move(source); }
 
   [[nodiscard]] std::uint32_t conversions() const noexcept { return conversions_; }
+
+  struct Snapshot {
+    std::uint32_t conversions = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const { return Snapshot{conversions_}; }
+  void restore(const Snapshot& s) { conversions_ = s.conversions; }
 
  protected:
   std::uint32_t read_register(std::uint32_t offset, sim::Time& delay) override;

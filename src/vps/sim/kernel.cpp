@@ -1,5 +1,6 @@
 #include "vps/sim/kernel.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -138,6 +139,13 @@ void DelayAwaiter::await_suspend(Coro::Handle h) {
   p->kernel_.schedule_process_resume(*p, delay, /*timeout_flag=*/false);
 }
 
+void PinnedDelayAwaiter::await_suspend(Coro::Handle h) {
+  Process* p = h.promise().process;
+  ensure(p != nullptr, "co_await delay_pinned() outside of a simulation process");
+  p->resume_point_ = h;
+  p->kernel_.schedule_process_resume_pinned(*p, delay, seq);
+}
+
 void EventAwaiter::await_suspend(Coro::Handle h) {
   Process* p = h.promise().process;
   ensure(p != nullptr, "co_await event outside of a simulation process");
@@ -176,7 +184,38 @@ const char* to_string(StopReason reason) noexcept {
 }
 
 Kernel::Kernel() = default;
-Kernel::~Kernel() = default;
+
+Kernel::~Kernel() {
+  // Processes own Events whose destructors deregister from the ordinal
+  // registry; destroy them while live_events_/events_by_ordinal_ (declared
+  // after processes_, hence destroyed first by default) are still alive.
+  processes_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// TimedQueue
+// ---------------------------------------------------------------------------
+
+// std::greater on TimedEntry gives the same min-heap the old
+// std::priority_queue<TimedEntry, vector, greater<>> maintained.
+static constexpr auto timed_greater() noexcept {
+  return [](const auto& a, const auto& b) { return a > b; };
+}
+
+void Kernel::TimedQueue::push(const TimedEntry& entry) {
+  heap_.push_back(entry);
+  std::push_heap(heap_.begin(), heap_.end(), timed_greater());
+}
+
+void Kernel::TimedQueue::pop() {
+  std::pop_heap(heap_.begin(), heap_.end(), timed_greater());
+  heap_.pop_back();
+}
+
+void Kernel::TimedQueue::assign(std::vector<TimedEntry> entries) {
+  heap_ = std::move(entries);
+  std::make_heap(heap_.begin(), heap_.end(), timed_greater());
+}
 
 void Kernel::add_observer(KernelObserver& observer) {
   ensure(!has_observer(observer), "Kernel::add_observer: observer already attached");
@@ -198,6 +237,7 @@ Process& Kernel::spawn(std::string name, Coro coro) {
   ensure(coro.valid(), "spawn: coroutine is empty");
   auto process = std::unique_ptr<Process>(new Process(*this, std::move(name), Process::Kind::kThread));
   Process& p = *process;
+  p.ordinal_ = static_cast<std::uint32_t>(processes_.size());
   p.coro_ = std::move(coro);
   auto& promise = p.coro_.handle().promise();
   promise.kernel = this;
@@ -213,6 +253,7 @@ Process& Kernel::method(std::string name, std::function<void()> body,
   ensure(static_cast<bool>(body), "method: body is empty");
   auto process = std::unique_ptr<Process>(new Process(*this, std::move(name), Process::Kind::kMethod));
   Process& p = *process;
+  p.ordinal_ = static_cast<std::uint32_t>(processes_.size());
   p.body_ = std::move(body);
   for (Event* e : sensitivity) {
     ensure(e != nullptr, "method: null sensitivity event");
@@ -254,6 +295,16 @@ void Kernel::schedule_process_resume(Process& process, Time delay, bool timeout_
   entry.process = &process;
   entry.process_generation = timeout_flag ? process.wait_generation_ : process.bump_generation();
   entry.timeout_flag = timeout_flag;
+  timed_.push(entry);
+}
+
+void Kernel::schedule_process_resume_pinned(Process& process, Time delay, std::uint64_t seq) {
+  TimedEntry entry;
+  entry.when = now_ + delay;
+  entry.seq = seq;
+  entry.sub = 0;  // ties against a restored prefix entry resolve pinned-first
+  entry.process = &process;
+  entry.process_generation = process.bump_generation();
   timed_.push(entry);
 }
 
@@ -400,6 +451,14 @@ RunStatus Kernel::run(Time until, const RunBudget& budget) {
   std::uint64_t deltas_without_advance = 0;
   while (true) {
     const bool evaluated_fully = evaluate_phase(activation_limit);
+    if (!init_seq_marked_) {
+      // End of the first evaluate phase ever: every elaboration-time process
+      // has taken its initial slice, so next_seq_ here equals the seq a
+      // last-spawned injection process's delay received (or would have
+      // received) in a full replay. Forked replays pin to this value.
+      init_seq_mark_ = next_seq_;
+      init_seq_marked_ = true;
+    }
     update_phase();
     delta_notification_phase();
     ++stats_.delta_cycles;
@@ -429,6 +488,132 @@ RunStatus Kernel::run(Time until, const RunBudget& budget) {
     }
     deltas_without_advance = 0;
   }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot / restore
+// ---------------------------------------------------------------------------
+
+KernelSnapshot Kernel::snapshot() const {
+  ensure(current_ == nullptr && runnable_.empty() && update_requests_.empty() &&
+             delta_notifications_.empty() && !pending_error_,
+         "Kernel::snapshot: kernel is not quiescent (call between run() calls)");
+  KernelSnapshot s;
+  s.now = now_;
+  s.next_seq = next_seq_;
+  s.init_seq_mark = init_seq_mark_;
+  s.stats = stats_;
+  s.processes.reserve(processes_.size());
+  for (const auto& p : processes_) {
+    KernelSnapshot::ProcessImage img;
+    img.state = static_cast<std::uint8_t>(p->state_);
+    img.activations = p->activations_;
+    img.wait_generation = p->wait_generation_;
+    img.last_wait_timed_out = p->last_wait_timed_out_;
+    s.processes.push_back(img);
+  }
+  s.events.reserve(events_by_ordinal_.size());
+  for (const Event* e : events_by_ordinal_) {
+    ensure(e != nullptr, "Kernel::snapshot: an event was destroyed during elaboration");
+    KernelSnapshot::EventImage img;
+    img.notify_generation = e->notify_generation_;
+    img.fire_count = e->fire_count_;
+    img.dynamic_waiters.reserve(e->dynamic_waiters_.size());
+    for (const Event::DynamicWaiter& w : e->dynamic_waiters_) {
+      img.dynamic_waiters.emplace_back(w.process->ordinal_, w.generation);
+    }
+    s.events.push_back(std::move(img));
+  }
+  s.timed.reserve(timed_.entries().size());
+  for (const TimedEntry& e : timed_.entries()) {
+    KernelSnapshot::TimedImage img;
+    img.when = e.when;
+    img.seq = e.seq;
+    img.sub = e.sub;
+    if (e.event != nullptr) {
+      img.event_ordinal = e.event->ordinal_;
+      img.event_generation = e.event_generation;
+    } else {
+      img.process_ordinal = e.process->ordinal_;
+      img.process_generation = e.process_generation;
+    }
+    img.timeout_flag = e.timeout_flag;
+    s.timed.push_back(img);
+  }
+  return s;
+}
+
+void Kernel::restore(const KernelSnapshot& snapshot) {
+  ensure(current_ == nullptr, "Kernel::restore: kernel is mid-delta");
+  // A never-run system may carry elaboration-time artifacts (initial signal
+  // writes, delta notifications fired by module constructors). The snapshot
+  // was taken after the source system consumed them, so they are superseded
+  // by the overlay — discard rather than commit.
+  for (UpdateHook* hook : update_requests_) hook->discard_update();
+  update_requests_.clear();
+  delta_notifications_.clear();
+  ensure(processes_.size() == snapshot.processes.size() &&
+             events_by_ordinal_.size() == snapshot.events.size(),
+         "Kernel::restore: system shape differs from the snapshot source "
+         "(processes/events must be created in the identical order)");
+  // Fresh processes sit in the runnable queue awaiting their initial
+  // dispatch; the snapshot's prefix already ran it, so park everything and
+  // overlay the recorded scheduler state. Thread processes keep their fresh
+  // never-started coroutine as the resume point — process bodies are written
+  // so that running the body from the top with restored member state is
+  // equivalent to resuming after the await the original was parked on.
+  runnable_.clear();
+  for (std::size_t i = 0; i < processes_.size(); ++i) {
+    Process& p = *processes_[i];
+    const KernelSnapshot::ProcessImage& img = snapshot.processes[i];
+    p.queued_ = false;
+    p.state_ = static_cast<Process::State>(img.state);
+    p.activations_ = img.activations;
+    p.wait_generation_ = img.wait_generation;
+    p.last_wait_timed_out_ = img.last_wait_timed_out;
+  }
+  for (std::size_t i = 0; i < events_by_ordinal_.size(); ++i) {
+    Event* e = events_by_ordinal_[i];
+    ensure(e != nullptr, "Kernel::restore: an event was destroyed during elaboration");
+    const KernelSnapshot::EventImage& img = snapshot.events[i];
+    e->notify_generation_ = img.notify_generation;
+    e->fire_count_ = img.fire_count;
+    e->delta_pending_ = false;
+    e->dynamic_waiters_.clear();
+    for (const auto& [ordinal, generation] : img.dynamic_waiters) {
+      ensure(ordinal < processes_.size(), "Kernel::restore: waiter ordinal out of range");
+      e->dynamic_waiters_.push_back({processes_[ordinal].get(), generation});
+    }
+  }
+  std::vector<TimedEntry> entries;
+  entries.reserve(snapshot.timed.size());
+  for (const KernelSnapshot::TimedImage& img : snapshot.timed) {
+    TimedEntry e;
+    e.when = img.when;
+    e.seq = img.seq;
+    e.sub = img.sub;
+    if (img.event_ordinal >= 0) {
+      ensure(static_cast<std::size_t>(img.event_ordinal) < events_by_ordinal_.size(),
+             "Kernel::restore: event ordinal out of range");
+      e.event = events_by_ordinal_[static_cast<std::size_t>(img.event_ordinal)];
+      e.event_generation = img.event_generation;
+    } else {
+      ensure(img.process_ordinal >= 0 &&
+                 static_cast<std::size_t>(img.process_ordinal) < processes_.size(),
+             "Kernel::restore: process ordinal out of range");
+      e.process = processes_[static_cast<std::size_t>(img.process_ordinal)].get();
+      e.process_generation = img.process_generation;
+    }
+    e.timeout_flag = img.timeout_flag;
+    entries.push_back(e);
+  }
+  timed_.assign(std::move(entries));
+  now_ = snapshot.now;
+  next_seq_ = snapshot.next_seq;
+  init_seq_mark_ = snapshot.init_seq_mark;
+  init_seq_marked_ = true;
+  stats_ = snapshot.stats;
+  stop_requested_ = false;
 }
 
 }  // namespace vps::sim

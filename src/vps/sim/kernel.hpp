@@ -14,7 +14,6 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <queue>
 #include <string>
 #include <unordered_set>
 #include <vector>
@@ -126,6 +125,7 @@ class Event {
   std::uint64_t notify_generation_ = 0;  // bump to invalidate queued notifications
   bool delta_pending_ = false;
   std::uint64_t fire_count_ = 0;
+  std::uint32_t ordinal_ = 0;  // registration order; snapshot identity
 };
 
 // ---------------------------------------------------------------------------
@@ -159,6 +159,7 @@ class Process {
   friend class Kernel;
   friend class Event;
   friend struct DelayAwaiter;
+  friend struct PinnedDelayAwaiter;
   friend struct EventAwaiter;
   friend struct TimedEventAwaiter;
 
@@ -183,6 +184,7 @@ class Process {
 
   std::unique_ptr<Event> terminated_;
   bool queued_ = false;  // already in the runnable queue
+  std::uint32_t ordinal_ = 0;  // spawn order; snapshot identity
 };
 
 // ---------------------------------------------------------------------------
@@ -194,6 +196,11 @@ class UpdateHook {
  public:
   virtual ~UpdateHook() = default;
   virtual void perform_update() = 0;
+  /// Drops a requested-but-unperformed update without committing it. Called
+  /// by Kernel::restore when a snapshot overlay supersedes pending
+  /// elaboration-time writes (the snapshot already contains their consumed
+  /// effects — or their restored absence).
+  virtual void discard_update() noexcept = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -288,6 +295,47 @@ class KernelObserver {
   virtual void on_budget_trip(const RunStatus& status) { (void)status; }
 };
 
+/// Value-type image of the scheduler state at a quiescent instant (between
+/// Kernel::run calls). Processes and events are identified by *ordinal* —
+/// spawn order and registration order respectively — so an image taken from
+/// one kernel can be restored onto a freshly elaborated twin built in the
+/// identical construction order. Coroutine frames are NOT captured: restore
+/// relies on process bodies being written so that resuming from the top of
+/// the body with restored member state is equivalent to resuming after the
+/// await the original was parked on (see DESIGN.md "Replay engine").
+struct KernelSnapshot {
+  struct ProcessImage {
+    std::uint8_t state = 0;  // Process::State
+    std::uint64_t activations = 0;
+    std::uint64_t wait_generation = 0;
+    bool last_wait_timed_out = false;
+  };
+  struct EventImage {
+    std::uint64_t notify_generation = 0;
+    std::uint64_t fire_count = 0;
+    /// (process ordinal, wait generation) of each parked dynamic waiter.
+    std::vector<std::pair<std::uint32_t, std::uint64_t>> dynamic_waiters;
+  };
+  struct TimedImage {
+    Time when;
+    std::uint64_t seq = 0;
+    std::uint8_t sub = 1;
+    std::int64_t event_ordinal = -1;    // -1: process entry
+    std::uint64_t event_generation = 0;
+    std::int64_t process_ordinal = -1;  // -1: event entry
+    std::uint64_t process_generation = 0;
+    bool timeout_flag = false;
+  };
+
+  Time now;
+  std::uint64_t next_seq = 0;
+  std::uint64_t init_seq_mark = 0;
+  KernelStats stats;
+  std::vector<ProcessImage> processes;
+  std::vector<EventImage> events;
+  std::vector<TimedImage> timed;
+};
+
 class Kernel {
  public:
   Kernel();
@@ -342,11 +390,33 @@ class Kernel {
   void stop() noexcept { stop_requested_ = true; }
   [[nodiscard]] bool stop_requested() const noexcept { return stop_requested_; }
 
+  // --- cloneable scheduler state (snapshot-and-fork replay) -----------------
+
+  /// Captures the scheduler state at a quiescent instant (no runnable
+  /// processes, no pending update/delta phases — i.e. between run() calls).
+  /// ensure()-fails when called mid-delta.
+  [[nodiscard]] KernelSnapshot snapshot() const;
+  /// Overlays a snapshot onto a freshly elaborated kernel whose processes
+  /// and events were created in the identical order as the snapshot source.
+  /// All pending timed entries, waiter registrations and generations are
+  /// recreated; fresh never-started coroutines stand in for the original
+  /// frames (see KernelSnapshot). ensure()-fails on a shape mismatch.
+  void restore(const KernelSnapshot& snapshot);
+  /// next_seq_ as it stood at the end of the very first evaluate phase: the
+  /// seq an entry scheduled by a process spawned last during elaboration
+  /// receives. The fork path pins the fault-injection delay to this seq so a
+  /// forked replay orders same-instant entries exactly like a full replay.
+  [[nodiscard]] std::uint64_t init_seq_mark() const noexcept { return init_seq_mark_; }
+
   // --- internal scheduling interface (used by Event / awaiters / channels) --
   void request_update(UpdateHook& hook);
   void queue_delta_notification(Event& event);
   void queue_timed_notification(Event& event, Time delay);
   void schedule_process_resume(Process& process, Time delay, bool timeout_flag);
+  /// Variant with an explicit (seq, sub) key instead of the allocation
+  /// counter; does not advance next_seq_. Used by delay_pinned() so a
+  /// snapshot-forked replay reproduces the full replay's entry ordering.
+  void schedule_process_resume_pinned(Process& process, Time delay, std::uint64_t seq);
   /// Queues a timeout entry that reuses the generation of an event wait the
   /// caller already registered (wait_with_timeout support).
   void schedule_timeout(Process& process, Time delay, std::uint64_t gen);
@@ -361,6 +431,12 @@ class Kernel {
   struct TimedEntry {
     Time when;
     std::uint64_t seq;  // insertion order for deterministic FIFO at same time
+    // Tie-break under seq for *pinned* entries (sub = 0): a forked replay
+    // pins the injection delay to the seq the full replay allocated for it,
+    // which can collide with a restored prefix entry carrying the same seq.
+    // The full replay orders the injection first (the prefix entry sits one
+    // seq later there), so pinned-before-normal reproduces that order.
+    std::uint8_t sub = 1;
     Event* event = nullptr;
     std::uint64_t event_generation = 0;
     Process* process = nullptr;
@@ -369,12 +445,39 @@ class Kernel {
 
     bool operator>(const TimedEntry& other) const noexcept {
       if (when != other.when) return when > other.when;
-      return seq > other.seq;
+      if (seq != other.seq) return seq > other.seq;
+      return sub > other.sub;
     }
   };
 
-  void register_event(Event& e) { live_events_.insert(&e); }
-  void unregister_event(Event& e) { live_events_.erase(&e); }
+  /// Min-heap over TimedEntry with the same pop order as the
+  /// std::priority_queue it replaces, but with the backing vector readable
+  /// (snapshot()) and assignable (restore()). (when, seq, sub) keys are
+  /// unique, so heap layout never affects pop order.
+  class TimedQueue {
+   public:
+    [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+    [[nodiscard]] const TimedEntry& top() const noexcept { return heap_.front(); }
+    void push(const TimedEntry& entry);
+    void pop();
+    [[nodiscard]] const std::vector<TimedEntry>& entries() const noexcept { return heap_; }
+    void assign(std::vector<TimedEntry> entries);
+
+   private:
+    std::vector<TimedEntry> heap_;
+  };
+
+  void register_event(Event& e) {
+    e.ordinal_ = static_cast<std::uint32_t>(events_by_ordinal_.size());
+    events_by_ordinal_.push_back(&e);
+    live_events_.insert(&e);
+  }
+  void unregister_event(Event& e) {
+    if (e.ordinal_ < events_by_ordinal_.size() && events_by_ordinal_[e.ordinal_] == &e) {
+      events_by_ordinal_[e.ordinal_] = nullptr;
+    }
+    live_events_.erase(&e);
+  }
 
   void run_process(Process& p);
   /// Runs runnable processes until the queue drains or `activation_limit`
@@ -392,6 +495,8 @@ class Kernel {
   Process* current_ = nullptr;
   std::vector<KernelObserver*> observers_;
   std::uint64_t next_seq_ = 0;
+  std::uint64_t init_seq_mark_ = 0;
+  bool init_seq_marked_ = false;
   KernelStats stats_;
   std::exception_ptr pending_error_;
 
@@ -399,8 +504,9 @@ class Kernel {
   std::deque<Process*> runnable_;
   std::vector<UpdateHook*> update_requests_;
   std::vector<Event*> delta_notifications_;
-  std::priority_queue<TimedEntry, std::vector<TimedEntry>, std::greater<>> timed_;
+  TimedQueue timed_;
   std::unordered_set<const Event*> live_events_;
+  std::vector<Event*> events_by_ordinal_;  // registration order; null = destroyed
 };
 
 // ---------------------------------------------------------------------------
@@ -416,6 +522,23 @@ struct DelayAwaiter {
 };
 
 [[nodiscard]] inline DelayAwaiter delay(Time t) noexcept { return DelayAwaiter{t}; }
+
+/// co_await delay_pinned(t, seq): like delay(), but the timed entry is keyed
+/// by an explicit seq (with the pinned tie-break) instead of the allocation
+/// counter. Snapshot-forked replays use this for the fault-injection delay —
+/// pinned to Kernel::init_seq_mark() — so the injection orders against
+/// restored prefix entries exactly as it does in a full replay.
+struct PinnedDelayAwaiter {
+  Time delay;
+  std::uint64_t seq;
+  [[nodiscard]] bool await_ready() const noexcept { return false; }
+  void await_suspend(Coro::Handle h);
+  void await_resume() const noexcept {}
+};
+
+[[nodiscard]] inline PinnedDelayAwaiter delay_pinned(Time t, std::uint64_t seq) noexcept {
+  return PinnedDelayAwaiter{t, seq};
+}
 
 /// co_await event: suspends until the event fires.
 struct EventAwaiter {

@@ -88,6 +88,34 @@ class Signal final : public UpdateHook {
 
   [[nodiscard]] std::size_t commit_hook_count() const noexcept { return hooks_.size(); }
 
+  /// Value-type image for snapshot-and-fork replay. Taken at a quiescent
+  /// instant (no update pending), so current == next by construction.
+  struct Snapshot {
+    T value{};
+    std::uint64_t poison_id = 0;
+    std::uint64_t change_count = 0;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const {
+    return Snapshot{current_, poison_id_, change_count_};
+  }
+
+  /// Silently overlays a snapshot: no commit hooks run and no changed event
+  /// fires (the changed event's scheduler state is restored by
+  /// Kernel::restore, keyed by event ordinal).
+  void restore(const Snapshot& s) {
+    current_ = s.value;
+    next_ = s.value;
+    poison_id_ = s.poison_id;
+    change_count_ = s.change_count;
+    update_pending_ = false;
+  }
+
+  void discard_update() noexcept override {
+    update_pending_ = false;
+    next_ = current_;
+  }
+
   void perform_update() override {
     update_pending_ = false;
     if (next_ == current_) return;

@@ -49,6 +49,18 @@ class QuantumKeeper {
   /// Number of actual kernel yields performed by sync().
   [[nodiscard]] std::uint64_t sync_count() const noexcept { return sync_count_; }
 
+  /// Value-type image for snapshot-and-fork replay.
+  struct Snapshot {
+    sim::Time local;
+    std::uint64_t sync_count = 0;
+  };
+
+  [[nodiscard]] Snapshot snapshot() const noexcept { return Snapshot{local_, sync_count_}; }
+  void restore(const Snapshot& s) noexcept {
+    local_ = s.local;
+    sync_count_ = s.sync_count;
+  }
+
  private:
   sim::Kernel& kernel_;
   sim::Time quantum_;

@@ -45,6 +45,17 @@ class Router final : public BlockingTransport, public DmiProvider {
   void b_transport(GenericPayload& payload, sim::Time& delay) override;
   bool get_direct_mem_ptr(std::uint64_t address, DmiRegion& region) override;
 
+  // --- snapshot-and-fork replay -------------------------------------------
+  struct Snapshot {
+    std::uint64_t forwarded = 0;
+    std::uint64_t decode_errors = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const { return Snapshot{forwarded_, decode_errors_}; }
+  void restore(const Snapshot& s) {
+    forwarded_ = s.forwarded;
+    decode_errors_ = s.decode_errors;
+  }
+
  private:
   struct Window {
     std::uint64_t base;

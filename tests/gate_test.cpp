@@ -309,4 +309,151 @@ TEST(FaultSim, FewVectorsGiveLowerCoverage) {
   EXPECT_GT(full.coverage(), 0.9);
 }
 
+TEST(FaultSim, EmptyFaultListHasZeroCoverage) {
+  // A netlist with no gates enumerates no fault sites; "no site covered"
+  // must read as 0 % coverage, never a vacuous 100 %.
+  FaultSimResult empty;
+  EXPECT_EQ(empty.total_faults, 0u);
+  EXPECT_EQ(empty.coverage(), 0.0);
+
+  Netlist nl;
+  FaultSimulator fsim(nl);
+  const auto result = fsim.run({{0, 0}});
+  EXPECT_EQ(result.total_faults, 0u);
+  EXPECT_EQ(result.coverage(), 0.0);
+}
+
+TEST(FaultSim, GoldenResponsesComputedOncePerSweep) {
+  // The golden run must contribute exactly vectors.size() simulations to
+  // the count — not vectors.size() per fault, the regression the hoisting
+  // fixed. Fault contributions are bounded by faults * vectors, so any
+  // per-fault golden recomputation pushes the total past the bound.
+  Netlist nl;
+  const Word a = input_word(nl, "a", 3);
+  const Word b = input_word(nl, "b", 3);
+  const Word sum = ripple_adder(nl, a, b, true);
+  for (std::size_t i = 0; i < sum.size(); ++i) nl.mark_output("s" + std::to_string(i), sum[i]);
+
+  FaultSimulator fsim(nl);
+  std::vector<TestVector> vectors;
+  for (std::uint64_t v = 0; v < 16; ++v) vectors.push_back({v * 5, 0});
+  const auto result = fsim.run(vectors);
+  EXPECT_LE(result.simulations, vectors.size() * (1 + result.total_faults));
+  EXPECT_GE(result.simulations, vectors.size() + result.total_faults);  // golden + >=1 each
+}
+
+/// Reference serial implementation (the pre-PPSFP per-fault loop) used to
+/// pin the word-parallel engine: classifications, undetected order and the
+/// simulations count must match bit for bit.
+FaultSimResult serial_reference(const Netlist& nl, const std::vector<TestVector>& vectors) {
+  FaultSimulator fsim(nl);
+  FaultSimResult result;
+  const auto sites = fsim.enumerate_faults();
+  result.total_faults = sites.size();
+  std::vector<std::uint64_t> golden;
+  {
+    Evaluator eval(nl);
+    for (const auto& v : vectors) {
+      eval.reset();
+      golden.push_back(fsim.response(eval, v));
+      ++result.simulations;
+    }
+  }
+  for (const auto& site : sites) {
+    Evaluator eval(nl);
+    eval.inject_stuck_at(site.net, site.stuck_value);
+    bool detected = false;
+    for (std::size_t i = 0; i < vectors.size() && !detected; ++i) {
+      eval.reset();
+      detected = fsim.response(eval, vectors[i]) != golden[i];
+      ++result.simulations;
+    }
+    if (detected) {
+      ++result.detected;
+    } else {
+      result.undetected.push_back(site);
+    }
+  }
+  return result;
+}
+
+TEST(FaultSim, WordParallelMatchesSerialReference) {
+  // Combinational (comparator), sequential (registered adder via clocked
+  // vectors) and >64-fault-site designs — every case where batching could
+  // diverge from the serial loop.
+  Netlist nl;
+  const Word a = input_word(nl, "a", 4);
+  const Word b = input_word(nl, "b", 4);
+  const Word sum = ripple_adder(nl, a, b, true);
+  for (std::size_t i = 0; i < sum.size(); ++i) nl.mark_output("s" + std::to_string(i), sum[i]);
+  nl.mark_output("gt", greater_than(nl, a, b));
+  ASSERT_GT(nl.fault_site_count(), 64u);  // spans multiple PPSFP batches
+
+  std::vector<TestVector> vectors;
+  for (std::uint64_t v = 0; v < 48; ++v) vectors.push_back({v * 7 + 3, v % 3});
+
+  const FaultSimResult want = serial_reference(nl, vectors);
+  const FaultSimResult got = FaultSimulator(nl).run(vectors);
+  EXPECT_EQ(want.total_faults, got.total_faults);
+  EXPECT_EQ(want.detected, got.detected);
+  EXPECT_EQ(want.simulations, got.simulations);
+  ASSERT_EQ(want.undetected.size(), got.undetected.size());
+  for (std::size_t i = 0; i < want.undetected.size(); ++i) {
+    EXPECT_EQ(want.undetected[i].net, got.undetected[i].net) << i;
+    EXPECT_EQ(want.undetected[i].stuck_value, got.undetected[i].stuck_value) << i;
+  }
+}
+
+TEST(FaultSim, ResponsePacksExactlySixtyFourOutputs) {
+  // 64 outputs: every output owns a distinct bit, no aliasing.
+  Netlist nl;
+  const Word in = input_word(nl, "i", 6);
+  std::vector<NetId> outs;
+  for (std::size_t o = 0; o < 64; ++o) {
+    // Each output is a distinct function of the inputs (decoder-style).
+    NetId net = nl.constant(true);
+    for (std::size_t bit = 0; bit < 6; ++bit) {
+      const NetId lit =
+          ((o >> bit) & 1u) != 0 ? in[bit] : nl.add(GateKind::kNot, in[bit]);
+      net = nl.add(GateKind::kAnd, net, lit);
+    }
+    outs.push_back(net);
+    nl.mark_output((o < 10 ? "o0" : "o") + std::to_string(o), net);
+  }
+  FaultSimulator fsim(nl);
+  Evaluator eval(nl);
+  // Exactly one decoder line is hot per input value, so each response is a
+  // distinct one-hot word; collisions would prove aliasing.
+  std::uint64_t seen = 0;
+  for (std::uint64_t v = 0; v < 64; ++v) {
+    const std::uint64_t r = fsim.response(eval, {v, 0});
+    EXPECT_EQ(std::popcount(r), 1) << v;
+    EXPECT_EQ(seen & r, 0u) << "aliased response at input " << v;
+    seen |= r;
+  }
+  EXPECT_EQ(seen, ~std::uint64_t{0});
+}
+
+TEST(FaultSim, ResponseRefusesSixtyFiveOutputsWideResponseHandlesThem) {
+  // 65 outputs: the packed word would silently alias output 0 out of the
+  // result — response() must fail loudly, wide_response() must cover all.
+  Netlist nl;
+  const Word in = input_word(nl, "i", 7);
+  for (std::size_t o = 0; o < 65; ++o) {
+    const NetId net = nl.add(GateKind::kXor, in[o % 7], in[(o + 1) % 7]);
+    nl.mark_output("w" + std::to_string(100 + o), net);
+  }
+  FaultSimulator fsim(nl);
+  Evaluator eval(nl);
+  EXPECT_THROW((void)fsim.response(eval, {0x55, 0}), vps::support::InvariantError);
+  const auto wide = fsim.wide_response(eval, {0x55, 0});
+  ASSERT_EQ(wide.size(), 2u);  // 65 outputs -> two words
+  // And the sweep itself must classify such designs, not alias them.
+  std::vector<TestVector> vectors;
+  for (std::uint64_t v = 0; v < 128; ++v) vectors.push_back({v, 0});
+  const auto result = fsim.run(vectors);
+  EXPECT_EQ(result.total_faults, nl.fault_site_count());
+  EXPECT_GT(result.coverage(), 0.9);
+}
+
 }  // namespace

@@ -1,0 +1,155 @@
+// Snapshot-and-fork replay equivalence: for every registry scenario, a
+// faulty replay forked from a cached golden epoch snapshot must be bitwise
+// identical — Observation fields, provenance DAGs, derived campaign metrics
+// — to a full from-scratch replay, at any worker count. This is the CI
+// guard for the replay engine's core contract (see DESIGN.md).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "vps/apps/registry.hpp"
+#include "vps/fault/campaign.hpp"
+#include "vps/fault/scenario.hpp"
+#include "vps/obs/provenance.hpp"
+#include "vps/support/rng.hpp"
+
+namespace {
+
+using namespace vps;
+using fault::CampaignConfig;
+using fault::FaultDescriptor;
+using fault::Observation;
+using sim::Time;
+
+void expect_identical(const Observation& full, const Observation& forked,
+                      const std::string& context) {
+  EXPECT_EQ(full.output_signature, forked.output_signature) << context;
+  EXPECT_EQ(full.completed, forked.completed) << context;
+  EXPECT_EQ(full.hazard, forked.hazard) << context;
+  EXPECT_EQ(full.detected, forked.detected) << context;
+  EXPECT_EQ(full.corrected, forked.corrected) << context;
+  EXPECT_EQ(full.resets, forked.resets) << context;
+  EXPECT_EQ(full.deadline_misses, forked.deadline_misses) << context;
+  ASSERT_EQ(full.provenance.size(), forked.provenance.size()) << context;
+  for (std::size_t i = 0; i < full.provenance.size(); ++i) {
+    // The JSON encoding covers every node field (site, kind, timestamp,
+    // parent, depth), so string equality is a bitwise DAG comparison.
+    EXPECT_EQ(obs::provenance_to_json(full.provenance[i]),
+              obs::provenance_to_json(forked.provenance[i]))
+        << context << " provenance[" << i << "]";
+  }
+}
+
+/// Drives the same generated fault list through two scenario instances —
+/// one with snapshot forking, one forced to full replays — and requires
+/// bit-identical observations. Faults are drawn by the campaign's own
+/// generator so the injection times span the whole run (early injections
+/// exercise the full-replay fallback, late ones the deep-epoch forks).
+void check_scenario(const std::string& spec, std::size_t runs, std::uint64_t seed) {
+  auto forked = apps::make_scenario(spec);
+  auto full = apps::make_scenario(spec);
+  ASSERT_NE(forked, nullptr);
+  ASSERT_NE(full, nullptr);
+  forked->set_snapshot_replay(true);
+  full->set_snapshot_replay(false);
+
+  CampaignConfig config;
+  config.runs = runs;
+  config.seed = seed;
+  fault::CampaignState state(full->fault_types(), full->duration(), config);
+
+  const Observation golden_full = full->run(nullptr, seed);
+  const Observation golden_forked = forked->run(nullptr, seed);
+  expect_identical(golden_full, golden_forked, spec + " golden");
+
+  const support::Xorshift base(seed);
+  for (std::size_t run = 0; run < runs; ++run) {
+    support::Xorshift run_rng = base.fork(run);
+    const FaultDescriptor fault = state.generate(run, run_rng);
+    const Observation obs_full = full->run(&fault, seed);
+    const Observation obs_forked = forked->run(&fault, seed);
+    expect_identical(obs_full, obs_forked,
+                     spec + " run " + std::to_string(run) + " " + fault.to_string());
+  }
+}
+
+TEST(SnapshotReplay, CapsNormalProtected) { check_scenario("caps:normal:protected", 24, 42); }
+
+TEST(SnapshotReplay, CapsCrashUnprotected) { check_scenario("caps:crash:unprotected", 24, 7); }
+
+TEST(SnapshotReplay, CapsCrashProtectedEccProvenance) {
+  check_scenario("caps:crash:protected:ecc:prov", 24, 1234);
+}
+
+TEST(SnapshotReplay, CapsNormalUnprotectedProvenance) {
+  check_scenario("caps:normal:unprotected:prov", 16, 99);
+}
+
+TEST(SnapshotReplay, Acc) { check_scenario("acc", 24, 42); }
+
+void expect_same_records(const fault::CampaignResult& want, const fault::CampaignResult& got,
+                         const std::string& context) {
+  ASSERT_EQ(want.records.size(), got.records.size()) << context;
+  for (std::size_t i = 0; i < want.records.size(); ++i) {
+    EXPECT_EQ(want.records[i].outcome, got.records[i].outcome) << context << " run=" << i;
+    EXPECT_EQ(want.records[i].fault.to_string(), got.records[i].fault.to_string())
+        << context << " run=" << i;
+    ASSERT_EQ(want.records[i].provenance.size(), got.records[i].provenance.size())
+        << context << " run=" << i;
+    for (std::size_t p = 0; p < want.records[i].provenance.size(); ++p) {
+      EXPECT_EQ(obs::provenance_to_json(want.records[i].provenance[p]),
+                obs::provenance_to_json(got.records[i].provenance[p]))
+          << context << " run=" << i;
+    }
+  }
+  EXPECT_EQ(want.final_coverage, got.final_coverage) << context;
+}
+
+/// The sequential driver must produce identical records with forking on or
+/// off — classification, learning and coverage fold identically.
+TEST(SnapshotReplay, SequentialCampaignEquivalence) {
+  const std::string spec = "caps:crash:protected:prov";
+  CampaignConfig config;
+  config.runs = 16;
+  config.seed = 11;
+
+  config.snapshot_replay = false;
+  auto full_scenario = apps::make_scenario(spec);
+  fault::Campaign reference(*full_scenario, config);
+  const fault::CampaignResult want = reference.run();
+
+  config.snapshot_replay = true;
+  auto forked_scenario = apps::make_scenario(spec);
+  fault::Campaign campaign(*forked_scenario, config);
+  expect_same_records(want, campaign.run(), "sequential fork-vs-full");
+}
+
+/// The parallel driver must produce identical aggregate results with
+/// forking on or off, regardless of worker count: every replay forks from a
+/// snapshot cached inside the worker's own scenario instance, so scheduling
+/// cannot perturb results.
+TEST(SnapshotReplay, ParallelCampaignEquivalenceAcrossWorkers) {
+  const std::string spec = "caps:crash:protected:prov";
+  CampaignConfig base_config;
+  base_config.runs = 16;
+  base_config.seed = 11;
+
+  CampaignConfig full_config = base_config;
+  full_config.snapshot_replay = false;
+  full_config.workers = 1;
+  fault::ParallelCampaign reference([&spec] { return apps::make_scenario(spec); }, full_config);
+  const fault::CampaignResult want = reference.run();
+
+  for (const std::size_t workers : {std::size_t{1}, std::size_t{2}, std::size_t{8}}) {
+    CampaignConfig config = base_config;
+    config.snapshot_replay = true;
+    config.workers = workers;
+    fault::ParallelCampaign campaign([&spec] { return apps::make_scenario(spec); }, config);
+    expect_same_records(want, campaign.run(), "workers=" + std::to_string(workers));
+  }
+}
+
+}  // namespace
