@@ -1,0 +1,170 @@
+// E20 — campaign-server overhead: runs/second of the same CAPS crash
+// campaign submitted to the persistent campaign server (standing 4-worker
+// pool, jobs multiplexed over one TCP listener) vs E18's one-shot
+// distributed fleet (fork per campaign) and the in-process baseline. The
+// interesting deltas: the per-run tax of the server hop on a cold pool
+// (first submission pays the SETUP/HELLO handshake), on a warm pool
+// (fleet spin-up amortized away), and with two tenants sharing the pool
+// concurrently. Every configuration must reproduce the baseline bitwise.
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "vps/apps/registry.hpp"
+#include "vps/dist/coordinator.hpp"
+#include "vps/dist/server.hpp"
+#include "vps/dist/transport.hpp"
+#include "vps/dist/worker.hpp"
+#include "vps/fault/campaign.hpp"
+
+using namespace vps;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+constexpr const char* kHost = "127.0.0.1";
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// Pool workers rebuild the scenario from the registry spec, so the client
+// factory must be the registry's own — any private config tweak (e.g. a
+// shortened sim duration) would silently fold a different campaign.
+fault::ScenarioFactory caps_factory() {
+  return [] { return apps::make_scenario("caps:crash"); };
+}
+
+pid_t fork_pool_worker(std::uint16_t port) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  int code = 3;
+  {
+    dist::Channel channel(dist::tcp_connect(kHost, port));
+    code = dist::serve_pool(channel, [](const dist::SetupMsg& setup) {
+      return apps::make_scenario(setup.scenario_spec);
+    });
+  }
+  ::_exit(code);
+}
+
+fault::CampaignResult submit(std::uint16_t port, const char* tenant,
+                             const fault::CampaignConfig& cfg) {
+  dist::DistConfig dc;
+  dc.campaign = cfg;
+  dc.server_host = kHost;
+  dc.server_port = port;
+  dc.tenant = tenant;
+  dc.scenario_spec = "caps:crash";
+  dist::DistCampaign campaign(caps_factory(), dc);
+  return campaign.run();
+}
+
+bool identical(const fault::CampaignResult& a, const fault::CampaignResult& b) {
+  return a.outcome_counts == b.outcome_counts && a.coverage_curve == b.coverage_curve;
+}
+
+void row(const char* label, std::size_t runs, double s, double base_per_run_us, bool same) {
+  const double per_run_us = s / static_cast<double>(runs) * 1e6;
+  std::printf("%-32s %8.1f runs/s  %9.1f us/run  vs in-process %+8.1f us/run  identical: %s\n",
+              label, static_cast<double>(runs) / s, per_run_us, per_run_us - base_per_run_us,
+              same ? "yes" : "NO — BUG");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t runs = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 96;
+
+  fault::CampaignConfig cfg;
+  cfg.runs = runs;
+  cfg.seed = 2026;
+  cfg.strategy = fault::Strategy::kGuided;
+  cfg.location_buckets = 8;
+  cfg.batch_size = 16;
+
+  std::printf("== E20: campaign-server overhead (CAPS crash, %zu runs, 4 workers) ==\n\n", runs);
+
+  // In-process and one-shot-fleet references (E18's endpoints).
+  const auto t_base = Clock::now();
+  const auto baseline = fault::ParallelCampaign(caps_factory(), cfg).run();
+  const double base_s = seconds_since(t_base);
+  const double base_per_run_us = base_s / static_cast<double>(runs) * 1e6;
+  row("in-process (1 thread)", runs, base_s, base_per_run_us, true);
+
+  {
+    dist::DistConfig dc;
+    dc.campaign = cfg;
+    dc.workers = 4;
+    dist::DistCampaign campaign(caps_factory(), dc);
+    const auto t0 = Clock::now();
+    const auto result = campaign.run();
+    row("one-shot fleet, 4 workers", runs, seconds_since(t0), base_per_run_us,
+        identical(result, baseline));
+    if (!identical(result, baseline)) return 1;
+  }
+
+  // Standing pool behind the campaign server. Workers are forked before the
+  // server thread starts (fork safety); the bound listener's backlog holds
+  // their connects until the serve loop accepts.
+  dist::CampaignServer server{dist::ServerConfig{}};
+  std::vector<pid_t> pool;
+  for (int i = 0; i < 4; ++i) pool.push_back(fork_pool_worker(server.port()));
+  server.start();
+
+  // Cold submission: pool is standing but this job still pays its
+  // SETUP/HELLO handshake on every worker.
+  {
+    const auto t0 = Clock::now();
+    const auto result = submit(server.port(), "cold", cfg);
+    row("server, cold pool", runs, seconds_since(t0), base_per_run_us,
+        identical(result, baseline));
+    if (!identical(result, baseline)) return 1;
+  }
+
+  // Warm submission: same standing pool, fleet spin-up fully amortized —
+  // this is the steady-state cost a tenant of a long-lived server sees.
+  {
+    const auto t0 = Clock::now();
+    const auto result = submit(server.port(), "warm", cfg);
+    row("server, warm pool", runs, seconds_since(t0), base_per_run_us,
+        identical(result, baseline));
+    if (!identical(result, baseline)) return 1;
+  }
+
+  // Two tenants sharing the pool concurrently: per-tenant wall time roughly
+  // doubles (half the pool each under fair share) but both folds must stay
+  // bitwise identical to the solo baseline.
+  {
+    fault::CampaignResult a, b;
+    const auto t0 = Clock::now();
+    std::thread ta([&] { a = submit(server.port(), "tenant-a", cfg); });
+    std::thread tb([&] { b = submit(server.port(), "tenant-b", cfg); });
+    ta.join();
+    tb.join();
+    const double s = seconds_since(t0);
+    const bool same = identical(a, baseline) && identical(b, baseline);
+    row("server, 2 tenants x same load", 2 * runs, s, base_per_run_us, same);
+    if (!same) return 1;
+  }
+
+  server.stop();
+  for (const pid_t pid : pool) {
+    int status = 0;
+    pid_t r;
+    do {
+      r = ::waitpid(pid, &status, 0);
+    } while (r < 0 && errno == EINTR);
+  }
+
+  std::printf("\nevery server-mode configuration reproduced the in-process result bitwise\n");
+  return 0;
+}

@@ -1,0 +1,231 @@
+// Campaign-as-a-service end to end: starts the persistent campaign server,
+// registers a standing worker pool, submits two tenant campaigns (CAPS and
+// ACC) concurrently, SIGKILLs one pool worker mid-run, and byte-diffs each
+// tenant's folded record JSONL against its solo in-process golden. Exits
+// nonzero on any divergence — exactly how CI uses this program.
+//
+// Usage: campaign_server [path-to-vps-serverd path-to-vps-worker]
+//   Without arguments the server runs in-process and the pool workers are
+//   forked (serving straight out of fork() via the app registry); with both
+//   paths the real binaries are fork+exec'd and wired up over TCP the way a
+//   production deployment would be.
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "vps/apps/caps.hpp"
+#include "vps/apps/registry.hpp"
+#include "vps/dist/coordinator.hpp"
+#include "vps/dist/server.hpp"
+#include "vps/dist/transport.hpp"
+#include "vps/dist/worker.hpp"
+#include "vps/fault/campaign.hpp"
+#include "vps/fault/checkpoint.hpp"
+
+using namespace vps;
+
+namespace {
+
+constexpr const char* kHost = "127.0.0.1";
+
+pid_t fork_pool_worker(std::uint16_t port, const char* worker_path) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  if (worker_path != nullptr) {
+    const std::string target = std::string(kHost) + ":" + std::to_string(port);
+    ::execl(worker_path, "vps-worker", "--connect", target.c_str(),
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  int code = 3;
+  {
+    dist::Channel channel(dist::tcp_connect(kHost, port));
+    code = dist::serve_pool(channel, [](const dist::SetupMsg& setup) {
+      return apps::make_scenario(setup.scenario_spec);
+    });
+  }
+  ::_exit(code);
+}
+
+/// Spawns vps-serverd with its stdout on a pipe and parses the
+/// "listening on PORT" line it prints once the listener is bound.
+pid_t spawn_serverd(const char* serverd_path, std::uint16_t* port_out) {
+  int fds[2];
+  if (::pipe(fds) != 0) return -1;
+  const pid_t pid = ::fork();
+  if (pid == 0) {
+    ::close(fds[0]);
+    ::dup2(fds[1], 1);
+    ::close(fds[1]);
+    ::execl(serverd_path, "vps-serverd", "--port", "0", static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  ::close(fds[1]);
+  char line[128] = {0};
+  std::size_t got = 0;
+  while (got + 1 < sizeof line) {
+    const ssize_t n = ::read(fds[0], line + got, 1);
+    if (n <= 0 || line[got] == '\n') break;
+    ++got;
+  }
+  ::close(fds[0]);
+  unsigned port = 0;
+  if (std::sscanf(line, "listening on %u", &port) != 1 || port == 0 || port > 65535) {
+    std::fprintf(stderr, "campaign_server: could not parse serverd banner '%s'\n", line);
+    ::kill(pid, SIGKILL);
+    return -1;
+  }
+  *port_out = static_cast<std::uint16_t>(port);
+  return pid;
+}
+
+void reap(pid_t pid) {
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid, &status, 0);
+  } while (r < 0 && errno == EINTR);
+}
+
+/// Canonical byte form of one tenant's folded campaign: the checkpoint
+/// JSONL, which serializes every record (descriptors, outcomes, crash
+/// diagnostics, provenance) with bitwise-exact doubles.
+std::string folded_jsonl(const std::string& scenario, const fault::CampaignConfig& cfg,
+                         const fault::Observation& golden, const fault::CampaignResult& result) {
+  fault::CampaignCheckpoint cp;
+  cp.driver = "parallel_campaign";
+  cp.scenario = scenario;
+  cp.config = cfg;
+  cp.golden = golden;
+  cp.records = result.records;
+  return to_jsonl(cp);
+}
+
+struct Tenant {
+  const char* name;
+  const char* spec;
+  fault::ScenarioFactory factory;
+  fault::CampaignConfig cfg;
+  fault::CampaignResult solo;
+  fault::CampaignResult via_server;
+  fault::Observation golden;
+  std::string scenario_name;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 1 && argc != 3) {
+    std::fprintf(stderr, "usage: %s [path-to-vps-serverd path-to-vps-worker]\n", argv[0]);
+    return 64;
+  }
+  const char* serverd_path = argc == 3 ? argv[1] : nullptr;
+  const char* worker_path = argc == 3 ? argv[2] : nullptr;
+
+  std::vector<Tenant> tenants;
+  {
+    Tenant caps;
+    caps.name = "caps";
+    caps.spec = "caps:crash";
+    caps.factory = [] { return std::make_unique<apps::CapsScenario>(apps::CapsConfig{.crash = true}); };
+    caps.cfg.runs = 96;
+    caps.cfg.seed = 2026;
+    caps.cfg.strategy = fault::Strategy::kGuided;
+    caps.cfg.location_buckets = 8;
+    caps.cfg.batch_size = 16;
+    tenants.push_back(std::move(caps));
+
+    Tenant acc;
+    acc.name = "acc";
+    acc.spec = "acc";
+    acc.factory = [] { return apps::make_scenario("acc"); };
+    acc.cfg.runs = 24;
+    acc.cfg.seed = 9;
+    tenants.push_back(std::move(acc));
+  }
+
+  // 1. Solo in-process goldens: what the shared pool must reproduce, bit
+  //    for bit, per tenant.
+  for (Tenant& t : tenants) {
+    std::printf("== solo golden: %s (%zu runs) ==\n", t.name, t.cfg.runs);
+    t.solo = fault::ParallelCampaign(t.factory, t.cfg).run();
+  }
+
+  // 2. Server + standing pool. Workers are forked before any thread exists;
+  //    the bound listener's backlog holds their connects until accept.
+  std::uint16_t port = 0;
+  pid_t serverd_pid = -1;
+  std::unique_ptr<dist::CampaignServer> in_process;
+  if (serverd_path != nullptr) {
+    serverd_pid = spawn_serverd(serverd_path, &port);
+    if (serverd_pid < 0) return 1;
+    std::printf("== vps-serverd pid %d on port %u ==\n", static_cast<int>(serverd_pid), port);
+  } else {
+    in_process = std::make_unique<dist::CampaignServer>(dist::ServerConfig{});
+    port = in_process->port();
+    std::printf("== in-process campaign server on port %u ==\n", port);
+  }
+  std::vector<pid_t> pool;
+  for (int i = 0; i < 4; ++i) pool.push_back(fork_pool_worker(port, worker_path));
+  if (in_process != nullptr) in_process->start();
+
+  // 3. Two tenants interleaved on the one pool, one worker SIGKILLed while
+  //    the campaigns are in flight.
+  std::vector<std::thread> threads;
+  for (Tenant& t : tenants) {
+    threads.emplace_back([&t, port] {
+      dist::DistConfig dc;
+      dc.campaign = t.cfg;
+      dc.server_host = kHost;
+      dc.server_port = port;
+      dc.tenant = t.name;
+      dc.scenario_spec = t.spec;
+      dist::DistCampaign campaign(t.factory, dc);
+      t.via_server = campaign.run();
+      t.golden = campaign.golden();
+      t.scenario_name = t.factory()->name();
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  std::printf("== SIGKILL pool worker pid %d mid-run ==\n", static_cast<int>(pool[0]));
+  ::kill(pool[0], SIGKILL);
+  for (std::thread& th : threads) th.join();
+
+  if (in_process != nullptr) in_process->stop();
+  if (serverd_pid > 0) {
+    ::kill(serverd_pid, SIGTERM);
+    reap(serverd_pid);
+  }
+  for (pid_t pid : pool) reap(pid);
+
+  // 4. The verdict CI depends on: byte-identical folded JSONL per tenant.
+  bool ok = true;
+  for (Tenant& t : tenants) {
+    const std::string golden_jsonl = folded_jsonl(t.scenario_name, t.cfg, t.golden, t.solo);
+    const std::string server_jsonl = folded_jsonl(t.scenario_name, t.cfg, t.golden, t.via_server);
+    const bool same = golden_jsonl == server_jsonl;
+    std::printf("tenant %-5s folded JSONL (%zu bytes) identical to solo: %s\n", t.name,
+                golden_jsonl.size(), same ? "yes" : "NO — BUG");
+    if (!same) {
+      const std::string base = std::string("campaign_server_") + t.name;
+      fault::save_checkpoint(
+          fault::CampaignCheckpoint{"parallel_campaign", t.scenario_name, t.cfg, t.golden, t.solo.records},
+          base + ".solo.jsonl");
+      fault::save_checkpoint(
+          fault::CampaignCheckpoint{"parallel_campaign", t.scenario_name, t.cfg, t.golden, t.via_server.records},
+          base + ".server.jsonl");
+      std::printf("  wrote %s.{solo,server}.jsonl for inspection\n", base.c_str());
+      ok = false;
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -134,6 +134,16 @@ int remaining_ms(Clock::time_point deadline) noexcept {
 
 }  // namespace
 
+int poll_timeout_ms(Clock::time_point now, const std::vector<Clock::time_point>& deadlines,
+                    int fallback_ms) noexcept {
+  long long best = fallback_ms;
+  for (const Clock::time_point d : deadlines) {
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(d - now).count();
+    best = std::min(best, std::max<long long>(0, left));
+  }
+  return static_cast<int>(best);
+}
+
 DistCampaign::DistCampaign(fault::ScenarioFactory factory, DistConfig config)
     : factory_(std::move(factory)), config_(std::move(config)) {
   ensure(static_cast<bool>(factory_), "DistCampaign: empty scenario factory");
@@ -198,6 +208,9 @@ void DistCampaign::publish_fleet_metrics() const {
 
 CampaignResult DistCampaign::execute(std::size_t start_run, CampaignResult result,
                                      CampaignState& state) {
+  if (!config_.server_host.empty()) {
+    return execute_remote(start_run, std::move(result), state);
+  }
   const auto started = Clock::now();
   const auto elapsed = [&started] {
     return std::chrono::duration<double>(Clock::now() - started).count();
@@ -403,7 +416,20 @@ CampaignResult DistCampaign::execute(std::size_t start_run, CampaignResult resul
       }
       ensure(!pfds.empty(), "dist: all workers died with runs still in flight");
 
-      const int timeout = std::min(config_.heartbeat_timeout_ms, 1000);
+      // Wake at the earliest expiry across the whole fleet — a worker whose
+      // heartbeat (or partial-frame) deadline lands between fixed-cadence
+      // wakeups would otherwise be detected up to a full poll period late.
+      const auto poll_now = Clock::now();
+      const auto hb_window = std::chrono::milliseconds(config_.heartbeat_timeout_ms);
+      std::vector<Clock::time_point> deadlines;
+      for (const Worker* wp : polled) {
+        if (!wp->inflight.empty()) deadlines.push_back(wp->last_heard + hb_window);
+        if (const auto since = wp->channel->partial_since()) {
+          deadlines.push_back(*since + hb_window);
+        }
+      }
+      const int timeout =
+          poll_timeout_ms(poll_now, deadlines, std::min(config_.heartbeat_timeout_ms, 1000));
       const int rc = ::poll(pfds.data(), pfds.size(), timeout);
       if (rc < 0) {
         if (errno == EINTR) continue;
@@ -456,14 +482,24 @@ CampaignResult DistCampaign::execute(std::size_t start_run, CampaignResult resul
       }
 
       // Hang detection: a worker holding work that has said nothing for the
-      // whole heartbeat window is wedged — kill it and move its work.
+      // whole heartbeat window is wedged — kill it and move its work. So is
+      // a worker sitting on an incomplete frame for that long, whatever its
+      // assignment state: a truncated RESULT tail must never park the
+      // reassembly buffer (and the campaign) forever.
       const auto now = Clock::now();
       for (Worker& w : fleet.workers) {
-        if (!w.alive || w.inflight.empty()) continue;
-        if (now - w.last_heard >
-            std::chrono::milliseconds(config_.heartbeat_timeout_ms)) {
-          std::fprintf(stderr, "dist: worker pid %d silent past the heartbeat timeout, killing\n",
-                       static_cast<int>(w.pid));
+        if (!w.alive) continue;
+        const bool busy_silent =
+            !w.inflight.empty() &&
+            now - w.last_heard > std::chrono::milliseconds(config_.heartbeat_timeout_ms);
+        const auto since = w.channel->partial_since();
+        const bool wedged_partial =
+            since.has_value() &&
+            now - *since > std::chrono::milliseconds(config_.heartbeat_timeout_ms);
+        if (busy_silent || wedged_partial) {
+          std::fprintf(stderr, "dist: worker pid %d %s past the heartbeat timeout, killing\n",
+                       static_cast<int>(w.pid),
+                       wedged_partial ? "stuck mid-frame" : "silent");
           ::kill(w.pid, SIGKILL);
           on_worker_death(w);
         }
@@ -530,6 +566,158 @@ CampaignResult DistCampaign::execute(std::size_t start_run, CampaignResult resul
                             elapsed(), /*include_latency=*/true);
       progress.worker_deaths = fleet_stats_.worker_deaths;
       progress.requeued_runs = fleet_stats_.requeued_runs;
+      monitor_->on_complete(progress);
+    }
+  }
+  return result;
+}
+
+CampaignResult DistCampaign::execute_remote(std::size_t start_run, CampaignResult result,
+                                            CampaignState& state) {
+  const auto started = Clock::now();
+  const auto elapsed = [&started] {
+    return std::chrono::duration<double>(Clock::now() - started).count();
+  };
+  const CampaignConfig& cc = config_.campaign;
+
+  // --- submit --------------------------------------------------------------
+  Channel channel(tcp_connect(config_.server_host, config_.server_port));
+  SubmitMsg submit;
+  submit.tenant = config_.tenant.empty() ? "default" : config_.tenant;
+  submit.scenario_spec =
+      config_.scenario_spec.empty() ? coordinator_->name() : config_.scenario_spec;
+  submit.scenario = coordinator_->name();
+  submit.config = cc;
+  submit.max_requeues = config_.max_requeues;
+  submit.golden = golden_;
+  ensure(channel.send_frame(MsgType::kSubmit, encode_submit(submit)),
+         "dist: campaign server hung up before SUBMIT could be delivered");
+  auto reply = channel.wait_frame(config_.hello_timeout_ms);
+  ensure(reply.has_value(), channel.open()
+                                ? "dist: campaign server did not answer SUBMIT in time"
+                                : "dist: campaign server closed the connection on SUBMIT");
+  if (reply->type == MsgType::kReject) {
+    ensure(false, "dist: campaign server rejected submission: " + decode_reject(reply->payload).reason);
+  }
+  ensure(reply->type == MsgType::kAccept,
+         std::string("dist: campaign server answered SUBMIT with ") + to_string(reply->type));
+  const std::uint64_t job = decode_accept(reply->payload).job;
+
+  // --- batch loop: identical generation/fold cadence to the local fleet ----
+  const support::Xorshift base(cc.seed);
+  const std::size_t batch = cc.batch_size == 0 ? kDefaultBatch : cc.batch_size;
+  const bool checkpointing = cc.checkpoint_every != 0 && !cc.checkpoint_path.empty();
+  // The server absorbs worker death internally (requeue or synthesized
+  // kSimCrash), so the client only fails once the server itself has been
+  // silent for several heartbeat windows.
+  const auto silence_budget =
+      std::chrono::milliseconds(3LL * config_.heartbeat_timeout_ms + 10'000);
+
+  std::size_t next_run = start_run;
+  std::size_t executed_this_call = 0;
+  std::size_t runs_since_checkpoint = 0;
+  bool stopped = stop_condition_met(cc, result);  // resumed past the stop
+
+  while (next_run < cc.runs && !stopped) {
+    const std::size_t n = std::min(batch, cc.runs - next_run);
+    std::vector<FaultDescriptor> faults;
+    faults.reserve(n);
+    for (std::size_t b = 0; b < n; ++b) {
+      support::Xorshift run_rng = base.fork(next_run + b);
+      faults.push_back(state.generate(next_run + b, run_rng));
+    }
+
+    for (std::size_t b = 0; b < n; ++b) {
+      AssignMsg msg;
+      msg.job = job;
+      msg.run = next_run + b;
+      msg.fault = faults[b];
+      ensure(channel.send_frame(MsgType::kAssign, encode_assign(msg)),
+             "dist: campaign server hung up mid-campaign");
+    }
+
+    std::vector<std::optional<ReplayResult>> replays(n);
+    std::size_t batch_results = 0;
+    auto silence_deadline = Clock::now() + silence_budget;
+    while (batch_results < n) {
+      auto frame = channel.wait_frame(1000);
+      if (!frame.has_value()) {
+        ensure(channel.open(), "dist: campaign server hung up mid-campaign");
+        ensure(Clock::now() < silence_deadline,
+               "dist: campaign server went silent past the heartbeat budget");
+        continue;
+      }
+      silence_deadline = Clock::now() + silence_budget;
+      ensure(frame->type == MsgType::kResultStream,
+             std::string("dist: unexpected ") + to_string(frame->type) +
+                 " frame from the campaign server");
+      ResultMsg msg = decode_result(frame->payload);
+      ensure(msg.run >= next_run && msg.run < next_run + n,
+             "dist: RESULT_STREAM for run " + std::to_string(msg.run) +
+                 " outside the current batch");
+      const std::size_t slot = msg.run - next_run;
+      if (!replays[slot].has_value()) {
+        replays[slot] = std::move(msg.replay);
+        ++batch_results;
+      }
+    }
+
+    // Barrier: fold in run-index order, exactly as the local paths do.
+    std::size_t processed = 0;
+    for (std::size_t b = 0; b < n; ++b) {
+      ReplayResult& r = *replays[b];
+      if (r.outcome == Outcome::kSimCrash && r.attempts > 0) {
+        ++fleet_stats_.crashed_runs;
+      }
+      fold_run(result, state, next_run + b,
+               {std::move(faults[b]), r.outcome, std::move(r.crash_what),
+                std::move(r.provenance)},
+               r.attempts);
+      processed = b + 1;
+      if (stop_condition_met(cc, result)) {
+        stopped = true;
+        break;
+      }
+    }
+    next_run += n;
+    executed_this_call += processed;
+    if (monitor_ != nullptr) {
+      obs::CampaignProgress progress = progress_snapshot(
+          coordinator_->name(), result, cc.runs, state.coverage().coverage(), elapsed());
+      monitor_->on_progress(progress);
+    }
+    if (checkpointing) {
+      runs_since_checkpoint += processed;
+      if (runs_since_checkpoint >= cc.checkpoint_every) {
+        write_checkpoint(result);
+        runs_since_checkpoint = 0;
+      }
+    }
+    if (!stopped && cc.preempt_after != 0 && executed_this_call >= cc.preempt_after &&
+        next_run < cc.runs) {
+      if (!cc.checkpoint_path.empty()) write_checkpoint(result);
+      result.interrupted = true;
+      break;
+    }
+  }
+
+  // Tell the server the job is done so pool workers can drop its scenario.
+  (void)channel.send_frame(MsgType::kRelease, encode_job(JobMsg{job}));
+  fleet_stats_.frames_sent += channel.stats().frames_sent;
+  fleet_stats_.frames_received += channel.stats().frames_received;
+  fleet_stats_.bytes_sent += channel.stats().bytes_sent;
+  fleet_stats_.bytes_received += channel.stats().bytes_received;
+
+  fault::detail::finalize(result, state);
+  if (!result.interrupted) {
+    if (metrics_ != nullptr) {
+      result.publish_metrics(*metrics_);
+      publish_fleet_metrics();
+    }
+    if (monitor_ != nullptr) {
+      obs::CampaignProgress progress =
+          progress_snapshot(coordinator_->name(), result, cc.runs, result.final_coverage,
+                            elapsed(), /*include_latency=*/true);
       monitor_->on_complete(progress);
     }
   }

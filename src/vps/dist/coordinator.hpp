@@ -23,6 +23,7 @@
 /// mirroring the crash-isolation semantics of the in-process drivers. When
 /// the whole fleet is gone the campaign fails with a clean error.
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -32,6 +33,15 @@
 #include "vps/fault/campaign.hpp"
 
 namespace vps::dist {
+
+/// Poll timeout for a supervision loop: milliseconds until the earliest of
+/// `deadlines`, clamped to [0, fallback_ms]. With no deadlines pending the
+/// loop just wakes at the fallback cadence. Computing the min across the
+/// whole fleet (not any single worker's deadline) is what keeps detection
+/// latency bounded by the heartbeat window itself.
+[[nodiscard]] int poll_timeout_ms(std::chrono::steady_clock::time_point now,
+                                  const std::vector<std::chrono::steady_clock::time_point>& deadlines,
+                                  int fallback_ms) noexcept;
 
 struct DistConfig {
   fault::CampaignConfig campaign;
@@ -59,9 +69,18 @@ struct DistConfig {
   std::size_t max_requeues = 2;
   /// Test/CI hook: after this many RESULT frames arrived in total, SIGKILL
   /// worker `kill_worker` (0-based) — deterministic worker loss without
-  /// external orchestration. 0 disables.
+  /// external orchestration. 0 disables. Local fleet mode only.
   std::size_t kill_after_results = 0;
   std::size_t kill_worker = 0;
+  /// Non-empty selects server mode: instead of forking its own fleet, the
+  /// campaign is submitted to a running vps-serverd at server_host:server_port.
+  /// Descriptors are still generated here and results still fold here at the
+  /// batch barrier, so the determinism contract is unchanged — the server is
+  /// purely a run router over its standing worker pool.
+  std::string server_host;
+  std::uint16_t server_port = 0;
+  /// Fair-share/bookkeeping label this client submits under (server mode).
+  std::string tenant;
 };
 
 /// Aggregate fleet counters of one run()/resume() call.
@@ -102,6 +121,12 @@ class DistCampaign {
   [[nodiscard]] fault::CampaignResult execute(std::size_t start_run,
                                               fault::CampaignResult result,
                                               fault::CampaignState& state);
+  /// Server-mode body of execute(): SUBMIT to the campaign server, stream
+  /// ASSIGNs per batch, fold the relayed RESULT_STREAM frames at the same
+  /// barrier the local path uses.
+  [[nodiscard]] fault::CampaignResult execute_remote(std::size_t start_run,
+                                                     fault::CampaignResult result,
+                                                     fault::CampaignState& state);
   /// Publishes fleet counters into the attached metric registry ("dist.*").
   void publish_fleet_metrics() const;
 

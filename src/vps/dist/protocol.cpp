@@ -17,6 +17,12 @@ const char* to_string(MsgType t) noexcept {
     case MsgType::kResult: return "RESULT";
     case MsgType::kHeartbeat: return "HEARTBEAT";
     case MsgType::kShutdown: return "SHUTDOWN";
+    case MsgType::kRegister: return "REGISTER";
+    case MsgType::kSubmit: return "SUBMIT";
+    case MsgType::kAccept: return "ACCEPT";
+    case MsgType::kReject: return "REJECT";
+    case MsgType::kResultStream: return "RESULT_STREAM";
+    case MsgType::kRelease: return "RELEASE";
   }
   return "?";
 }
@@ -43,7 +49,7 @@ std::uint32_t payload_crc(std::string_view payload) {
 
 bool valid_type(std::uint8_t t) noexcept {
   return t >= static_cast<std::uint8_t>(MsgType::kHello) &&
-         t <= static_cast<std::uint8_t>(MsgType::kShutdown);
+         t <= static_cast<std::uint8_t>(MsgType::kRelease);
 }
 
 }  // namespace
@@ -94,6 +100,17 @@ std::optional<Frame> FrameReader::next() {
   return frame;
 }
 
+bool FrameReader::partial() const noexcept {
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail == 0) return false;
+  if (avail < kFrameHeaderSize) return true;
+  // Header present but the payload is not all here yet. The header is taken
+  // at face value: a corrupt one makes next() throw before anyone can act on
+  // a wrong partial() verdict.
+  const std::uint32_t length = get_u32(buf_.data() + pos_ + 5);
+  return avail < kFrameHeaderSize + length;
+}
+
 // --- typed messages --------------------------------------------------------
 // Payload bodies are flat-JSON lines via fault::codec — identical field
 // spellings and value encodings to the checkpoint file.
@@ -105,6 +122,7 @@ namespace codec = fault::codec;
 std::string encode_setup(const SetupMsg& m) {
   std::string line = "{\"kind\":\"setup\"";
   codec::append_u64(line, "version", m.version);
+  codec::append_u64(line, "job", m.job);
   codec::append_str(line, "scenario_spec", m.scenario_spec);
   codec::append_u64(line, "seed", m.seed);
   codec::append_u64(line, "crash_retries", m.crash_retries);
@@ -118,6 +136,7 @@ SetupMsg decode_setup(const std::string& payload) {
   ensure(p.str("kind") == "setup", "dist: HELLO payload from coordinator is not a setup message");
   SetupMsg m;
   m.version = static_cast<std::uint32_t>(p.u64("version"));
+  m.job = p.has("job") ? p.u64("job") : 0;
   m.scenario_spec = p.str("scenario_spec");
   m.seed = p.u64("seed");
   m.crash_retries = p.u64("crash_retries");
@@ -128,6 +147,7 @@ SetupMsg decode_setup(const std::string& payload) {
 std::string encode_hello(const HelloMsg& m) {
   std::string line = "{\"kind\":\"hello\"";
   codec::append_u64(line, "version", m.version);
+  codec::append_u64(line, "job", m.job);
   codec::append_u64(line, "pid", m.pid);
   codec::append_str(line, "scenario", m.scenario);
   line += "}";
@@ -139,6 +159,7 @@ HelloMsg decode_hello(const std::string& payload) {
   ensure(p.str("kind") == "hello", "dist: HELLO payload from worker is not a hello message");
   HelloMsg m;
   m.version = static_cast<std::uint32_t>(p.u64("version"));
+  m.job = p.has("job") ? p.u64("job") : 0;
   m.pid = p.u64("pid");
   m.scenario = p.str("scenario");
   return m;
@@ -146,6 +167,7 @@ HelloMsg decode_hello(const std::string& payload) {
 
 std::string encode_assign(const AssignMsg& m) {
   std::string line = "{\"kind\":\"assign\"";
+  codec::append_u64(line, "job", m.job);
   codec::append_u64(line, "run", m.run);
   codec::append_fault(line, m.fault);
   line += "}";
@@ -156,6 +178,7 @@ AssignMsg decode_assign(const std::string& payload) {
   const codec::LineParser p(payload);
   ensure(p.str("kind") == "assign", "dist: ASSIGN payload is not an assign message");
   AssignMsg m;
+  m.job = p.has("job") ? p.u64("job") : 0;
   m.run = p.u64("run");
   m.fault = codec::fault_from(p);
   return m;
@@ -163,6 +186,7 @@ AssignMsg decode_assign(const std::string& payload) {
 
 std::string encode_result(const ResultMsg& m) {
   std::string line = "{\"kind\":\"result\"";
+  codec::append_u64(line, "job", m.job);
   codec::append_u64(line, "run", m.run);
   codec::append_replay(line, m.replay.outcome, m.replay.attempts, m.replay.crash_what,
                        m.replay.provenance);
@@ -174,6 +198,7 @@ ResultMsg decode_result(const std::string& payload) {
   const codec::LineParser p(payload);
   ensure(p.str("kind") == "result", "dist: RESULT payload is not a result message");
   ResultMsg m;
+  m.job = p.has("job") ? p.u64("job") : 0;
   m.run = p.u64("run");
   codec::ReplayFields fields = codec::replay_from(p);
   m.replay.outcome = fields.outcome;
@@ -195,6 +220,95 @@ HeartbeatMsg decode_heartbeat(const std::string& payload) {
   ensure(p.str("kind") == "heartbeat", "dist: HEARTBEAT payload is not a heartbeat message");
   HeartbeatMsg m;
   m.runs_done = p.u64("runs_done");
+  return m;
+}
+
+std::string encode_register(const RegisterMsg& m) {
+  std::string line = "{\"kind\":\"register\"";
+  codec::append_u64(line, "version", m.version);
+  codec::append_u64(line, "pid", m.pid);
+  line += "}";
+  return line;
+}
+
+RegisterMsg decode_register(const std::string& payload) {
+  const codec::LineParser p(payload);
+  ensure(p.str("kind") == "register", "dist: REGISTER payload is not a register message");
+  RegisterMsg m;
+  m.version = static_cast<std::uint32_t>(p.u64("version"));
+  m.pid = p.u64("pid");
+  return m;
+}
+
+std::string encode_submit(const SubmitMsg& m) {
+  std::string line = "{\"kind\":\"submit\"";
+  codec::append_u64(line, "version", m.version);
+  codec::append_str(line, "tenant", m.tenant);
+  codec::append_str(line, "scenario_spec", m.scenario_spec);
+  codec::append_str(line, "scenario", m.scenario);
+  codec::append_u64(line, "max_requeues", m.max_requeues);
+  codec::append_config(line, m.config);
+  codec::append_observation(line, m.golden);
+  line += "}";
+  return line;
+}
+
+SubmitMsg decode_submit(const std::string& payload) {
+  const codec::LineParser p(payload);
+  ensure(p.str("kind") == "submit", "dist: SUBMIT payload is not a submit message");
+  SubmitMsg m;
+  m.version = static_cast<std::uint32_t>(p.u64("version"));
+  m.tenant = p.str("tenant");
+  m.scenario_spec = p.str("scenario_spec");
+  m.scenario = p.str("scenario");
+  m.max_requeues = p.u64("max_requeues");
+  m.config = codec::config_from(p);
+  m.golden = codec::observation_from(p);
+  return m;
+}
+
+std::string encode_accept(const AcceptMsg& m) {
+  std::string line = "{\"kind\":\"accept\"";
+  codec::append_u64(line, "job", m.job);
+  line += "}";
+  return line;
+}
+
+AcceptMsg decode_accept(const std::string& payload) {
+  const codec::LineParser p(payload);
+  ensure(p.str("kind") == "accept", "dist: ACCEPT payload is not an accept message");
+  AcceptMsg m;
+  m.job = p.u64("job");
+  return m;
+}
+
+std::string encode_reject(const RejectMsg& m) {
+  std::string line = "{\"kind\":\"reject\"";
+  codec::append_str(line, "reason", m.reason);
+  line += "}";
+  return line;
+}
+
+RejectMsg decode_reject(const std::string& payload) {
+  const codec::LineParser p(payload);
+  ensure(p.str("kind") == "reject", "dist: REJECT payload is not a reject message");
+  RejectMsg m;
+  m.reason = p.str("reason");
+  return m;
+}
+
+std::string encode_job(const JobMsg& m) {
+  std::string line = "{\"kind\":\"job\"";
+  codec::append_u64(line, "job", m.job);
+  line += "}";
+  return line;
+}
+
+JobMsg decode_job(const std::string& payload) {
+  const codec::LineParser p(payload);
+  ensure(p.str("kind") == "job", "dist: RELEASE payload is not a job message");
+  JobMsg m;
+  m.job = p.u64("job");
   return m;
 }
 

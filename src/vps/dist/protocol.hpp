@@ -1,19 +1,36 @@
 #pragma once
 
 /// Wire protocol of the distributed campaign fleet: a length-prefixed,
-/// CRC-guarded, versioned frame layer plus the five message types the
-/// coordinator and the vps-worker processes exchange:
+/// CRC-guarded, versioned frame layer plus the message types the
+/// coordinator, the campaign server and the vps-worker processes exchange:
 ///
 ///   SETUP      coordinator → worker  campaign identity: protocol version,
-///              (a HELLO frame)       scenario spec, seed, crash retries,
-///                                    the golden observation
-///   HELLO      worker → coordinator  protocol version, pid, the name of
-///                                    the scenario the worker built
+///              (a HELLO frame)       job id, scenario spec, seed, crash
+///                                    retries, the golden observation
+///   HELLO      worker → coordinator  protocol version, job id, pid, the
+///                                    name of the scenario the worker built
 ///   ASSIGN     coordinator → worker  one run index + its FaultDescriptor
 ///   RESULT     worker → coordinator  run index + replay verdict (outcome,
 ///                                    attempts, crash_what, provenance)
 ///   HEARTBEAT  worker → coordinator  liveness + runs completed so far
 ///   SHUTDOWN   coordinator → worker  drain and exit cleanly
+///
+/// Protocol v2 adds the campaign-server roles (vps-serverd). Every
+/// job-scoped message above carries a `job` field (0 in the one-shot
+/// coordinator↔worker fleet, where one campaign owns the connection), plus:
+///
+///   REGISTER       worker → server  joins the standing elastic pool
+///   SUBMIT         client → server  one campaign: tenant label, scenario
+///                                   spec + expected name, determinism-
+///                                   relevant config, requeue budget, golden
+///   ACCEPT         server → client  admission granted; carries the job id
+///   REJECT         server → peer    admission denied (queue full, version
+///                                   mismatch) with a human-readable reason
+///   RESULT_STREAM  server → client  one relayed RESULT payload — results
+///                                   stream incrementally at the batch-fold
+///                                   cadence instead of arriving at the end
+///   RELEASE        server → worker  a job finished/vanished; drop its
+///                                   cached scenario
 ///
 /// Frame layout (all integers little-endian):
 ///   magic  u32   0x56505331 ("VPS1")
@@ -39,7 +56,9 @@
 namespace vps::dist {
 
 inline constexpr std::uint32_t kFrameMagic = 0x56505331u;  // "VPS1"
-inline constexpr std::uint32_t kProtocolVersion = 1;
+/// v2: job-scoped messages + the campaign-server types (REGISTER, SUBMIT,
+/// ACCEPT, REJECT, RESULT_STREAM, RELEASE).
+inline constexpr std::uint32_t kProtocolVersion = 2;
 /// Upper bound on one payload; a length field beyond this is stream
 /// corruption (the largest real payloads — provenance-bearing RESULTs —
 /// are a few KiB).
@@ -52,6 +71,13 @@ enum class MsgType : std::uint8_t {
   kResult = 3,
   kHeartbeat = 4,
   kShutdown = 5,
+  // v2 (campaign server)
+  kRegister = 6,
+  kSubmit = 7,
+  kAccept = 8,
+  kReject = 9,
+  kResultStream = 10,
+  kRelease = 11,
 };
 [[nodiscard]] const char* to_string(MsgType t) noexcept;
 
@@ -72,6 +98,11 @@ class FrameReader {
   void feed(const char* data, std::size_t n);
   [[nodiscard]] std::optional<Frame> next();
   [[nodiscard]] std::size_t buffered() const noexcept { return buf_.size() - pos_; }
+  /// True when buffered bytes form an incomplete frame — i.e. next() would
+  /// return nothing but the peer is mid-frame. Meaningful after next() has
+  /// drained every complete frame; the supervision loops use it to bound how
+  /// long a peer may sit on a partial frame before being declared wedged.
+  [[nodiscard]] bool partial() const noexcept;
 
  private:
   std::string buf_;
@@ -80,34 +111,76 @@ class FrameReader {
 
 // --- typed messages --------------------------------------------------------
 
-/// Coordinator → worker campaign identity (sent as the first HELLO frame).
+/// Coordinator/server → worker campaign identity (sent as a HELLO frame).
 struct SetupMsg {
   std::uint32_t version = kProtocolVersion;
+  std::uint64_t job = 0;      ///< campaign id on a shared pool (0 = one-shot fleet)
   std::string scenario_spec;  ///< registry spec for exec workers (diagnostic for fork workers)
   std::uint64_t seed = 0;
   std::uint64_t crash_retries = 0;
   fault::Observation golden;
 };
 
-/// Worker → coordinator announcement after building its scenario.
+/// Worker → coordinator/server announcement after building a job's scenario.
 struct HelloMsg {
   std::uint32_t version = kProtocolVersion;
+  std::uint64_t job = 0;
   std::uint64_t pid = 0;
   std::string scenario;  ///< Scenario::name() of the instance the worker built
 };
 
 struct AssignMsg {
-  std::uint64_t run = 0;  ///< global run index
+  std::uint64_t job = 0;
+  std::uint64_t run = 0;  ///< global run index within the job's campaign
   fault::FaultDescriptor fault;
 };
 
 struct ResultMsg {
+  std::uint64_t job = 0;
   std::uint64_t run = 0;
   fault::ReplayResult replay;
 };
 
 struct HeartbeatMsg {
   std::uint64_t runs_done = 0;
+};
+
+// --- v2 campaign-server messages -------------------------------------------
+
+/// Worker → server: join the standing pool.
+struct RegisterMsg {
+  std::uint32_t version = kProtocolVersion;
+  std::uint64_t pid = 0;
+};
+
+/// Client → server: one campaign submission. Carries everything a worker
+/// needs to be SETUP for the job (spec, seed, crash retries, golden) plus
+/// the expected Scenario::name() so the server can reject a worker whose
+/// registry builds something else, and the requeue budget that bounds how
+/// often a run may take its worker down before it is quarantined.
+struct SubmitMsg {
+  std::uint32_t version = kProtocolVersion;
+  std::string tenant;         ///< fair-share/bookkeeping label (client-chosen)
+  std::string scenario_spec;  ///< registry spec workers rebuild the scenario from
+  std::string scenario;       ///< expected Scenario::name() — validates worker HELLOs
+  fault::CampaignConfig config;  ///< determinism-relevant fields (codec subset)
+  std::uint64_t max_requeues = 2;
+  fault::Observation golden;
+};
+
+/// Server → client: admission granted.
+struct AcceptMsg {
+  std::uint64_t job = 0;
+};
+
+/// Server → peer: admission (or registration) denied.
+struct RejectMsg {
+  std::string reason;
+};
+
+/// Server → worker: the job is gone; drop its cached scenario.
+struct JobMsg {
+  std::uint64_t job = 0;
 };
 
 [[nodiscard]] std::string encode_setup(const SetupMsg& m);
@@ -120,5 +193,15 @@ struct HeartbeatMsg {
 [[nodiscard]] ResultMsg decode_result(const std::string& payload);
 [[nodiscard]] std::string encode_heartbeat(const HeartbeatMsg& m);
 [[nodiscard]] HeartbeatMsg decode_heartbeat(const std::string& payload);
+[[nodiscard]] std::string encode_register(const RegisterMsg& m);
+[[nodiscard]] RegisterMsg decode_register(const std::string& payload);
+[[nodiscard]] std::string encode_submit(const SubmitMsg& m);
+[[nodiscard]] SubmitMsg decode_submit(const std::string& payload);
+[[nodiscard]] std::string encode_accept(const AcceptMsg& m);
+[[nodiscard]] AcceptMsg decode_accept(const std::string& payload);
+[[nodiscard]] std::string encode_reject(const RejectMsg& m);
+[[nodiscard]] RejectMsg decode_reject(const std::string& payload);
+[[nodiscard]] std::string encode_job(const JobMsg& m);
+[[nodiscard]] JobMsg decode_job(const std::string& payload);
 
 }  // namespace vps::dist

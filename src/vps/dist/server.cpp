@@ -1,0 +1,579 @@
+#include "vps/dist/server.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "vps/dist/coordinator.hpp"
+#include "vps/dist/protocol.hpp"
+#include "vps/dist/transport.hpp"
+#include "vps/support/ensure.hpp"
+
+namespace vps::dist {
+
+using support::ensure;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+/// One run handed to a worker and not yet answered. `payload` keeps the raw
+/// ASSIGN bytes so a requeue resends exactly what the client sent — the
+/// server never re-encodes (or even fully understands) the descriptor.
+struct Inflight {
+  std::uint64_t job = 0;
+  std::uint64_t run = 0;
+  std::string payload;
+  std::uint32_t requeues = 0;
+};
+
+struct Conn {
+  enum class Role { kSniffing, kWorker, kClient, kDraining };
+
+  explicit Conn(int fd) : channel(fd) {}
+
+  Channel channel;
+  Role role = Role::kSniffing;
+  Clock::time_point last_heard = Clock::now();
+  bool dead = false;
+  // worker state
+  std::uint64_t pid = 0;
+  std::set<std::uint64_t> ready_jobs;     ///< SETUP/HELLO completed
+  std::map<std::uint64_t, Clock::time_point> pending_setup;  ///< SETUP sent, HELLO due by
+  std::vector<Inflight> inflight;
+  // client state
+  std::set<std::uint64_t> owned_jobs;
+};
+
+struct Job {
+  std::uint64_t id = 0;
+  SubmitMsg submit;
+  Conn* client = nullptr;
+  std::deque<Inflight> pending;  ///< runs admitted but not yet dispatched
+  std::size_t inflight = 0;      ///< runs currently on workers
+};
+
+}  // namespace
+
+struct CampaignServer::Impl {
+  ServerConfig config;
+  TcpListener listener;
+  obs::MetricRegistry metrics;
+  std::vector<std::unique_ptr<Conn>> conns;
+  std::map<std::uint64_t, Job> jobs;
+  std::uint64_t next_job = 1;
+
+  explicit Impl(ServerConfig cfg)
+      : config(std::move(cfg)), listener(make_tcp_listener(config.host, config.port)) {
+    ignore_sigpipe();
+  }
+
+  ~Impl() {
+    if (listener.fd >= 0) ::close(listener.fd);
+  }
+
+  // --- bookkeeping ---------------------------------------------------------
+
+  void update_gauges() {
+    std::size_t workers = 0;
+    for (const auto& c : conns) {
+      if (!c->dead && c->role == Conn::Role::kWorker) ++workers;
+    }
+    metrics.gauge("server.workers_alive").set(static_cast<double>(workers));
+    metrics.gauge("server.jobs_active").set(static_cast<double>(jobs.size()));
+  }
+
+  /// Sends the synthesized kSimCrash verdict for a run whose requeue budget
+  /// is exhausted — the tenant's campaign completes with the same verdict
+  /// the one-shot coordinator would record, never stalls.
+  void synthesize_crash(Job& job, const Inflight& entry) {
+    ResultMsg crash;
+    crash.job = job.id;
+    crash.run = entry.run;
+    crash.replay.outcome = fault::Outcome::kSimCrash;
+    crash.replay.attempts = entry.requeues;
+    crash.replay.crash_what =
+        "dist: run " + std::to_string(entry.run) + " requeued " +
+        std::to_string(job.submit.max_requeues) +
+        " time(s), each assigned worker died before returning a result";
+    metrics.counter("server.crashed_runs").add(1);
+    if (job.client != nullptr && !job.client->dead) {
+      if (!job.client->channel.send_frame(MsgType::kResultStream, encode_result(crash))) {
+        on_client_death(*job.client);
+      }
+    }
+  }
+
+  /// Drops a job: releases every worker's cached scenario, forgets pending
+  /// and in-flight work (stray RESULTs for it are discarded on arrival).
+  void remove_job(std::uint64_t id) {
+    auto it = jobs.find(id);
+    if (it == jobs.end()) return;
+    for (auto& c : conns) {
+      if (c->dead || c->role != Conn::Role::kWorker) continue;
+      const bool knew = c->ready_jobs.erase(id) > 0 || c->pending_setup.erase(id) > 0;
+      c->inflight.erase(std::remove_if(c->inflight.begin(), c->inflight.end(),
+                                       [id](const Inflight& e) { return e.job == id; }),
+                        c->inflight.end());
+      if (knew) {
+        if (!c->channel.send_frame(MsgType::kRelease, encode_job(JobMsg{id}))) {
+          on_worker_death(*c);
+        }
+      }
+    }
+    if (it->second.client != nullptr) it->second.client->owned_jobs.erase(id);
+    jobs.erase(it);
+  }
+
+  /// Declares a worker dead: requeues its in-flight runs (front of the
+  /// owning job's queue, preserving dispatch priority) or synthesizes the
+  /// crash verdict once a run's budget is spent.
+  void on_worker_death(Conn& w) {
+    w.dead = true;
+    metrics.counter("server.worker_deaths").add(1);
+    std::vector<Inflight> orphaned = std::move(w.inflight);
+    w.inflight.clear();
+    if (!orphaned.empty()) {
+      std::fprintf(stderr, "vps-serverd: worker pid %llu died, requeuing %zu in-flight run(s)\n",
+                   static_cast<unsigned long long>(w.pid), orphaned.size());
+    }
+    for (Inflight& entry : orphaned) {
+      auto it = jobs.find(entry.job);
+      if (it == jobs.end()) continue;  // job already released
+      Job& job = it->second;
+      --job.inflight;
+      ++entry.requeues;
+      metrics.counter("server.requeued_runs").add(1);
+      if (entry.requeues > job.submit.max_requeues) {
+        synthesize_crash(job, entry);
+      } else {
+        job.pending.push_front(std::move(entry));
+      }
+    }
+  }
+
+  void on_client_death(Conn& c) {
+    c.dead = true;
+    const std::set<std::uint64_t> owned = c.owned_jobs;
+    for (std::uint64_t id : owned) remove_job(id);
+  }
+
+  void kill_conn(Conn& c) {
+    if (c.dead) return;
+    switch (c.role) {
+      case Conn::Role::kWorker: on_worker_death(c); break;
+      case Conn::Role::kClient: on_client_death(c); break;
+      default: c.dead = true; break;
+    }
+  }
+
+  // --- dispatch ------------------------------------------------------------
+
+  /// Fair share: every free worker slot goes to the admitted job with the
+  /// fewest runs in flight that still has pending work. A worker not yet
+  /// SETUP for the chosen job gets the (job-tagged) SETUP and meanwhile
+  /// serves the fairest job it *is* ready for, so capacity never idles on a
+  /// handshake.
+  void dispatch() {
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (auto& cp : conns) {
+        Conn& w = *cp;
+        if (w.dead || w.role != Conn::Role::kWorker) continue;
+        if (w.inflight.size() >= config.worker_pipeline) continue;
+
+        Job* best_any = nullptr;
+        Job* best_ready = nullptr;
+        for (auto& [id, job] : jobs) {
+          if (job.pending.empty()) continue;
+          if (best_any == nullptr || job.inflight < best_any->inflight) best_any = &job;
+          if (w.ready_jobs.count(id) != 0 &&
+              (best_ready == nullptr || job.inflight < best_ready->inflight)) {
+            best_ready = &job;
+          }
+        }
+        if (best_any != nullptr && w.ready_jobs.count(best_any->id) == 0 &&
+            w.pending_setup.count(best_any->id) == 0) {
+          SetupMsg setup;
+          setup.job = best_any->id;
+          setup.scenario_spec = best_any->submit.scenario_spec;
+          setup.seed = best_any->submit.config.seed;
+          setup.crash_retries = best_any->submit.config.crash_retries;
+          setup.golden = best_any->submit.golden;
+          if (!w.channel.send_frame(MsgType::kHello, encode_setup(setup))) {
+            on_worker_death(w);
+            continue;
+          }
+          w.pending_setup[best_any->id] =
+              Clock::now() + std::chrono::milliseconds(config.hello_timeout_ms);
+        }
+        if (best_ready == nullptr) continue;
+        Inflight entry = std::move(best_ready->pending.front());
+        best_ready->pending.pop_front();
+        if (!w.channel.send_frame(MsgType::kAssign, entry.payload)) {
+          best_ready->pending.push_front(std::move(entry));
+          on_worker_death(w);
+          continue;
+        }
+        ++best_ready->inflight;
+        w.inflight.push_back(std::move(entry));
+        progressed = true;
+      }
+    }
+  }
+
+  // --- per-frame handling --------------------------------------------------
+
+  void handle_worker_frame(Conn& w, Frame& frame) {
+    switch (frame.type) {
+      case MsgType::kHeartbeat:
+        break;  // liveness only; last_heard already updated
+      case MsgType::kHello: {
+        const HelloMsg hello = decode_hello(frame.payload);
+        auto pending = w.pending_setup.find(hello.job);
+        if (pending == w.pending_setup.end()) {
+          std::fprintf(stderr, "vps-serverd: worker pid %llu sent HELLO for job %llu it was never SETUP for\n",
+                       static_cast<unsigned long long>(w.pid),
+                       static_cast<unsigned long long>(hello.job));
+          kill_conn(w);
+          return;
+        }
+        w.pending_setup.erase(pending);
+        auto it = jobs.find(hello.job);
+        if (it == jobs.end()) {
+          // Job released while the worker was building; tell it to drop.
+          (void)w.channel.send_frame(MsgType::kRelease, encode_job(JobMsg{hello.job}));
+          return;
+        }
+        if (hello.scenario != it->second.submit.scenario) {
+          std::fprintf(stderr,
+                       "vps-serverd: worker pid %llu built scenario '%s' for job %llu, expected '%s' — dropping worker\n",
+                       static_cast<unsigned long long>(w.pid), hello.scenario.c_str(),
+                       static_cast<unsigned long long>(hello.job),
+                       it->second.submit.scenario.c_str());
+          kill_conn(w);
+          return;
+        }
+        w.ready_jobs.insert(hello.job);
+        break;
+      }
+      case MsgType::kResult: {
+        const ResultMsg msg = decode_result(frame.payload);
+        auto entry = std::find_if(w.inflight.begin(), w.inflight.end(), [&msg](const Inflight& e) {
+          return e.job == msg.job && e.run == msg.run;
+        });
+        if (entry == w.inflight.end()) return;  // stale: job released mid-flight
+        w.inflight.erase(entry);
+        auto it = jobs.find(msg.job);
+        if (it == jobs.end()) return;
+        Job& job = it->second;
+        --job.inflight;
+        metrics.counter("server.results_relayed").add(1);
+        if (job.client != nullptr && !job.client->dead) {
+          if (!job.client->channel.send_frame(MsgType::kResultStream, frame.payload)) {
+            on_client_death(*job.client);
+          }
+        }
+        break;
+      }
+      default:
+        std::fprintf(stderr, "vps-serverd: unexpected %s frame from worker pid %llu\n",
+                     to_string(frame.type), static_cast<unsigned long long>(w.pid));
+        kill_conn(w);
+        break;
+    }
+  }
+
+  void handle_client_frame(Conn& c, Frame& frame) {
+    switch (frame.type) {
+      case MsgType::kAssign: {
+        const AssignMsg msg = decode_assign(frame.payload);
+        auto it = jobs.find(msg.job);
+        if (it == jobs.end() || c.owned_jobs.count(msg.job) == 0) {
+          std::fprintf(stderr, "vps-serverd: ASSIGN for unknown/foreign job %llu — dropping client\n",
+                       static_cast<unsigned long long>(msg.job));
+          kill_conn(c);
+          return;
+        }
+        Inflight entry;
+        entry.job = msg.job;
+        entry.run = msg.run;
+        entry.payload = std::move(frame.payload);
+        it->second.pending.push_back(std::move(entry));
+        break;
+      }
+      case MsgType::kRelease: {
+        const JobMsg msg = decode_job(frame.payload);
+        if (c.owned_jobs.count(msg.job) != 0) {
+          metrics.counter("server.jobs_released").add(1);
+          remove_job(msg.job);
+        }
+        break;
+      }
+      default:
+        std::fprintf(stderr, "vps-serverd: unexpected %s frame from a client\n",
+                     to_string(frame.type));
+        kill_conn(c);
+        break;
+    }
+  }
+
+  /// First frame of a framed peer decides its role.
+  void handle_first_frame(Conn& c, Frame& frame) {
+    if (frame.type == MsgType::kRegister) {
+      const RegisterMsg reg = decode_register(frame.payload);
+      if (reg.version != kProtocolVersion) {
+        (void)c.channel.send_frame(
+            MsgType::kReject, encode_reject(RejectMsg{
+                                  "protocol v" + std::to_string(reg.version) + ", server speaks v" +
+                                  std::to_string(kProtocolVersion)}));
+        c.dead = true;
+        return;
+      }
+      c.role = Conn::Role::kWorker;
+      c.pid = reg.pid;
+      metrics.counter("server.workers_registered").add(1);
+      return;
+    }
+    if (frame.type == MsgType::kSubmit) {
+      SubmitMsg submit = decode_submit(frame.payload);
+      c.role = Conn::Role::kClient;
+      if (submit.version != kProtocolVersion) {
+        metrics.counter("server.jobs_rejected").add(1);
+        if (!c.channel.send_frame(
+                MsgType::kReject,
+                encode_reject(RejectMsg{"protocol v" + std::to_string(submit.version) +
+                                        ", server speaks v" + std::to_string(kProtocolVersion)}))) {
+          c.dead = true;
+        }
+        return;
+      }
+      if (jobs.size() >= config.max_jobs) {
+        metrics.counter("server.jobs_rejected").add(1);
+        if (!c.channel.send_frame(
+                MsgType::kReject,
+                encode_reject(RejectMsg{"job table full (" + std::to_string(jobs.size()) + "/" +
+                                        std::to_string(config.max_jobs) +
+                                        " campaigns admitted) — resubmit later"}))) {
+          c.dead = true;
+        }
+        return;
+      }
+      const std::uint64_t id = next_job++;
+      Job& job = jobs[id];
+      job.id = id;
+      job.submit = std::move(submit);
+      job.client = &c;
+      c.owned_jobs.insert(id);
+      metrics.counter("server.jobs_accepted").add(1);
+      if (!c.channel.send_frame(MsgType::kAccept, encode_accept(AcceptMsg{id}))) {
+        on_client_death(c);
+      }
+      return;
+    }
+    std::fprintf(stderr, "vps-serverd: peer opened with %s, expected REGISTER or SUBMIT\n",
+                 to_string(frame.type));
+    c.dead = true;
+  }
+
+  /// Sniffs a fresh connection's first bytes: frame magic ("1SPV") marks a
+  /// framed peer, "G" a metrics scrape. A scrape is answered immediately
+  /// with a minimal plaintext-over-HTTP response; the connection then
+  /// drains until the peer closes so the reply is never cut off by a reset.
+  void handle_sniff(Conn& c) {
+    char buf[4096];
+    const ssize_t n = ::recv(c.channel.fd(), buf, sizeof buf, 0);
+    if (n <= 0) {
+      if (n < 0 && (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK)) return;
+      c.dead = true;
+      return;
+    }
+    if (buf[0] == 'G') {
+      metrics.counter("server.scrapes").add(1);
+      update_gauges();
+      const std::string body = metrics.render();
+      const std::string response =
+          "HTTP/1.0 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: " +
+          std::to_string(body.size()) + "\r\n\r\n" + body;
+      std::size_t off = 0;
+      while (off < response.size()) {
+        const ssize_t sent =
+            ::send(c.channel.fd(), response.data() + off, response.size() - off, MSG_NOSIGNAL);
+        if (sent < 0) {
+          if (errno == EINTR) continue;
+          c.dead = true;
+          return;
+        }
+        off += static_cast<std::size_t>(sent);
+      }
+      ::shutdown(c.channel.fd(), SHUT_WR);
+      c.role = Conn::Role::kDraining;
+      return;
+    }
+    // Framed peer: hand the sniffed bytes to the channel as if pump() had
+    // received them, then let normal frame handling decide the role.
+    c.channel.feed_inbound(buf, static_cast<std::size_t>(n));
+    drain_frames(c);
+  }
+
+  void drain_frames(Conn& c) {
+    try {
+      while (auto frame = c.channel.next_frame()) {
+        c.last_heard = Clock::now();
+        if (c.role == Conn::Role::kSniffing) {
+          handle_first_frame(c, *frame);
+        } else if (c.role == Conn::Role::kWorker) {
+          handle_worker_frame(c, *frame);
+        } else if (c.role == Conn::Role::kClient) {
+          handle_client_frame(c, *frame);
+        }
+        if (c.dead) return;
+      }
+    } catch (const std::exception& e) {
+      // Corrupted stream (bad magic/CRC) or malformed payload: a protocol
+      // violation tears down the one connection, never the server.
+      std::fprintf(stderr, "vps-serverd: protocol violation, dropping peer: %s\n", e.what());
+      kill_conn(c);
+    }
+  }
+
+  // --- the loop ------------------------------------------------------------
+
+  void serve(const std::atomic<bool>& stop_flag) {
+    while (!stop_flag.load(std::memory_order_relaxed)) {
+      std::vector<struct pollfd> pfds;
+      std::vector<Conn*> polled;
+      pfds.push_back({listener.fd, POLLIN, 0});
+      for (auto& c : conns) {
+        if (c->dead) continue;
+        pfds.push_back({c->channel.fd(), POLLIN, 0});
+        polled.push_back(c.get());
+      }
+
+      const auto now = Clock::now();
+      const auto hb = std::chrono::milliseconds(config.heartbeat_timeout_ms);
+      std::vector<Clock::time_point> deadlines;
+      for (const Conn* c : polled) {
+        if (c->role == Conn::Role::kWorker && !c->inflight.empty()) {
+          deadlines.push_back(c->last_heard + hb);
+        }
+        if (const auto since = c->channel.partial_since()) deadlines.push_back(*since + hb);
+        for (const auto& [job, due] : c->pending_setup) deadlines.push_back(due);
+      }
+      const int timeout = poll_timeout_ms(now, deadlines, 200);
+      const int rc = ::poll(pfds.data(), pfds.size(), timeout);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        ensure(false, std::string("vps-serverd: poll failed: ") + std::strerror(errno));
+      }
+
+      // Accept sweep (nonblocking listener; drain the whole backlog).
+      if ((pfds[0].revents & POLLIN) != 0) {
+        int fd;
+        while ((fd = tcp_accept(listener.fd)) >= 0) {
+          conns.push_back(std::make_unique<Conn>(fd));
+        }
+      }
+
+      for (std::size_t i = 0; i < polled.size(); ++i) {
+        Conn& c = *polled[i];
+        if (c.dead) continue;
+        if ((pfds[i + 1].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+        if (c.role == Conn::Role::kSniffing && c.channel.stats().bytes_received == 0) {
+          handle_sniff(c);
+          continue;
+        }
+        if (c.role == Conn::Role::kDraining) {
+          char buf[1024];
+          const ssize_t n = ::recv(c.channel.fd(), buf, sizeof buf, 0);
+          if (n == 0 || (n < 0 && errno != EINTR && errno != EAGAIN && errno != EWOULDBLOCK)) {
+            c.dead = true;
+          }
+          continue;
+        }
+        bool stream_ok = false;
+        try {
+          stream_ok = c.channel.pump();
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "vps-serverd: corrupt stream, dropping peer: %s\n", e.what());
+          kill_conn(c);
+          continue;
+        }
+        drain_frames(c);
+        if (!stream_ok && !c.dead) kill_conn(c);
+      }
+
+      // Wedge sweep: silent-while-busy workers, anyone stuck mid-frame, and
+      // workers that never answered a job SETUP.
+      const auto sweep_now = Clock::now();
+      for (Conn* c : polled) {
+        if (c->dead) continue;
+        const auto since = c->channel.partial_since();
+        const bool wedged_partial = since.has_value() && sweep_now - *since > hb;
+        const bool busy_silent = c->role == Conn::Role::kWorker && !c->inflight.empty() &&
+                                 sweep_now - c->last_heard > hb;
+        bool hello_overdue = false;
+        for (const auto& [job, due] : c->pending_setup) hello_overdue |= sweep_now > due;
+        if (wedged_partial || busy_silent || hello_overdue) {
+          std::fprintf(stderr, "vps-serverd: dropping wedged peer (%s)\n",
+                       wedged_partial ? "stuck mid-frame"
+                       : busy_silent  ? "silent while holding work"
+                                      : "never answered SETUP");
+          kill_conn(*c);
+        }
+      }
+
+      dispatch();
+      update_gauges();
+
+      conns.erase(std::remove_if(conns.begin(), conns.end(),
+                                 [](const std::unique_ptr<Conn>& c) { return c->dead; }),
+                  conns.end());
+    }
+
+    // Orderly shutdown: pool workers get SHUTDOWN so `vps-worker --connect`
+    // processes exit 0 instead of seeing an EOF.
+    for (auto& c : conns) {
+      if (!c->dead && c->role == Conn::Role::kWorker) {
+        (void)c->channel.send_frame(MsgType::kShutdown, "");
+      }
+    }
+    conns.clear();
+    update_gauges();
+  }
+};
+
+CampaignServer::CampaignServer(ServerConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+
+CampaignServer::~CampaignServer() { stop(); }
+
+std::uint16_t CampaignServer::port() const noexcept { return impl_->listener.port; }
+
+void CampaignServer::start() {
+  ensure(!thread_.joinable(), "CampaignServer: already started");
+  stop_requested_.store(false);
+  thread_ = std::thread([this] { impl_->serve(stop_requested_); });
+}
+
+void CampaignServer::stop() {
+  stop_requested_.store(true);
+  if (thread_.joinable()) thread_.join();
+}
+
+void CampaignServer::serve(const std::atomic<bool>& stop_flag) { impl_->serve(stop_flag); }
+
+const obs::MetricRegistry& CampaignServer::metrics() const noexcept { return impl_->metrics; }
+
+}  // namespace vps::dist

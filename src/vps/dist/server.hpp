@@ -1,0 +1,98 @@
+#pragma once
+
+/// Persistent multi-tenant campaign server (vps-serverd): promotes the
+/// one-shot coordinator fleet into a standing service many clients share.
+///
+/// Roles on one TCP listener, told apart by the first bytes of each
+/// connection ("1SPV" frame magic → framed peer, "GET" → metrics scrape):
+///
+///   workers  connect, REGISTER, and join an elastic pool. Before a worker
+///            serves a job it is SETUP for it (job-tagged, built from the
+///            client's SUBMIT) and answers HELLO — the server validates the
+///            scenario name the worker built. Workers cache scenarios per
+///            job; RELEASE drops a finished job's cache.
+///   clients  SUBMIT one campaign (tenant label, scenario spec + expected
+///            name, determinism-relevant config, requeue budget, golden).
+///            Admission is bounded: a full job table answers REJECT, never
+///            queues unboundedly, never hangs. After ACCEPT the client
+///            streams job-tagged ASSIGN frames batch by batch and the
+///            server relays each worker RESULT back as RESULT_STREAM.
+///   scrapes  "GET /metrics"-style requests answered with the plaintext
+///            name-sorted obs::MetricRegistry render (no HTTP dependency).
+///
+/// The server is deliberately a pure run router: descriptors are generated
+/// and results are folded on the *client* (DistCampaign server mode) at the
+/// same batch barrier the in-process drivers use, so the determinism
+/// contract — bitwise-identical folds at any pool size, across tenant
+/// interleavings, and through mid-campaign worker death — holds by
+/// construction. Fair share across tenants is enforced at dispatch: a free
+/// worker slot always goes to the admitted job with the fewest runs in
+/// flight.
+///
+/// Supervision mirrors the one-shot coordinator: a worker that goes silent
+/// past the heartbeat window while holding work, or that sits on a partial
+/// frame that long, is declared wedged and dropped; its in-flight runs are
+/// requeued (bounded per run — exhaustion synthesizes an Outcome::kSimCrash
+/// RESULT_STREAM so the tenant's campaign completes rather than stalls).
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "vps/obs/metrics.hpp"
+
+namespace vps::dist {
+
+struct ServerConfig {
+  std::string host = "127.0.0.1";
+  /// 0 picks an ephemeral port; CampaignServer::port() reports the bound one.
+  std::uint16_t port = 0;
+  /// Admission bound: at most this many concurrently admitted jobs; the
+  /// next SUBMIT is answered with REJECT.
+  std::size_t max_jobs = 8;
+  /// A worker must answer a job SETUP with HELLO within this long.
+  int hello_timeout_ms = 10'000;
+  /// Silence/partial-frame window after which a worker holding work is
+  /// declared wedged and dropped.
+  int heartbeat_timeout_ms = 30'000;
+  /// Runs a single worker may hold concurrently (pipelining depth).
+  std::size_t worker_pipeline = 2;
+};
+
+/// The standing campaign server. The constructor binds and listens (so the
+/// ephemeral port is known before any thread starts — callers can fork pool
+/// workers that connect immediately; the TCP backlog holds them until the
+/// serve loop accepts). start()/stop() run the loop on an internal thread;
+/// serve() is the blocking equivalent for vps-serverd's main.
+class CampaignServer {
+ public:
+  explicit CampaignServer(ServerConfig config);
+  ~CampaignServer();
+  CampaignServer(const CampaignServer&) = delete;
+  CampaignServer& operator=(const CampaignServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept;
+
+  /// Spawns the serve loop on an internal thread.
+  void start();
+  /// Asks the loop to finish (SHUTDOWN to pool workers, close everything)
+  /// and joins the thread. Idempotent.
+  void stop();
+  /// Blocking serve loop; returns once `stop_flag` becomes true.
+  void serve(const std::atomic<bool>& stop_flag);
+
+  /// The server's own registry ("server.*" counters/gauges plus whatever a
+  /// scrape renders). Only the serve loop touches it while running — read it
+  /// after stop(), or through the scrape endpoint.
+  [[nodiscard]] const obs::MetricRegistry& metrics() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::thread thread_;
+  std::atomic<bool> stop_requested_{false};
+};
+
+}  // namespace vps::dist

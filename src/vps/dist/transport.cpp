@@ -5,6 +5,10 @@
 #include <cstring>
 #include <string>
 
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -30,6 +34,77 @@ SocketPair make_socket_pair() {
   return SocketPair{fds[0], fds[1]};
 }
 
+namespace {
+
+void set_nodelay(int fd) noexcept {
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+sockaddr_in make_addr(const std::string& host, std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  ensure(::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+         "dist: '" + host + "' is not a numeric IPv4 address");
+  return addr;
+}
+
+}  // namespace
+
+TcpListener make_tcp_listener(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ensure(fd >= 0, std::string("dist: socket failed: ") + std::strerror(errno));
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr = make_addr(host, port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0 ||
+      ::listen(fd, 64) != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    ensure(false, "dist: bind/listen on " + host + ":" + std::to_string(port) + " failed: " + err);
+  }
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ensure(flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0,
+         std::string("dist: listener O_NONBLOCK failed: ") + std::strerror(errno));
+  socklen_t len = sizeof addr;
+  ensure(::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0,
+         std::string("dist: getsockname failed: ") + std::strerror(errno));
+  return TcpListener{fd, ntohs(addr.sin_port)};
+}
+
+int tcp_accept(int listener_fd) {
+  for (;;) {
+    const int fd = ::accept(listener_fd, nullptr, nullptr);
+    if (fd >= 0) {
+      set_nodelay(fd);
+      return fd;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return -1;
+    // A connection that reset between poll and accept is not a server error.
+    if (errno == ECONNABORTED) continue;
+    ensure(false, std::string("dist: accept failed: ") + std::strerror(errno));
+  }
+}
+
+int tcp_connect(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ensure(fd >= 0, std::string("dist: socket failed: ") + std::strerror(errno));
+  sockaddr_in addr = make_addr(host, port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    const std::string err = std::strerror(errno);
+    ::close(fd);
+    ensure(false, "dist: connect to " + host + ":" + std::to_string(port) + " failed: " + err);
+  }
+  set_nodelay(fd);
+  return fd;
+}
+
 Channel::Channel(int fd) : fd_(fd) {
   ensure(fd >= 0, "dist: Channel constructed with invalid fd");
   ignore_sigpipe();
@@ -38,7 +113,10 @@ Channel::Channel(int fd) : fd_(fd) {
 Channel::~Channel() { close(); }
 
 Channel::Channel(Channel&& other) noexcept
-    : fd_(other.fd_), reader_(std::move(other.reader_)), stats_(other.stats_) {
+    : fd_(other.fd_),
+      reader_(std::move(other.reader_)),
+      stats_(other.stats_),
+      partial_since_(other.partial_since_) {
   other.fd_ = -1;
 }
 
@@ -58,6 +136,16 @@ bool Channel::send_frame(MsgType type, std::string_view payload) {
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EPIPE || errno == ECONNRESET) return false;  // peer died
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        // Full send buffer on a nonblocking fd: backpressure, not an error.
+        // Wait for writability and resume the partial write — a dead peer
+        // surfaces as EPIPE/ECONNRESET on the retried send.
+        struct pollfd pfd{fd_, POLLOUT, 0};
+        while (::poll(&pfd, 1, -1) < 0) {
+          ensure(errno == EINTR, std::string("dist: poll(POLLOUT) failed: ") + std::strerror(errno));
+        }
+        continue;
+      }
       ensure(false, std::string("dist: send failed: ") + std::strerror(errno));
     }
     off += static_cast<std::size_t>(n);
@@ -74,6 +162,7 @@ bool Channel::pump() {
   if (n > 0) {
     reader_.feed(buf, static_cast<std::size_t>(n));
     stats_.bytes_received += static_cast<std::uint64_t>(n);
+    refresh_partial();
     return true;
   }
   if (n == 0) return false;  // orderly EOF
@@ -81,6 +170,20 @@ bool Channel::pump() {
   if (errno == ECONNRESET) return false;
   ensure(false, std::string("dist: recv failed: ") + std::strerror(errno));
   return false;  // unreachable
+}
+
+void Channel::feed_inbound(const char* data, std::size_t n) {
+  reader_.feed(data, n);
+  stats_.bytes_received += static_cast<std::uint64_t>(n);
+  refresh_partial();
+}
+
+void Channel::refresh_partial() noexcept {
+  if (reader_.partial()) {
+    if (!partial_since_) partial_since_ = std::chrono::steady_clock::now();
+  } else {
+    partial_since_.reset();
+  }
 }
 
 std::optional<Frame> Channel::wait_frame(int timeout_ms) {

@@ -1,14 +1,19 @@
 #pragma once
 
 /// Byte transport under the framed protocol: a Channel owns one end of a
-/// local stream socket (the coordinator↔worker link is a SOCK_STREAM
-/// socketpair) and moves whole frames over it. Writes use MSG_NOSIGNAL and
-/// the process ignores SIGPIPE (ignore_sigpipe()), so a peer that died
-/// mid-write surfaces as a ChannelClosed error the coordinator can handle —
-/// never as a fatal signal.
+/// stream socket — the one-shot coordinator↔worker link is a SOCK_STREAM
+/// socketpair; the campaign server and its pool workers/clients speak the
+/// same frames over loopback/LAN TCP — and moves whole frames over it.
+/// Writes use MSG_NOSIGNAL and the process ignores SIGPIPE
+/// (ignore_sigpipe()), so a peer that died mid-write surfaces as a
+/// ChannelClosed error the supervision loop can handle — never as a fatal
+/// signal. A send against a full socket buffer (EAGAIN/EWOULDBLOCK on a
+/// nonblocking fd) polls for writability and resumes the partial write.
 
+#include <chrono>
 #include <cstdint>
 #include <optional>
+#include <string>
 #include <string_view>
 
 #include "vps/dist/protocol.hpp"
@@ -26,6 +31,28 @@ struct SocketPair {
   int worker_fd = -1;
 };
 [[nodiscard]] SocketPair make_socket_pair();
+
+/// A bound+listening TCP socket. `port` is the actual bound port — pass
+/// port 0 to let the kernel pick an ephemeral one (tests, vps-serverd's
+/// default). The fd is nonblocking so an accept sweep can drain the backlog
+/// without stalling the server's poll loop.
+struct TcpListener {
+  int fd = -1;
+  std::uint16_t port = 0;
+};
+
+/// Binds `host:port` (SO_REUSEADDR) and listens. Throws
+/// support::InvariantError on failure.
+[[nodiscard]] TcpListener make_tcp_listener(const std::string& host, std::uint16_t port);
+
+/// Accepts one pending connection from a nonblocking listener. Returns the
+/// connected fd (TCP_NODELAY set — the protocol is request/response-ish and
+/// latency-bound), or -1 when the backlog is empty. Throws on real errors.
+[[nodiscard]] int tcp_accept(int listener_fd);
+
+/// Connects to `host:port` (numeric IPv4, e.g. "127.0.0.1") and returns the
+/// fd with TCP_NODELAY set. Throws support::InvariantError on failure.
+[[nodiscard]] int tcp_connect(const std::string& host, std::uint16_t port);
 
 /// Transfer counters of one channel, for the dist.* metrics.
 struct ChannelStats {
@@ -53,7 +80,10 @@ class Channel {
 
   /// Sends one complete frame. Returns false when the peer is gone (EPIPE /
   /// ECONNRESET — a dead worker, handled by the supervision loop); throws
-  /// support::InvariantError on any other send error.
+  /// support::InvariantError on any other send error. A full send buffer
+  /// (EAGAIN/EWOULDBLOCK on a nonblocking fd, or a short write on a blocking
+  /// one) polls for writability and resumes the partial write — backpressure
+  /// stalls the sender, it never corrupts or tears a frame.
   [[nodiscard]] bool send_frame(MsgType type, std::string_view payload);
 
   /// Non-blocking-ish receive step: reads whatever bytes are available
@@ -62,10 +92,17 @@ class Channel {
   /// (bad magic/CRC) propagate as support::InvariantError.
   [[nodiscard]] bool pump();
 
+  /// Injects bytes that were read outside the channel — e.g. the preamble
+  /// the campaign server reads to tell a framed peer from a metrics scrape
+  /// before it knows which protocol the connection speaks — as if pump()
+  /// had received them.
+  void feed_inbound(const char* data, std::size_t n);
+
   /// Next fully buffered frame, if any. Call pump() (or wait_frame) first.
   [[nodiscard]] std::optional<Frame> next_frame() {
     auto frame = reader_.next();
     if (frame) ++stats_.frames_received;
+    refresh_partial();
     return frame;
   }
 
@@ -74,12 +111,26 @@ class Channel {
   /// EOF closes the channel, a timeout leaves it open).
   [[nodiscard]] std::optional<Frame> wait_frame(int timeout_ms);
 
+  /// When the peer is sitting on an incomplete frame (header or payload
+  /// tail missing): the instant the current partial started accumulating.
+  /// The supervision loops bound this with the heartbeat deadline — a peer
+  /// that trickles or truncates a frame is a wedged worker to kill, never
+  /// an indefinite reassembly stall. Reset whenever the buffer reaches a
+  /// frame boundary.
+  [[nodiscard]] std::optional<std::chrono::steady_clock::time_point> partial_since()
+      const noexcept {
+    return partial_since_;
+  }
+
   [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
 
  private:
+  void refresh_partial() noexcept;
+
   int fd_;
   FrameReader reader_;
   ChannelStats stats_;
+  std::optional<std::chrono::steady_clock::time_point> partial_since_;
 };
 
 }  // namespace vps::dist

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <exception>
+#include <map>
 #include <string>
 
 #include <unistd.h>
@@ -68,11 +69,101 @@ int serve_impl(Channel& channel, const ScenarioBuilder& build) {
   }
 }
 
+int serve_pool_impl(Channel& channel, const ScenarioBuilder& build) {
+  RegisterMsg reg;
+  reg.pid = static_cast<std::uint64_t>(::getpid());
+  if (!channel.send_frame(MsgType::kRegister, encode_register(reg))) return 2;
+
+  // One cache entry per admitted campaign the server has SETUP us for: the
+  // scenario instance plus the determinism inputs every replay of that job
+  // needs (seed, golden, crash retries).
+  struct JobState {
+    std::unique_ptr<fault::Scenario> scenario;
+    SetupMsg setup;
+  };
+  std::map<std::uint64_t, JobState> jobs;
+
+  std::uint64_t runs_done = 0;
+  for (;;) {
+    auto frame = channel.wait_frame(/*timeout_ms=*/-1);
+    if (!frame.has_value()) {
+      std::fprintf(stderr, "vps-worker[%d]: campaign server vanished after %llu runs\n",
+                   ::getpid(), static_cast<unsigned long long>(runs_done));
+      return 2;
+    }
+    switch (frame->type) {
+      case MsgType::kShutdown:
+        return 0;
+      case MsgType::kReject: {
+        const RejectMsg reject = decode_reject(frame->payload);
+        std::fprintf(stderr, "vps-worker[%d]: server rejected registration: %s\n", ::getpid(),
+                     reject.reason.c_str());
+        return 3;
+      }
+      case MsgType::kHello: {  // job-tagged SETUP
+        SetupMsg setup = decode_setup(frame->payload);
+        support::ensure(setup.version == kProtocolVersion,
+                        "vps-worker: protocol version mismatch (server v" +
+                            std::to_string(setup.version) + ", worker v" +
+                            std::to_string(kProtocolVersion) + ")");
+        JobState state;
+        state.scenario = build(setup);
+        support::ensure(state.scenario != nullptr,
+                        "vps-worker: scenario builder returned null for spec '" +
+                            setup.scenario_spec + "'");
+        HelloMsg hello;
+        hello.job = setup.job;
+        hello.pid = static_cast<std::uint64_t>(::getpid());
+        hello.scenario = state.scenario->name();
+        state.setup = std::move(setup);
+        jobs[state.setup.job] = std::move(state);
+        if (!channel.send_frame(MsgType::kHello, encode_hello(hello))) return 2;
+        break;
+      }
+      case MsgType::kRelease:
+        jobs.erase(decode_job(frame->payload).job);
+        break;
+      case MsgType::kAssign: {
+        const AssignMsg assign = decode_assign(frame->payload);
+        const auto it = jobs.find(assign.job);
+        support::ensure(it != jobs.end(), "vps-worker: ASSIGN for job " +
+                                              std::to_string(assign.job) +
+                                              " this worker was never SETUP for");
+        const JobState& job = it->second;
+        if (!channel.send_frame(MsgType::kHeartbeat, encode_heartbeat({runs_done}))) return 2;
+        ResultMsg result;
+        result.job = assign.job;
+        result.run = assign.run;
+        result.replay = fault::replay_isolated(*job.scenario, assign.fault, job.setup.seed,
+                                               job.setup.golden, job.setup.crash_retries);
+        ++runs_done;
+        if (!channel.send_frame(MsgType::kResult, encode_result(result))) return 2;
+        break;
+      }
+      default:
+        support::ensure(false, std::string("vps-worker: unexpected ") + to_string(frame->type) +
+                                   " frame from the campaign server");
+    }
+  }
+}
+
 }  // namespace
 
 int serve(Channel& channel, const ScenarioBuilder& build) noexcept {
   try {
     return serve_impl(channel, build);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vps-worker[%d]: fatal: %s\n", ::getpid(), e.what());
+    return 3;
+  } catch (...) {
+    std::fprintf(stderr, "vps-worker[%d]: fatal: unknown exception\n", ::getpid());
+    return 3;
+  }
+}
+
+int serve_pool(Channel& channel, const ScenarioBuilder& build) noexcept {
+  try {
+    return serve_pool_impl(channel, build);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "vps-worker[%d]: fatal: %s\n", ::getpid(), e.what());
     return 3;

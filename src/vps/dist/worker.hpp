@@ -34,4 +34,12 @@ using ScenarioBuilder = std::function<std::unique_ptr<fault::Scenario>(const Set
 /// _exit() with the return value and must not unwind a forked child.
 [[nodiscard]] int serve(Channel& channel, const ScenarioBuilder& build) noexcept;
 
+/// Pool-worker variant for the campaign server (vps-serverd): the worker
+/// speaks first with REGISTER, then serves many campaigns at once — each
+/// job-tagged SETUP builds (and caches, keyed by job id) that job's
+/// scenario and answers HELLO; ASSIGNs are replayed against the matching
+/// cache entry; RELEASE drops a finished job's cache. Same exit codes and
+/// noexcept contract as serve().
+[[nodiscard]] int serve_pool(Channel& channel, const ScenarioBuilder& build) noexcept;
+
 }  // namespace vps::dist

@@ -8,9 +8,13 @@
 #include <chrono>
 #include <cstdio>
 #include <memory>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
+
+#include <fcntl.h>
+#include <sys/socket.h>
 
 #include "vps/apps/caps.hpp"
 #include "vps/apps/registry.hpp"
@@ -129,6 +133,87 @@ TEST(FrameCodec, InsaneLengthFieldThrows) {
   FrameReader reader;
   reader.feed(wire.data(), wire.size());
   EXPECT_THROW((void)reader.next(), InvariantError);
+}
+
+TEST(FrameCodec, PartialReportsIncompleteFrame) {
+  const std::string wire = encode_frame(MsgType::kResult, "{\"kind\":\"result\"}");
+  FrameReader reader;
+  EXPECT_FALSE(reader.partial());  // empty buffer: nothing pending
+
+  reader.feed(wire.data(), 5);  // header fragment
+  EXPECT_TRUE(reader.partial());
+
+  reader.feed(wire.data() + 5, kFrameHeaderSize - 5 + 3);  // header + payload head
+  EXPECT_TRUE(reader.partial());
+
+  reader.feed(wire.data() + kFrameHeaderSize + 3, wire.size() - kFrameHeaderSize - 3);
+  EXPECT_FALSE(reader.partial());  // complete frame buffered, just not consumed
+  EXPECT_TRUE(reader.next().has_value());
+  EXPECT_FALSE(reader.partial());
+}
+
+// --------------------------------------------------------------------------
+// Transport
+// --------------------------------------------------------------------------
+
+TEST(TransportTest, SendFrameResumesAcrossFullSendBuffer) {
+  // Regression: EAGAIN on a nonblocking sender used to be treated as fatal.
+  // With a tiny SO_SNDBUF a multi-megabyte frame is guaranteed to hit it
+  // mid-write; send_frame must poll for writability and resume, delivering
+  // the frame intact (the CRC check on the receiving side proves it).
+  const SocketPair pair = make_socket_pair();
+  const int tiny = 4096;
+  ASSERT_EQ(::setsockopt(pair.coordinator_fd, SOL_SOCKET, SO_SNDBUF, &tiny, sizeof tiny), 0);
+  const int flags = ::fcntl(pair.coordinator_fd, F_GETFL, 0);
+  ASSERT_GE(flags, 0);
+  ASSERT_EQ(::fcntl(pair.coordinator_fd, F_SETFL, flags | O_NONBLOCK), 0);
+
+  std::string payload(2 * 1024 * 1024, '\0');
+  for (std::size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>((i * 131u) & 0xFF);
+  }
+
+  Channel sender(pair.coordinator_fd);
+  Channel receiver(pair.worker_fd);
+  std::optional<Frame> got;
+  std::thread reader([&receiver, &got] { got = receiver.wait_frame(10'000); });
+  EXPECT_TRUE(sender.send_frame(MsgType::kResult, payload));
+  reader.join();
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->type, MsgType::kResult);
+  EXPECT_EQ(got->payload, payload);
+}
+
+TEST(TransportTest, PartialSinceTracksIncompleteFrames) {
+  const SocketPair pair = make_socket_pair();
+  Channel sender(pair.coordinator_fd);
+  Channel receiver(pair.worker_fd);
+  EXPECT_FALSE(receiver.partial_since().has_value());
+
+  const std::string wire = encode_frame(MsgType::kHeartbeat, "{\"kind\":\"heartbeat\",\"runs_done\":1}");
+  ASSERT_GT(::send(sender.fd(), wire.data(), wire.size() / 2, MSG_NOSIGNAL), 0);
+  EXPECT_FALSE(receiver.wait_frame(100).has_value());  // mid-frame: no frame yet
+  ASSERT_TRUE(receiver.partial_since().has_value());
+  const auto since = *receiver.partial_since();
+
+  ASSERT_GT(::send(sender.fd(), wire.data() + wire.size() / 2, wire.size() - wire.size() / 2,
+                   MSG_NOSIGNAL),
+            0);
+  auto frame = receiver.wait_frame(1000);
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->type, MsgType::kHeartbeat);
+  EXPECT_FALSE(receiver.partial_since().has_value()) << "frame boundary must reset the clock";
+  EXPECT_GE(std::chrono::steady_clock::now(), since);
+}
+
+TEST(DistCampaignTest, PollTimeoutTracksEarliestFleetDeadline) {
+  using std::chrono::milliseconds;
+  const auto now = std::chrono::steady_clock::now();
+  EXPECT_EQ(poll_timeout_ms(now, {}, 1000), 1000);
+  EXPECT_EQ(poll_timeout_ms(now, {now + milliseconds(250), now + milliseconds(700)}, 1000), 250);
+  EXPECT_EQ(poll_timeout_ms(now, {now + milliseconds(700), now + milliseconds(250)}, 1000), 250);
+  EXPECT_EQ(poll_timeout_ms(now, {now - milliseconds(10)}, 1000), 0);  // already due
+  EXPECT_EQ(poll_timeout_ms(now, {now + milliseconds(5000)}, 1000), 1000);  // fallback caps
 }
 
 // --------------------------------------------------------------------------
@@ -409,6 +494,55 @@ TEST(DistCampaignTest, SilentWorkerIsKilledByTheHeartbeatTimeout) {
   EXPECT_EQ(result.runs_executed, 1u);
   EXPECT_EQ(result.count(Outcome::kSimCrash), 1u);
   EXPECT_EQ(campaign.fleet_stats().worker_deaths, 1u);
+}
+
+// Wedges only the first generated fault (ids are 1-based run order), so in
+// a two-worker fleet exactly one worker goes silent while the other keeps
+// producing results — the staggered-deadline case.
+class FirstRunWedgedScenario final : public Scenario {
+ public:
+  [[nodiscard]] std::string name() const override { return "first_run_wedged"; }
+  [[nodiscard]] Time duration() const override { return Time::ms(1); }
+  [[nodiscard]] std::vector<FaultType> fault_types() const override {
+    return {FaultType::kMemoryBitFlip};
+  }
+  [[nodiscard]] Observation run(const FaultDescriptor* fault, std::uint64_t) override {
+    if (fault != nullptr && fault->id == 1) {
+      std::this_thread::sleep_for(std::chrono::seconds(20));  // SIGKILLed long before
+    }
+    Observation obs;
+    obs.completed = true;
+    obs.output_signature = 1;
+    return obs;
+  }
+};
+
+TEST(DistCampaignTest, StaggeredTimeoutIsDetectedAtTheEarliestFleetDeadline) {
+  // Regression: the collect loop used to poll at a fixed 1 s cadence, so a
+  // heartbeat deadline landing between wakeups was detected up to a full
+  // period late (hb=1200 ms → kill at ~2 s). With the fleet-wide earliest
+  // deadline driving the timeout, the wedged worker dies at ~1.2 s even
+  // while its healthy sibling keeps waking the poll with results.
+  CampaignConfig cfg;
+  cfg.runs = 6;
+  cfg.seed = 7;
+  DistConfig dc;
+  dc.campaign = cfg;
+  dc.workers = 2;
+  dc.heartbeat_timeout_ms = 1200;
+  dc.max_requeues = 0;  // the wedged run quarantines instead of wedging a survivor
+  DistCampaign campaign([] { return std::make_unique<FirstRunWedgedScenario>(); }, dc);
+  const auto started = std::chrono::steady_clock::now();
+  const CampaignResult result = campaign.run();
+  const auto elapsed = std::chrono::steady_clock::now() - started;
+
+  EXPECT_EQ(result.runs_executed, cfg.runs);
+  // The wedged worker holds every slot it was round-robined (run 0 plus any
+  // it never got to); with a zero requeue budget all of them quarantine.
+  EXPECT_GE(result.count(Outcome::kSimCrash), 1u);
+  EXPECT_EQ(campaign.fleet_stats().worker_deaths, 1u);
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(), 1900)
+      << "wedged worker was detected a full poll period late";
 }
 
 // --------------------------------------------------------------------------

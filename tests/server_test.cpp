@@ -1,0 +1,298 @@
+// The persistent campaign server: admission control (bounded job table,
+// explicit REJECT), the metrics scrape endpoint, wedged-peer supervision,
+// and the headline guarantee — two tenant campaigns interleaved on one
+// standing worker pool fold bitwise identical to their solo in-process
+// runs, including with a pool worker SIGKILLed mid-campaign.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "vps/apps/caps.hpp"
+#include "vps/apps/registry.hpp"
+#include "vps/dist/coordinator.hpp"
+#include "vps/dist/protocol.hpp"
+#include "vps/dist/server.hpp"
+#include "vps/dist/transport.hpp"
+#include "vps/dist/worker.hpp"
+#include "vps/fault/campaign.hpp"
+#include "vps/support/ensure.hpp"
+
+namespace {
+
+using namespace vps::dist;
+using vps::apps::CapsConfig;
+using vps::apps::CapsScenario;
+using vps::fault::CampaignConfig;
+using vps::fault::CampaignResult;
+using vps::fault::Outcome;
+using vps::fault::ParallelCampaign;
+using vps::fault::ScenarioFactory;
+using vps::support::InvariantError;
+
+constexpr const char* kHost = "127.0.0.1";
+
+// Forks one standing-pool worker that connects to the server and serves the
+// registry-built scenarios until SHUTDOWN. Must be called before any thread
+// is spawned in the test process (fork safety).
+pid_t fork_pool_worker(std::uint16_t port) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  int code = 3;
+  {
+    Channel channel(tcp_connect(kHost, port));
+    code = serve_pool(channel, [](const SetupMsg& setup) {
+      return vps::apps::make_scenario(setup.scenario_spec);
+    });
+  }
+  ::_exit(code);
+}
+
+void reap(pid_t pid) {
+  int status = 0;
+  pid_t r;
+  do {
+    r = ::waitpid(pid, &status, 0);
+  } while (r < 0 && errno == EINTR);
+}
+
+void expect_identical(const CampaignResult& a, const CampaignResult& b) {
+  EXPECT_EQ(a.outcome_counts, b.outcome_counts);
+  EXPECT_EQ(a.runs_executed, b.runs_executed);
+  EXPECT_EQ(a.faults_to_first_hazard, b.faults_to_first_hazard);
+  EXPECT_EQ(a.final_coverage, b.final_coverage);
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].fault.id, b.records[i].fault.id);
+    EXPECT_EQ(a.records[i].fault.type, b.records[i].fault.type);
+    EXPECT_EQ(a.records[i].fault.address, b.records[i].fault.address);
+    EXPECT_EQ(a.records[i].fault.inject_at, b.records[i].fault.inject_at);
+    EXPECT_EQ(a.records[i].fault.magnitude, b.records[i].fault.magnitude);
+    EXPECT_EQ(a.records[i].outcome, b.records[i].outcome);
+    EXPECT_EQ(a.records[i].crash_what, b.records[i].crash_what);
+  }
+  ASSERT_EQ(a.coverage_curve.size(), b.coverage_curve.size());
+  for (std::size_t i = 0; i < a.coverage_curve.size(); ++i) {
+    EXPECT_EQ(a.coverage_curve[i], b.coverage_curve[i]) << "curve diverges at run " << i;
+  }
+  EXPECT_EQ(a.provenance_jsonl(), b.provenance_jsonl());
+}
+
+SubmitMsg tiny_submit(const std::string& tenant) {
+  SubmitMsg submit;
+  submit.tenant = tenant;
+  submit.scenario_spec = "caps";
+  submit.scenario = "caps_normal_protected";
+  submit.config.runs = 4;
+  submit.config.seed = 1;
+  submit.golden.completed = true;
+  submit.golden.output_signature = 1;
+  return submit;
+}
+
+// --------------------------------------------------------------------------
+// Multi-tenant determinism on one standing pool
+// --------------------------------------------------------------------------
+
+TEST(CampaignServerTest, TwoTenantsOnOnePoolFoldBitwiseIdenticalToSolo) {
+  const ScenarioFactory caps_factory = [] {
+    return std::make_unique<CapsScenario>(CapsConfig{.crash = true});
+  };
+  const ScenarioFactory acc_factory = [] { return vps::apps::make_scenario("acc"); };
+
+  CampaignConfig caps_cfg;
+  caps_cfg.runs = 24;
+  caps_cfg.seed = 42;
+  caps_cfg.location_buckets = 8;
+  CampaignConfig acc_cfg;
+  acc_cfg.runs = 12;
+  acc_cfg.seed = 9;
+
+  const CampaignResult caps_solo = ParallelCampaign(caps_factory, caps_cfg).run();
+  const CampaignResult acc_solo = ParallelCampaign(acc_factory, acc_cfg).run();
+
+  // Default (30 s) heartbeat budget: a SIGKILLed worker is detected by EOF,
+  // not by heartbeat, and sanitizer builds can push one replay past a few
+  // seconds of wall time — a tight budget here only makes TSan drop healthy
+  // workers as wedged.
+  CampaignServer server{ServerConfig{}};
+
+  // Fork the 4-worker pool BEFORE any thread exists. The listener is already
+  // bound (constructor), so the TCP backlog holds the connects until the
+  // serve loop starts accepting.
+  std::vector<pid_t> pool;
+  for (int i = 0; i < 4; ++i) pool.push_back(fork_pool_worker(server.port()));
+  server.start();
+
+  const auto run_tenant = [&server](const std::string& tenant, const std::string& spec,
+                                    const ScenarioFactory& factory, const CampaignConfig& cfg) {
+    DistConfig dc;
+    dc.campaign = cfg;
+    dc.server_host = kHost;
+    dc.server_port = server.port();
+    dc.tenant = tenant;
+    dc.scenario_spec = spec;
+    DistCampaign campaign(factory, dc);
+    return campaign.run();
+  };
+
+  // A throw inside a tenant thread must fail the test, not std::terminate it.
+  CampaignResult caps_res;
+  CampaignResult acc_res;
+  std::thread caps_tenant([&] {
+    try {
+      caps_res = run_tenant("caps", "caps:crash", caps_factory, caps_cfg);
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "caps tenant threw: " << e.what();
+    }
+  });
+  std::thread acc_tenant([&] {
+    try {
+      acc_res = run_tenant("acc", "acc", acc_factory, acc_cfg);
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "acc tenant threw: " << e.what();
+    }
+  });
+
+  // Kill one pool worker while both campaigns are (very likely) in flight:
+  // the server requeues its runs and neither tenant's fold may change.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  ::kill(pool[0], SIGKILL);
+
+  caps_tenant.join();
+  acc_tenant.join();
+  server.stop();
+  for (pid_t pid : pool) reap(pid);
+
+  expect_identical(caps_solo, caps_res);
+  expect_identical(acc_solo, acc_res);
+}
+
+// --------------------------------------------------------------------------
+// Admission control
+// --------------------------------------------------------------------------
+
+TEST(CampaignServerTest, FullJobTableAnswersRejectNotHang) {
+  ServerConfig sc;
+  sc.max_jobs = 1;
+  CampaignServer server{sc};
+  server.start();
+
+  // First tenant occupies the only slot...
+  Channel first(tcp_connect(kHost, server.port()));
+  ASSERT_TRUE(first.send_frame(MsgType::kSubmit, encode_submit(tiny_submit("a"))));
+  auto accept = first.wait_frame(5000);
+  ASSERT_TRUE(accept.has_value());
+  ASSERT_EQ(accept->type, MsgType::kAccept);
+  const std::uint64_t job = decode_accept(accept->payload).job;
+
+  // ...so the second SUBMIT is rejected explicitly, within the timeout.
+  Channel second(tcp_connect(kHost, server.port()));
+  ASSERT_TRUE(second.send_frame(MsgType::kSubmit, encode_submit(tiny_submit("b"))));
+  auto reject = second.wait_frame(5000);
+  ASSERT_TRUE(reject.has_value()) << "a full queue must answer, not hang";
+  ASSERT_EQ(reject->type, MsgType::kReject);
+  EXPECT_NE(decode_reject(reject->payload).reason.find("full"), std::string::npos);
+
+  // Releasing the admitted job frees the slot for the next tenant.
+  ASSERT_TRUE(first.send_frame(MsgType::kRelease, encode_job(JobMsg{job})));
+  for (int attempt = 0;; ++attempt) {
+    Channel retry(tcp_connect(kHost, server.port()));
+    ASSERT_TRUE(retry.send_frame(MsgType::kSubmit, encode_submit(tiny_submit("c"))));
+    auto reply = retry.wait_frame(5000);
+    ASSERT_TRUE(reply.has_value());
+    if (reply->type == MsgType::kAccept) break;
+    ASSERT_EQ(reply->type, MsgType::kReject);  // RELEASE still in flight
+    ASSERT_LT(attempt, 50) << "slot was never freed";
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  server.stop();
+}
+
+TEST(CampaignServerTest, ClientModeSurfacesRejectAsACleanError) {
+  ServerConfig sc;
+  sc.max_jobs = 0;  // everything is rejected
+  CampaignServer server{sc};
+  server.start();
+
+  DistConfig dc;
+  dc.campaign.runs = 4;
+  dc.server_host = kHost;
+  dc.server_port = server.port();
+  DistCampaign campaign([] { return std::make_unique<CapsScenario>(CapsConfig{}); }, dc);
+  try {
+    (void)campaign.run();
+    FAIL() << "a rejected submission must not succeed";
+  } catch (const InvariantError& e) {
+    EXPECT_NE(std::string(e.what()).find("rejected"), std::string::npos) << e.what();
+  }
+  server.stop();
+}
+
+// --------------------------------------------------------------------------
+// Metrics scrape endpoint
+// --------------------------------------------------------------------------
+
+TEST(CampaignServerTest, MetricsScrapeServesNameSortedRender) {
+  ServerConfig sc;
+  CampaignServer server{sc};
+  server.start();
+
+  const int fd = tcp_connect(kHost, server.port());
+  const std::string request = "GET /metrics HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::send(fd, request.data(), request.size(), MSG_NOSIGNAL),
+            static_cast<ssize_t>(request.size()));
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) response.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  server.stop();
+
+  EXPECT_NE(response.find("200 OK"), std::string::npos) << response;
+  EXPECT_NE(response.find("server.jobs_active"), std::string::npos) << response;
+  EXPECT_NE(response.find("server.workers_alive"), std::string::npos) << response;
+  // The registry renders name-sorted, so the scrape is deterministic.
+  EXPECT_LT(response.find("server.jobs_active"), response.find("server.workers_alive"));
+}
+
+// --------------------------------------------------------------------------
+// Wedged-peer supervision
+// --------------------------------------------------------------------------
+
+TEST(CampaignServerTest, WorkerStuckMidFrameIsDropped) {
+  // A peer that registers and then trickles half a frame must be dropped at
+  // the heartbeat deadline — a truncated tail can never park the server's
+  // reassembly buffer (or a tenant's campaign) forever.
+  ServerConfig sc;
+  sc.heartbeat_timeout_ms = 200;
+  CampaignServer server{sc};
+  server.start();
+
+  Channel worker(tcp_connect(kHost, server.port()));
+  RegisterMsg reg;
+  reg.pid = 424242;
+  ASSERT_TRUE(worker.send_frame(MsgType::kRegister, encode_register(reg)));
+
+  const std::string wire =
+      encode_frame(MsgType::kHeartbeat, "{\"kind\":\"heartbeat\",\"runs_done\":1}");
+  ASSERT_GT(::send(worker.fd(), wire.data(), wire.size() / 2, MSG_NOSIGNAL), 0);
+
+  const auto frame = worker.wait_frame(3000);
+  EXPECT_FALSE(frame.has_value());
+  EXPECT_FALSE(worker.open()) << "server kept a peer stuck mid-frame alive past the deadline";
+  server.stop();
+}
+
+}  // namespace

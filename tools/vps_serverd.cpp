@@ -1,0 +1,75 @@
+// vps-serverd: the persistent multi-tenant campaign server. Binds a TCP
+// listener, prints "listening on PORT" on stdout (so scripts that start it
+// with --port 0 can discover the ephemeral port), and serves until SIGINT
+// or SIGTERM:
+//
+//   vps-serverd [--host H] [--port P] [--max-jobs N]
+//               [--heartbeat-ms MS] [--hello-ms MS]
+//
+// Workers join with `vps-worker --connect H:P`; clients submit campaigns
+// through DistCampaign's server mode; `curl H:P/metrics` (or any raw GET)
+// scrapes the server's counters as a plaintext name-sorted table.
+
+#include <atomic>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "vps/dist/server.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--host H] [--port P] [--max-jobs N] [--heartbeat-ms MS] "
+               "[--hello-ms MS]\n"
+               "  Persistent campaign server: workers join with `vps-worker --connect`,\n"
+               "  clients submit via DistCampaign server mode, GET /metrics scrapes.\n",
+               argv0);
+  return 64;  // EX_USAGE
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  vps::dist::ServerConfig config;
+  for (int i = 1; i < argc; ++i) {
+    const auto want_value = [&](const char* flag) {
+      return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+    };
+    if (want_value("--host")) {
+      config.host = argv[++i];
+    } else if (want_value("--port")) {
+      config.port = static_cast<std::uint16_t>(std::atoi(argv[++i]));
+    } else if (want_value("--max-jobs")) {
+      config.max_jobs = static_cast<std::size_t>(std::atol(argv[++i]));
+    } else if (want_value("--heartbeat-ms")) {
+      config.heartbeat_timeout_ms = std::atoi(argv[++i]);
+    } else if (want_value("--hello-ms")) {
+      config.hello_timeout_ms = std::atoi(argv[++i]);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  try {
+    vps::dist::CampaignServer server(std::move(config));
+    std::printf("listening on %u\n", static_cast<unsigned>(server.port()));
+    std::fflush(stdout);
+    server.serve(g_stop);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vps-serverd: %s\n", e.what());
+    return 1;
+  }
+}

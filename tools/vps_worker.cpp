@@ -1,12 +1,20 @@
 // vps-worker: worker-process binary of the distributed fault-injection
-// campaign. The coordinator fork+execs this with one end of a socketpair on
-// an inherited fd (conventionally 3) and drives it over the framed protocol:
-// SETUP in, HELLO out, then ASSIGN/RESULT until SHUTDOWN. The scenario is
-// rebuilt locally from the SETUP message's registry spec, so the worker
-// shares no address space — a replay that corrupts or kills this process
-// cannot take the coordinator (or its siblings) down with it.
+// campaign. Two modes:
 //
-// Usage: vps-worker --fd N
+//   --fd N                 one-shot fleet member: the coordinator fork+execs
+//                          this with one end of a socketpair on an inherited
+//                          fd (conventionally 3) and drives it over the
+//                          framed protocol: SETUP in, HELLO out, then
+//                          ASSIGN/RESULT until SHUTDOWN.
+//   --connect HOST:PORT    standing-pool member: connects to a running
+//                          vps-serverd, REGISTERs, and serves many
+//                          campaigns at once (job-tagged SETUPs, scenario
+//                          cache per job) until the server shuts it down.
+//
+// Either way the scenario is rebuilt locally from the SETUP message's
+// registry spec, so the worker shares no address space — a replay that
+// corrupts or kills this process cannot take the coordinator, the server,
+// or its siblings down with it.
 
 #include <cstdio>
 #include <cstdlib>
@@ -21,10 +29,10 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --fd N\n"
-               "  Serves the distributed-campaign worker protocol on the socket\n"
-               "  inherited as file descriptor N. Not meant to be run by hand —\n"
-               "  the campaign coordinator spawns it.\n\n%s",
+               "usage: %s --fd N | --connect HOST:PORT\n"
+               "  --fd N              serve one campaign on the socket inherited as\n"
+               "                      file descriptor N (spawned by the coordinator)\n"
+               "  --connect HOST:PORT join a vps-serverd standing worker pool\n\n%s",
                argv0, vps::apps::registry_help().c_str());
   return 64;  // EX_USAGE
 }
@@ -33,20 +41,34 @@ int usage(const char* argv0) {
 
 int main(int argc, char** argv) {
   int fd = -1;
+  std::string connect_to;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--fd") == 0 && i + 1 < argc) {
       fd = std::atoi(argv[++i]);
+    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+      connect_to = argv[++i];
     } else {
       return usage(argv[0]);
     }
   }
-  if (fd < 0) return usage(argv[0]);
+  if ((fd < 0) == connect_to.empty()) return usage(argv[0]);  // exactly one mode
 
+  const auto build = [](const vps::dist::SetupMsg& setup) {
+    return vps::apps::make_scenario(setup.scenario_spec);
+  };
   try {
+    if (!connect_to.empty()) {
+      const std::size_t colon = connect_to.rfind(':');
+      if (colon == std::string::npos) return usage(argv[0]);
+      const std::string host = connect_to.substr(0, colon);
+      const int port = std::atoi(connect_to.c_str() + colon + 1);
+      if (port <= 0 || port > 65535) return usage(argv[0]);
+      vps::dist::Channel channel(
+          vps::dist::tcp_connect(host, static_cast<std::uint16_t>(port)));
+      return vps::dist::serve_pool(channel, build);
+    }
     vps::dist::Channel channel(fd);
-    return vps::dist::serve(channel, [](const vps::dist::SetupMsg& setup) {
-      return vps::apps::make_scenario(setup.scenario_spec);
-    });
+    return vps::dist::serve(channel, build);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "vps-worker: %s\n", e.what());
     return 3;
