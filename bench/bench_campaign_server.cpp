@@ -56,14 +56,35 @@ pid_t fork_pool_worker(std::uint16_t port) {
   ::_exit(code);
 }
 
+/// Self-healing pool worker with a chaos policy on its sends (E21). Drops
+/// every inherited fd — above all the server's listening socket, which would
+/// otherwise outlive the server in this child and black-hole reconnects.
+pid_t fork_chaos_worker(std::uint16_t port, const dist::ChaosConfig& chaos) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  for (int fd = 3; fd < 1024; ++fd) ::close(fd);
+  dist::PoolConfig pc;
+  pc.host = kHost;
+  pc.port = port;
+  pc.backoff_initial_ms = 20;
+  pc.backoff_max_ms = 150;
+  pc.max_reconnects = 40;
+  pc.idle_timeout_ms = 2000;
+  pc.chaos = chaos;
+  ::_exit(dist::serve_pool(
+      pc, [](const dist::SetupMsg& setup) { return apps::make_scenario(setup.scenario_spec); }));
+}
+
 fault::CampaignResult submit(std::uint16_t port, const char* tenant,
-                             const fault::CampaignConfig& cfg) {
+                             const fault::CampaignConfig& cfg,
+                             const dist::ChaosConfig& chaos = {}) {
   dist::DistConfig dc;
   dc.campaign = cfg;
   dc.server_host = kHost;
   dc.server_port = port;
   dc.tenant = tenant;
   dc.scenario_spec = "caps:crash";
+  dc.chaos = chaos;
   dist::DistCampaign campaign(caps_factory(), dc);
   return campaign.run();
 }
@@ -132,11 +153,13 @@ int main(int argc, char** argv) {
 
   // Warm submission: same standing pool, fleet spin-up fully amortized —
   // this is the steady-state cost a tenant of a long-lived server sees.
+  double warm_per_run_us = 0;
   {
     const auto t0 = Clock::now();
     const auto result = submit(server.port(), "warm", cfg);
-    row("server, warm pool", runs, seconds_since(t0), base_per_run_us,
-        identical(result, baseline));
+    const double s = seconds_since(t0);
+    warm_per_run_us = s / static_cast<double>(runs) * 1e6;
+    row("server, warm pool", runs, s, base_per_run_us, identical(result, baseline));
     if (!identical(result, baseline)) return 1;
   }
 
@@ -158,6 +181,67 @@ int main(int argc, char** argv) {
 
   server.stop();
   for (const pid_t pid : pool) {
+    int status = 0;
+    pid_t r;
+    do {
+      r = ::waitpid(pid, &status, 0);
+    } while (r < 0 && errno == EINTR);
+  }
+
+  // E21 — chaos instrumentation tax. Every link (server, workers, client)
+  // carries an *armed but inert* ChaosPolicy: seed nonzero so the per-frame
+  // action roll and counters run, every fault probability zero so nothing is
+  // injected. The delta vs the plain warm row is the price of shipping the
+  // injector always-attached; the target is ≤2 % per run. A second row arms
+  // the default fault mix to show what a healed run actually costs.
+  std::printf("\n== E21: chaos shim tax (same load, warm pool) ==\n\n");
+  dist::ChaosConfig inert;
+  inert.seed = 7;
+  inert.drop_frame = inert.corrupt_frame = inert.delay_frame = inert.disconnect = 0.0;
+  dist::ChaosConfig active;
+  active.seed = 7;
+
+  dist::ServerConfig chaos_sc;
+  chaos_sc.chaos = inert;
+  dist::CampaignServer chaos_server{chaos_sc};
+  std::vector<pid_t> chaos_pool;
+  for (int i = 0; i < 4; ++i) chaos_pool.push_back(fork_chaos_worker(chaos_server.port(), inert));
+  chaos_server.start();
+
+  (void)submit(chaos_server.port(), "e21-warmup", cfg, inert);  // amortize SETUP/HELLO
+  {
+    const auto t0 = Clock::now();
+    const auto result = submit(chaos_server.port(), "e21-inert", cfg, inert);
+    const double s = seconds_since(t0);
+    const double per_run_us = s / static_cast<double>(runs) * 1e6;
+    row("server, warm, chaos inert", runs, s, base_per_run_us, identical(result, baseline));
+    if (!identical(result, baseline)) return 1;
+    const double tax_pct = (per_run_us - warm_per_run_us) / warm_per_run_us * 100.0;
+    std::printf("    shim tax vs plain warm pool: %+.2f %%  (target <= 2 %%)\n", tax_pct);
+  }
+  {
+    dist::DistConfig probe;  // client-side healing knobs for the active row
+    probe.campaign = cfg;
+    probe.server_host = kHost;
+    probe.server_port = chaos_server.port();
+    probe.tenant = "e21-active";
+    probe.scenario_spec = "caps:crash";
+    probe.chaos = active;
+    probe.heartbeat_timeout_ms = 1000;
+    probe.reconnect_backoff_ms = 50;
+    probe.reconnect_backoff_max_ms = 500;
+    dist::DistCampaign campaign(caps_factory(), probe);
+    const auto t0 = Clock::now();
+    const auto result = campaign.run();
+    row("server, warm, chaos active", runs, seconds_since(t0), base_per_run_us,
+        identical(result, baseline));
+    if (!identical(result, baseline)) return 1;
+  }
+
+  // The active row's faults only hit the client link: the pool and server
+  // were armed inert above so the two E21 rows share one fleet. Tear down.
+  chaos_server.stop();
+  for (const pid_t pid : chaos_pool) {
     int status = 0;
     pid_t r;
     do {

@@ -5,7 +5,9 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <memory>
 #include <optional>
+#include <thread>
 #include <utility>
 
 #include <poll.h>
@@ -204,6 +206,9 @@ void DistCampaign::publish_fleet_metrics() const {
   metrics_->counter("dist.frames_received").add(fleet_stats_.frames_received);
   metrics_->counter("dist.bytes_sent").add(fleet_stats_.bytes_sent);
   metrics_->counter("dist.bytes_received").add(fleet_stats_.bytes_received);
+  metrics_->counter("dist.reconnects").add(fleet_stats_.reconnects);
+  metrics_->counter("dist.chaos.frames_dropped").add(fleet_stats_.chaos_frames_dropped);
+  metrics_->counter("dist.chaos.bytes_corrupted").add(fleet_stats_.chaos_bytes_corrupted);
 }
 
 CampaignResult DistCampaign::execute(std::size_t start_run, CampaignResult result,
@@ -572,6 +577,37 @@ CampaignResult DistCampaign::execute(std::size_t start_run, CampaignResult resul
   return result;
 }
 
+namespace {
+
+/// Stable client-side job identity: FNV-1a over the determinism-relevant
+/// campaign fields. The same campaign resubmitted from a fresh process (after
+/// a client crash, or across a server restart) hashes to the same token, so
+/// the server can reattach the orphaned job instead of admitting a duplicate.
+std::uint64_t job_token_for(const SubmitMsg& submit) {
+  std::uint64_t h = 1469598103934665603ULL;
+  const auto mix_bytes = [&h](const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h ^= b[i];
+      h *= 1099511628211ULL;
+    }
+  };
+  const auto mix_str = [&](const std::string& s) {
+    mix_bytes(s.data(), s.size());
+    mix_bytes("\0", 1);  // length delimiter: ("ab","c") != ("a","bc")
+  };
+  const auto mix_u64 = [&](std::uint64_t v) { mix_bytes(&v, sizeof v); };
+  mix_str(submit.tenant);
+  mix_str(submit.scenario_spec);
+  mix_str(submit.scenario);
+  mix_u64(submit.config.seed);
+  mix_u64(submit.config.runs);
+  mix_u64(submit.max_requeues);
+  return h == 0 ? 1 : h;  // 0 is the wire sentinel for "no token"
+}
+
+}  // namespace
+
 CampaignResult DistCampaign::execute_remote(std::size_t start_run, CampaignResult result,
                                             CampaignState& state) {
   const auto started = Clock::now();
@@ -580,8 +616,7 @@ CampaignResult DistCampaign::execute_remote(std::size_t start_run, CampaignResul
   };
   const CampaignConfig& cc = config_.campaign;
 
-  // --- submit --------------------------------------------------------------
-  Channel channel(tcp_connect(config_.server_host, config_.server_port));
+  // --- submit (self-healing: retried with backoff until the server answers) -
   SubmitMsg submit;
   submit.tenant = config_.tenant.empty() ? "default" : config_.tenant;
   submit.scenario_spec =
@@ -590,18 +625,97 @@ CampaignResult DistCampaign::execute_remote(std::size_t start_run, CampaignResul
   submit.config = cc;
   submit.max_requeues = config_.max_requeues;
   submit.golden = golden_;
-  ensure(channel.send_frame(MsgType::kSubmit, encode_submit(submit)),
-         "dist: campaign server hung up before SUBMIT could be delivered");
-  auto reply = channel.wait_frame(config_.hello_timeout_ms);
-  ensure(reply.has_value(), channel.open()
-                                ? "dist: campaign server did not answer SUBMIT in time"
-                                : "dist: campaign server closed the connection on SUBMIT");
-  if (reply->type == MsgType::kReject) {
-    ensure(false, "dist: campaign server rejected submission: " + decode_reject(reply->payload).reason);
-  }
-  ensure(reply->type == MsgType::kAccept,
-         std::string("dist: campaign server answered SUBMIT with ") + to_string(reply->type));
-  const std::uint64_t job = decode_accept(reply->payload).job;
+  submit.job_token = job_token_for(submit);
+
+  std::optional<Channel> channel;
+  std::uint64_t job = 0;
+  std::uint64_t connect_attempts = 0;
+  int backoff_ms = std::max(1, config_.reconnect_backoff_ms);
+  // Deterministic jitter: seeded from the campaign, forked by pid so two
+  // clients of one server never sleep in lockstep.
+  support::Xorshift jitter =
+      support::Xorshift(cc.seed + 0x73656c666865ULL).fork(static_cast<std::uint64_t>(::getpid()));
+
+  // Folds the dying channel's transfer + chaos counters into fleet_stats_ so
+  // no bytes are lost across reconnects, then drops it.
+  const auto fold_channel = [&] {
+    if (!channel.has_value()) return;
+    fleet_stats_.frames_sent += channel->stats().frames_sent;
+    fleet_stats_.frames_received += channel->stats().frames_received;
+    fleet_stats_.bytes_sent += channel->stats().bytes_sent;
+    fleet_stats_.bytes_received += channel->stats().bytes_received;
+    if (channel->chaos() != nullptr) {
+      fleet_stats_.chaos_frames_dropped += channel->chaos()->counters().frames_dropped;
+      fleet_stats_.chaos_bytes_corrupted += channel->chaos()->counters().bytes_corrupted;
+    }
+    channel.reset();
+  };
+
+  // Connect + SUBMIT + await the admission verdict. Connection-level failures
+  // (refused, timed out, link died before ACCEPT) are retried with doubling
+  // backoff and jitter, bounded by max_reconnects consecutive failures — this
+  // is what lets a tenant ride out a server crash + restart. A REJECT is an
+  // explicit answer and always fatal, on the first attempt and on every
+  // reconnect alike.
+  const auto connect_and_submit = [&] {
+    int failures = 0;
+    for (;;) {
+      std::optional<Frame> reply;
+      try {
+        Channel fresh(tcp_connect(config_.server_host, config_.server_port,
+                                  config_.connect_timeout_ms));
+        if (config_.chaos.enabled()) {
+          // Distinct stream per attempt: replaying the seed replays the
+          // faults, reconnecting does not replay the same fault schedule.
+          fresh.set_chaos(std::make_shared<ChaosPolicy>(
+              config_.chaos, (static_cast<std::uint64_t>(::getpid()) << 20) + 0x80000ULL +
+                                 connect_attempts));
+        }
+        ++connect_attempts;
+        ensure(fresh.send_frame(MsgType::kSubmit, encode_submit(submit)),
+               "dist: campaign server hung up before SUBMIT could be delivered");
+        reply = fresh.wait_frame(config_.hello_timeout_ms);
+        ensure(reply.has_value(),
+               fresh.open() ? "dist: campaign server did not answer SUBMIT in time"
+                            : "dist: campaign server closed the connection on SUBMIT");
+        channel.emplace(std::move(fresh));
+      } catch (const std::exception& e) {
+        if (++failures > config_.max_reconnects) {
+          ensure(false,
+                 std::string("dist: could not reach campaign server after retries: ") + e.what());
+        }
+        std::fprintf(stderr, "dist: SUBMIT attempt failed (%s) — retrying in ~%d ms\n", e.what(),
+                     backoff_ms);
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            static_cast<long>(jitter.uniform(0.5 * backoff_ms, 1.5 * backoff_ms))));
+        backoff_ms = std::min(backoff_ms * 2, std::max(1, config_.reconnect_backoff_max_ms));
+        continue;
+      }
+      if (reply->type == MsgType::kReject) {
+        fold_channel();
+        ensure(false, "dist: campaign server rejected submission: " +
+                          decode_reject(reply->payload).reason);
+      }
+      ensure(reply->type == MsgType::kAccept,
+             std::string("dist: campaign server answered SUBMIT with ") + to_string(reply->type));
+      job = decode_accept(reply->payload).job;
+      backoff_ms = std::max(1, config_.reconnect_backoff_ms);
+      return;
+    }
+  };
+
+  // Link-loss recovery: account for the dead channel, reconnect, re-SUBMIT.
+  // The job token makes the re-SUBMIT a reattach when the server still holds
+  // the job (orphan grace) and a fresh admission when it does not (volatile
+  // restart) — either way `job` is current again afterwards.
+  const auto reestablish = [&](const std::string& why) {
+    std::fprintf(stderr, "dist: link to campaign server lost (%s) — reconnecting\n", why.c_str());
+    fold_channel();
+    ++fleet_stats_.reconnects;
+    connect_and_submit();
+  };
+
+  connect_and_submit();
 
   // --- batch loop: identical generation/fold cadence to the local fleet ----
   const support::Xorshift base(cc.seed);
@@ -627,24 +741,58 @@ CampaignResult DistCampaign::execute_remote(std::size_t start_run, CampaignResul
       faults.push_back(state.generate(next_run + b, run_rng));
     }
 
-    for (std::size_t b = 0; b < n; ++b) {
-      AssignMsg msg;
-      msg.job = job;
-      msg.run = next_run + b;
-      msg.fault = faults[b];
-      ensure(channel.send_frame(MsgType::kAssign, encode_assign(msg)),
-             "dist: campaign server hung up mid-campaign");
-    }
-
+    // Dispatch + collect, healing the link as needed. After every reconnect
+    // only the runs still missing a verdict are re-ASSIGNed; first verdict
+    // wins, so a run that was executed twice (old assignment still in flight
+    // on some worker, new assignment after the reattach) folds exactly once —
+    // and deterministically, because a replay is a pure function of
+    // descriptor + seed + golden.
     std::vector<std::optional<ReplayResult>> replays(n);
     std::size_t batch_results = 0;
+    bool dispatched = false;
     auto silence_deadline = Clock::now() + silence_budget;
     while (batch_results < n) {
-      auto frame = channel.wait_frame(1000);
+      if (!dispatched) {
+        bool sent_all = true;
+        for (std::size_t b = 0; b < n; ++b) {
+          if (replays[b].has_value()) continue;
+          AssignMsg msg;
+          msg.job = job;
+          msg.run = next_run + b;
+          msg.fault = faults[b];
+          if (!channel->send_frame(MsgType::kAssign, encode_assign(msg))) {
+            sent_all = false;
+            break;
+          }
+        }
+        if (!sent_all) {
+          reestablish("ASSIGN could not be delivered");
+          continue;
+        }
+        dispatched = true;
+        silence_deadline = Clock::now() + silence_budget;
+      }
+
+      std::optional<Frame> frame;
+      try {
+        frame = channel->wait_frame(1000);
+      } catch (const std::exception& e) {
+        // Corrupted/misaligned inbound stream — heal it like a hangup.
+        reestablish(e.what());
+        dispatched = false;
+        continue;
+      }
       if (!frame.has_value()) {
-        ensure(channel.open(), "dist: campaign server hung up mid-campaign");
-        ensure(Clock::now() < silence_deadline,
-               "dist: campaign server went silent past the heartbeat budget");
+        if (!channel->open()) {
+          reestablish("campaign server hung up mid-campaign");
+          dispatched = false;
+          continue;
+        }
+        if (Clock::now() >= silence_deadline) {
+          reestablish("campaign server went silent past the heartbeat budget");
+          dispatched = false;
+          continue;
+        }
         continue;
       }
       silence_deadline = Clock::now() + silence_budget;
@@ -652,9 +800,9 @@ CampaignResult DistCampaign::execute_remote(std::size_t start_run, CampaignResul
              std::string("dist: unexpected ") + to_string(frame->type) +
                  " frame from the campaign server");
       ResultMsg msg = decode_result(frame->payload);
-      ensure(msg.run >= next_run && msg.run < next_run + n,
-             "dist: RESULT_STREAM for run " + std::to_string(msg.run) +
-                 " outside the current batch");
+      // A verdict from outside the current batch is a stale duplicate from a
+      // pre-reconnect assignment that lost its first-verdict race — ignore.
+      if (msg.run < next_run || msg.run >= next_run + n) continue;
       const std::size_t slot = msg.run - next_run;
       if (!replays[slot].has_value()) {
         replays[slot] = std::move(msg.replay);
@@ -702,11 +850,11 @@ CampaignResult DistCampaign::execute_remote(std::size_t start_run, CampaignResul
   }
 
   // Tell the server the job is done so pool workers can drop its scenario.
-  (void)channel.send_frame(MsgType::kRelease, encode_job(JobMsg{job}));
-  fleet_stats_.frames_sent += channel.stats().frames_sent;
-  fleet_stats_.frames_received += channel.stats().frames_received;
-  fleet_stats_.bytes_sent += channel.stats().bytes_sent;
-  fleet_stats_.bytes_received += channel.stats().bytes_received;
+  // Best-effort: if the link is down the orphan grace timer cleans up instead.
+  if (channel.has_value() && channel->open()) {
+    (void)channel->send_frame(MsgType::kRelease, encode_job(JobMsg{job}));
+  }
+  fold_channel();
 
   fault::detail::finalize(result, state);
   if (!result.interrupted) {

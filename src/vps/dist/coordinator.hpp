@@ -81,6 +81,20 @@ struct DistConfig {
   std::uint16_t server_port = 0;
   /// Fair-share/bookkeeping label this client submits under (server mode).
   std::string tenant;
+  /// Server-mode self-healing: a lost/corrupt/silent link to the server is
+  /// healed by reconnecting and re-SUBMITting with the same job token — the
+  /// server reattaches the orphaned job (or admits it anew after a stateless
+  /// restart) and the client re-ASSIGNs every run of the current batch that
+  /// has no verdict yet. Bounded by max_reconnects consecutive failed
+  /// attempts; backoff doubles from reconnect_backoff_ms with deterministic
+  /// jitter. A REJECT is never retried — it is an explicit answer.
+  int max_reconnects = 20;
+  int reconnect_backoff_ms = 100;
+  int reconnect_backoff_max_ms = 2'000;
+  /// Bound on each TCP connect attempt (server mode).
+  int connect_timeout_ms = 5'000;
+  /// Outbound fault injection on the client→server link (seed 0 = off).
+  ChaosConfig chaos;
 };
 
 /// Aggregate fleet counters of one run()/resume() call.
@@ -93,6 +107,9 @@ struct FleetStats {
   std::uint64_t frames_received = 0;
   std::uint64_t bytes_sent = 0;
   std::uint64_t bytes_received = 0;
+  std::uint64_t reconnects = 0;  ///< server-mode links reestablished
+  std::uint64_t chaos_frames_dropped = 0;    ///< injected by this client's policy
+  std::uint64_t chaos_bytes_corrupted = 0;   ///< injected by this client's policy
 };
 
 /// Distributed campaign driver. API mirrors ParallelCampaign; checkpoints

@@ -227,6 +227,7 @@ std::string encode_register(const RegisterMsg& m) {
   std::string line = "{\"kind\":\"register\"";
   codec::append_u64(line, "version", m.version);
   codec::append_u64(line, "pid", m.pid);
+  if (m.reconnects != 0) codec::append_u64(line, "reconnects", m.reconnects);
   line += "}";
   return line;
 }
@@ -237,6 +238,7 @@ RegisterMsg decode_register(const std::string& payload) {
   RegisterMsg m;
   m.version = static_cast<std::uint32_t>(p.u64("version"));
   m.pid = p.u64("pid");
+  m.reconnects = p.has("reconnects") ? p.u64("reconnects") : 0;
   return m;
 }
 
@@ -247,6 +249,7 @@ std::string encode_submit(const SubmitMsg& m) {
   codec::append_str(line, "scenario_spec", m.scenario_spec);
   codec::append_str(line, "scenario", m.scenario);
   codec::append_u64(line, "max_requeues", m.max_requeues);
+  if (m.job_token != 0) codec::append_u64(line, "job_token", m.job_token);
   codec::append_config(line, m.config);
   codec::append_observation(line, m.golden);
   line += "}";
@@ -262,6 +265,7 @@ SubmitMsg decode_submit(const std::string& payload) {
   m.scenario_spec = p.str("scenario_spec");
   m.scenario = p.str("scenario");
   m.max_requeues = p.u64("max_requeues");
+  m.job_token = p.has("job_token") ? p.u64("job_token") : 0;
   m.config = codec::config_from(p);
   m.golden = codec::observation_from(p);
   return m;

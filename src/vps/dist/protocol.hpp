@@ -147,10 +147,14 @@ struct HeartbeatMsg {
 
 // --- v2 campaign-server messages -------------------------------------------
 
-/// Worker → server: join the standing pool.
+/// Worker → server: join the standing pool. `reconnects` counts how many
+/// sessions this pool process has already served (0 on first contact) so the
+/// server can surface self-healing activity in dist.reconnects without
+/// guessing which REGISTERs are returns.
 struct RegisterMsg {
   std::uint32_t version = kProtocolVersion;
   std::uint64_t pid = 0;
+  std::uint64_t reconnects = 0;
 };
 
 /// Client → server: one campaign submission. Carries everything a worker
@@ -165,6 +169,12 @@ struct SubmitMsg {
   std::string scenario;       ///< expected Scenario::name() — validates worker HELLOs
   fault::CampaignConfig config;  ///< determinism-relevant fields (codec subset)
   std::uint64_t max_requeues = 2;
+  /// Client-derived stable identity of the submission (0 = none). A re-SUBMIT
+  /// carrying the token of a job whose client is gone *reattaches* to that
+  /// job instead of admitting a duplicate — the hand-off that lets a tenant
+  /// resume its server campaign from a fresh process or across a client-side
+  /// reconnect. A token never matches a job still held by a live client.
+  std::uint64_t job_token = 0;
   fault::Observation golden;
 };
 

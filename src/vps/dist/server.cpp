@@ -18,6 +18,7 @@
 #include "vps/dist/coordinator.hpp"
 #include "vps/dist/protocol.hpp"
 #include "vps/dist/transport.hpp"
+#include "vps/fault/codec.hpp"
 #include "vps/support/ensure.hpp"
 
 namespace vps::dist {
@@ -46,6 +47,9 @@ struct Conn {
   Role role = Role::kSniffing;
   Clock::time_point last_heard = Clock::now();
   bool dead = false;
+  /// Chaos activity already folded into the server metrics (delta folding:
+  /// the policy's counters only grow, the registry gets the increments).
+  ChaosCounters chaos_folded;
   // worker state
   std::uint64_t pid = 0;
   std::set<std::uint64_t> ready_jobs;     ///< SETUP/HELLO completed
@@ -61,6 +65,15 @@ struct Job {
   Conn* client = nullptr;
   std::deque<Inflight> pending;  ///< runs admitted but not yet dispatched
   std::size_t inflight = 0;      ///< runs currently on workers
+  /// Relay watermark, persisted with the job so a recovered server knows how
+  /// far the campaign had streamed (diagnostics; correctness comes from the
+  /// client re-ASSIGNing every run it has no verdict for).
+  std::uint64_t results_relayed = 0;
+  /// Set while no live client connection owns the job (tenant crashed, link
+  /// torn, or the job was just recovered from the state dir): the job waits
+  /// this long for a job_token reattach, then is torn down. Results arriving
+  /// meanwhile are dropped — re-executing them later folds identically.
+  std::optional<Clock::time_point> orphan_deadline;
 };
 
 }  // namespace
@@ -72,21 +85,140 @@ struct CampaignServer::Impl {
   std::vector<std::unique_ptr<Conn>> conns;
   std::map<std::uint64_t, Job> jobs;
   std::uint64_t next_job = 1;
+  bool draining = false;
+  std::uint64_t chaos_streams = 0;  ///< distinct ChaosPolicy stream per accepted conn
 
   explicit Impl(ServerConfig cfg)
       : config(std::move(cfg)), listener(make_tcp_listener(config.host, config.port)) {
     ignore_sigpipe();
+    // Self-healing counters exist from the first scrape, not from the first
+    // incident — a zero line is itself the "no healing needed yet" signal.
+    metrics.counter("dist.reconnects").add(0);
+    metrics.counter("dist.chaos.frames_dropped").add(0);
+    metrics.counter("dist.chaos.bytes_corrupted").add(0);
+    metrics.counter("dist.jobs_recovered").add(0);
+    load_state();
   }
 
   ~Impl() {
     if (listener.fd >= 0) ::close(listener.fd);
   }
 
+  // --- crash-recoverable job state -----------------------------------------
+
+  [[nodiscard]] std::string state_path() const { return config.state_dir + "/jobs.jsonl"; }
+
+  /// Persists the admission state: one header line plus one line per
+  /// admitted job — the job's SUBMIT payload (the checkpoint codec's flat
+  /// JSON, identical spellings to the wire) extended with the job id and the
+  /// relay watermark. Every line carries a CRC-32; the write is atomic
+  /// (tmp + rename), so a crash mid-persist leaves the previous good file.
+  void persist_state() {
+    if (config.state_dir.empty()) return;
+    namespace codec = fault::codec;
+    std::string out;
+    std::string header = "{\"kind\":\"server_state\",\"version\":1";
+    codec::append_u64(header, "next_job", next_job);
+    header += '}';
+    out += codec::with_crc(header) + "\n";
+    for (const auto& [id, job] : jobs) {
+      std::string line = encode_submit(job.submit);
+      line.pop_back();  // reopen the submit object to append the server fields
+      codec::append_u64(line, "id", id);
+      codec::append_u64(line, "relayed", job.results_relayed);
+      line += '}';
+      out += codec::with_crc(line) + "\n";
+    }
+    const std::string path = state_path();
+    const std::string tmp = path + ".tmp";
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "vps-serverd: cannot open %s — state not persisted\n", tmp.c_str());
+      return;
+    }
+    const std::size_t written = std::fwrite(out.data(), 1, out.size(), f);
+    const bool flushed = std::fflush(f) == 0;
+    std::fclose(f);
+    if (written != out.size() || !flushed || std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::fprintf(stderr, "vps-serverd: short write/rename on %s — state not persisted\n",
+                   path.c_str());
+    }
+  }
+
+  /// Re-adopts jobs a previous server instance persisted: each becomes an
+  /// orphan (no client connection) holding its admission slot for
+  /// orphan_grace_ms, waiting for the tenant's job_token reattach. Corrupt
+  /// lines are skipped with a warning — one bad record must not take the
+  /// healthy jobs down with it.
+  void load_state() {
+    if (config.state_dir.empty()) return;
+    namespace codec = fault::codec;
+    std::FILE* f = std::fopen(state_path().c_str(), "rb");
+    if (f == nullptr) return;  // fresh state dir
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+    std::fclose(f);
+
+    const auto grace = Clock::now() + std::chrono::milliseconds(config.orphan_grace_ms);
+    std::size_t recovered = 0;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+      const std::size_t eol = text.find('\n', pos);
+      const std::string line =
+          text.substr(pos, eol == std::string::npos ? std::string::npos : eol - pos);
+      pos = eol == std::string::npos ? text.size() : eol + 1;
+      if (line.empty()) continue;
+      std::string crc_error;
+      if (!codec::check_crc(line, &crc_error)) {
+        std::fprintf(stderr, "vps-serverd: skipping corrupt state line: %s\n", crc_error.c_str());
+        continue;
+      }
+      try {
+        const codec::LineParser p(line);
+        const std::string& kind = p.str("kind");
+        if (kind == "server_state") {
+          next_job = std::max(next_job, p.u64("next_job"));
+          continue;
+        }
+        if (kind != "submit") continue;
+        Job job;
+        job.submit = decode_submit(line);
+        job.id = p.u64("id");
+        job.results_relayed = p.has("relayed") ? p.u64("relayed") : 0;
+        job.orphan_deadline = grace;
+        next_job = std::max(next_job, job.id + 1);
+        jobs[job.id] = std::move(job);
+        ++recovered;
+      } catch (const std::exception& e) {
+        std::fprintf(stderr, "vps-serverd: skipping unreadable state line: %s\n", e.what());
+      }
+    }
+    if (recovered > 0) {
+      std::fprintf(stderr, "vps-serverd: recovered %zu job(s) from %s\n", recovered,
+                   state_path().c_str());
+      metrics.counter("dist.jobs_recovered").add(static_cast<double>(recovered));
+    }
+  }
+
   // --- bookkeeping ---------------------------------------------------------
+
+  void fold_chaos(Conn& c) {
+    const auto& policy = c.channel.chaos();
+    if (policy == nullptr) return;
+    const ChaosCounters& now = policy->counters();
+    metrics.counter("dist.chaos.frames_dropped")
+        .add(static_cast<double>(now.frames_dropped - c.chaos_folded.frames_dropped));
+    metrics.counter("dist.chaos.bytes_corrupted")
+        .add(static_cast<double>(now.bytes_corrupted - c.chaos_folded.bytes_corrupted));
+    c.chaos_folded = now;
+  }
 
   void update_gauges() {
     std::size_t workers = 0;
     for (const auto& c : conns) {
+      fold_chaos(*c);
       if (!c->dead && c->role == Conn::Role::kWorker) ++workers;
     }
     metrics.gauge("server.workers_alive").set(static_cast<double>(workers));
@@ -133,6 +265,7 @@ struct CampaignServer::Impl {
     }
     if (it->second.client != nullptr) it->second.client->owned_jobs.erase(id);
     jobs.erase(it);
+    persist_state();
   }
 
   /// Declares a worker dead: requeues its in-flight runs (front of the
@@ -165,7 +298,24 @@ struct CampaignServer::Impl {
   void on_client_death(Conn& c) {
     c.dead = true;
     const std::set<std::uint64_t> owned = c.owned_jobs;
-    for (std::uint64_t id : owned) remove_job(id);
+    c.owned_jobs.clear();
+    for (std::uint64_t id : owned) {
+      auto it = jobs.find(id);
+      if (it == jobs.end()) continue;
+      Job& job = it->second;
+      if (job.submit.job_token != 0) {
+        // The tenant can prove ownership later: orphan the job instead of
+        // tearing it down, holding its slot open for a reattach.
+        job.client = nullptr;
+        job.orphan_deadline = Clock::now() + std::chrono::milliseconds(config.orphan_grace_ms);
+        metrics.counter("server.jobs_orphaned").add(1);
+        std::fprintf(stderr,
+                     "vps-serverd: client of job %llu gone — orphaned for %d ms awaiting reattach\n",
+                     static_cast<unsigned long long>(id), config.orphan_grace_ms);
+      } else {
+        remove_job(id);
+      }
+    }
   }
 
   void kill_conn(Conn& c) {
@@ -280,6 +430,10 @@ struct CampaignServer::Impl {
         Job& job = it->second;
         --job.inflight;
         metrics.counter("server.results_relayed").add(1);
+        ++job.results_relayed;
+        // Refresh the on-disk watermark occasionally — cheap insurance, not
+        // a correctness requirement (the client re-ASSIGNs unverdicted runs).
+        if (job.results_relayed % 256 == 0) persist_state();
         if (job.client != nullptr && !job.client->dead) {
           if (!job.client->channel.send_frame(MsgType::kResultStream, frame.payload)) {
             on_client_death(*job.client);
@@ -305,6 +459,19 @@ struct CampaignServer::Impl {
                        static_cast<unsigned long long>(msg.job));
           kill_conn(c);
           return;
+        }
+        // A reattached client re-ASSIGNs every run it has no verdict for;
+        // skip the ones this server still has queued or on a worker so a run
+        // is never doubled up (double execution would be wasted work — the
+        // duplicate RESULT is first-verdict-wins on the client anyway).
+        for (const Inflight& e : it->second.pending) {
+          if (e.run == msg.run) return;
+        }
+        for (const auto& w : conns) {
+          if (w->dead || w->role != Conn::Role::kWorker) continue;
+          for (const Inflight& e : w->inflight) {
+            if (e.job == msg.job && e.run == msg.run) return;
+          }
         }
         Inflight entry;
         entry.job = msg.job;
@@ -344,17 +511,48 @@ struct CampaignServer::Impl {
       c.role = Conn::Role::kWorker;
       c.pid = reg.pid;
       metrics.counter("server.workers_registered").add(1);
+      if (reg.reconnects > 0) metrics.counter("dist.reconnects").add(1);
       return;
     }
     if (frame.type == MsgType::kSubmit) {
       SubmitMsg submit = decode_submit(frame.payload);
-      c.role = Conn::Role::kClient;
       if (submit.version != kProtocolVersion) {
         metrics.counter("server.jobs_rejected").add(1);
-        if (!c.channel.send_frame(
-                MsgType::kReject,
-                encode_reject(RejectMsg{"protocol v" + std::to_string(submit.version) +
-                                        ", server speaks v" + std::to_string(kProtocolVersion)}))) {
+        (void)c.channel.send_frame(
+            MsgType::kReject,
+            encode_reject(RejectMsg{"protocol v" + std::to_string(submit.version) +
+                                    ", server speaks v" + std::to_string(kProtocolVersion)}));
+        c.dead = true;  // a peer speaking the wrong protocol has nothing more to say
+        return;
+      }
+      c.role = Conn::Role::kClient;
+      // Reattach: a SUBMIT carrying the token of a job whose client is gone
+      // resumes that job instead of admitting a duplicate. A token never
+      // matches a job a live client still holds (steal-proof), and reattach
+      // is honored even while draining — it finishes work, it does not add
+      // any.
+      if (submit.job_token != 0) {
+        for (auto& [id, job] : jobs) {
+          if (job.submit.job_token != submit.job_token || job.submit.tenant != submit.tenant)
+            continue;
+          if (job.client != nullptr && !job.client->dead) break;  // held — admit fresh below
+          job.client = &c;
+          job.orphan_deadline.reset();
+          c.owned_jobs.insert(id);
+          metrics.counter("server.jobs_reattached").add(1);
+          std::fprintf(stderr, "vps-serverd: tenant '%s' reattached to job %llu\n",
+                       submit.tenant.c_str(), static_cast<unsigned long long>(id));
+          if (!c.channel.send_frame(MsgType::kAccept, encode_accept(AcceptMsg{id}))) {
+            on_client_death(c);
+          }
+          return;
+        }
+      }
+      if (draining) {
+        metrics.counter("server.jobs_rejected").add(1);
+        if (!c.channel.send_frame(MsgType::kReject,
+                                  encode_reject(RejectMsg{"server draining — not admitting new "
+                                                          "campaigns, resubmit elsewhere"}))) {
           c.dead = true;
         }
         return;
@@ -377,6 +575,7 @@ struct CampaignServer::Impl {
       job.client = &c;
       c.owned_jobs.insert(id);
       metrics.counter("server.jobs_accepted").add(1);
+      persist_state();
       if (!c.channel.send_frame(MsgType::kAccept, encode_accept(AcceptMsg{id}))) {
         on_client_death(c);
       }
@@ -450,8 +649,12 @@ struct CampaignServer::Impl {
 
   // --- the loop ------------------------------------------------------------
 
-  void serve(const std::atomic<bool>& stop_flag) {
+  void serve(const std::atomic<bool>& stop_flag, const std::atomic<bool>* drain_flag,
+             const std::atomic<bool>& abrupt_flag) {
     while (!stop_flag.load(std::memory_order_relaxed)) {
+      if (drain_flag != nullptr && drain_flag->load(std::memory_order_relaxed)) draining = true;
+      if (draining && jobs.empty()) break;  // drained dry — exit cleanly
+
       std::vector<struct pollfd> pfds;
       std::vector<Conn*> polled;
       pfds.push_back({listener.fd, POLLIN, 0});
@@ -468,8 +671,15 @@ struct CampaignServer::Impl {
         if (c->role == Conn::Role::kWorker && !c->inflight.empty()) {
           deadlines.push_back(c->last_heard + hb);
         }
+        // A peer that connected but never completed a first frame (e.g. its
+        // REGISTER/SUBMIT was chaos-dropped) must not hold a sniffing slot
+        // forever — bound it like any other silence.
+        if (c->role == Conn::Role::kSniffing) deadlines.push_back(c->last_heard + hb);
         if (const auto since = c->channel.partial_since()) deadlines.push_back(*since + hb);
         for (const auto& [job, due] : c->pending_setup) deadlines.push_back(due);
+      }
+      for (const auto& [id, job] : jobs) {
+        if (job.orphan_deadline) deadlines.push_back(*job.orphan_deadline);
       }
       const int timeout = poll_timeout_ms(now, deadlines, 200);
       const int rc = ::poll(pfds.data(), pfds.size(), timeout);
@@ -482,7 +692,14 @@ struct CampaignServer::Impl {
       if ((pfds[0].revents & POLLIN) != 0) {
         int fd;
         while ((fd = tcp_accept(listener.fd)) >= 0) {
-          conns.push_back(std::make_unique<Conn>(fd));
+          auto conn = std::make_unique<Conn>(fd);
+          if (config.chaos.enabled()) {
+            // Server-side streams live in their own key range (bit 48) so
+            // they can never collide with worker/client per-pid streams.
+            conn->channel.set_chaos(std::make_shared<ChaosPolicy>(
+                config.chaos, (1ULL << 48) + chaos_streams++));
+          }
+          conns.push_back(std::move(conn));
         }
       }
 
@@ -514,8 +731,9 @@ struct CampaignServer::Impl {
         if (!stream_ok && !c.dead) kill_conn(c);
       }
 
-      // Wedge sweep: silent-while-busy workers, anyone stuck mid-frame, and
-      // workers that never answered a job SETUP.
+      // Wedge sweep: silent-while-busy workers, anyone stuck mid-frame,
+      // workers that never answered a job SETUP, and sniffing peers that
+      // never produced a first frame.
       const auto sweep_now = Clock::now();
       for (Conn* c : polled) {
         if (c->dead) continue;
@@ -523,15 +741,31 @@ struct CampaignServer::Impl {
         const bool wedged_partial = since.has_value() && sweep_now - *since > hb;
         const bool busy_silent = c->role == Conn::Role::kWorker && !c->inflight.empty() &&
                                  sweep_now - c->last_heard > hb;
+        const bool mute_sniffer =
+            c->role == Conn::Role::kSniffing && sweep_now - c->last_heard > hb;
         bool hello_overdue = false;
         for (const auto& [job, due] : c->pending_setup) hello_overdue |= sweep_now > due;
-        if (wedged_partial || busy_silent || hello_overdue) {
+        if (wedged_partial || busy_silent || hello_overdue || mute_sniffer) {
           std::fprintf(stderr, "vps-serverd: dropping wedged peer (%s)\n",
                        wedged_partial ? "stuck mid-frame"
                        : busy_silent  ? "silent while holding work"
-                                      : "never answered SETUP");
+                       : hello_overdue ? "never answered SETUP"
+                                       : "never spoke");
           kill_conn(*c);
         }
+      }
+
+      // Orphan sweep: jobs whose tenant never reattached within the grace
+      // window release their admission slot (and their workers' caches).
+      std::vector<std::uint64_t> expired;
+      for (const auto& [id, job] : jobs) {
+        if (job.orphan_deadline && sweep_now > *job.orphan_deadline) expired.push_back(id);
+      }
+      for (std::uint64_t id : expired) {
+        std::fprintf(stderr, "vps-serverd: orphaned job %llu never reattached — releasing\n",
+                     static_cast<unsigned long long>(id));
+        metrics.counter("server.jobs_expired").add(1);
+        remove_job(id);
       }
 
       dispatch();
@@ -542,14 +776,35 @@ struct CampaignServer::Impl {
                   conns.end());
     }
 
+    // Whatever way the loop ended, the listening socket must die with it.
+    // A dead process loses its listener to the kernel; an in-process stop
+    // that kept it open would be a black hole — the kernel keeps completing
+    // handshakes into a backlog nobody will ever drain, and reconnecting
+    // peers wait out their idle budget against a server that is gone.
+    if (listener.fd >= 0) {
+      ::close(listener.fd);
+      listener.fd = -1;
+    }
+
+    if (abrupt_flag.load(std::memory_order_relaxed)) {
+      // Simulated SIGKILL: no SHUTDOWN frames, no final flush — connections
+      // drop as the Conn destructors close their fds, exactly what the
+      // kernel would do to a killed process. Incremental persists remain.
+      conns.clear();
+      return;
+    }
+
     // Orderly shutdown: pool workers get SHUTDOWN so `vps-worker --connect`
-    // processes exit 0 instead of seeing an EOF.
+    // processes exit 0 instead of seeing an EOF, and the state file reflects
+    // the final job table (empty after a completed drain) for the next
+    // incarnation to adopt.
     for (auto& c : conns) {
       if (!c->dead && c->role == Conn::Role::kWorker) {
         (void)c->channel.send_frame(MsgType::kShutdown, "");
       }
     }
     conns.clear();
+    persist_state();
     update_gauges();
   }
 };
@@ -564,7 +819,7 @@ std::uint16_t CampaignServer::port() const noexcept { return impl_->listener.por
 void CampaignServer::start() {
   ensure(!thread_.joinable(), "CampaignServer: already started");
   stop_requested_.store(false);
-  thread_ = std::thread([this] { impl_->serve(stop_requested_); });
+  thread_ = std::thread([this] { impl_->serve(stop_requested_, &drain_requested_, abrupt_); });
 }
 
 void CampaignServer::stop() {
@@ -572,7 +827,18 @@ void CampaignServer::stop() {
   if (thread_.joinable()) thread_.join();
 }
 
-void CampaignServer::serve(const std::atomic<bool>& stop_flag) { impl_->serve(stop_flag); }
+void CampaignServer::request_drain() { drain_requested_.store(true); }
+
+void CampaignServer::crash() {
+  abrupt_.store(true);
+  stop_requested_.store(true);
+  if (thread_.joinable()) thread_.join();
+}
+
+void CampaignServer::serve(const std::atomic<bool>& stop_flag,
+                           const std::atomic<bool>* drain_flag) {
+  impl_->serve(stop_flag, drain_flag, abrupt_);
+}
 
 const obs::MetricRegistry& CampaignServer::metrics() const noexcept { return impl_->metrics; }
 

@@ -41,6 +41,7 @@
 #include <string>
 #include <thread>
 
+#include "vps/dist/chaos.hpp"
 #include "vps/obs/metrics.hpp"
 
 namespace vps::dist {
@@ -59,6 +60,18 @@ struct ServerConfig {
   int heartbeat_timeout_ms = 30'000;
   /// Runs a single worker may hold concurrently (pipelining depth).
   std::size_t worker_pipeline = 2;
+  /// Crash-recovery state directory (must exist; empty = volatile server).
+  /// Admitted jobs are persisted to <state_dir>/jobs.jsonl — the checkpoint
+  /// codec's JSONL with a CRC-32 per line, written atomically (tmp+rename) —
+  /// and a restarted server with the same state dir re-adopts them as
+  /// orphans awaiting their tenant's reattach.
+  std::string state_dir;
+  /// How long a job whose client connection is gone (crashed tenant, torn
+  /// link, server restart) is held for a job_token reattach before the job
+  /// is torn down.
+  int orphan_grace_ms = 30'000;
+  /// Outbound fault injection on every accepted connection (seed 0 = off).
+  ChaosConfig chaos;
 };
 
 /// The standing campaign server. The constructor binds and listens (so the
@@ -77,11 +90,24 @@ class CampaignServer {
 
   /// Spawns the serve loop on an internal thread.
   void start();
-  /// Asks the loop to finish (SHUTDOWN to pool workers, close everything)
-  /// and joins the thread. Idempotent.
+  /// Asks the loop to finish (SHUTDOWN to pool workers, flush state, close
+  /// everything) and joins the thread. Idempotent.
   void stop();
-  /// Blocking serve loop; returns once `stop_flag` becomes true.
-  void serve(const std::atomic<bool>& stop_flag);
+  /// Graceful drain (what vps-serverd maps SIGTERM to): stop admitting fresh
+  /// campaigns (REJECT "draining"; job_token reattaches still honored), let
+  /// admitted jobs run to completion, then flush state and shut the pool
+  /// down cleanly. Returns immediately; the serve loop (internal thread or
+  /// blocking serve()) exits once the job table is empty — call stop() to
+  /// join.
+  void request_drain();
+  /// Dies like a SIGKILL, for crash-recovery tests: the loop exits without
+  /// SHUTDOWN frames or a final state flush (incremental persists remain on
+  /// disk) and every connection drops. A new CampaignServer on the same
+  /// port + state_dir then plays the restarted server.
+  void crash();
+  /// Blocking serve loop; returns once `stop_flag` becomes true (or, when
+  /// `drain_flag` fires, once the job table drains empty).
+  void serve(const std::atomic<bool>& stop_flag, const std::atomic<bool>* drain_flag = nullptr);
 
   /// The server's own registry ("server.*" counters/gauges plus whatever a
   /// scrape renders). Only the serve loop touches it while running — read it
@@ -93,6 +119,8 @@ class CampaignServer {
   std::unique_ptr<Impl> impl_;
   std::thread thread_;
   std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> drain_requested_{false};
+  std::atomic<bool> abrupt_{false};
 };
 
 }  // namespace vps::dist

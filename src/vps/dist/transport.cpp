@@ -1,9 +1,11 @@
 #include "vps/dist/transport.hpp"
 
 #include <cerrno>
+#include <chrono>
 #include <csignal>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include <arpa/inet.h>
 #include <fcntl.h>
@@ -88,19 +90,54 @@ int tcp_accept(int listener_fd) {
   }
 }
 
-int tcp_connect(const std::string& host, std::uint16_t port) {
+int tcp_connect(const std::string& host, std::uint16_t port, int connect_timeout_ms) {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
   ensure(fd >= 0, std::string("dist: socket failed: ") + std::strerror(errno));
-  sockaddr_in addr = make_addr(host, port);
-  int rc;
-  do {
-    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
-  } while (rc != 0 && errno == EINTR);
-  if (rc != 0) {
+  const std::string where = host + ":" + std::to_string(port);
+  const auto fail = [&](const std::string& what) {
     const std::string err = std::strerror(errno);
     ::close(fd);
-    ensure(false, "dist: connect to " + host + ":" + std::to_string(port) + " failed: " + err);
+    ensure(false, "dist: " + what + " to " + where + " failed: " + err);
+  };
+
+  // Nonblocking connect so the wait is bounded by our own poll deadline, not
+  // the kernel's SYN-retransmit schedule. A blocking connect interrupted by a
+  // signal also cannot be safely retried (the 3-way handshake keeps running
+  // and the retry races it into EALREADY/EISCONN) — this path sidesteps that
+  // entirely: EINTR during connect() means "in progress", same as EINPROGRESS.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) fail("O_NONBLOCK");
+  sockaddr_in addr = make_addr(host, port);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    if (errno != EINPROGRESS && errno != EINTR) fail("connect");
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(connect_timeout_ms);
+    for (;;) {
+      const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                            deadline - std::chrono::steady_clock::now())
+                            .count();
+      if (left <= 0) {
+        ::close(fd);
+        ensure(false, "dist: connect to " + where + " timed out after " +
+                          std::to_string(connect_timeout_ms) + " ms");
+      }
+      struct pollfd pfd{fd, POLLOUT, 0};
+      const int rc = ::poll(&pfd, 1, static_cast<int>(left));
+      if (rc < 0) {
+        if (errno == EINTR) continue;  // recompute the remaining budget
+        fail("poll(connect)");
+      }
+      if (rc > 0) break;
+    }
+    int so_error = 0;
+    socklen_t len = sizeof so_error;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) fail("SO_ERROR");
+    if (so_error != 0) {
+      errno = so_error;
+      fail("connect");
+    }
   }
+  if (::fcntl(fd, F_SETFL, flags) != 0) fail("restore blocking mode");
   set_nodelay(fd);
   return fd;
 }
@@ -116,7 +153,8 @@ Channel::Channel(Channel&& other) noexcept
     : fd_(other.fd_),
       reader_(std::move(other.reader_)),
       stats_(other.stats_),
-      partial_since_(other.partial_since_) {
+      partial_since_(other.partial_since_),
+      chaos_(std::move(other.chaos_)) {
   other.fd_ = -1;
 }
 
@@ -127,12 +165,10 @@ void Channel::close() noexcept {
   }
 }
 
-bool Channel::send_frame(MsgType type, std::string_view payload) {
-  ensure(open(), "dist: send_frame on a closed channel");
-  const std::string frame = encode_frame(type, payload);
+bool Channel::send_all(const char* data, std::size_t size) {
   std::size_t off = 0;
-  while (off < frame.size()) {
-    const ssize_t n = ::send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+  while (off < size) {
+    const ssize_t n = ::send(fd_, data + off, size - off, MSG_NOSIGNAL);
     if (n < 0) {
       if (errno == EINTR) continue;
       if (errno == EPIPE || errno == ECONNRESET) return false;  // peer died
@@ -150,6 +186,64 @@ bool Channel::send_frame(MsgType type, std::string_view payload) {
     }
     off += static_cast<std::size_t>(n);
   }
+  return true;
+}
+
+bool Channel::send_frame(MsgType type, std::string_view payload) {
+  // A closed channel mid-conversation is a normal runtime condition once
+  // links can be torn down underneath us (peer reset, injected disconnect):
+  // report it like any other dead peer instead of tripping an invariant.
+  if (!open()) return false;
+  std::string frame = encode_frame(type, payload);
+
+  if (chaos_ && chaos_->config().enabled()) {
+    switch (chaos_->next_action()) {
+      case ChaosPolicy::Action::kPass:
+        break;
+      case ChaosPolicy::Action::kDrop:
+        // Pretend the frame left: from this endpoint's view the send
+        // succeeded; the peer just never hears it. Healing is the silence
+        // supervision (heartbeats, hello deadlines, client silence budget).
+        ++chaos_->counters().frames_dropped;
+        ++stats_.frames_sent;
+        stats_.bytes_sent += frame.size();
+        return true;
+      case ChaosPolicy::Action::kCorrupt: {
+        // Flip one bit at or after the CRC field — never in magic/length,
+        // which would only postpone detection past the frame boundary. The
+        // receiver's CRC-32 check throws and tears the connection down.
+        const std::size_t at = chaos_->pick_offset(9, frame.size());
+        frame[at] = static_cast<char>(frame[at] ^ (1u << chaos_->pick_offset(0, 8)));
+        ++chaos_->counters().bytes_corrupted;
+        break;
+      }
+      case ChaosPolicy::Action::kDelay: {
+        // A torn write: prefix, pause, rest. Data all arrives — this stresses
+        // partial-frame reassembly and the partial_since wedge clock.
+        const std::size_t split = chaos_->pick_offset(1, frame.size());
+        const int pause = chaos_->pick_delay_ms();
+        ++chaos_->counters().frames_delayed;
+        if (!send_all(frame.data(), split)) return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(pause));
+        if (!send_all(frame.data() + split, frame.size() - split)) return false;
+        ++stats_.frames_sent;
+        stats_.bytes_sent += frame.size();
+        return true;
+      }
+      case ChaosPolicy::Action::kDisconnect: {
+        // Mid-stream link loss: a prefix of the frame escapes, then the
+        // socket dies. The peer sees a truncated stream + EOF; we report the
+        // send as failed, exactly like a real ECONNRESET.
+        const std::size_t split = chaos_->pick_offset(0, frame.size());
+        ++chaos_->counters().disconnects;
+        if (split > 0) (void)send_all(frame.data(), split);
+        close();
+        return false;
+      }
+    }
+  }
+
+  if (!send_all(frame.data(), frame.size())) return false;
   ++stats_.frames_sent;
   stats_.bytes_sent += frame.size();
   return true;

@@ -12,10 +12,12 @@
 
 #include <chrono>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <string_view>
 
+#include "vps/dist/chaos.hpp"
 #include "vps/dist/protocol.hpp"
 
 namespace vps::dist {
@@ -51,8 +53,13 @@ struct TcpListener {
 [[nodiscard]] int tcp_accept(int listener_fd);
 
 /// Connects to `host:port` (numeric IPv4, e.g. "127.0.0.1") and returns the
-/// fd with TCP_NODELAY set. Throws support::InvariantError on failure.
-[[nodiscard]] int tcp_connect(const std::string& host, std::uint16_t port);
+/// fd with TCP_NODELAY set. The connect is performed nonblocking and bounded
+/// by `connect_timeout_ms` (poll for POLLOUT, then SO_ERROR) — an unroutable
+/// or blackholed host surfaces as a clean InvariantError within the timeout
+/// instead of hanging for the kernel's SYN-retry minutes. The returned fd is
+/// restored to blocking mode. Throws support::InvariantError on failure.
+[[nodiscard]] int tcp_connect(const std::string& host, std::uint16_t port,
+                              int connect_timeout_ms = 10'000);
 
 /// Transfer counters of one channel, for the dist.* metrics.
 struct ChannelStats {
@@ -124,13 +131,22 @@ class Channel {
 
   [[nodiscard]] const ChannelStats& stats() const noexcept { return stats_; }
 
+  /// Arms deterministic fault injection on this channel's *outbound* frames
+  /// (see chaos.hpp). Pass nullptr (or never call) for a faithful transport.
+  /// shared_ptr because channels are movable and tests want to inspect the
+  /// policy's counters after the channel is gone.
+  void set_chaos(std::shared_ptr<ChaosPolicy> chaos) noexcept { chaos_ = std::move(chaos); }
+  [[nodiscard]] const std::shared_ptr<ChaosPolicy>& chaos() const noexcept { return chaos_; }
+
  private:
   void refresh_partial() noexcept;
+  [[nodiscard]] bool send_all(const char* data, std::size_t size);
 
   int fd_;
   FrameReader reader_;
   ChannelStats stats_;
   std::optional<std::chrono::steady_clock::time_point> partial_since_;
+  std::shared_ptr<ChaosPolicy> chaos_;
 };
 
 }  // namespace vps::dist

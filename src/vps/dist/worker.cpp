@@ -1,13 +1,17 @@
 #include "vps/dist/worker.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <exception>
 #include <map>
 #include <string>
+#include <thread>
 
 #include <unistd.h>
 
 #include "vps/support/ensure.hpp"
+#include "vps/support/rng.hpp"
 
 namespace vps::dist {
 
@@ -69,10 +73,26 @@ int serve_impl(Channel& channel, const ScenarioBuilder& build) {
   }
 }
 
-int serve_pool_impl(Channel& channel, const ScenarioBuilder& build) {
+/// How one pool session against the server ended.
+enum class SessionEnd {
+  kShutdown,  ///< server asked us to drain: exit cleanly
+  kLost,      ///< link/server gone: a reconnecting caller should try again
+  kFatal,     ///< REJECT / version mismatch / broken build: retrying is useless
+};
+
+/// One REGISTER→serve session. `made_progress` reports whether the server
+/// delivered at least one frame — the reconnect loop resets its failure
+/// budget only for sessions that did, so a dead address still exhausts it.
+/// Transport-level exceptions (stream corruption, recv errors) propagate to
+/// the caller, which decides whether they are fatal (single-session mode) or
+/// just another lost link (reconnect mode).
+SessionEnd serve_pool_session(Channel& channel, const ScenarioBuilder& build,
+                              std::uint64_t reconnects, int idle_timeout_ms,
+                              bool& made_progress) {
   RegisterMsg reg;
   reg.pid = static_cast<std::uint64_t>(::getpid());
-  if (!channel.send_frame(MsgType::kRegister, encode_register(reg))) return 2;
+  reg.reconnects = reconnects;
+  if (!channel.send_frame(MsgType::kRegister, encode_register(reg))) return SessionEnd::kLost;
 
   // One cache entry per admitted campaign the server has SETUP us for: the
   // scenario instance plus the determinism inputs every replay of that job
@@ -85,39 +105,53 @@ int serve_pool_impl(Channel& channel, const ScenarioBuilder& build) {
 
   std::uint64_t runs_done = 0;
   for (;;) {
-    auto frame = channel.wait_frame(/*timeout_ms=*/-1);
+    auto frame = channel.wait_frame(idle_timeout_ms);
     if (!frame.has_value()) {
-      std::fprintf(stderr, "vps-worker[%d]: campaign server vanished after %llu runs\n",
-                   ::getpid(), static_cast<unsigned long long>(runs_done));
-      return 2;
+      // Still-open channel means the wait timed out: the server accepted the
+      // connection but went silent (frozen, half-open, dead accept loop).
+      // Either way this session is over; the pool loop decides what's next.
+      std::fprintf(stderr, "vps-worker[%d]: campaign server %s after %llu runs\n", ::getpid(),
+                   channel.open() ? "went silent" : "vanished",
+                   static_cast<unsigned long long>(runs_done));
+      return SessionEnd::kLost;
     }
+    made_progress = true;
     switch (frame->type) {
       case MsgType::kShutdown:
-        return 0;
+        return SessionEnd::kShutdown;
       case MsgType::kReject: {
         const RejectMsg reject = decode_reject(frame->payload);
         std::fprintf(stderr, "vps-worker[%d]: server rejected registration: %s\n", ::getpid(),
                      reject.reason.c_str());
-        return 3;
+        return SessionEnd::kFatal;
       }
       case MsgType::kHello: {  // job-tagged SETUP
         SetupMsg setup = decode_setup(frame->payload);
-        support::ensure(setup.version == kProtocolVersion,
-                        "vps-worker: protocol version mismatch (server v" +
-                            std::to_string(setup.version) + ", worker v" +
-                            std::to_string(kProtocolVersion) + ")");
+        if (setup.version != kProtocolVersion) {
+          std::fprintf(stderr, "vps-worker[%d]: protocol version mismatch (server v%u, worker v%u)\n",
+                       ::getpid(), setup.version, kProtocolVersion);
+          return SessionEnd::kFatal;
+        }
         JobState state;
-        state.scenario = build(setup);
-        support::ensure(state.scenario != nullptr,
-                        "vps-worker: scenario builder returned null for spec '" +
-                            setup.scenario_spec + "'");
+        try {
+          state.scenario = build(setup);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "vps-worker[%d]: scenario build for spec '%s' failed: %s\n",
+                       ::getpid(), setup.scenario_spec.c_str(), e.what());
+          return SessionEnd::kFatal;
+        }
+        if (state.scenario == nullptr) {
+          std::fprintf(stderr, "vps-worker[%d]: scenario builder returned null for spec '%s'\n",
+                       ::getpid(), setup.scenario_spec.c_str());
+          return SessionEnd::kFatal;
+        }
         HelloMsg hello;
         hello.job = setup.job;
         hello.pid = static_cast<std::uint64_t>(::getpid());
         hello.scenario = state.scenario->name();
         state.setup = std::move(setup);
         jobs[state.setup.job] = std::move(state);
-        if (!channel.send_frame(MsgType::kHello, encode_hello(hello))) return 2;
+        if (!channel.send_frame(MsgType::kHello, encode_hello(hello))) return SessionEnd::kLost;
         break;
       }
       case MsgType::kRelease:
@@ -130,14 +164,15 @@ int serve_pool_impl(Channel& channel, const ScenarioBuilder& build) {
                                               std::to_string(assign.job) +
                                               " this worker was never SETUP for");
         const JobState& job = it->second;
-        if (!channel.send_frame(MsgType::kHeartbeat, encode_heartbeat({runs_done}))) return 2;
+        if (!channel.send_frame(MsgType::kHeartbeat, encode_heartbeat({runs_done})))
+          return SessionEnd::kLost;
         ResultMsg result;
         result.job = assign.job;
         result.run = assign.run;
         result.replay = fault::replay_isolated(*job.scenario, assign.fault, job.setup.seed,
                                                job.setup.golden, job.setup.crash_retries);
         ++runs_done;
-        if (!channel.send_frame(MsgType::kResult, encode_result(result))) return 2;
+        if (!channel.send_frame(MsgType::kResult, encode_result(result))) return SessionEnd::kLost;
         break;
       }
       default:
@@ -163,13 +198,68 @@ int serve(Channel& channel, const ScenarioBuilder& build) noexcept {
 
 int serve_pool(Channel& channel, const ScenarioBuilder& build) noexcept {
   try {
-    return serve_pool_impl(channel, build);
+    bool made_progress = false;
+    switch (serve_pool_session(channel, build, /*reconnects=*/0, /*idle_timeout_ms=*/-1,
+                               made_progress)) {
+      case SessionEnd::kShutdown: return 0;
+      case SessionEnd::kLost: return 2;
+      case SessionEnd::kFatal: return 3;
+    }
+    return 3;  // unreachable
   } catch (const std::exception& e) {
     std::fprintf(stderr, "vps-worker[%d]: fatal: %s\n", ::getpid(), e.what());
     return 3;
   } catch (...) {
     std::fprintf(stderr, "vps-worker[%d]: fatal: unknown exception\n", ::getpid());
     return 3;
+  }
+}
+
+int serve_pool(const PoolConfig& cfg, const ScenarioBuilder& build) noexcept {
+  // Deterministic backoff jitter: a per-process Xorshift stream keyed by pid
+  // (and the chaos seed, so chaos runs are replayable end to end). Jitter
+  // decorrelates a pool of workers all stampeding a freshly restarted server.
+  support::Xorshift jitter =
+      support::Xorshift(cfg.chaos.seed + 0x706f6f6cULL)  // "pool"
+          .fork(static_cast<std::uint64_t>(::getpid()));
+
+  std::uint64_t connects = 0;  // sessions that reached the server
+  int failures = 0;
+  int backoff_ms = cfg.backoff_initial_ms;
+  for (;;) {
+    bool made_progress = false;
+    SessionEnd end = SessionEnd::kLost;
+    try {
+      Channel channel(tcp_connect(cfg.host, cfg.port, cfg.connect_timeout_ms));
+      if (cfg.chaos.enabled()) {
+        // Distinct stream per session: fault patterns on one link must not
+        // replay on the next.
+        const std::uint64_t stream =
+            (static_cast<std::uint64_t>(::getpid()) << 20) + connects;
+        channel.set_chaos(std::make_shared<ChaosPolicy>(cfg.chaos, stream));
+      }
+      ++connects;
+      end = serve_pool_session(channel, build, connects - 1, cfg.idle_timeout_ms, made_progress);
+    } catch (const std::exception& e) {
+      // Refused/timed-out connect, stream corruption (incl. injected), recv
+      // errors: all just a bad link to this worker — reconnect, don't die.
+      std::fprintf(stderr, "vps-worker[%d]: session lost: %s\n", ::getpid(), e.what());
+    }
+    if (end == SessionEnd::kShutdown) return 0;
+    if (end == SessionEnd::kFatal) return 3;
+    if (made_progress) {
+      failures = 0;
+      backoff_ms = cfg.backoff_initial_ms;
+    }
+    if (++failures > cfg.max_reconnects) {
+      std::fprintf(stderr, "vps-worker[%d]: giving up after %d consecutive failed sessions\n",
+                   ::getpid(), failures - 1);
+      return 2;
+    }
+    const int delay =
+        static_cast<int>(jitter.uniform(0.5 * backoff_ms, 1.5 * backoff_ms));
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    backoff_ms = std::min(backoff_ms * 2, cfg.backoff_max_ms);
   }
 }
 

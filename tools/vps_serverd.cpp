@@ -1,14 +1,24 @@
 // vps-serverd: the persistent multi-tenant campaign server. Binds a TCP
 // listener, prints "listening on PORT" on stdout (so scripts that start it
-// with --port 0 can discover the ephemeral port), and serves until SIGINT
-// or SIGTERM:
+// with --port 0 can discover the ephemeral port), and serves until stopped:
 //
 //   vps-serverd [--host H] [--port P] [--max-jobs N]
 //               [--heartbeat-ms MS] [--hello-ms MS]
+//               [--state-dir DIR] [--orphan-ms MS] [--chaos-seed N]
 //
 // Workers join with `vps-worker --connect H:P`; clients submit campaigns
 // through DistCampaign's server mode; `curl H:P/metrics` (or any raw GET)
 // scrapes the server's counters as a plaintext name-sorted table.
+//
+// Signals: SIGTERM drains gracefully — stop admitting fresh campaigns,
+// finish the admitted ones, flush state, SHUTDOWN the pool. SIGINT stops
+// immediately (state is still flushed, so `--state-dir` restarts re-adopt
+// the interrupted jobs and their tenants reattach by job token).
+//
+// --chaos-seed arms deterministic outbound fault injection (frame drops,
+// CRC-caught corruption, torn writes, mid-stream disconnects) on every
+// connection — the self-healing paths exercised on purpose, replayable
+// from the seed. 0 (default) disables it.
 
 #include <atomic>
 #include <csignal>
@@ -23,15 +33,21 @@
 namespace {
 
 std::atomic<bool> g_stop{false};
+std::atomic<bool> g_drain{false};
 
-void on_signal(int) { g_stop.store(true); }
+void on_stop(int) { g_stop.store(true); }
+void on_drain(int) { g_drain.store(true); }
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port P] [--max-jobs N] [--heartbeat-ms MS] "
-               "[--hello-ms MS]\n"
+               "[--hello-ms MS] [--state-dir DIR] [--orphan-ms MS] [--chaos-seed N]\n"
                "  Persistent campaign server: workers join with `vps-worker --connect`,\n"
-               "  clients submit via DistCampaign server mode, GET /metrics scrapes.\n",
+               "  clients submit via DistCampaign server mode, GET /metrics scrapes.\n"
+               "  --state-dir DIR   persist jobs for crash recovery (DIR must exist)\n"
+               "  --orphan-ms MS    reattach grace for jobs whose client vanished\n"
+               "  --chaos-seed N    inject deterministic network faults (0 = off)\n"
+               "  SIGTERM drains gracefully; SIGINT stops now.\n",
                argv0);
   return 64;  // EX_USAGE
 }
@@ -54,19 +70,25 @@ int main(int argc, char** argv) {
       config.heartbeat_timeout_ms = std::atoi(argv[++i]);
     } else if (want_value("--hello-ms")) {
       config.hello_timeout_ms = std::atoi(argv[++i]);
+    } else if (want_value("--state-dir")) {
+      config.state_dir = argv[++i];
+    } else if (want_value("--orphan-ms")) {
+      config.orphan_grace_ms = std::atoi(argv[++i]);
+    } else if (want_value("--chaos-seed")) {
+      config.chaos.seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
     } else {
       return usage(argv[0]);
     }
   }
 
-  std::signal(SIGINT, on_signal);
-  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_stop);
+  std::signal(SIGTERM, on_drain);
 
   try {
     vps::dist::CampaignServer server(std::move(config));
     std::printf("listening on %u\n", static_cast<unsigned>(server.port()));
     std::fflush(stdout);
-    server.serve(g_stop);
+    server.serve(g_stop, &g_drain);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "vps-serverd: %s\n", e.what());

@@ -10,6 +10,17 @@
 //                          vps-serverd, REGISTERs, and serves many
 //                          campaigns at once (job-tagged SETUPs, scenario
 //                          cache per job) until the server shuts it down.
+//                          Self-healing: a lost link, a refused connect or a
+//                          restarted server is ridden out by reconnecting
+//                          with exponential backoff + deterministic jitter
+//                          and re-REGISTERing — only SHUTDOWN (or a fatal
+//                          REJECT/version mismatch) ends the process.
+//
+// Pool-mode knobs:
+//   --retry-ms MS          initial reconnect backoff (doubles to 50x)
+//   --max-reconnects N     consecutive failed sessions before giving up
+//   --idle-timeout-ms MS   silence tolerated in a session before reconnecting
+//   --chaos-seed N         deterministic outbound fault injection (0 = off)
 //
 // Either way the scenario is rebuilt locally from the SETUP message's
 // registry spec, so the worker shares no address space — a replay that
@@ -29,10 +40,16 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s --fd N | --connect HOST:PORT\n"
+               "usage: %s --fd N | --connect HOST:PORT [--retry-ms MS] [--max-reconnects N] "
+               "[--idle-timeout-ms MS] [--chaos-seed N]\n"
                "  --fd N              serve one campaign on the socket inherited as\n"
                "                      file descriptor N (spawned by the coordinator)\n"
-               "  --connect HOST:PORT join a vps-serverd standing worker pool\n\n%s",
+               "  --connect HOST:PORT join a vps-serverd standing worker pool\n"
+               "                      (auto-reconnects across server restarts)\n"
+               "  --retry-ms MS       initial reconnect backoff (default 100)\n"
+               "  --max-reconnects N  consecutive failures before giving up (default 100)\n"
+               "  --idle-timeout-ms MS longest server silence per session (default 30000)\n"
+               "  --chaos-seed N      inject deterministic network faults (0 = off)\n\n%s",
                argv0, vps::apps::registry_help().c_str());
   return 64;  // EX_USAGE
 }
@@ -42,11 +59,24 @@ int usage(const char* argv0) {
 int main(int argc, char** argv) {
   int fd = -1;
   std::string connect_to;
+  vps::dist::PoolConfig pool;
   for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--fd") == 0 && i + 1 < argc) {
+    const auto want_value = [&](const char* flag) {
+      return std::strcmp(argv[i], flag) == 0 && i + 1 < argc;
+    };
+    if (want_value("--fd")) {
       fd = std::atoi(argv[++i]);
-    } else if (std::strcmp(argv[i], "--connect") == 0 && i + 1 < argc) {
+    } else if (want_value("--connect")) {
       connect_to = argv[++i];
+    } else if (want_value("--retry-ms")) {
+      pool.backoff_initial_ms = std::atoi(argv[++i]);
+      pool.backoff_max_ms = pool.backoff_initial_ms * 50;
+    } else if (want_value("--max-reconnects")) {
+      pool.max_reconnects = std::atoi(argv[++i]);
+    } else if (want_value("--idle-timeout-ms")) {
+      pool.idle_timeout_ms = std::atoi(argv[++i]);
+    } else if (want_value("--chaos-seed")) {
+      pool.chaos.seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
     } else {
       return usage(argv[0]);
     }
@@ -63,9 +93,9 @@ int main(int argc, char** argv) {
       const std::string host = connect_to.substr(0, colon);
       const int port = std::atoi(connect_to.c_str() + colon + 1);
       if (port <= 0 || port > 65535) return usage(argv[0]);
-      vps::dist::Channel channel(
-          vps::dist::tcp_connect(host, static_cast<std::uint16_t>(port)));
-      return vps::dist::serve_pool(channel, build);
+      pool.host = host;
+      pool.port = static_cast<std::uint16_t>(port);
+      return vps::dist::serve_pool(pool, build);
     }
     vps::dist::Channel channel(fd);
     return vps::dist::serve(channel, build);
