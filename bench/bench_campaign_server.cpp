@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -56,10 +57,12 @@ pid_t fork_pool_worker(std::uint16_t port) {
   ::_exit(code);
 }
 
-/// Self-healing pool worker with a chaos policy on its sends (E21). Drops
-/// every inherited fd — above all the server's listening socket, which would
-/// otherwise outlive the server in this child and black-hole reconnects.
-pid_t fork_chaos_worker(std::uint16_t port, const dist::ChaosConfig& chaos) {
+/// Self-healing pool worker with a chaos policy on its sends (E21) and/or a
+/// trace directory (E22). Drops every inherited fd — above all the server's
+/// listening socket, which would otherwise outlive the server in this child
+/// and black-hole reconnects.
+pid_t fork_chaos_worker(std::uint16_t port, const dist::ChaosConfig& chaos,
+                        const std::string& trace_dir = {}) {
   const pid_t pid = ::fork();
   if (pid != 0) return pid;
   for (int fd = 3; fd < 1024; ++fd) ::close(fd);
@@ -71,13 +74,15 @@ pid_t fork_chaos_worker(std::uint16_t port, const dist::ChaosConfig& chaos) {
   pc.max_reconnects = 40;
   pc.idle_timeout_ms = 2000;
   pc.chaos = chaos;
+  pc.trace_dir = trace_dir;
   ::_exit(dist::serve_pool(
       pc, [](const dist::SetupMsg& setup) { return apps::make_scenario(setup.scenario_spec); }));
 }
 
 fault::CampaignResult submit(std::uint16_t port, const char* tenant,
                              const fault::CampaignConfig& cfg,
-                             const dist::ChaosConfig& chaos = {}) {
+                             const dist::ChaosConfig& chaos = {},
+                             const std::string& trace_dir = {}) {
   dist::DistConfig dc;
   dc.campaign = cfg;
   dc.server_host = kHost;
@@ -85,8 +90,19 @@ fault::CampaignResult submit(std::uint16_t port, const char* tenant,
   dc.tenant = tenant;
   dc.scenario_spec = "caps:crash";
   dc.chaos = chaos;
+  dc.trace_dir = trace_dir;
   dist::DistCampaign campaign(caps_factory(), dc);
   return campaign.run();
+}
+
+void reap_all(const std::vector<pid_t>& pool) {
+  for (const pid_t pid : pool) {
+    int status = 0;
+    pid_t r;
+    do {
+      r = ::waitpid(pid, &status, 0);
+    } while (r < 0 && errno == EINTR);
+  }
 }
 
 bool identical(const fault::CampaignResult& a, const fault::CampaignResult& b) {
@@ -241,12 +257,59 @@ int main(int argc, char** argv) {
   // The active row's faults only hit the client link: the pool and server
   // were armed inert above so the two E21 rows share one fleet. Tear down.
   chaos_server.stop();
-  for (const pid_t pid : chaos_pool) {
-    int status = 0;
-    pid_t r;
-    do {
-      r = ::waitpid(pid, &status, 0);
-    } while (r < 0 && errno == EINTR);
+  reap_all(chaos_pool);
+
+  // E22 — run-lifecycle tracing tax. Both rows use the same PoolConfig
+  // worker path so the comparison is apples to apples; only the trace
+  // directory differs. Disabled tracing is one null-pointer test per
+  // emission site plus the skipped v3 wire fields — the delta vs its own
+  // untraced fleet must stay within noise. The enabled row pays JSONL
+  // formatting and a flush per span on every tier; its overhead is the
+  // price of a fully traced fleet.
+  std::printf("\n== E22: run-lifecycle tracing tax (same load, warm pool) ==\n\n");
+  double off_per_run_us = 0;
+  {
+    dist::CampaignServer off_server{dist::ServerConfig{}};
+    std::vector<pid_t> off_pool;
+    for (int i = 0; i < 4; ++i) off_pool.push_back(fork_chaos_worker(off_server.port(), {}));
+    off_server.start();
+    (void)submit(off_server.port(), "e22-warmup", cfg);  // amortize SETUP/HELLO
+    const auto t0 = Clock::now();
+    const auto result = submit(off_server.port(), "e22-off", cfg);
+    const double s = seconds_since(t0);
+    off_per_run_us = s / static_cast<double>(runs) * 1e6;
+    row("server, warm, tracing off", runs, s, base_per_run_us, identical(result, baseline));
+    off_server.stop();
+    reap_all(off_pool);
+    if (!identical(result, baseline)) return 1;
+    const double tax_pct = (off_per_run_us - warm_per_run_us) / warm_per_run_us * 100.0;
+    std::printf("    disabled-tracing tax vs plain warm pool: %+.2f %%  (target: noise)\n",
+                tax_pct);
+  }
+  {
+    const char* dir = "bench_trace_e22";
+    std::error_code ec;
+    std::filesystem::remove_all(dir, ec);
+    std::filesystem::create_directory(dir);
+    dist::ServerConfig sc;
+    sc.trace_dir = dir;
+    dist::CampaignServer on_server{sc};
+    std::vector<pid_t> on_pool;
+    for (int i = 0; i < 4; ++i) on_pool.push_back(fork_chaos_worker(on_server.port(), {}, dir));
+    on_server.start();
+    (void)submit(on_server.port(), "e22-warmup", cfg, {}, dir);
+    const auto t0 = Clock::now();
+    const auto result = submit(on_server.port(), "e22-on", cfg, {}, dir);
+    const double s = seconds_since(t0);
+    const double on_per_run_us = s / static_cast<double>(runs) * 1e6;
+    row("server, warm, tracing on", runs, s, base_per_run_us, identical(result, baseline));
+    on_server.stop();
+    reap_all(on_pool);
+    if (!identical(result, baseline)) return 1;
+    const double tax_pct = (on_per_run_us - off_per_run_us) / off_per_run_us * 100.0;
+    std::printf("    enabled-tracing tax vs tracing off: %+.2f %%  (all tiers traced)\n",
+                tax_pct);
+    std::filesystem::remove_all(dir, ec);
   }
 
   std::printf("\nevery server-mode configuration reproduced the in-process result bitwise\n");

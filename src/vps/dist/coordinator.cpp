@@ -18,7 +18,9 @@
 #include "vps/dist/worker.hpp"
 #include "vps/fault/checkpoint.hpp"
 #include "vps/fault/driver_util.hpp"
+#include "vps/obs/dist_trace.hpp"
 #include "vps/support/ensure.hpp"
+#include "vps/support/stats.hpp"
 
 namespace vps::dist {
 
@@ -627,6 +629,29 @@ CampaignResult DistCampaign::execute_remote(std::size_t start_run, CampaignResul
   submit.golden = golden_;
   submit.job_token = job_token_for(submit);
 
+  // The token is in the trace filename because two tenant threads share one
+  // pid — per-campaign files can then never collide.
+  std::unique_ptr<obs::DistTraceWriter> trace;
+  try {
+    trace = obs::DistTraceWriter::open(config_.trace_dir, "client", submit.job_token);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "dist: tracing disabled: %s\n", e.what());
+  }
+
+  // Always-on queue-vs-replay split from the v3 RESULT timing fields (both
+  // zero when the server/worker predates v3 — the split is then omitted).
+  support::Histogram queue_wait_ms(0.0, 5000.0, 500);
+  support::Histogram replay_ms(0.0, 5000.0, 500);
+  std::uint64_t remote_timed_runs = 0;
+  const auto fill_latency_split = [&](obs::CampaignProgress& p) {
+    p.remote_runs = remote_timed_runs;
+    if (remote_timed_runs == 0) return;  // all-v2 fleet: reporter omits the split
+    p.queue_wait_p50_ms = queue_wait_ms.percentile(0.50);
+    p.queue_wait_p95_ms = queue_wait_ms.percentile(0.95);
+    p.replay_p50_ms = replay_ms.percentile(0.50);
+    p.replay_p95_ms = replay_ms.percentile(0.95);
+  };
+
   std::optional<Channel> channel;
   std::uint64_t job = 0;
   std::uint64_t connect_attempts = 0;
@@ -672,6 +697,9 @@ CampaignResult DistCampaign::execute_remote(std::size_t start_run, CampaignResul
                                  connect_attempts));
         }
         ++connect_attempts;
+        // Fresh clock sample per attempt: the server pairs it with its own
+        // arrival clock to align this client's trace file.
+        submit.ts_ns = obs::dist_now_ns();
         ensure(fresh.send_frame(MsgType::kSubmit, encode_submit(submit)),
                "dist: campaign server hung up before SUBMIT could be delivered");
         reply = fresh.wait_frame(config_.hello_timeout_ms);
@@ -712,6 +740,10 @@ CampaignResult DistCampaign::execute_remote(std::size_t start_run, CampaignResul
     std::fprintf(stderr, "dist: link to campaign server lost (%s) — reconnecting\n", why.c_str());
     fold_channel();
     ++fleet_stats_.reconnects;
+    if (trace != nullptr) {
+      trace->event("reconnect", submit.job_token, 0, obs::dist_now_ns(),
+                   {{"reconnects", fleet_stats_.reconnects}});
+    }
     connect_and_submit();
   };
 
@@ -759,11 +791,13 @@ CampaignResult DistCampaign::execute_remote(std::size_t start_run, CampaignResul
           AssignMsg msg;
           msg.job = job;
           msg.run = next_run + b;
+          msg.ts_ns = obs::dist_now_ns();
           msg.fault = faults[b];
           if (!channel->send_frame(MsgType::kAssign, encode_assign(msg))) {
             sent_all = false;
             break;
           }
+          if (trace != nullptr) trace->span("submit", submit.job_token, msg.run, msg.ts_ns, 0);
         }
         if (!sent_all) {
           reestablish("ASSIGN could not be delivered");
@@ -807,6 +841,13 @@ CampaignResult DistCampaign::execute_remote(std::size_t start_run, CampaignResul
       if (!replays[slot].has_value()) {
         replays[slot] = std::move(msg.replay);
         ++batch_results;
+        // Timing rides beside the verdict, never inside it: losers of the
+        // first-verdict race drop their timing with their verdict.
+        if (msg.replay_ns != 0 || msg.queue_ns != 0) {
+          ++remote_timed_runs;
+          if (msg.queue_ns != 0) queue_wait_ms.add(static_cast<double>(msg.queue_ns) / 1e6);
+          if (msg.replay_ns != 0) replay_ms.add(static_cast<double>(msg.replay_ns) / 1e6);
+        }
       }
     }
 
@@ -821,6 +862,9 @@ CampaignResult DistCampaign::execute_remote(std::size_t start_run, CampaignResul
                {std::move(faults[b]), r.outcome, std::move(r.crash_what),
                 std::move(r.provenance)},
                r.attempts);
+      if (trace != nullptr) {
+        trace->span("fold", submit.job_token, next_run + b, obs::dist_now_ns(), 0);
+      }
       processed = b + 1;
       if (stop_condition_met(cc, result)) {
         stopped = true;
@@ -832,6 +876,7 @@ CampaignResult DistCampaign::execute_remote(std::size_t start_run, CampaignResul
     if (monitor_ != nullptr) {
       obs::CampaignProgress progress = progress_snapshot(
           coordinator_->name(), result, cc.runs, state.coverage().coverage(), elapsed());
+      fill_latency_split(progress);
       monitor_->on_progress(progress);
     }
     if (checkpointing) {
@@ -861,11 +906,16 @@ CampaignResult DistCampaign::execute_remote(std::size_t start_run, CampaignResul
     if (metrics_ != nullptr) {
       result.publish_metrics(*metrics_);
       publish_fleet_metrics();
+      if (remote_timed_runs > 0) {
+        metrics_->histogram("dist.queue_wait_ms", 0.0, 5000.0, 500).merge(queue_wait_ms);
+        metrics_->histogram("dist.replay_ms", 0.0, 5000.0, 500).merge(replay_ms);
+      }
     }
     if (monitor_ != nullptr) {
       obs::CampaignProgress progress =
           progress_snapshot(coordinator_->name(), result, cc.runs, result.final_coverage,
                             elapsed(), /*include_latency=*/true);
+      fill_latency_split(progress);
       monitor_->on_complete(progress);
     }
   }

@@ -95,6 +95,12 @@ struct DistConfig {
   int connect_timeout_ms = 5'000;
   /// Outbound fault injection on the client→server link (seed 0 = off).
   ChaosConfig chaos;
+  /// Run-lifecycle trace directory (obs/dist_trace), server mode only.
+  /// Empty = tracing off. When set, execute_remote writes
+  /// trace.client.<pid>.<job_token>.jsonl with submit/fold instants per run
+  /// and reconnect events; merge with vps-tracecat. Tracing never feeds the
+  /// fold — results are bitwise identical with it on or off.
+  std::string trace_dir;
 };
 
 /// Aggregate fleet counters of one run()/resume() call.

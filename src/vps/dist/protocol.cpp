@@ -126,6 +126,7 @@ std::string encode_setup(const SetupMsg& m) {
   codec::append_str(line, "scenario_spec", m.scenario_spec);
   codec::append_u64(line, "seed", m.seed);
   codec::append_u64(line, "crash_retries", m.crash_retries);
+  if (m.job_token != 0) codec::append_u64(line, "job_token", m.job_token);
   codec::append_observation(line, m.golden);
   line += "}";
   return line;
@@ -140,6 +141,7 @@ SetupMsg decode_setup(const std::string& payload) {
   m.scenario_spec = p.str("scenario_spec");
   m.seed = p.u64("seed");
   m.crash_retries = p.u64("crash_retries");
+  m.job_token = p.has("job_token") ? p.u64("job_token") : 0;
   m.golden = codec::observation_from(p);
   return m;
 }
@@ -169,6 +171,7 @@ std::string encode_assign(const AssignMsg& m) {
   std::string line = "{\"kind\":\"assign\"";
   codec::append_u64(line, "job", m.job);
   codec::append_u64(line, "run", m.run);
+  if (m.ts_ns != 0) codec::append_u64(line, "ts_ns", m.ts_ns);
   codec::append_fault(line, m.fault);
   line += "}";
   return line;
@@ -180,6 +183,7 @@ AssignMsg decode_assign(const std::string& payload) {
   AssignMsg m;
   m.job = p.has("job") ? p.u64("job") : 0;
   m.run = p.u64("run");
+  m.ts_ns = p.has("ts_ns") ? p.u64("ts_ns") : 0;
   m.fault = codec::fault_from(p);
   return m;
 }
@@ -188,6 +192,8 @@ std::string encode_result(const ResultMsg& m) {
   std::string line = "{\"kind\":\"result\"";
   codec::append_u64(line, "job", m.job);
   codec::append_u64(line, "run", m.run);
+  if (m.replay_ns != 0) codec::append_u64(line, "replay_ns", m.replay_ns);
+  if (m.queue_ns != 0) codec::append_u64(line, "queue_ns", m.queue_ns);
   codec::append_replay(line, m.replay.outcome, m.replay.attempts, m.replay.crash_what,
                        m.replay.provenance);
   line += "}";
@@ -200,6 +206,8 @@ ResultMsg decode_result(const std::string& payload) {
   ResultMsg m;
   m.job = p.has("job") ? p.u64("job") : 0;
   m.run = p.u64("run");
+  m.replay_ns = p.has("replay_ns") ? p.u64("replay_ns") : 0;
+  m.queue_ns = p.has("queue_ns") ? p.u64("queue_ns") : 0;
   codec::ReplayFields fields = codec::replay_from(p);
   m.replay.outcome = fields.outcome;
   m.replay.attempts = fields.attempts;
@@ -228,6 +236,7 @@ std::string encode_register(const RegisterMsg& m) {
   codec::append_u64(line, "version", m.version);
   codec::append_u64(line, "pid", m.pid);
   if (m.reconnects != 0) codec::append_u64(line, "reconnects", m.reconnects);
+  if (m.ts_ns != 0) codec::append_u64(line, "ts_ns", m.ts_ns);
   line += "}";
   return line;
 }
@@ -239,6 +248,7 @@ RegisterMsg decode_register(const std::string& payload) {
   m.version = static_cast<std::uint32_t>(p.u64("version"));
   m.pid = p.u64("pid");
   m.reconnects = p.has("reconnects") ? p.u64("reconnects") : 0;
+  m.ts_ns = p.has("ts_ns") ? p.u64("ts_ns") : 0;
   return m;
 }
 
@@ -250,6 +260,7 @@ std::string encode_submit(const SubmitMsg& m) {
   codec::append_str(line, "scenario", m.scenario);
   codec::append_u64(line, "max_requeues", m.max_requeues);
   if (m.job_token != 0) codec::append_u64(line, "job_token", m.job_token);
+  if (m.ts_ns != 0) codec::append_u64(line, "ts_ns", m.ts_ns);
   codec::append_config(line, m.config);
   codec::append_observation(line, m.golden);
   line += "}";
@@ -266,6 +277,7 @@ SubmitMsg decode_submit(const std::string& payload) {
   m.scenario = p.str("scenario");
   m.max_requeues = p.u64("max_requeues");
   m.job_token = p.has("job_token") ? p.u64("job_token") : 0;
+  m.ts_ns = p.has("ts_ns") ? p.u64("ts_ns") : 0;
   m.config = codec::config_from(p);
   m.golden = codec::observation_from(p);
   return m;

@@ -32,6 +32,15 @@
 ///   RELEASE        server → worker  a job finished/vanished; drop its
 ///                                   cached scenario
 ///
+/// Protocol v3 adds OPTIONAL run-lifecycle trace fields (obs/dist_trace):
+/// REGISTER/SUBMIT/ASSIGN carry a sender steady-clock `ts_ns` for clock-
+/// offset estimation, SETUP echoes the job's correlation token, and RESULT
+/// carries `replay_ns` (worker replay duration) plus — spliced in by the
+/// server on RESULT_STREAM relay — `queue_ns` (server queue wait). Every
+/// field is encoded only when nonzero and defaulted to zero when absent, so
+/// v2-shaped payloads still decode and an untraced fleet pays no bytes.
+/// None of the fields feed verdict folding: timing cannot move a result bit.
+///
 /// Frame layout (all integers little-endian):
 ///   magic  u32   0x56505331 ("VPS1")
 ///   type   u8    MsgType
@@ -57,8 +66,9 @@ namespace vps::dist {
 
 inline constexpr std::uint32_t kFrameMagic = 0x56505331u;  // "VPS1"
 /// v2: job-scoped messages + the campaign-server types (REGISTER, SUBMIT,
-/// ACCEPT, REJECT, RESULT_STREAM, RELEASE).
-inline constexpr std::uint32_t kProtocolVersion = 2;
+/// ACCEPT, REJECT, RESULT_STREAM, RELEASE). v3: optional trace fields
+/// (ts_ns/job_token/replay_ns/queue_ns) — wire-compatible with v2 payloads.
+inline constexpr std::uint32_t kProtocolVersion = 3;
 /// Upper bound on one payload; a length field beyond this is stream
 /// corruption (the largest real payloads — provenance-bearing RESULTs —
 /// are a few KiB).
@@ -118,6 +128,9 @@ struct SetupMsg {
   std::string scenario_spec;  ///< registry spec for exec workers (diagnostic for fork workers)
   std::uint64_t seed = 0;
   std::uint64_t crash_retries = 0;
+  /// v3, optional: the job's correlation token, echoed from SUBMIT so worker
+  /// trace spans carry the same identity the client and server use (0 = none).
+  std::uint64_t job_token = 0;
   fault::Observation golden;
 };
 
@@ -132,12 +145,21 @@ struct HelloMsg {
 struct AssignMsg {
   std::uint64_t job = 0;
   std::uint64_t run = 0;  ///< global run index within the job's campaign
+  /// v3, optional: sender steady-clock nanoseconds at send time, used only
+  /// for clock-offset refinement by vps-tracecat (0 = absent).
+  std::uint64_t ts_ns = 0;
   fault::FaultDescriptor fault;
 };
 
 struct ResultMsg {
   std::uint64_t job = 0;
   std::uint64_t run = 0;
+  /// v3, optional: worker-side replay duration in nanoseconds (0 = absent).
+  std::uint64_t replay_ns = 0;
+  /// v3, optional: server queue wait (ASSIGN arrival → dispatch) in
+  /// nanoseconds, spliced in by the server when relaying RESULT_STREAM —
+  /// workers never set it (0 = absent).
+  std::uint64_t queue_ns = 0;
   fault::ReplayResult replay;
 };
 
@@ -155,6 +177,9 @@ struct RegisterMsg {
   std::uint32_t version = kProtocolVersion;
   std::uint64_t pid = 0;
   std::uint64_t reconnects = 0;
+  /// v3, optional: worker steady-clock nanoseconds at REGISTER send — the
+  /// handshake sample vps-tracecat aligns worker traces with (0 = absent).
+  std::uint64_t ts_ns = 0;
 };
 
 /// Client → server: one campaign submission. Carries everything a worker
@@ -175,6 +200,9 @@ struct SubmitMsg {
   /// resume its server campaign from a fresh process or across a client-side
   /// reconnect. A token never matches a job still held by a live client.
   std::uint64_t job_token = 0;
+  /// v3, optional: client steady-clock nanoseconds at SUBMIT send — the
+  /// handshake sample vps-tracecat aligns client traces with (0 = absent).
+  std::uint64_t ts_ns = 0;
   fault::Observation golden;
 };
 

@@ -19,7 +19,10 @@
 #include "vps/dist/protocol.hpp"
 #include "vps/dist/transport.hpp"
 #include "vps/fault/codec.hpp"
+#include "vps/obs/dist_trace.hpp"
+#include "vps/obs/trace.hpp"
 #include "vps/support/ensure.hpp"
+#include "vps/support/stats.hpp"
 
 namespace vps::dist {
 
@@ -36,6 +39,12 @@ struct Inflight {
   std::uint64_t run = 0;
   std::string payload;
   std::uint32_t requeues = 0;
+  /// Always-on host timestamps (two clock reads per run): queue wait =
+  /// dispatched − arrived, worker round trip = RESULT arrival − dispatched.
+  /// A requeue resets arrived_ns so a retry's wait never includes the failed
+  /// round trip (and never goes negative — see saturating_elapsed_ns).
+  std::uint64_t arrived_ns = 0;
+  std::uint64_t dispatched_ns = 0;
 };
 
 struct Conn {
@@ -57,6 +66,12 @@ struct Conn {
   std::vector<Inflight> inflight;
   // client state
   std::set<std::uint64_t> owned_jobs;
+  std::uint64_t client_tok = 0;  ///< job_token of this client's SUBMIT (clockref key)
+  /// Best (smallest) observed arrival − peer-send clock delta for this peer;
+  /// a clockref line is emitted only when a sample improves it, so the trace
+  /// holds the tightest bound without a line per ASSIGN.
+  std::int64_t clock_off = 0;
+  bool clock_off_valid = false;
 };
 
 struct Job {
@@ -74,6 +89,12 @@ struct Job {
   /// this long for a job_token reattach, then is torn down. Results arriving
   /// meanwhile are dropped — re-executing them later folds identically.
   std::optional<Clock::time_point> orphan_deadline;
+  /// Live-status aggregates for GET /jobs (always on; fed from the
+  /// Inflight timestamps and the RESULT's replay_ns).
+  support::Histogram queue_wait_ms = support::Histogram(0.0, 5000.0, 500);
+  support::Histogram replay_ms = support::Histogram(0.0, 5000.0, 500);
+  std::uint64_t requeued = 0;
+  std::map<std::uint64_t, std::uint64_t> worker_runs;  ///< results per worker pid
 };
 
 }  // namespace
@@ -87,10 +108,16 @@ struct CampaignServer::Impl {
   std::uint64_t next_job = 1;
   bool draining = false;
   std::uint64_t chaos_streams = 0;  ///< distinct ChaosPolicy stream per accepted conn
+  std::unique_ptr<obs::DistTraceWriter> trace;  ///< null = tracing off
 
   explicit Impl(ServerConfig cfg)
       : config(std::move(cfg)), listener(make_tcp_listener(config.host, config.port)) {
     ignore_sigpipe();
+    try {
+      trace = obs::DistTraceWriter::open(config.trace_dir, "server");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "vps-serverd: tracing disabled: %s\n", e.what());
+    }
     // Self-healing counters exist from the first scrape, not from the first
     // incident — a zero line is itself the "no healing needed yet" signal.
     metrics.counter("dist.reconnects").add(0);
@@ -189,6 +216,10 @@ struct CampaignServer::Impl {
         job.results_relayed = p.has("relayed") ? p.u64("relayed") : 0;
         job.orphan_deadline = grace;
         next_job = std::max(next_job, job.id + 1);
+        if (trace != nullptr) {
+          trace->event("job_recovered", job.submit.job_token, 0, obs::dist_now_ns(),
+                       {{"job", job.id}});
+        }
         jobs[job.id] = std::move(job);
         ++recovered;
       } catch (const std::exception& e) {
@@ -208,10 +239,14 @@ struct CampaignServer::Impl {
     const auto& policy = c.channel.chaos();
     if (policy == nullptr) return;
     const ChaosCounters& now = policy->counters();
-    metrics.counter("dist.chaos.frames_dropped")
-        .add(static_cast<double>(now.frames_dropped - c.chaos_folded.frames_dropped));
-    metrics.counter("dist.chaos.bytes_corrupted")
-        .add(static_cast<double>(now.bytes_corrupted - c.chaos_folded.bytes_corrupted));
+    const std::uint64_t dropped = now.frames_dropped - c.chaos_folded.frames_dropped;
+    const std::uint64_t corrupted = now.bytes_corrupted - c.chaos_folded.bytes_corrupted;
+    metrics.counter("dist.chaos.frames_dropped").add(static_cast<double>(dropped));
+    metrics.counter("dist.chaos.bytes_corrupted").add(static_cast<double>(corrupted));
+    if (trace != nullptr && (dropped != 0 || corrupted != 0)) {
+      trace->event("chaos", c.client_tok, 0, obs::dist_now_ns(),
+                   {{"frames_dropped", dropped}, {"bytes_corrupted", corrupted}, {"pid", c.pid}});
+    }
     c.chaos_folded = now;
   }
 
@@ -239,6 +274,10 @@ struct CampaignServer::Impl {
         std::to_string(job.submit.max_requeues) +
         " time(s), each assigned worker died before returning a result";
     metrics.counter("server.crashed_runs").add(1);
+    if (trace != nullptr) {
+      trace->event("crash_synthesized", job.submit.job_token, entry.run, obs::dist_now_ns(),
+                   {{"job", job.id}, {"requeues", entry.requeues}});
+    }
     if (job.client != nullptr && !job.client->dead) {
       if (!job.client->channel.send_frame(MsgType::kResultStream, encode_result(crash))) {
         on_client_death(*job.client);
@@ -280,16 +319,29 @@ struct CampaignServer::Impl {
       std::fprintf(stderr, "vps-serverd: worker pid %llu died, requeuing %zu in-flight run(s)\n",
                    static_cast<unsigned long long>(w.pid), orphaned.size());
     }
+    if (trace != nullptr && w.role == Conn::Role::kWorker) {
+      trace->event("worker_death", 0, 0, obs::dist_now_ns(),
+                   {{"pid", w.pid}, {"inflight_lost", orphaned.size()}});
+    }
     for (Inflight& entry : orphaned) {
       auto it = jobs.find(entry.job);
       if (it == jobs.end()) continue;  // job already released
       Job& job = it->second;
       --job.inflight;
       ++entry.requeues;
+      ++job.requeued;
       metrics.counter("server.requeued_runs").add(1);
+      if (trace != nullptr) {
+        trace->event("requeue", job.submit.job_token, entry.run, obs::dist_now_ns(),
+                     {{"job", job.id}, {"requeues", entry.requeues}, {"pid", w.pid}});
+      }
       if (entry.requeues > job.submit.max_requeues) {
         synthesize_crash(job, entry);
       } else {
+        // Retry waits start now; the failed round trip is the requeue
+        // event's story, not part of the next dispatch's queue time.
+        entry.arrived_ns = obs::dist_now_ns();
+        entry.dispatched_ns = 0;
         job.pending.push_front(std::move(entry));
       }
     }
@@ -309,6 +361,10 @@ struct CampaignServer::Impl {
         job.client = nullptr;
         job.orphan_deadline = Clock::now() + std::chrono::milliseconds(config.orphan_grace_ms);
         metrics.counter("server.jobs_orphaned").add(1);
+        if (trace != nullptr) {
+          trace->event("job_orphaned", job.submit.job_token, 0, obs::dist_now_ns(),
+                       {{"job", id}});
+        }
         std::fprintf(stderr,
                      "vps-serverd: client of job %llu gone — orphaned for %d ms awaiting reattach\n",
                      static_cast<unsigned long long>(id), config.orphan_grace_ms);
@@ -325,6 +381,22 @@ struct CampaignServer::Impl {
       case Conn::Role::kClient: on_client_death(c); break;
       default: c.dead = true; break;
     }
+  }
+
+  /// Records a v3 handshake clock sample about a peer. A clockref line is
+  /// written only when the sample tightens the peer's offset bound — the
+  /// merge-side estimator is min(local − remote), so only improvements carry
+  /// information.
+  void note_clock_sample(Conn& c, std::uint64_t local_ns, std::uint64_t remote_ns) {
+    if (trace == nullptr) return;
+    const std::int64_t candidate =
+        static_cast<std::int64_t>(local_ns) - static_cast<std::int64_t>(remote_ns);
+    if (c.clock_off_valid && candidate >= c.clock_off) return;
+    c.clock_off = candidate;
+    c.clock_off_valid = true;
+    const bool worker = c.role == Conn::Role::kWorker;
+    trace->clockref(worker ? "worker" : "client", worker ? c.pid : 0,
+                    worker ? 0 : c.client_tok, local_ns, remote_ns);
   }
 
   // --- dispatch ------------------------------------------------------------
@@ -360,6 +432,7 @@ struct CampaignServer::Impl {
           setup.scenario_spec = best_any->submit.scenario_spec;
           setup.seed = best_any->submit.config.seed;
           setup.crash_retries = best_any->submit.config.crash_retries;
+          setup.job_token = best_any->submit.job_token;
           setup.golden = best_any->submit.golden;
           if (!w.channel.send_frame(MsgType::kHello, encode_setup(setup))) {
             on_worker_death(w);
@@ -375,6 +448,14 @@ struct CampaignServer::Impl {
           best_ready->pending.push_front(std::move(entry));
           on_worker_death(w);
           continue;
+        }
+        entry.dispatched_ns = obs::dist_now_ns();
+        const std::uint64_t queue_ns =
+            obs::saturating_elapsed_ns(entry.arrived_ns, entry.dispatched_ns);
+        best_ready->queue_wait_ms.add(static_cast<double>(queue_ns) / 1e6);
+        if (trace != nullptr) {
+          trace->span("admission", best_ready->submit.job_token, entry.run, entry.arrived_ns,
+                      queue_ns);
         }
         ++best_ready->inflight;
         w.inflight.push_back(std::move(entry));
@@ -424,6 +505,8 @@ struct CampaignServer::Impl {
           return e.job == msg.job && e.run == msg.run;
         });
         if (entry == w.inflight.end()) return;  // stale: job released mid-flight
+        const std::uint64_t arrived_ns = entry->arrived_ns;
+        const std::uint64_t dispatched_ns = entry->dispatched_ns;
         w.inflight.erase(entry);
         auto it = jobs.find(msg.job);
         if (it == jobs.end()) return;
@@ -431,11 +514,28 @@ struct CampaignServer::Impl {
         --job.inflight;
         metrics.counter("server.results_relayed").add(1);
         ++job.results_relayed;
+        ++job.worker_runs[w.pid];
+        const std::uint64_t now_ns = obs::dist_now_ns();
+        const std::uint64_t queue_ns = obs::saturating_elapsed_ns(arrived_ns, dispatched_ns);
+        if (msg.replay_ns != 0) job.replay_ms.add(static_cast<double>(msg.replay_ns) / 1e6);
+        if (trace != nullptr) {
+          trace->span("dispatch", job.submit.job_token, msg.run, dispatched_ns,
+                      obs::saturating_elapsed_ns(dispatched_ns, now_ns));
+          trace->span("stream", job.submit.job_token, msg.run, now_ns, 0);
+        }
         // Refresh the on-disk watermark occasionally — cheap insurance, not
         // a correctness requirement (the client re-ASSIGNs unverdicted runs).
         if (job.results_relayed % 256 == 0) persist_state();
         if (job.client != nullptr && !job.client->dead) {
-          if (!job.client->channel.send_frame(MsgType::kResultStream, frame.payload)) {
+          // Splice the server-measured queue wait into the relayed payload so
+          // the client can split queue vs replay time without a re-encode of
+          // the verdict fields it must relay byte-exactly.
+          std::string relayed = frame.payload;
+          if (queue_ns != 0 && !relayed.empty() && relayed.back() == '}') {
+            relayed.pop_back();
+            relayed += ",\"queue_ns\":" + std::to_string(queue_ns) + "}";
+          }
+          if (!job.client->channel.send_frame(MsgType::kResultStream, relayed)) {
             on_client_death(*job.client);
           }
         }
@@ -453,6 +553,8 @@ struct CampaignServer::Impl {
     switch (frame.type) {
       case MsgType::kAssign: {
         const AssignMsg msg = decode_assign(frame.payload);
+        const std::uint64_t arrived_ns = obs::dist_now_ns();
+        if (msg.ts_ns != 0) note_clock_sample(c, arrived_ns, msg.ts_ns);
         auto it = jobs.find(msg.job);
         if (it == jobs.end() || c.owned_jobs.count(msg.job) == 0) {
           std::fprintf(stderr, "vps-serverd: ASSIGN for unknown/foreign job %llu — dropping client\n",
@@ -477,6 +579,7 @@ struct CampaignServer::Impl {
         entry.job = msg.job;
         entry.run = msg.run;
         entry.payload = std::move(frame.payload);
+        entry.arrived_ns = arrived_ns;
         it->second.pending.push_back(std::move(entry));
         break;
       }
@@ -512,6 +615,11 @@ struct CampaignServer::Impl {
       c.pid = reg.pid;
       metrics.counter("server.workers_registered").add(1);
       if (reg.reconnects > 0) metrics.counter("dist.reconnects").add(1);
+      if (reg.ts_ns != 0) note_clock_sample(c, obs::dist_now_ns(), reg.ts_ns);
+      if (trace != nullptr) {
+        trace->event("worker_registered", 0, 0, obs::dist_now_ns(),
+                     {{"pid", reg.pid}, {"reconnects", reg.reconnects}});
+      }
       return;
     }
     if (frame.type == MsgType::kSubmit) {
@@ -526,6 +634,8 @@ struct CampaignServer::Impl {
         return;
       }
       c.role = Conn::Role::kClient;
+      c.client_tok = submit.job_token;
+      if (submit.ts_ns != 0) note_clock_sample(c, obs::dist_now_ns(), submit.ts_ns);
       // Reattach: a SUBMIT carrying the token of a job whose client is gone
       // resumes that job instead of admitting a duplicate. A token never
       // matches a job a live client still holds (steal-proof), and reattach
@@ -540,6 +650,9 @@ struct CampaignServer::Impl {
           job.orphan_deadline.reset();
           c.owned_jobs.insert(id);
           metrics.counter("server.jobs_reattached").add(1);
+          if (trace != nullptr) {
+            trace->event("job_reattached", submit.job_token, 0, obs::dist_now_ns(), {{"job", id}});
+          }
           std::fprintf(stderr, "vps-serverd: tenant '%s' reattached to job %llu\n",
                        submit.tenant.c_str(), static_cast<unsigned long long>(id));
           if (!c.channel.send_frame(MsgType::kAccept, encode_accept(AcceptMsg{id}))) {
@@ -575,6 +688,9 @@ struct CampaignServer::Impl {
       job.client = &c;
       c.owned_jobs.insert(id);
       metrics.counter("server.jobs_accepted").add(1);
+      if (trace != nullptr) {
+        trace->event("job_admitted", job.submit.job_token, 0, obs::dist_now_ns(), {{"job", id}});
+      }
       persist_state();
       if (!c.channel.send_frame(MsgType::kAccept, encode_accept(AcceptMsg{id}))) {
         on_client_death(c);
@@ -586,10 +702,64 @@ struct CampaignServer::Impl {
     c.dead = true;
   }
 
+  /// One deterministic line block per admitted job (id order), then the live
+  /// worker map (pid order), then the healing counters — the GET /jobs body.
+  /// Rendering depends only on server state, never on iteration artifacts,
+  /// so equal states scrape equal bytes (same discipline as the metrics
+  /// render).
+  [[nodiscard]] std::string render_jobs() {
+    char buf[64];
+    std::string out = "jobs " + std::to_string(jobs.size()) + "\n";
+    for (const auto& [id, job] : jobs) {
+      std::snprintf(buf, sizeof buf, "%016llx",
+                    static_cast<unsigned long long>(job.submit.job_token));
+      out += "job=" + std::to_string(id) + " tenant=" + job.submit.tenant + " token=" + buf +
+             " queued=" + std::to_string(job.pending.size()) +
+             " inflight=" + std::to_string(job.inflight) +
+             " relayed=" + std::to_string(job.results_relayed) +
+             " requeued=" + std::to_string(job.requeued) +
+             " orphaned=" + (job.orphan_deadline.has_value() ? "yes" : "no") + "\n";
+      out += "  queue_wait_ms samples=" + std::to_string(job.queue_wait_ms.total()) +
+             " p50=" + obs::format_double(job.queue_wait_ms.percentile(0.50), 6) +
+             " p95=" + obs::format_double(job.queue_wait_ms.percentile(0.95), 6) + "\n";
+      out += "  replay_ms samples=" + std::to_string(job.replay_ms.total()) +
+             " p50=" + obs::format_double(job.replay_ms.percentile(0.50), 6) +
+             " p95=" + obs::format_double(job.replay_ms.percentile(0.95), 6) + "\n";
+      out += "  worker_runs";
+      for (const auto& [pid, runs] : job.worker_runs) {
+        out += " pid=" + std::to_string(pid) + ":" + std::to_string(runs);
+      }
+      out += "\n";
+    }
+    std::vector<const Conn*> workers;
+    for (const auto& c : conns) {
+      if (!c->dead && c->role == Conn::Role::kWorker) workers.push_back(c.get());
+    }
+    std::sort(workers.begin(), workers.end(),
+              [](const Conn* a, const Conn* b) { return a->pid < b->pid; });
+    out += "workers " + std::to_string(workers.size()) + "\n";
+    for (const Conn* w : workers) {
+      out += "worker pid=" + std::to_string(w->pid) +
+             " inflight=" + std::to_string(w->inflight.size()) +
+             " ready_jobs=" + std::to_string(w->ready_jobs.size()) + "\n";
+    }
+    auto counter = [&](const char* name) {
+      return std::to_string(static_cast<std::uint64_t>(metrics.counter(name).value()));
+    };
+    out += "counters reconnects=" + counter("dist.reconnects") +
+           " worker_deaths=" + counter("server.worker_deaths") +
+           " requeued_runs=" + counter("server.requeued_runs") +
+           " chaos_frames_dropped=" + counter("dist.chaos.frames_dropped") +
+           " chaos_bytes_corrupted=" + counter("dist.chaos.bytes_corrupted") +
+           " jobs_recovered=" + counter("dist.jobs_recovered") + "\n";
+    return out;
+  }
+
   /// Sniffs a fresh connection's first bytes: frame magic ("1SPV") marks a
-  /// framed peer, "G" a metrics scrape. A scrape is answered immediately
-  /// with a minimal plaintext-over-HTTP response; the connection then
-  /// drains until the peer closes so the reply is never cut off by a reset.
+  /// framed peer, "G" a scrape. "GET /jobs" answers the live job status,
+  /// any other GET the metrics render — both as a minimal plaintext-over-
+  /// HTTP response; the connection then drains until the peer closes so the
+  /// reply is never cut off by a reset.
   void handle_sniff(Conn& c) {
     char buf[4096];
     const ssize_t n = ::recv(c.channel.fd(), buf, sizeof buf, 0);
@@ -601,7 +771,15 @@ struct CampaignServer::Impl {
     if (buf[0] == 'G') {
       metrics.counter("server.scrapes").add(1);
       update_gauges();
-      const std::string body = metrics.render();
+      // "GET <path> ..." — take the second token as the path. A request so
+      // fragmented its first segment lacks the path is treated as /metrics.
+      const std::string head(buf, static_cast<std::size_t>(n));
+      std::string path;
+      if (const std::size_t sp = head.find(' '); sp != std::string::npos) {
+        const std::size_t end = head.find_first_of(" \r\n", sp + 1);
+        path = head.substr(sp + 1, end == std::string::npos ? std::string::npos : end - sp - 1);
+      }
+      const std::string body = path.rfind("/jobs", 0) == 0 ? render_jobs() : metrics.render();
       const std::string response =
           "HTTP/1.0 200 OK\r\nContent-Type: text/plain; charset=utf-8\r\nContent-Length: " +
           std::to_string(body.size()) + "\r\n\r\n" + body;
@@ -765,6 +943,11 @@ struct CampaignServer::Impl {
         std::fprintf(stderr, "vps-serverd: orphaned job %llu never reattached — releasing\n",
                      static_cast<unsigned long long>(id));
         metrics.counter("server.jobs_expired").add(1);
+        if (trace != nullptr) {
+          const auto it = jobs.find(id);
+          trace->event("job_expired", it != jobs.end() ? it->second.submit.job_token : 0, 0,
+                       obs::dist_now_ns(), {{"job", id}});
+        }
         remove_job(id);
       }
 

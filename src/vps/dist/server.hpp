@@ -18,7 +18,10 @@
 ///            streams job-tagged ASSIGN frames batch by batch and the
 ///            server relays each worker RESULT back as RESULT_STREAM.
 ///   scrapes  "GET /metrics"-style requests answered with the plaintext
-///            name-sorted obs::MetricRegistry render (no HTTP dependency).
+///            name-sorted obs::MetricRegistry render (no HTTP dependency);
+///            "GET /jobs" answers a deterministic per-job live status view
+///            (tenant, queued/in-flight/relayed runs, p50/p95 queue-wait and
+///            replay latency, worker assignment map, healing counters).
 ///
 /// The server is deliberately a pure run router: descriptors are generated
 /// and results are folded on the *client* (DistCampaign server mode) at the
@@ -72,6 +75,12 @@ struct ServerConfig {
   int orphan_grace_ms = 30'000;
   /// Outbound fault injection on every accepted connection (seed 0 = off).
   ChaosConfig chaos;
+  /// Run-lifecycle trace directory (obs/dist_trace). Empty = tracing off.
+  /// When set, the server writes trace.server.<pid>.jsonl with admission /
+  /// dispatch spans, stream instants, healing events (requeue, orphan,
+  /// reattach, recovery, chaos) and the clockref samples vps-tracecat uses
+  /// to align worker and client trace files.
+  std::string trace_dir;
 };
 
 /// The standing campaign server. The constructor binds and listens (so the

@@ -10,6 +10,7 @@
 
 #include <unistd.h>
 
+#include "vps/obs/dist_trace.hpp"
 #include "vps/support/ensure.hpp"
 #include "vps/support/rng.hpp"
 
@@ -88,10 +89,13 @@ enum class SessionEnd {
 /// just another lost link (reconnect mode).
 SessionEnd serve_pool_session(Channel& channel, const ScenarioBuilder& build,
                               std::uint64_t reconnects, int idle_timeout_ms,
-                              bool& made_progress) {
+                              bool& made_progress, obs::DistTraceWriter* trace) {
   RegisterMsg reg;
   reg.pid = static_cast<std::uint64_t>(::getpid());
   reg.reconnects = reconnects;
+  // v3 handshake clock sample: the server pairs this with its own arrival
+  // clock so vps-tracecat can align this worker's trace file.
+  reg.ts_ns = obs::dist_now_ns();
   if (!channel.send_frame(MsgType::kRegister, encode_register(reg))) return SessionEnd::kLost;
 
   // One cache entry per admitted campaign the server has SETUP us for: the
@@ -169,9 +173,17 @@ SessionEnd serve_pool_session(Channel& channel, const ScenarioBuilder& build,
         ResultMsg result;
         result.job = assign.job;
         result.run = assign.run;
+        const std::uint64_t replay_begin = obs::dist_now_ns();
         result.replay = fault::replay_isolated(*job.scenario, assign.fault, job.setup.seed,
                                                job.setup.golden, job.setup.crash_retries);
+        // Always-on timing: two clock reads per run are noise next to a
+        // replay, and they power the client's queue-vs-replay split and the
+        // server's /jobs percentiles even with tracing disarmed.
+        result.replay_ns =
+            obs::saturating_elapsed_ns(replay_begin, obs::dist_now_ns());
         ++runs_done;
+        if (trace != nullptr)
+          trace->span("replay", job.setup.job_token, assign.run, replay_begin, result.replay_ns);
         if (!channel.send_frame(MsgType::kResult, encode_result(result))) return SessionEnd::kLost;
         break;
       }
@@ -200,7 +212,7 @@ int serve_pool(Channel& channel, const ScenarioBuilder& build) noexcept {
   try {
     bool made_progress = false;
     switch (serve_pool_session(channel, build, /*reconnects=*/0, /*idle_timeout_ms=*/-1,
-                               made_progress)) {
+                               made_progress, /*trace=*/nullptr)) {
       case SessionEnd::kShutdown: return 0;
       case SessionEnd::kLost: return 2;
       case SessionEnd::kFatal: return 3;
@@ -223,6 +235,16 @@ int serve_pool(const PoolConfig& cfg, const ScenarioBuilder& build) noexcept {
       support::Xorshift(cfg.chaos.seed + 0x706f6f6cULL)  // "pool"
           .fork(static_cast<std::uint64_t>(::getpid()));
 
+  // One trace file for the whole pool process, spanning every session —
+  // reconnect events landing between replay spans is exactly the story the
+  // merged timeline should tell. Null (and costless) when trace_dir is empty.
+  std::unique_ptr<obs::DistTraceWriter> trace;
+  try {
+    trace = obs::DistTraceWriter::open(cfg.trace_dir, "worker");
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "vps-worker[%d]: tracing disabled: %s\n", ::getpid(), e.what());
+  }
+
   std::uint64_t connects = 0;  // sessions that reached the server
   int failures = 0;
   int backoff_ms = cfg.backoff_initial_ms;
@@ -239,7 +261,12 @@ int serve_pool(const PoolConfig& cfg, const ScenarioBuilder& build) noexcept {
         channel.set_chaos(std::make_shared<ChaosPolicy>(cfg.chaos, stream));
       }
       ++connects;
-      end = serve_pool_session(channel, build, connects - 1, cfg.idle_timeout_ms, made_progress);
+      if (trace != nullptr && connects > 1) {
+        trace->event("reconnect", 0, 0, obs::dist_now_ns(),
+                     {{"session", connects - 1}, {"failures", static_cast<std::uint64_t>(failures)}});
+      }
+      end = serve_pool_session(channel, build, connects - 1, cfg.idle_timeout_ms, made_progress,
+                               trace.get());
     } catch (const std::exception& e) {
       // Refused/timed-out connect, stream corruption (incl. injected), recv
       // errors: all just a bad link to this worker — reconnect, don't die.

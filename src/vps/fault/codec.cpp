@@ -1,7 +1,9 @@
 #include "vps/fault/codec.hpp"
 
+#include <clocale>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "vps/obs/trace.hpp"
 #include "vps/support/crc.hpp"
@@ -35,13 +37,36 @@ void append_i64(std::string& line, const char* key, std::int64_t value) {
   line += std::to_string(value);
 }
 
+namespace {
+
+/// The active locale's LC_NUMERIC radix character, or "." in the C locale.
+/// %a and strtod both honour it, so hexfloats written under a comma locale
+/// would read "0x1,8p+3" — not portable across processes with different
+/// locales. Writers normalize to '.', readers localize back before strtod.
+const char* locale_decimal_point() {
+  const struct lconv* lc = std::localeconv();
+  return lc != nullptr && lc->decimal_point != nullptr && *lc->decimal_point != '\0'
+             ? lc->decimal_point
+             : ".";
+}
+
+}  // namespace
+
 void append_double(std::string& line, const char* key, double value) {
   char buf[48];
   std::snprintf(buf, sizeof buf, "%a", value);
   line += ",\"";
   line += key;
   line += "\":\"";
-  line += buf;
+  const char* dp = locale_decimal_point();
+  if (std::strcmp(dp, ".") != 0) {
+    std::string fixed(buf);
+    const std::size_t at = fixed.find(dp);
+    if (at != std::string::npos) fixed.replace(at, std::strlen(dp), ".");
+    line += fixed;
+  } else {
+    line += buf;
+  }
   line += '"';
 }
 
@@ -94,7 +119,17 @@ std::int64_t LineParser::i64(const char* key) const {
 }
 
 double LineParser::hexdouble(const char* key) const {
-  return std::strtod(str(key).c_str(), nullptr);
+  // Stored text always spells the radix '.' (append_double normalizes); the
+  // strtod of a comma locale would stop parsing there, so localize first.
+  const std::string& stored = str(key);
+  const char* dp = locale_decimal_point();
+  if (std::strcmp(dp, ".") != 0) {
+    std::string localized = stored;
+    const std::size_t at = localized.find('.');
+    if (at != std::string::npos) localized.replace(at, 1, dp);
+    return std::strtod(localized.c_str(), nullptr);
+  }
+  return std::strtod(stored.c_str(), nullptr);
 }
 
 const std::string& LineParser::number(const char* key) const {

@@ -59,6 +59,15 @@ void ProgressReporter::emit(const CampaignProgress& progress, bool final) {
                    static_cast<unsigned long long>(progress.requeued_runs));
     }
   }
+  if (progress.remote_runs > 0) {
+    // Reconnects restart the coordinator's timestamps, so a sloppy producer
+    // could hand us a negative or non-finite percentile; clamp to 0 like the
+    // rate above instead of printing garbage.
+    auto clamped = [](double ms) { return std::isfinite(ms) && ms > 0.0 ? ms : 0.0; };
+    std::fprintf(stream, ", queue p50/p95 %.1f/%.1f ms, replay p50/p95 %.1f/%.1f ms",
+                 clamped(progress.queue_wait_p50_ms), clamped(progress.queue_wait_p95_ms),
+                 clamped(progress.replay_p50_ms), clamped(progress.replay_p95_ms));
+  }
   if (final && progress.detections_with_latency > 0) {
     std::fprintf(stream, ", detection latency p50/p95/p99 %.1f/%.1f/%.1f us",
                  progress.latency_p50_us, progress.latency_p95_us, progress.latency_p99_us);

@@ -42,6 +42,16 @@ struct CampaignProgress {
   std::uint64_t workers_alive = 0;
   std::uint64_t worker_deaths = 0;
   std::uint64_t requeued_runs = 0;
+  /// Remote run-latency split (distributed driver only): where a run's wall
+  /// time went — waiting in the server queue vs replaying on a worker.
+  /// remote_runs counts RESULTs that carried the v3 timing fields; zero means
+  /// "no split available" (local driver, or an all-v2 fleet) and reporters
+  /// omit the split rather than print zeros.
+  std::uint64_t remote_runs = 0;
+  double queue_wait_p50_ms = 0.0;
+  double queue_wait_p95_ms = 0.0;
+  double replay_p50_ms = 0.0;
+  double replay_p95_ms = 0.0;
 };
 
 /// Receives campaign progress callbacks on the driver's thread (sequential:

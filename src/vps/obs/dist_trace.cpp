@@ -1,0 +1,492 @@
+#include "vps/obs/dist_trace.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+
+#include "vps/obs/trace.hpp"
+#include "vps/support/ensure.hpp"
+
+namespace vps::obs {
+
+using support::ensure;
+
+std::uint64_t dist_now_ns() {
+  return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                        std::chrono::steady_clock::now().time_since_epoch())
+                                        .count());
+}
+
+// ---------------------------------------------------------------------------
+// DistTraceWriter
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string u64_field(const char* key, std::uint64_t v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, ",\"%s\":%" PRIu64, key, v);
+  return buf;
+}
+
+}  // namespace
+
+std::unique_ptr<DistTraceWriter> DistTraceWriter::open(const std::string& dir,
+                                                       const std::string& tier,
+                                                       std::uint64_t tok) {
+  if (dir.empty()) return nullptr;
+  const std::uint64_t pid = static_cast<std::uint64_t>(::getpid());
+  std::string path = dir + "/trace." + tier + "." + std::to_string(pid);
+  if (tok != 0) path += "." + std::to_string(tok);
+  path += ".jsonl";
+  std::FILE* out = std::fopen(path.c_str(), "wb");
+  ensure(out != nullptr, "DistTraceWriter: cannot open " + path);
+  auto writer = std::unique_ptr<DistTraceWriter>(new DistTraceWriter(out, std::move(path)));
+  std::string meta = "{\"kind\":\"trace_meta\",\"tier\":\"" + json_escape(tier) + "\"";
+  meta += u64_field("pid", pid);
+  if (tok != 0) meta += u64_field("tok", tok);
+  meta += "}\n";
+  writer->write_line(meta);
+  return writer;
+}
+
+DistTraceWriter::DistTraceWriter(std::FILE* out, std::string path)
+    : out_(out), path_(std::move(path)) {}
+
+DistTraceWriter::~DistTraceWriter() {
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+void DistTraceWriter::write_line(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), out_);
+  // Flush per line: forked workers _exit() (or are chaos-killed) without
+  // unwinding stdio, and a trace that loses its tail under chaos is useless.
+  std::fflush(out_);
+}
+
+void DistTraceWriter::span(const char* phase, std::uint64_t tok, std::uint64_t run,
+                           std::uint64_t ts_ns, std::uint64_t dur_ns) {
+  std::string line = "{\"kind\":\"span\",\"phase\":\"";
+  line += phase;
+  line += "\"";
+  line += u64_field("tok", tok);
+  line += u64_field("run", run);
+  line += u64_field("ts_ns", ts_ns);
+  line += u64_field("dur_ns", dur_ns);
+  line += "}\n";
+  write_line(line);
+}
+
+void DistTraceWriter::event(const char* name, std::uint64_t tok, std::uint64_t run,
+                            std::uint64_t ts_ns,
+                            const std::vector<std::pair<std::string, std::uint64_t>>& extra) {
+  std::string line = "{\"kind\":\"event\",\"name\":\"";
+  line += json_escape(name);
+  line += "\"";
+  line += u64_field("tok", tok);
+  line += u64_field("run", run);
+  line += u64_field("ts_ns", ts_ns);
+  for (const auto& [key, value] : extra) line += u64_field(json_escape(key).c_str(), value);
+  line += "}\n";
+  write_line(line);
+}
+
+void DistTraceWriter::clockref(const char* peer_tier, std::uint64_t peer_pid,
+                               std::uint64_t peer_tok, std::uint64_t local_ns,
+                               std::uint64_t remote_ns) {
+  std::string line = "{\"kind\":\"clockref\",\"peer_tier\":\"";
+  line += peer_tier;
+  line += "\"";
+  if (peer_pid != 0) line += u64_field("peer_pid", peer_pid);
+  if (peer_tok != 0) line += u64_field("peer_tok", peer_tok);
+  line += u64_field("local_ns", local_ns);
+  line += u64_field("remote_ns", remote_ns);
+  line += "}\n";
+  write_line(line);
+}
+
+// ---------------------------------------------------------------------------
+// Parsing (merge side)
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Minimal parser for the flat one-line objects this file's writer emits:
+/// string and unsigned-integer values only, no nesting. obs sits below fault
+/// in the module graph, so it cannot borrow fault::codec::LineParser — and
+/// needs none of its hexfloat machinery anyway.
+class FlatLine {
+ public:
+  /// Returns false on malformed input (e.g. a line torn by SIGKILL).
+  [[nodiscard]] bool parse(const std::string& line) {
+    std::size_t i = 0;
+    auto skip_ws = [&] {
+      while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+    };
+    skip_ws();
+    if (i >= line.size() || line[i] != '{') return false;
+    ++i;
+    skip_ws();
+    if (i < line.size() && line[i] == '}') return true;  // empty object
+    while (true) {
+      skip_ws();
+      std::string key;
+      if (!parse_string(line, i, key)) return false;
+      skip_ws();
+      if (i >= line.size() || line[i] != ':') return false;
+      ++i;
+      skip_ws();
+      if (i < line.size() && line[i] == '"') {
+        std::string value;
+        if (!parse_string(line, i, value)) return false;
+        strings_.emplace_back(std::move(key), std::move(value));
+      } else {
+        std::uint64_t value = 0;
+        bool any = false;
+        while (i < line.size() && line[i] >= '0' && line[i] <= '9') {
+          value = value * 10 + static_cast<std::uint64_t>(line[i] - '0');
+          ++i;
+          any = true;
+        }
+        if (!any) return false;
+        numbers_.emplace_back(std::move(key), value);
+      }
+      skip_ws();
+      if (i < line.size() && line[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (i < line.size() && line[i] == '}') return true;
+      return false;
+    }
+  }
+
+  [[nodiscard]] const std::string* str(const char* key) const {
+    for (const auto& [k, v] : strings_)
+      if (k == key) return &v;
+    return nullptr;
+  }
+  [[nodiscard]] std::uint64_t u64(const char* key, std::uint64_t fallback = 0) const {
+    for (const auto& [k, v] : numbers_)
+      if (k == key) return v;
+    return fallback;
+  }
+  [[nodiscard]] const std::vector<std::pair<std::string, std::uint64_t>>& numbers() const {
+    return numbers_;
+  }
+
+ private:
+  static bool parse_string(const std::string& line, std::size_t& i, std::string& out) {
+    if (i >= line.size() || line[i] != '"') return false;
+    ++i;
+    while (i < line.size()) {
+      const char c = line[i];
+      if (c == '"') {
+        ++i;
+        return true;
+      }
+      if (c == '\\') {
+        // The writer only ever escapes via json_escape; passing the escaped
+        // character through covers the \" and \\ our field values can hold.
+        if (i + 1 >= line.size()) return false;
+        out += line[i + 1];
+        i += 2;
+        continue;
+      }
+      out += c;
+      ++i;
+    }
+    return false;  // unterminated
+  }
+
+  std::vector<std::pair<std::string, std::string>> strings_;
+  std::vector<std::pair<std::string, std::uint64_t>> numbers_;
+};
+
+bool is_known_key(const std::string& key) {
+  static const char* const known[] = {"tok", "run", "ts_ns", "dur_ns"};
+  for (const char* k : known)
+    if (key == k) return true;
+  return false;
+}
+
+void parse_source_file(const std::string& path, DistTraceSource& source) {
+  std::ifstream in(path, std::ios::binary);
+  ensure(in.good(), "dist_trace: cannot open " + path);
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    FlatLine p;
+    if (!p.parse(line)) continue;  // torn tail line from a killed process
+    const std::string* kind = p.str("kind");
+    if (kind == nullptr) continue;
+    if (*kind == "trace_meta") {
+      if (const std::string* tier = p.str("tier"); tier != nullptr) source.tier = *tier;
+      source.pid = p.u64("pid");
+      source.tok = p.u64("tok");
+    } else if (*kind == "span") {
+      DistTraceEvent e;
+      e.is_span = true;
+      if (const std::string* phase = p.str("phase"); phase != nullptr) e.name = *phase;
+      e.tok = p.u64("tok");
+      e.run = p.u64("run");
+      e.ts_ns = p.u64("ts_ns");
+      e.dur_ns = p.u64("dur_ns");
+      source.events.push_back(std::move(e));
+    } else if (*kind == "event") {
+      DistTraceEvent e;
+      if (const std::string* name = p.str("name"); name != nullptr) e.name = *name;
+      e.tok = p.u64("tok");
+      e.run = p.u64("run");
+      e.ts_ns = p.u64("ts_ns");
+      for (const auto& [key, value] : p.numbers())
+        if (!is_known_key(key)) e.extra.emplace_back(key, value);
+      source.events.push_back(std::move(e));
+    } else if (*kind == "clockref") {
+      ClockSample s;
+      if (const std::string* tier = p.str("peer_tier"); tier != nullptr) s.peer_tier = *tier;
+      s.peer_pid = p.u64("peer_pid");
+      s.peer_tok = p.u64("peer_tok");
+      s.local_ns = p.u64("local_ns");
+      s.remote_ns = p.u64("remote_ns");
+      source.clockrefs.push_back(std::move(s));
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::string> list_trace_files(const std::string& dir) {
+  std::vector<std::string> paths;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("trace.", 0) == 0 && name.size() > 6 &&
+        name.compare(name.size() - 6, 6, ".jsonl") == 0) {
+      paths.push_back(entry.path().string());
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  return paths;
+}
+
+DistTrace load_dist_trace(const std::vector<std::string>& paths) {
+  DistTrace trace;
+  for (const std::string& path : paths) {
+    DistTraceSource source;
+    source.path = path;
+    parse_source_file(path, source);
+    trace.sources.push_back(std::move(source));
+  }
+  std::sort(trace.sources.begin(), trace.sources.end(),
+            [](const DistTraceSource& a, const DistTraceSource& b) {
+              return std::tie(a.tier, a.pid, a.tok) < std::tie(b.tier, b.pid, b.tok);
+            });
+
+  // The first server source is the reference clock; its clockrefs align
+  // everyone else. min(local − remote) = true offset + smallest observed
+  // one-way delay, so the estimate only improves with samples.
+  const DistTraceSource* reference = nullptr;
+  for (const DistTraceSource& s : trace.sources) {
+    if (s.tier == "server") {
+      reference = &s;
+      break;
+    }
+  }
+  for (DistTraceSource& s : trace.sources) {
+    if (reference == nullptr) break;
+    if (&s == reference) {
+      s.offset_ns = 0;
+      s.aligned = true;
+      continue;
+    }
+    bool have = false;
+    std::int64_t best = 0;
+    for (const ClockSample& sample : reference->clockrefs) {
+      const bool matches = sample.peer_tier == s.tier &&
+                           ((sample.peer_pid != 0 && sample.peer_pid == s.pid) ||
+                            (sample.peer_tok != 0 && sample.peer_tok == s.tok));
+      if (!matches) continue;
+      const std::int64_t candidate =
+          static_cast<std::int64_t>(sample.local_ns) - static_cast<std::int64_t>(sample.remote_ns);
+      if (!have || candidate < best) best = candidate;
+      have = true;
+    }
+    if (have) {
+      s.offset_ns = best;
+      s.aligned = true;
+    }
+  }
+  return trace;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::string tok_hex(std::uint64_t tok) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, tok);
+  return buf;
+}
+
+/// Aligned nanoseconds as fractional Chrome-trace microseconds.
+std::string chrome_us(std::uint64_t ns) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%" PRIu64 ".%03" PRIu64, ns / 1000u, ns % 1000u);
+  return buf;
+}
+
+struct RenderedEvent {
+  std::uint64_t ts_ns = 0;  ///< aligned + rebased
+  std::uint64_t tok = 0;
+  std::uint64_t run = 0;
+  std::string name;
+  std::string tier;
+  std::uint64_t pid = 0;
+  std::string json;
+};
+
+std::uint64_t align_ts(const DistTraceSource& s, std::uint64_t ts_ns) {
+  const std::int64_t shifted = static_cast<std::int64_t>(ts_ns) + s.offset_ns;
+  return shifted > 0 ? static_cast<std::uint64_t>(shifted) : 0;
+}
+
+}  // namespace
+
+std::string merge_to_chrome(const DistTrace& trace) {
+  // Rebase to the earliest aligned timestamp so the timeline starts near 0
+  // instead of at hours-of-uptime offsets.
+  std::uint64_t epoch = 0;
+  bool have_epoch = false;
+  for (const DistTraceSource& s : trace.sources) {
+    for (const DistTraceEvent& e : s.events) {
+      const std::uint64_t at = align_ts(s, e.ts_ns);
+      if (!have_epoch || at < epoch) epoch = at;
+      have_epoch = true;
+    }
+  }
+
+  std::string out = "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& json) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n" + json;
+  };
+
+  // One Chrome process per source, in the (tier, pid, tok) sort order.
+  std::vector<RenderedEvent> rendered;
+  for (std::size_t idx = 0; idx < trace.sources.size(); ++idx) {
+    const DistTraceSource& s = trace.sources[idx];
+    const std::uint64_t cpid = idx + 1;
+    std::string pname = s.tier + " " + std::to_string(s.pid);
+    if (s.tok != 0) pname += " tok=" + tok_hex(s.tok);
+    if (!s.aligned) pname += " (unaligned)";
+    emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" + std::to_string(cpid) +
+         ",\"tid\":1,\"args\":{\"name\":\"" + json_escape(pname) + "\"}}");
+
+    for (const DistTraceEvent& e : s.events) {
+      RenderedEvent r;
+      r.ts_ns = align_ts(s, e.ts_ns) - epoch;
+      r.tok = e.tok;
+      r.run = e.run;
+      r.name = e.name;
+      r.tier = s.tier;
+      r.pid = s.pid;
+      std::string json = "{\"name\":\"" + json_escape(e.name) + "\",\"cat\":\"dist\",\"pid\":" +
+                         std::to_string(cpid) + ",\"tid\":1,\"ts\":" + chrome_us(r.ts_ns);
+      if (e.is_span && e.dur_ns > 0) {
+        json += ",\"ph\":\"X\",\"dur\":" + chrome_us(e.dur_ns);
+      } else {
+        json += ",\"ph\":\"i\",\"s\":\"p\"";
+      }
+      json += ",\"args\":{\"tok\":\"" + tok_hex(e.tok) + "\",\"run\":" + std::to_string(e.run);
+      for (const auto& [key, value] : e.extra)
+        json += ",\"" + json_escape(key) + "\":" + std::to_string(value);
+      json += "}}";
+      r.json = std::move(json);
+      rendered.push_back(std::move(r));
+    }
+  }
+
+  // (timestamp, correlation id, ...) sort: concurrent spans from different
+  // processes land in one stable order, so equal inputs render equal bytes.
+  std::sort(rendered.begin(), rendered.end(), [](const RenderedEvent& a, const RenderedEvent& b) {
+    return std::tie(a.ts_ns, a.tok, a.run, a.name, a.tier, a.pid) <
+           std::tie(b.ts_ns, b.tok, b.run, b.name, b.tier, b.pid);
+  });
+  for (const RenderedEvent& r : rendered) emit(r.json);
+
+  out += "\n]}\n";
+  return out;
+}
+
+namespace {
+
+/// Phase-presence bitset per (tok, run), chain spans only.
+std::map<std::pair<std::uint64_t, std::uint64_t>, std::set<std::size_t>> collect_chains(
+    const DistTrace& trace) {
+  std::map<std::pair<std::uint64_t, std::uint64_t>, std::set<std::size_t>> chains;
+  for (const DistTraceSource& s : trace.sources) {
+    for (const DistTraceEvent& e : s.events) {
+      if (!e.is_span || e.tok == 0) continue;
+      for (std::size_t i = 0; i < 6; ++i) {
+        if (e.name == kChainPhases[i]) {
+          chains[{e.tok, e.run}].insert(i);
+          break;
+        }
+      }
+    }
+  }
+  return chains;
+}
+
+}  // namespace
+
+std::string chains_summary(const DistTrace& trace) {
+  std::string out;
+  for (const auto& [key, phases] : collect_chains(trace)) {
+    out += "tok=" + tok_hex(key.first) + " run=" + std::to_string(key.second) + " phases=";
+    bool first = true;
+    for (std::size_t i = 0; i < 6; ++i) {
+      if (phases.count(i) == 0) continue;
+      if (!first) out += ",";
+      first = false;
+      out += kChainPhases[i];
+    }
+    out += phases.size() == 6 ? " complete=yes" : " complete=no";
+    out += "\n";
+  }
+  return out;
+}
+
+std::vector<std::string> incomplete_chains(const DistTrace& trace) {
+  std::vector<std::string> out;
+  for (const auto& [key, phases] : collect_chains(trace)) {
+    if (phases.size() == 6) continue;
+    std::string line =
+        "tok=" + tok_hex(key.first) + " run=" + std::to_string(key.second) + " missing=";
+    bool first = true;
+    for (std::size_t i = 0; i < 6; ++i) {
+      if (phases.count(i) != 0) continue;
+      if (!first) line += ",";
+      first = false;
+      line += kChainPhases[i];
+    }
+    out.push_back(std::move(line));
+  }
+  return out;
+}
+
+}  // namespace vps::obs

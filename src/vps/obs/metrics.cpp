@@ -21,6 +21,8 @@ support::Histogram& MetricRegistry::histogram(const std::string& name, double lo
 }
 
 std::string MetricRegistry::render() const {
+  // Doubles go through obs::format_double, never a bare %g: a scrape under a
+  // comma-decimal LC_NUMERIC must render byte-identically to the C locale.
   char buf[160];
   std::string out;
   for (const auto& [name, c] : counters_) {
@@ -28,14 +30,16 @@ std::string MetricRegistry::render() const {
     out += buf;
   }
   for (const auto& [name, g] : gauges_) {
-    std::snprintf(buf, sizeof buf, "%-40s gauge     %20.6g\n", name.c_str(), g.value());
+    std::snprintf(buf, sizeof buf, "%-40s gauge     %20s\n", name.c_str(),
+                  format_double(g.value(), 6).c_str());
     out += buf;
   }
   for (const auto& [name, h] : histograms_) {
     std::snprintf(buf, sizeof buf,
-                  "%-40s histogram %20" PRIu64 " samples  p50=%.6g p95=%.6g p99=%.6g\n",
-                  name.c_str(), h.total(), h.percentile(0.50), h.percentile(0.95),
-                  h.percentile(0.99));
+                  "%-40s histogram %20" PRIu64 " samples  p50=%s p95=%s p99=%s\n",
+                  name.c_str(), h.total(), format_double(h.percentile(0.50), 6).c_str(),
+                  format_double(h.percentile(0.95), 6).c_str(),
+                  format_double(h.percentile(0.99), 6).c_str());
     out += buf;
   }
   return out;
@@ -51,18 +55,18 @@ std::string MetricRegistry::to_jsonl() const {
   }
   for (const auto& [name, g] : gauges_) {
     out += "{\"metric\":\"" + json_escape(name) + "\",\"kind\":\"gauge\",\"value\":";
-    // %.17g round-trips doubles exactly, keeping the export byte-stable.
-    std::snprintf(buf, sizeof buf, "%.17g}\n", g.value());
-    out += buf;
+    // 17 significant digits round-trip doubles exactly, keeping the export
+    // byte-stable; format_double keeps it valid JSON under any LC_NUMERIC.
+    out += format_double(g.value()) + "}\n";
   }
   for (const auto& [name, h] : histograms_) {
     out += "{\"metric\":\"" + json_escape(name) + "\",\"kind\":\"histogram\",";
-    std::snprintf(buf, sizeof buf,
-                  "\"count\":%" PRIu64 ",\"dropped\":%" PRIu64
-                  ",\"p50\":%.17g,\"p95\":%.17g,\"p99\":%.17g}\n",
-                  h.total(), h.dropped_non_finite(), h.percentile(0.50), h.percentile(0.95),
-                  h.percentile(0.99));
+    std::snprintf(buf, sizeof buf, "\"count\":%" PRIu64 ",\"dropped\":%" PRIu64, h.total(),
+                  h.dropped_non_finite());
     out += buf;
+    out += ",\"p50\":" + format_double(h.percentile(0.50)) +
+           ",\"p95\":" + format_double(h.percentile(0.95)) +
+           ",\"p99\":" + format_double(h.percentile(0.99)) + "}\n";
   }
   return out;
 }

@@ -1,6 +1,8 @@
 #include "vps/obs/trace.hpp"
 
+#include <clocale>
 #include <cstdio>
+#include <cstring>
 
 #include "vps/support/ensure.hpp"
 
@@ -95,6 +97,23 @@ std::string json_escape(const std::string& text) {
   return out;
 }
 
+std::string format_double(double value, int significant_digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*g", significant_digits, value);
+  // Undo whatever radix character LC_NUMERIC injected. The locale's decimal
+  // point can be multi-byte (e.g. U+066B is three UTF-8 bytes), so splice by
+  // substring, not by character.
+  const struct lconv* lc = std::localeconv();
+  const char* dp = lc != nullptr ? lc->decimal_point : ".";
+  if (dp != nullptr && std::strcmp(dp, ".") != 0 && *dp != '\0') {
+    std::string out(buf);
+    const std::size_t at = out.find(dp);
+    if (at != std::string::npos) out.replace(at, std::strlen(dp), ".");
+    return out;
+  }
+  return buf;
+}
+
 namespace {
 
 /// Shortest round-trippable formatting for numeric args; integral values
@@ -104,10 +123,9 @@ std::string format_number(double value) {
   if (value == static_cast<double>(static_cast<long long>(value)) && value > -1e15 &&
       value < 1e15) {
     std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(value));
-  } else {
-    std::snprintf(buf, sizeof buf, "%.17g", value);
+    return buf;
   }
-  return buf;
+  return format_double(value);
 }
 
 std::string format_args(const std::vector<TraceArg>& args) {

@@ -156,4 +156,12 @@ class Tracer {
 /// JSON string escaping shared by the sinks (exposed for the schema tests).
 [[nodiscard]] std::string json_escape(const std::string& text);
 
+/// Locale-safe double formatting for every obs text sink (metrics scrape,
+/// trace JSONL, /jobs status render). snprintf's %g honours LC_NUMERIC, so a
+/// process running under e.g. de_DE prints "0,5" — which is not JSON and
+/// breaks golden diffs. This wrapper formats with `significant_digits` of
+/// precision (17 round-trips a double exactly) and rewrites whatever radix
+/// character the active locale produced back to '.'.
+[[nodiscard]] std::string format_double(double value, int significant_digits = 17);
+
 }  // namespace vps::obs

@@ -1,0 +1,426 @@
+// Run-lifecycle tracing (obs/dist_trace + protocol v3): writer/parser round
+// trips, the min-delay clock-offset estimator, chain summaries and
+// incomplete-chain detection, merge determinism, the optional v3 wire
+// fields (absent = zero, v2-shaped payloads still decode), locale-safe
+// double formatting, and the headline pin — a traced campaign through the
+// server folds bitwise identical to an untraced one and to the solo
+// in-process run.
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <clocale>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "vps/apps/caps.hpp"
+#include "vps/apps/registry.hpp"
+#include "vps/dist/coordinator.hpp"
+#include "vps/dist/protocol.hpp"
+#include "vps/dist/server.hpp"
+#include "vps/dist/worker.hpp"
+#include "vps/fault/campaign.hpp"
+#include "vps/fault/checkpoint.hpp"
+#include "vps/fault/codec.hpp"
+#include "vps/obs/dist_trace.hpp"
+#include "vps/obs/trace.hpp"
+
+namespace {
+
+using namespace vps;
+using vps::obs::DistTrace;
+using vps::obs::DistTraceWriter;
+
+constexpr const char* kHost = "127.0.0.1";
+
+// Fresh per-test trace directory under the working dir (ctest runs each
+// binary in its own process, so a name keyed on the test is collision-free).
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = "dist_trace_test_" + name;
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);
+  std::filesystem::create_directory(dir);
+  return dir;
+}
+
+TEST(SaturatingElapsed, ClampsReversedTimestamps) {
+  static_assert(obs::saturating_elapsed_ns(100, 350) == 250);
+  static_assert(obs::saturating_elapsed_ns(350, 100) == 0);  // requeue reset begin
+  static_assert(obs::saturating_elapsed_ns(7, 7) == 0);
+  EXPECT_EQ(obs::saturating_elapsed_ns(0, UINT64_MAX), UINT64_MAX);
+}
+
+TEST(DistTraceWriter, NullWhenDisabled) {
+  EXPECT_EQ(DistTraceWriter::open("", "server"), nullptr);
+}
+
+TEST(DistTraceWriter, RoundTripsSpansEventsAndClockrefs) {
+  const std::string dir = fresh_dir("roundtrip");
+  {
+    auto w = DistTraceWriter::open(dir, "server");
+    ASSERT_NE(w, nullptr);
+    w->span("admission", 0xabcdef, 3, 1000, 250);
+    w->span("stream", 0xabcdef, 3, 2000, 0);
+    w->event("requeue", 0xabcdef, 3, 1500, {{"pid", 42}, {"requeues", 1}});
+    w->clockref("worker", 42, 0, 5000, 4000);
+  }
+  const std::vector<std::string> files = obs::list_trace_files(dir);
+  ASSERT_EQ(files.size(), 1u);
+  const DistTrace trace = obs::load_dist_trace(files);
+  ASSERT_EQ(trace.sources.size(), 1u);
+  const obs::DistTraceSource& src = trace.sources[0];
+  EXPECT_EQ(src.tier, "server");
+  EXPECT_EQ(src.pid, static_cast<std::uint64_t>(::getpid()));
+  ASSERT_EQ(src.events.size(), 3u);
+  EXPECT_TRUE(src.events[0].is_span);
+  EXPECT_EQ(src.events[0].name, "admission");
+  EXPECT_EQ(src.events[0].tok, 0xabcdefu);
+  EXPECT_EQ(src.events[0].run, 3u);
+  EXPECT_EQ(src.events[0].ts_ns, 1000u);
+  EXPECT_EQ(src.events[0].dur_ns, 250u);
+  EXPECT_TRUE(src.events[1].is_span);
+  EXPECT_EQ(src.events[1].dur_ns, 0u);
+  EXPECT_FALSE(src.events[2].is_span);
+  EXPECT_EQ(src.events[2].name, "requeue");
+  ASSERT_EQ(src.events[2].extra.size(), 2u);
+  EXPECT_EQ(src.events[2].extra[0].first, "pid");
+  EXPECT_EQ(src.events[2].extra[0].second, 42u);
+  ASSERT_EQ(src.clockrefs.size(), 1u);
+  EXPECT_EQ(src.clockrefs[0].peer_tier, "worker");
+  EXPECT_EQ(src.clockrefs[0].peer_pid, 42u);
+  EXPECT_EQ(src.clockrefs[0].local_ns, 5000u);
+  EXPECT_EQ(src.clockrefs[0].remote_ns, 4000u);
+}
+
+TEST(DistTraceWriter, SkipsTornTrailingLine) {
+  const std::string dir = fresh_dir("torn");
+  std::string path;
+  {
+    auto w = DistTraceWriter::open(dir, "worker");
+    ASSERT_NE(w, nullptr);
+    w->span("replay", 9, 0, 100, 50);
+    path = w->path();
+  }
+  // Simulate a SIGKILL mid-write: a torn, unterminated JSON fragment.
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"kind\":\"span\",\"phase\":\"rep", f);
+  std::fclose(f);
+  const DistTrace trace = obs::load_dist_trace({path});
+  ASSERT_EQ(trace.sources.size(), 1u);
+  EXPECT_EQ(trace.sources[0].events.size(), 1u);  // torn line skipped, not fatal
+}
+
+TEST(ClockAlignment, OffsetIsMinOverSamples) {
+  const std::string dir = fresh_dir("offset");
+  const std::uint64_t self = static_cast<std::uint64_t>(::getpid());
+  {
+    auto server = DistTraceWriter::open(dir, "server");
+    auto worker = DistTraceWriter::open(dir, "worker");
+    ASSERT_NE(server, nullptr);
+    ASSERT_NE(worker, nullptr);
+    worker->span("replay", 1, 0, 10'000, 100);
+    // Two samples about this worker pid: offsets 600 and 650 — the smaller
+    // one saw less network delay, so it is the tighter (correct) estimate.
+    server->clockref("worker", self, 0, 1'000, 400);
+    server->clockref("worker", self, 0, 2'000, 1'350);
+  }
+  const DistTrace trace = obs::load_dist_trace(obs::list_trace_files(dir));
+  ASSERT_EQ(trace.sources.size(), 2u);
+  const auto& srv = trace.sources[0];  // sorted by tier: server < worker
+  const auto& wrk = trace.sources[1];
+  ASSERT_EQ(srv.tier, "server");
+  ASSERT_EQ(wrk.tier, "worker");
+  EXPECT_TRUE(srv.aligned);
+  EXPECT_EQ(srv.offset_ns, 0);  // the server is the reference clock
+  EXPECT_TRUE(wrk.aligned);
+  EXPECT_EQ(wrk.offset_ns, 600);
+}
+
+TEST(ClockAlignment, SourceWithoutSamplesStaysUnaligned) {
+  const std::string dir = fresh_dir("unaligned");
+  {
+    auto server = DistTraceWriter::open(dir, "server");
+    auto client = DistTraceWriter::open(dir, "client", 0x77);
+    ASSERT_NE(server, nullptr);
+    ASSERT_NE(client, nullptr);
+    client->span("submit", 0x77, 0, 5'000, 0);
+    server->span("admission", 0x77, 0, 6'000, 10);
+  }
+  const DistTrace trace = obs::load_dist_trace(obs::list_trace_files(dir));
+  ASSERT_EQ(trace.sources.size(), 2u);
+  EXPECT_FALSE(trace.sources[0].aligned);  // client: no clockref about it
+  EXPECT_EQ(trace.sources[0].offset_ns, 0);
+  EXPECT_TRUE(trace.sources[1].aligned);  // server: reference
+}
+
+TEST(Chains, SummaryAndIncompleteDetection) {
+  const std::string dir = fresh_dir("chains");
+  {
+    auto w = DistTraceWriter::open(dir, "server");
+    ASSERT_NE(w, nullptr);
+    // Run 0: all six hops. Run 1: replay and fold lost.
+    for (const char* phase : obs::kChainPhases) w->span(phase, 5, 0, 100, 0);
+    w->span("submit", 5, 1, 200, 0);
+    w->span("admission", 5, 1, 210, 5);
+    w->span("dispatch", 5, 1, 220, 5);
+    w->span("stream", 5, 1, 230, 0);
+    // Events never count as chain hops.
+    w->event("requeue", 5, 1, 240);
+  }
+  const DistTrace trace = obs::load_dist_trace(obs::list_trace_files(dir));
+  const std::string summary = obs::chains_summary(trace);
+  EXPECT_NE(summary.find("run=0"), std::string::npos);
+  EXPECT_NE(summary.find("complete=yes"), std::string::npos);
+  EXPECT_NE(summary.find("complete=no"), std::string::npos);
+  const std::vector<std::string> missing = obs::incomplete_chains(trace);
+  ASSERT_EQ(missing.size(), 1u);
+  EXPECT_NE(missing[0].find("run=1"), std::string::npos);
+  EXPECT_NE(missing[0].find("replay"), std::string::npos);
+  EXPECT_NE(missing[0].find("fold"), std::string::npos);
+  EXPECT_EQ(missing[0].find("submit"), std::string::npos);
+}
+
+TEST(Chains, MergeIsDeterministic) {
+  const std::string dir = fresh_dir("merge");
+  {
+    auto server = DistTraceWriter::open(dir, "server");
+    auto worker = DistTraceWriter::open(dir, "worker");
+    ASSERT_NE(server, nullptr);
+    ASSERT_NE(worker, nullptr);
+    server->clockref("worker", static_cast<std::uint64_t>(::getpid()), 0, 1'000, 900);
+    server->span("admission", 1, 0, 1'000, 100);
+    worker->span("replay", 1, 0, 1'050, 40);
+    server->event("chaos", 0, 0, 1'200, {{"frames_dropped", 2}});
+  }
+  const std::vector<std::string> files = obs::list_trace_files(dir);
+  const std::string a = obs::merge_to_chrome(obs::load_dist_trace(files));
+  const std::string b = obs::merge_to_chrome(obs::load_dist_trace(files));
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(a.find("admission"), std::string::npos);
+  EXPECT_NE(a.find("replay"), std::string::npos);
+}
+
+TEST(ProtocolV3, OptionalFieldsRoundTripAndDefaultToZero) {
+  // ASSIGN: ts_ns rides along when set, is absent from the bytes when not.
+  dist::AssignMsg assign;
+  assign.job = 4;
+  assign.run = 9;
+  assign.ts_ns = 123'456'789;
+  const dist::AssignMsg assign2 = dist::decode_assign(dist::encode_assign(assign));
+  EXPECT_EQ(assign2.ts_ns, 123'456'789u);
+  assign.ts_ns = 0;
+  const std::string v2_shaped = dist::encode_assign(assign);
+  EXPECT_EQ(v2_shaped.find("ts_ns"), std::string::npos);
+  EXPECT_EQ(dist::decode_assign(v2_shaped).ts_ns, 0u);
+
+  // RESULT: replay_ns from the worker, queue_ns spliced by the server.
+  dist::ResultMsg result;
+  result.job = 4;
+  result.run = 9;
+  result.replay_ns = 5'000;
+  result.queue_ns = 7'000;
+  const dist::ResultMsg result2 = dist::decode_result(dist::encode_result(result));
+  EXPECT_EQ(result2.replay_ns, 5'000u);
+  EXPECT_EQ(result2.queue_ns, 7'000u);
+  result.replay_ns = 0;
+  result.queue_ns = 0;
+  const std::string result_v2 = dist::encode_result(result);
+  EXPECT_EQ(result_v2.find("replay_ns"), std::string::npos);
+  EXPECT_EQ(result_v2.find("queue_ns"), std::string::npos);
+  EXPECT_EQ(dist::decode_result(result_v2).replay_ns, 0u);
+
+  // REGISTER and SUBMIT: the handshake clock samples.
+  dist::RegisterMsg reg;
+  reg.pid = 11;
+  reg.ts_ns = 42;
+  EXPECT_EQ(dist::decode_register(dist::encode_register(reg)).ts_ns, 42u);
+  reg.ts_ns = 0;
+  EXPECT_EQ(dist::encode_register(reg).find("ts_ns"), std::string::npos);
+
+  dist::SubmitMsg submit;
+  submit.tenant = "t";
+  submit.scenario_spec = "caps";
+  submit.scenario = "caps";
+  submit.ts_ns = 99;
+  EXPECT_EQ(dist::decode_submit(dist::encode_submit(submit)).ts_ns, 99u);
+
+  // SETUP: the correlation token echo.
+  dist::SetupMsg setup;
+  setup.scenario_spec = "caps";
+  setup.job_token = 0xdeadbeefcafe;
+  EXPECT_EQ(dist::decode_setup(dist::encode_setup(setup)).job_token, 0xdeadbeefcafeu);
+  setup.job_token = 0;
+  EXPECT_EQ(dist::encode_setup(setup).find("job_token"), std::string::npos);
+}
+
+TEST(LocaleSafety, DoublesSpellTheRadixDot) {
+  // The "C"-locale invariants hold everywhere; the comma-locale half below
+  // additionally needs a localized libc and skips where none is installed.
+  EXPECT_NE(obs::format_double(0.25, 6).find('.'), std::string::npos);
+  {
+    std::string line = "{\"kind\":\"t\"";
+    fault::codec::append_double(line, "x", 0.1);
+    line += "}";
+    EXPECT_EQ(fault::codec::LineParser(line).hexdouble("x"), 0.1);
+  }
+
+  const char* saved = std::setlocale(LC_NUMERIC, nullptr);
+  const std::string restore = saved != nullptr ? saved : "C";
+  const char* comma = nullptr;
+  for (const char* cand : {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8", "fr_FR"}) {
+    if (std::setlocale(LC_NUMERIC, cand) != nullptr &&
+        std::strcmp(std::localeconv()->decimal_point, ".") != 0) {
+      comma = cand;
+      break;
+    }
+  }
+  if (comma == nullptr) {
+    std::setlocale(LC_NUMERIC, restore.c_str());
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+
+  // Scrape/JSONL formatting must not leak the locale's comma.
+  const std::string text = obs::format_double(3.141592653589793, 6);
+  EXPECT_NE(text.find('.'), std::string::npos) << text;
+  EXPECT_EQ(text.find(','), std::string::npos) << text;
+
+  // Hexfloat doubles written under "C" must read back bitwise under a comma
+  // locale and vice versa (append_double normalizes, hexdouble localizes).
+  for (const double value : {0.1, 1.5, -2.75e-3, 3.141592653589793}) {
+    std::string line = "{\"kind\":\"t\"";
+    fault::codec::append_double(line, "x", value);
+    line += "}";
+    EXPECT_NE(line.find('.'), std::string::npos) << line;
+    EXPECT_EQ(line.find(','), std::string::npos) << line;
+    const double back = fault::codec::LineParser(line).hexdouble("x");
+    std::uint64_t want = 0;
+    std::uint64_t got = 0;
+    std::memcpy(&want, &value, sizeof want);
+    std::memcpy(&got, &back, sizeof got);
+    EXPECT_EQ(got, want) << line;
+  }
+  std::setlocale(LC_NUMERIC, restore.c_str());
+}
+
+// --- the bitwise pin: tracing is pure observation ---------------------------
+
+pid_t fork_pool_worker(std::uint16_t port, const std::string& trace_dir) {
+  const pid_t pid = ::fork();
+  if (pid != 0) return pid;
+  for (int fd = 3; fd < 1024; ++fd) ::close(fd);
+  dist::PoolConfig pc;
+  pc.host = kHost;
+  pc.port = port;
+  pc.backoff_initial_ms = 20;
+  pc.backoff_max_ms = 150;
+  pc.max_reconnects = 40;
+  pc.idle_timeout_ms = 2000;
+  pc.trace_dir = trace_dir;
+  const int code = dist::serve_pool(pc, [](const dist::SetupMsg& setup) {
+    return vps::apps::make_scenario(setup.scenario_spec);
+  });
+  ::_exit(code);
+}
+
+void reap(pid_t pid) {
+  int status = 0;
+  while (::waitpid(pid, &status, 0) < 0 && errno == EINTR) {
+  }
+}
+
+std::string folded_jsonl(const std::string& scenario, const fault::CampaignConfig& cfg,
+                         const fault::Observation& golden, const fault::CampaignResult& result) {
+  fault::CampaignCheckpoint cp;
+  cp.driver = "parallel_campaign";
+  cp.scenario = scenario;
+  cp.config = cfg;
+  cp.golden = golden;
+  cp.records = result.records;
+  return to_jsonl(cp);
+}
+
+TEST(TracedService, FoldBitwiseIdenticalTracedOrNot) {
+  const std::string dir = fresh_dir("e2e");
+  fault::CampaignConfig cfg;
+  cfg.runs = 24;
+  cfg.seed = 7;
+  cfg.batch_size = 8;
+  const fault::ScenarioFactory factory = [] {
+    return std::make_unique<apps::CapsScenario>(apps::CapsConfig{.crash = true});
+  };
+  const fault::CampaignResult solo = fault::ParallelCampaign(factory, cfg).run();
+
+  // Untraced server + pool on one port, traced on another. Workers are
+  // forked before either serve thread starts (fork + threads don't mix).
+  dist::ServerConfig plain_sc;
+  dist::ServerConfig traced_sc;
+  traced_sc.trace_dir = dir;
+  dist::CampaignServer plain_server(plain_sc);
+  dist::CampaignServer traced_server(traced_sc);
+  std::vector<pid_t> pool;
+  for (int i = 0; i < 2; ++i) pool.push_back(fork_pool_worker(plain_server.port(), ""));
+  for (int i = 0; i < 2; ++i) pool.push_back(fork_pool_worker(traced_server.port(), dir));
+  plain_server.start();
+  traced_server.start();
+
+  const std::string scenario = factory()->name();
+  fault::Observation dist_golden;  // identical across tenants (same factory)
+  const auto run_tenant = [&](std::uint16_t port, const char* tenant,
+                              const std::string& trace_dir) {
+    dist::DistConfig dc;
+    dc.campaign = cfg;
+    dc.server_host = kHost;
+    dc.server_port = port;
+    dc.tenant = tenant;
+    dc.scenario_spec = "caps:crash";
+    dc.trace_dir = trace_dir;
+    dist::DistCampaign campaign(factory, dc);
+    const fault::CampaignResult result = campaign.run();
+    dist_golden = campaign.golden();
+    return folded_jsonl(scenario, cfg, campaign.golden(), result);
+  };
+  const std::string untraced = run_tenant(plain_server.port(), "plain", "");
+  const std::string traced = run_tenant(traced_server.port(), "traced", dir);
+
+  plain_server.stop();
+  traced_server.stop();
+  for (pid_t pid : pool) reap(pid);
+
+  const std::string golden = folded_jsonl(scenario, cfg, dist_golden, solo);
+  EXPECT_EQ(untraced, traced);  // tracing moved no bit
+  EXPECT_EQ(traced, golden);    // and the service matches the solo fold
+
+  // Every tier left a file, every run a complete six-hop chain.
+  const std::vector<std::string> files = obs::list_trace_files(dir);
+  bool has_server = false;
+  bool has_worker = false;
+  bool has_client = false;
+  for (const std::string& f : files) {
+    has_server |= f.find("trace.server.") != std::string::npos;
+    has_worker |= f.find("trace.worker.") != std::string::npos;
+    has_client |= f.find("trace.client.") != std::string::npos;
+  }
+  EXPECT_TRUE(has_server);
+  EXPECT_TRUE(has_worker);
+  EXPECT_TRUE(has_client);
+  const DistTrace trace = obs::load_dist_trace(files);
+  const std::vector<std::string> missing = obs::incomplete_chains(trace);
+  EXPECT_TRUE(missing.empty());
+  for (const std::string& line : missing) ADD_FAILURE() << "incomplete chain: " << line;
+  // And the merged timeline is well-formed + deterministic.
+  const std::string merged = obs::merge_to_chrome(trace);
+  EXPECT_EQ(merged, obs::merge_to_chrome(obs::load_dist_trace(files)));
+  EXPECT_NE(merged.find("\"traceEvents\""), std::string::npos);
+}
+
+}  // namespace

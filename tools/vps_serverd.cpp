@@ -5,10 +5,13 @@
 //   vps-serverd [--host H] [--port P] [--max-jobs N]
 //               [--heartbeat-ms MS] [--hello-ms MS]
 //               [--state-dir DIR] [--orphan-ms MS] [--chaos-seed N]
+//               [--trace-dir DIR]
 //
 // Workers join with `vps-worker --connect H:P`; clients submit campaigns
 // through DistCampaign's server mode; `curl H:P/metrics` (or any raw GET)
-// scrapes the server's counters as a plaintext name-sorted table.
+// scrapes the server's counters as a plaintext name-sorted table, and
+// `curl H:P/jobs` answers the per-job live status view (queue depth,
+// latency percentiles, worker map, healing counters).
 //
 // Signals: SIGTERM drains gracefully — stop admitting fresh campaigns,
 // finish the admitted ones, flush state, SHUTDOWN the pool. SIGINT stops
@@ -41,12 +44,15 @@ void on_drain(int) { g_drain.store(true); }
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s [--host H] [--port P] [--max-jobs N] [--heartbeat-ms MS] "
-               "[--hello-ms MS] [--state-dir DIR] [--orphan-ms MS] [--chaos-seed N]\n"
+               "[--hello-ms MS] [--state-dir DIR] [--orphan-ms MS] [--chaos-seed N] "
+               "[--trace-dir DIR]\n"
                "  Persistent campaign server: workers join with `vps-worker --connect`,\n"
-               "  clients submit via DistCampaign server mode, GET /metrics scrapes.\n"
+               "  clients submit via DistCampaign server mode, GET /metrics scrapes,\n"
+               "  GET /jobs answers the per-job live status view.\n"
                "  --state-dir DIR   persist jobs for crash recovery (DIR must exist)\n"
                "  --orphan-ms MS    reattach grace for jobs whose client vanished\n"
                "  --chaos-seed N    inject deterministic network faults (0 = off)\n"
+               "  --trace-dir DIR   write run-lifecycle trace JSONL into DIR\n"
                "  SIGTERM drains gracefully; SIGINT stops now.\n",
                argv0);
   return 64;  // EX_USAGE
@@ -76,6 +82,8 @@ int main(int argc, char** argv) {
       config.orphan_grace_ms = std::atoi(argv[++i]);
     } else if (want_value("--chaos-seed")) {
       config.chaos.seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (want_value("--trace-dir")) {
+      config.trace_dir = argv[++i];
     } else {
       return usage(argv[0]);
     }

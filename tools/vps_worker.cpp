@@ -21,6 +21,8 @@
 //   --max-reconnects N     consecutive failed sessions before giving up
 //   --idle-timeout-ms MS   silence tolerated in a session before reconnecting
 //   --chaos-seed N         deterministic outbound fault injection (0 = off)
+//   --trace-dir DIR        write run-lifecycle trace JSONL (replay spans,
+//                          reconnect events) for vps-tracecat to merge
 //
 // Either way the scenario is rebuilt locally from the SETUP message's
 // registry spec, so the worker shares no address space — a replay that
@@ -41,7 +43,7 @@ namespace {
 int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s --fd N | --connect HOST:PORT [--retry-ms MS] [--max-reconnects N] "
-               "[--idle-timeout-ms MS] [--chaos-seed N]\n"
+               "[--idle-timeout-ms MS] [--chaos-seed N] [--trace-dir DIR]\n"
                "  --fd N              serve one campaign on the socket inherited as\n"
                "                      file descriptor N (spawned by the coordinator)\n"
                "  --connect HOST:PORT join a vps-serverd standing worker pool\n"
@@ -49,7 +51,8 @@ int usage(const char* argv0) {
                "  --retry-ms MS       initial reconnect backoff (default 100)\n"
                "  --max-reconnects N  consecutive failures before giving up (default 100)\n"
                "  --idle-timeout-ms MS longest server silence per session (default 30000)\n"
-               "  --chaos-seed N      inject deterministic network faults (0 = off)\n\n%s",
+               "  --chaos-seed N      inject deterministic network faults (0 = off)\n"
+               "  --trace-dir DIR     write run-lifecycle trace JSONL into DIR\n\n%s",
                argv0, vps::apps::registry_help().c_str());
   return 64;  // EX_USAGE
 }
@@ -77,6 +80,8 @@ int main(int argc, char** argv) {
       pool.idle_timeout_ms = std::atoi(argv[++i]);
     } else if (want_value("--chaos-seed")) {
       pool.chaos.seed = static_cast<std::uint64_t>(std::strtoull(argv[++i], nullptr, 10));
+    } else if (want_value("--trace-dir")) {
+      pool.trace_dir = argv[++i];
     } else {
       return usage(argv[0]);
     }
