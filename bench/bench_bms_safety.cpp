@@ -1,0 +1,235 @@
+// E23 — BMS virtual ECU twin safety campaigns. The third scenario's full
+// pipeline in one report:
+//
+//   (a) Mission sweep: nominal / thermal-runaway / short-circuit campaigns
+//       with the FMEDA-sense diagnostic coverage and the Wilson upper bound
+//       on the hazard probability, per mission.
+//   (b) Per-fault-type breakdown of the runaway mission — which detector
+//       (anomaly fusion, UART line checks, alive timeout, deadline
+//       monitors) catches which fault population.
+//   (c) Detection-latency distribution from the provenance-traced runaway
+//       campaign, and the FMEDA where each measured p99 latency is checked
+//       against the row's FTTI budget (a late detection credits nothing).
+//   (d) Snapshot-and-fork replay cost: median per-run wall time, full
+//       replay vs forking from the cached golden epoch, on the same
+//       fault list — equivalence of the results is asserted, not assumed.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <vector>
+
+#include "vps/apps/bms.hpp"
+#include "vps/fault/campaign.hpp"
+#include "vps/safety/fmeda.hpp"
+#include "vps/support/table.hpp"
+
+using namespace vps;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+double median(std::vector<double> xs) {
+  std::sort(xs.begin(), xs.end());
+  return xs.empty() ? 0.0 : xs[xs.size() / 2];
+}
+
+apps::BmsConfig mission_config(apps::BmsMission mission, bool provenance) {
+  apps::BmsConfig config;
+  config.mission = mission;
+  config.duration = sim::Time::sec(12);
+  config.event_at = sim::Time::sec(4);
+  config.provenance = provenance;
+  return config;
+}
+
+struct TypeCounts {
+  std::uint64_t injected = 0;
+  std::uint64_t bad = 0;       // hazard, SDC or timeout
+  std::uint64_t detected = 0;  // either detected outcome
+};
+
+struct MissionResult {
+  fault::CampaignResult campaign;
+  std::map<fault::FaultType, TypeCounts> per_type;
+};
+
+MissionResult evaluate(const apps::BmsConfig& config, std::size_t runs, std::uint64_t seed) {
+  apps::BmsScenario scenario(config);
+  fault::CampaignConfig cfg;
+  cfg.runs = runs;
+  cfg.seed = seed;
+  fault::Campaign campaign(scenario, cfg);
+  MissionResult mr{campaign.run(), {}};
+  for (const auto& rec : mr.campaign.records) {
+    auto& counts = mr.per_type[rec.fault.type];
+    ++counts.injected;
+    counts.bad += rec.outcome == fault::Outcome::kHazard ||
+                  rec.outcome == fault::Outcome::kSilentDataCorruption ||
+                  rec.outcome == fault::Outcome::kTimeout;
+    counts.detected += rec.outcome == fault::Outcome::kDetectedCorrected ||
+                       rec.outcome == fault::Outcome::kDetectedUncorrected;
+  }
+  return mr;
+}
+
+void report_fmeda(const MissionResult& runaway, double mission_s) {
+  struct Binding {
+    fault::FaultType type;
+    const char* component;
+    const char* failure_mode;
+    double fit;
+    double ftti_budget_s;
+  };
+  // FTTI budgets from the runaway physics: over-temp crossing ~3.2 s after
+  // onset, hazard temperature ~6.7 s — sensing faults get the ~3.5 s in
+  // between; telemetry/OS faults are bounded by the 1.5 s alive timeout
+  // and the per-period deadline monitors.
+  static constexpr Binding kBindings[] = {
+      {fault::FaultType::kSensorOffset, "cell sensor", "offset drift", 18.0, 3.5},
+      {fault::FaultType::kSensorStuck, "cell sensor", "stuck-at", 12.0, 3.5},
+      {fault::FaultType::kBusErrorInjection, "telemetry uart", "line error", 25.0, 2.0},
+      {fault::FaultType::kTaskKill, "bms mcu", "task kill", 6.0, 2.0},
+      {fault::FaultType::kExecutionSlowdown, "bms mcu", "execution slowdown", 9.0, 2.0},
+  };
+
+  const double hi_us = mission_s * 1e6;
+  const auto latency = runaway.campaign.detection_latency_stats(0.0, hi_us, 2048);
+
+  safety::Fmeda fmeda;
+  for (const auto& b : kBindings) {
+    safety::FmedaRow row;
+    row.component = b.component;
+    row.failure_mode = b.failure_mode;
+    row.fit = b.fit;
+    row.latent_coverage = 0.9;
+    row.ftti_budget_s = b.ftti_budget_s;
+    const auto it = runaway.per_type.find(b.type);
+    const std::uint64_t relevant = it == runaway.per_type.end() ? 0 : it->second.bad + it->second.detected;
+    row.diagnostic_coverage =
+        relevant == 0 ? 1.0
+                      : static_cast<double>(it->second.detected) / static_cast<double>(relevant);
+    fmeda.add_row(row);
+    for (const auto& ls : latency) {
+      if (ls.type == b.type && ls.detected > 0) {
+        fmeda.set_measured_latency(b.component, b.failure_mode,
+                                   ls.latency_us.percentile(0.99) / 1e6);
+      }
+    }
+  }
+  fmeda.add_row({"pack enclosure", "cosmetic", 40.0, false, 0.0, 1.0});
+
+  std::printf("== detection latency (runaway, provenance-traced) ==\n\n%s\n",
+              runaway.campaign.render_latency(0.0, hi_us, 2048).c_str());
+  std::printf("== FMEDA with measured latencies vs FTTI budgets ==\n\n%s\n",
+              fmeda.render().c_str());
+  const auto metrics = fmeda.metrics();
+  std::printf("SPFM %.4f  LFM %.4f  PMHF %.2f FIT  -> meets ASIL C: %s\n\n", metrics.spfm,
+              metrics.lfm, metrics.pmhf_fit, metrics.meets(safety::Asil::kC) ? "yes" : "NO");
+}
+
+void bench_fork_cost(std::size_t runs) {
+  const apps::BmsConfig config = mission_config(apps::BmsMission::kThermalRunaway, false);
+  apps::BmsScenario full(config);
+  apps::BmsScenario forked(config);
+  full.set_snapshot_replay(false);
+  forked.set_snapshot_replay(true);
+
+  fault::CampaignConfig cfg;
+  cfg.runs = runs;
+  cfg.seed = 23;
+  fault::CampaignState state(full.fault_types(), full.duration(), cfg);
+  const support::Xorshift base(cfg.seed);
+  std::vector<fault::FaultDescriptor> faults;
+  for (std::size_t run = 0; run < runs; ++run) {
+    support::Xorshift rng = base.fork(run);
+    faults.push_back(state.generate(run, rng));
+  }
+
+  // Warm both (golden run; for the forked scenario this also captures the
+  // epoch snapshots — the one-off cost the median excludes).
+  (void)full.run(nullptr, cfg.seed);
+  (void)forked.run(nullptr, cfg.seed);
+
+  std::vector<double> t_full, t_forked;
+  std::size_t mismatches = 0;
+  for (const auto& f : faults) {
+    auto t0 = Clock::now();
+    const auto a = full.run(&f, cfg.seed);
+    t_full.push_back(seconds_since(t0));
+    t0 = Clock::now();
+    const auto b = forked.run(&f, cfg.seed);
+    t_forked.push_back(seconds_since(t0));
+    mismatches += a.output_signature != b.output_signature || a.hazard != b.hazard ||
+                  a.detected != b.detected;
+  }
+  const double mf = median(t_full), mk = median(t_forked);
+  std::printf("== snapshot-and-fork replay cost (runaway, %zu faults) ==\n\n", faults.size());
+  std::printf("  full replay     median %7.2f ms/run\n", mf * 1e3);
+  std::printf("  forked replay   median %7.2f ms/run   speedup %.2fx   mismatches: %zu\n\n",
+              mk * 1e3, mk > 0 ? mf / mk : 0.0, mismatches);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::size_t runs = argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 240;
+  std::printf("== E23: BMS pack-safety campaigns (%zu injected faults per mission) ==\n\n", runs);
+
+  struct Mission {
+    const char* name;
+    apps::BmsMission mission;
+    bool provenance;
+  };
+  const Mission missions[] = {
+      {"nominal drive cycle", apps::BmsMission::kNominal, false},
+      {"thermal runaway", apps::BmsMission::kThermalRunaway, true},
+      {"short circuit", apps::BmsMission::kShortCircuit, false},
+  };
+
+  support::Table table({"mission", "hazards", "SDC", "detected", "DC", "P(hazard) 95% hi"});
+  std::map<std::string, MissionResult> results;
+  for (const auto& m : missions) {
+    auto mr = evaluate(mission_config(m.mission, m.provenance), runs, 2323);
+    char dc[32], hi[32];
+    std::snprintf(dc, sizeof dc, "%.2f", mr.campaign.diagnostic_coverage());
+    std::snprintf(hi, sizeof hi, "%.3g", mr.campaign.hazard_probability.hi);
+    table.add_row({m.name, std::to_string(mr.campaign.count(fault::Outcome::kHazard)),
+                   std::to_string(mr.campaign.count(fault::Outcome::kSilentDataCorruption)),
+                   std::to_string(mr.campaign.count(fault::Outcome::kDetectedCorrected) +
+                                  mr.campaign.count(fault::Outcome::kDetectedUncorrected)),
+                   dc, hi});
+    results.emplace(m.name, std::move(mr));
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const auto& runaway = results.at("thermal runaway");
+  std::printf("== per-fault-type (runaway): bad / detected / injected ==\n\n");
+  support::Table per_type({"fault type", "bad", "detected", "injected"});
+  for (const auto& [type, counts] : runaway.per_type) {
+    per_type.add_row({fault::to_string(type), std::to_string(counts.bad),
+                      std::to_string(counts.detected), std::to_string(counts.injected)});
+  }
+  std::printf("%s\n", per_type.render().c_str());
+
+  report_fmeda(runaway, 12.0);
+  bench_fork_cost(std::min<std::size_t>(runs, 32));
+
+  std::printf(
+      "Expected shape: UART line errors are caught by the parity/framing/CRC\n"
+      "checks or the alive timeout within half a second — comfortably inside\n"
+      "their FTTI. Sensing and OS faults injected before the demand stay\n"
+      "latent until the thermal transient exposes them, so their p99 latency\n"
+      "spans the wait for the demand and blows the FTTI budget — the FMEDA\n"
+      "then refuses the diagnostic credit (eff. DC 0) even where the median\n"
+      "detection is fast. Killing the thermal task is the dangerous\n"
+      "population: the runaway reaches the hazard temperature with the\n"
+      "contactor still closed.\n");
+  return 0;
+}

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "vps/apps/acc.hpp"
+#include "vps/apps/bms.hpp"
 #include "vps/apps/caps.hpp"
 #include "vps/support/ensure.hpp"
 
@@ -12,16 +13,20 @@ using support::ensure;
 
 namespace {
 
+/// Splits "app:opt:opt" at the colons. Empty segments are spec typos
+/// ("caps:", "caps::crash", ":caps") and rejected outright — silently
+/// dropping them would make a misspelled spec build the wrong scenario.
 std::vector<std::string> split_spec(const std::string& spec) {
   std::vector<std::string> parts;
   std::size_t start = 0;
-  while (start <= spec.size()) {
+  for (;;) {
     const std::size_t colon = spec.find(':', start);
-    if (colon == std::string::npos) {
-      parts.push_back(spec.substr(start));
-      break;
-    }
-    parts.push_back(spec.substr(start, colon - start));
+    std::string part =
+        colon == std::string::npos ? spec.substr(start) : spec.substr(start, colon - start);
+    ensure(!part.empty(), "registry: empty segment in spec '" + spec +
+                              "' (write \"app:opt\", not \"app::opt\" or a stray ':')");
+    parts.push_back(std::move(part));
+    if (colon == std::string::npos) break;
     start = colon + 1;
   }
   return parts;
@@ -51,27 +56,75 @@ std::unique_ptr<fault::Scenario> make_caps(const std::vector<std::string>& optio
   return std::make_unique<CapsScenario>(config);
 }
 
+std::unique_ptr<fault::Scenario> make_acc(const std::vector<std::string>& options) {
+  ensure(options.size() == 1, "registry: acc takes no options");
+  return std::make_unique<AccScenario>();
+}
+
+std::unique_ptr<fault::Scenario> make_bms(const std::vector<std::string>& options) {
+  BmsConfig config;
+  for (std::size_t i = 1; i < options.size(); ++i) {
+    const std::string& opt = options[i];
+    if (opt == "nominal") {
+      config.mission = BmsMission::kNominal;
+    } else if (opt == "runaway") {
+      config.mission = BmsMission::kThermalRunaway;
+    } else if (opt == "short") {
+      config.mission = BmsMission::kShortCircuit;
+    } else if (opt == "quick") {
+      // Shortened mission for CI-speed campaigns: same phases, earlier event.
+      config.duration = sim::Time::sec(12);
+      config.event_at = sim::Time::sec(4);
+    } else if (opt == "prov") {
+      config.provenance = true;
+    } else {
+      ensure(false, "registry: unknown bms option '" + opt +
+                        "' (known: nominal, runaway, short, quick, prov)");
+    }
+  }
+  return std::make_unique<BmsScenario>(config);
+}
+
+/// One row per app. make_scenario dispatch and registry_help() are both
+/// generated from this table, so an app added here is complete everywhere.
+struct AppEntry {
+  const char* name;
+  const char* usage;  ///< spec grammar line
+  const char* blurb;  ///< one-line description
+  std::unique_ptr<fault::Scenario> (*make)(const std::vector<std::string>& options);
+};
+
+constexpr AppEntry kApps[] = {
+    {"caps", "caps[:crash|:normal][:protected|:unprotected][:ecc][:prov]",
+     "airbag (CAPS) system VP, e.g. caps:crash:unprotected", &make_caps},
+    {"acc", "acc", "adaptive-cruise-control timing scenario", &make_acc},
+    {"bms", "bms[:nominal|:runaway|:short][:quick][:prov]",
+     "battery-management virtual ECU twin, e.g. bms:runaway:prov", &make_bms},
+};
+
 }  // namespace
 
 std::unique_ptr<fault::Scenario> make_scenario(const std::string& spec) {
   ensure(!spec.empty(), "registry: empty scenario spec");
   const std::vector<std::string> parts = split_spec(spec);
-  if (parts[0] == "caps") return make_caps(parts);
-  if (parts[0] == "acc") {
-    ensure(parts.size() == 1, "registry: acc takes no options");
-    return std::make_unique<AccScenario>();
+  for (const AppEntry& app : kApps) {
+    if (parts[0] == app.name) return app.make(parts);
   }
-  ensure(false, "registry: unknown app '" + parts[0] + "' in spec '" + spec +
-                    "'\n" + registry_help());
+  ensure(false,
+         "registry: unknown app '" + parts[0] + "' in spec '" + spec + "'\n" + registry_help());
   return nullptr;  // unreachable
 }
 
 std::string registry_help() {
-  return "scenario specs:\n"
-         "  caps[:crash|:normal][:protected|:unprotected][:ecc][:prov]\n"
-         "      airbag (CAPS) system VP, e.g. caps:crash:unprotected\n"
-         "  acc\n"
-         "      adaptive-cruise-control timing scenario\n";
+  std::string out = "scenario specs:\n";
+  for (const AppEntry& app : kApps) {
+    out += "  ";
+    out += app.usage;
+    out += "\n      ";
+    out += app.blurb;
+    out += "\n";
+  }
+  return out;
 }
 
 }  // namespace vps::apps

@@ -5,10 +5,13 @@
 /// binary of the distributed campaign, spawned by fork+exec — can
 /// reconstruct the coordinator's scenario from the SETUP message alone.
 ///
-/// Spec grammar: "<app>[:<option>...]" with options in any order.
+/// Spec grammar: "<app>[:<option>...]" with options in any order; empty
+/// segments ("caps:", "caps::crash") are rejected.
 ///   caps   options: crash|normal, protected|unprotected, ecc, prov
 ///          e.g. "caps:crash:unprotected:ecc"
 ///   acc    no options
+///   bms    options: nominal|runaway|short (mission), quick, prov
+///          e.g. "bms:runaway:prov"
 ///
 /// The built scenario's name() must match what the coordinator runs — the
 /// distributed handshake verifies exactly that.

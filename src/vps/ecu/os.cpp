@@ -22,10 +22,21 @@ TaskId OsScheduler::add_task(TaskConfig config) {
   if (config.deadline == Time::zero()) config.deadline = config.period;
   Task t;
   t.config = std::move(config);
+  t.period = t.config.period;
+  t.deadline = t.config.deadline;
   t.next_release = now() + t.config.offset;
   tasks_.push_back(std::move(t));
   reschedule_.notify();
   return tasks_.size() - 1;
+}
+
+void OsScheduler::set_period(TaskId id, Time period, Time deadline) {
+  ensure(period > Time::zero(), "OsScheduler: task period must be positive");
+  Task& t = tasks_.at(id);
+  t.period = period;
+  t.deadline = deadline == Time::zero() ? period : deadline;
+  t.next_release = now() + period;
+  reschedule_.notify();
 }
 
 void OsScheduler::set_execution_factor(TaskId id, double factor) {
@@ -77,12 +88,12 @@ void OsScheduler::release_jobs() {
       } else {
         t.job.active = true;
         t.job.release = t.next_release;
-        t.job.absolute_deadline = t.next_release + t.config.deadline;
+        t.job.absolute_deadline = t.next_release + t.deadline;
         t.job.remaining = Time::from_seconds(t.config.wcet.to_seconds() * t.exec_factor);
         if (t.job.remaining == Time::zero()) t.job.remaining = Time::ps(1);
         ++t.stats.activations;
       }
-      t.next_release += t.config.period;
+      t.next_release += t.period;
     }
   }
 }
@@ -157,7 +168,8 @@ OsScheduler::Snapshot OsScheduler::snapshot() const {
   Snapshot s;
   s.tasks.reserve(tasks_.size());
   for (const Task& t : tasks_) {
-    s.tasks.push_back(Snapshot::TaskImage{t.stats, t.job, t.next_release, t.exec_factor, t.killed});
+    s.tasks.push_back(Snapshot::TaskImage{t.stats, t.job, t.next_release, t.period, t.deadline,
+                                          t.exec_factor, t.killed});
   }
   s.total_misses = total_misses_;
   s.busy_time = busy_time_;
@@ -174,6 +186,8 @@ void OsScheduler::restore(const Snapshot& s) {
     tasks_[i].stats = s.tasks[i].stats;
     tasks_[i].job = s.tasks[i].job;
     tasks_[i].next_release = s.tasks[i].next_release;
+    tasks_[i].period = s.tasks[i].period;
+    tasks_[i].deadline = s.tasks[i].deadline;
     tasks_[i].exec_factor = s.tasks[i].exec_factor;
     tasks_[i].killed = s.tasks[i].killed;
   }

@@ -56,6 +56,16 @@ class OsScheduler final : public sim::Module {
   [[nodiscard]] std::size_t task_count() const noexcept { return tasks_.size(); }
   [[nodiscard]] const TaskConfig& config(TaskId id) const { return tasks_.at(id).config; }
   [[nodiscard]] const TaskStats& stats(TaskId id) const { return tasks_.at(id).stats; }
+  /// Rate a task currently releases at (differs from config(id).period after
+  /// a set_period mode switch).
+  [[nodiscard]] sim::Time current_period(TaskId id) const { return tasks_.at(id).period; }
+
+  /// Mode switch: changes a task's release period (and relative deadline;
+  /// 0 = implicit, == period) from now on. The pending release is re-anchored
+  /// to now + period, so a tightened rate takes effect within one *new*
+  /// period instead of waiting for the old slow release to drain. The
+  /// in-flight job (if any) keeps the deadline it was released with.
+  void set_period(TaskId id, sim::Time period, sim::Time deadline = sim::Time::zero());
   /// Fired on every deadline miss; monitors subscribe for failure analysis.
   [[nodiscard]] sim::Event& deadline_miss_event() noexcept { return deadline_miss_; }
   [[nodiscard]] std::uint64_t total_deadline_misses() const noexcept { return total_misses_; }
@@ -87,6 +97,8 @@ class OsScheduler final : public sim::Module {
       TaskStats stats;
       Job job;
       sim::Time next_release;
+      sim::Time period;    ///< current rate (mode switches are dynamic state)
+      sim::Time deadline;
       double exec_factor = 1.0;
       bool killed = false;
     };
@@ -107,6 +119,8 @@ class OsScheduler final : public sim::Module {
     TaskStats stats;
     Job job;
     sim::Time next_release;
+    sim::Time period;    ///< current rate; initialized from config, changed by set_period
+    sim::Time deadline;  ///< current relative deadline
     double exec_factor = 1.0;
     bool killed = false;
   };

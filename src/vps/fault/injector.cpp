@@ -1,5 +1,7 @@
 #include "vps/fault/injector.hpp"
 
+#include "vps/hw/uart.hpp"
+
 namespace vps::fault {
 
 using sim::Time;
@@ -91,6 +93,12 @@ bool InjectorHub::apply_effect(const FaultDescriptor& fault) {
       return true;
     }
     case FaultType::kBusErrorInjection: {
+      if (uart_ != nullptr) {
+        // A burst of line noise on the serial link: the next 1..10 wire bits
+        // invert, hitting start/data/parity/stop bits as they come.
+        uart_->corrupt_bits(1 + static_cast<std::uint32_t>(fault.bit % 10), token);
+        return true;
+      }
       if (platform_ == nullptr) break;
       // A corrupted bus transaction: the payload reached memory poisoned.
       const auto addr = (fault.address % platform_->ram().size()) & ~3ULL;
@@ -185,6 +193,7 @@ std::vector<FaultType> InjectorHub::supported_types() const {
                   FaultType::kBusErrorInjection, FaultType::kSupplyBrownout});
   }
   if (can_bus_ != nullptr) types.push_back(FaultType::kCanFrameCorruption);
+  if (uart_ != nullptr && platform_ == nullptr) types.push_back(FaultType::kBusErrorInjection);
   if (!sensors_.empty()) {
     types.push_back(FaultType::kSensorOffset);
     types.push_back(FaultType::kSensorStuck);

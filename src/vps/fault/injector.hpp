@@ -16,6 +16,10 @@
 #include "vps/obs/provenance.hpp"
 #include "vps/obs/trace.hpp"
 
+namespace vps::hw {
+class Uart;
+}
+
 namespace vps::fault {
 
 /// A mutable analog source wrapper so sensor faults can be injected between
@@ -101,6 +105,9 @@ class InjectorHub {
   void bind_platform(ecu::EcuPlatform& platform) noexcept { platform_ = &platform; }
   void bind_can(can::CanBus& bus) noexcept { can_bus_ = &bus; }
   void bind_os(ecu::OsScheduler& os) noexcept { os_ = &os; }
+  /// kBusErrorInjection becomes a serial-line noise burst on this UART
+  /// (takes precedence over the platform RAM interpretation).
+  void bind_uart(hw::Uart& uart) noexcept { uart_ = &uart; }
   void bind_sensor(AnalogChannel& channel) noexcept {
     if (provenance_ != nullptr) channel.set_provenance(provenance_);
     sensors_.push_back(&channel);
@@ -158,6 +165,7 @@ class InjectorHub {
   ecu::EcuPlatform* platform_ = nullptr;
   can::CanBus* can_bus_ = nullptr;
   ecu::OsScheduler* os_ = nullptr;
+  hw::Uart* uart_ = nullptr;
   std::vector<AnalogChannel*> sensors_;
   obs::Tracer* tracer_ = nullptr;
   obs::ProvenanceTracker* provenance_ = nullptr;

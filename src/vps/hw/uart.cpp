@@ -1,0 +1,161 @@
+#include "vps/hw/uart.hpp"
+
+#include "vps/support/ensure.hpp"
+
+namespace vps::hw {
+
+using sim::Time;
+using support::ensure;
+
+Uart::Uart(sim::Kernel& kernel, std::string name, UartConfig config)
+    : Module(kernel, std::move(name)),
+      config_(config),
+      bit_time_(Time::ps((1'000'000'000'000ULL + config.baud / 2) / config.baud)),
+      tx_enqueued_(kernel, this->name() + ".tx_enqueued") {
+  ensure(config.baud > 0, "Uart: baud rate must be positive");
+  spawn("shift", shift_loop());
+}
+
+void Uart::transmit(const std::uint8_t* data, std::size_t n) {
+  tx_fifo_.insert(tx_fifo_.end(), data, data + n);
+  bytes_enqueued_ += n;
+  tx_enqueued_.notify();
+}
+
+void Uart::corrupt_bits(std::uint32_t count, std::uint64_t poison_id) {
+  corrupt_remaining_ += count;
+  corrupt_poison_ = poison_id;
+  corrupt_touched_ = false;
+}
+
+void Uart::load_frame() {
+  const std::uint16_t data = tx_fifo_.front();
+  tx_fifo_.erase(tx_fifo_.begin());
+  // Bit 0 = start (0), bits 1..8 = data LSB-first, then [even parity,] stop (1).
+  std::uint16_t frame = static_cast<std::uint16_t>(data << 1);
+  if (config_.parity) {
+    std::uint16_t p = 0;
+    for (int i = 0; i < 8; ++i) p ^= (data >> i) & 1u;
+    frame |= static_cast<std::uint16_t>(p << 9);
+    frame |= 1u << 10;  // stop
+  } else {
+    frame |= 1u << 9;  // stop
+  }
+  tx_frame_ = frame;
+  rx_frame_ = 0;
+  bit_index_ = 0;
+  shifting_ = true;
+}
+
+void Uart::shift_bit() {
+  std::uint16_t bit = (tx_frame_ >> bit_index_) & 1u;
+  if (corrupt_remaining_ > 0) {
+    --corrupt_remaining_;
+    bit ^= 1u;
+    frame_corrupted_ = true;
+    if (provenance_ != nullptr && corrupt_poison_ != 0 && !corrupt_touched_) {
+      corrupt_touched_ = true;
+      provenance_->touch(corrupt_poison_, "uart:" + name());
+    }
+  }
+  rx_frame_ |= static_cast<std::uint16_t>(bit << bit_index_);
+  ++bit_index_;
+  ++bits_shifted_;
+  if (bit_index_ == frame_bits()) {
+    shifting_ = false;
+    finish_frame();
+  }
+}
+
+void Uart::finish_frame() {
+  const bool was_corrupted = frame_corrupted_;
+  frame_corrupted_ = false;
+  if (was_corrupted) ++frames_corrupted_;
+
+  const bool start = (rx_frame_ & 1u) != 0;
+  const bool stop = ((rx_frame_ >> (frame_bits() - 1)) & 1u) != 0;
+  const auto data = static_cast<std::uint8_t>((rx_frame_ >> 1) & 0xFFu);
+  if (start || !stop) {
+    ++framing_errors_;
+    if (provenance_ != nullptr && was_corrupted && corrupt_poison_ != 0) {
+      provenance_->detect(corrupt_poison_, "uart.framing:" + name());
+    }
+    return;
+  }
+  if (config_.parity) {
+    std::uint16_t p = (rx_frame_ >> 9) & 1u;
+    for (int i = 0; i < 8; ++i) p ^= (data >> i) & 1u;
+    if (p != 0) {
+      ++parity_errors_;
+      if (provenance_ != nullptr && was_corrupted && corrupt_poison_ != 0) {
+        provenance_->detect(corrupt_poison_, "uart.parity:" + name());
+      }
+      return;
+    }
+  }
+  // An even number of data-bit flips passes parity: the byte is delivered
+  // silently corrupted — the residual the layer above must catch.
+  ++bytes_delivered_;
+  if (on_byte_) on_byte_(data);
+}
+
+sim::Coro Uart::shift_loop() {
+  for (;;) {
+    if (bit_pending_) {
+      bit_pending_ = false;
+      shift_bit();
+    }
+    if (shifting_) {
+      bit_pending_ = true;
+      co_await sim::delay(bit_time_);
+      continue;
+    }
+    if (!tx_fifo_.empty()) {
+      load_frame();
+      continue;
+    }
+    co_await tx_enqueued_;
+  }
+}
+
+Uart::Snapshot Uart::snapshot() const {
+  Snapshot s;
+  s.tx_fifo = tx_fifo_;
+  s.shifting = shifting_;
+  s.bit_pending = bit_pending_;
+  s.bit_index = bit_index_;
+  s.tx_frame = tx_frame_;
+  s.rx_frame = rx_frame_;
+  s.frame_corrupted = frame_corrupted_;
+  s.corrupt_remaining = corrupt_remaining_;
+  s.corrupt_poison = corrupt_poison_;
+  s.corrupt_touched = corrupt_touched_;
+  s.bytes_enqueued = bytes_enqueued_;
+  s.bytes_delivered = bytes_delivered_;
+  s.bits_shifted = bits_shifted_;
+  s.parity_errors = parity_errors_;
+  s.framing_errors = framing_errors_;
+  s.frames_corrupted = frames_corrupted_;
+  return s;
+}
+
+void Uart::restore(const Snapshot& s) {
+  tx_fifo_ = s.tx_fifo;
+  shifting_ = s.shifting;
+  bit_pending_ = s.bit_pending;
+  bit_index_ = s.bit_index;
+  tx_frame_ = s.tx_frame;
+  rx_frame_ = s.rx_frame;
+  frame_corrupted_ = s.frame_corrupted;
+  corrupt_remaining_ = s.corrupt_remaining;
+  corrupt_poison_ = s.corrupt_poison;
+  corrupt_touched_ = s.corrupt_touched;
+  bytes_enqueued_ = s.bytes_enqueued;
+  bytes_delivered_ = s.bytes_delivered;
+  bits_shifted_ = s.bits_shifted;
+  parity_errors_ = s.parity_errors;
+  framing_errors_ = s.framing_errors;
+  frames_corrupted_ = s.frames_corrupted;
+}
+
+}  // namespace vps::hw

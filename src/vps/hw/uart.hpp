@@ -1,0 +1,119 @@
+#pragma once
+
+/// Point-to-point UART with shift-register timing: bytes queue in a TX
+/// FIFO and are serialized bit by bit at the configured baud rate (start
+/// bit, 8 data bits LSB-first, optional even parity, stop bit). The
+/// receiving end of the wire reassembles the frame and checks framing
+/// (start/stop levels) and parity, so line corruption is *detectable* at
+/// this layer — and a double bit flip inside the data bits passes parity
+/// silently, which is exactly the residual-error behaviour an end-to-end
+/// checksum above the UART must catch. corrupt_bits() is the injectable
+/// fault site: it inverts the next N line bits, modelling an EMI burst.
+///
+/// The shift process is written restore-safe (DESIGN.md sec. 6): the bit
+/// owed at the next resume is named by a pending flag and latched at the
+/// top of the loop, so a coroutine recreated by Kernel::restore continues
+/// mid-frame exactly where the snapshotted original was parked.
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "vps/obs/provenance.hpp"
+#include "vps/sim/kernel.hpp"
+#include "vps/sim/module.hpp"
+
+namespace vps::hw {
+
+struct UartConfig {
+  std::uint32_t baud = 115200;
+  bool parity = true;  ///< even parity bit between data and stop
+};
+
+class Uart final : public sim::Module {
+ public:
+  Uart(sim::Kernel& kernel, std::string name, UartConfig config = {});
+
+  /// Queues `n` bytes for transmission (the TX FIFO is unbounded — flow
+  /// control is the caller's problem at this abstraction level).
+  void transmit(const std::uint8_t* data, std::size_t n);
+
+  /// Delivery callback for correctly framed, parity-clean bytes.
+  void set_on_byte(std::function<void(std::uint8_t)> on_byte) {
+    on_byte_ = std::move(on_byte);
+  }
+
+  /// Fault site: inverts the next `count` bits on the wire (start/data/
+  /// parity/stop alike). A non-zero poison_id attributes the corruption
+  /// for provenance tracking.
+  void corrupt_bits(std::uint32_t count, std::uint64_t poison_id = 0);
+
+  /// nullptr detaches.
+  void set_provenance(obs::ProvenanceTracker* tracker) noexcept { provenance_ = tracker; }
+
+  [[nodiscard]] sim::Time bit_time() const noexcept { return bit_time_; }
+  [[nodiscard]] sim::Time byte_time() const noexcept { return bit_time_ * frame_bits(); }
+  [[nodiscard]] bool idle() const noexcept { return !shifting_ && tx_fifo_.empty(); }
+
+  [[nodiscard]] std::uint64_t bytes_enqueued() const noexcept { return bytes_enqueued_; }
+  [[nodiscard]] std::uint64_t bytes_delivered() const noexcept { return bytes_delivered_; }
+  [[nodiscard]] std::uint64_t bits_shifted() const noexcept { return bits_shifted_; }
+  [[nodiscard]] std::uint64_t parity_errors() const noexcept { return parity_errors_; }
+  [[nodiscard]] std::uint64_t framing_errors() const noexcept { return framing_errors_; }
+  [[nodiscard]] std::uint64_t frames_corrupted() const noexcept { return frames_corrupted_; }
+
+  // --- snapshot-and-fork replay -------------------------------------------
+  struct Snapshot {
+    std::vector<std::uint8_t> tx_fifo;
+    bool shifting = false;
+    bool bit_pending = false;
+    std::uint32_t bit_index = 0;
+    std::uint16_t tx_frame = 0;
+    std::uint16_t rx_frame = 0;
+    bool frame_corrupted = false;
+    std::uint32_t corrupt_remaining = 0;
+    std::uint64_t corrupt_poison = 0;
+    bool corrupt_touched = false;
+    std::uint64_t bytes_enqueued = 0;
+    std::uint64_t bytes_delivered = 0;
+    std::uint64_t bits_shifted = 0;
+    std::uint64_t parity_errors = 0;
+    std::uint64_t framing_errors = 0;
+    std::uint64_t frames_corrupted = 0;
+  };
+  [[nodiscard]] Snapshot snapshot() const;
+  void restore(const Snapshot& s);
+
+ private:
+  [[nodiscard]] std::uint32_t frame_bits() const noexcept { return config_.parity ? 11 : 10; }
+  [[nodiscard]] sim::Coro shift_loop();
+  void load_frame();
+  void shift_bit();
+  void finish_frame();
+
+  UartConfig config_;
+  sim::Time bit_time_;
+  sim::Event tx_enqueued_;
+  std::function<void(std::uint8_t)> on_byte_;
+  obs::ProvenanceTracker* provenance_ = nullptr;
+
+  std::vector<std::uint8_t> tx_fifo_;
+  bool shifting_ = false;
+  bool bit_pending_ = false;  ///< a line bit is owed at the next resume
+  std::uint32_t bit_index_ = 0;
+  std::uint16_t tx_frame_ = 0;  ///< frame as driven by the transmitter
+  std::uint16_t rx_frame_ = 0;  ///< frame as sampled off the (possibly corrupted) wire
+  bool frame_corrupted_ = false;
+  std::uint32_t corrupt_remaining_ = 0;
+  std::uint64_t corrupt_poison_ = 0;
+  bool corrupt_touched_ = false;
+  std::uint64_t bytes_enqueued_ = 0;
+  std::uint64_t bytes_delivered_ = 0;
+  std::uint64_t bits_shifted_ = 0;
+  std::uint64_t parity_errors_ = 0;
+  std::uint64_t framing_errors_ = 0;
+  std::uint64_t frames_corrupted_ = 0;
+};
+
+}  // namespace vps::hw

@@ -1,0 +1,74 @@
+// Scenario-registry contract: every app builds from its spec grammar, the
+// built scenario's name() matches what the distributed handshake verifies,
+// and malformed specs — unknown apps/options, empty segments from stray
+// colons — are rejected with a diagnosable message instead of silently
+// building the wrong scenario.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "vps/apps/registry.hpp"
+#include "vps/sim/time.hpp"
+#include "vps/support/ensure.hpp"
+
+namespace {
+
+using vps::apps::make_scenario;
+using vps::apps::registry_help;
+using vps::sim::Time;
+using vps::support::InvariantError;
+
+TEST(Registry, BuildsEveryAppFromItsSpec) {
+  EXPECT_EQ(make_scenario("caps")->name(), "caps_normal_protected");
+  EXPECT_EQ(make_scenario("caps:crash:unprotected")->name(), "caps_crash_unprotected");
+  EXPECT_EQ(make_scenario("caps:crash:protected:ecc:prov")->name(),
+            "caps_crash_protected_ecc");
+  EXPECT_EQ(make_scenario("acc")->name(), "acc_follow_brake");
+  EXPECT_EQ(make_scenario("bms")->name(), "bms_nominal");
+  EXPECT_EQ(make_scenario("bms:nominal")->name(), "bms_nominal");
+  EXPECT_EQ(make_scenario("bms:runaway")->name(), "bms_runaway");
+  EXPECT_EQ(make_scenario("bms:short:prov")->name(), "bms_short");
+}
+
+TEST(Registry, BmsQuickShortensTheMission) {
+  EXPECT_EQ(make_scenario("bms")->duration(), Time::sec(20));
+  EXPECT_EQ(make_scenario("bms:runaway:quick")->duration(), Time::sec(12));
+}
+
+TEST(Registry, EmptySegmentsAreRejected) {
+  EXPECT_THROW((void)make_scenario(""), InvariantError);
+  EXPECT_THROW((void)make_scenario("caps:"), InvariantError);
+  EXPECT_THROW((void)make_scenario("caps::crash"), InvariantError);
+  EXPECT_THROW((void)make_scenario(":caps"), InvariantError);
+  EXPECT_THROW((void)make_scenario("bms:"), InvariantError);
+  EXPECT_THROW((void)make_scenario(":"), InvariantError);
+}
+
+TEST(Registry, EmptySegmentMessageNamesTheSpec) {
+  try {
+    (void)make_scenario("caps::crash");
+    FAIL() << "expected InvariantError";
+  } catch (const InvariantError& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("empty segment"), std::string::npos) << what;
+    EXPECT_NE(what.find("caps::crash"), std::string::npos) << what;
+  }
+}
+
+TEST(Registry, UnknownAppsAndOptionsAreRejected) {
+  EXPECT_THROW((void)make_scenario("warp_drive"), InvariantError);
+  EXPECT_THROW((void)make_scenario("caps:bogus"), InvariantError);
+  EXPECT_THROW((void)make_scenario("acc:fast"), InvariantError);
+  EXPECT_THROW((void)make_scenario("bms:bogus"), InvariantError);
+}
+
+TEST(Registry, HelpListsEveryApp) {
+  const std::string help = registry_help();
+  EXPECT_NE(help.find("caps"), std::string::npos);
+  EXPECT_NE(help.find("acc"), std::string::npos);
+  EXPECT_NE(help.find("bms"), std::string::npos);
+  EXPECT_NE(help.find("runaway"), std::string::npos);
+}
+
+}  // namespace

@@ -105,11 +105,14 @@ SubmitMsg tiny_submit(const std::string& tenant) {
 // Multi-tenant determinism on one standing pool
 // --------------------------------------------------------------------------
 
-TEST(CampaignServerTest, TwoTenantsOnOnePoolFoldBitwiseIdenticalToSolo) {
+TEST(CampaignServerTest, ThreeTenantsOnOnePoolFoldBitwiseIdenticalToSolo) {
   const ScenarioFactory caps_factory = [] {
     return std::make_unique<CapsScenario>(CapsConfig{.crash = true});
   };
   const ScenarioFactory acc_factory = [] { return vps::apps::make_scenario("acc"); };
+  const ScenarioFactory bms_factory = [] {
+    return vps::apps::make_scenario("bms:short:quick");
+  };
 
   CampaignConfig caps_cfg;
   caps_cfg.runs = 24;
@@ -118,9 +121,14 @@ TEST(CampaignServerTest, TwoTenantsOnOnePoolFoldBitwiseIdenticalToSolo) {
   CampaignConfig acc_cfg;
   acc_cfg.runs = 12;
   acc_cfg.seed = 9;
+  CampaignConfig bms_cfg;
+  bms_cfg.runs = 10;
+  bms_cfg.seed = 17;
+  bms_cfg.location_buckets = 8;
 
   const CampaignResult caps_solo = ParallelCampaign(caps_factory, caps_cfg).run();
   const CampaignResult acc_solo = ParallelCampaign(acc_factory, acc_cfg).run();
+  const CampaignResult bms_solo = ParallelCampaign(bms_factory, bms_cfg).run();
 
   // Default (30 s) heartbeat budget: a SIGKILLed worker is detected by EOF,
   // not by heartbeat, and sanitizer builds can push one replay past a few
@@ -150,6 +158,7 @@ TEST(CampaignServerTest, TwoTenantsOnOnePoolFoldBitwiseIdenticalToSolo) {
   // A throw inside a tenant thread must fail the test, not std::terminate it.
   CampaignResult caps_res;
   CampaignResult acc_res;
+  CampaignResult bms_res;
   std::thread caps_tenant([&] {
     try {
       caps_res = run_tenant("caps", "caps:crash", caps_factory, caps_cfg);
@@ -164,6 +173,13 @@ TEST(CampaignServerTest, TwoTenantsOnOnePoolFoldBitwiseIdenticalToSolo) {
       ADD_FAILURE() << "acc tenant threw: " << e.what();
     }
   });
+  std::thread bms_tenant([&] {
+    try {
+      bms_res = run_tenant("bms", "bms:short:quick", bms_factory, bms_cfg);
+    } catch (const std::exception& e) {
+      ADD_FAILURE() << "bms tenant threw: " << e.what();
+    }
+  });
 
   // Kill one pool worker while both campaigns are (very likely) in flight:
   // the server requeues its runs and neither tenant's fold may change.
@@ -172,11 +188,13 @@ TEST(CampaignServerTest, TwoTenantsOnOnePoolFoldBitwiseIdenticalToSolo) {
 
   caps_tenant.join();
   acc_tenant.join();
+  bms_tenant.join();
   server.stop();
   for (pid_t pid : pool) reap(pid);
 
   expect_identical(caps_solo, caps_res);
   expect_identical(acc_solo, acc_res);
+  expect_identical(bms_solo, bms_res);
 }
 
 // --------------------------------------------------------------------------

@@ -90,6 +90,10 @@ TEST(SnapshotReplay, CapsNormalUnprotectedProvenance) {
 
 TEST(SnapshotReplay, Acc) { check_scenario("acc", 24, 42); }
 
+TEST(SnapshotReplay, BmsRunawayProvenance) { check_scenario("bms:runaway:quick:prov", 16, 42); }
+
+TEST(SnapshotReplay, BmsNominal) { check_scenario("bms:nominal:quick", 16, 7); }
+
 void expect_same_records(const fault::CampaignResult& want, const fault::CampaignResult& got,
                          const std::string& context) {
   ASSERT_EQ(want.records.size(), got.records.size()) << context;
